@@ -1,0 +1,225 @@
+// Package licm's root benchmarks regenerate every table and figure of
+// the paper's evaluation at a reduced, benchmark-friendly scale, plus
+// ablations of the design choices listed in DESIGN.md. Run with
+//
+//	go test -bench=. -benchmem
+//
+// For paper-scale tables use cmd/licmexp, which runs the same harness
+// at configurable scale and prints the full series.
+package licm_test
+
+import (
+	"io"
+	"testing"
+
+	"licm/internal/bench"
+	"licm/internal/core"
+	"licm/internal/mc"
+	"licm/internal/queries"
+	"licm/internal/solver"
+)
+
+// benchConfig is a reduced-scale configuration so a full -bench=. run
+// stays in the minutes range.
+func benchConfig() bench.Config {
+	cfg := bench.DefaultConfig()
+	cfg.NumTransactions = 500
+	cfg.NumItems = 200
+	cfg.MCSamples = 20
+	cfg.Q3Frac = 0
+	cfg.Solver.MaxNodes = 150_000
+	return cfg
+}
+
+// runCell is the common body: one full (encode, query, solve, MC)
+// experiment cell per iteration.
+func runCell(b *testing.B, scheme bench.Scheme, queryIdx, k int) {
+	b.Helper()
+	cfg := benchConfig()
+	q := cfg.Queries()[queryIdx]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cell, err := cfg.RunCell(scheme, q, k)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if cell.LMin > cell.LMax {
+			b.Fatalf("inverted bounds %+v", cell)
+		}
+	}
+}
+
+// --- Figure 5: one benchmark per (scheme, query) panel at k=4. ---
+
+func BenchmarkFig5KmQ1(b *testing.B)        { runCell(b, bench.SchemeKm, 0, 4) }
+func BenchmarkFig5KmQ2(b *testing.B)        { runCell(b, bench.SchemeKm, 1, 4) }
+func BenchmarkFig5KmQ3(b *testing.B)        { runCell(b, bench.SchemeKm, 2, 4) }
+func BenchmarkFig5KAnonQ1(b *testing.B)     { runCell(b, bench.SchemeK, 0, 4) }
+func BenchmarkFig5KAnonQ2(b *testing.B)     { runCell(b, bench.SchemeK, 1, 4) }
+func BenchmarkFig5KAnonQ3(b *testing.B)     { runCell(b, bench.SchemeK, 2, 4) }
+func BenchmarkFig5BipartiteQ1(b *testing.B) { runCell(b, bench.SchemeBipartite, 0, 4) }
+func BenchmarkFig5BipartiteQ2(b *testing.B) { runCell(b, bench.SchemeBipartite, 1, 4) }
+func BenchmarkFig5BipartiteQ3(b *testing.B) { runCell(b, bench.SchemeBipartite, 2, 4) }
+
+// --- Figure 6: the timing split is the cell itself; benchmark the
+// three phases separately on the k-anonymity Query 2 instance. ---
+
+func BenchmarkFig6LModel(b *testing.B) {
+	cfg := benchConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := cfg.Encode(bench.SchemeK, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig6LQuery(b *testing.B) {
+	cfg := benchConfig()
+	q := cfg.Queries()[1]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		enc, _, err := cfg.Encode(bench.SchemeK, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if _, err := q.BuildLICM(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig6LSolve(b *testing.B) {
+	cfg := benchConfig()
+	q := cfg.Queries()[1]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		enc, _, err := cfg.Encode(bench.SchemeK, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rel, err := q.BuildLICM(enc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if _, err := core.CountBounds(enc.DB, rel, cfg.Solver); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig6MC(b *testing.B) {
+	cfg := benchConfig()
+	q := cfg.Queries()[1]
+	enc, _, err := cfg.Encode(bench.SchemeK, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sampler := mc.NewSampler(enc, int64(i))
+		sampler.Run(q, cfg.MCSamples)
+	}
+}
+
+// --- Figure 7: pruning effectiveness (the measured quantity is the
+// size reduction; the benchmark times the measurement pipeline). ---
+
+func BenchmarkFig7Pruning(b *testing.B) {
+	cfg := benchConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cells, err := cfg.Fig7(io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, c := range cells {
+			if c.VarsPruned > c.VarsQuery {
+				b.Fatalf("pruning grew the problem: %+v", c)
+			}
+		}
+	}
+}
+
+// --- Ablations (DESIGN.md §5). ---
+
+func benchAblation(b *testing.B, mutate func(*solver.Options)) {
+	cfg := benchConfig()
+	q := cfg.Queries()[1]
+	enc, _, err := cfg.Encode(bench.SchemeK, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rel, err := q.BuildLICM(enc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := cfg.Solver
+	mutate(&opts)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.CountBounds(enc.DB, rel, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationBaseline(b *testing.B) { benchAblation(b, func(o *solver.Options) {}) }
+func BenchmarkAblationNoPruning(b *testing.B) {
+	benchAblation(b, func(o *solver.Options) { o.Prune = false })
+}
+func BenchmarkAblationNoDecompose(b *testing.B) {
+	benchAblation(b, func(o *solver.Options) { o.Decompose = false })
+}
+func BenchmarkAblationNoLPBound(b *testing.B) {
+	benchAblation(b, func(o *solver.Options) { o.UseLP = false })
+}
+
+func BenchmarkAblationMCSamples100(b *testing.B) {
+	cfg := benchConfig()
+	q := cfg.Queries()[0]
+	enc, _, err := cfg.Encode(bench.SchemeK, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sampler := mc.NewSampler(enc, int64(i))
+		sampler.Run(q, 100)
+	}
+}
+
+// BenchmarkQueryTranslationOnly isolates the LICM operator layer
+// (selection, count predicates, intersection, projection) without the
+// solver.
+func BenchmarkQueryTranslationOnly(b *testing.B) {
+	cfg := benchConfig()
+	specs := cfg.Queries()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		enc, _, err := cfg.Encode(bench.SchemeK, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		for _, q := range specs {
+			if _, err := q.BuildLICM(enc); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+var _ = queries.Pred{} // keep the import for future spec tweaks

@@ -1,0 +1,89 @@
+// Command licmexp regenerates the paper's evaluation figures on the
+// synthetic BMS-POS-shaped dataset: Figure 5 (LICM vs Monte-Carlo
+// bounds across anonymity parameters), Figure 6 (timing split), and
+// Figure 7 (pruning effectiveness), plus the solver and MC-sample
+// ablations from DESIGN.md.
+//
+// Usage:
+//
+//	licmexp -fig all -trans 2000
+//	licmexp -fig 5 -trans 5000 -ks 2,4,6,8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"licm/internal/bench"
+)
+
+func main() {
+	var (
+		fig   = flag.String("fig", "all", "which figure to run: 5 | 6 | 7 | ablation | all")
+		trans = flag.Int("trans", 2000, "number of transactions")
+		items = flag.Int("items", 400, "number of item types")
+		ks    = flag.String("ks", "2,4,6,8", "anonymity parameters (comma separated)")
+		mcN   = flag.Int("mc", 20, "Monte-Carlo sample count")
+		seed  = flag.Int64("seed", 1, "dataset seed")
+		nodes = flag.Int64("maxnodes", 300_000, "solver node budget per solve")
+	)
+	flag.Parse()
+
+	cfg := bench.DefaultConfig()
+	cfg.NumTransactions = *trans
+	cfg.NumItems = *items
+	cfg.MCSamples = *mcN
+	cfg.Seed = *seed
+	cfg.Solver.MaxNodes = *nodes
+	cfg.Q3Frac = 0 // recompute for the chosen scale
+	var parsed []int
+	for _, part := range strings.Split(*ks, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v < 1 {
+			fatal(fmt.Errorf("bad -ks entry %q", part))
+		}
+		parsed = append(parsed, v)
+	}
+	cfg.Ks = parsed
+
+	run := func(name string, f func() error) {
+		fmt.Printf("== %s ==\n", name)
+		if err := f(); err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+	}
+	switch *fig {
+	case "5":
+		run("Figure 5", func() error { _, err := cfg.Fig5(os.Stdout); return err })
+	case "6":
+		run("Figure 6", func() error { _, err := cfg.Fig6(os.Stdout); return err })
+	case "7":
+		run("Figure 7", func() error { _, err := cfg.Fig7(os.Stdout); return err })
+	case "ablation":
+		run("Solver ablation", func() error { _, err := cfg.AblationSolver(os.Stdout); return err })
+		run("MC sample sweep", func() error {
+			_, err := cfg.AblationMCSamples(os.Stdout, []int{5, 20, 100, 500})
+			return err
+		})
+	case "all":
+		run("Figure 5", func() error { _, err := cfg.Fig5(os.Stdout); return err })
+		run("Figure 6", func() error { _, err := cfg.Fig6(os.Stdout); return err })
+		run("Figure 7", func() error { _, err := cfg.Fig7(os.Stdout); return err })
+		run("Solver ablation", func() error { _, err := cfg.AblationSolver(os.Stdout); return err })
+		run("MC sample sweep", func() error {
+			_, err := cfg.AblationMCSamples(os.Stdout, []int{5, 20, 100, 500})
+			return err
+		})
+	default:
+		fatal(fmt.Errorf("unknown -fig %q", *fig))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "licmexp:", err)
+	os.Exit(1)
+}

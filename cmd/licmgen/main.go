@@ -1,0 +1,63 @@
+// Command licmgen generates a synthetic BMS-POS-shaped transaction
+// dataset (the paper's evaluation substrate) and writes it to a file
+// or stdout in the format understood by the other licm tools.
+//
+// Usage:
+//
+//	licmgen -trans 10000 -items 1657 -seed 1 -o data.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"licm/internal/dataset"
+)
+
+func main() {
+	var (
+		trans  = flag.Int("trans", 10000, "number of transactions")
+		items  = flag.Int("items", 1657, "number of item types")
+		avg    = flag.Float64("avg", 6.5, "average transaction size")
+		max    = flag.Int("max", 164, "maximum transaction size")
+		skew   = flag.Float64("skew", 1.25, "Zipf skew of item popularity (> 1)")
+		seed   = flag.Int64("seed", 1, "generator seed")
+		out    = flag.String("o", "", "output file (default stdout)")
+		doStat = flag.Bool("stats", false, "print dataset statistics to stderr")
+	)
+	flag.Parse()
+
+	cfg := dataset.DefaultConfig(*trans)
+	cfg.NumItems = *items
+	cfg.AvgSize = *avg
+	cfg.MaxSize = *max
+	cfg.ZipfS = *skew
+	cfg.Seed = *seed
+	d, err := dataset.Generate(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if _, err := d.WriteTo(w); err != nil {
+		fatal(err)
+	}
+	if *doStat {
+		s := d.Stats()
+		fmt.Fprintf(os.Stderr, "transactions=%d items=%d distinct-items=%d avg-size=%.2f max-size=%d rows=%d\n",
+			s.NumTransactions, s.NumItems, s.DistinctItems, s.AvgSize, s.MaxSize, s.TotalRows)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "licmgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,179 @@
+// Command licmq answers one of the paper's aggregate queries over an
+// anonymized dataset: it anonymizes the input in memory, encodes it
+// into LICM, translates the query, and reports the exact (or proven
+// outer) lower and upper bounds from the BIP solver — optionally
+// alongside the naive Monte-Carlo range for comparison.
+//
+// Usage:
+//
+//	licmq -in data.txt -scheme k -k 4 -query q1
+//	licmq -in data.txt -scheme bipartite -k 4 -query q3 -mc 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"licm/internal/anon"
+	"licm/internal/core"
+	"licm/internal/dataset"
+	"licm/internal/encode"
+	"licm/internal/hierarchy"
+	"licm/internal/mc"
+	"licm/internal/queries"
+	"licm/internal/solver"
+)
+
+func main() {
+	var (
+		in       = flag.String("in", "", "input dataset (licmgen format; required)")
+		scheme   = flag.String("scheme", "k", "anonymization scheme: km | k | bipartite | suppress")
+		k        = flag.Int("k", 4, "anonymity parameter")
+		m        = flag.Int("m", 2, "subset size m (km scheme)")
+		minSupp  = flag.Int("minsupport", 10, "support threshold (suppress scheme)")
+		fanout   = flag.Int("fanout", 8, "hierarchy fanout")
+		query    = flag.String("query", "q1", "query: q1 | q2 | q3")
+		q3x      = flag.Int("q3x", 2, "popularity threshold X for q3")
+		q3frac   = flag.Float64("q3frac", 0.01, "selectivity of q3 location predicates")
+		mcRuns   = flag.Int("mc", 0, "also run naive Monte-Carlo with this many worlds")
+		maxNodes = flag.Int64("maxnodes", 2_000_000, "solver node budget (0 = unlimited)")
+		lpOut    = flag.String("lp", "", "also export the maximization BIP in CPLEX LP format to this file")
+		workers  = flag.Int("workers", 1, "solve independent components with this many workers")
+	)
+	flag.Parse()
+	if *in == "" {
+		fatal(fmt.Errorf("-in is required"))
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		fatal(err)
+	}
+	d, err := dataset.Read(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+
+	start := time.Now()
+	enc, err := buildEncoding(d, *scheme, *k, *m, *minSupp, *fanout)
+	if err != nil {
+		fatal(err)
+	}
+	tModel := time.Since(start)
+
+	var q queries.Query
+	switch *query {
+	case "q1":
+		q = queries.PaperQ1(1000, 40)
+	case "q2":
+		q = queries.PaperQ2(1000, 40)
+	case "q3":
+		q = queries.PaperQ3(1000, *q3frac, *q3x)
+	default:
+		fatal(fmt.Errorf("unknown query %q", *query))
+	}
+
+	start = time.Now()
+	rel, err := q.BuildLICM(enc)
+	if err != nil {
+		fatal(err)
+	}
+	tQuery := time.Since(start)
+
+	if *lpOut != "" {
+		f, err := os.Create(*lpOut)
+		if err != nil {
+			fatal(err)
+		}
+		p := &solver.Problem{
+			NumVars:     enc.DB.NumVars(),
+			Constraints: enc.DB.Constraints(),
+			Objective:   core.CountStar(rel),
+		}
+		if err := solver.WriteLP(f, p, solver.SenseMax); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote BIP instance to %s (%d vars, %d constraints)\n", *lpOut, p.NumVars, len(p.Constraints))
+	}
+
+	opts := solver.DefaultOptions()
+	opts.MaxNodes = *maxNodes
+	opts.Workers = *workers
+	start = time.Now()
+	res, err := core.CountBounds(enc.DB, rel, opts)
+	if err != nil {
+		fatal(err)
+	}
+	tSolve := time.Since(start)
+
+	fmt.Printf("%s over %s(k=%d): ", q.Name(), *scheme, *k)
+	if res.MinProven && res.MaxProven {
+		fmt.Printf("exact bounds [%d, %d]\n", res.Min, res.Max)
+	} else {
+		fmt.Printf("best found [%d, %d], proven outer bounds [%d, %d]\n",
+			res.Min, res.Max, res.MinBound, res.MaxBound)
+	}
+	fmt.Printf("timing: L-model %v, L-query %v, L-solve %v\n", tModel, tQuery, tSolve)
+	fmt.Printf("problem: %d vars, %d constraints; after pruning %d vars, %d constraints; %d components, %d nodes\n",
+		res.Stats.VarsBefore, res.Stats.ConsBefore,
+		res.Stats.VarsAfterPrune, res.Stats.ConsAfterPrune,
+		res.Stats.Components, res.Stats.Nodes)
+
+	if *mcRuns > 0 {
+		start = time.Now()
+		sampler := mc.NewSampler(enc, 42)
+		r := sampler.Run(q, *mcRuns)
+		fmt.Printf("Monte-Carlo (%d worlds): observed range [%d, %d] in %v\n",
+			*mcRuns, r.Min, r.Max, time.Since(start))
+	}
+}
+
+func buildEncoding(d *dataset.Dataset, scheme string, k, m, minSupp, fanout int) (*encode.Encoded, error) {
+	switch scheme {
+	case "km":
+		h, err := hierarchy.Build(len(d.Items), fanout, nil)
+		if err != nil {
+			return nil, err
+		}
+		g, err := anon.KmAnonymize(d, h, k, m)
+		if err != nil {
+			return nil, err
+		}
+		return encode.Generalized(g, d.Items), nil
+	case "k":
+		h, err := hierarchy.Build(len(d.Items), fanout, nil)
+		if err != nil {
+			return nil, err
+		}
+		g, err := anon.KAnonymize(d, h, k)
+		if err != nil {
+			return nil, err
+		}
+		return encode.Generalized(g, d.Items), nil
+	case "bipartite":
+		bg, err := anon.BipartiteAnonymize(d, k, k)
+		if err != nil {
+			return nil, err
+		}
+		return encode.Bipartite(d, bg), nil
+	case "suppress":
+		s, err := anon.SuppressAnonymize(d, minSupp)
+		if err != nil {
+			return nil, err
+		}
+		return encode.Suppressed(s, d.Items), nil
+	default:
+		return nil, fmt.Errorf("unknown scheme %q", scheme)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "licmq:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,22 @@
+// Package licm is a from-scratch Go implementation of LICM — the
+// Linear Integer Constraint Model of Cormode, Shen, Srivastava and Yu,
+// "Aggregate Query Answering on Possibilistic Data with Cardinality
+// Constraints" (ICDE 2012) — together with every substrate its
+// evaluation depends on: the set-valued anonymization schemes whose
+// outputs LICM models, a BMS-POS-shaped data generator, a
+// deterministic relational engine, a Monte-Carlo baseline, and a pure
+// Go binary integer programming solver standing in for CPLEX.
+//
+// The library lives under internal/; see README.md for the
+// architecture map, DESIGN.md for the system inventory and
+// per-experiment index, and EXPERIMENTS.md for paper-vs-measured
+// results. The root package holds the benchmark harness
+// (bench_test.go) that regenerates every evaluation figure:
+//
+//	go test -bench=. -benchmem
+//
+// Runnable entry points:
+//
+//	go run ./examples/quickstart      (Figure 2(c) walkthrough)
+//	go run ./cmd/licmexp -fig all     (regenerate the evaluation)
+package licm

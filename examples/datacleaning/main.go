@@ -1,0 +1,90 @@
+// Data cleaning (Example 1 of the paper).
+//
+// A customer database integrated from several sources holds up to
+// five conflicting address records per customer; domain knowledge
+// says at least one and at most two of each customer's records are
+// correct (home and office). The analyst asks:
+//
+//	"At most how many regions have more than `threshold` of our
+//	 customers?"
+//
+// No prior system answered this directly: the cardinality constraint
+// "1 <= correct records <= 2" is what LICM encodes natively, and the
+// answer is the exact upper bound of a COUNT over all worlds
+// consistent with it — computed here with a count-predicate operator
+// (Algorithm 4) and the BIP solver.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"licm/internal/core"
+	"licm/internal/expr"
+	"licm/internal/solver"
+)
+
+func main() {
+	const (
+		numCustomers = 120
+		numRegions   = 8
+		threshold    = 20 // "more than `threshold` customers"
+	)
+	rng := rand.New(rand.NewSource(7))
+	db := core.NewDB()
+	addr := core.NewRelation("Addr", "Customer", "Region")
+
+	for c := 0; c < numCustomers; c++ {
+		// Each customer has 2-5 candidate records from different
+		// sources, of which 1 or 2 are correct.
+		n := 2 + rng.Intn(4)
+		vars := make([]expr.Var, n)
+		for i := range vars {
+			vars[i] = db.NewVar()
+			region := rng.Intn(numRegions)
+			addr.Insert(core.Maybe(vars[i]),
+				core.IntVal(int64(c)), core.IntVal(int64(region)))
+		}
+		hi := 2
+		if n < 2 {
+			hi = n
+		}
+		db.AddCardinality(vars, 1, hi)
+	}
+
+	// Query plan:
+	//   dedupe to (Customer, Region) pairs             -- projection
+	//   per region: COUNT(customers) >= threshold+1    -- Algorithm 4
+	//   COUNT(*) of qualifying regions                 -- objective
+	pairs := core.Project(db, addr, "Region", "Customer")
+	busy := core.CountPredicate(db, pairs, []string{"Region"}, core.CountGE, threshold+1)
+	res, err := core.CountBounds(db, busy, solver.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("customers: %d, candidate records: %d, regions: %d\n",
+		numCustomers, addr.Len(), numRegions)
+	fmt.Printf("LICM store: %d variables, %d constraints\n\n", db.NumVars(), db.NumConstraints())
+	fmt.Printf("regions with more than %d customers, across ALL worlds consistent\n", threshold)
+	fmt.Printf("with the 1-to-2-records-per-customer constraint:\n")
+	fmt.Printf("  at least %d and at most %d\n\n", res.Min, res.Max)
+
+	// The witness for the maximum shows which correlated choice of
+	// records produces the extreme — the insight Monte-Carlo sampling
+	// misses (Section IV-D).
+	perRegion := map[int64]int{}
+	seen := map[[2]int64]bool{}
+	for _, row := range core.Instantiate(addr, res.MaxWorld) {
+		key := [2]int64{row[0].Int(), row[1].Int()}
+		if !seen[key] {
+			seen[key] = true
+			perRegion[row[1].Int()]++
+		}
+	}
+	fmt.Println("customer counts per region in the max-achieving world:")
+	for r := 0; r < numRegions; r++ {
+		fmt.Printf("  region %d: %d\n", r, perRegion[int64(r)])
+	}
+}

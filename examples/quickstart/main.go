@@ -1,0 +1,80 @@
+// Quickstart: the paper's running example (Figure 2).
+//
+// Transaction T1 bought {Alcohol, Shampoo}, where "Alcohol" is a
+// generalized item covering {Beer, Wine, Liquor}. LICM represents
+// this as three maybe-tuples with existence variables b0,b1,b2 under
+// the cardinality constraint b0+b1+b2 >= 1, plus one certain tuple —
+// exactly Figure 2(c), and far more succinct than the 7-row
+// U-relation enumeration of Figure 1.
+//
+// The program prints the relation, enumerates its possible worlds,
+// and computes exact bounds for two aggregate queries.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"licm/internal/core"
+	"licm/internal/solver"
+)
+
+func main() {
+	db := core.NewDB()
+	transItem := core.NewRelation("TransItem", "TID", "ItemName")
+
+	// Maybe-tuples for the generalized "Alcohol" item.
+	alcohol := db.NewVars(3)
+	transItem.Insert(core.Maybe(alcohol[0]), core.StrVal("T1"), core.StrVal("Beer"))
+	transItem.Insert(core.Maybe(alcohol[1]), core.StrVal("T1"), core.StrVal("Wine"))
+	transItem.Insert(core.Maybe(alcohol[2]), core.StrVal("T1"), core.StrVal("Liquor"))
+	// The certain tuple.
+	transItem.Insert(core.Certain, core.StrVal("T1"), core.StrVal("Shampoo"))
+	// At least one of the alcohol possibilities is real (Figure 2(c)).
+	db.AddCardinality(alcohol, 1, -1)
+
+	fmt.Print(transItem)
+	fmt.Printf("constraints: %v\n\n", db.Constraints())
+
+	// The set of possible worlds: every non-empty subset of the three
+	// alcohol items, always with the shampoo — 7 worlds (Figure 1).
+	worlds := db.EnumWorlds()
+	fmt.Printf("possible worlds: %d\n", len(worlds))
+	for _, w := range worlds {
+		var names []string
+		for _, row := range core.Instantiate(transItem, w) {
+			names = append(names, row[1].Str())
+		}
+		fmt.Printf("  %v\n", names)
+	}
+
+	// Aggregate 1: how many items does T1 have? Exact bounds via the
+	// BIP solver: [2, 4].
+	res, err := core.CountBounds(db, transItem, solver.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nCOUNT(items of T1): between %d and %d\n", res.Min, res.Max)
+
+	// Aggregate 2: how many *alcoholic* items? Select then count: [1, 3].
+	alcoholOnly := core.Select(transItem, func(r core.Row) bool {
+		s := r.Str("ItemName")
+		return s == "Beer" || s == "Wine" || s == "Liquor"
+	})
+	res, err = core.CountBounds(db, alcoholOnly, solver.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("COUNT(alcoholic items): between %d and %d\n", res.Min, res.Max)
+
+	// The witness world for the maximum identifies the boundary case.
+	fmt.Printf("a world achieving the maximum: %v\n", worldNames(transItem, res.MaxWorld))
+}
+
+func worldNames(r *core.Relation, w []uint8) []string {
+	var names []string
+	for _, row := range core.Instantiate(r, w) {
+		names = append(names, row[1].Str())
+	}
+	return names
+}

@@ -1,0 +1,3 @@
+module licm
+
+go 1.22

@@ -1,0 +1,275 @@
+package anon
+
+import (
+	"testing"
+
+	"licm/internal/dataset"
+	"licm/internal/hierarchy"
+)
+
+func testData(t *testing.T, n int, seed int64) (*dataset.Dataset, *hierarchy.Hierarchy) {
+	t.Helper()
+	cfg := dataset.Config{
+		NumTransactions: n,
+		NumItems:        64,
+		AvgSize:         4,
+		MaxSize:         12,
+		ZipfS:           1.3,
+		LocationRange:   20,
+		PriceRange:      10,
+		Seed:            seed,
+	}
+	d, err := dataset.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := hierarchy.Build(64, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, h
+}
+
+func TestKmAnonymize(t *testing.T) {
+	d, h := testData(t, 300, 1)
+	for _, k := range []int{2, 4, 8} {
+		g, err := KmAnonymize(d, h, k, 2)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if len(g.Trans) != len(d.Trans) {
+			t.Fatalf("k=%d: %d output transactions", k, len(g.Trans))
+		}
+		if err := CheckKm(g, k, 2); err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		// Every generalized node must cover the original items.
+		for i, gt := range g.Trans {
+			for _, it := range d.Trans[i].Items {
+				covered := false
+				for _, n := range gt.Nodes {
+					if h.IsAncestor(n, hierarchy.NodeID(it)) {
+						covered = true
+						break
+					}
+				}
+				if !covered {
+					t.Fatalf("k=%d: item %d of transaction %d not covered by %v", k, it, i, gt.Nodes)
+				}
+			}
+		}
+	}
+}
+
+func TestKmMoreAnonymityMoreGeneralization(t *testing.T) {
+	d, h := testData(t, 300, 2)
+	g2, err := KmAnonymize(d, h, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g8, err := KmAnonymize(d, h, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, s8 := g2.Stats(), g8.Stats()
+	if s8.CoveredLeaves < s2.CoveredLeaves {
+		t.Errorf("k=8 should generalize at least as much as k=2: %+v vs %+v", s8, s2)
+	}
+}
+
+func TestKmM1(t *testing.T) {
+	d, h := testData(t, 200, 3)
+	g, err := KmAnonymize(d, h, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckKm(g, 4, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKmErrors(t *testing.T) {
+	d, h := testData(t, 10, 4)
+	if _, err := KmAnonymize(d, h, 0, 2); err == nil {
+		t.Error("want error for k=0")
+	}
+	if _, err := KmAnonymize(d, h, 4, 0); err == nil {
+		t.Error("want error for m=0")
+	}
+	if _, err := KmAnonymize(d, h, 11, 2); err == nil {
+		t.Error("want error for k > transactions")
+	}
+}
+
+func TestKAnonymize(t *testing.T) {
+	d, h := testData(t, 300, 5)
+	for _, k := range []int{2, 4, 8} {
+		g, err := KAnonymize(d, h, k)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if err := CheckK(g, k); err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		for i, gt := range g.Trans {
+			if gt.ID != d.Trans[i].ID || gt.Location != d.Trans[i].Location {
+				t.Fatalf("k=%d: metadata mismatch on %d", k, i)
+			}
+			if len(gt.Nodes) == 0 {
+				t.Fatalf("k=%d: empty representation for %d", k, i)
+			}
+			for _, it := range d.Trans[i].Items {
+				covered := false
+				for _, n := range gt.Nodes {
+					if h.IsAncestor(n, hierarchy.NodeID(it)) {
+						covered = true
+						break
+					}
+				}
+				if !covered {
+					t.Fatalf("k=%d: item %d of transaction %d not covered", k, it, i)
+				}
+			}
+		}
+	}
+}
+
+func TestKAnonymityTighterThanRoot(t *testing.T) {
+	// With mild k, the top-down split must achieve strictly better
+	// utility than everything-at-root.
+	d, h := testData(t, 400, 6)
+	g, err := KAnonymize(d, h, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	atRoot := 0
+	for _, gt := range g.Trans {
+		if len(gt.Nodes) == 1 && gt.Nodes[0] == h.Root() {
+			atRoot++
+		}
+	}
+	if atRoot == len(g.Trans) {
+		t.Error("no specialization happened at all")
+	}
+}
+
+func TestEquivalenceClasses(t *testing.T) {
+	d, h := testData(t, 200, 7)
+	g, err := KAnonymize(d, h, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	classes := g.EquivalenceClasses()
+	total := 0
+	for _, c := range classes {
+		if len(c) < 4 {
+			t.Fatalf("class of size %d < 4", len(c))
+		}
+		total += len(c)
+	}
+	if total != len(d.Trans) {
+		t.Fatalf("classes cover %d of %d", total, len(d.Trans))
+	}
+}
+
+func TestBipartiteAnonymize(t *testing.T) {
+	d, _ := testData(t, 200, 8)
+	for _, k := range []int{2, 4, 8} {
+		g, err := BipartiteAnonymize(d, k, k)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if err := CheckBipartite(d, g, k, k); err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+	}
+}
+
+func TestBipartiteUsuallySafe(t *testing.T) {
+	d, _ := testData(t, 300, 9)
+	g, err := BipartiteAnonymize(d, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Safe {
+		t.Log("grouping not safe on this data (allowed, but unexpected for sparse data)")
+	} else if err := CheckBipartite(d, g, 4, 4); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBipartiteErrors(t *testing.T) {
+	d, _ := testData(t, 10, 10)
+	if _, err := BipartiteAnonymize(d, 0, 2); err == nil {
+		t.Error("want error for k=0")
+	}
+	if _, err := BipartiteAnonymize(d, 2, 0); err == nil {
+		t.Error("want error for l=0")
+	}
+	if _, err := BipartiteAnonymize(d, 11, 2); err == nil {
+		t.Error("want error for k > transactions")
+	}
+	if _, err := BipartiteAnonymize(d, 2, 10000); err == nil {
+		t.Error("want error for l > used items")
+	}
+}
+
+func TestSuppressAnonymize(t *testing.T) {
+	d, _ := testData(t, 300, 11)
+	s, err := SuppressAnonymize(d, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckSuppressed(d, s); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Candidates) == 0 {
+		t.Error("expected some rare items to be suppressed")
+	}
+	// Candidates must really be globally absent from Kept lists
+	// (covered by CheckSuppressed) and really rare in the source.
+	freq := d.ItemFrequencies()
+	for _, it := range s.Candidates {
+		if freq[it] >= 5 {
+			t.Errorf("item %d has support %d, should not be suppressed", it, freq[it])
+		}
+	}
+}
+
+func TestSuppressErrors(t *testing.T) {
+	d, _ := testData(t, 50, 12)
+	if _, err := SuppressAnonymize(d, 0); err == nil {
+		t.Error("want error for minSupport=0")
+	}
+	if _, err := SuppressAnonymize(d, 1<<30); err == nil {
+		t.Error("want error when everything is suppressed")
+	}
+}
+
+func TestGenStats(t *testing.T) {
+	d, h := testData(t, 100, 13)
+	g, err := KmAnonymize(d, h, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := g.Stats()
+	if s.Transactions != 100 {
+		t.Errorf("stats transactions = %d", s.Transactions)
+	}
+	if s.ExactItems+s.Generalized == 0 {
+		t.Error("no output nodes counted")
+	}
+	if s.Generalized > 0 && s.MaxGroupLeaves < 2 {
+		t.Error("generalized nodes must cover >= 2 leaves")
+	}
+}
+
+func TestValidateInputBadItem(t *testing.T) {
+	d := &dataset.Dataset{
+		Items: []dataset.Item{{ID: 0}},
+		Trans: []dataset.Transaction{{ID: 0, Items: []int32{5}}},
+	}
+	if err := validateInput(d, nil, 1); err == nil {
+		t.Error("want error for out-of-catalog item")
+	}
+}

@@ -1,0 +1,397 @@
+package anon
+
+import (
+	"fmt"
+	"sort"
+
+	"licm/internal/dataset"
+)
+
+// BipartiteGroups is the output of safe (k,l) grouping [Cormode et
+// al., VLDB 2008]: the transaction/item bipartite graph is published
+// exactly, but the mapping from transactions (items) to graph nodes is
+// hidden within groups of size at least k (l). Within each group the
+// true mapping is an unknown bijection — the permutation constraint of
+// Example 3.
+type BipartiteGroups struct {
+	// TransGroups partitions transaction indices (into the source
+	// dataset's Trans slice); every group has size >= k.
+	TransGroups [][]int
+	// ItemGroups partitions item ids; every group has size >= l.
+	// Items that occur in no transaction are omitted.
+	ItemGroups [][]int32
+	// Safe reports whether the grouping satisfies the safety
+	// condition (no double edges between a group pair); the greedy
+	// construction achieves it unless the data forces a conflict.
+	Safe bool
+}
+
+// BipartiteAnonymize builds a safe (k,l) grouping greedily: items are
+// packed into groups of l avoiding co-occurring pairs (two items in
+// one transaction), transactions into groups of k avoiding pairs that
+// share an item. Leftover members are folded into earlier groups,
+// still respecting conflicts whenever possible.
+func BipartiteAnonymize(d *dataset.Dataset, k, l int) (*BipartiteGroups, error) {
+	if k < 1 || l < 1 {
+		return nil, fmt.Errorf("anon: group sizes must be >= 1, got k=%d l=%d", k, l)
+	}
+	if err := validateInput(d, nil, k); err != nil {
+		return nil, err
+	}
+	out := &BipartiteGroups{Safe: true}
+
+	// --- Item side ---
+	// Items used at least once, most frequent first (hard ones first).
+	freq := make(map[int32]int)
+	for _, t := range d.Trans {
+		for _, it := range t.Items {
+			freq[it]++
+		}
+	}
+	items := make([]int32, 0, len(freq))
+	for it := range freq {
+		items = append(items, it)
+	}
+	sort.Slice(items, func(a, b int) bool {
+		if freq[items[a]] != freq[items[b]] {
+			return freq[items[a]] > freq[items[b]]
+		}
+		return items[a] < items[b]
+	})
+	if len(items) < l {
+		return nil, fmt.Errorf("anon: %d used items cannot form groups of %d", len(items), l)
+	}
+	// Co-occurrence adjacency.
+	coItems := make(map[int32]map[int32]bool)
+	for _, t := range d.Trans {
+		for i := 0; i < len(t.Items); i++ {
+			for j := i + 1; j < len(t.Items); j++ {
+				a, b := t.Items[i], t.Items[j]
+				if coItems[a] == nil {
+					coItems[a] = make(map[int32]bool)
+				}
+				if coItems[b] == nil {
+					coItems[b] = make(map[int32]bool)
+				}
+				coItems[a][b] = true
+				coItems[b][a] = true
+			}
+		}
+	}
+	itemGroupOf := make(map[int32]int)
+	var itemGroups [][]int32
+	placeItem := func(it int32, full bool) bool {
+		conflict := make(map[int]bool)
+		for other := range coItems[it] {
+			if g, ok := itemGroupOf[other]; ok {
+				conflict[g] = true
+			}
+		}
+		for g := range itemGroups {
+			if full && len(itemGroups[g]) >= l {
+				continue
+			}
+			if conflict[g] {
+				continue
+			}
+			itemGroups[g] = append(itemGroups[g], it)
+			itemGroupOf[it] = g
+			return true
+		}
+		return false
+	}
+	var itemLeftovers []int32
+	for _, it := range items {
+		if placeItem(it, true) {
+			continue
+		}
+		g := len(itemGroups)
+		if len(items)-len(itemGroupOf) >= l {
+			// Enough unplaced items remain to eventually fill a fresh
+			// group.
+			itemGroups = append(itemGroups, []int32{it})
+			itemGroupOf[it] = g
+		} else {
+			itemLeftovers = append(itemLeftovers, it)
+		}
+	}
+	// Fill undersized groups and leftovers: first conflict-respecting,
+	// then forced (marks the grouping unsafe).
+	for _, it := range itemLeftovers {
+		if placeItem(it, false) {
+			continue
+		}
+		out.Safe = false
+		g := smallestGroupIdx(itemGroups)
+		itemGroups[g] = append(itemGroups[g], it)
+		itemGroupOf[it] = g
+	}
+	// Merge undersized groups upward.
+	itemGroups, ok := mergeSmallInt32Groups(itemGroups, l, func(a, b []int32) bool {
+		for _, x := range a {
+			for _, y := range b {
+				if coItems[x][y] {
+					return false
+				}
+			}
+		}
+		return true
+	})
+	if !ok {
+		out.Safe = false
+	}
+	out.ItemGroups = itemGroups
+	// Rebuild the final item-group index.
+	itemGroupOf = make(map[int32]int)
+	for g, grp := range itemGroups {
+		for _, it := range grp {
+			itemGroupOf[it] = g
+		}
+	}
+
+	// --- Transaction side ---
+	// Conflict: two transactions sharing a common item.
+	transOf := make(map[int32][]int) // item -> transactions containing it
+	for i, t := range d.Trans {
+		for _, it := range t.Items {
+			transOf[it] = append(transOf[it], i)
+		}
+	}
+	transGroupOf := make(map[int]int)
+	var transGroups [][]int
+	placeTrans := func(i int, full bool) bool {
+		conflict := make(map[int]bool)
+		for _, it := range d.Trans[i].Items {
+			for _, j := range transOf[it] {
+				if g, ok := transGroupOf[j]; ok {
+					conflict[g] = true
+				}
+			}
+		}
+		for g := range transGroups {
+			if full && len(transGroups[g]) >= k {
+				continue
+			}
+			if conflict[g] {
+				continue
+			}
+			transGroups[g] = append(transGroups[g], i)
+			transGroupOf[i] = g
+			return true
+		}
+		return false
+	}
+	var transLeftovers []int
+	for i := range d.Trans {
+		if placeTrans(i, true) {
+			continue
+		}
+		if len(d.Trans)-len(transGroupOf) >= k {
+			g := len(transGroups)
+			transGroups = append(transGroups, []int{i})
+			transGroupOf[i] = g
+		} else {
+			transLeftovers = append(transLeftovers, i)
+		}
+	}
+	for _, i := range transLeftovers {
+		if placeTrans(i, false) {
+			continue
+		}
+		out.Safe = false
+		g := smallestIntGroupIdx(transGroups)
+		transGroups[g] = append(transGroups[g], i)
+		transGroupOf[i] = g
+	}
+	shareItem := func(a, b []int) bool {
+		seen := make(map[int32]bool)
+		for _, i := range a {
+			for _, it := range d.Trans[i].Items {
+				seen[it] = true
+			}
+		}
+		for _, j := range b {
+			for _, it := range d.Trans[j].Items {
+				if seen[it] {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	transGroups, ok = mergeSmallIntGroups(transGroups, k, func(a, b []int) bool { return !shareItem(a, b) })
+	if !ok {
+		out.Safe = false
+	}
+	out.TransGroups = transGroups
+	return out, nil
+}
+
+func smallestGroupIdx(groups [][]int32) int {
+	best := 0
+	for g := range groups {
+		if len(groups[g]) < len(groups[best]) {
+			best = g
+		}
+	}
+	return best
+}
+
+func smallestIntGroupIdx(groups [][]int) int {
+	best := 0
+	for g := range groups {
+		if len(groups[g]) < len(groups[best]) {
+			best = g
+		}
+	}
+	return best
+}
+
+// mergeSmallInt32Groups folds groups below the minimum size into
+// compatible groups (per canMerge); if none is compatible it merges
+// anyway and reports false.
+func mergeSmallInt32Groups(groups [][]int32, minSize int, canMerge func(a, b []int32) bool) ([][]int32, bool) {
+	safe := true
+	var out [][]int32
+	var small [][]int32
+	for _, g := range groups {
+		if len(g) >= minSize {
+			out = append(out, g)
+		} else if len(g) > 0 {
+			small = append(small, g)
+		}
+	}
+	for _, g := range small {
+		placed := false
+		for i := range out {
+			if canMerge(out[i], g) {
+				out[i] = append(out[i], g...)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			if len(out) == 0 {
+				out = append(out, g)
+				if len(g) < minSize {
+					safe = false
+				}
+			} else {
+				out[smallestGroupIdx(out)] = append(out[smallestGroupIdx(out)], g...)
+				safe = false
+			}
+		}
+	}
+	return out, safe
+}
+
+// mergeSmallIntGroups is mergeSmallInt32Groups for int slices.
+func mergeSmallIntGroups(groups [][]int, minSize int, canMerge func(a, b []int) bool) ([][]int, bool) {
+	safe := true
+	var out [][]int
+	var small [][]int
+	for _, g := range groups {
+		if len(g) >= minSize {
+			out = append(out, g)
+		} else if len(g) > 0 {
+			small = append(small, g)
+		}
+	}
+	for _, g := range small {
+		placed := false
+		for i := range out {
+			if canMerge(out[i], g) {
+				out[i] = append(out[i], g...)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			if len(out) == 0 {
+				out = append(out, g)
+				if len(g) < minSize {
+					safe = false
+				}
+			} else {
+				out[smallestIntGroupIdx(out)] = append(out[smallestIntGroupIdx(out)], g...)
+				safe = false
+			}
+		}
+	}
+	return out, safe
+}
+
+// CheckBipartite verifies the (k,l) sizes, that the groups partition
+// their domains, and — when the grouping claims to be safe — the
+// safety condition: between any transaction group and item group there
+// is at most one edge per member on either side.
+func CheckBipartite(d *dataset.Dataset, g *BipartiteGroups, k, l int) error {
+	seenT := make(map[int]bool)
+	for _, grp := range g.TransGroups {
+		if len(grp) < k {
+			return fmt.Errorf("anon: transaction group of size %d < k=%d", len(grp), k)
+		}
+		for _, i := range grp {
+			if seenT[i] {
+				return fmt.Errorf("anon: transaction %d in two groups", i)
+			}
+			seenT[i] = true
+		}
+	}
+	if len(seenT) != len(d.Trans) {
+		return fmt.Errorf("anon: %d of %d transactions grouped", len(seenT), len(d.Trans))
+	}
+	used := make(map[int32]bool)
+	for _, t := range d.Trans {
+		for _, it := range t.Items {
+			used[it] = true
+		}
+	}
+	seenI := make(map[int32]bool)
+	for _, grp := range g.ItemGroups {
+		if len(grp) < l {
+			return fmt.Errorf("anon: item group of size %d < l=%d", len(grp), l)
+		}
+		for _, it := range grp {
+			if seenI[it] {
+				return fmt.Errorf("anon: item %d in two groups", it)
+			}
+			seenI[it] = true
+		}
+	}
+	for it := range used {
+		if !seenI[it] {
+			return fmt.Errorf("anon: used item %d not grouped", it)
+		}
+	}
+	if !g.Safe {
+		return nil
+	}
+	itemGroupOf := make(map[int32]int)
+	for gi, grp := range g.ItemGroups {
+		for _, it := range grp {
+			itemGroupOf[it] = gi
+		}
+	}
+	for tg, grp := range g.TransGroups {
+		// Transaction side: each transaction has <= 1 edge into any
+		// item group; item side: each item has <= 1 edge into this
+		// transaction group.
+		itemSeen := make(map[int32]int)
+		for _, i := range grp {
+			igSeen := make(map[int]bool)
+			for _, it := range d.Trans[i].Items {
+				ig := itemGroupOf[it]
+				if igSeen[ig] {
+					return fmt.Errorf("anon: transaction %d has two edges into item group %d", i, ig)
+				}
+				igSeen[ig] = true
+				if prev, ok := itemSeen[it]; ok {
+					return fmt.Errorf("anon: item %d linked to transactions %d and %d in group %d", it, prev, i, tg)
+				}
+				itemSeen[it] = i
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,213 @@
+package anon
+
+import (
+	"fmt"
+	"sort"
+
+	"licm/internal/dataset"
+	"licm/internal/hierarchy"
+)
+
+// KAnonymize applies transactional k-anonymity via top-down local
+// generalization [He & Naughton, VLDB 2009]: each transaction in the
+// output has at least k-1 others with exactly the same generalized
+// itemset. Local recoding means different partitions of the data may
+// specialize the hierarchy differently.
+//
+// The algorithm starts with every transaction generalized to the root
+// and recursively specializes: for the current partition (whose
+// members share an identical generalized representation by
+// construction), it picks the cut node covering the most leaves and
+// replaces it by its children; transactions then regroup by their new
+// representations. Groups still of size >= k recurse; transactions
+// falling into smaller groups are retained at the coarser
+// representation, topped up from the largest splinter groups when the
+// leftovers alone would break k.
+func KAnonymize(d *dataset.Dataset, h *hierarchy.Hierarchy, k int) (*Generalized, error) {
+	if err := validateInput(d, h, k); err != nil {
+		return nil, err
+	}
+	out := &Generalized{H: h, Trans: make([]GenTransaction, len(d.Trans))}
+	idx := make([]int, len(d.Trans))
+	for i := range idx {
+		idx[i] = i
+	}
+	rootCut := map[hierarchy.NodeID]bool{h.Root(): true}
+	specialize(d, h, k, idx, rootCut, out)
+	for i, t := range d.Trans {
+		out.Trans[i].ID = t.ID
+		out.Trans[i].Location = t.Location
+	}
+	return out, nil
+}
+
+// specialize recursively refines one partition. cut is the partition's
+// current generalization cut; every transaction in idx has the same
+// representation under it. On return, out.Trans[i].Nodes is final for
+// every i in idx.
+func specialize(d *dataset.Dataset, h *hierarchy.Hierarchy, k int, idx []int, cut map[hierarchy.NodeID]bool, out *Generalized) {
+	represent := func(i int) []hierarchy.NodeID {
+		seen := make(map[hierarchy.NodeID]bool)
+		var nodes []hierarchy.NodeID
+		for _, it := range d.Trans[i].Items {
+			n := hierarchy.NodeID(it)
+			for !cut[n] {
+				n = h.Parent(n)
+			}
+			if !seen[n] {
+				seen[n] = true
+				nodes = append(nodes, n)
+			}
+		}
+		sort.Slice(nodes, func(a, b int) bool { return nodes[a] < nodes[b] })
+		return nodes
+	}
+	finalize := func(members []int) {
+		for _, i := range members {
+			out.Trans[i].Nodes = represent(i)
+		}
+	}
+	// Pick the specialization candidate: the cut node with the most
+	// leaves that actually occurs in this partition's data.
+	occurs := make(map[hierarchy.NodeID]bool)
+	for _, i := range idx {
+		for _, it := range d.Trans[i].Items {
+			n := hierarchy.NodeID(it)
+			for !cut[n] {
+				n = h.Parent(n)
+			}
+			occurs[n] = true
+		}
+	}
+	var candidate hierarchy.NodeID = -1
+	best := 1 // only internal nodes (>= 2 leaves) are splittable
+	// Iterate candidates in sorted order: ties must break
+	// deterministically, not by map iteration order.
+	cands := make([]hierarchy.NodeID, 0, len(occurs))
+	for n := range occurs {
+		cands = append(cands, n)
+	}
+	sort.Slice(cands, func(a, b int) bool { return cands[a] < cands[b] })
+	for _, n := range cands {
+		if h.IsLeaf(n) {
+			continue
+		}
+		if c := h.CountLeavesUnder(n); c > best {
+			best, candidate = c, n
+		}
+	}
+	if candidate < 0 {
+		finalize(idx)
+		return
+	}
+	// Propose the refined cut.
+	newCut := make(map[hierarchy.NodeID]bool, len(cut)+4)
+	for n := range cut {
+		newCut[n] = true
+	}
+	delete(newCut, candidate)
+	for _, c := range h.Children(candidate) {
+		newCut[c] = true
+	}
+	// Regroup under the refined cut.
+	groups := make(map[string][]int)
+	var order []string
+	for _, i := range idx {
+		seen := make(map[hierarchy.NodeID]bool)
+		var nodes []hierarchy.NodeID
+		for _, it := range d.Trans[i].Items {
+			n := hierarchy.NodeID(it)
+			for !newCut[n] {
+				n = h.Parent(n)
+			}
+			if !seen[n] {
+				seen[n] = true
+				nodes = append(nodes, n)
+			}
+		}
+		sort.Slice(nodes, func(a, b int) bool { return nodes[a] < nodes[b] })
+		key := nodeSetKey(nodes)
+		if _, ok := groups[key]; !ok {
+			order = append(order, key)
+		}
+		groups[key] = append(groups[key], i)
+	}
+	if len(groups) == 1 {
+		// No discrimination gained but the representation still
+		// specializes (e.g. every member moves from {Alcohol} to
+		// {Beer}); recurse with the finer cut on the same partition.
+		specialize(d, h, k, idx, newCut, out)
+		return
+	}
+	// Keep groups of size >= k; collect the rest as leftovers staying
+	// at the coarser cut.
+	var leftovers []int
+	var viable [][]int
+	for _, key := range order {
+		g := groups[key]
+		if len(g) >= k {
+			viable = append(viable, g)
+		} else {
+			leftovers = append(leftovers, g...)
+		}
+	}
+	// If leftovers exist but are fewer than k, top them up by
+	// reclaiming whole splinter groups (members keep identical
+	// coarse representations, so k-anonymity is preserved).
+	sort.Slice(viable, func(a, b int) bool { return len(viable[a]) < len(viable[b]) })
+	for len(leftovers) > 0 && len(leftovers) < k && len(viable) > 0 {
+		g := viable[0]
+		viable = viable[1:]
+		leftovers = append(leftovers, g...)
+	}
+	if len(leftovers) > 0 && len(leftovers) < k {
+		// Cannot split at all; finalize the whole partition here.
+		finalize(idx)
+		return
+	}
+	if len(leftovers) > 0 {
+		finalize(leftovers)
+	}
+	for _, g := range viable {
+		specialize(d, h, k, g, newCut, out)
+	}
+}
+
+// CheckK verifies the k-anonymity guarantee: every generalized
+// itemset in the output is shared by at least k transactions.
+func CheckK(g *Generalized, k int) error {
+	counts := make(map[string]int)
+	for _, t := range g.Trans {
+		nodes := append([]hierarchy.NodeID(nil), t.Nodes...)
+		sort.Slice(nodes, func(a, b int) bool { return nodes[a] < nodes[b] })
+		counts[nodeSetKey(nodes)]++
+	}
+	for key, c := range counts {
+		if c < k {
+			return fmt.Errorf("anon: generalized itemset %v shared by %d < k=%d transactions", decodeKey(key), c, k)
+		}
+	}
+	return nil
+}
+
+// EquivalenceClasses groups transaction indices by identical
+// generalized itemsets. The bipartite grouping scheme reuses these as
+// its transaction groups, exactly as the paper's experiments do.
+func (g *Generalized) EquivalenceClasses() [][]int {
+	groups := make(map[string][]int)
+	var order []string
+	for i, t := range g.Trans {
+		nodes := append([]hierarchy.NodeID(nil), t.Nodes...)
+		sort.Slice(nodes, func(a, b int) bool { return nodes[a] < nodes[b] })
+		key := nodeSetKey(nodes)
+		if _, ok := groups[key]; !ok {
+			order = append(order, key)
+		}
+		groups[key] = append(groups[key], i)
+	}
+	out := make([][]int, 0, len(order))
+	for _, key := range order {
+		out = append(out, groups[key])
+	}
+	return out
+}

@@ -1,0 +1,190 @@
+package anon
+
+import (
+	"fmt"
+	"sort"
+
+	"licm/internal/dataset"
+	"licm/internal/hierarchy"
+)
+
+// KmAnonymize applies k^m-anonymity with global recoding [Terrovitis
+// et al., VLDB 2008]: in the output, every combination of at most m
+// (generalized) items that appears in some transaction appears in at
+// least k transactions. Global recoding means a single leaf→node
+// mapping applied across all transactions: once a generalized item g
+// is used, every descendant of g is replaced by g everywhere.
+//
+// The algorithm is a batched greedy ascent of the hierarchy: count the
+// support of every itemset of size <= m in the current recoding; for
+// every violating subset, schedule its least-supported node for
+// generalization to its parent; apply all scheduled generalizations at
+// once and repeat. It terminates because each round strictly raises at
+// least one node toward the root.
+func KmAnonymize(d *dataset.Dataset, h *hierarchy.Hierarchy, k, m int) (*Generalized, error) {
+	if err := validateInput(d, h, k); err != nil {
+		return nil, err
+	}
+	if m < 1 || m > 3 {
+		return nil, fmt.Errorf("anon: m must be in [1,3], got %d", m)
+	}
+	// The global recoding is a "cut" through the hierarchy: a set of
+	// active nodes covering every leaf. Each leaf maps to its lowest
+	// active ancestor. Lifting a cut node to its parent activates the
+	// parent and deactivates the parent's whole subtree, which is
+	// exactly the Terrovitis et al. rule that once a generalized item
+	// g is used, every descendant of g is replaced by g everywhere.
+	active := make([]bool, h.NumNodes())
+	for i := 0; i < h.NumLeaves(); i++ {
+		active[i] = true
+	}
+	leafCur := func(leaf int32) hierarchy.NodeID {
+		n := hierarchy.NodeID(leaf)
+		for !active[n] {
+			n = h.Parent(n)
+		}
+		return n
+	}
+	liftToParent := func(v hierarchy.NodeID) {
+		p := h.Parent(v)
+		if p < 0 {
+			return
+		}
+		// Deactivate the entire subtree of p, then activate p.
+		stack := []hierarchy.NodeID{p}
+		for len(stack) > 0 {
+			x := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			active[x] = false
+			stack = append(stack, h.Children(x)...)
+		}
+		active[p] = true
+	}
+	for round := 0; ; round++ {
+		if round > h.Height(h.Root())+2 {
+			return nil, fmt.Errorf("anon: k^m generalization did not converge (k=%d, m=%d)", k, m)
+		}
+		// Current generalized transactions.
+		mapping := make([]hierarchy.NodeID, h.NumLeaves())
+		for i := range mapping {
+			mapping[i] = leafCur(int32(i))
+		}
+		gts := make([][]hierarchy.NodeID, len(d.Trans))
+		for i, t := range d.Trans {
+			gts[i] = generalizeTransaction(t.Items, mapping)
+		}
+		support := countSubsetSupport(gts, m)
+		// Collect nodes to lift: for each violating subset, its
+		// least-supported member.
+		lift := make(map[hierarchy.NodeID]bool)
+		single := support[1]
+		for size := 1; size <= m; size++ {
+			for key, cnt := range support[size] {
+				if cnt >= k {
+					continue
+				}
+				nodes := decodeKey(key)
+				victim := nodes[0]
+				best := single[nodeSetKey([]hierarchy.NodeID{victim})]
+				for _, n := range nodes[1:] {
+					if s := single[nodeSetKey([]hierarchy.NodeID{n})]; s < best {
+						victim, best = n, s
+					}
+				}
+				if victim != h.Root() {
+					lift[victim] = true
+				} else if cnt < k {
+					// Even the fully generalized itemset is too rare;
+					// only possible when the dataset itself is tiny.
+					return nil, fmt.Errorf("anon: cannot reach k^m-anonymity (root itemset support %d < k=%d)", cnt, k)
+				}
+			}
+		}
+		if len(lift) == 0 {
+			out := &Generalized{H: h}
+			for i, t := range d.Trans {
+				out.Trans = append(out.Trans, GenTransaction{ID: t.ID, Location: t.Location, Nodes: gts[i]})
+			}
+			return out, nil
+		}
+		// Apply lifts in sorted order so batched rounds are
+		// deterministic (a lift can deactivate other scheduled nodes).
+		lifts := make([]hierarchy.NodeID, 0, len(lift))
+		for n := range lift {
+			lifts = append(lifts, n)
+		}
+		sort.Slice(lifts, func(a, b int) bool { return lifts[a] < lifts[b] })
+		for _, n := range lifts {
+			// A batched lift may have already generalized an ancestor
+			// of n this round; lifting n again would descend below the
+			// cut. Skip nodes that are no longer on the cut.
+			if !active[n] {
+				continue
+			}
+			liftToParent(n)
+		}
+	}
+}
+
+// countSubsetSupport counts, for each subset of size 1..m of each
+// generalized transaction, the number of transactions containing it.
+// The result is indexed by subset size.
+func countSubsetSupport(gts [][]hierarchy.NodeID, m int) []map[string]int {
+	support := make([]map[string]int, m+1)
+	for s := 1; s <= m; s++ {
+		support[s] = make(map[string]int)
+	}
+	for _, nodes := range gts {
+		for _, n := range nodes {
+			support[1][nodeSetKey([]hierarchy.NodeID{n})]++
+		}
+		if m >= 2 {
+			for i := 0; i < len(nodes); i++ {
+				for j := i + 1; j < len(nodes); j++ {
+					support[2][nodeSetKey([]hierarchy.NodeID{nodes[i], nodes[j]})]++
+				}
+			}
+		}
+		if m >= 3 {
+			for i := 0; i < len(nodes); i++ {
+				for j := i + 1; j < len(nodes); j++ {
+					for l := j + 1; l < len(nodes); l++ {
+						support[3][nodeSetKey([]hierarchy.NodeID{nodes[i], nodes[j], nodes[l]})]++
+					}
+				}
+			}
+		}
+	}
+	return support
+}
+
+// decodeKey reverses nodeSetKey.
+func decodeKey(key string) []hierarchy.NodeID {
+	b := []byte(key)
+	out := make([]hierarchy.NodeID, 0, len(b)/4)
+	for i := 0; i+3 < len(b); i += 4 {
+		out = append(out, hierarchy.NodeID(uint32(b[i])|uint32(b[i+1])<<8|uint32(b[i+2])<<16|uint32(b[i+3])<<24))
+	}
+	return out
+}
+
+// CheckKm verifies the k^m guarantee on an anonymized output: every
+// itemset of size <= m appearing in a transaction appears in >= k
+// transactions.
+func CheckKm(g *Generalized, k, m int) error {
+	gts := make([][]hierarchy.NodeID, len(g.Trans))
+	for i, t := range g.Trans {
+		nodes := append([]hierarchy.NodeID(nil), t.Nodes...)
+		sort.Slice(nodes, func(a, b int) bool { return nodes[a] < nodes[b] })
+		gts[i] = nodes
+	}
+	support := countSubsetSupport(gts, m)
+	for s := 1; s <= m; s++ {
+		for key, cnt := range support[s] {
+			if cnt < k {
+				return fmt.Errorf("anon: itemset %v has support %d < k=%d", decodeKey(key), cnt, k)
+			}
+		}
+	}
+	return nil
+}

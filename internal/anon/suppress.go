@@ -1,0 +1,107 @@
+package anon
+
+import (
+	"fmt"
+	"sort"
+
+	"licm/internal/dataset"
+)
+
+// Suppressed is the output of suppression-based anonymization in the
+// style of (h,k,p)-coherence [Xu et al., KDD 2008]: rare "private"
+// items are removed globally; each transaction publishes its kept
+// (public) items plus the count of items removed from it. Under
+// global suppression the removed items no longer appear anywhere, so
+// an adversary — and a query answerer — knows only that each
+// suppressed slot holds one of the globally suppressed candidates
+// (Appendix C).
+type Suppressed struct {
+	// Trans mirrors the source transactions.
+	Trans []SuppressedTransaction
+	// Candidates are the globally suppressed item ids: every
+	// suppressed slot holds a distinct item from this list.
+	Candidates []int32
+}
+
+// SuppressedTransaction is one anonymized transaction.
+type SuppressedTransaction struct {
+	ID            int32
+	Location      int64
+	Kept          []int32
+	NumSuppressed int
+}
+
+// SuppressAnonymize removes, globally, every item whose support is
+// below minSupport transactions (the "private, too identifying" items
+// of the coherence model). It errors if nothing would remain.
+func SuppressAnonymize(d *dataset.Dataset, minSupport int) (*Suppressed, error) {
+	if minSupport < 1 {
+		return nil, fmt.Errorf("anon: minSupport must be >= 1, got %d", minSupport)
+	}
+	if err := validateInput(d, nil, 1); err != nil {
+		return nil, err
+	}
+	freq := make(map[int32]int)
+	for _, t := range d.Trans {
+		for _, it := range t.Items {
+			freq[it]++
+		}
+	}
+	suppressed := make(map[int32]bool)
+	for it, f := range freq {
+		if f < minSupport {
+			suppressed[it] = true
+		}
+	}
+	out := &Suppressed{}
+	for it := range suppressed {
+		out.Candidates = append(out.Candidates, it)
+	}
+	sort.Slice(out.Candidates, func(a, b int) bool { return out.Candidates[a] < out.Candidates[b] })
+	kept := 0
+	for _, t := range d.Trans {
+		st := SuppressedTransaction{ID: t.ID, Location: t.Location}
+		for _, it := range t.Items {
+			if suppressed[it] {
+				st.NumSuppressed++
+			} else {
+				st.Kept = append(st.Kept, it)
+				kept++
+			}
+		}
+		out.Trans = append(out.Trans, st)
+	}
+	if kept == 0 {
+		return nil, fmt.Errorf("anon: minSupport %d suppresses every item occurrence", minSupport)
+	}
+	return out, nil
+}
+
+// CheckSuppressed verifies internal consistency: candidates appear in
+// no Kept list, per-transaction counts match the source dataset, and
+// suppressed counts never exceed the candidate pool.
+func CheckSuppressed(d *dataset.Dataset, s *Suppressed) error {
+	cand := make(map[int32]bool, len(s.Candidates))
+	for _, it := range s.Candidates {
+		cand[it] = true
+	}
+	if len(s.Trans) != len(d.Trans) {
+		return fmt.Errorf("anon: %d output transactions for %d inputs", len(s.Trans), len(d.Trans))
+	}
+	for i, st := range s.Trans {
+		for _, it := range st.Kept {
+			if cand[it] {
+				return fmt.Errorf("anon: transaction %d keeps suppressed item %d", st.ID, it)
+			}
+		}
+		if len(st.Kept)+st.NumSuppressed != len(d.Trans[i].Items) {
+			return fmt.Errorf("anon: transaction %d: %d kept + %d suppressed != %d original",
+				st.ID, len(st.Kept), st.NumSuppressed, len(d.Trans[i].Items))
+		}
+		if st.NumSuppressed > len(s.Candidates) {
+			return fmt.Errorf("anon: transaction %d suppresses %d items with only %d candidates",
+				st.ID, st.NumSuppressed, len(s.Candidates))
+		}
+	}
+	return nil
+}

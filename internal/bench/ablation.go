@@ -1,0 +1,133 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+	"time"
+
+	"licm/internal/core"
+	"licm/internal/mc"
+	"licm/internal/solver"
+)
+
+// AblationResult measures one solver variant on one cell.
+type AblationResult struct {
+	Variant  string
+	Min, Max int64
+	Proven   bool
+	Elapsed  time.Duration
+	Nodes    int64
+	LPSolves int64
+	// Pruned sizes (meaningful for the pruning ablation).
+	VarsPruned, ConsPruned int
+}
+
+// AblationSolver compares solver variants — pruning on/off,
+// decomposition on/off, LP bounding on/off — on the same query
+// instance (Query 2, k-anonymity, largest k). It quantifies the
+// design choices DESIGN.md calls out.
+func (cfg Config) AblationSolver(w io.Writer) ([]AblationResult, error) {
+	k := cfg.Ks[len(cfg.Ks)-1]
+	q := cfg.Queries()[1] // Query 2
+	variants := []struct {
+		name   string
+		mutate func(*solver.Options)
+	}{
+		{"baseline", func(*solver.Options) {}},
+		{"no-pruning", func(o *solver.Options) { o.Prune = false }},
+		{"no-decompose", func(o *solver.Options) { o.Decompose = false }},
+		{"no-lp", func(o *solver.Options) { o.UseLP = false }},
+	}
+	var out []AblationResult
+	for _, v := range variants {
+		enc, _, err := cfg.Encode(SchemeK, k)
+		if err != nil {
+			return out, err
+		}
+		rel, err := q.BuildLICM(enc)
+		if err != nil {
+			return out, err
+		}
+		opts := cfg.Solver
+		v.mutate(&opts)
+		start := time.Now()
+		res, err := core.CountBounds(enc.DB, rel, opts)
+		if err != nil {
+			return out, fmt.Errorf("bench: ablation %s: %w", v.name, err)
+		}
+		out = append(out, AblationResult{
+			Variant:    v.name,
+			Min:        res.Min,
+			Max:        res.Max,
+			Proven:     res.MinProven && res.MaxProven,
+			Elapsed:    time.Since(start),
+			Nodes:      res.Stats.Nodes,
+			LPSolves:   res.Stats.LPSolves,
+			VarsPruned: res.Stats.VarsAfterPrune,
+			ConsPruned: res.Stats.ConsAfterPrune,
+		})
+	}
+	fmt.Fprintf(w, "\nSolver ablation (%s, %s, k=%d)\n", q.Name(), SchemeK, k)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "variant\tmin\tmax\tproven\ttime(ms)\tnodes\tLP solves\tvars kept\tcons kept")
+	for _, r := range out {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%v\t%.1f\t%d\t%d\t%d\t%d\n",
+			r.Variant, r.Min, r.Max, r.Proven, ms(r.Elapsed), r.Nodes, r.LPSolves, r.VarsPruned, r.ConsPruned)
+	}
+	tw.Flush()
+	return out, nil
+}
+
+// MCSampleSweep reproduces the paper's observation that increasing the
+// MC sample count "does not significantly widen the observed range":
+// the MC range as a function of sample count, against the exact
+// bounds.
+type MCSampleSweep struct {
+	Samples int
+	MMin    int64
+	MMax    int64
+	LMin    int64
+	LMax    int64
+	Elapsed time.Duration
+}
+
+// AblationMCSamples sweeps the Monte-Carlo sample count on Query 1
+// under k-anonymity at the largest k.
+func (cfg Config) AblationMCSamples(w io.Writer, sampleCounts []int) ([]MCSampleSweep, error) {
+	k := cfg.Ks[len(cfg.Ks)-1]
+	q := cfg.Queries()[0]
+	enc, _, err := cfg.Encode(SchemeK, k)
+	if err != nil {
+		return nil, err
+	}
+	rel, err := q.BuildLICM(enc)
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.CountBounds(enc.DB, rel, cfg.Solver)
+	if err != nil {
+		return nil, err
+	}
+	var out []MCSampleSweep
+	for _, n := range sampleCounts {
+		start := time.Now()
+		sampler := mc.NewSampler(enc, cfg.Seed+200)
+		r := sampler.Run(q, n)
+		out = append(out, MCSampleSweep{
+			Samples: n,
+			MMin:    r.Min, MMax: r.Max,
+			LMin: res.Min, LMax: res.Max,
+			Elapsed: time.Since(start),
+		})
+	}
+	fmt.Fprintf(w, "\nMC sample-count sweep (%s, %s, k=%d); exact bounds [%d,%d]\n",
+		q.Name(), SchemeK, k, res.Min, res.Max)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "samples\tM_min\tM_max\ttime(ms)")
+	for _, r := range out {
+		fmt.Fprintf(tw, "%d\t%d\t%d\t%.1f\n", r.Samples, r.MMin, r.MMax, ms(r.Elapsed))
+	}
+	tw.Flush()
+	return out, nil
+}

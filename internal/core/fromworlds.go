@@ -1,0 +1,71 @@
+package core
+
+import (
+	"fmt"
+
+	"licm/internal/expr"
+)
+
+// FromWorlds is the completeness construction of Theorem 1: given a
+// finite set of database instances over a universe of tuples, it
+// builds an LICM database that defines exactly that set of possible
+// worlds.
+//
+// universe is the list of all tuples appearing in any world (their
+// values); worlds lists, per instance, the indices into universe of
+// the tuples present. The returned relation has one maybe-tuple per
+// universe tuple; the DB's constraints are the CNF of the worlds' DNF,
+// written as linear inequalities. As in the paper, the DNF→CNF
+// conversion enumerates assignments and is exponential in the number
+// of universe tuples; it is intended for small instances.
+func FromWorlds(name string, cols []string, universe [][]Value, worlds [][]int) (*DB, *Relation, error) {
+	n := len(universe)
+	if n > 20 {
+		return nil, nil, fmt.Errorf("core: FromWorlds universe too large (%d tuples)", n)
+	}
+	if len(worlds) == 0 {
+		return nil, nil, fmt.Errorf("core: FromWorlds needs at least one world")
+	}
+	allowed := make(map[uint32]bool, len(worlds))
+	for wi, w := range worlds {
+		var mask uint32
+		for _, ti := range w {
+			if ti < 0 || ti >= n {
+				return nil, nil, fmt.Errorf("core: world %d references tuple %d outside universe", wi, ti)
+			}
+			mask |= 1 << uint(ti)
+		}
+		allowed[mask] = true
+	}
+	db := NewDB()
+	rel := NewRelation(name, cols...)
+	vars := db.NewVars(n)
+	for i, vals := range universe {
+		if len(vals) != len(cols) {
+			return nil, nil, fmt.Errorf("core: universe tuple %d has %d values for %d columns", i, len(vals), len(cols))
+		}
+		rel.Insert(Maybe(vars[i]), vals...)
+	}
+	// For every assignment outside the allowed set, add the blocking
+	// clause  sum_{a_i=0} b_i + sum_{a_i=1} (1-b_i) >= 1, i.e. at
+	// least one variable must differ from the forbidden assignment.
+	for mask := uint32(0); mask < 1<<uint(n); mask++ {
+		if allowed[mask] {
+			continue
+		}
+		lin := expr.Lin{}
+		var ones int64
+		terms := make([]expr.Term, 0, n)
+		for i := 0; i < n; i++ {
+			if mask&(1<<uint(i)) != 0 {
+				terms = append(terms, expr.Term{Var: vars[i], Coef: -1})
+				ones++
+			} else {
+				terms = append(terms, expr.Term{Var: vars[i], Coef: 1})
+			}
+		}
+		lin = expr.NewLin(0, terms...)
+		db.Add(expr.NewConstraint(lin, expr.GE, 1-ones))
+	}
+	return db, rel, nil
+}

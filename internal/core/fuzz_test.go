@@ -1,0 +1,25 @@
+package core
+
+import "testing"
+
+// FuzzKeyUnambiguous checks that distinct value vectors never collide
+// under Key (join/grouping correctness depends on it).
+func FuzzKeyUnambiguous(f *testing.F) {
+	f.Add("a", int64(1), "b", int64(2))
+	f.Add("a|b", int64(0), "", int64(0))
+	f.Add("i1", int64(1), "s1:a", int64(11))
+	f.Fuzz(func(t *testing.T, s1 string, i1 int64, s2 string, i2 int64) {
+		a := []Value{StrVal(s1), IntVal(i1)}
+		b := []Value{StrVal(s2), IntVal(i2)}
+		if (s1 != s2 || i1 != i2) && Key(a) == Key(b) {
+			t.Fatalf("key collision: %v vs %v", a, b)
+		}
+		// Concatenation ambiguity: splitting content across fields
+		// differently must change the key.
+		c := []Value{StrVal(s1 + s2)}
+		d := []Value{StrVal(s1), StrVal(s2)}
+		if len(s1) > 0 && len(s2) > 0 && Key(c) == Key(d) {
+			t.Fatalf("concatenation ambiguity: %q vs %q,%q", s1+s2, s1, s2)
+		}
+	})
+}

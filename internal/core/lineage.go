@@ -1,0 +1,186 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"licm/internal/expr"
+)
+
+// Lineage is the provenance of a tuple's existence variable: the DAG
+// of lineage definitions from the variable down to the base
+// (input-uncertainty) variables it depends on. The paper's model
+// "does not need to express and extract lineage information
+// explicitly like in ULDBs — lineage is implicitly encoded in LICM
+// through addition of new variables and constraints"; this type makes
+// the implicit encoding traversable when a user asks *why* a result
+// tuple may or may not exist.
+type Lineage struct {
+	// Root is the variable whose lineage this is.
+	Root expr.Var
+	// Base lists the base variables Root transitively depends on, in
+	// increasing order.
+	Base []expr.Var
+	// Depth is the longest chain of operator applications from Root
+	// down to a base variable (0 for a base variable itself).
+	Depth int
+
+	db *DB
+}
+
+// Trace computes the lineage of a variable by walking the recorded
+// definitions down to base variables.
+func Trace(db *DB, v expr.Var) Lineage {
+	l := Lineage{Root: v, db: db}
+	seen := make(map[expr.Var]bool)
+	depth := map[expr.Var]int{}
+	var walk func(x expr.Var) int
+	walk = func(x expr.Var) int {
+		if d, ok := depth[x]; ok {
+			return d
+		}
+		def := db.Def(x)
+		if def.Kind == DefBase {
+			if !seen[x] {
+				seen[x] = true
+				l.Base = append(l.Base, x)
+			}
+			depth[x] = 0
+			return 0
+		}
+		max := 0
+		for _, a := range def.Args {
+			if d := walk(a); d > max {
+				max = d
+			}
+		}
+		depth[x] = max + 1
+		return max + 1
+	}
+	l.Depth = walk(v)
+	sort.Slice(l.Base, func(i, j int) bool { return l.Base[i] < l.Base[j] })
+	return l
+}
+
+// TraceExt is Trace for a tuple's Ext; certain tuples have empty
+// lineage.
+func TraceExt(db *DB, e Ext) Lineage {
+	if e.IsCertain() {
+		return Lineage{Root: -1}
+	}
+	return Trace(db, e.Var())
+}
+
+// DependsOn reports whether the traced variable depends on base
+// variable b.
+func (l Lineage) DependsOn(b expr.Var) bool {
+	i := sort.Search(len(l.Base), func(i int) bool { return l.Base[i] >= b })
+	return i < len(l.Base) && l.Base[i] == b
+}
+
+// String renders the lineage as a nested boolean formula over base
+// variables, e.g. "b7 := OR(AND(b0, b2), b3)". Shared subtrees are
+// expanded at each occurrence; use Base for the support set.
+func (l Lineage) String() string {
+	if l.Root < 0 {
+		return "1"
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "b%d := ", l.Root)
+	l.render(&sb, l.Root, 0)
+	return sb.String()
+}
+
+const lineageRenderDepthCap = 12
+
+func (l Lineage) render(sb *strings.Builder, v expr.Var, depth int) {
+	def := l.db.Def(v)
+	if def.Kind == DefBase {
+		fmt.Fprintf(sb, "b%d", v)
+		return
+	}
+	if depth > lineageRenderDepthCap {
+		fmt.Fprintf(sb, "b%d{...}", v)
+		return
+	}
+	switch def.Kind {
+	case DefAnd:
+		sb.WriteString("AND(")
+	case DefOr:
+		sb.WriteString("OR(")
+	case DefCountLE:
+		fmt.Fprintf(sb, "COUNT<=%d[+%d](", def.D, def.N)
+	case DefCountGE:
+		fmt.Fprintf(sb, "COUNT>=%d[+%d](", def.D, def.N)
+	}
+	for i, a := range def.Args {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		l.render(sb, a, depth+1)
+	}
+	sb.WriteString(")")
+}
+
+// Explain evaluates the lineage under a world and reports, level by
+// level, why the root holds or not: for each definition node on a
+// satisfying (or refuting) path, one human-readable line.
+func (l Lineage) Explain(assign []uint8) []string {
+	if l.Root < 0 {
+		return []string{"tuple is certain: it exists in every world"}
+	}
+	var out []string
+	var walk func(v expr.Var, indent string)
+	walk = func(v expr.Var, indent string) {
+		def := l.db.Def(v)
+		val := assign[v]
+		switch def.Kind {
+		case DefBase:
+			out = append(out, fmt.Sprintf("%sbase b%d = %d", indent, v, val))
+		case DefAnd:
+			out = append(out, fmt.Sprintf("%sb%d = %d (AND of %d inputs)", indent, v, val, len(def.Args)))
+			if val == 1 {
+				for _, a := range def.Args {
+					walk(a, indent+"  ")
+				}
+			} else {
+				// show one refuting input
+				for _, a := range def.Args {
+					if assign[a] == 0 {
+						walk(a, indent+"  ")
+						break
+					}
+				}
+			}
+		case DefOr:
+			out = append(out, fmt.Sprintf("%sb%d = %d (OR of %d alternatives)", indent, v, val, len(def.Args)))
+			if val == 1 {
+				for _, a := range def.Args {
+					if assign[a] == 1 {
+						walk(a, indent+"  ")
+						break
+					}
+				}
+			} else {
+				for _, a := range def.Args {
+					walk(a, indent+"  ")
+				}
+			}
+		case DefCountLE, DefCountGE:
+			cnt := def.N
+			for _, a := range def.Args {
+				if assign[a] == 1 {
+					cnt++
+				}
+			}
+			sym := "<="
+			if def.Kind == DefCountGE {
+				sym = ">="
+			}
+			out = append(out, fmt.Sprintf("%sb%d = %d (count %d %s %d)", indent, v, val, cnt, sym, def.D))
+		}
+	}
+	walk(l.Root, "")
+	return out
+}

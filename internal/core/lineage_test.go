@@ -1,0 +1,145 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"licm/internal/expr"
+)
+
+func TestTraceBaseVar(t *testing.T) {
+	db := NewDB()
+	v := db.NewVar()
+	l := Trace(db, v)
+	if l.Depth != 0 || len(l.Base) != 1 || l.Base[0] != v {
+		t.Fatalf("lineage = %+v", l)
+	}
+	if got := l.String(); got != "b0 := b0" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestTraceAndOrChain(t *testing.T) {
+	db := NewDB()
+	a, b, c := db.NewVar(), db.NewVar(), db.NewVar()
+	and := db.And(Maybe(a), Maybe(b))
+	or := db.Or(and, Maybe(c))
+	l := Trace(db, or.Var())
+	if l.Depth != 2 {
+		t.Errorf("depth = %d, want 2", l.Depth)
+	}
+	if len(l.Base) != 3 {
+		t.Errorf("base = %v, want 3 vars", l.Base)
+	}
+	if !l.DependsOn(a) || !l.DependsOn(b) || !l.DependsOn(c) {
+		t.Error("DependsOn missing base vars")
+	}
+	if l.DependsOn(or.Var()) {
+		t.Error("root is not a base dependency")
+	}
+	s := l.String()
+	if !strings.Contains(s, "OR(AND(b0, b1), b2)") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestTraceCountDef(t *testing.T) {
+	db := NewDB()
+	r := NewRelation("R", "G", "X")
+	vs := db.NewVars(3)
+	for i, v := range vs {
+		r.Insert(Maybe(v), IntVal(1), IntVal(int64(i)))
+	}
+	r.Insert(Certain, IntVal(1), IntVal(99))
+	out := CountPredicate(db, r, []string{"G"}, CountGE, 3)
+	if out.Len() != 1 {
+		t.Fatalf("out: %v", out)
+	}
+	l := TraceExt(db, out.Tuples[0].Ext)
+	if len(l.Base) != 3 {
+		t.Errorf("base = %v", l.Base)
+	}
+	if !strings.Contains(l.String(), "COUNT>=3[+1](") {
+		t.Errorf("String = %q", l.String())
+	}
+}
+
+func TestTraceExtCertain(t *testing.T) {
+	db := NewDB()
+	l := TraceExt(db, Certain)
+	if l.String() != "1" {
+		t.Errorf("certain lineage = %q", l.String())
+	}
+	exp := l.Explain(nil)
+	if len(exp) != 1 || !strings.Contains(exp[0], "certain") {
+		t.Errorf("Explain = %v", exp)
+	}
+}
+
+func TestExplainPaths(t *testing.T) {
+	db := NewDB()
+	a, b := db.NewVar(), db.NewVar()
+	or := db.Or(db.And(Maybe(a), Maybe(b)), Maybe(a))
+	l := Trace(db, or.Var())
+
+	assign := make([]uint8, db.NumVars())
+	assign[a] = 1
+	db.Extend(assign)
+	lines := l.Explain(assign)
+	if len(lines) == 0 || !strings.Contains(lines[0], "= 1 (OR") {
+		t.Errorf("Explain(true) = %v", lines)
+	}
+
+	assign = make([]uint8, db.NumVars())
+	db.Extend(assign)
+	lines = l.Explain(assign)
+	if len(lines) == 0 || !strings.Contains(lines[0], "= 0 (OR") {
+		t.Errorf("Explain(false) = %v", lines)
+	}
+	// A false OR must explain every alternative.
+	joined := strings.Join(lines, "\n")
+	if !strings.Contains(joined, "AND") {
+		t.Errorf("false OR should recurse into alternatives: %v", lines)
+	}
+}
+
+func TestExplainCountNode(t *testing.T) {
+	db := NewDB()
+	vs := db.NewVars(2)
+	r := NewRelation("R", "G", "X")
+	for i, v := range vs {
+		r.Insert(Maybe(v), IntVal(1), IntVal(int64(i)))
+	}
+	out := CountPredicate(db, r, []string{"G"}, CountLE, 1)
+	l := TraceExt(db, out.Tuples[0].Ext)
+	assign := make([]uint8, db.NumVars())
+	assign[vs[0]] = 1
+	db.Extend(assign)
+	lines := l.Explain(assign)
+	found := false
+	for _, ln := range lines {
+		if strings.Contains(ln, "count 1") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("Explain should show the count: %v", lines)
+	}
+}
+
+func TestTraceDeepChainRenderCap(t *testing.T) {
+	db := NewDB()
+	cur := Maybe(db.NewVar())
+	for i := 0; i < 20; i++ {
+		cur = db.And(cur, Maybe(db.NewVar()))
+	}
+	l := Trace(db, cur.Var())
+	if l.Depth != 20 {
+		t.Errorf("depth = %d", l.Depth)
+	}
+	if !strings.Contains(l.String(), "{...}") {
+		t.Error("deep lineage should be elided in rendering")
+	}
+}
+
+var _ = expr.Var(0)

@@ -1,0 +1,223 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"licm/internal/core"
+	"licm/internal/expr"
+	"licm/internal/solver"
+)
+
+func TestMinMaxSimple(t *testing.T) {
+	db := core.NewDB()
+	r := core.NewRelation("R", "X")
+	a, b := db.NewVar(), db.NewVar()
+	r.Insert(core.Maybe(a), core.IntVal(10))
+	r.Insert(core.Maybe(b), core.IntVal(20))
+	r.Insert(core.Certain, core.IntVal(30))
+	opts := solver.DefaultOptions()
+
+	min, err := core.MinBounds(db, r, "X", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// MIN ranges from 10 (a present) to 30 (both maybes absent).
+	if min.Lo != 10 || min.Hi != 30 {
+		t.Fatalf("MIN bounds = [%d,%d], want [10,30]", min.Lo, min.Hi)
+	}
+	if min.CanBeEmpty {
+		t.Error("relation has a certain tuple; cannot be empty")
+	}
+	max, err := core.MaxBounds(db, r, "X", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// MAX is always 30: the certain tuple dominates.
+	if max.Lo != 30 || max.Hi != 30 {
+		t.Fatalf("MAX bounds = [%d,%d], want [30,30]", max.Lo, max.Hi)
+	}
+}
+
+func TestMinMaxWithConstraints(t *testing.T) {
+	// Mutual exclusion: exactly one of value-10 or value-20 exists.
+	db := core.NewDB()
+	r := core.NewRelation("R", "X")
+	a, b := db.NewVar(), db.NewVar()
+	db.AddMutex(a, b)
+	r.Insert(core.Maybe(a), core.IntVal(10))
+	r.Insert(core.Maybe(b), core.IntVal(20))
+	opts := solver.DefaultOptions()
+
+	min, err := core.MinBounds(db, r, "X", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if min.Lo != 10 || min.Hi != 20 {
+		t.Fatalf("MIN bounds = [%d,%d], want [10,20]", min.Lo, min.Hi)
+	}
+	if min.CanBeEmpty {
+		t.Error("mutex keeps exactly one tuple; cannot be empty")
+	}
+	max, err := core.MaxBounds(db, r, "X", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if max.Lo != 10 || max.Hi != 20 {
+		t.Fatalf("MAX bounds = [%d,%d], want [10,20]", max.Lo, max.Hi)
+	}
+}
+
+func TestMinMaxForcedPair(t *testing.T) {
+	// Co-existence: both or neither; a certain backstop at 50.
+	db := core.NewDB()
+	r := core.NewRelation("R", "X")
+	a, b := db.NewVar(), db.NewVar()
+	db.AddCoexist(a, b)
+	r.Insert(core.Maybe(a), core.IntVal(5))
+	r.Insert(core.Maybe(b), core.IntVal(40))
+	r.Insert(core.Certain, core.IntVal(50))
+	opts := solver.DefaultOptions()
+
+	min, err := core.MinBounds(db, r, "X", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Worlds: {50} or {5,40,50}: MIN is 50 or 5 — never 40.
+	if min.Lo != 5 || min.Hi != 50 {
+		t.Fatalf("MIN bounds = [%d,%d], want [5,50]", min.Lo, min.Hi)
+	}
+	max, err := core.MaxBounds(db, r, "X", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if max.Lo != 50 || max.Hi != 50 {
+		t.Fatalf("MAX bounds = [%d,%d], want [50,50]", max.Lo, max.Hi)
+	}
+}
+
+func TestMinMaxEmptiness(t *testing.T) {
+	db := core.NewDB()
+	r := core.NewRelation("R", "X")
+	a := db.NewVar()
+	r.Insert(core.Maybe(a), core.IntVal(1))
+	opts := solver.DefaultOptions()
+	min, err := core.MinBounds(db, r, "X", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !min.CanBeEmpty {
+		t.Error("single unconstrained maybe-tuple: empty world exists")
+	}
+	// Now force it to exist.
+	db2 := core.NewDB()
+	r2 := core.NewRelation("R", "X")
+	b := db2.NewVar()
+	db2.AddCardinality([]expr.Var{b}, 1, -1)
+	r2.Insert(core.Maybe(b), core.IntVal(1))
+	min2, err := core.MinBounds(db2, r2, "X", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if min2.CanBeEmpty {
+		t.Error("forced tuple: no empty world")
+	}
+}
+
+func TestMinMaxErrors(t *testing.T) {
+	db := core.NewDB()
+	r := core.NewRelation("R", "X")
+	opts := solver.DefaultOptions()
+	if _, err := core.MinBounds(db, r, "Nope", opts); err == nil {
+		t.Error("want unknown-column error")
+	}
+	if _, err := core.MinBounds(db, r, "X", opts); err == nil {
+		t.Error("want empty-relation error")
+	}
+	r.Insert(core.Certain, core.IntVal(1))
+	r2 := core.NewRelation("S", "X")
+	r2.Insert(core.Certain, core.StrVal("a"))
+	if _, err := core.MinBounds(db, r2, "X", opts); err == nil {
+		t.Error("want non-numeric error")
+	}
+}
+
+// TestMinMaxAgainstEnumeration cross-checks against exhaustive world
+// enumeration on random small instances.
+func TestMinMaxAgainstEnumeration(t *testing.T) {
+	r := rand.New(rand.NewSource(43))
+	opts := solver.DefaultOptions()
+	for trial := 0; trial < 80; trial++ {
+		db := core.NewDB()
+		rel := core.NewRelation("R", "X")
+		n := 2 + r.Intn(5)
+		for i := 0; i < n; i++ {
+			val := core.IntVal(int64(r.Intn(5)))
+			if r.Intn(5) == 0 {
+				rel.Insert(core.Certain, val)
+			} else {
+				rel.Insert(core.Maybe(db.NewVar()), val)
+			}
+		}
+		// A random loose cardinality constraint.
+		base := db.BaseVars()
+		if len(base) > 1 && r.Intn(2) == 0 {
+			db.AddCardinality(base, 1, len(base)-1+r.Intn(2))
+		}
+		worlds := db.EnumWorlds()
+		wantMinLo, wantMinHi := int64(1<<62), int64(-1<<62)
+		wantMaxLo, wantMaxHi := int64(1<<62), int64(-1<<62)
+		canBeEmpty := false
+		nonEmpty := 0
+		for _, w := range worlds {
+			rows := core.Instantiate(rel, w)
+			if len(rows) == 0 {
+				canBeEmpty = true
+				continue
+			}
+			nonEmpty++
+			mn, mx := int64(1<<62), int64(-1<<62)
+			for _, row := range rows {
+				v := row[0].Int()
+				if v < mn {
+					mn = v
+				}
+				if v > mx {
+					mx = v
+				}
+			}
+			if mn < wantMinLo {
+				wantMinLo = mn
+			}
+			if mn > wantMinHi {
+				wantMinHi = mn
+			}
+			if mx < wantMaxLo {
+				wantMaxLo = mx
+			}
+			if mx > wantMaxHi {
+				wantMaxHi = mx
+			}
+		}
+		if len(worlds) == 0 || nonEmpty == 0 {
+			continue
+		}
+		min, err := core.MinBounds(db, rel, "X", opts)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		max, err := core.MaxBounds(db, rel, "X", opts)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if min.Lo != wantMinLo || min.Hi != wantMinHi {
+			t.Fatalf("trial %d: MIN [%d,%d], enumeration [%d,%d]", trial, min.Lo, min.Hi, wantMinLo, wantMinHi)
+		}
+		if max.Lo != wantMaxLo || max.Hi != wantMaxHi {
+			t.Fatalf("trial %d: MAX [%d,%d], enumeration [%d,%d]", trial, max.Lo, max.Hi, wantMaxLo, wantMaxHi)
+		}
+		if min.CanBeEmpty != canBeEmpty {
+			t.Fatalf("trial %d: CanBeEmpty = %v, enumeration %v", trial, min.CanBeEmpty, canBeEmpty)
+		}
+	}
+}

@@ -1,0 +1,361 @@
+package core
+
+import (
+	"fmt"
+
+	"licm/internal/expr"
+)
+
+// Select implements the selection operator σ: the output contains the
+// tuples satisfying the predicate, with Ext and the constraint store
+// unchanged (Section IV-B). Constraints that become irrelevant are
+// left in place; reachability pruning removes them before solving.
+// The predicate may only reference normal attributes, never Ext.
+func Select(r *Relation, pred func(Row) bool) *Relation {
+	out := NewRelation("σ("+r.Name+")", r.Cols...)
+	for i := range r.Tuples {
+		if pred(r.RowAt(i)) {
+			out.Tuples = append(out.Tuples, r.Tuples[i])
+		}
+	}
+	return out
+}
+
+// Project implements the projection operator π with set semantics
+// (Algorithm 1): for each distinct value of the kept columns, the
+// output tuple is certain if any matching input tuple is certain, and
+// otherwise a maybe-tuple whose variable is the OR of the matching
+// input variables (with the single-tuple optimization of Example 7:
+// a unique maybe-tuple keeps its own variable).
+func Project(db *DB, r *Relation, cols ...string) *Relation {
+	idx := make([]int, len(cols))
+	for i, c := range cols {
+		idx[i] = r.colIndex(c)
+	}
+	out := NewRelation("π("+r.Name+")", cols...)
+	groups := make(map[string][]Ext)
+	var order []string
+	rows := make(map[string][]Value)
+	buf := make([]Value, len(cols))
+	for _, t := range r.Tuples {
+		for i, j := range idx {
+			buf[i] = t.Vals[j]
+		}
+		k := rowKey(buf)
+		if _, ok := groups[k]; !ok {
+			order = append(order, k)
+			rows[k] = append([]Value(nil), buf...)
+		}
+		groups[k] = append(groups[k], t.Ext)
+	}
+	for _, k := range order {
+		out.Tuples = append(out.Tuples, Tuple{Vals: rows[k], Ext: db.Or(groups[k]...)})
+	}
+	return out
+}
+
+// dedupe merges exact-duplicate tuples (same values on all columns)
+// via OR lineage, restoring set semantics. Operators that match
+// tuples pairwise (Intersect, CountPredicate) rely on it.
+func dedupe(db *DB, r *Relation) *Relation {
+	return projectRenamed(db, r, r.Name, r.Cols)
+}
+
+// projectRenamed is Project with an explicit output name and the full
+// column set preserved.
+func projectRenamed(db *DB, r *Relation, name string, cols []string) *Relation {
+	out := Project(db, r, cols...)
+	out.Name = name
+	return out
+}
+
+// Intersect implements the intersection operator ∩ (Algorithm 2).
+// Schemas must be identical. A tuple is in the result iff it is in
+// both inputs; when both sides are maybe-tuples a new lineage variable
+// b with b = b_i AND b_j is created (Example 6).
+func Intersect(db *DB, r1, r2 *Relation) (*Relation, error) {
+	if len(r1.Cols) != len(r2.Cols) {
+		return nil, fmt.Errorf("core: intersect schema mismatch: %v vs %v", r1.Cols, r2.Cols)
+	}
+	for i := range r1.Cols {
+		if r1.Cols[i] != r2.Cols[i] {
+			return nil, fmt.Errorf("core: intersect schema mismatch: %v vs %v", r1.Cols, r2.Cols)
+		}
+	}
+	a := dedupe(db, r1)
+	b := dedupe(db, r2)
+	byKey := make(map[string]Ext, len(b.Tuples))
+	for _, t := range b.Tuples {
+		byKey[rowKey(t.Vals)] = t.Ext
+	}
+	out := NewRelation(r1.Name+"∩"+r2.Name, r1.Cols...)
+	for _, t := range a.Tuples {
+		e2, ok := byKey[rowKey(t.Vals)]
+		if !ok {
+			continue
+		}
+		out.Tuples = append(out.Tuples, Tuple{Vals: t.Vals, Ext: db.And(t.Ext, e2)})
+	}
+	return out, nil
+}
+
+// Union implements set union ∪: a tuple is in the result iff it is in
+// either input. The lineage is the dual of Intersect's: where both
+// sides hold a maybe-tuple with the same values, the output variable
+// is the OR of the two. (The paper develops the conjunctive fragment;
+// union preserves LICM's closure the same way projection does, via OR
+// lineage, and is provided for completeness.)
+func Union(db *DB, r1, r2 *Relation) (*Relation, error) {
+	if len(r1.Cols) != len(r2.Cols) {
+		return nil, fmt.Errorf("core: union schema mismatch: %v vs %v", r1.Cols, r2.Cols)
+	}
+	for i := range r1.Cols {
+		if r1.Cols[i] != r2.Cols[i] {
+			return nil, fmt.Errorf("core: union schema mismatch: %v vs %v", r1.Cols, r2.Cols)
+		}
+	}
+	a := dedupe(db, r1)
+	b := dedupe(db, r2)
+	out := NewRelation(r1.Name+"∪"+r2.Name, r1.Cols...)
+	second := make(map[string]Ext, len(b.Tuples))
+	order := make([]string, 0, len(b.Tuples))
+	for _, t := range b.Tuples {
+		k := rowKey(t.Vals)
+		second[k] = t.Ext
+		order = append(order, k)
+	}
+	matched := make(map[string]bool)
+	for _, t := range a.Tuples {
+		k := rowKey(t.Vals)
+		if e2, ok := second[k]; ok {
+			matched[k] = true
+			out.Tuples = append(out.Tuples, Tuple{Vals: t.Vals, Ext: db.Or(t.Ext, e2)})
+			continue
+		}
+		out.Tuples = append(out.Tuples, t)
+	}
+	for i, t := range b.Tuples {
+		if !matched[order[i]] {
+			out.Tuples = append(out.Tuples, t)
+		}
+	}
+	return out, nil
+}
+
+// Product implements the Cartesian product × (Algorithm 3): the
+// combined tuple exists iff both inputs exist, so its Ext is the AND
+// of the input Ext values (sharing a variable when one side is
+// certain, creating a lineage variable when both are maybe).
+func Product(db *DB, r1, r2 *Relation) *Relation {
+	cols := make([]string, 0, len(r1.Cols)+len(r2.Cols))
+	for _, c := range r1.Cols {
+		cols = append(cols, r1.Name+"."+c)
+	}
+	for _, c := range r2.Cols {
+		cols = append(cols, r2.Name+"."+c)
+	}
+	out := NewRelation(r1.Name+"×"+r2.Name, cols...)
+	for _, t1 := range r1.Tuples {
+		for _, t2 := range r2.Tuples {
+			vals := make([]Value, 0, len(t1.Vals)+len(t2.Vals))
+			vals = append(vals, t1.Vals...)
+			vals = append(vals, t2.Vals...)
+			out.Tuples = append(out.Tuples, Tuple{Vals: vals, Ext: db.And(t1.Ext, t2.Ext)})
+		}
+	}
+	return out
+}
+
+// Join implements the natural equijoin on the named columns. The
+// paper builds join from product, selection and projection; this is
+// that composition fused into one pass (a hash join) so that no
+// lineage variables are created for pairs that fail the join
+// predicate. The output schema is r1's columns followed by r2's
+// non-join columns.
+func Join(db *DB, r1, r2 *Relation, on ...string) *Relation {
+	if len(on) == 0 {
+		panic("core: Join requires at least one join column")
+	}
+	idx1 := make([]int, len(on))
+	idx2 := make([]int, len(on))
+	for i, c := range on {
+		idx1[i] = r1.colIndex(c)
+		idx2[i] = r2.colIndex(c)
+	}
+	keep2 := make([]int, 0, len(r2.Cols))
+	var cols []string
+	cols = append(cols, r1.Cols...)
+	for j, c := range r2.Cols {
+		joinCol := false
+		for _, oc := range on {
+			if c == oc {
+				joinCol = true
+				break
+			}
+		}
+		if !joinCol {
+			keep2 = append(keep2, j)
+			cols = append(cols, c)
+		}
+	}
+	out := NewRelation(r1.Name+"⋈"+r2.Name, cols...)
+	buckets := make(map[string][]*Tuple)
+	buf := make([]Value, len(on))
+	for i := range r2.Tuples {
+		t := &r2.Tuples[i]
+		for k, j := range idx2 {
+			buf[k] = t.Vals[j]
+		}
+		key := rowKey(buf)
+		buckets[key] = append(buckets[key], t)
+	}
+	for i := range r1.Tuples {
+		t1 := &r1.Tuples[i]
+		for k, j := range idx1 {
+			buf[k] = t1.Vals[j]
+		}
+		for _, t2 := range buckets[rowKey(buf)] {
+			vals := make([]Value, 0, len(cols))
+			vals = append(vals, t1.Vals...)
+			for _, j := range keep2 {
+				vals = append(vals, t2.Vals[j])
+			}
+			out.Tuples = append(out.Tuples, Tuple{Vals: vals, Ext: db.And(t1.Ext, t2.Ext)})
+		}
+	}
+	return out
+}
+
+// CmpOp is the comparison of a count predicate.
+type CmpOp uint8
+
+// Count predicate comparisons (Algorithm 4 handles <= and >=; = is
+// their conjunction and > / < reduce to >= d+1 / <= d-1).
+const (
+	CountLE CmpOp = iota
+	CountGE
+)
+
+// CountPredicate implements the intermediate COUNT operator with an
+// attached selection, COUNT θ d, grouped by the given columns
+// (Algorithm 4 and Example 8). For each group with m maybe-tuples and
+// n certain tuples it emits:
+//
+//   - a certain tuple when the predicate holds in every world,
+//   - nothing when it holds in no world,
+//   - otherwise a maybe-tuple with a fresh variable b constrained so
+//     that b = 1 iff the group's count satisfies the predicate.
+//
+// Input duplicates are merged first (set semantics).
+//
+// Deviation from the literal Algorithm 4: a group appears in the
+// output of a GROUP BY only in worlds where it is non-empty, so the
+// existence condition here is (count >= 1 AND count θ d) rather than
+// just (count θ d). The paper's m+n <= d case would emit a certain
+// tuple for a group that can be empty, breaking its own claim that
+// "any instantiation of the result table provides the answer to the
+// query for the corresponding instantiation of the base table(s)".
+// For COUNT >= d with d >= 1 — the only form the paper's evaluation
+// uses — the two definitions coincide.
+func CountPredicate(db *DB, r *Relation, groupCols []string, op CmpOp, d int) *Relation {
+	rr := dedupe(db, r)
+	idx := make([]int, len(groupCols))
+	for i, c := range groupCols {
+		idx[i] = rr.colIndex(c)
+	}
+	type group struct {
+		vals    []Value
+		certain int
+		maybes  []Ext
+	}
+	groups := make(map[string]*group)
+	var order []string
+	buf := make([]Value, len(groupCols))
+	for _, t := range rr.Tuples {
+		for i, j := range idx {
+			buf[i] = t.Vals[j]
+		}
+		k := rowKey(buf)
+		g, ok := groups[k]
+		if !ok {
+			g = &group{vals: append([]Value(nil), buf...)}
+			groups[k] = g
+			order = append(order, k)
+		}
+		if t.Ext.IsCertain() {
+			g.certain++
+		} else {
+			g.maybes = append(g.maybes, t.Ext)
+		}
+	}
+	out := NewRelation(fmt.Sprintf("count%s%d(%s)", cmpSym(op), d, r.Name), groupCols...)
+	for _, k := range order {
+		g := groups[k]
+		m, n := len(g.maybes), g.certain
+		args := make([]Ext, len(g.maybes))
+		copy(args, g.maybes)
+		switch op {
+		case CountLE:
+			switch {
+			case d < 1 || n > d:
+				// No world has 1 <= count <= d for this group.
+			case n >= 1 && m+n <= d:
+				out.Tuples = append(out.Tuples, Tuple{Vals: g.vals, Ext: Certain})
+			case n >= 1:
+				// count >= n >= 1 always; only the upper side matters.
+				out.Tuples = append(out.Tuples, Tuple{Vals: g.vals, Ext: db.countVar(DefCountLE, args, n, d)})
+			case m <= d:
+				// n == 0 and the count can never exceed d: the group
+				// exists iff it is non-empty.
+				out.Tuples = append(out.Tuples, Tuple{Vals: g.vals, Ext: db.Or(args...)})
+			default:
+				// n == 0, m > d: exists iff 1 <= count <= d.
+				nonEmpty := db.Or(args...)
+				within := db.countVar(DefCountLE, args, 0, d)
+				out.Tuples = append(out.Tuples, Tuple{Vals: g.vals, Ext: db.And(nonEmpty, within)})
+			}
+		case CountGE:
+			dd := d
+			if dd < 1 {
+				dd = 1 // an output group is non-empty in any case
+			}
+			switch {
+			case n >= dd:
+				out.Tuples = append(out.Tuples, Tuple{Vals: g.vals, Ext: Certain})
+			case m+n >= dd:
+				out.Tuples = append(out.Tuples, Tuple{Vals: g.vals, Ext: db.countVar(DefCountGE, args, n, dd)})
+			default: // m+n < d: predicate fails in every world
+			}
+		}
+	}
+	return out
+}
+
+func cmpSym(op CmpOp) string {
+	if op == CountLE {
+		return "<="
+	}
+	return ">="
+}
+
+// countVar creates the count-predicate lineage variable for a group.
+// Degenerate cases that Algorithm 4's guards leave behind (d-n == 0
+// for >=, or d-n == m for <=) still produce correct constraints, but
+// when the predicate reduces to OR/AND of the group the cheaper
+// encodings are used.
+func (db *DB) countVar(kind DefKind, maybes []Ext, n, d int) Ext {
+	m := len(maybes)
+	if kind == DefCountGE && d-n == 1 {
+		// "at least one more": plain OR.
+		return db.Or(maybes...)
+	}
+	if kind == DefCountGE && d-n == m {
+		// "all of them": plain AND.
+		return db.And(maybes...)
+	}
+	vars := make([]expr.Var, 0, m)
+	for _, e := range maybes {
+		vars = append(vars, e.Var())
+	}
+	return Maybe(db.newDerived(Def{Kind: kind, Args: vars, N: n, D: d}))
+}

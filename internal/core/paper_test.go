@@ -1,0 +1,391 @@
+package core_test
+
+// Tests reproducing the worked examples and figures from the paper
+// (Figures 2-4, Examples 1-8).
+
+import (
+	"testing"
+
+	"licm/internal/core"
+	"licm/internal/expr"
+	"licm/internal/solver"
+)
+
+// fig2c builds the LICM encoding of transaction T1 from Figure 2(c):
+// {Alcohol, Shampoo} with Alcohol generalizing {Beer, Wine, Liquor}.
+func fig2c() (*core.DB, *core.Relation, []expr.Var) {
+	db := core.NewDB()
+	r := core.NewRelation("TransItem", "TID", "ItemName")
+	bs := db.NewVars(3)
+	r.Insert(core.Maybe(bs[0]), StrT1, core.StrVal("Beer"))
+	r.Insert(core.Maybe(bs[1]), StrT1, core.StrVal("Wine"))
+	r.Insert(core.Maybe(bs[2]), StrT1, core.StrVal("Liquor"))
+	r.Insert(core.Certain, StrT1, core.StrVal("Shampoo"))
+	db.AddCardinality(bs, 1, -1) // b1 + b2 + b3 >= 1
+	return db, r, bs
+}
+
+var StrT1 = core.StrVal("T1")
+
+func TestFig2cWorldCount(t *testing.T) {
+	db, _, _ := fig2c()
+	// Non-empty subsets of {Beer,Wine,Liquor}: 7 worlds, exactly the
+	// U-relation enumeration of Figure 1.
+	if got := len(db.EnumWorlds()); got != 7 {
+		t.Fatalf("worlds = %d, want 7", got)
+	}
+}
+
+func TestFig2cCountBounds(t *testing.T) {
+	db, r, _ := fig2c()
+	res, err := core.CountBounds(db, r, solver.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At least one alcohol item plus the certain shampoo: [2,4].
+	if res.Min != 2 || res.Max != 4 {
+		t.Fatalf("bounds = [%d,%d], want [2,4]", res.Min, res.Max)
+	}
+	if !res.MinProven || !res.MaxProven {
+		t.Error("bounds must be proven")
+	}
+}
+
+// fig3 builds R1 and R2 of Figure 3 and returns them with the DB.
+func fig3() (*core.DB, *core.Relation, *core.Relation) {
+	db := core.NewDB()
+	r1 := core.NewRelation("R1", "TID", "ItemName")
+	b1, b2 := db.NewVar(), db.NewVar()
+	r1.Insert(core.Maybe(b1), core.StrVal("T1"), core.StrVal("wine"))
+	r1.Insert(core.Maybe(b2), core.StrVal("T1"), core.StrVal("liquor"))
+	r1.Insert(core.Certain, core.StrVal("T2"), core.StrVal("beer"))
+	db.AddCardinality([]expr.Var{b1, b2}, 1, -1)
+	r2 := core.NewRelation("R2", "TID", "ItemName")
+	b3, b4 := db.NewVar(), db.NewVar()
+	r2.Insert(core.Maybe(b3), core.StrVal("T1"), core.StrVal("wine"))
+	r2.Insert(core.Maybe(b4), core.StrVal("T2"), core.StrVal("beer"))
+	return db, r1, r2
+}
+
+func TestFig3Intersection(t *testing.T) {
+	db, r1, r2 := fig3()
+	out, err := core.Intersect(db, r1, r2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Result of Figure 3(c): (T1,wine,b5) and (T2,beer,b4).
+	if out.Len() != 2 {
+		t.Fatalf("result: %v", out)
+	}
+	var wine, beer *core.Tuple
+	for i := range out.Tuples {
+		switch out.Tuples[i].Vals[1].Str() {
+		case "wine":
+			wine = &out.Tuples[i]
+		case "beer":
+			beer = &out.Tuples[i]
+		}
+	}
+	if wine == nil || beer == nil {
+		t.Fatalf("missing tuples: %v", out)
+	}
+	if wine.Ext.IsCertain() {
+		t.Error("(T1,wine) should be a maybe-tuple")
+	}
+	// (T2,beer): R1 side certain, so the result reuses b4 (Algorithm 2
+	// line 6-7) without a new variable.
+	if beer.Ext.IsCertain() || beer.Ext.Var() != 3 {
+		t.Errorf("(T2,beer) should reuse b4, got %v", beer.Ext)
+	}
+	// b5 = b1 AND b3 in every valid world.
+	b5 := wine.Ext.Var()
+	for _, w := range db.EnumWorlds() {
+		if w[b5] != w[0]&w[2] {
+			t.Fatalf("b5 != b1 AND b3 in world %v", w)
+		}
+	}
+}
+
+// fig4b builds the relation of Figure 4(b).
+func fig4b() (*core.DB, *core.Relation, []expr.Var) {
+	db := core.NewDB()
+	r := core.NewRelation("R", "TID", "ItemName")
+	// Variables b1,b2,b3,b6,b7 of the figure (0-indexed here).
+	vars := db.NewVars(5)
+	r.Insert(core.Maybe(vars[0]), core.StrVal("T1"), core.StrVal("Pregnancy test"))
+	r.Insert(core.Maybe(vars[1]), core.StrVal("T1"), core.StrVal("Diapers"))
+	r.Insert(core.Maybe(vars[2]), core.StrVal("T1"), core.StrVal("Shampoo"))
+	r.Insert(core.Certain, core.StrVal("T2"), core.StrVal("Wine"))
+	r.Insert(core.Maybe(vars[3]), core.StrVal("T2"), core.StrVal("Shampoo"))
+	r.Insert(core.Maybe(vars[4]), core.StrVal("T3"), core.StrVal("Pregnancy test"))
+	return db, r, vars
+}
+
+func TestExample7Projection(t *testing.T) {
+	db, r, vars := fig4b()
+	out := core.Project(db, r, "TID")
+	if out.Len() != 3 {
+		t.Fatalf("π_TID should have 3 tuples: %v", out)
+	}
+	byTID := map[string]core.Ext{}
+	for _, tp := range out.Tuples {
+		byTID[tp.Vals[0].Str()] = tp.Ext
+	}
+	// T2 is certain because of (T2, Wine, 1).
+	if !byTID["T2"].IsCertain() {
+		t.Error("T2 should be certain")
+	}
+	// T3 is unique, so the optimization reuses b7 (vars[4]).
+	if byTID["T3"].IsCertain() || byTID["T3"].Var() != vars[4] {
+		t.Errorf("T3 should reuse its variable, got %v", byTID["T3"])
+	}
+	// T1 gets a fresh OR variable over b1,b2,b3.
+	if byTID["T1"].IsCertain() {
+		t.Fatal("T1 should be maybe")
+	}
+	b8 := byTID["T1"].Var()
+	if int(b8) < 5 {
+		t.Errorf("T1 should get a fresh variable, got b%d", b8)
+	}
+	for _, w := range db.EnumWorlds() {
+		or := w[vars[0]] | w[vars[1]] | w[vars[2]]
+		if w[b8] != or {
+			t.Fatalf("b8 != OR in world %v", w)
+		}
+	}
+}
+
+func TestExample8CountPredicate(t *testing.T) {
+	db, r, vars := fig4b()
+	// σ ItemName ∈ {Shampoo, Diapers, Pregnancy test} (Health Care).
+	health := map[string]bool{"Shampoo": true, "Diapers": true, "Pregnancy test": true}
+	sel := core.Select(r, func(row core.Row) bool { return health[row.Str("ItemName")] })
+	if sel.Len() != 5 {
+		t.Fatalf("selection should drop only (T2,Wine): %v", sel)
+	}
+	// COUNT >= 2 grouped by TID.
+	out := core.CountPredicate(db, sel, []string{"TID"}, core.CountGE, 2)
+	// T2 has one remaining tuple and T3 one: both excluded. T1 is
+	// uncertain.
+	if out.Len() != 1 || out.Tuples[0].Vals[0].Str() != "T1" {
+		t.Fatalf("count predicate result: %v", out)
+	}
+	b8 := out.Tuples[0].Ext.Var()
+	for _, w := range db.EnumWorlds() {
+		cnt := w[vars[0]] + w[vars[1]] + w[vars[2]]
+		want := uint8(0)
+		if cnt >= 2 {
+			want = 1
+		}
+		if w[b8] != want {
+			t.Fatalf("count var wrong in world %v", w)
+		}
+	}
+	// Final COUNT(*) bounds: [0,1].
+	res, err := core.CountBounds(db, out, solver.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Min != 0 || res.Max != 1 {
+		t.Fatalf("bounds = [%d,%d], want [0,1]", res.Min, res.Max)
+	}
+}
+
+func TestExample1DataCleaning(t *testing.T) {
+	// Five address records; at least 1 and at most 2 are correct.
+	db := core.NewDB()
+	r := core.NewRelation("Addr", "Cust", "Region")
+	vs := db.NewVars(5)
+	regions := []string{"NE", "NE", "SE", "SW", "W"}
+	for i, v := range vs {
+		r.Insert(core.Maybe(v), core.StrVal("alice"), core.StrVal(regions[i]))
+	}
+	db.AddCardinality(vs, 1, 2)
+	// "At most how many regions have a customer record?" — project to
+	// Region, then count.
+	proj := core.Project(db, r, "Region")
+	res, err := core.CountBounds(db, proj, solver.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Min: one record true and both NE duplicates give region count 1.
+	// Max: two records in different regions.
+	if res.Min != 1 || res.Max != 2 {
+		t.Fatalf("bounds = [%d,%d], want [1,2]", res.Min, res.Max)
+	}
+}
+
+func TestExample2Permutation(t *testing.T) {
+	// {Alice, Bob, Carol} permuted against {flu, cancer, heart}.
+	// "At least how many male patients do not have cancer?" with Bob
+	// the only male: Bob has cancer in some world, so min is 0; max 1.
+	db := core.NewDB()
+	people := []string{"Alice", "Bob", "Carol"}
+	diseases := []string{"flu", "cancer", "heart"}
+	r := core.NewRelation("PatientDisease", "Name", "Disease")
+	m := make([][]expr.Var, 3)
+	for i := range people {
+		m[i] = db.NewVars(3)
+		for j := range diseases {
+			r.Insert(core.Maybe(m[i][j]), core.StrVal(people[i]), core.StrVal(diseases[j]))
+		}
+	}
+	for i := 0; i < 3; i++ {
+		db.AddExactlyOne([]expr.Var{m[i][0], m[i][1], m[i][2]})
+		db.AddExactlyOne([]expr.Var{m[0][i], m[1][i], m[2][i]})
+	}
+	male := core.Select(r, func(row core.Row) bool { return row.Str("Name") == "Bob" })
+	notCancer := core.Select(male, func(row core.Row) bool { return row.Str("Disease") != "cancer" })
+	proj := core.Project(db, notCancer, "Name")
+	res, err := core.CountBounds(db, proj, solver.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Min != 0 || res.Max != 1 {
+		t.Fatalf("bounds = [%d,%d], want [0,1]", res.Min, res.Max)
+	}
+	// Witness worlds must be permutations.
+	for _, w := range [][]uint8{res.MinWorld, res.MaxWorld} {
+		if w == nil {
+			t.Fatal("missing witness world")
+		}
+		for i := 0; i < 3; i++ {
+			rowSum := w[m[i][0]] + w[m[i][1]] + w[m[i][2]]
+			colSum := w[m[0][i]] + w[m[1][i]] + w[m[2][i]]
+			if rowSum != 1 || colSum != 1 {
+				t.Fatalf("witness is not a permutation: %v", w)
+			}
+		}
+	}
+}
+
+func TestProductLineage(t *testing.T) {
+	db := core.NewDB()
+	r1 := core.NewRelation("R", "A")
+	r2 := core.NewRelation("S", "B")
+	a, b := db.NewVar(), db.NewVar()
+	r1.Insert(core.Maybe(a), core.IntVal(1))
+	r1.Insert(core.Certain, core.IntVal(2))
+	r2.Insert(core.Maybe(b), core.IntVal(10))
+	r2.Insert(core.Certain, core.IntVal(20))
+	out := core.Product(db, r1, r2)
+	if out.Len() != 4 {
+		t.Fatalf("product size = %d", out.Len())
+	}
+	if len(out.Cols) != 2 || out.Cols[0] != "R.A" || out.Cols[1] != "S.B" {
+		t.Fatalf("cols = %v", out.Cols)
+	}
+	// Algorithm 3 cases: certain×certain stays certain; maybe×certain
+	// reuses the maybe variable; maybe×maybe creates an AND variable.
+	kinds := map[string]core.Ext{}
+	for _, tp := range out.Tuples {
+		kinds[core.Key(tp.Vals)] = tp.Ext
+	}
+	cc := kinds[core.Key([]core.Value{core.IntVal(2), core.IntVal(20)})]
+	if !cc.IsCertain() {
+		t.Error("certain×certain should be certain")
+	}
+	mc := kinds[core.Key([]core.Value{core.IntVal(1), core.IntVal(20)})]
+	if mc.IsCertain() || mc.Var() != a {
+		t.Error("maybe×certain should reuse the maybe variable")
+	}
+	mm := kinds[core.Key([]core.Value{core.IntVal(1), core.IntVal(10)})]
+	if mm.IsCertain() || mm.Var() == a || mm.Var() == b {
+		t.Error("maybe×maybe should create a new variable")
+	}
+	for _, w := range db.EnumWorlds() {
+		if w[mm.Var()] != w[a]&w[b] {
+			t.Fatalf("AND lineage wrong in %v", w)
+		}
+	}
+}
+
+func TestIntersectSchemaMismatch(t *testing.T) {
+	db := core.NewDB()
+	r1 := core.NewRelation("R", "A")
+	r2 := core.NewRelation("S", "B")
+	if _, err := core.Intersect(db, r1, r2); err == nil {
+		t.Fatal("expected schema mismatch error")
+	}
+	r3 := core.NewRelation("T", "A", "B")
+	if _, err := core.Intersect(db, r1, r3); err == nil {
+		t.Fatal("expected schema mismatch error")
+	}
+}
+
+func TestSumObjective(t *testing.T) {
+	db := core.NewDB()
+	r := core.NewRelation("Items", "Item", "Price")
+	b := db.NewVar()
+	r.Insert(core.Certain, core.StrVal("beer"), core.IntVal(5))
+	r.Insert(core.Maybe(b), core.StrVal("wine"), core.IntVal(12))
+	lin, err := core.SumOf(r, "Price")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Bounds(db, lin, solver.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Min != 5 || res.Max != 17 {
+		t.Fatalf("SUM bounds = [%d,%d], want [5,17]", res.Min, res.Max)
+	}
+	if _, err := core.SumOf(r, "Nope"); err == nil {
+		t.Error("expected unknown-column error")
+	}
+	if _, err := core.SumOf(r, "Item"); err == nil {
+		t.Error("expected non-numeric error")
+	}
+}
+
+func TestFromWorldsRoundTrip(t *testing.T) {
+	universe := [][]core.Value{
+		{core.IntVal(1)}, {core.IntVal(2)}, {core.IntVal(3)},
+	}
+	worlds := [][]int{{0}, {0, 1}, {2}}
+	db, rel, err := core.FromWorlds("W", []string{"X"}, universe, worlds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() != 3 {
+		t.Fatalf("relation should have one maybe-tuple per universe tuple")
+	}
+	got := db.EnumWorlds()
+	if len(got) != 3 {
+		t.Fatalf("worlds = %d, want 3", len(got))
+	}
+	masks := map[uint8]bool{}
+	for _, w := range got {
+		var m uint8
+		for i := 0; i < 3; i++ {
+			if w[i] == 1 {
+				m |= 1 << uint(i)
+			}
+		}
+		masks[m] = true
+	}
+	for _, want := range []uint8{0b001, 0b011, 0b100} {
+		if !masks[want] {
+			t.Errorf("world %03b missing", want)
+		}
+	}
+}
+
+func TestFromWorldsErrors(t *testing.T) {
+	if _, _, err := core.FromWorlds("W", []string{"X"}, [][]core.Value{{core.IntVal(1)}}, nil); err == nil {
+		t.Error("want error on empty world set")
+	}
+	if _, _, err := core.FromWorlds("W", []string{"X"}, [][]core.Value{{core.IntVal(1)}}, [][]int{{5}}); err == nil {
+		t.Error("want error on out-of-range tuple index")
+	}
+	big := make([][]core.Value, 21)
+	for i := range big {
+		big[i] = []core.Value{core.IntVal(int64(i))}
+	}
+	if _, _, err := core.FromWorlds("W", []string{"X"}, big, [][]int{{0}}); err == nil {
+		t.Error("want error on oversized universe")
+	}
+	if _, _, err := core.FromWorlds("W", []string{"X", "Y"}, [][]core.Value{{core.IntVal(1)}}, [][]int{{0}}); err == nil {
+		t.Error("want error on arity mismatch")
+	}
+}

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Tuple is one row of an LICM relation: constant attribute values plus
+// the existence attribute Ext (Definition 2).
+type Tuple struct {
+	Vals []Value
+	Ext  Ext
+}
+
+// Relation is an LICM relation: a schema of named attributes over
+// finite domains plus the special Ext attribute, and a list of tuples.
+// Tuples reference variables owned by a DB.
+type Relation struct {
+	Name   string
+	Cols   []string
+	Tuples []Tuple
+}
+
+// NewRelation creates an empty relation with the given column names
+// (excluding Ext, which is implicit).
+func NewRelation(name string, cols ...string) *Relation {
+	return &Relation{Name: name, Cols: append([]string(nil), cols...)}
+}
+
+// colIndex returns the position of col; it panics on an unknown
+// column, which is a programming error in query construction.
+func (r *Relation) colIndex(col string) int {
+	for i, c := range r.Cols {
+		if c == col {
+			return i
+		}
+	}
+	panic(fmt.Sprintf("core: relation %q has no column %q", r.Name, col))
+}
+
+// HasCol reports whether the relation has the named column.
+func (r *Relation) HasCol(col string) bool {
+	for _, c := range r.Cols {
+		if c == col {
+			return true
+		}
+	}
+	return false
+}
+
+// Insert appends a tuple. The number of values must match the schema.
+func (r *Relation) Insert(ext Ext, vals ...Value) {
+	if len(vals) != len(r.Cols) {
+		panic(fmt.Sprintf("core: relation %q: %d values for %d columns", r.Name, len(vals), len(r.Cols)))
+	}
+	r.Tuples = append(r.Tuples, Tuple{Vals: append([]Value(nil), vals...), Ext: ext})
+}
+
+// Len returns the number of tuples (certain and maybe).
+func (r *Relation) Len() int { return len(r.Tuples) }
+
+// Row gives typed access to one tuple's values through the schema.
+type Row struct {
+	rel *Relation
+	t   *Tuple
+}
+
+// RowAt returns an accessor for the i-th tuple.
+func (r *Relation) RowAt(i int) Row { return Row{rel: r, t: &r.Tuples[i]} }
+
+// Get returns the value of the named column.
+func (w Row) Get(col string) Value { return w.t.Vals[w.rel.colIndex(col)] }
+
+// Int returns the named column as an integer.
+func (w Row) Int(col string) int64 { return w.Get(col).Int() }
+
+// Str returns the named column as a string.
+func (w Row) Str(col string) string { return w.Get(col).Str() }
+
+// Ext returns the tuple's existence attribute.
+func (w Row) Ext() Ext { return w.t.Ext }
+
+// String renders the relation as an aligned table, in the style of the
+// paper's figures.
+func (r *Relation) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s(%s, Ext)\n", r.Name, strings.Join(r.Cols, ", "))
+	for _, t := range r.Tuples {
+		parts := make([]string, len(t.Vals))
+		for i, v := range t.Vals {
+			parts[i] = v.String()
+		}
+		fmt.Fprintf(&sb, "  %s | %s\n", strings.Join(parts, ", "), t.Ext)
+	}
+	return sb.String()
+}
+
+// SortTuples orders tuples by their values (for deterministic output
+// in tests and goldens); it does not change semantics.
+func (r *Relation) SortTuples() {
+	sort.SliceStable(r.Tuples, func(i, j int) bool {
+		a, b := r.Tuples[i].Vals, r.Tuples[j].Vals
+		for k := range a {
+			if a[k].Less(b[k]) {
+				return true
+			}
+			if b[k].Less(a[k]) {
+				return false
+			}
+		}
+		return false
+	})
+}

@@ -1,0 +1,417 @@
+package core_test
+
+// Property tests for the model invariants listed in DESIGN.md §6:
+// operator determinism, commutation of query evaluation with world
+// instantiation, and exactness of aggregate bounds versus exhaustive
+// world enumeration.
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"licm/internal/core"
+	"licm/internal/engine"
+	"licm/internal/expr"
+	"licm/internal/solver"
+)
+
+// toTable instantiates a core relation in a world as an engine table.
+func toTable(r *core.Relation, w []uint8) *engine.Table {
+	t := engine.New(r.Name, r.Cols...)
+	t.InsertRows(core.Instantiate(r, w))
+	return t
+}
+
+// randRelation builds a random TransItem-style relation over the DB,
+// returning it. Tuples are randomly certain or maybe.
+func randRelation(r *rand.Rand, db *core.DB, name string, nTID, nItem, maxTuples int) *core.Relation {
+	rel := core.NewRelation(name, "TID", "Item")
+	n := 1 + r.Intn(maxTuples)
+	seen := map[string]bool{}
+	for i := 0; i < n; i++ {
+		tid := core.IntVal(int64(r.Intn(nTID)))
+		item := core.IntVal(int64(r.Intn(nItem)))
+		k := core.Key([]core.Value{tid, item})
+		if seen[k] {
+			continue // keep base relations set-semantic
+		}
+		seen[k] = true
+		ext := core.Certain
+		if r.Intn(4) != 0 { // 75% maybe
+			ext = core.Maybe(db.NewVar())
+		}
+		rel.Insert(ext, tid, item)
+	}
+	return rel
+}
+
+// addRandConstraints adds random cardinality constraints over the base
+// variables, loose enough to usually stay feasible.
+func addRandConstraints(r *rand.Rand, db *core.DB) {
+	base := db.BaseVars()
+	if len(base) == 0 {
+		return
+	}
+	for c := 0; c < r.Intn(3); c++ {
+		k := 1 + r.Intn(min(4, len(base)))
+		perm := r.Perm(len(base))
+		vars := make([]expr.Var, k)
+		for i := 0; i < k; i++ {
+			vars[i] = base[perm[i]]
+		}
+		switch r.Intn(3) {
+		case 0:
+			db.AddCardinality(vars, 1, -1)
+		case 1:
+			db.AddCardinality(vars, -1, k-r.Intn(k))
+		default:
+			db.AddCardinality(vars, 1, 1+r.Intn(k))
+		}
+	}
+}
+
+// pipeline pairs a LICM query plan applied symbolically with the same
+// plan recorded as per-world deterministic steps.
+type pipeline struct {
+	db  *core.DB
+	cur *core.Relation
+	det []func(t *engine.Table, w []uint8) *engine.Table
+}
+
+func (p *pipeline) apply(r *rand.Rand) {
+	switch op := r.Intn(6); op {
+	case 5: // union with a fresh random relation of same schema
+		if len(p.cur.Cols) != 2 || p.db.NumVars() > 8 {
+			return
+		}
+		other := randRelation(r, p.db, "U", 3, 3, 4)
+		other.Cols = append([]string(nil), p.cur.Cols...)
+		out, err := core.Union(p.db, p.cur, other)
+		if err != nil {
+			panic(err)
+		}
+		p.cur = out
+		name := out.Name
+		p.det = append(p.det, func(t *engine.Table, w []uint8) *engine.Table {
+			ot := toTable(other, w)
+			res, err := t.Union(ot)
+			if err != nil {
+				panic(err)
+			}
+			res.Name = name
+			return res
+		})
+	case 0: // selection on a random column threshold
+		col := p.cur.Cols[r.Intn(len(p.cur.Cols))]
+		cut := int64(r.Intn(4))
+		p.cur = core.Select(p.cur, func(row core.Row) bool { return row.Int(col) <= cut })
+		name := p.cur.Name
+		p.det = append(p.det, func(t *engine.Table, w []uint8) *engine.Table {
+			out := t.Select(func(row engine.Row) bool { return row.Int(col) <= cut })
+			out.Name = name
+			return out
+		})
+	case 1: // projection onto a random non-empty column subset
+		perm := r.Perm(len(p.cur.Cols))
+		k := 1 + r.Intn(len(p.cur.Cols))
+		cols := make([]string, 0, k)
+		for i := 0; i < k; i++ {
+			cols = append(cols, p.cur.Cols[perm[i]])
+		}
+		p.cur = core.Project(p.db, p.cur, cols...)
+		name := p.cur.Name
+		p.det = append(p.det, func(t *engine.Table, w []uint8) *engine.Table {
+			out := t.Project(cols...)
+			out.Name = name
+			return out
+		})
+	case 2: // count predicate grouped by the first column
+		if len(p.cur.Cols) < 2 {
+			return
+		}
+		group := []string{p.cur.Cols[0]}
+		cmp := core.CmpOp(r.Intn(2))
+		d := 1 + r.Intn(3)
+		p.cur = core.CountPredicate(p.db, p.cur, group, cmp, d)
+		name := p.cur.Name
+		p.det = append(p.det, func(t *engine.Table, w []uint8) *engine.Table {
+			out := t.CountPredicate(group, cmp, d)
+			out.Name = name
+			return out
+		})
+	case 3: // intersect with a fresh random relation of same schema
+		if len(p.cur.Cols) != 2 || p.db.NumVars() > 8 {
+			return
+		}
+		other := randRelation(r, p.db, "S", 3, 3, 4)
+		other.Cols = append([]string(nil), p.cur.Cols...)
+		out, err := core.Intersect(p.db, p.cur, other)
+		if err != nil {
+			panic(err)
+		}
+		p.cur = out
+		name := out.Name
+		p.det = append(p.det, func(t *engine.Table, w []uint8) *engine.Table {
+			ot := toTable(other, w)
+			res, err := t.Intersect(ot)
+			if err != nil {
+				panic(err)
+			}
+			res.Name = name
+			return res
+		})
+	case 4: // join with a fresh attribute relation on the first column
+		if p.db.NumVars() > 8 {
+			return
+		}
+		joinCol := p.cur.Cols[0]
+		attr := core.NewRelation("A", joinCol, "Extra")
+		for v := 0; v < 4; v++ {
+			ext := core.Certain
+			if r.Intn(3) == 0 {
+				ext = core.Maybe(p.db.NewVar())
+			}
+			attr.Insert(ext, core.IntVal(int64(v)), core.IntVal(int64(r.Intn(3))))
+		}
+		p.cur = core.Join(p.db, p.cur, attr, joinCol)
+		name := p.cur.Name
+		p.det = append(p.det, func(t *engine.Table, w []uint8) *engine.Table {
+			at := toTable(attr, w)
+			out := t.Join(at, joinCol)
+			out.Name = name
+			return out
+		})
+	}
+}
+
+// TestQueryCommutesWithInstantiation is the central semantics check:
+// for every valid world, instantiating the LICM query result equals
+// running the deterministic query on the instantiated input.
+func TestQueryCommutesWithInstantiation(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 120; trial++ {
+		db := core.NewDB()
+		input := randRelation(r, db, "R", 3, 3, 5)
+		addRandConstraints(r, db)
+		p := &pipeline{db: db, cur: input}
+		steps := 1 + r.Intn(3)
+		for s := 0; s < steps; s++ {
+			p.apply(r)
+		}
+		if len(db.BaseVars()) > 9 {
+			continue
+		}
+		worlds := db.EnumWorlds()
+		for wi, w := range worlds {
+			got := toTable(p.cur, w).SortedKeys()
+			oracle := toTable(input, w)
+			for _, step := range p.det {
+				oracle = step(oracle, w)
+			}
+			want := oracle.SortedKeys()
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("trial %d world %d (%v):\nLICM result rows %v\noracle rows %v\nplan result: %v",
+					trial, wi, w, got, want, p.cur)
+			}
+		}
+	}
+}
+
+// TestOperatorDeterminism checks that for every base assignment there
+// is exactly one valid extension to the lineage variables.
+func TestOperatorDeterminism(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 60; trial++ {
+		db := core.NewDB()
+		input := randRelation(r, db, "R", 3, 3, 5)
+		addRandConstraints(r, db)
+		nBase := db.NumVars()
+		p := &pipeline{db: db, cur: input}
+		for s := 0; s < 2; s++ {
+			p.apply(r)
+		}
+		nDerived := 0
+		for v := nBase; v < db.NumVars(); v++ {
+			if db.Def(expr.Var(v)).Kind != core.DefBase {
+				nDerived++
+			}
+		}
+		if len(db.BaseVars()) > 8 || nDerived > 10 {
+			continue
+		}
+		baseVars := db.BaseVars()
+		for mask := 0; mask < 1<<len(baseVars); mask++ {
+			base := map[expr.Var]uint8{}
+			for i, v := range baseVars {
+				if mask&(1<<i) != 0 {
+					base[v] = 1
+				}
+			}
+			w := db.World(base)
+			if !db.Valid(w) {
+				// The base assignment violates a base constraint; no
+				// world corresponds to it.
+				continue
+			}
+			if !db.DeterministicExtension(base) {
+				t.Fatalf("trial %d: non-deterministic extension for base %v", trial, base)
+			}
+		}
+	}
+}
+
+// TestBoundsMatchWorldEnumeration checks that the BIP bounds equal the
+// exhaustive min/max of the aggregate over all possible worlds.
+func TestBoundsMatchWorldEnumeration(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	checked := 0
+	for trial := 0; trial < 120; trial++ {
+		db := core.NewDB()
+		input := randRelation(r, db, "R", 3, 3, 6)
+		addRandConstraints(r, db)
+		p := &pipeline{db: db, cur: input}
+		for s := 0; s < 1+r.Intn(3); s++ {
+			p.apply(r)
+		}
+		if len(db.BaseVars()) > 9 {
+			continue
+		}
+		worlds := db.EnumWorlds()
+		objective := core.CountStar(p.cur)
+		res, err := core.Bounds(db, objective, solver.DefaultOptions())
+		if len(worlds) == 0 {
+			if err == nil {
+				t.Fatalf("trial %d: no worlds but Bounds succeeded", trial)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		checked++
+		wantMin, wantMax := int64(1<<62), int64(-1<<62)
+		for _, w := range worlds {
+			c := int64(len(core.Instantiate(p.cur, w)))
+			if c < wantMin {
+				wantMin = c
+			}
+			if c > wantMax {
+				wantMax = c
+			}
+		}
+		if res.Min != wantMin || res.Max != wantMax {
+			t.Fatalf("trial %d: bounds [%d,%d], enumeration [%d,%d]\nplan: %v",
+				trial, res.Min, res.Max, wantMin, wantMax, p.cur)
+		}
+		// Witness worlds must be valid and achieve the bounds.
+		for side, w := range map[string][]uint8{"min": res.MinWorld, "max": res.MaxWorld} {
+			if w == nil {
+				t.Fatalf("trial %d: missing %s witness", trial, side)
+			}
+			if !db.Valid(w) {
+				t.Fatalf("trial %d: %s witness invalid", trial, side)
+			}
+			c := int64(len(core.Instantiate(p.cur, w)))
+			if (side == "min" && c != res.Min) || (side == "max" && c != res.Max) {
+				t.Fatalf("trial %d: %s witness achieves %d", trial, side, c)
+			}
+		}
+	}
+	if checked < 30 {
+		t.Fatalf("only %d feasible trials; generator too restrictive", checked)
+	}
+}
+
+// TestFromWorldsCompleteness: random world sets round-trip exactly
+// (Theorem 1).
+func TestFromWorldsCompleteness(t *testing.T) {
+	r := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 60; trial++ {
+		n := 1 + r.Intn(6)
+		universe := make([][]core.Value, n)
+		for i := range universe {
+			universe[i] = []core.Value{core.IntVal(int64(i))}
+		}
+		maxWorlds := 6
+		if 1<<n < maxWorlds {
+			maxWorlds = 1 << n
+		}
+		nWorlds := 1 + r.Intn(maxWorlds)
+		wantMasks := map[int]bool{}
+		var worlds [][]int
+		for len(worlds) < nWorlds {
+			mask := r.Intn(1 << n)
+			if wantMasks[mask] {
+				continue
+			}
+			wantMasks[mask] = true
+			var w []int
+			for i := 0; i < n; i++ {
+				if mask&(1<<i) != 0 {
+					w = append(w, i)
+				}
+			}
+			worlds = append(worlds, w)
+		}
+		db, _, err := core.FromWorlds("W", []string{"X"}, universe, worlds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := db.EnumWorlds()
+		gotMasks := map[int]bool{}
+		for _, w := range got {
+			mask := 0
+			for i := 0; i < n; i++ {
+				if w[i] == 1 {
+					mask |= 1 << i
+				}
+			}
+			gotMasks[mask] = true
+		}
+		if !reflect.DeepEqual(gotMasks, wantMasks) {
+			t.Fatalf("trial %d: got %v want %v", trial, gotMasks, wantMasks)
+		}
+	}
+}
+
+// TestPruningPreservesBounds: bounds identical with pruning on and off
+// on random query plans (DESIGN.md invariant).
+func TestPruningPreservesBounds(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	on := solver.DefaultOptions()
+	off := solver.DefaultOptions()
+	off.Prune = false
+	for trial := 0; trial < 60; trial++ {
+		db := core.NewDB()
+		input := randRelation(r, db, "R", 3, 3, 6)
+		addRandConstraints(r, db)
+		p := &pipeline{db: db, cur: input}
+		for s := 0; s < 1+r.Intn(3); s++ {
+			p.apply(r)
+		}
+		obj := core.CountStar(p.cur)
+		a, errA := core.Bounds(db, obj, on)
+		b, errB := core.Bounds(db, obj, off)
+		if (errA == nil) != (errB == nil) {
+			t.Fatalf("trial %d: err mismatch %v vs %v", trial, errA, errB)
+		}
+		if errA != nil {
+			continue
+		}
+		if a.Min != b.Min || a.Max != b.Max {
+			t.Fatalf("trial %d: pruned [%d,%d] vs unpruned [%d,%d]", trial, a.Min, a.Max, b.Min, b.Max)
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Ensure fmt stays imported even if error formatting above changes.
+var _ = fmt.Sprintf

@@ -1,0 +1,142 @@
+package core_test
+
+import (
+	"testing"
+
+	"licm/internal/core"
+	"licm/internal/solver"
+)
+
+func TestUnionLineage(t *testing.T) {
+	db := core.NewDB()
+	r1 := core.NewRelation("R", "X")
+	r2 := core.NewRelation("S", "X")
+	a, b, c := db.NewVar(), db.NewVar(), db.NewVar()
+	r1.Insert(core.Maybe(a), core.IntVal(1))
+	r1.Insert(core.Certain, core.IntVal(2))
+	r2.Insert(core.Maybe(b), core.IntVal(1)) // overlaps value 1
+	r2.Insert(core.Maybe(c), core.IntVal(3))
+	out, err := core.Union(db, r1, r2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 3 {
+		t.Fatalf("union: %v", out)
+	}
+	byVal := map[int64]core.Ext{}
+	for _, tp := range out.Tuples {
+		byVal[tp.Vals[0].Int()] = tp.Ext
+	}
+	if byVal[2] != core.Certain {
+		t.Error("certain tuple must stay certain")
+	}
+	if byVal[3].IsCertain() || byVal[3].Var() != c {
+		t.Error("one-sided maybe should keep its variable")
+	}
+	or := byVal[1]
+	if or.IsCertain() {
+		t.Fatal("overlapping maybes should stay maybe")
+	}
+	for _, w := range db.EnumWorlds() {
+		if w[or.Var()] != w[a]|w[b] {
+			t.Fatalf("union lineage is not OR in world %v", w)
+		}
+	}
+}
+
+func TestUnionSchemaMismatch(t *testing.T) {
+	db := core.NewDB()
+	r1 := core.NewRelation("R", "A")
+	r2 := core.NewRelation("S", "B")
+	if _, err := core.Union(db, r1, r2); err == nil {
+		t.Error("want schema error")
+	}
+	r3 := core.NewRelation("T", "A", "B")
+	if _, err := core.Union(db, r1, r3); err == nil {
+		t.Error("want arity error")
+	}
+}
+
+func TestUnionCountBounds(t *testing.T) {
+	// |R ∪ S| where R = {1?, 2} and S = {1?}: between 1 ({2}) and 2.
+	db := core.NewDB()
+	r1 := core.NewRelation("R", "X")
+	r2 := core.NewRelation("S", "X")
+	a, b := db.NewVar(), db.NewVar()
+	r1.Insert(core.Maybe(a), core.IntVal(1))
+	r1.Insert(core.Certain, core.IntVal(2))
+	r2.Insert(core.Maybe(b), core.IntVal(1))
+	out, err := core.Union(db, r1, r2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.CountBounds(db, out, solver.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Min != 1 || res.Max != 2 {
+		t.Fatalf("bounds = [%d,%d], want [1,2]", res.Min, res.Max)
+	}
+}
+
+func TestUnionDedupesWithinInput(t *testing.T) {
+	db := core.NewDB()
+	r1 := core.NewRelation("R", "X")
+	a, b := db.NewVar(), db.NewVar()
+	r1.Insert(core.Maybe(a), core.IntVal(1))
+	r1.Insert(core.Maybe(b), core.IntVal(1)) // duplicate value inside one input
+	r2 := core.NewRelation("S", "X")
+	out, err := core.Union(db, r1, r2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 1 {
+		t.Fatalf("union should dedupe within inputs: %v", out)
+	}
+}
+
+func TestEstimateCardinality(t *testing.T) {
+	db := core.NewDB()
+	r := core.NewRelation("R", "X")
+	r.Insert(core.Certain, core.IntVal(1))
+	g1 := db.NewVars(3)
+	db.AddCardinality(g1, 1, -1) // at least one of three
+	for i, v := range g1 {
+		r.Insert(core.Maybe(v), core.IntVal(int64(10+i)))
+	}
+	free := db.NewVar() // unconstrained maybe
+	r.Insert(core.Maybe(free), core.IntVal(99))
+
+	est := core.EstimateCardinality(db, r)
+	if est.Certain != 1 || est.Maybe != 4 {
+		t.Fatalf("est = %+v", est)
+	}
+	if est.MinCard != 2 { // 1 certain + >=1 from the group
+		t.Errorf("MinCard = %d, want 2", est.MinCard)
+	}
+	if est.MaxCard != 5 {
+		t.Errorf("MaxCard = %d, want 5", est.MaxCard)
+	}
+	// The structural estimate must contain the exact bounds.
+	res, err := core.CountBounds(db, r, solver.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Min < int64(est.MinCard) || res.Max > int64(est.MaxCard) {
+		t.Errorf("exact [%d,%d] outside estimate [%d,%d]", res.Min, res.Max, est.MinCard, est.MaxCard)
+	}
+}
+
+func TestEstimateCardinalityIgnoresPartialGroups(t *testing.T) {
+	// A >=1 group only half-contained in the relation must not raise
+	// MinCard (its guarantee may be satisfied by the missing half).
+	db := core.NewDB()
+	r := core.NewRelation("R", "X")
+	g := db.NewVars(2)
+	db.AddCardinality(g, 1, -1)
+	r.Insert(core.Maybe(g[0]), core.IntVal(1)) // g[1] not in the relation
+	est := core.EstimateCardinality(db, r)
+	if est.MinCard != 0 {
+		t.Errorf("MinCard = %d, want 0", est.MinCard)
+	}
+}

@@ -1,0 +1,192 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestGenerateShape(t *testing.T) {
+	cfg := DefaultConfig(2000)
+	d, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := d.Stats()
+	if s.NumTransactions != 2000 || s.NumItems != 1657 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.AvgSize < 4 || s.AvgSize > 9 {
+		t.Errorf("avg size %v far from target 6.5", s.AvgSize)
+	}
+	if s.MaxSize > cfg.MaxSize {
+		t.Errorf("max size %d exceeds cap %d", s.MaxSize, cfg.MaxSize)
+	}
+	for _, tr := range d.Trans {
+		if len(tr.Items) < 1 {
+			t.Fatal("empty transaction")
+		}
+		if tr.Location < 0 || tr.Location >= cfg.LocationRange {
+			t.Fatalf("location %d out of range", tr.Location)
+		}
+		seen := map[int32]bool{}
+		for _, it := range tr.Items {
+			if seen[it] {
+				t.Fatalf("transaction %d has duplicate item %d", tr.ID, it)
+			}
+			seen[it] = true
+			if int(it) >= len(d.Items) {
+				t.Fatalf("item id %d out of range", it)
+			}
+		}
+	}
+	for _, it := range d.Items {
+		if it.Price < 0 || it.Price >= cfg.PriceRange {
+			t.Fatalf("price %d out of range", it.Price)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := DefaultConfig(200)
+	a, _ := Generate(cfg)
+	b, _ := Generate(cfg)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed should generate identical datasets")
+	}
+	cfg.Seed = 2
+	c, _ := Generate(cfg)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestGenerateSkew(t *testing.T) {
+	d, err := Generate(DefaultConfig(5000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	freq := d.ItemFrequencies()
+	// Zipf: the most popular item should dwarf the median.
+	max, nonZero := 0, 0
+	for _, f := range freq {
+		if f > max {
+			max = f
+		}
+		if f > 0 {
+			nonZero++
+		}
+	}
+	if max < 500 {
+		t.Errorf("top item frequency %d too flat for Zipf", max)
+	}
+	if nonZero < 100 {
+		t.Errorf("only %d items used; distribution too concentrated", nonZero)
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	cases := []Config{
+		{NumTransactions: 0, NumItems: 5, AvgSize: 2, ZipfS: 1.5},
+		{NumTransactions: 5, NumItems: 0, AvgSize: 2, ZipfS: 1.5},
+		{NumTransactions: 5, NumItems: 5, AvgSize: 0.5, ZipfS: 1.5},
+		{NumTransactions: 5, NumItems: 5, AvgSize: 2, ZipfS: 1.0},
+	}
+	for i, cfg := range cases {
+		if _, err := Generate(cfg); err == nil {
+			t.Errorf("case %d: want error", i)
+		}
+	}
+}
+
+func TestGenerateTinyDomains(t *testing.T) {
+	cfg := Config{NumTransactions: 10, NumItems: 2, AvgSize: 5, MaxSize: 10, ZipfS: 1.5, LocationRange: 1, PriceRange: 1, Seed: 3}
+	d, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range d.Trans {
+		if len(tr.Items) > 2 {
+			t.Fatalf("transaction exceeds item domain: %v", tr.Items)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	d, err := Generate(DefaultConfig(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := d.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(d, got) {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func TestReadMalformed(t *testing.T) {
+	cases := []string{
+		"X 1 2 3",
+		"I 1 2",
+		"I a 2 name",
+		"T 1 2",
+		"T a 2 1,2",
+		"T 1 2 1,x",
+	}
+	for i, c := range cases {
+		if _, err := Read(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d (%q): want error", i, c)
+		}
+	}
+}
+
+func TestReadSkipsCommentsAndBlanks(t *testing.T) {
+	in := "# comment\n\nI 0 5 beer\nT 0 7 0\n"
+	d, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Items) != 1 || len(d.Trans) != 1 {
+		t.Fatalf("parsed %d items, %d trans", len(d.Items), len(d.Trans))
+	}
+}
+
+func TestStatsEmpty(t *testing.T) {
+	d := &Dataset{}
+	s := d.Stats()
+	if s.AvgSize != 0 || s.TotalRows != 0 {
+		t.Errorf("empty stats = %+v", s)
+	}
+	if v := math.IsNaN(s.AvgSize); v {
+		t.Error("AvgSize must not be NaN")
+	}
+}
+
+func TestWebViewPresets(t *testing.T) {
+	w1 := WebView1Config(100)
+	if w1.NumItems != 497 || w1.AvgSize != 2.5 {
+		t.Errorf("WebView1 = %+v", w1)
+	}
+	w2 := WebView2Config(100)
+	if w2.NumItems != 3340 || w2.AvgSize != 5.0 {
+		t.Errorf("WebView2 = %+v", w2)
+	}
+	for _, cfg := range []Config{w1, w2} {
+		d, err := Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := d.Stats()
+		if s.AvgSize < 1 || s.AvgSize > 2*cfg.AvgSize+2 {
+			t.Errorf("avg size %v far from target %v", s.AvgSize, cfg.AvgSize)
+		}
+	}
+}

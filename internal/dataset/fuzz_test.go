@@ -1,0 +1,35 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead checks the parser never panics and that every successfully
+// parsed dataset round-trips through WriteTo/Read.
+func FuzzRead(f *testing.F) {
+	f.Add("I 0 5 beer\nT 0 7 0\n")
+	f.Add("# comment\n\nI 1 2 a b c\n")
+	f.Add("T 3 4 1,2,3\n")
+	f.Add("X bogus\n")
+	f.Add("I a b c\nT x y z\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		d, err := Read(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if _, err := d.WriteTo(&buf); err != nil {
+			t.Fatalf("WriteTo failed on parsed dataset: %v", err)
+		}
+		d2, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("round-trip parse failed: %v", err)
+		}
+		if len(d2.Items) != len(d.Items) || len(d2.Trans) != len(d.Trans) {
+			t.Fatalf("round-trip changed sizes: %d/%d vs %d/%d",
+				len(d.Items), len(d.Trans), len(d2.Items), len(d2.Trans))
+		}
+	})
+}

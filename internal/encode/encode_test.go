@@ -1,0 +1,257 @@
+package encode
+
+import (
+	"testing"
+
+	"licm/internal/anon"
+	"licm/internal/core"
+	"licm/internal/dataset"
+	"licm/internal/hierarchy"
+	"licm/internal/solver"
+)
+
+// tinyData builds a handmade dataset small enough for exhaustive world
+// enumeration after encoding.
+func tinyData() (*dataset.Dataset, *hierarchy.Hierarchy) {
+	d := &dataset.Dataset{}
+	for i := 0; i < 8; i++ {
+		d.Items = append(d.Items, dataset.Item{ID: int32(i), Name: "it", Price: int64(i)})
+	}
+	d.Trans = []dataset.Transaction{
+		{ID: 0, Location: 10, Items: []int32{0, 4}},
+		{ID: 1, Location: 20, Items: []int32{1, 4}},
+		{ID: 2, Location: 10, Items: []int32{2, 5}},
+		{ID: 3, Location: 30, Items: []int32{3, 5}},
+	}
+	h, err := hierarchy.Build(8, 2, nil)
+	if err != nil {
+		panic(err)
+	}
+	return d, h
+}
+
+// worldContains reports whether the instantiated TransItem rows
+// include (tid, item).
+func worldContains(rows [][]core.Value, tid, item int64) bool {
+	for _, r := range rows {
+		if r[0].Int() == tid && r[1].Int() == item {
+			return true
+		}
+	}
+	return false
+}
+
+func TestGeneralizedEncoding(t *testing.T) {
+	d, h := tinyData()
+	g, err := anon.KAnonymize(d, h, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := Generalized(g, d.Items)
+	if enc.Trans.Len() != 4 {
+		t.Fatalf("Trans len = %d", enc.Trans.Len())
+	}
+	if len(enc.Groups) == 0 {
+		t.Fatal("expected generalization groups")
+	}
+	for _, grp := range enc.Groups {
+		if grp.Kind != SubsetGE1 {
+			t.Fatalf("unexpected group kind %v", grp.Kind)
+		}
+	}
+	if enc.DB.NumVars() > 24 {
+		t.Skipf("encoding too large to enumerate (%d vars)", enc.DB.NumVars())
+	}
+	worlds := enc.DB.EnumWorlds()
+	if len(worlds) == 0 {
+		t.Fatal("no valid worlds")
+	}
+	// Every world instantiates at least one leaf per generalized node,
+	// i.e. at least one item per original generalized slot.
+	for _, w := range worlds {
+		rows := core.Instantiate(enc.TransItem, w)
+		if len(rows) == 0 {
+			t.Fatal("empty world")
+		}
+	}
+	// The original dataset must be among the possible worlds.
+	found := false
+	for _, w := range worlds {
+		rows := core.Instantiate(enc.TransItem, w)
+		ok := true
+		total := 0
+		for _, tr := range d.Trans {
+			for _, it := range tr.Items {
+				if !worldContains(rows, int64(tr.ID), int64(it)) {
+					ok = false
+				}
+			}
+			total += len(tr.Items)
+		}
+		if ok && len(rows) == total {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Error("original dataset is not a possible world of its own encoding")
+	}
+}
+
+func TestGeneralizedCertainLeafStaysCertain(t *testing.T) {
+	d, h := tinyData()
+	// k=1 keeps everything exact: encoding must be fully certain.
+	g, err := anon.KmAnonymize(d, h, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := Generalized(g, d.Items)
+	if enc.DB.NumVars() != 0 {
+		t.Fatalf("k=1 should create no variables, got %d", enc.DB.NumVars())
+	}
+	if enc.TransItem.Len() != 8 {
+		t.Fatalf("TransItem len = %d, want 8", enc.TransItem.Len())
+	}
+}
+
+func TestBipartiteEncoding(t *testing.T) {
+	d, _ := tinyData()
+	bg, err := anon.BipartiteAnonymize(d, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := Bipartite(d, bg)
+	if enc.Graph.Len() != 8 {
+		t.Fatalf("graph edges = %d, want 8", enc.Graph.Len())
+	}
+	// The identity mapping must be a valid world.
+	assign := make([]uint8, enc.DB.NumVars())
+	for _, grp := range enc.Groups {
+		if grp.Kind != Permutation {
+			t.Fatalf("unexpected group kind")
+		}
+		for i := range grp.Matrix {
+			assign[grp.Matrix[i][i]] = 1
+		}
+	}
+	enc.DB.Extend(assign)
+	if !enc.DB.Valid(assign) {
+		t.Fatal("identity mapping is not a valid world")
+	}
+	// Under the identity world, the derived TransItem equals the
+	// original dataset.
+	ti := enc.BuildTransItem(nil, nil)
+	full := make([]uint8, enc.DB.NumVars())
+	copy(full, assign)
+	enc.DB.Extend(full)
+	rows := core.Instantiate(ti, full)
+	want := 0
+	for _, tr := range d.Trans {
+		for _, it := range tr.Items {
+			if !worldContains(rows, int64(tr.ID), int64(it)) {
+				t.Fatalf("identity world missing (%d,%d)", tr.ID, it)
+			}
+			want++
+		}
+	}
+	if len(rows) != want {
+		t.Fatalf("identity world has %d rows, want %d", len(rows), want)
+	}
+}
+
+func TestBipartiteWorldCount(t *testing.T) {
+	// Two transactions sharing no items, grouped 2x2 on both sides:
+	// worlds = 2 (trans perms) x 2 x 2 (two item groups) = 8.
+	d := &dataset.Dataset{
+		Items: []dataset.Item{{ID: 0}, {ID: 1}, {ID: 2}, {ID: 3}},
+		Trans: []dataset.Transaction{
+			{ID: 0, Location: 0, Items: []int32{0, 2}},
+			{ID: 1, Location: 1, Items: []int32{1, 3}},
+		},
+	}
+	bg := &anon.BipartiteGroups{
+		TransGroups: [][]int{{0, 1}},
+		ItemGroups:  [][]int32{{0, 1}, {2, 3}},
+		Safe:        true,
+	}
+	enc := Bipartite(d, bg)
+	worlds := enc.DB.EnumWorlds()
+	if len(worlds) != 8 {
+		t.Fatalf("worlds = %d, want 8", len(worlds))
+	}
+}
+
+func TestSuppressedEncoding(t *testing.T) {
+	d, _ := tinyData()
+	// Suppress items occurring once (items 0..3 occur once; 4,5 twice).
+	s, err := anon.SuppressAnonymize(d, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := Suppressed(s, d.Items)
+	if len(enc.Groups) != 4 {
+		t.Fatalf("groups = %d, want 4 (one per transaction with a suppressed slot)", len(enc.Groups))
+	}
+	for _, grp := range enc.Groups {
+		if grp.Kind != ExactCount || grp.Count != 1 {
+			t.Fatalf("unexpected group %+v", grp.Kind)
+		}
+		if len(grp.Vars) != 4 {
+			t.Fatalf("candidate pool = %d, want 4", len(grp.Vars))
+		}
+	}
+	if enc.DB.NumVars() > 24 {
+		t.Skip("too large to enumerate")
+	}
+	worlds := enc.DB.EnumWorlds()
+	// Each of the 4 transactions independently picks 1 of 4
+	// candidates: 4^4 = 256 worlds.
+	if len(worlds) != 256 {
+		t.Fatalf("worlds = %d, want 256", len(worlds))
+	}
+}
+
+func TestSuppressedCountBounds(t *testing.T) {
+	d, _ := tinyData()
+	s, err := anon.SuppressAnonymize(d, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := Suppressed(s, d.Items)
+	// COUNT of transactions containing item 0: item 0 is suppressed;
+	// up to 4 transactions could hold it, possibly none.
+	sel := core.Select(enc.TransItem, func(r core.Row) bool { return r.Int("Item") == 0 })
+	proj := core.Project(enc.DB, sel, "TID")
+	res, err := core.CountBounds(enc.DB, proj, solver.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Min != 0 || res.Max != 4 {
+		t.Fatalf("bounds = [%d,%d], want [0,4]", res.Min, res.Max)
+	}
+}
+
+func TestGeneralizedSizeLinear(t *testing.T) {
+	// Appendix A: the LICM representation is O(N) — one tuple per
+	// possible item and each variable appears once in a constraint.
+	d, h := tinyData()
+	g, err := anon.KAnonymize(d, h, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := Generalized(g, d.Items)
+	seen := map[int32]int{}
+	for _, c := range enc.DB.Constraints() {
+		for _, tm := range c.Lin.Terms() {
+			seen[int32(tm.Var)]++
+		}
+	}
+	for v, n := range seen {
+		if n != 1 {
+			t.Fatalf("variable b%d appears in %d constraint terms, want 1", v, n)
+		}
+	}
+	if enc.TransItem.Len() < 8 {
+		t.Error("encoding lost tuples")
+	}
+}

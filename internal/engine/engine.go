@@ -1,0 +1,307 @@
+// Package engine is a small deterministic relational engine: tables of
+// constant values with selection, projection, intersection, product,
+// join, count-predicate and aggregation operators whose semantics
+// mirror the LICM operator translations in internal/core, evaluated on
+// ordinary (certain) data.
+//
+// It plays the role Microsoft SQL Server plays in the paper's
+// evaluation: the Monte-Carlo baseline samples a possible world,
+// instantiates it as engine tables, and runs the query here. The
+// tests in internal/core also use it as the ground-truth oracle when
+// checking that LICM query answering commutes with world
+// instantiation.
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"licm/internal/core"
+)
+
+// Table is a deterministic relation: named columns and rows of
+// constant values (bag semantics unless an operator dedupes).
+type Table struct {
+	Name string
+	Cols []string
+	Rows [][]core.Value
+}
+
+// New creates an empty table.
+func New(name string, cols ...string) *Table {
+	return &Table{Name: name, Cols: append([]string(nil), cols...)}
+}
+
+// Insert appends a row.
+func (t *Table) Insert(vals ...core.Value) {
+	if len(vals) != len(t.Cols) {
+		panic(fmt.Sprintf("engine: table %q: %d values for %d columns", t.Name, len(vals), len(t.Cols)))
+	}
+	t.Rows = append(t.Rows, append([]core.Value(nil), vals...))
+}
+
+// InsertRows appends pre-built rows without copying.
+func (t *Table) InsertRows(rows [][]core.Value) {
+	t.Rows = append(t.Rows, rows...)
+}
+
+// Len returns the number of rows.
+func (t *Table) Len() int { return len(t.Rows) }
+
+func (t *Table) colIndex(col string) int {
+	for i, c := range t.Cols {
+		if c == col {
+			return i
+		}
+	}
+	panic(fmt.Sprintf("engine: table %q has no column %q", t.Name, col))
+}
+
+// Row gives typed access to one row through the schema.
+type Row struct {
+	tab  *Table
+	vals []core.Value
+}
+
+// RowAt returns an accessor for the i-th row.
+func (t *Table) RowAt(i int) Row { return Row{tab: t, vals: t.Rows[i]} }
+
+// Get returns the value of the named column.
+func (r Row) Get(col string) core.Value { return r.vals[r.tab.colIndex(col)] }
+
+// Int returns the named column as an integer.
+func (r Row) Int(col string) int64 { return r.Get(col).Int() }
+
+// Str returns the named column as a string.
+func (r Row) Str(col string) string { return r.Get(col).Str() }
+
+// Select returns the rows satisfying the predicate.
+func (t *Table) Select(pred func(Row) bool) *Table {
+	out := New("σ("+t.Name+")", t.Cols...)
+	for _, row := range t.Rows {
+		if pred(Row{tab: t, vals: row}) {
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out
+}
+
+// Project returns the distinct values of the given columns (set
+// semantics, matching relational algebra π).
+func (t *Table) Project(cols ...string) *Table {
+	idx := make([]int, len(cols))
+	for i, c := range cols {
+		idx[i] = t.colIndex(c)
+	}
+	out := New("π("+t.Name+")", cols...)
+	seen := make(map[string]bool)
+	for _, row := range t.Rows {
+		vals := make([]core.Value, len(cols))
+		for i, j := range idx {
+			vals[i] = row[j]
+		}
+		k := core.Key(vals)
+		if !seen[k] {
+			seen[k] = true
+			out.Rows = append(out.Rows, vals)
+		}
+	}
+	return out
+}
+
+// Distinct dedupes full rows.
+func (t *Table) Distinct() *Table {
+	out := t.Project(t.Cols...)
+	out.Name = t.Name
+	return out
+}
+
+// Intersect returns the rows present in both tables (set semantics).
+func (t *Table) Intersect(u *Table) (*Table, error) {
+	if len(t.Cols) != len(u.Cols) {
+		return nil, fmt.Errorf("engine: intersect schema mismatch: %v vs %v", t.Cols, u.Cols)
+	}
+	for i := range t.Cols {
+		if t.Cols[i] != u.Cols[i] {
+			return nil, fmt.Errorf("engine: intersect schema mismatch: %v vs %v", t.Cols, u.Cols)
+		}
+	}
+	in := make(map[string]bool, len(u.Rows))
+	for _, row := range u.Rows {
+		in[core.Key(row)] = true
+	}
+	out := New(t.Name+"∩"+u.Name, t.Cols...)
+	seen := make(map[string]bool)
+	for _, row := range t.Rows {
+		k := core.Key(row)
+		if in[k] && !seen[k] {
+			seen[k] = true
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out, nil
+}
+
+// Union returns the distinct rows present in either table (set
+// semantics, matching core.Union).
+func (t *Table) Union(u *Table) (*Table, error) {
+	if len(t.Cols) != len(u.Cols) {
+		return nil, fmt.Errorf("engine: union schema mismatch: %v vs %v", t.Cols, u.Cols)
+	}
+	for i := range t.Cols {
+		if t.Cols[i] != u.Cols[i] {
+			return nil, fmt.Errorf("engine: union schema mismatch: %v vs %v", t.Cols, u.Cols)
+		}
+	}
+	out := New(t.Name+"∪"+u.Name, t.Cols...)
+	seen := make(map[string]bool)
+	for _, rows := range [2][][]core.Value{t.Rows, u.Rows} {
+		for _, row := range rows {
+			k := core.Key(row)
+			if !seen[k] {
+				seen[k] = true
+				out.Rows = append(out.Rows, row)
+			}
+		}
+	}
+	return out, nil
+}
+
+// Product returns the Cartesian product, with columns prefixed by the
+// input table names exactly as core.Product does.
+func (t *Table) Product(u *Table) *Table {
+	cols := make([]string, 0, len(t.Cols)+len(u.Cols))
+	for _, c := range t.Cols {
+		cols = append(cols, t.Name+"."+c)
+	}
+	for _, c := range u.Cols {
+		cols = append(cols, u.Name+"."+c)
+	}
+	out := New(t.Name+"×"+u.Name, cols...)
+	for _, r1 := range t.Rows {
+		for _, r2 := range u.Rows {
+			row := make([]core.Value, 0, len(cols))
+			row = append(row, r1...)
+			row = append(row, r2...)
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out
+}
+
+// Join returns the natural equijoin on the given columns; the output
+// schema is t's columns followed by u's non-join columns (matching
+// core.Join).
+func (t *Table) Join(u *Table, on ...string) *Table {
+	idx1 := make([]int, len(on))
+	idx2 := make([]int, len(on))
+	for i, c := range on {
+		idx1[i] = t.colIndex(c)
+		idx2[i] = u.colIndex(c)
+	}
+	keep2 := make([]int, 0, len(u.Cols))
+	cols := append([]string(nil), t.Cols...)
+	for j, c := range u.Cols {
+		joinCol := false
+		for _, oc := range on {
+			if c == oc {
+				joinCol = true
+				break
+			}
+		}
+		if !joinCol {
+			keep2 = append(keep2, j)
+			cols = append(cols, c)
+		}
+	}
+	out := New(t.Name+"⋈"+u.Name, cols...)
+	buckets := make(map[string][][]core.Value)
+	buf := make([]core.Value, len(on))
+	for _, row := range u.Rows {
+		for k, j := range idx2 {
+			buf[k] = row[j]
+		}
+		key := core.Key(buf)
+		buckets[key] = append(buckets[key], row)
+	}
+	for _, r1 := range t.Rows {
+		for k, j := range idx1 {
+			buf[k] = r1[j]
+		}
+		for _, r2 := range buckets[core.Key(buf)] {
+			row := make([]core.Value, 0, len(cols))
+			row = append(row, r1...)
+			for _, j := range keep2 {
+				row = append(row, r2[j])
+			}
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out
+}
+
+// CountPredicate groups the distinct rows by the given columns and
+// keeps the groups whose distinct-row count satisfies op d; the
+// result has the group columns as schema (matching
+// core.CountPredicate).
+func (t *Table) CountPredicate(groupCols []string, op core.CmpOp, d int) *Table {
+	dist := t.Distinct()
+	idx := make([]int, len(groupCols))
+	for i, c := range groupCols {
+		idx[i] = dist.colIndex(c)
+	}
+	counts := make(map[string]int)
+	vals := make(map[string][]core.Value)
+	var order []string
+	buf := make([]core.Value, len(groupCols))
+	for _, row := range dist.Rows {
+		for i, j := range idx {
+			buf[i] = row[j]
+		}
+		k := core.Key(buf)
+		if _, ok := counts[k]; !ok {
+			order = append(order, k)
+			vals[k] = append([]core.Value(nil), buf...)
+		}
+		counts[k]++
+	}
+	out := New(fmt.Sprintf("count(%s)", t.Name), groupCols...)
+	for _, k := range order {
+		ok := false
+		switch op {
+		case core.CountLE:
+			ok = counts[k] <= d
+		case core.CountGE:
+			ok = counts[k] >= d
+		}
+		if ok {
+			out.Rows = append(out.Rows, vals[k])
+		}
+	}
+	return out
+}
+
+// Count returns the number of rows (bag semantics; apply Distinct
+// first for set counts).
+func (t *Table) Count() int64 { return int64(len(t.Rows)) }
+
+// Sum returns the sum of an integer column over all rows.
+func (t *Table) Sum(col string) int64 {
+	j := t.colIndex(col)
+	var s int64
+	for _, row := range t.Rows {
+		s += row[j].Int()
+	}
+	return s
+}
+
+// SortedKeys returns the multiset of row keys, sorted — a convenient
+// canonical form for comparing tables in tests.
+func (t *Table) SortedKeys() []string {
+	keys := make([]string, len(t.Rows))
+	for i, row := range t.Rows {
+		keys[i] = core.Key(row)
+	}
+	sort.Strings(keys)
+	return keys
+}

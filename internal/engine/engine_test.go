@@ -1,0 +1,219 @@
+package engine
+
+import (
+	"reflect"
+	"testing"
+
+	"licm/internal/core"
+)
+
+func iv(i int64) core.Value  { return core.IntVal(i) }
+func sv(s string) core.Value { return core.StrVal(s) }
+
+func sample() *Table {
+	t := New("TransItem", "TID", "Item", "Price")
+	t.Insert(iv(1), sv("beer"), iv(5))
+	t.Insert(iv(1), sv("wine"), iv(12))
+	t.Insert(iv(2), sv("beer"), iv(5))
+	t.Insert(iv(2), sv("shampoo"), iv(3))
+	t.Insert(iv(3), sv("wine"), iv(12))
+	return t
+}
+
+func TestInsertAndAccessors(t *testing.T) {
+	tab := sample()
+	if tab.Len() != 5 {
+		t.Fatalf("Len = %d", tab.Len())
+	}
+	row := tab.RowAt(1)
+	if row.Int("TID") != 1 || row.Str("Item") != "wine" || row.Get("Price").Int() != 12 {
+		t.Error("accessors wrong")
+	}
+}
+
+func TestInsertArityPanics(t *testing.T) {
+	tab := New("T", "A")
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	tab.Insert(iv(1), iv(2))
+}
+
+func TestUnknownColumnPanics(t *testing.T) {
+	tab := sample()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	tab.RowAt(0).Get("Nope")
+}
+
+func TestSelect(t *testing.T) {
+	tab := sample()
+	out := tab.Select(func(r Row) bool { return r.Str("Item") == "beer" })
+	if out.Len() != 2 {
+		t.Fatalf("Len = %d", out.Len())
+	}
+	if out.Name != "σ(TransItem)" {
+		t.Errorf("name = %q", out.Name)
+	}
+}
+
+func TestProjectDistinct(t *testing.T) {
+	tab := sample()
+	out := tab.Project("TID")
+	if out.Len() != 3 {
+		t.Fatalf("distinct TIDs = %d, want 3", out.Len())
+	}
+	out2 := tab.Project("Item", "Price")
+	if out2.Len() != 3 {
+		t.Fatalf("distinct (Item,Price) = %d, want 3", out2.Len())
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	tab := New("T", "A")
+	tab.Insert(iv(1))
+	tab.Insert(iv(1))
+	tab.Insert(iv(2))
+	out := tab.Distinct()
+	if out.Len() != 2 || out.Name != "T" {
+		t.Fatalf("Distinct: %v", out)
+	}
+}
+
+func TestIntersect(t *testing.T) {
+	a := New("A", "X")
+	a.Insert(iv(1))
+	a.Insert(iv(2))
+	a.Insert(iv(2))
+	b := New("B", "X")
+	b.Insert(iv(2))
+	b.Insert(iv(3))
+	out, err := a.Intersect(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 1 || out.Rows[0][0].Int() != 2 {
+		t.Fatalf("intersect: %v", out.Rows)
+	}
+	c := New("C", "Y")
+	if _, err := a.Intersect(c); err == nil {
+		t.Error("expected schema error")
+	}
+	d := New("D", "X", "Y")
+	if _, err := a.Intersect(d); err == nil {
+		t.Error("expected schema error")
+	}
+}
+
+func TestProduct(t *testing.T) {
+	a := New("A", "X")
+	a.Insert(iv(1))
+	a.Insert(iv(2))
+	b := New("B", "Y")
+	b.Insert(iv(10))
+	out := a.Product(b)
+	if out.Len() != 2 {
+		t.Fatalf("product len = %d", out.Len())
+	}
+	if !reflect.DeepEqual(out.Cols, []string{"A.X", "B.Y"}) {
+		t.Errorf("cols = %v", out.Cols)
+	}
+}
+
+func TestJoin(t *testing.T) {
+	items := sample()
+	price := New("Loc", "TID", "Location")
+	price.Insert(iv(1), iv(100))
+	price.Insert(iv(2), iv(200))
+	out := items.Join(price, "TID")
+	if out.Len() != 4 { // TID 3 unmatched
+		t.Fatalf("join len = %d", out.Len())
+	}
+	if !reflect.DeepEqual(out.Cols, []string{"TID", "Item", "Price", "Location"}) {
+		t.Errorf("cols = %v", out.Cols)
+	}
+}
+
+func TestCountPredicate(t *testing.T) {
+	tab := sample()
+	// Transactions with >= 2 items.
+	out := tab.CountPredicate([]string{"TID"}, core.CountGE, 2)
+	if out.Len() != 2 {
+		t.Fatalf("groups = %d, want 2 (TIDs 1,2)", out.Len())
+	}
+	// Transactions with <= 1 item.
+	out = tab.CountPredicate([]string{"TID"}, core.CountLE, 1)
+	if out.Len() != 1 || out.Rows[0][0].Int() != 3 {
+		t.Fatalf("LE groups: %v", out.Rows)
+	}
+}
+
+func TestCountPredicateDedupes(t *testing.T) {
+	tab := New("T", "G", "X")
+	tab.Insert(iv(1), iv(7))
+	tab.Insert(iv(1), iv(7)) // duplicate must count once
+	out := tab.CountPredicate([]string{"G"}, core.CountGE, 2)
+	if out.Len() != 0 {
+		t.Fatalf("duplicates should collapse: %v", out.Rows)
+	}
+}
+
+func TestCountAndSum(t *testing.T) {
+	tab := sample()
+	if tab.Count() != 5 {
+		t.Errorf("Count = %d", tab.Count())
+	}
+	if got := tab.Sum("Price"); got != 37 {
+		t.Errorf("Sum = %d, want 37", got)
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	a := New("A", "X")
+	a.Insert(iv(2))
+	a.Insert(iv(1))
+	b := New("B", "X")
+	b.Insert(iv(1))
+	b.Insert(iv(2))
+	if !reflect.DeepEqual(a.SortedKeys(), b.SortedKeys()) {
+		t.Error("SortedKeys should canonicalize order")
+	}
+}
+
+func TestInsertRows(t *testing.T) {
+	a := New("A", "X")
+	a.InsertRows([][]core.Value{{iv(1)}, {iv(2)}})
+	if a.Len() != 2 {
+		t.Fatalf("Len = %d", a.Len())
+	}
+}
+
+func TestUnion(t *testing.T) {
+	a := New("A", "X")
+	a.Insert(iv(1))
+	a.Insert(iv(2))
+	a.Insert(iv(2)) // duplicate inside one input
+	b := New("B", "X")
+	b.Insert(iv(2))
+	b.Insert(iv(3))
+	out, err := a.Union(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 3 {
+		t.Fatalf("union rows = %d, want 3", out.Len())
+	}
+	c := New("C", "Y")
+	if _, err := a.Union(c); err == nil {
+		t.Error("want schema error")
+	}
+	d := New("D", "X", "Y")
+	if _, err := a.Union(d); err == nil {
+		t.Error("want arity error")
+	}
+}

@@ -1,0 +1,302 @@
+// Package expr provides sparse integer linear expressions and linear
+// constraints over binary variables. It is the shared vocabulary between
+// the LICM data model (internal/core), which accumulates constraints
+// while translating relational operators, and the BIP solver
+// (internal/solver), which optimizes over them.
+//
+// Variables are identified by dense non-negative integer ids allocated
+// by the owner of the constraint store (a core.DB or a solver.Problem).
+// All coefficients and right-hand sides are integers: every constraint
+// produced by the LICM operator translations in the paper is integral.
+package expr
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Var identifies a binary decision variable. Ids are dense and
+// non-negative; the zero value is a valid variable id.
+type Var int32
+
+// Term is a single coefficient–variable product inside a linear
+// expression.
+type Term struct {
+	Var  Var
+	Coef int64
+}
+
+// Lin is a sparse integer linear expression c1*b1 + c2*b2 + ... + const.
+// The zero value is the empty expression (constant 0). Lin values are
+// normalized: terms are sorted by variable id, and no term has a zero
+// coefficient or a duplicated variable.
+type Lin struct {
+	terms []Term
+	konst int64
+}
+
+// NewLin returns an expression built from the given terms plus an
+// additive constant. Duplicate variables are merged and zero
+// coefficients dropped.
+func NewLin(konst int64, terms ...Term) Lin {
+	l := Lin{konst: konst, terms: append([]Term(nil), terms...)}
+	l.normalize()
+	return l
+}
+
+// Sum returns b1 + b2 + ... + bn with unit coefficients.
+func Sum(vars ...Var) Lin {
+	terms := make([]Term, 0, len(vars))
+	for _, v := range vars {
+		terms = append(terms, Term{Var: v, Coef: 1})
+	}
+	l := Lin{terms: terms}
+	l.normalize()
+	return l
+}
+
+func (l *Lin) normalize() {
+	sort.Slice(l.terms, func(i, j int) bool { return l.terms[i].Var < l.terms[j].Var })
+	out := l.terms[:0]
+	for _, t := range l.terms {
+		if n := len(out); n > 0 && out[n-1].Var == t.Var {
+			out[n-1].Coef += t.Coef
+			continue
+		}
+		out = append(out, t)
+	}
+	// Drop zero coefficients produced by cancellation.
+	w := 0
+	for _, t := range out {
+		if t.Coef != 0 {
+			out[w] = t
+			w++
+		}
+	}
+	l.terms = out[:w]
+}
+
+// Terms returns the normalized terms of the expression. The returned
+// slice is owned by the expression and must not be modified.
+func (l Lin) Terms() []Term { return l.terms }
+
+// Const returns the additive constant of the expression.
+func (l Lin) Const() int64 { return l.konst }
+
+// Len returns the number of variables with non-zero coefficient.
+func (l Lin) Len() int { return len(l.terms) }
+
+// IsConst reports whether the expression has no variable terms.
+func (l Lin) IsConst() bool { return len(l.terms) == 0 }
+
+// Coef returns the coefficient of v (zero if absent).
+func (l Lin) Coef(v Var) int64 {
+	i := sort.Search(len(l.terms), func(i int) bool { return l.terms[i].Var >= v })
+	if i < len(l.terms) && l.terms[i].Var == v {
+		return l.terms[i].Coef
+	}
+	return 0
+}
+
+// Add returns l + m.
+func (l Lin) Add(m Lin) Lin {
+	terms := make([]Term, 0, len(l.terms)+len(m.terms))
+	terms = append(terms, l.terms...)
+	terms = append(terms, m.terms...)
+	r := Lin{terms: terms, konst: l.konst + m.konst}
+	r.normalize()
+	return r
+}
+
+// AddTerm returns l + coef*v.
+func (l Lin) AddTerm(v Var, coef int64) Lin {
+	terms := make([]Term, 0, len(l.terms)+1)
+	terms = append(terms, l.terms...)
+	terms = append(terms, Term{Var: v, Coef: coef})
+	r := Lin{terms: terms, konst: l.konst}
+	r.normalize()
+	return r
+}
+
+// AddConst returns l + k.
+func (l Lin) AddConst(k int64) Lin {
+	return Lin{terms: l.terms, konst: l.konst + k}
+}
+
+// Scale returns k*l.
+func (l Lin) Scale(k int64) Lin {
+	if k == 0 {
+		return Lin{}
+	}
+	terms := make([]Term, len(l.terms))
+	for i, t := range l.terms {
+		terms[i] = Term{Var: t.Var, Coef: t.Coef * k}
+	}
+	return Lin{terms: terms, konst: l.konst * k}
+}
+
+// Neg returns -l.
+func (l Lin) Neg() Lin { return l.Scale(-1) }
+
+// Eval evaluates the expression under an assignment of binary values.
+// The assignment function must be defined for every variable in l.
+func (l Lin) Eval(value func(Var) bool) int64 {
+	s := l.konst
+	for _, t := range l.terms {
+		if value(t.Var) {
+			s += t.Coef
+		}
+	}
+	return s
+}
+
+// Bounds returns the minimum and maximum value the expression can take
+// over all 0/1 assignments, ignoring constraints.
+func (l Lin) Bounds() (lo, hi int64) {
+	lo, hi = l.konst, l.konst
+	for _, t := range l.terms {
+		if t.Coef > 0 {
+			hi += t.Coef
+		} else {
+			lo += t.Coef
+		}
+	}
+	return lo, hi
+}
+
+// MaxVar returns the largest variable id used, or -1 if none.
+func (l Lin) MaxVar() Var {
+	if len(l.terms) == 0 {
+		return -1
+	}
+	return l.terms[len(l.terms)-1].Var
+}
+
+// String renders the expression in a human-readable form such as
+// "2*b3 - b7 + 1".
+func (l Lin) String() string {
+	if len(l.terms) == 0 {
+		return fmt.Sprintf("%d", l.konst)
+	}
+	var sb strings.Builder
+	for i, t := range l.terms {
+		c := t.Coef
+		switch {
+		case i == 0 && c < 0:
+			sb.WriteString("-")
+			c = -c
+		case i > 0 && c < 0:
+			sb.WriteString(" - ")
+			c = -c
+		case i > 0:
+			sb.WriteString(" + ")
+		}
+		if c != 1 {
+			fmt.Fprintf(&sb, "%d*", c)
+		}
+		fmt.Fprintf(&sb, "b%d", t.Var)
+	}
+	if l.konst > 0 {
+		fmt.Fprintf(&sb, " + %d", l.konst)
+	} else if l.konst < 0 {
+		fmt.Fprintf(&sb, " - %d", -l.konst)
+	}
+	return sb.String()
+}
+
+// Op is a comparison operator in a linear constraint.
+type Op int8
+
+// The three operators allowed by the LICM model (Definition 3).
+const (
+	LE Op = iota // <=
+	GE           // >=
+	EQ           // ==
+)
+
+// String returns the usual symbol for the operator.
+func (op Op) String() string {
+	switch op {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "="
+	default:
+		return fmt.Sprintf("Op(%d)", int(op))
+	}
+}
+
+// Constraint is a linear constraint  lin op rhs  over binary variables,
+// the building block of an LICM database's constraint set C.
+type Constraint struct {
+	Lin Lin
+	Op  Op
+	RHS int64
+}
+
+// NewConstraint builds a constraint, folding the expression's additive
+// constant into the right-hand side so that Lin.Const() == 0.
+func NewConstraint(lin Lin, op Op, rhs int64) Constraint {
+	c := Constraint{Lin: lin, Op: op, RHS: rhs}
+	if k := c.Lin.Const(); k != 0 {
+		c.Lin = c.Lin.AddConst(-k)
+		c.RHS -= k
+	}
+	return c
+}
+
+// Holds reports whether the constraint is satisfied under the given
+// assignment.
+func (c Constraint) Holds(value func(Var) bool) bool {
+	v := c.Lin.Eval(value)
+	switch c.Op {
+	case LE:
+		return v <= c.RHS
+	case GE:
+		return v >= c.RHS
+	case EQ:
+		return v == c.RHS
+	default:
+		return false
+	}
+}
+
+// Trivial reports whether the constraint holds for every 0/1
+// assignment.
+func (c Constraint) Trivial() bool {
+	lo, hi := c.Lin.Bounds()
+	switch c.Op {
+	case LE:
+		return hi <= c.RHS
+	case GE:
+		return lo >= c.RHS
+	case EQ:
+		return lo == c.RHS && hi == c.RHS
+	default:
+		return false
+	}
+}
+
+// Infeasible reports whether the constraint fails for every 0/1
+// assignment.
+func (c Constraint) Infeasible() bool {
+	lo, hi := c.Lin.Bounds()
+	switch c.Op {
+	case LE:
+		return lo > c.RHS
+	case GE:
+		return hi < c.RHS
+	case EQ:
+		return c.RHS < lo || c.RHS > hi
+	default:
+		return false
+	}
+}
+
+// String renders the constraint, e.g. "b1 + b2 + b3 >= 1".
+func (c Constraint) String() string {
+	return fmt.Sprintf("%s %s %d", c.Lin, c.Op, c.RHS)
+}

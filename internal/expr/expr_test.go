@@ -1,0 +1,237 @@
+package expr
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewLinMergesAndSorts(t *testing.T) {
+	l := NewLin(2, Term{Var: 5, Coef: 1}, Term{Var: 1, Coef: 3}, Term{Var: 5, Coef: 2})
+	want := []Term{{Var: 1, Coef: 3}, {Var: 5, Coef: 3}}
+	got := l.Terms()
+	if len(got) != len(want) {
+		t.Fatalf("terms = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("term %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if l.Const() != 2 {
+		t.Errorf("const = %d, want 2", l.Const())
+	}
+}
+
+func TestNewLinDropsZeroCoefficients(t *testing.T) {
+	l := NewLin(0, Term{Var: 3, Coef: 2}, Term{Var: 3, Coef: -2}, Term{Var: 4, Coef: 0})
+	if l.Len() != 0 || !l.IsConst() {
+		t.Fatalf("expected empty expression, got %v", l)
+	}
+}
+
+func TestSum(t *testing.T) {
+	l := Sum(2, 0, 1)
+	if l.Len() != 3 || l.Coef(0) != 1 || l.Coef(1) != 1 || l.Coef(2) != 1 {
+		t.Fatalf("Sum(2,0,1) = %v", l)
+	}
+}
+
+func TestCoefAbsent(t *testing.T) {
+	l := Sum(1, 3)
+	if c := l.Coef(2); c != 0 {
+		t.Errorf("Coef(2) = %d, want 0", c)
+	}
+}
+
+func TestAdd(t *testing.T) {
+	a := NewLin(1, Term{Var: 0, Coef: 2}, Term{Var: 1, Coef: -1})
+	b := NewLin(3, Term{Var: 1, Coef: 1}, Term{Var: 2, Coef: 5})
+	c := a.Add(b)
+	if c.Const() != 4 || c.Coef(0) != 2 || c.Coef(1) != 0 || c.Coef(2) != 5 || c.Len() != 2 {
+		t.Fatalf("Add = %v", c)
+	}
+}
+
+func TestAddTermAndConst(t *testing.T) {
+	l := Sum(0).AddTerm(1, 4).AddConst(-2)
+	if l.Coef(0) != 1 || l.Coef(1) != 4 || l.Const() != -2 {
+		t.Fatalf("got %v", l)
+	}
+	l = l.AddTerm(1, -4)
+	if l.Len() != 1 {
+		t.Fatalf("cancellation failed: %v", l)
+	}
+}
+
+func TestScaleNeg(t *testing.T) {
+	l := NewLin(1, Term{Var: 0, Coef: 2})
+	n := l.Neg()
+	if n.Const() != -1 || n.Coef(0) != -2 {
+		t.Fatalf("Neg = %v", n)
+	}
+	if z := l.Scale(0); z.Len() != 0 || z.Const() != 0 {
+		t.Fatalf("Scale(0) = %v", z)
+	}
+}
+
+func TestEval(t *testing.T) {
+	l := NewLin(-1, Term{Var: 0, Coef: 2}, Term{Var: 1, Coef: 3})
+	val := func(v Var) bool { return v == 1 }
+	if got := l.Eval(val); got != 2 {
+		t.Errorf("Eval = %d, want 2", got)
+	}
+}
+
+func TestBounds(t *testing.T) {
+	l := NewLin(1, Term{Var: 0, Coef: 2}, Term{Var: 1, Coef: -3})
+	lo, hi := l.Bounds()
+	if lo != -2 || hi != 3 {
+		t.Errorf("Bounds = (%d,%d), want (-2,3)", lo, hi)
+	}
+}
+
+func TestMaxVar(t *testing.T) {
+	if v := (Lin{}).MaxVar(); v != -1 {
+		t.Errorf("empty MaxVar = %d, want -1", v)
+	}
+	if v := Sum(4, 9, 2).MaxVar(); v != 9 {
+		t.Errorf("MaxVar = %d, want 9", v)
+	}
+}
+
+func TestString(t *testing.T) {
+	l := NewLin(-1, Term{Var: 0, Coef: 1}, Term{Var: 2, Coef: -2})
+	if got := l.String(); got != "b0 - 2*b2 - 1" {
+		t.Errorf("String = %q", got)
+	}
+	if got := (Lin{konst: 3}).String(); got != "3" {
+		t.Errorf("const String = %q", got)
+	}
+	c := NewConstraint(Sum(1, 2), GE, 1)
+	if got := c.String(); got != "b1 + b2 >= 1" {
+		t.Errorf("constraint String = %q", got)
+	}
+}
+
+func TestNewConstraintFoldsConstant(t *testing.T) {
+	c := NewConstraint(NewLin(2, Term{Var: 0, Coef: 1}), LE, 5)
+	if c.Lin.Const() != 0 || c.RHS != 3 {
+		t.Fatalf("constant not folded: %v", c)
+	}
+}
+
+func TestConstraintHolds(t *testing.T) {
+	all := func(Var) bool { return true }
+	none := func(Var) bool { return false }
+	cases := []struct {
+		c          Constraint
+		wantAll    bool
+		wantNone   bool
+		wantString string
+	}{
+		{NewConstraint(Sum(0, 1), GE, 1), true, false, "b0 + b1 >= 1"},
+		{NewConstraint(Sum(0, 1), LE, 1), false, true, "b0 + b1 <= 1"},
+		{NewConstraint(Sum(0, 1), EQ, 2), true, false, "b0 + b1 = 2"},
+	}
+	for _, tc := range cases {
+		if got := tc.c.Holds(all); got != tc.wantAll {
+			t.Errorf("%v Holds(all) = %v, want %v", tc.c, got, tc.wantAll)
+		}
+		if got := tc.c.Holds(none); got != tc.wantNone {
+			t.Errorf("%v Holds(none) = %v, want %v", tc.c, got, tc.wantNone)
+		}
+		if got := tc.c.String(); got != tc.wantString {
+			t.Errorf("String = %q, want %q", got, tc.wantString)
+		}
+	}
+}
+
+func TestTrivialInfeasible(t *testing.T) {
+	if !NewConstraint(Sum(0, 1), LE, 2).Trivial() {
+		t.Error("b0+b1 <= 2 should be trivial")
+	}
+	if !NewConstraint(Sum(0, 1), GE, 3).Infeasible() {
+		t.Error("b0+b1 >= 3 should be infeasible")
+	}
+	if NewConstraint(Sum(0, 1), EQ, 1).Trivial() {
+		t.Error("b0+b1 = 1 should not be trivial")
+	}
+	if NewConstraint(Sum(0, 1), EQ, 1).Infeasible() {
+		t.Error("b0+b1 = 1 should not be infeasible")
+	}
+	if !NewConstraint(Lin{}, EQ, 1).Infeasible() {
+		t.Error("0 = 1 should be infeasible")
+	}
+}
+
+// randomLin builds a random expression over variables [0,8).
+func randomLin(r *rand.Rand) Lin {
+	n := r.Intn(6)
+	terms := make([]Term, n)
+	for i := range terms {
+		terms[i] = Term{Var: Var(r.Intn(8)), Coef: int64(r.Intn(9) - 4)}
+	}
+	return NewLin(int64(r.Intn(7)-3), terms...)
+}
+
+// TestQuickEvalMatchesTermSum checks that Eval agrees with a direct
+// term-by-term evaluation on random expressions and assignments.
+func TestQuickEvalMatchesTermSum(t *testing.T) {
+	f := func(seed int64, mask uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		l := randomLin(r)
+		val := func(v Var) bool { return mask&(1<<uint(v)) != 0 }
+		want := l.Const()
+		for _, tm := range l.Terms() {
+			if val(tm.Var) {
+				want += tm.Coef
+			}
+		}
+		return l.Eval(val) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickBoundsContainEval checks lo <= Eval <= hi for random
+// expressions and assignments.
+func TestQuickBoundsContainEval(t *testing.T) {
+	f := func(seed int64, mask uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		l := randomLin(r)
+		lo, hi := l.Bounds()
+		v := l.Eval(func(v Var) bool { return mask&(1<<uint(v)) != 0 })
+		return lo <= v && v <= hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickAddEval checks (a+b).Eval == a.Eval + b.Eval.
+func TestQuickAddEval(t *testing.T) {
+	f := func(seed int64, mask uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randomLin(r), randomLin(r)
+		val := func(v Var) bool { return mask&(1<<uint(v)) != 0 }
+		return a.Add(b).Eval(val) == a.Eval(val)+b.Eval(val)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickScaleEval checks (k*a).Eval == k * a.Eval.
+func TestQuickScaleEval(t *testing.T) {
+	f := func(seed int64, mask uint8, k int8) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randomLin(r)
+		val := func(v Var) bool { return mask&(1<<uint(v)) != 0 }
+		return a.Scale(int64(k)).Eval(val) == int64(k)*a.Eval(val)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,281 @@
+// Package hierarchy provides item generalization hierarchies, the
+// domain structure behind generalization-based anonymization
+// (Figure 2(b) of the paper): a tree whose leaves are concrete items
+// and whose internal nodes are "generalized items" standing for the
+// set of leaves below them.
+package hierarchy
+
+import (
+	"fmt"
+)
+
+// NodeID identifies a node. Leaves occupy [0, NumLeaves); internal
+// nodes follow; the root has the largest id.
+type NodeID int32
+
+// Hierarchy is an immutable generalization tree.
+type Hierarchy struct {
+	numLeaves int
+	parent    []NodeID // parent[root] == -1
+	children  [][]NodeID
+	names     []string
+	height    []int // height[n] = distance to deepest leaf below n
+	depth     []int // depth[n] = distance from root
+}
+
+// Build creates a balanced hierarchy over numLeaves items by grouping
+// consecutive ranges of `fanout` nodes level by level until a single
+// root remains. Leaf i is named names[i] when names is non-nil
+// (otherwise "item<i>"); internal nodes get synthetic names.
+func Build(numLeaves, fanout int, names []string) (*Hierarchy, error) {
+	if numLeaves < 1 {
+		return nil, fmt.Errorf("hierarchy: need at least one leaf, got %d", numLeaves)
+	}
+	if fanout < 2 {
+		return nil, fmt.Errorf("hierarchy: fanout must be >= 2, got %d", fanout)
+	}
+	if names != nil && len(names) != numLeaves {
+		return nil, fmt.Errorf("hierarchy: %d names for %d leaves", len(names), numLeaves)
+	}
+	h := &Hierarchy{numLeaves: numLeaves}
+	for i := 0; i < numLeaves; i++ {
+		if names != nil {
+			h.names = append(h.names, names[i])
+		} else {
+			h.names = append(h.names, fmt.Sprintf("item%d", i))
+		}
+		h.parent = append(h.parent, -1)
+		h.children = append(h.children, nil)
+	}
+	level := make([]NodeID, numLeaves)
+	for i := range level {
+		level[i] = NodeID(i)
+	}
+	gen := 0
+	for len(level) > 1 {
+		gen++
+		var next []NodeID
+		for lo := 0; lo < len(level); lo += fanout {
+			hi := lo + fanout
+			if hi > len(level) {
+				hi = len(level)
+			}
+			if hi-lo == 1 && len(next) > 0 {
+				// Attach a trailing singleton to the previous group
+				// instead of chaining unary nodes.
+				last := next[len(next)-1]
+				child := level[lo]
+				h.parent[child] = last
+				h.children[last] = append(h.children[last], child)
+				continue
+			}
+			id := NodeID(len(h.parent))
+			h.parent = append(h.parent, -1)
+			h.children = append(h.children, nil)
+			h.names = append(h.names, fmt.Sprintf("g%d_%d", gen, len(next)))
+			for _, child := range level[lo:hi] {
+				h.parent[child] = id
+				h.children[id] = append(h.children[id], child)
+			}
+			next = append(next, id)
+		}
+		level = next
+	}
+	h.names[len(h.names)-1] = "All"
+	h.finish()
+	return h, nil
+}
+
+// FromParents creates a hierarchy from an explicit parent array (for
+// hand-built trees such as the paper's Figure 2(b)). parent[i] == -1
+// marks the root; leaves are the first numLeaves nodes.
+func FromParents(numLeaves int, parent []NodeID, names []string) (*Hierarchy, error) {
+	n := len(parent)
+	if numLeaves < 1 || numLeaves > n {
+		return nil, fmt.Errorf("hierarchy: numLeaves %d out of range for %d nodes", numLeaves, n)
+	}
+	if names != nil && len(names) != n {
+		return nil, fmt.Errorf("hierarchy: %d names for %d nodes", len(names), n)
+	}
+	h := &Hierarchy{
+		numLeaves: numLeaves,
+		parent:    append([]NodeID(nil), parent...),
+		children:  make([][]NodeID, n),
+		names:     make([]string, n),
+	}
+	roots := 0
+	for i, p := range parent {
+		if names != nil {
+			h.names[i] = names[i]
+		} else {
+			h.names[i] = fmt.Sprintf("node%d", i)
+		}
+		switch {
+		case p == -1:
+			roots++
+			if i != n-1 {
+				return nil, fmt.Errorf("hierarchy: root must be the last node, found at %d", i)
+			}
+		case p <= NodeID(i) || int(p) >= n:
+			return nil, fmt.Errorf("hierarchy: parent of %d is %d; parents must come later", i, p)
+		default:
+			h.children[p] = append(h.children[p], NodeID(i))
+		}
+	}
+	if roots != 1 {
+		return nil, fmt.Errorf("hierarchy: want exactly one root, got %d", roots)
+	}
+	for i := 0; i < numLeaves; i++ {
+		if len(h.children[i]) != 0 {
+			return nil, fmt.Errorf("hierarchy: leaf %d has children", i)
+		}
+	}
+	h.finish()
+	return h, nil
+}
+
+// finish computes heights and depths. Parents always have larger ids
+// than children (guaranteed by both constructors), so single passes in
+// id order suffice.
+func (h *Hierarchy) finish() {
+	n := len(h.parent)
+	h.height = make([]int, n)
+	h.depth = make([]int, n)
+	for i := 0; i < n; i++ {
+		for _, c := range h.children[i] {
+			if h.height[c]+1 > h.height[i] {
+				h.height[i] = h.height[c] + 1
+			}
+		}
+	}
+	for i := n - 1; i >= 0; i-- {
+		if p := h.parent[i]; p >= 0 {
+			h.depth[i] = h.depth[p] + 1
+		}
+	}
+}
+
+// NumLeaves returns the number of leaf items.
+func (h *Hierarchy) NumLeaves() int { return h.numLeaves }
+
+// NumNodes returns the total number of nodes.
+func (h *Hierarchy) NumNodes() int { return len(h.parent) }
+
+// Root returns the root node.
+func (h *Hierarchy) Root() NodeID { return NodeID(len(h.parent) - 1) }
+
+// IsLeaf reports whether n is a leaf (a concrete item).
+func (h *Hierarchy) IsLeaf(n NodeID) bool { return int(n) < h.numLeaves }
+
+// Parent returns n's parent, or -1 for the root.
+func (h *Hierarchy) Parent(n NodeID) NodeID { return h.parent[n] }
+
+// Children returns n's children (nil for leaves). The slice is owned
+// by the hierarchy.
+func (h *Hierarchy) Children(n NodeID) []NodeID { return h.children[n] }
+
+// Name returns the node's display name.
+func (h *Hierarchy) Name(n NodeID) string { return h.names[n] }
+
+// Height returns the distance from n to its deepest descendant leaf.
+func (h *Hierarchy) Height(n NodeID) int { return h.height[n] }
+
+// Depth returns the distance from the root to n.
+func (h *Hierarchy) Depth(n NodeID) int { return h.depth[n] }
+
+// LeavesUnder returns all leaf items below n (n itself if a leaf).
+func (h *Hierarchy) LeavesUnder(n NodeID) []NodeID {
+	if h.IsLeaf(n) {
+		return []NodeID{n}
+	}
+	var out []NodeID
+	stack := []NodeID{n}
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if h.IsLeaf(x) {
+			out = append(out, x)
+			continue
+		}
+		stack = append(stack, h.children[x]...)
+	}
+	return out
+}
+
+// CountLeavesUnder returns the number of leaves below n without
+// materializing them.
+func (h *Hierarchy) CountLeavesUnder(n NodeID) int {
+	if h.IsLeaf(n) {
+		return 1
+	}
+	total := 0
+	stack := []NodeID{n}
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if h.IsLeaf(x) {
+			total++
+			continue
+		}
+		stack = append(stack, h.children[x]...)
+	}
+	return total
+}
+
+// Generalize climbs `steps` levels up from n, stopping at the root.
+func (h *Hierarchy) Generalize(n NodeID, steps int) NodeID {
+	for steps > 0 && h.parent[n] >= 0 {
+		n = h.parent[n]
+		steps--
+	}
+	return n
+}
+
+// AncestorAtDepth returns the ancestor of n at the given depth from
+// the root (n itself if already at or above that depth).
+func (h *Hierarchy) AncestorAtDepth(n NodeID, depth int) NodeID {
+	for h.depth[n] > depth {
+		n = h.parent[n]
+	}
+	return n
+}
+
+// LCA returns the lowest common ancestor of a and b.
+func (h *Hierarchy) LCA(a, b NodeID) NodeID {
+	for h.depth[a] > h.depth[b] {
+		a = h.parent[a]
+	}
+	for h.depth[b] > h.depth[a] {
+		b = h.parent[b]
+	}
+	for a != b {
+		a = h.parent[a]
+		b = h.parent[b]
+	}
+	return a
+}
+
+// IsAncestor reports whether a is an ancestor of (or equal to) b.
+func (h *Hierarchy) IsAncestor(a, b NodeID) bool {
+	for b >= 0 {
+		if a == b {
+			return true
+		}
+		b = h.parent[b]
+	}
+	return false
+}
+
+// Fig2b builds the paper's example hierarchy of Figure 2(b): All over
+// {Alcohol: Beer, Wine, Liquor} and {Health Care: Diapers,
+// Pregnancy test, Shampoo}. Leaves are nodes 0-5, Alcohol 6, Health
+// Care 7, All 8.
+func Fig2b() *Hierarchy {
+	h, err := FromParents(6,
+		[]NodeID{6, 6, 6, 7, 7, 7, 8, 8, -1},
+		[]string{"Beer", "Wine", "Liquor", "Diapers", "Pregnancy test", "Shampoo", "Alcohol", "Health Care", "All"})
+	if err != nil {
+		panic(err) // static data; cannot fail
+	}
+	return h
+}

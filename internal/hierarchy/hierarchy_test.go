@@ -1,0 +1,164 @@
+package hierarchy
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestFig2b(t *testing.T) {
+	h := Fig2b()
+	if h.NumLeaves() != 6 || h.NumNodes() != 9 {
+		t.Fatalf("leaves=%d nodes=%d", h.NumLeaves(), h.NumNodes())
+	}
+	if h.Root() != 8 || h.Name(8) != "All" {
+		t.Fatalf("root = %d %q", h.Root(), h.Name(h.Root()))
+	}
+	if h.Name(6) != "Alcohol" || h.Name(7) != "Health Care" {
+		t.Error("internal names wrong")
+	}
+	leaves := h.LeavesUnder(6)
+	if len(leaves) != 3 {
+		t.Fatalf("alcohol leaves = %v", leaves)
+	}
+	for _, l := range leaves {
+		if !h.IsLeaf(l) || h.Parent(l) != 6 {
+			t.Errorf("leaf %d wrong", l)
+		}
+	}
+	if h.CountLeavesUnder(8) != 6 || h.CountLeavesUnder(0) != 1 {
+		t.Error("CountLeavesUnder wrong")
+	}
+	if h.Height(8) != 2 || h.Height(6) != 1 || h.Height(0) != 0 {
+		t.Error("heights wrong")
+	}
+	if h.Depth(8) != 0 || h.Depth(6) != 1 || h.Depth(0) != 2 {
+		t.Error("depths wrong")
+	}
+	if h.LCA(0, 2) != 6 || h.LCA(0, 3) != 8 || h.LCA(6, 1) != 6 {
+		t.Error("LCA wrong")
+	}
+	if !h.IsAncestor(8, 0) || !h.IsAncestor(6, 6) || h.IsAncestor(7, 0) {
+		t.Error("IsAncestor wrong")
+	}
+	if h.Generalize(0, 1) != 6 || h.Generalize(0, 2) != 8 || h.Generalize(0, 9) != 8 {
+		t.Error("Generalize wrong")
+	}
+	if h.AncestorAtDepth(0, 1) != 6 || h.AncestorAtDepth(0, 0) != 8 || h.AncestorAtDepth(0, 2) != 0 {
+		t.Error("AncestorAtDepth wrong")
+	}
+}
+
+func TestBuildBalanced(t *testing.T) {
+	h, err := Build(16, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumLeaves() != 16 {
+		t.Fatalf("leaves = %d", h.NumLeaves())
+	}
+	// 16 leaves, fanout 4: 4 internal at level 1, 1 root = 21 nodes.
+	if h.NumNodes() != 21 {
+		t.Fatalf("nodes = %d, want 21", h.NumNodes())
+	}
+	if got := len(h.LeavesUnder(h.Root())); got != 16 {
+		t.Fatalf("root covers %d leaves", got)
+	}
+	if h.Name(h.Root()) != "All" {
+		t.Error("root should be named All")
+	}
+}
+
+func TestBuildUnevenSingleton(t *testing.T) {
+	// 5 leaves with fanout 2 produces a trailing singleton which must
+	// be merged, never chained as a unary node.
+	h, err := Build(5, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := NodeID(0); int(n) < h.NumNodes(); n++ {
+		if !h.IsLeaf(n) && len(h.Children(n)) < 2 {
+			t.Errorf("internal node %d has %d children", n, len(h.Children(n)))
+		}
+	}
+	if got := len(h.LeavesUnder(h.Root())); got != 5 {
+		t.Fatalf("root covers %d leaves", got)
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := Build(0, 2, nil); err == nil {
+		t.Error("want error for zero leaves")
+	}
+	if _, err := Build(4, 1, nil); err == nil {
+		t.Error("want error for fanout 1")
+	}
+	if _, err := Build(4, 2, []string{"a"}); err == nil {
+		t.Error("want error for name count mismatch")
+	}
+}
+
+func TestBuildSingleLeaf(t *testing.T) {
+	h, err := Build(1, 2, []string{"only"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumNodes() != 1 || h.Root() != 0 || !h.IsLeaf(0) {
+		t.Fatalf("single-leaf hierarchy wrong: %d nodes", h.NumNodes())
+	}
+	if h.Generalize(0, 3) != 0 {
+		t.Error("generalizing the root should stay put")
+	}
+}
+
+func TestFromParentsErrors(t *testing.T) {
+	if _, err := FromParents(0, []NodeID{-1}, nil); err == nil {
+		t.Error("want error for zero leaves")
+	}
+	if _, err := FromParents(1, []NodeID{-1, -1}, nil); err == nil {
+		t.Error("want error for two roots")
+	}
+	if _, err := FromParents(2, []NodeID{2, 0, -1}, nil); err == nil {
+		t.Error("want error for backward parent")
+	}
+	if _, err := FromParents(2, []NodeID{-1, 2, 2}, nil); err == nil {
+		t.Error("want error for root not last")
+	}
+	if _, err := FromParents(1, []NodeID{1, -1}, []string{"a"}); err == nil {
+		t.Error("want error for name count mismatch")
+	}
+}
+
+func TestRandomTreeInvariants(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 30; trial++ {
+		leaves := 2 + r.Intn(60)
+		fanout := 2 + r.Intn(6)
+		h, err := Build(leaves, fanout, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Every leaf reaches the root; depth+height <= root height.
+		rootH := h.Height(h.Root())
+		for l := NodeID(0); int(l) < leaves; l++ {
+			if !h.IsAncestor(h.Root(), l) {
+				t.Fatalf("leaf %d detached", l)
+			}
+			if h.Depth(l) > rootH {
+				t.Fatalf("leaf %d deeper than root height", l)
+			}
+			if h.Generalize(l, rootH+1) != h.Root() {
+				t.Fatalf("leaf %d does not generalize to root", l)
+			}
+		}
+		// LeavesUnder partitions across each node's children.
+		for n := NodeID(leaves); int(n) < h.NumNodes(); n++ {
+			total := 0
+			for _, c := range h.Children(n) {
+				total += h.CountLeavesUnder(c)
+			}
+			if total != h.CountLeavesUnder(n) {
+				t.Fatalf("node %d: children cover %d of %d leaves", n, total, h.CountLeavesUnder(n))
+			}
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package mc
+
+import (
+	"fmt"
+
+	"licm/internal/encode"
+)
+
+// Enumerate yields every possible world of an encoded database by
+// walking the product of its uncertainty groups (non-empty subsets ×
+// permutations × fixed-size subsets). It calls fn with a sampler
+// whose current assignment is the world; fn can materialize it via
+// the usual accessors. Enumeration stops with an error if the world
+// count would exceed maxWorlds.
+//
+// This is the test oracle counterpart of SampleWorld: exact bounds
+// computed by the solver must match the min/max over these worlds.
+func Enumerate(enc *encode.Encoded, maxWorlds int, fn func(s *Sampler)) error {
+	total := 1
+	for _, g := range enc.Groups {
+		n := 0
+		switch g.Kind {
+		case encode.SubsetGE1:
+			if len(g.Vars) > 20 {
+				return fmt.Errorf("mc: group too large to enumerate (%d vars)", len(g.Vars))
+			}
+			n = 1<<uint(len(g.Vars)) - 1
+		case encode.Permutation:
+			n = 1
+			for i := 2; i <= len(g.Matrix); i++ {
+				n *= i
+			}
+		case encode.ExactCount:
+			n = binom(len(g.Vars), g.Count)
+		}
+		if n <= 0 {
+			return fmt.Errorf("mc: empty uncertainty group")
+		}
+		total *= n
+		if total > maxWorlds {
+			return fmt.Errorf("mc: %d+ worlds exceed limit %d", total, maxWorlds)
+		}
+	}
+	s := NewSampler(enc, 0)
+	var rec func(gi int)
+	rec = func(gi int) {
+		if gi == len(enc.Groups) {
+			fn(s)
+			return
+		}
+		g := enc.Groups[gi]
+		switch g.Kind {
+		case encode.SubsetGE1:
+			for mask := 1; mask < 1<<uint(len(g.Vars)); mask++ {
+				for i, v := range g.Vars {
+					if mask&(1<<uint(i)) != 0 {
+						s.assign[v] = 1
+					} else {
+						s.assign[v] = 0
+					}
+				}
+				rec(gi + 1)
+			}
+		case encode.Permutation:
+			k := len(g.Matrix)
+			perm := make([]int, k)
+			used := make([]bool, k)
+			var permRec func(i int)
+			permRec = func(i int) {
+				if i == k {
+					for r := 0; r < k; r++ {
+						for c := 0; c < k; c++ {
+							s.assign[g.Matrix[r][c]] = 0
+						}
+					}
+					for r, c := range perm {
+						s.assign[g.Matrix[r][c]] = 1
+					}
+					rec(gi + 1)
+					return
+				}
+				for c := 0; c < k; c++ {
+					if used[c] {
+						continue
+					}
+					used[c] = true
+					perm[i] = c
+					permRec(i + 1)
+					used[c] = false
+				}
+			}
+			permRec(0)
+		case encode.ExactCount:
+			n := len(g.Vars)
+			idx := make([]int, 0, g.Count)
+			var subRec func(start int)
+			subRec = func(start int) {
+				if len(idx) == g.Count {
+					for _, v := range g.Vars {
+						s.assign[v] = 0
+					}
+					for _, i := range idx {
+						s.assign[g.Vars[i]] = 1
+					}
+					rec(gi + 1)
+					return
+				}
+				for i := start; i < n; i++ {
+					idx = append(idx, i)
+					subRec(i + 1)
+					idx = idx[:len(idx)-1]
+				}
+			}
+			subRec(0)
+		}
+	}
+	rec(0)
+	return nil
+}
+
+func binom(n, k int) int {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	r := 1
+	for i := 1; i <= k; i++ {
+		r = r * (n - k + i) / i
+	}
+	return r
+}

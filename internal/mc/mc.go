@@ -1,0 +1,167 @@
+// Package mc is the "naive" Monte-Carlo baseline of the paper's
+// evaluation (Sections IV-D and V): sample possible worlds uniformly,
+// evaluate the aggregate query on each with a deterministic engine (in
+// the role of SQL Server), and report the min/max over the sample.
+//
+// As the paper shows, MC explores a narrow band around the center of
+// the answer distribution: random independent choices rarely produce
+// the correlated extremes, so the MC range is far inside the exact
+// LICM bounds. The samplers here are exactly uniform per uncertainty
+// group (non-empty subsets for generalized items, permutations for
+// bipartite groups, fixed-size subsets for suppression), which is the
+// "all outcomes equally likely" assumption the paper criticizes.
+package mc
+
+import (
+	"math/rand"
+
+	"licm/internal/core"
+	"licm/internal/encode"
+	"licm/internal/engine"
+	"licm/internal/queries"
+)
+
+// Sampler draws uniform possible worlds from an encoded database.
+type Sampler struct {
+	enc   *encode.Encoded
+	rng   *rand.Rand
+	trans *engine.Table
+	items *engine.Table
+	// assign is reused across samples.
+	assign []uint8
+}
+
+// NewSampler creates a sampler; sampling is deterministic in seed.
+func NewSampler(enc *encode.Encoded, seed int64) *Sampler {
+	s := &Sampler{
+		enc:    enc,
+		rng:    rand.New(rand.NewSource(seed)),
+		assign: make([]uint8, enc.DB.NumVars()),
+		trans:  engine.New("Trans", "TID", "Location"),
+		items:  engine.New("Items", "Item", "Price"),
+	}
+	s.trans.InsertRows(core.Instantiate(enc.Trans, nil))
+	s.items.InsertRows(core.Instantiate(enc.Items, nil))
+	return s
+}
+
+// SampleWorld draws one uniform valid world and materializes it as
+// deterministic tables.
+func (s *Sampler) SampleWorld() *queries.World {
+	for i := range s.assign {
+		s.assign[i] = 0
+	}
+	for _, g := range s.enc.Groups {
+		switch g.Kind {
+		case encode.SubsetGE1:
+			// Uniform over non-empty subsets by rejection.
+			for {
+				any := false
+				for _, v := range g.Vars {
+					if s.rng.Intn(2) == 1 {
+						s.assign[v] = 1
+						any = true
+					} else {
+						s.assign[v] = 0
+					}
+				}
+				if any {
+					break
+				}
+			}
+		case encode.Permutation:
+			perm := s.rng.Perm(len(g.Matrix))
+			for i, j := range perm {
+				s.assign[g.Matrix[i][j]] = 1
+			}
+		case encode.ExactCount:
+			idx := s.rng.Perm(len(g.Vars))
+			for i := 0; i < g.Count && i < len(idx); i++ {
+				s.assign[g.Vars[idx[i]]] = 1
+			}
+		}
+	}
+	return s.MaterializeWorld()
+}
+
+// MaterializeWorld builds the deterministic tables for the current
+// assignment (set by SampleWorld or by the Enumerate oracle).
+func (s *Sampler) MaterializeWorld() *queries.World {
+	return &queries.World{Trans: s.trans, Items: s.items, TransItem: s.transItemTable()}
+}
+
+// transItemTable materializes the TransItem table of the current
+// assignment.
+func (s *Sampler) transItemTable() *engine.Table {
+	if s.enc.TransItem != nil {
+		t := engine.New("TransItem", "TID", "Item")
+		t.InsertRows(core.Instantiate(s.enc.TransItem, s.assign))
+		return t
+	}
+	// Bipartite: TG ⋈ G ⋈ IG on the instantiated group tables.
+	tg := engine.New("TransGroup", "TID", "LNodeID")
+	tg.InsertRows(core.Instantiate(s.enc.TransGroup, s.assign))
+	ig := engine.New("ItemGroup", "Item", "RNodeID")
+	ig.InsertRows(core.Instantiate(s.enc.ItemGroup, s.assign))
+	g := engine.New("G", "LNodeID", "RNodeID")
+	g.InsertRows(core.Instantiate(s.enc.Graph, nil))
+	joined := tg.Join(g, "LNodeID").Join(ig, "RNodeID")
+	out := joined.Project("TID", "Item")
+	out.Name = "TransItem"
+	return out
+}
+
+// Valid reports whether the last sampled world satisfies the encoded
+// constraint store (a sampler invariant; exercised by tests).
+func (s *Sampler) Valid() bool {
+	full := make([]uint8, len(s.assign))
+	copy(full, s.assign)
+	s.enc.DB.Extend(full)
+	return s.enc.DB.Valid(full)
+}
+
+// Assignment exposes a copy of the last sampled base assignment.
+func (s *Sampler) Assignment() []uint8 {
+	return append([]uint8(nil), s.assign...)
+}
+
+// Result is the outcome of a Monte-Carlo run.
+type Result struct {
+	Min, Max int64
+	Answers  []int64
+}
+
+// Run samples n worlds and evaluates the query on each, returning the
+// observed range — the paper's M_min / M_max series.
+func (s *Sampler) Run(q queries.Query, n int) Result {
+	res := Result{Min: 1 << 62, Max: -(1 << 62)}
+	for i := 0; i < n; i++ {
+		w := s.SampleWorld()
+		a := q.Eval(w)
+		res.Answers = append(res.Answers, a)
+		if a < res.Min {
+			res.Min = a
+		}
+		if a > res.Max {
+			res.Max = a
+		}
+	}
+	if n == 0 {
+		res.Min, res.Max = 0, 0
+	}
+	return res
+}
+
+// ExpectedValue returns the average answer over n sampled worlds —
+// the "statistically unprincipled" expected value of Section IV-D,
+// provided for completeness.
+func (s *Sampler) ExpectedValue(q queries.Query, n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	var sum int64
+	for i := 0; i < n; i++ {
+		sum += q.Eval(s.SampleWorld())
+	}
+	return float64(sum) / float64(n)
+}

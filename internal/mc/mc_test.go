@@ -1,0 +1,298 @@
+package mc_test
+
+import (
+	"testing"
+
+	"licm/internal/anon"
+	"licm/internal/core"
+	"licm/internal/dataset"
+	"licm/internal/encode"
+	"licm/internal/hierarchy"
+	"licm/internal/mc"
+	"licm/internal/queries"
+	"licm/internal/solver"
+)
+
+func smallEncodings(t *testing.T, n int, seed int64) map[string]*encode.Encoded {
+	t.Helper()
+	cfg := dataset.Config{
+		NumTransactions: n,
+		NumItems:        32,
+		AvgSize:         3,
+		MaxSize:         8,
+		ZipfS:           1.3,
+		LocationRange:   10,
+		PriceRange:      10,
+		Seed:            seed,
+	}
+	d, err := dataset.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := hierarchy.Build(32, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := map[string]*encode.Encoded{}
+	if g, err := anon.KAnonymize(d, h, 2); err == nil {
+		out["k-anon"] = encode.Generalized(g, d.Items)
+	} else {
+		t.Fatal(err)
+	}
+	if bg, err := anon.BipartiteAnonymize(d, 2, 2); err == nil {
+		out["bipartite"] = encode.Bipartite(d, bg)
+	} else {
+		t.Fatal(err)
+	}
+	if sp, err := anon.SuppressAnonymize(d, 3); err == nil {
+		out["suppress"] = encode.Suppressed(sp, d.Items)
+	} else {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestSampledWorldsAreValid: every sampled world satisfies the
+// encoded constraint store.
+func TestSampledWorldsAreValid(t *testing.T) {
+	for name, enc := range smallEncodings(t, 40, 1) {
+		s := mc.NewSampler(enc, 7)
+		for i := 0; i < 25; i++ {
+			s.SampleWorld()
+			if !s.Valid() {
+				t.Fatalf("%s: sample %d invalid", name, i)
+			}
+		}
+	}
+}
+
+// TestSamplerDeterministic: same seed, same worlds.
+func TestSamplerDeterministic(t *testing.T) {
+	encs := smallEncodings(t, 30, 2)
+	enc := encs["k-anon"]
+	a := mc.NewSampler(enc, 3)
+	b := mc.NewSampler(enc, 3)
+	for i := 0; i < 5; i++ {
+		wa := a.SampleWorld()
+		wb := b.SampleWorld()
+		ka, kb := wa.TransItem.SortedKeys(), wb.TransItem.SortedKeys()
+		if len(ka) != len(kb) {
+			t.Fatal("row counts differ")
+		}
+		for j := range ka {
+			if ka[j] != kb[j] {
+				t.Fatal("worlds differ under same seed")
+			}
+		}
+	}
+}
+
+// TestMCRangeInsideLICMBounds is the paper's core comparison: the MC
+// observed range must sit inside the proven outer bounds (exactly the
+// bounds when both sides are proven, which they are for this narrow
+// selectivity).
+func TestMCRangeInsideLICMBounds(t *testing.T) {
+	q := queries.Q1{Pa: queries.Pred{Lo: 0, Hi: 0}, Pb: queries.Pred{Lo: 0, Hi: 4}}
+	opts := solver.DefaultOptions()
+	opts.MaxNodes = 500_000
+	for name, enc := range smallEncodings(t, 40, 3) {
+		rel, err := q.BuildLICM(enc)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		res, err := core.CountBounds(enc.DB, rel, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		s := mc.NewSampler(enc, 11)
+		r := s.Run(q, 20)
+		// MinBound <= true min <= MC min and MC max <= true max <=
+		// MaxBound always; with proven sides the outer bounds are the
+		// true bounds.
+		if r.Min < res.MinBound || r.Max > res.MaxBound {
+			t.Errorf("%s: MC [%d,%d] outside proven bounds [%d,%d]", name, r.Min, r.Max, res.MinBound, res.MaxBound)
+		}
+		if res.MinProven && r.Min < res.Min {
+			t.Errorf("%s: MC min %d below proven min %d", name, r.Min, res.Min)
+		}
+		if res.MaxProven && r.Max > res.Max {
+			t.Errorf("%s: MC max %d above proven max %d", name, r.Max, res.Max)
+		}
+		if len(r.Answers) != 20 {
+			t.Errorf("%s: %d answers", name, len(r.Answers))
+		}
+	}
+}
+
+func TestRunZeroSamples(t *testing.T) {
+	encs := smallEncodings(t, 30, 4)
+	s := mc.NewSampler(encs["k-anon"], 1)
+	r := s.Run(queries.Q1{Pa: queries.Pred{Lo: 0, Hi: 9}, Pb: queries.Pred{Lo: 0, Hi: 9}}, 0)
+	if r.Min != 0 || r.Max != 0 || r.Answers != nil {
+		t.Errorf("zero-sample run = %+v", r)
+	}
+}
+
+func TestExpectedValue(t *testing.T) {
+	encs := smallEncodings(t, 30, 5)
+	enc := encs["k-anon"]
+	q := queries.Q1{Pa: queries.Pred{Lo: 0, Hi: 9}, Pb: queries.Pred{Lo: 0, Hi: 9}}
+	s := mc.NewSampler(enc, 13)
+	ev := s.ExpectedValue(q, 10)
+	if ev <= 0 {
+		t.Errorf("expected value %v should be positive for an all-pass predicate", ev)
+	}
+	if s.ExpectedValue(q, 0) != 0 {
+		t.Error("zero samples should give 0")
+	}
+}
+
+func TestEnumerateCountsWorlds(t *testing.T) {
+	// A single generalized group of 3 leaves enumerates 7 worlds.
+	d := &dataset.Dataset{
+		Items: []dataset.Item{{ID: 0}, {ID: 1}, {ID: 2}, {ID: 3}},
+		Trans: []dataset.Transaction{
+			{ID: 0, Location: 0, Items: []int32{0}},
+			{ID: 1, Location: 0, Items: []int32{1}},
+		},
+	}
+	h, err := hierarchy.Build(4, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := anon.KAnonymize(d, h, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := encode.Generalized(g, d.Items)
+	n := 0
+	if err := mc.Enumerate(enc, 1000, func(s *mc.Sampler) { n++ }); err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("no worlds enumerated")
+	}
+	// Both transactions generalize identically; count = product of
+	// per-group non-empty subset counts.
+	want := 1
+	for _, grp := range enc.Groups {
+		want *= 1<<uint(len(grp.Vars)) - 1
+	}
+	if n != want {
+		t.Fatalf("enumerated %d worlds, want %d", n, want)
+	}
+}
+
+func TestEnumerateLimit(t *testing.T) {
+	encs := smallEncodings(t, 40, 6)
+	if err := mc.Enumerate(encs["k-anon"], 2, func(*mc.Sampler) {}); err == nil {
+		t.Error("want limit error")
+	}
+}
+
+func TestAssignmentCopy(t *testing.T) {
+	encs := smallEncodings(t, 30, 7)
+	s := mc.NewSampler(encs["k-anon"], 1)
+	s.SampleWorld()
+	a := s.Assignment()
+	a[0] = 99
+	b := s.Assignment()
+	if b[0] == 99 {
+		t.Error("Assignment must return a copy")
+	}
+}
+
+func TestEnumeratePermutationWorlds(t *testing.T) {
+	// One 3x3 transaction group and one 3x3 item group: 3! x 3! = 36
+	// worlds, all valid.
+	d := &dataset.Dataset{
+		Items: []dataset.Item{{ID: 0}, {ID: 1}, {ID: 2}},
+		Trans: []dataset.Transaction{
+			{ID: 0, Location: 0, Items: []int32{0}},
+			{ID: 1, Location: 1, Items: []int32{1}},
+			{ID: 2, Location: 2, Items: []int32{2}},
+		},
+	}
+	bg := &anon.BipartiteGroups{
+		TransGroups: [][]int{{0, 1, 2}},
+		ItemGroups:  [][]int32{{0, 1, 2}},
+	}
+	enc := encode.Bipartite(d, bg)
+	n := 0
+	err := mc.Enumerate(enc, 1000, func(s *mc.Sampler) {
+		if !s.Valid() {
+			t.Fatal("enumerated permutation world invalid")
+		}
+		w := s.MaterializeWorld()
+		if w.TransItem.Len() != 3 {
+			t.Fatalf("bipartite world should keep the edge count: %d", w.TransItem.Len())
+		}
+		n++
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 36 {
+		t.Fatalf("worlds = %d, want 36", n)
+	}
+}
+
+func TestEnumerateExactCountWorlds(t *testing.T) {
+	// Suppression with 4 candidates and one suppressed slot per
+	// transaction: C(4,1) per transaction.
+	d := &dataset.Dataset{
+		Items: []dataset.Item{{ID: 0}, {ID: 1}, {ID: 2}, {ID: 3}, {ID: 4}},
+		Trans: []dataset.Transaction{
+			{ID: 0, Location: 0, Items: []int32{0, 4}},
+			{ID: 1, Location: 1, Items: []int32{1, 4}},
+			{ID: 2, Location: 2, Items: []int32{2, 4}},
+			{ID: 3, Location: 3, Items: []int32{3, 4}},
+		},
+	}
+	s, err := anon.SuppressAnonymize(d, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := encode.Suppressed(s, d.Items)
+	n := 0
+	err = mc.Enumerate(enc, 100000, func(smp *mc.Sampler) {
+		if !smp.Valid() {
+			t.Fatal("invalid world")
+		}
+		n++
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 256 { // 4 slots x 4 candidates each = 4^4
+		t.Fatalf("worlds = %d, want 256", n)
+	}
+}
+
+func TestSamplerBipartiteWorldsValid(t *testing.T) {
+	encs := smallEncodings(t, 40, 8)
+	s := mc.NewSampler(encs["bipartite"], 5)
+	for i := 0; i < 10; i++ {
+		w := s.SampleWorld()
+		if !s.Valid() {
+			t.Fatalf("sample %d invalid", i)
+		}
+		if w.TransItem.Len() == 0 {
+			t.Fatal("bipartite world lost all edges")
+		}
+	}
+}
+
+func TestMCRunBipartiteAndSuppress(t *testing.T) {
+	q := queries.Q1{Pa: queries.Pred{Lo: 0, Hi: 9}, Pb: queries.Pred{Lo: 0, Hi: 9}}
+	for name, enc := range smallEncodings(t, 30, 9) {
+		s := mc.NewSampler(enc, 2)
+		r := s.Run(q, 8)
+		if r.Min > r.Max {
+			t.Errorf("%s: inverted MC range", name)
+		}
+		if len(r.Answers) != 8 {
+			t.Errorf("%s: %d answers", name, len(r.Answers))
+		}
+	}
+}

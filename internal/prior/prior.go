@@ -1,0 +1,216 @@
+// Package prior implements the probabilistic extension the paper
+// leaves as an open problem (Section VI): "extend LICM to incorporate
+// prior distributions, perhaps as (independent) distributions over the
+// binary variables. The goal of query answering is then to find the
+// expected value of an aggregate, or tail bounds on its value."
+//
+// A Prior attaches an independent Bernoulli probability to every base
+// variable of an LICM database. The distribution over possible worlds
+// is the product measure conditioned on the constraint store (worlds
+// violating a constraint have probability zero and the rest are
+// renormalized). Derived (lineage) variables need no probabilities:
+// their values are functions of the base variables.
+//
+// Exact computation enumerates worlds and is exponential; Estimate
+// uses rejection sampling from the unconditioned product measure. As
+// the paper notes, LICM's possibilistic bounds remain available by
+// simply dropping the probabilities.
+package prior
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"licm/internal/core"
+	"licm/internal/expr"
+)
+
+// Prior is an independent Bernoulli prior over the base variables of
+// an LICM database.
+type Prior struct {
+	db *core.DB
+	p  []float64
+}
+
+// New creates a prior with probability defaultP for every base
+// variable.
+func New(db *core.DB, defaultP float64) (*Prior, error) {
+	if defaultP < 0 || defaultP > 1 {
+		return nil, fmt.Errorf("prior: probability %v outside [0,1]", defaultP)
+	}
+	pr := &Prior{db: db, p: make([]float64, db.NumVars())}
+	for _, v := range db.BaseVars() {
+		pr.p[v] = defaultP
+	}
+	return pr, nil
+}
+
+// Set overrides the probability of one base variable.
+func (pr *Prior) Set(v expr.Var, p float64) error {
+	if p < 0 || p > 1 {
+		return fmt.Errorf("prior: probability %v outside [0,1]", p)
+	}
+	if int(v) >= len(pr.p) || pr.db.Def(v).Kind != core.DefBase {
+		return fmt.Errorf("prior: b%d is not a base variable", v)
+	}
+	pr.p[v] = p
+	return nil
+}
+
+// Prob returns the prior probability of a base variable.
+func (pr *Prior) Prob(v expr.Var) float64 { return pr.p[v] }
+
+// worldWeight returns the unconditioned product-measure probability of
+// the base part of an assignment.
+func (pr *Prior) worldWeight(assign []uint8) float64 {
+	w := 1.0
+	for _, v := range pr.db.BaseVars() {
+		if assign[v] == 1 {
+			w *= pr.p[v]
+		} else {
+			w *= 1 - pr.p[v]
+		}
+	}
+	return w
+}
+
+// ExactResult is the outcome of exact conditional computation.
+type ExactResult struct {
+	// Expected is E[objective | constraints hold].
+	Expected float64
+	// ValidMass is the prior probability that the constraints hold.
+	ValidMass float64
+	// Worlds is the number of valid worlds.
+	Worlds int
+}
+
+// Exact computes the exact conditional expectation of an integer
+// linear objective by enumerating all worlds (<= 24 base variables).
+func (pr *Prior) Exact(objective expr.Lin) (ExactResult, error) {
+	worlds := pr.db.EnumWorlds()
+	if len(worlds) == 0 {
+		return ExactResult{}, fmt.Errorf("prior: no valid worlds")
+	}
+	var mass, acc float64
+	for _, w := range worlds {
+		weight := pr.worldWeight(w)
+		mass += weight
+		acc += weight * float64(objective.Eval(func(v expr.Var) bool { return w[v] == 1 }))
+	}
+	if mass == 0 {
+		return ExactResult{Worlds: len(worlds)}, fmt.Errorf("prior: conditioning event has probability zero")
+	}
+	return ExactResult{Expected: acc / mass, ValidMass: mass, Worlds: len(worlds)}, nil
+}
+
+// ExactTail computes P[objective >= t | constraints hold] exactly.
+func (pr *Prior) ExactTail(objective expr.Lin, t int64) (float64, error) {
+	worlds := pr.db.EnumWorlds()
+	if len(worlds) == 0 {
+		return 0, fmt.Errorf("prior: no valid worlds")
+	}
+	var mass, tail float64
+	for _, w := range worlds {
+		weight := pr.worldWeight(w)
+		mass += weight
+		if objective.Eval(func(v expr.Var) bool { return w[v] == 1 }) >= t {
+			tail += weight
+		}
+	}
+	if mass == 0 {
+		return 0, fmt.Errorf("prior: conditioning event has probability zero")
+	}
+	return tail / mass, nil
+}
+
+// EstimateResult is the outcome of rejection-sampling estimation.
+type EstimateResult struct {
+	// Expected estimates E[objective | constraints hold].
+	Expected float64
+	// StdErr is the standard error of the estimate over the accepted
+	// samples.
+	StdErr float64
+	// Accepted and Proposed count rejection-sampling outcomes; their
+	// ratio estimates the prior probability of validity.
+	Accepted, Proposed int
+}
+
+// Estimate approximates the conditional expectation by sampling base
+// assignments from the product prior, extending them through the
+// lineage definitions, and rejecting assignments that violate the
+// store. It errors if nothing is accepted (heavily constrained store
+// or too few samples — use Exact or raise samples).
+func (pr *Prior) Estimate(objective expr.Lin, samples int, seed int64) (EstimateResult, error) {
+	if samples < 1 {
+		return EstimateResult{}, fmt.Errorf("prior: need at least one sample")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	base := pr.db.BaseVars()
+	assign := make([]uint8, pr.db.NumVars())
+	res := EstimateResult{Proposed: samples}
+	var sum, sumSq float64
+	for i := 0; i < samples; i++ {
+		for _, v := range base {
+			if rng.Float64() < pr.p[v] {
+				assign[v] = 1
+			} else {
+				assign[v] = 0
+			}
+		}
+		pr.db.Extend(assign)
+		if !pr.db.Valid(assign) {
+			continue
+		}
+		res.Accepted++
+		val := float64(objective.Eval(func(v expr.Var) bool { return assign[v] == 1 }))
+		sum += val
+		sumSq += val * val
+	}
+	if res.Accepted == 0 {
+		return res, fmt.Errorf("prior: all %d samples rejected; the valid region has low prior mass", samples)
+	}
+	n := float64(res.Accepted)
+	res.Expected = sum / n
+	if res.Accepted > 1 {
+		variance := (sumSq - sum*sum/n) / (n - 1)
+		if variance < 0 {
+			variance = 0
+		}
+		res.StdErr = math.Sqrt(variance / n)
+	}
+	return res, nil
+}
+
+// EstimateTail approximates P[objective >= t | constraints hold] by
+// rejection sampling.
+func (pr *Prior) EstimateTail(objective expr.Lin, t int64, samples int, seed int64) (float64, error) {
+	if samples < 1 {
+		return 0, fmt.Errorf("prior: need at least one sample")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	base := pr.db.BaseVars()
+	assign := make([]uint8, pr.db.NumVars())
+	accepted, hits := 0, 0
+	for i := 0; i < samples; i++ {
+		for _, v := range base {
+			if rng.Float64() < pr.p[v] {
+				assign[v] = 1
+			} else {
+				assign[v] = 0
+			}
+		}
+		pr.db.Extend(assign)
+		if !pr.db.Valid(assign) {
+			continue
+		}
+		accepted++
+		if objective.Eval(func(v expr.Var) bool { return assign[v] == 1 }) >= t {
+			hits++
+		}
+	}
+	if accepted == 0 {
+		return 0, fmt.Errorf("prior: all %d samples rejected", samples)
+	}
+	return float64(hits) / float64(accepted), nil
+}

@@ -1,0 +1,220 @@
+package prior
+
+import (
+	"math"
+	"testing"
+
+	"licm/internal/core"
+	"licm/internal/expr"
+)
+
+// uncDB builds an unconstrained db with n base vars and a COUNT
+// objective over them.
+func uncDB(n int) (*core.DB, expr.Lin) {
+	db := core.NewDB()
+	vs := db.NewVars(n)
+	return db, expr.Sum(vs...)
+}
+
+func TestNewValidation(t *testing.T) {
+	db, _ := uncDB(2)
+	if _, err := New(db, -0.1); err == nil {
+		t.Error("want error for p < 0")
+	}
+	if _, err := New(db, 1.1); err == nil {
+		t.Error("want error for p > 1")
+	}
+	pr, err := New(db, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pr.Set(0, 2); err == nil {
+		t.Error("want error for p > 1 in Set")
+	}
+	if err := pr.Set(0, 0.25); err != nil {
+		t.Error(err)
+	}
+	if pr.Prob(0) != 0.25 {
+		t.Error("Set did not stick")
+	}
+}
+
+func TestSetRejectsDerived(t *testing.T) {
+	db := core.NewDB()
+	a, b := db.NewVar(), db.NewVar()
+	and := db.And(core.Maybe(a), core.Maybe(b))
+	pr, _ := New(db, 0.5)
+	if err := pr.Set(and.Var(), 0.5); err == nil {
+		t.Error("want error setting probability on a derived variable")
+	}
+}
+
+func TestExactUnconstrained(t *testing.T) {
+	// E[count of n independent Bernoulli(p)] = n*p.
+	db, obj := uncDB(3)
+	pr, _ := New(db, 0.3)
+	res, err := pr.Exact(obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Expected-0.9) > 1e-9 {
+		t.Errorf("E = %v, want 0.9", res.Expected)
+	}
+	if math.Abs(res.ValidMass-1) > 1e-9 {
+		t.Errorf("valid mass = %v, want 1", res.ValidMass)
+	}
+	if res.Worlds != 8 {
+		t.Errorf("worlds = %d, want 8", res.Worlds)
+	}
+}
+
+func TestExactConditioned(t *testing.T) {
+	// Two vars, constraint b0+b1 >= 1, p = 1/2 each: valid worlds
+	// {01,10,11} equally likely; E[count] = (1+1+2)/3 = 4/3.
+	db := core.NewDB()
+	vs := db.NewVars(2)
+	db.AddCardinality(vs, 1, -1)
+	pr, _ := New(db, 0.5)
+	res, err := pr.Exact(expr.Sum(vs...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Expected-4.0/3.0) > 1e-9 {
+		t.Errorf("E = %v, want 4/3", res.Expected)
+	}
+	if math.Abs(res.ValidMass-0.75) > 1e-9 {
+		t.Errorf("mass = %v, want 0.75", res.ValidMass)
+	}
+}
+
+func TestExactWithLineage(t *testing.T) {
+	// E[b0 AND b1] with p=1/2 each = 1/4; the objective references the
+	// derived variable.
+	db := core.NewDB()
+	a, b := db.NewVar(), db.NewVar()
+	and := db.And(core.Maybe(a), core.Maybe(b))
+	pr, _ := New(db, 0.5)
+	res, err := pr.Exact(expr.Sum(and.Var()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Expected-0.25) > 1e-9 {
+		t.Errorf("E = %v, want 0.25", res.Expected)
+	}
+}
+
+func TestExactTail(t *testing.T) {
+	db := core.NewDB()
+	vs := db.NewVars(2)
+	pr, _ := New(db, 0.5)
+	tail, err := pr.ExactTail(expr.Sum(vs...), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tail-0.75) > 1e-9 {
+		t.Errorf("P[count>=1] = %v, want 0.75", tail)
+	}
+	tail, _ = pr.ExactTail(expr.Sum(vs...), 3)
+	if tail != 0 {
+		t.Errorf("P[count>=3] = %v, want 0", tail)
+	}
+}
+
+func TestExactZeroMass(t *testing.T) {
+	// p=0 on a variable that must be 1: conditioning event has zero
+	// probability.
+	db := core.NewDB()
+	v := db.NewVar()
+	db.AddCardinality([]expr.Var{v}, 1, 1)
+	pr, _ := New(db, 0)
+	if _, err := pr.Exact(expr.Sum(v)); err == nil {
+		t.Error("want zero-mass error")
+	}
+}
+
+func TestExactInfeasible(t *testing.T) {
+	db := core.NewDB()
+	v := db.NewVar()
+	db.AddCardinality([]expr.Var{v}, 1, 1)
+	db.AddCardinality([]expr.Var{v}, 0, 0)
+	pr, _ := New(db, 0.5)
+	if _, err := pr.Exact(expr.Sum(v)); err == nil {
+		t.Error("want no-valid-worlds error")
+	}
+}
+
+func TestEstimateMatchesExact(t *testing.T) {
+	db := core.NewDB()
+	vs := db.NewVars(4)
+	db.AddCardinality(vs, 1, 3)
+	obj := expr.Sum(vs...)
+	pr, _ := New(db, 0.4)
+	exact, err := pr.Exact(obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := pr.Estimate(obj, 40000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est.Expected-exact.Expected) > 5*est.StdErr+0.02 {
+		t.Errorf("estimate %v ± %v vs exact %v", est.Expected, est.StdErr, exact.Expected)
+	}
+	accRate := float64(est.Accepted) / float64(est.Proposed)
+	if math.Abs(accRate-exact.ValidMass) > 0.02 {
+		t.Errorf("acceptance %v vs exact mass %v", accRate, exact.ValidMass)
+	}
+}
+
+func TestEstimateTailMatchesExact(t *testing.T) {
+	db := core.NewDB()
+	vs := db.NewVars(4)
+	db.AddCardinality(vs, 1, -1)
+	obj := expr.Sum(vs...)
+	pr, _ := New(db, 0.5)
+	exact, err := pr.ExactTail(obj, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := pr.EstimateTail(obj, 2, 40000, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est-exact) > 0.02 {
+		t.Errorf("tail estimate %v vs exact %v", est, exact)
+	}
+}
+
+func TestEstimateAllRejected(t *testing.T) {
+	db := core.NewDB()
+	v := db.NewVar()
+	db.AddCardinality([]expr.Var{v}, 1, 1)
+	pr, _ := New(db, 0) // prior never proposes v=1
+	if _, err := pr.Estimate(expr.Sum(v), 100, 1); err == nil {
+		t.Error("want all-rejected error")
+	}
+	if _, err := pr.EstimateTail(expr.Sum(v), 1, 100, 1); err == nil {
+		t.Error("want all-rejected error")
+	}
+}
+
+func TestEstimateValidation(t *testing.T) {
+	db, obj := uncDB(1)
+	pr, _ := New(db, 0.5)
+	if _, err := pr.Estimate(obj, 0, 1); err == nil {
+		t.Error("want sample-count error")
+	}
+	if _, err := pr.EstimateTail(obj, 0, 0, 1); err == nil {
+		t.Error("want sample-count error")
+	}
+}
+
+func TestDeterministicEstimates(t *testing.T) {
+	db, obj := uncDB(5)
+	pr, _ := New(db, 0.5)
+	a, _ := pr.Estimate(obj, 1000, 3)
+	b, _ := pr.Estimate(obj, 1000, 3)
+	if a.Expected != b.Expected {
+		t.Error("same seed must reproduce the estimate")
+	}
+}

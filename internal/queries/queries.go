@@ -1,0 +1,340 @@
+// Package queries implements the three aggregate queries of the
+// paper's evaluation (Section V-B) twice: once as LICM pipelines over
+// an encoded possibilistic database (producing a result relation whose
+// COUNT(*) objective the solver bounds), and once as deterministic
+// evaluations over a concrete world (used by the Monte-Carlo baseline
+// and by tests as ground truth).
+//
+//	Query 1: count Pa-transactions containing at least one Pb item
+//	         (Pa a location predicate, Pb a price predicate).
+//	Query 2: count Pa-transactions containing >= X Pb items AND
+//	         >= Y Pc items (two count predicates + intersection).
+//	Query 3: count Pa-transactions containing at least one item that
+//	         appears in >= X Pb-transactions (count predicate + join).
+package queries
+
+import (
+	"fmt"
+	"math"
+
+	"licm/internal/core"
+	"licm/internal/encode"
+	"licm/internal/engine"
+)
+
+// Pred is an inclusive integer range predicate over an attribute.
+type Pred struct {
+	Lo, Hi int64
+}
+
+// Match reports whether v falls in the range.
+func (p Pred) Match(v int64) bool { return v >= p.Lo && v <= p.Hi }
+
+// Width returns the number of values the predicate admits.
+func (p Pred) Width() int64 {
+	if p.Hi < p.Lo {
+		return 0
+	}
+	return p.Hi - p.Lo + 1
+}
+
+// String renders the predicate.
+func (p Pred) String() string { return fmt.Sprintf("[%d,%d]", p.Lo, p.Hi) }
+
+// RangeWithSelectivity builds a predicate over a uniform domain
+// [0, domain) admitting approximately frac of the values, starting at
+// offset (wrapped into the domain).
+func RangeWithSelectivity(domain int64, frac float64, offset int64) Pred {
+	w := int64(math.Ceil(frac * float64(domain)))
+	if w < 1 {
+		w = 1
+	}
+	if w > domain {
+		w = domain
+	}
+	lo := offset % domain
+	if lo < 0 {
+		lo += domain
+	}
+	hi := lo + w - 1
+	if hi >= domain {
+		lo, hi = domain-w, domain-1
+	}
+	return Pred{Lo: lo, Hi: hi}
+}
+
+// World is one concrete (deterministic) possible world, in the role
+// the paper's SQL Server plays for the MC baseline.
+type World struct {
+	Trans     *engine.Table // TID, Location
+	TransItem *engine.Table // TID, Item
+	Items     *engine.Table // Item, Price
+}
+
+// Query is one of the paper's evaluation queries; implementations are
+// Q1, Q2, Q3.
+type Query interface {
+	// Name returns "Q1", "Q2" or "Q3".
+	Name() string
+	// BuildLICM translates the query over the encoded database,
+	// growing its constraint store, and returns the result relation
+	// whose COUNT(*) is the aggregate of interest.
+	BuildLICM(enc *encode.Encoded) (*core.Relation, error)
+	// Eval answers the query exactly on one concrete world.
+	Eval(w *World) int64
+}
+
+// locSet returns the TIDs whose (certain) location matches p.
+func locSet(trans *core.Relation, p Pred) map[int64]bool {
+	out := make(map[int64]bool)
+	for i := 0; i < trans.Len(); i++ {
+		row := trans.RowAt(i)
+		if p.Match(row.Int("Location")) {
+			out[row.Int("TID")] = true
+		}
+	}
+	return out
+}
+
+// priceSet returns the item ids whose (certain) price matches p.
+func priceSet(items *core.Relation, p Pred) map[int64]bool {
+	out := make(map[int64]bool)
+	for i := 0; i < items.Len(); i++ {
+		row := items.RowAt(i)
+		if p.Match(row.Int("Price")) {
+			out[row.Int("Item")] = true
+		}
+	}
+	return out
+}
+
+// transItemFor returns the possibilistic TransItem relation restricted
+// to the given TID/item sets, deriving it through the group join for
+// bipartite encodings.
+func transItemFor(enc *encode.Encoded, tids, items map[int64]bool) *core.Relation {
+	if enc.TransItem != nil {
+		r := enc.TransItem
+		if tids != nil {
+			r = core.Select(r, func(row core.Row) bool { return tids[row.Int("TID")] })
+		}
+		if items != nil {
+			r = core.Select(r, func(row core.Row) bool { return items[row.Int("Item")] })
+		}
+		return r
+	}
+	return enc.BuildTransItem(tids, items)
+}
+
+// Q1 is Query 1: COUNT of Pa-transactions with at least one Pb item.
+type Q1 struct {
+	Pa Pred // location
+	Pb Pred // price
+}
+
+// Name implements Query.
+func (q Q1) Name() string { return "Q1" }
+
+// BuildLICM implements Query: σ_loc, σ_price, then π_TID; the count of
+// the projection is the answer.
+func (q Q1) BuildLICM(enc *encode.Encoded) (*core.Relation, error) {
+	pa := locSet(enc.Trans, q.Pa)
+	pb := priceSet(enc.Items, q.Pb)
+	ti := transItemFor(enc, pa, pb)
+	return core.Project(enc.DB, ti, "TID"), nil
+}
+
+// Eval implements Query.
+func (q Q1) Eval(w *World) int64 {
+	pa := evalLocSet(w, q.Pa)
+	pb := evalPriceSet(w, q.Pb)
+	sel := w.TransItem.Select(func(r engine.Row) bool {
+		return pa[r.Int("TID")] && pb[r.Int("Item")]
+	})
+	return sel.Project("TID").Count()
+}
+
+// Q2 is Query 2: COUNT of Pa-transactions with >= X Pb items and
+// >= Y Pc items.
+type Q2 struct {
+	Pa     Pred // location
+	Pb, Pc Pred // price
+	X, Y   int
+}
+
+// Name implements Query.
+func (q Q2) Name() string { return "Q2" }
+
+// BuildLICM implements Query: two count predicates (Algorithm 4) and
+// an intersection (Algorithm 2).
+func (q Q2) BuildLICM(enc *encode.Encoded) (*core.Relation, error) {
+	pa := locSet(enc.Trans, q.Pa)
+	pb := priceSet(enc.Items, q.Pb)
+	pc := priceSet(enc.Items, q.Pc)
+	either := make(map[int64]bool, len(pb)+len(pc))
+	for it := range pb {
+		either[it] = true
+	}
+	for it := range pc {
+		either[it] = true
+	}
+	ti := transItemFor(enc, pa, either)
+	rb := core.Select(ti, func(r core.Row) bool { return pb[r.Int("Item")] })
+	rc := core.Select(ti, func(r core.Row) bool { return pc[r.Int("Item")] })
+	cb := core.CountPredicate(enc.DB, rb, []string{"TID"}, core.CountGE, q.X)
+	cc := core.CountPredicate(enc.DB, rc, []string{"TID"}, core.CountGE, q.Y)
+	return core.Intersect(enc.DB, cb, cc)
+}
+
+// Eval implements Query.
+func (q Q2) Eval(w *World) int64 {
+	pa := evalLocSet(w, q.Pa)
+	pb := evalPriceSet(w, q.Pb)
+	pc := evalPriceSet(w, q.Pc)
+	countB := make(map[int64]map[int64]bool)
+	countC := make(map[int64]map[int64]bool)
+	for i := 0; i < w.TransItem.Len(); i++ {
+		r := w.TransItem.RowAt(i)
+		tid, it := r.Int("TID"), r.Int("Item")
+		if !pa[tid] {
+			continue
+		}
+		if pb[it] {
+			if countB[tid] == nil {
+				countB[tid] = make(map[int64]bool)
+			}
+			countB[tid][it] = true
+		}
+		if pc[it] {
+			if countC[tid] == nil {
+				countC[tid] = make(map[int64]bool)
+			}
+			countC[tid][it] = true
+		}
+	}
+	var n int64
+	for tid, bs := range countB {
+		if len(bs) >= q.X && len(countC[tid]) >= q.Y {
+			n++
+		}
+	}
+	return n
+}
+
+// Q3 is Query 3: COUNT of Pa-transactions containing at least one
+// item that appears in >= X Pb-transactions.
+type Q3 struct {
+	Pa, Pb Pred // both location predicates
+	X      int
+}
+
+// Name implements Query.
+func (q Q3) Name() string { return "Q3" }
+
+// BuildLICM implements Query: a count predicate over items within the
+// Pb transactions, a join back to the Pa transactions, then π_TID.
+func (q Q3) BuildLICM(enc *encode.Encoded) (*core.Relation, error) {
+	pa := locSet(enc.Trans, q.Pa)
+	pb := locSet(enc.Trans, q.Pb)
+	both := make(map[int64]bool, len(pa)+len(pb))
+	for t := range pa {
+		both[t] = true
+	}
+	for t := range pb {
+		both[t] = true
+	}
+	ti := transItemFor(enc, both, nil)
+	tiPb := core.Select(ti, func(r core.Row) bool { return pb[r.Int("TID")] })
+	popular := core.CountPredicate(enc.DB, tiPb, []string{"Item"}, core.CountGE, q.X)
+	tiPa := core.Select(ti, func(r core.Row) bool { return pa[r.Int("TID")] })
+	joined := core.Join(enc.DB, tiPa, popular, "Item")
+	return core.Project(enc.DB, joined, "TID"), nil
+}
+
+// Eval implements Query.
+func (q Q3) Eval(w *World) int64 {
+	pa := evalLocSet(w, q.Pa)
+	pb := evalLocSet(w, q.Pb)
+	inPb := make(map[int64]map[int64]bool) // item -> pb transactions containing it
+	for i := 0; i < w.TransItem.Len(); i++ {
+		r := w.TransItem.RowAt(i)
+		tid, it := r.Int("TID"), r.Int("Item")
+		if !pb[tid] {
+			continue
+		}
+		if inPb[it] == nil {
+			inPb[it] = make(map[int64]bool)
+		}
+		inPb[it][tid] = true
+	}
+	popular := make(map[int64]bool)
+	for it, ts := range inPb {
+		if len(ts) >= q.X {
+			popular[it] = true
+		}
+	}
+	hit := make(map[int64]bool)
+	for i := 0; i < w.TransItem.Len(); i++ {
+		r := w.TransItem.RowAt(i)
+		tid, it := r.Int("TID"), r.Int("Item")
+		if pa[tid] && popular[it] {
+			hit[tid] = true
+		}
+	}
+	return int64(len(hit))
+}
+
+func evalLocSet(w *World, p Pred) map[int64]bool {
+	out := make(map[int64]bool)
+	for i := 0; i < w.Trans.Len(); i++ {
+		r := w.Trans.RowAt(i)
+		if p.Match(r.Int("Location")) {
+			out[r.Int("TID")] = true
+		}
+	}
+	return out
+}
+
+func evalPriceSet(w *World, p Pred) map[int64]bool {
+	out := make(map[int64]bool)
+	for i := 0; i < w.Items.Len(); i++ {
+		r := w.Items.RowAt(i)
+		if p.Match(r.Int("Price")) {
+			out[r.Int("Item")] = true
+		}
+	}
+	return out
+}
+
+// PaperQ1 builds Query 1 with the paper's selectivities: Pa 0.5% of
+// the location domain, Pb 25% of the price domain.
+func PaperQ1(locationRange, priceRange int64) Q1 {
+	return Q1{
+		Pa: RangeWithSelectivity(locationRange, 0.005, 0),
+		Pb: RangeWithSelectivity(priceRange, 0.25, 0),
+	}
+}
+
+// PaperQ2 builds Query 2 with the paper's parameters: X=4, Y=2,
+// selectivities 0.5% / 25% / 25% (Pc offset so it differs from Pb).
+func PaperQ2(locationRange, priceRange int64) Q2 {
+	return Q2{
+		Pa: RangeWithSelectivity(locationRange, 0.005, 0),
+		Pb: RangeWithSelectivity(priceRange, 0.25, 0),
+		Pc: RangeWithSelectivity(priceRange, 0.25, priceRange/2),
+		X:  4,
+		Y:  2,
+	}
+}
+
+// PaperQ3 builds Query 3 with configurable selectivity (the paper
+// uses 0.3% for both predicates at 515K transactions) and a
+// popularity threshold X scaled to the dataset (the paper uses X=80).
+// Reduced-scale runs raise frac so the Pb window still contains
+// enough transactions for items to clear the threshold.
+func PaperQ3(locationRange int64, frac float64, x int) Q3 {
+	return Q3{
+		Pa: RangeWithSelectivity(locationRange, frac, 0),
+		Pb: RangeWithSelectivity(locationRange, frac, locationRange/3),
+		X:  x,
+	}
+}

@@ -1,0 +1,208 @@
+package queries_test
+
+// End-to-end oracle tests: for tiny datasets under each anonymization
+// scheme, the exact LICM bounds of Query 1/2/3 must equal the min/max
+// of the deterministic answer over ALL possible worlds.
+
+import (
+	"testing"
+
+	"licm/internal/anon"
+	"licm/internal/core"
+	"licm/internal/dataset"
+	"licm/internal/encode"
+	"licm/internal/hierarchy"
+	"licm/internal/mc"
+	"licm/internal/queries"
+	"licm/internal/solver"
+)
+
+func tinyData() (*dataset.Dataset, *hierarchy.Hierarchy) {
+	d := &dataset.Dataset{}
+	prices := []int64{1, 9, 2, 8, 3, 7, 4, 6}
+	for i := 0; i < 8; i++ {
+		d.Items = append(d.Items, dataset.Item{ID: int32(i), Name: "it", Price: prices[i]})
+	}
+	d.Trans = []dataset.Transaction{
+		{ID: 0, Location: 1, Items: []int32{0, 4}},
+		{ID: 1, Location: 1, Items: []int32{1, 4}},
+		{ID: 2, Location: 2, Items: []int32{2, 5}},
+		{ID: 3, Location: 2, Items: []int32{3, 5}},
+	}
+	h, err := hierarchy.Build(8, 2, nil)
+	if err != nil {
+		panic(err)
+	}
+	return d, h
+}
+
+// encodings builds the three encodings of the tiny dataset.
+func encodings(t *testing.T) map[string]*encode.Encoded {
+	t.Helper()
+	d, h := tinyData()
+	out := map[string]*encode.Encoded{}
+	gk, err := anon.KAnonymize(d, h, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["k-anon"] = encode.Generalized(gk, d.Items)
+	gm, err := anon.KmAnonymize(d, h, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["km-anon"] = encode.Generalized(gm, d.Items)
+	bg, err := anon.BipartiteAnonymize(d, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["bipartite"] = encode.Bipartite(d, bg)
+	sp, err := anon.SuppressAnonymize(d, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["suppress"] = encode.Suppressed(sp, d.Items)
+	return out
+}
+
+// testQueries are small-parameter versions of the paper's queries
+// matched to the tiny domain.
+func testQueries() []queries.Query {
+	return []queries.Query{
+		queries.Q1{Pa: queries.Pred{Lo: 1, Hi: 1}, Pb: queries.Pred{Lo: 5, Hi: 9}},
+		queries.Q2{Pa: queries.Pred{Lo: 1, Hi: 2}, Pb: queries.Pred{Lo: 5, Hi: 9}, Pc: queries.Pred{Lo: 1, Hi: 4}, X: 1, Y: 1},
+		queries.Q3{Pa: queries.Pred{Lo: 1, Hi: 1}, Pb: queries.Pred{Lo: 1, Hi: 2}, X: 2},
+	}
+}
+
+func TestBoundsMatchExhaustiveWorlds(t *testing.T) {
+	for name, enc := range encodings(t) {
+		for _, q := range testQueries() {
+			// Fresh encoding per (scheme, query) pair: BuildLICM grows
+			// the constraint store.
+			encs := encodings(t)
+			e := encs[name]
+			rel, err := q.BuildLICM(e)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", name, q.Name(), err)
+			}
+			res, err := core.CountBounds(e.DB, rel, solver.DefaultOptions())
+			if err != nil {
+				t.Fatalf("%s/%s: bounds: %v", name, q.Name(), err)
+			}
+			wantMin, wantMax := int64(1<<62), int64(-1<<62)
+			worlds := 0
+			err = mc.Enumerate(enc, 100000, func(s *mc.Sampler) {
+				if !s.Valid() {
+					t.Fatalf("%s: enumerated world invalid", name)
+				}
+				worlds++
+				a := q.Eval(s.MaterializeWorld())
+				if a < wantMin {
+					wantMin = a
+				}
+				if a > wantMax {
+					wantMax = a
+				}
+			})
+			if err != nil {
+				t.Fatalf("%s/%s: enumerate: %v", name, q.Name(), err)
+			}
+			if worlds == 0 {
+				t.Fatalf("%s: no worlds", name)
+			}
+			if res.Min != wantMin || res.Max != wantMax {
+				t.Errorf("%s/%s: LICM bounds [%d,%d], exhaustive [%d,%d] over %d worlds",
+					name, q.Name(), res.Min, res.Max, wantMin, wantMax, worlds)
+			}
+			if !res.MinProven || !res.MaxProven {
+				t.Errorf("%s/%s: bounds not proven", name, q.Name())
+			}
+		}
+	}
+}
+
+func TestPredHelpers(t *testing.T) {
+	p := queries.Pred{Lo: 3, Hi: 7}
+	if !p.Match(3) || !p.Match(7) || p.Match(2) || p.Match(8) {
+		t.Error("Match wrong")
+	}
+	if p.Width() != 5 {
+		t.Errorf("Width = %d", p.Width())
+	}
+	if (queries.Pred{Lo: 5, Hi: 4}).Width() != 0 {
+		t.Error("empty width wrong")
+	}
+	if p.String() != "[3,7]" {
+		t.Errorf("String = %q", p.String())
+	}
+}
+
+func TestRangeWithSelectivity(t *testing.T) {
+	p := queries.RangeWithSelectivity(1000, 0.005, 0)
+	if p.Width() != 5 || p.Lo != 0 {
+		t.Errorf("0.5%% of 1000 = %v", p)
+	}
+	p = queries.RangeWithSelectivity(40, 0.25, 20)
+	if p.Width() != 10 || p.Lo != 20 {
+		t.Errorf("25%% of 40 at 20 = %v", p)
+	}
+	// Clamped at the domain edge.
+	p = queries.RangeWithSelectivity(10, 0.5, 8)
+	if p.Hi != 9 || p.Width() != 5 {
+		t.Errorf("clamped = %v", p)
+	}
+	// Tiny fraction still admits one value.
+	p = queries.RangeWithSelectivity(10, 0.0001, 3)
+	if p.Width() != 1 {
+		t.Errorf("min width = %v", p)
+	}
+	// Negative offset wraps.
+	p = queries.RangeWithSelectivity(10, 0.1, -3)
+	if p.Lo != 7 {
+		t.Errorf("negative offset = %v", p)
+	}
+}
+
+func TestPaperSpecs(t *testing.T) {
+	q1 := queries.PaperQ1(1000, 40)
+	if q1.Pa.Width() != 5 || q1.Pb.Width() != 10 {
+		t.Errorf("Q1 selectivities: %+v", q1)
+	}
+	q2 := queries.PaperQ2(1000, 40)
+	if q2.X != 4 || q2.Y != 2 || q2.Pb == q2.Pc {
+		t.Errorf("Q2 spec: %+v", q2)
+	}
+	q3 := queries.PaperQ3(1000, 0.003, 80)
+	if q3.X != 80 || q3.Pa.Width() != 3 || q3.Pa == q3.Pb {
+		t.Errorf("Q3 spec: %+v", q3)
+	}
+	if (queries.Q1{}).Name() != "Q1" || (queries.Q2{}).Name() != "Q2" || (queries.Q3{}).Name() != "Q3" {
+		t.Error("names wrong")
+	}
+}
+
+func TestEvalOnIdentityWorld(t *testing.T) {
+	// On the un-anonymized world (k=1 encoding: all certain), LICM
+	// bounds collapse to the exact deterministic answer.
+	d, h := tinyData()
+	g, err := anon.KmAnonymize(d, h, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := encode.Generalized(g, d.Items)
+	for _, q := range testQueries() {
+		rel, err := q.BuildLICM(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := core.CountBounds(e.DB, rel, solver.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := mc.NewSampler(e, 1)
+		want := q.Eval(s.SampleWorld())
+		if res.Min != want || res.Max != want {
+			t.Errorf("%s: certain data bounds [%d,%d], want exactly %d", q.Name(), res.Min, res.Max, want)
+		}
+	}
+}

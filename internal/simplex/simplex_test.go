@@ -1,0 +1,357 @@
+package simplex
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func solveOrFatal(t *testing.T, lp *LP) Solution {
+	t.Helper()
+	sol, st := lp.Solve()
+	if st != Optimal {
+		t.Fatalf("Solve status = %v, want optimal", st)
+	}
+	return sol
+}
+
+func TestTrivialNoRows(t *testing.T) {
+	lp := New(3)
+	lp.SetObjective(0, 1)
+	lp.SetObjective(1, -2)
+	lp.SetObjective(2, 0.5)
+	sol := solveOrFatal(t, lp)
+	if math.Abs(sol.Obj-1.5) > 1e-7 {
+		t.Errorf("obj = %v, want 1.5", sol.Obj)
+	}
+	if math.Abs(sol.X[0]-1) > 1e-7 || math.Abs(sol.X[1]) > 1e-7 || math.Abs(sol.X[2]-1) > 1e-7 {
+		t.Errorf("x = %v", sol.X)
+	}
+}
+
+func TestSingleLERow(t *testing.T) {
+	// max x0 + x1  s.t. x0 + x1 <= 1, x in [0,1]^2.
+	lp := New(2)
+	lp.SetObjective(0, 1)
+	lp.SetObjective(1, 1)
+	lp.AddRow([]Entry{{0, 1}, {1, 1}}, LE, 1)
+	sol := solveOrFatal(t, lp)
+	if math.Abs(sol.Obj-1) > 1e-7 {
+		t.Errorf("obj = %v, want 1", sol.Obj)
+	}
+}
+
+func TestGERowNeedsPhase1(t *testing.T) {
+	// max -x0 - x1  s.t. x0 + x1 >= 1: optimum -1.
+	lp := New(2)
+	lp.SetObjective(0, -1)
+	lp.SetObjective(1, -1)
+	lp.AddRow([]Entry{{0, 1}, {1, 1}}, GE, 1)
+	sol := solveOrFatal(t, lp)
+	if math.Abs(sol.Obj+1) > 1e-7 {
+		t.Errorf("obj = %v, want -1", sol.Obj)
+	}
+}
+
+func TestEqualityRow(t *testing.T) {
+	// max x0  s.t. x0 + x1 = 1, x1 >= 0.4: optimum x0 = 0.6.
+	lp := New(2)
+	lp.SetObjective(0, 1)
+	lp.AddRow([]Entry{{0, 1}, {1, 1}}, EQ, 1)
+	lp.AddRow([]Entry{{1, 1}}, GE, 0.4)
+	sol := solveOrFatal(t, lp)
+	if math.Abs(sol.Obj-0.6) > 1e-7 {
+		t.Errorf("obj = %v, want 0.6", sol.Obj)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	lp := New(2)
+	lp.AddRow([]Entry{{0, 1}, {1, 1}}, GE, 3) // impossible in [0,1]^2
+	_, st := lp.Solve()
+	if st != Infeasible {
+		t.Fatalf("status = %v, want infeasible", st)
+	}
+}
+
+func TestInfeasibleEquality(t *testing.T) {
+	lp := New(1)
+	lp.AddRow([]Entry{{0, 1}}, EQ, 2)
+	_, st := lp.Solve()
+	if st != Infeasible {
+		t.Fatalf("status = %v, want infeasible", st)
+	}
+}
+
+func TestWiderBounds(t *testing.T) {
+	// max 3x + 2y  s.t. x + y <= 4, x + 3y <= 6, 0<=x<=10, 0<=y<=10.
+	// Optimum at (4,0): 12.
+	lp := New(2)
+	lp.SetBounds(0, 0, 10)
+	lp.SetBounds(1, 0, 10)
+	lp.SetObjective(0, 3)
+	lp.SetObjective(1, 2)
+	lp.AddRow([]Entry{{0, 1}, {1, 1}}, LE, 4)
+	lp.AddRow([]Entry{{0, 1}, {1, 3}}, LE, 6)
+	sol := solveOrFatal(t, lp)
+	if math.Abs(sol.Obj-12) > 1e-7 {
+		t.Errorf("obj = %v, want 12", sol.Obj)
+	}
+}
+
+func TestClassicDantzig(t *testing.T) {
+	// max 5x + 4y + 3z
+	// s.t. 2x + 3y + z <= 5; 4x + y + 2z <= 11; 3x + 4y + 2z <= 8.
+	// Known optimum 13 at (2, 0, 1).
+	lp := New(3)
+	for j := 0; j < 3; j++ {
+		lp.SetBounds(j, 0, 100)
+	}
+	lp.SetObjective(0, 5)
+	lp.SetObjective(1, 4)
+	lp.SetObjective(2, 3)
+	lp.AddRow([]Entry{{0, 2}, {1, 3}, {2, 1}}, LE, 5)
+	lp.AddRow([]Entry{{0, 4}, {1, 1}, {2, 2}}, LE, 11)
+	lp.AddRow([]Entry{{0, 3}, {1, 4}, {2, 2}}, LE, 8)
+	sol := solveOrFatal(t, lp)
+	if math.Abs(sol.Obj-13) > 1e-6 {
+		t.Errorf("obj = %v, want 13", sol.Obj)
+	}
+}
+
+func TestFractionalOptimum(t *testing.T) {
+	// max x + y s.t. 2x + y <= 2, x + 2y <= 2 in [0,1]^2:
+	// optimum at (2/3, 2/3) = 4/3.
+	lp := New(2)
+	lp.SetObjective(0, 1)
+	lp.SetObjective(1, 1)
+	lp.AddRow([]Entry{{0, 2}, {1, 1}}, LE, 2)
+	lp.AddRow([]Entry{{0, 1}, {1, 2}}, LE, 2)
+	sol := solveOrFatal(t, lp)
+	if math.Abs(sol.Obj-4.0/3.0) > 1e-7 {
+		t.Errorf("obj = %v, want 4/3", sol.Obj)
+	}
+}
+
+func TestLICMLineageShape(t *testing.T) {
+	// The constraints the intersection operator generates:
+	// max b5 s.t. b5 <= b1, b5 <= b3, b5 >= b1 + b3 - 1, b1 + b2 >= 1.
+	// LP optimum is 1 (b1 = b3 = b5 = 1).
+	lp := New(4) // b1,b2,b3,b5 -> cols 0,1,2,3
+	lp.SetObjective(3, 1)
+	lp.AddRow([]Entry{{3, 1}, {0, -1}}, LE, 0)
+	lp.AddRow([]Entry{{3, 1}, {2, -1}}, LE, 0)
+	lp.AddRow([]Entry{{3, 1}, {0, -1}, {2, -1}}, GE, -1)
+	lp.AddRow([]Entry{{0, 1}, {1, 1}}, GE, 1)
+	sol := solveOrFatal(t, lp)
+	if math.Abs(sol.Obj-1) > 1e-7 {
+		t.Errorf("obj = %v, want 1", sol.Obj)
+	}
+}
+
+func TestPermutationRelaxation(t *testing.T) {
+	// Bijection constraints on a 3x3 assignment; maximize the diagonal.
+	// The LP over the Birkhoff polytope has integral optimum 3.
+	lp := New(9)
+	idx := func(i, j int) int { return 3*i + j }
+	for i := 0; i < 3; i++ {
+		var r, c []Entry
+		for j := 0; j < 3; j++ {
+			r = append(r, Entry{idx(i, j), 1})
+			c = append(c, Entry{idx(j, i), 1})
+		}
+		lp.AddRow(r, EQ, 1)
+		lp.AddRow(c, EQ, 1)
+	}
+	for i := 0; i < 3; i++ {
+		lp.SetObjective(idx(i, i), 1)
+	}
+	sol := solveOrFatal(t, lp)
+	if math.Abs(sol.Obj-3) > 1e-6 {
+		t.Errorf("obj = %v, want 3", sol.Obj)
+	}
+}
+
+func TestSolutionWithinBoundsAndRows(t *testing.T) {
+	// Random LPs: verify the reported solution is feasible and its
+	// objective matches c·x.
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + r.Intn(5)
+		m := r.Intn(5)
+		lp := New(n)
+		for j := 0; j < n; j++ {
+			lp.SetObjective(j, float64(r.Intn(11)-5))
+		}
+		type savedRow struct {
+			entries []Entry
+			op      Op
+			rhs     float64
+		}
+		var rows []savedRow
+		for i := 0; i < m; i++ {
+			var entries []Entry
+			for j := 0; j < n; j++ {
+				if r.Intn(2) == 0 {
+					entries = append(entries, Entry{j, float64(r.Intn(7) - 3)})
+				}
+			}
+			if len(entries) == 0 {
+				continue
+			}
+			op := Op(r.Intn(2)) // LE or GE; EQ covered elsewhere
+			rhs := float64(r.Intn(5) - 1)
+			lp.AddRow(entries, op, rhs)
+			rows = append(rows, savedRow{entries, op, rhs})
+		}
+		sol, st := lp.Solve()
+		if st == Infeasible {
+			continue
+		}
+		if st != Optimal {
+			t.Fatalf("trial %d: status %v", trial, st)
+		}
+		obj := 0.0
+		for j := 0; j < n; j++ {
+			x := sol.X[j]
+			if x < -1e-6 || x > 1+1e-6 {
+				t.Fatalf("trial %d: x[%d] = %v out of [0,1]", trial, j, x)
+			}
+			obj += lp.obj[j] * x
+		}
+		if math.Abs(obj-sol.Obj) > 1e-6 {
+			t.Fatalf("trial %d: reported obj %v != recomputed %v", trial, sol.Obj, obj)
+		}
+		for _, rr := range rows {
+			v := 0.0
+			for _, e := range rr.entries {
+				v += e.Coef * sol.X[e.Col]
+			}
+			ok := true
+			switch rr.op {
+			case LE:
+				ok = v <= rr.rhs+1e-6
+			case GE:
+				ok = v >= rr.rhs-1e-6
+			}
+			if !ok {
+				t.Fatalf("trial %d: row violated: %v vs %v", trial, v, rr.rhs)
+			}
+		}
+	}
+}
+
+// TestAgainstVertexEnumeration compares the simplex optimum with a
+// brute-force scan over the 0/1 cube refined by bisection along edges.
+// For LPs whose optimum is at a cube vertex this is exact; we restrict
+// to generated instances with totally unimodular-ish single-row
+// structure so the optimum is integral.
+func TestAgainstVertexEnumeration(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + r.Intn(4)
+		lp := New(n)
+		c := make([]float64, n)
+		for j := 0; j < n; j++ {
+			c[j] = float64(r.Intn(9) - 4)
+			lp.SetObjective(j, c[j])
+		}
+		// One cardinality row: sum of a subset >= or <= bound. The LP
+		// optimum is then attained at a 0/1 point.
+		var entries []Entry
+		for j := 0; j < n; j++ {
+			if r.Intn(2) == 0 {
+				entries = append(entries, Entry{j, 1})
+			}
+		}
+		op := Op(r.Intn(2))
+		rhs := float64(r.Intn(n + 1))
+		if len(entries) > 0 {
+			lp.AddRow(entries, op, rhs)
+		}
+		sol, st := lp.Solve()
+		// Brute force over 0/1 vertices.
+		best := math.Inf(-1)
+		feasibleExists := false
+		for mask := 0; mask < 1<<n; mask++ {
+			v := 0.0
+			for _, e := range entries {
+				if mask&(1<<e.Col) != 0 {
+					v += e.Coef
+				}
+			}
+			ok := len(entries) == 0
+			if !ok {
+				switch op {
+				case LE:
+					ok = v <= rhs
+				case GE:
+					ok = v >= rhs
+				}
+			}
+			if !ok {
+				continue
+			}
+			feasibleExists = true
+			obj := 0.0
+			for j := 0; j < n; j++ {
+				if mask&(1<<j) != 0 {
+					obj += c[j]
+				}
+			}
+			best = math.Max(best, obj)
+		}
+		if !feasibleExists {
+			if st != Infeasible {
+				t.Fatalf("trial %d: want infeasible, got %v", trial, st)
+			}
+			continue
+		}
+		if st != Optimal {
+			t.Fatalf("trial %d: status %v", trial, st)
+		}
+		if sol.Obj < best-1e-6 {
+			t.Fatalf("trial %d: LP obj %v below integral optimum %v", trial, sol.Obj, best)
+		}
+		// With a single cardinality row the LP relaxation is exact.
+		if math.Abs(sol.Obj-best) > 1e-6 {
+			t.Fatalf("trial %d: LP obj %v, integral optimum %v", trial, sol.Obj, best)
+		}
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	if Optimal.String() != "optimal" || Infeasible.String() != "infeasible" ||
+		Unbounded.String() != "unbounded" || IterLimit.String() != "iteration-limit" {
+		t.Error("Status.String mismatch")
+	}
+}
+
+func BenchmarkSolveAssignment8(b *testing.B) {
+	// An 8x8 Birkhoff polytope LP, the shape produced by bipartite
+	// grouping with k = 8.
+	build := func() *LP {
+		lp := New(64)
+		idx := func(i, j int) int { return 8*i + j }
+		for i := 0; i < 8; i++ {
+			var r, c []Entry
+			for j := 0; j < 8; j++ {
+				r = append(r, Entry{idx(i, j), 1})
+				c = append(c, Entry{idx(j, i), 1})
+			}
+			lp.AddRow(r, EQ, 1)
+			lp.AddRow(c, EQ, 1)
+		}
+		for i := 0; i < 8; i++ {
+			lp.SetObjective(idx(i, (i+3)%8), 1)
+		}
+		return lp
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		lp := build()
+		if _, st := lp.Solve(); st != Optimal {
+			b.Fatalf("status %v", st)
+		}
+	}
+}

@@ -1,0 +1,595 @@
+package solver
+
+import (
+	"math"
+
+	"licm/internal/simplex"
+)
+
+// comp is one connected component of the variable/constraint graph,
+// with variables renumbered to 0..n-1. It is always solved as a
+// maximization.
+type comp struct {
+	n       int
+	cons    []lcon
+	obj     []int64 // objective coefficient per local variable
+	derived []bool  // nil, or per-variable lineage marker
+	prop    *propagator
+	opts    Options
+
+	order []int32 // branching order over local variables
+
+	best         int64
+	hasIncumbent bool
+	assign       []int8 // best complete assignment
+	openBound    int64  // max bound among subtrees abandoned by budget
+	hasOpen      bool
+	exhausted    bool
+	stopAtFirst  bool // heuristic dive: stop at the first feasible leaf
+	feasOnly     bool // all-zero objective: skip bound bookkeeping
+	done         bool
+
+	budget   *int64 // shared node budget; nil means unlimited
+	nodes    int64
+	lpSolves int64
+
+	// Adaptive LP control: when relaxation solves stop pruning, the
+	// search falls back to plain DFS (the LP is rebuilt from scratch
+	// at every node, so a non-pruning relaxation is pure overhead).
+	lpPruned   int64
+	lpJudged   int64 // LP solves made while an incumbent existed
+	lpDisabled bool
+	rootLP     int64 // root relaxation bound (valid upper bound)
+	hasRootLP  bool
+	valueHint  []int8 // per-variable preferred branch value from the root LP
+
+	// Incrementally-maintained objective state: cur is the value of
+	// the variables fixed to 1, optExtra the sum of positive
+	// coefficients of still-free variables. The node bound
+	// cur+optExtra is then O(1) instead of an O(n) rescan.
+	cur      int64
+	optExtra int64
+}
+
+// initObjTrack initializes cur/optExtra from the current domains.
+func (c *comp) initObjTrack() {
+	c.cur, c.optExtra = 0, 0
+	for v := 0; v < c.n; v++ {
+		switch c.prop.dom[v] {
+		case 1:
+			c.cur += c.obj[v]
+		case -1:
+			if c.obj[v] > 0 {
+				c.optExtra += c.obj[v]
+			}
+		}
+	}
+}
+
+// absorb accounts all variables fixed on the trail since `from`.
+func (c *comp) absorb(from int) {
+	for _, v := range c.prop.trail[from:] {
+		o := c.obj[v]
+		if o > 0 {
+			c.optExtra -= o
+		}
+		if c.prop.dom[v] == 1 {
+			c.cur += o
+		}
+	}
+}
+
+// fixT is prop.fix plus objective tracking; it returns the pre-fix
+// trail mark for undoT. Tracking happens even on conflict, since the
+// trail keeps the partial fixes until undoT reverses them.
+func (c *comp) fixT(v int32, val int8) (bool, int) {
+	m := c.prop.mark()
+	ok := c.prop.fix(v, val)
+	c.absorb(m)
+	return ok, m
+}
+
+// undoT reverses objective tracking and the propagator trail.
+func (c *comp) undoT(mark int) {
+	trail := c.prop.trail
+	for i := len(trail) - 1; i >= mark; i-- {
+		v := trail[i]
+		o := c.obj[v]
+		if c.prop.dom[v] == 1 {
+			c.cur -= o
+		}
+		if o > 0 {
+			c.optExtra += o
+		}
+	}
+	c.prop.undo(mark)
+}
+
+// compResult is the outcome of solving one component.
+type compResult struct {
+	feasible bool
+	best     int64
+	bound    int64
+	proven   bool
+	assign   []int8
+	nodes    int64
+	lpSolves int64
+}
+
+// solveComp maximizes c.obj over the component. The propagator's
+// domains may carry fixings from global presolve.
+func solveComp(n int, cons []lcon, obj []int64, derived []bool, prop *propagator, opts Options, budget *int64) compResult {
+	c := &comp{n: n, cons: cons, obj: obj, derived: derived, prop: prop, opts: opts, budget: budget}
+	c.feasOnly = allZero(obj)
+	if c.feasOnly {
+		c.stopAtFirst = true
+	}
+	if !prop.drain() {
+		return compResult{feasible: false, proven: true}
+	}
+	c.buildOrder()
+	c.initObjTrack()
+	nFree := prop.numFree()
+	fitsLP := nFree <= opts.MaxLPVars && (opts.MaxLPRows <= 0 || len(cons) <= opts.MaxLPRows)
+	useLP := opts.UseLP && nFree > opts.DFSThreshold && fitsLP
+	if budget == nil && opts.OversizeNodes > 0 && nFree > opts.DFSThreshold {
+		// No caller budget on a non-trivial component: apply the
+		// safety budget so the solve stays anytime (the result is
+		// marked unproven if it trips). Without this, a component
+		// whose LP bound stops pruning could search forever.
+		b := opts.OversizeNodes
+		c.budget = &b
+	}
+	if useLP {
+		// Solve the root relaxation once: its value caps the final
+		// reported bound, and its rounded solution steers the seed
+		// dive toward a good first incumbent (LP bounds can only
+		// prune once an incumbent exists, so solving relaxations
+		// during an unguided initial plunge is pure overhead).
+		var hint []int8
+		if sol, status, cols := c.solveRelaxation(0); status == simplex.Optimal {
+			c.rootLP, c.hasRootLP = int64(math.Floor(sol.Obj+1e-6)), true
+			hint = make([]int8, n)
+			for i := range hint {
+				hint[i] = -1
+			}
+			for col, v := range cols {
+				if sol.X[col] >= 0.5 {
+					hint[v] = 1
+				} else {
+					hint[v] = 0
+				}
+			}
+		}
+		diveBudget := int64(64*n + 2048)
+		d := &comp{n: n, cons: cons, obj: obj, derived: derived, prop: prop, opts: opts,
+			order: c.order, budget: &diveBudget, stopAtFirst: true, valueHint: hint}
+		d.initObjTrack()
+		d.dfsNode(0)
+		if d.hasIncumbent {
+			c.best, c.hasIncumbent, c.assign = d.best, true, d.assign
+		}
+		c.nodes += d.nodes
+		c.valueHint = hint
+		if c.hasIncumbent && c.hasRootLP && c.rootLP <= c.best {
+			// The seed already matches the relaxation bound: optimal.
+			c.lpPruned++
+		} else {
+			c.lpNode(0)
+		}
+	} else {
+		c.dfsNode(0)
+	}
+	if c.exhausted && !c.hasIncumbent {
+		// The budget ran out before any feasible leaf was reached. Run
+		// a cheap heuristic dive (first feasible leaf, bounded
+		// backtracking) so an unproven value can still be reported.
+		diveBudget := int64(256*n + 4096)
+		d := &comp{n: n, cons: cons, obj: obj, derived: derived, prop: prop, opts: opts,
+			order: c.order, budget: &diveBudget, stopAtFirst: true}
+		d.initObjTrack()
+		d.dfsNode(0)
+		if d.hasIncumbent {
+			c.best, c.hasIncumbent, c.assign = d.best, true, d.assign
+		}
+		c.nodes += d.nodes
+	}
+	res := compResult{
+		feasible: c.hasIncumbent,
+		best:     c.best,
+		assign:   c.assign,
+		nodes:    c.nodes,
+		lpSolves: c.lpSolves,
+	}
+	res.proven = !c.exhausted
+	res.bound = c.best
+	if c.hasOpen && c.openBound > res.bound {
+		res.bound = c.openBound
+	}
+	if !c.hasIncumbent && c.hasOpen {
+		// Budget ran out before any feasible point was found: the only
+		// valid bound is the optimistic one.
+		res.best = 0
+		res.bound = c.openBound
+	}
+	if c.hasRootLP && c.rootLP < res.bound && res.bound > res.best {
+		// The root relaxation is a proven upper bound; use it when it
+		// beats the combinatorial bound of abandoned subtrees.
+		res.bound = c.rootLP
+		if res.bound < res.best {
+			res.bound = res.best
+		}
+	}
+	return res
+}
+
+// buildOrder sorts branching candidates: base variables before
+// derived lineage variables (whose values propagation determines once
+// the base is fixed), then by |objective coefficient| descending.
+func (c *comp) buildOrder() {
+	c.order = make([]int32, c.n)
+	for i := range c.order {
+		c.order[i] = int32(i)
+	}
+	abs := func(x int64) int64 {
+		if x < 0 {
+			return -x
+		}
+		return x
+	}
+	const baseBoost = int64(1) << 40
+	quickSortByKeyDesc(c.order, func(v int32) int64 {
+		k := abs(c.obj[v])
+		if c.derived == nil || !c.derived[v] {
+			k += baseBoost
+		}
+		return k
+	})
+}
+
+// quickSortByKeyDesc sorts ids by key(id) descending, breaking ties by
+// id ascending, using a simple recursive quicksort.
+func quickSortByKeyDesc(ids []int32, key func(int32) int64) {
+	if len(ids) < 2 {
+		return
+	}
+	pivot := ids[len(ids)/2]
+	pk := key(pivot)
+	less := func(a int32) bool {
+		ka := key(a)
+		return ka > pk || (ka == pk && a < pivot)
+	}
+	i, j := 0, len(ids)-1
+	for i <= j {
+		for less(ids[i]) {
+			i++
+		}
+		for key(ids[j]) < pk || (key(ids[j]) == pk && ids[j] > pivot) {
+			j--
+		}
+		if i <= j {
+			ids[i], ids[j] = ids[j], ids[i]
+			i++
+			j--
+		}
+	}
+	quickSortByKeyDesc(ids[:j+1], key)
+	quickSortByKeyDesc(ids[i:], key)
+}
+
+// curAndOptimistic returns the objective value of current fixings and
+// the optimistic completion bound (fixed value plus all positive free
+// coefficients), from the incrementally-maintained state.
+func (c *comp) curAndOptimistic() (cur, opt int64) {
+	return c.cur, c.cur + c.optExtra
+}
+
+// spendNode consumes one unit of budget; it returns false when the
+// budget is exhausted.
+func (c *comp) spendNode() bool {
+	c.nodes++
+	if c.budget == nil {
+		return true
+	}
+	if *c.budget <= 0 {
+		return false
+	}
+	*c.budget--
+	return true
+}
+
+// abandon records the optimistic bound of a subtree the budget forced
+// us to skip.
+func (c *comp) abandon(bound int64) {
+	c.exhausted = true
+	if !c.hasOpen || bound > c.openBound {
+		c.openBound = bound
+		c.hasOpen = true
+	}
+}
+
+// recordIncumbent captures the current complete assignment.
+func (c *comp) recordIncumbent(val int64) {
+	if c.stopAtFirst {
+		c.done = true
+	}
+	if c.hasIncumbent && val <= c.best {
+		return
+	}
+	c.best = val
+	c.hasIncumbent = true
+	if c.assign == nil {
+		c.assign = make([]int8, c.n)
+	}
+	copy(c.assign, c.prop.dom)
+}
+
+// preferredValue picks the branch value to try first: follow the
+// objective where it has an opinion; otherwise prefer 1, which is the
+// propagation-friendly direction for LICM constraint families
+// ("at least one of", bijection rows, AND-support for lineage) and
+// avoids the pathological all-zeros dive on lineage variables.
+func (c *comp) preferredValue(v int32) int8 {
+	if c.valueHint != nil {
+		if h := c.valueHint[v]; h >= 0 {
+			return h
+		}
+	}
+	if c.obj[v] < 0 {
+		return 0
+	}
+	return 1
+}
+
+// nextFree returns the first unfixed variable in branching order, or
+// -1 when the assignment is complete.
+func (c *comp) nextFree() int32 {
+	v, _ := c.nextFreeFrom(0)
+	return v
+}
+
+// nextFreeFrom scans the branching order starting at position pos and
+// returns the first unfixed variable and its position (or -1, len).
+// Threading the position through the DFS makes the scan amortized
+// O(1) along a dive instead of O(n) per node.
+func (c *comp) nextFreeFrom(pos int) (int32, int) {
+	for ; pos < len(c.order); pos++ {
+		if v := c.order[pos]; c.prop.dom[v] == -1 {
+			return v, pos
+		}
+	}
+	return -1, pos
+}
+
+// allZero reports whether every objective coefficient is zero.
+func allZero(obj []int64) bool {
+	for _, o := range obj {
+		if o != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// dfsNode explores the current node with propagation-based DFS.
+// Precondition: the propagator is in a consistent (non-conflicting)
+// state.
+func (c *comp) dfsNode(pos int) {
+	if c.done {
+		return
+	}
+	var cur, opt int64
+	if !c.feasOnly {
+		cur, opt = c.curAndOptimistic()
+		if c.hasIncumbent && opt <= c.best {
+			return
+		}
+	}
+	if !c.spendNode() {
+		c.abandon(opt)
+		return
+	}
+	v, pos := c.nextFreeFrom(pos)
+	if v == -1 {
+		c.recordIncumbent(cur)
+		return
+	}
+	first := c.preferredValue(v)
+	for _, val := range [2]int8{first, 1 - first} {
+		ok, m := c.fixT(v, val)
+		if ok {
+			c.dfsNode(pos)
+		}
+		c.undoT(m)
+	}
+}
+
+// lpNode explores the current node using an LP relaxation bound,
+// falling back to plain DFS once few variables remain free.
+func (c *comp) lpNode(pos int) {
+	if c.done {
+		return
+	}
+	if c.lpDisabled {
+		c.dfsNode(pos)
+		return
+	}
+	cur, opt := c.curAndOptimistic()
+	if c.hasIncumbent && opt <= c.best {
+		return
+	}
+	nFree := c.prop.numFree()
+	if nFree <= c.opts.DFSThreshold {
+		c.dfsNode(pos)
+		return
+	}
+	if !c.spendNode() {
+		c.abandon(opt)
+		return
+	}
+	sol, status, cols := c.solveRelaxation(cur)
+	switch status {
+	case simplex.Infeasible:
+		c.lpPruned++
+		return
+	case simplex.Optimal:
+		// fall through
+	default:
+		// Numerical trouble: keep searching with the combinatorial
+		// bound only.
+		c.dfsNode(pos)
+		return
+	}
+	bound := int64(math.Floor(sol.Obj + 1e-6))
+	if c.hasIncumbent && bound <= c.best {
+		c.lpPruned++
+		return
+	}
+	// Stagnation check: after a warm-up, require the relaxation to
+	// prune a reasonable share of the nodes it is solved at; otherwise
+	// abandon it for this component. Solves made before the first
+	// incumbent exists are not held against it — nothing can prune
+	// until there is a bound to prune against.
+	if c.hasIncumbent {
+		c.lpJudged++
+		if c.lpJudged >= 8 && c.lpPruned*4 < c.lpJudged {
+			c.lpDisabled = true
+			c.dfsNode(pos)
+			return
+		}
+	}
+	// Integral LP solution: verify exactly and accept as incumbent.
+	if frac := mostFractional(sol.X); frac == -1 {
+		m := c.prop.mark()
+		ok := true
+		for col, v := range cols {
+			val := int8(0)
+			if sol.X[col] > 0.5 {
+				val = 1
+			}
+			if !c.prop.fix(v, val) {
+				ok = false
+				break
+			}
+		}
+		c.absorb(m)
+		if ok && c.nextFree() == -1 {
+			c.lpPruned++
+			leafCur, _ := c.curAndOptimistic()
+			c.recordIncumbent(leafCur)
+			c.undoT(m)
+			return
+		}
+		if ok {
+			// Propagation left untouched variables (constraint-free
+			// ones); finish them with DFS.
+			c.dfsNode(pos)
+			c.undoT(m)
+			return
+		}
+		c.undoT(m)
+		// The rounded point was invalid (numerics); branch normally on
+		// the first free variable.
+	}
+	v, prefer := c.branchVar(sol.X, cols)
+	for _, val := range [2]int8{prefer, 1 - prefer} {
+		ok, m := c.fixT(v, val)
+		if ok {
+			c.lpNode(pos)
+		}
+		c.undoT(m)
+	}
+}
+
+// solveRelaxation builds and solves the LP relaxation of the free part
+// of the component. cols maps LP column -> local variable. The
+// returned objective includes the value of already-fixed variables.
+func (c *comp) solveRelaxation(fixedVal int64) (simplex.Solution, simplex.Status, []int32) {
+	c.lpSolves++
+	col := make(map[int32]int, 16)
+	var cols []int32
+	colOf := func(v int32) int {
+		if j, ok := col[v]; ok {
+			return j
+		}
+		j := len(cols)
+		col[v] = j
+		cols = append(cols, v)
+		return j
+	}
+	type lpRow struct {
+		entries []simplex.Entry
+		op      simplex.Op
+		rhs     float64
+	}
+	var rows []lpRow
+	for i := range c.cons {
+		con := &c.cons[i]
+		var entries []simplex.Entry
+		rhs := float64(con.rhs)
+		for k, v := range con.vars {
+			switch c.prop.dom[v] {
+			case 1:
+				rhs -= float64(con.coef[k])
+			case 0:
+				// contributes nothing
+			default:
+				entries = append(entries, simplex.Entry{Col: -1, Coef: float64(con.coef[k])})
+				// column index resolved below once all frees are known
+				entries[len(entries)-1].Col = colOf(v)
+			}
+		}
+		if len(entries) == 0 {
+			continue
+		}
+		rows = append(rows, lpRow{entries, simplex.Op(con.op), rhs})
+	}
+	// Free variables with objective weight but no active constraint
+	// still need a column so the LP maximizes them.
+	for v := int32(0); v < int32(c.n); v++ {
+		if c.prop.dom[v] == -1 && c.obj[v] != 0 {
+			colOf(v)
+		}
+	}
+	lp := simplex.New(len(cols))
+	for j, v := range cols {
+		if c.obj[v] != 0 {
+			lp.SetObjective(j, float64(c.obj[v]))
+		}
+	}
+	for _, r := range rows {
+		lp.AddRow(r.entries, r.op, r.rhs)
+	}
+	sol, st := lp.Solve()
+	if st == simplex.Optimal {
+		sol.Obj += float64(fixedVal)
+	}
+	return sol, st, cols
+}
+
+// mostFractional returns the index of the entry farthest from
+// integrality, or -1 when all entries are integral to tolerance.
+func mostFractional(x []float64) int {
+	best, bestDist := -1, 1e-6
+	for j, v := range x {
+		f := math.Abs(v - math.Round(v))
+		if f > bestDist {
+			best, bestDist = j, f
+		}
+	}
+	return best
+}
+
+// branchVar selects the branching variable from the LP solution (most
+// fractional) and the value to try first (the nearest integer).
+func (c *comp) branchVar(x []float64, cols []int32) (int32, int8) {
+	if j := mostFractional(x); j != -1 {
+		prefer := int8(0)
+		if x[j] >= 0.5 {
+			prefer = 1
+		}
+		return cols[j], prefer
+	}
+	v := c.nextFree()
+	return v, c.preferredValue(v)
+}

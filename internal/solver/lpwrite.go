@@ -1,0 +1,111 @@
+package solver
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"licm/internal/expr"
+)
+
+// WriteLP serializes the problem in the CPLEX LP file format, the
+// interchange format the paper's prototype used to hand instances to
+// CPLEX ("the constraints are encoded in the LP file format"). The
+// output can be fed to CPLEX, Gurobi, SCIP, lp_solve or any other
+// MIP solver for cross-checking this package's results:
+//
+//	Maximize
+//	 obj: b0 + b1 + 2 b3
+//	Subject To
+//	 c0: b0 + b1 + b2 >= 1
+//	Binary
+//	 b0 b1 b2 b3
+//	End
+//
+// sense selects the objective direction.
+func WriteLP(w io.Writer, p *Problem, sense Sense) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	if sense == SenseMin {
+		fmt.Fprintln(bw, "Minimize")
+	} else {
+		fmt.Fprintln(bw, "Maximize")
+	}
+	fmt.Fprint(bw, " obj:")
+	writeLin(bw, p.Objective)
+	if k := p.Objective.Const(); k != 0 {
+		// The LP format has no objective constant; emit a comment so
+		// round-trips are lossless for human readers.
+		fmt.Fprintf(bw, "\n\\ objective constant: %d (add to the optimum)", k)
+	}
+	fmt.Fprintln(bw)
+	fmt.Fprintln(bw, "Subject To")
+	for i, c := range p.Constraints {
+		fmt.Fprintf(bw, " c%d:", i)
+		writeLin(bw, c.Lin)
+		switch c.Op {
+		case expr.LE:
+			fmt.Fprintf(bw, " <= %d\n", c.RHS)
+		case expr.GE:
+			fmt.Fprintf(bw, " >= %d\n", c.RHS)
+		case expr.EQ:
+			fmt.Fprintf(bw, " = %d\n", c.RHS)
+		}
+	}
+	fmt.Fprintln(bw, "Binary")
+	line := 0
+	for v := 0; v < p.NumVars; v++ {
+		fmt.Fprintf(bw, " b%d", v)
+		line++
+		if line == 20 {
+			fmt.Fprintln(bw)
+			line = 0
+		}
+	}
+	if line != 0 {
+		fmt.Fprintln(bw)
+	}
+	fmt.Fprintln(bw, "End")
+	return bw.Flush()
+}
+
+// Sense selects the optimization direction for WriteLP.
+type Sense int
+
+// Optimization senses.
+const (
+	SenseMax Sense = iota
+	SenseMin
+)
+
+// writeLin emits a linear expression in LP syntax (no constant term —
+// callers fold it into the RHS or a comment).
+func writeLin(w io.Writer, l expr.Lin) {
+	if l.Len() == 0 {
+		fmt.Fprint(w, " 0 b0")
+		return
+	}
+	first := true
+	for _, t := range l.Terms() {
+		c := t.Coef
+		switch {
+		case first && c < 0:
+			fmt.Fprint(w, " -")
+			c = -c
+		case first:
+			fmt.Fprint(w, " ")
+		case c < 0:
+			fmt.Fprint(w, " - ")
+			c = -c
+		default:
+			fmt.Fprint(w, " + ")
+		}
+		if c != 1 {
+			fmt.Fprintf(w, "%d ", c)
+		}
+		fmt.Fprintf(w, "b%d", t.Var)
+		first = false
+	}
+}

@@ -1,0 +1,133 @@
+package solver
+
+import (
+	"bufio"
+	"bytes"
+	"strings"
+	"testing"
+
+	"licm/internal/expr"
+)
+
+func TestWriteLPBasic(t *testing.T) {
+	p := &Problem{
+		NumVars: 3,
+		Constraints: []expr.Constraint{
+			expr.NewConstraint(expr.Sum(0, 1, 2), expr.GE, 1),
+			expr.NewConstraint(expr.Sum(0).AddTerm(1, -1), expr.LE, 0),
+			expr.NewConstraint(expr.NewLin(0, expr.Term{Var: 2, Coef: 2}), expr.EQ, 2),
+		},
+		Objective: expr.Sum(0, 1).AddTerm(2, 3),
+	}
+	var buf bytes.Buffer
+	if err := WriteLP(&buf, p, SenseMax); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"Maximize",
+		"obj: b0 + b1 + 3 b2",
+		"Subject To",
+		"c0: b0 + b1 + b2 >= 1",
+		"c1: b0 - b1 <= 0",
+		"c2: 2 b2 = 2",
+		"Binary",
+		"b0 b1 b2",
+		"End",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteLPMinimizeAndConstant(t *testing.T) {
+	p := &Problem{
+		NumVars:   1,
+		Objective: expr.Sum(0).AddConst(5),
+	}
+	var buf bytes.Buffer
+	if err := WriteLP(&buf, p, SenseMin); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Minimize") {
+		t.Error("missing Minimize")
+	}
+	if !strings.Contains(out, "objective constant: 5") {
+		t.Error("missing objective-constant comment")
+	}
+}
+
+func TestWriteLPNegativeLeadingTerm(t *testing.T) {
+	p := &Problem{
+		NumVars:   2,
+		Objective: expr.NewLin(0, expr.Term{Var: 0, Coef: -2}, expr.Term{Var: 1, Coef: 1}),
+	}
+	var buf bytes.Buffer
+	if err := WriteLP(&buf, p, SenseMax); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "obj: -2 b0 + b1") {
+		t.Errorf("leading negative mis-rendered:\n%s", buf.String())
+	}
+}
+
+func TestWriteLPValidates(t *testing.T) {
+	p := &Problem{NumVars: 1, Objective: expr.Sum(7)}
+	if err := WriteLP(&bytes.Buffer{}, p, SenseMax); err == nil {
+		t.Fatal("expected validation error")
+	}
+}
+
+func TestWriteLPManyVarsWraps(t *testing.T) {
+	p := &Problem{NumVars: 45, Objective: expr.Sum(0)}
+	var buf bytes.Buffer
+	if err := WriteLP(&buf, p, SenseMax); err != nil {
+		t.Fatal(err)
+	}
+	// The Binary section must wrap at 20 variables per line.
+	sc := bufio.NewScanner(&buf)
+	inBinary := false
+	maxPerLine := 0
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "Binary" {
+			inBinary = true
+			continue
+		}
+		if line == "End" {
+			break
+		}
+		if inBinary {
+			if n := len(strings.Fields(line)); n > maxPerLine {
+				maxPerLine = n
+			}
+		}
+	}
+	if maxPerLine != 20 {
+		t.Errorf("max vars per Binary line = %d, want 20", maxPerLine)
+	}
+}
+
+// TestLPRoundTripAgainstSolver: parse our own LP output naively and
+// verify constraint count and objective terms survive, guarding
+// against format drift.
+func TestLPRoundTripShape(t *testing.T) {
+	p := &Problem{
+		NumVars: 4,
+		Constraints: []expr.Constraint{
+			expr.NewConstraint(expr.Sum(0, 1), expr.LE, 1),
+			expr.NewConstraint(expr.Sum(2, 3), expr.GE, 1),
+		},
+		Objective: expr.Sum(0, 2),
+	}
+	var buf bytes.Buffer
+	if err := WriteLP(&buf, p, SenseMax); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if got := strings.Count(out, "\n c"); got != 2 {
+		t.Errorf("constraint lines = %d, want 2\n%s", got, out)
+	}
+}

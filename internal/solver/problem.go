@@ -1,0 +1,191 @@
+// Package solver is an exact binary integer programming (BIP) solver
+// specialized for the optimization problems produced by LICM query
+// answering: maximize or minimize an integer linear objective over
+// binary variables subject to integer linear constraints.
+//
+// The paper hands these instances to IBM ILOG CPLEX; this package is
+// the pure-Go substitute (see DESIGN.md). It wins the same way CPLEX
+// does on these inputs — "each constraint contains only a very small
+// number of variables" — by:
+//
+//  1. reachability pruning of variables and constraints not connected
+//     to the objective (Section V, "Pruning"),
+//  2. presolve fixing via bound propagation,
+//  3. decomposition into connected components of the variable/
+//     constraint graph, solved independently,
+//  4. per-component branch-and-bound, using LP relaxation bounds
+//     (internal/simplex) for larger components and plain
+//     propagation-based DFS for small ones.
+//
+// Budgets (node limits) turn the solver into an anytime algorithm: on
+// exhaustion it reports the best value found together with a proven
+// bound and Proven=false, mirroring CPLEX reporting "quite tight
+// approximate bounds" on the paper's hardest instance.
+package solver
+
+import (
+	"errors"
+	"fmt"
+
+	"licm/internal/expr"
+)
+
+// ErrInfeasible is returned when no assignment satisfies the
+// constraints.
+var ErrInfeasible = errors.New("solver: infeasible")
+
+// Options control the solving strategy. The zero value is not useful;
+// start from DefaultOptions.
+type Options struct {
+	// Prune enables reachability pruning of constraints and variables
+	// not connected to the objective.
+	Prune bool
+	// Decompose enables connected-component decomposition.
+	Decompose bool
+	// UseLP enables LP relaxation bounds inside branch-and-bound for
+	// components larger than DFSThreshold.
+	UseLP bool
+	// DFSThreshold is the component size (free variables) at or below
+	// which plain propagation DFS is used instead of LP-based B&B.
+	DFSThreshold int
+	// MaxLPVars is the component size above which LP bounding is
+	// skipped (the dense tableau would be too large) and budgeted DFS
+	// is used instead.
+	MaxLPVars int
+	// MaxLPRows is the constraint-count analogue of MaxLPVars.
+	MaxLPRows int
+	// MaxNodes bounds the total branch-and-bound nodes across all
+	// components; 0 means unlimited. On exhaustion the result is
+	// marked unproven.
+	MaxNodes int64
+	// OversizeNodes is the per-component node budget applied to
+	// non-trivial components when MaxNodes is 0; it keeps worst-case
+	// instances anytime (reporting proven outer bounds) instead of
+	// unbounded. 0 disables the safety budget.
+	OversizeNodes int64
+	// CompleteWitness requests a feasible assignment for variables in
+	// components that do not touch the objective (they do not affect
+	// the optimum, but a full witness world needs them).
+	CompleteWitness bool
+	// Workers > 1 solves independent components concurrently (the
+	// parallelism the paper's conclusion calls for to scale LICM).
+	// With a MaxNodes budget, the budget is split evenly across
+	// components instead of being drawn from a shared pool, so
+	// results are deterministic but can differ from a sequential run
+	// on budget-limited instances.
+	Workers int
+}
+
+// DefaultOptions returns the recommended settings.
+func DefaultOptions() Options {
+	return Options{
+		Prune:           true,
+		Decompose:       true,
+		UseLP:           true,
+		DFSThreshold:    22,
+		MaxLPVars:       600,
+		MaxLPRows:       1200,
+		MaxNodes:        0,
+		OversizeNodes:   2_000_000,
+		CompleteWitness: true,
+	}
+}
+
+// Stats reports work done and problem-size evolution during a solve.
+// VarsBefore counts variables appearing in the objective or any
+// constraint; the pruning figures reproduce the paper's Figure 7.
+type Stats struct {
+	VarsBefore      int
+	ConsBefore      int
+	VarsAfterPrune  int
+	ConsAfterPrune  int
+	FixedByPresolve int
+	Components      int
+	Nodes           int64
+	LPSolves        int64
+}
+
+// Result is the outcome of a Maximize or Minimize call.
+type Result struct {
+	// Value is the best objective value found (the optimum when
+	// Proven).
+	Value int64
+	// Bound is a proven bound on the optimum: an upper bound for
+	// maximization, lower for minimization. Bound == Value when
+	// Proven.
+	Bound int64
+	// Proven reports whether Value is the exact optimum.
+	Proven bool
+	// Assignment is a witness world achieving Value: Assignment[v] is
+	// the value of variable v. It has length NumVars. When pruning is
+	// enabled and CompleteWitness is false, variables outside the
+	// objective's component may hold arbitrary values.
+	Assignment []uint8
+	// Stats describes the solve.
+	Stats Stats
+}
+
+// Problem is a BIP instance: NumVars binary variables (ids
+// 0..NumVars-1), Constraints over them, and an integer linear
+// Objective.
+type Problem struct {
+	NumVars     int
+	Constraints []expr.Constraint
+	Objective   expr.Lin
+	// Derived optionally marks variables that are functionally
+	// determined by earlier variables through the constraints (LICM
+	// lineage variables). The solver then branches on base variables
+	// first and lets propagation settle the derived ones, which is
+	// dramatically faster on query-translated stores. nil is fine.
+	Derived []bool
+}
+
+// Validate checks variable ids are within range.
+func (p *Problem) Validate() error {
+	check := func(l expr.Lin, what string) error {
+		for _, t := range l.Terms() {
+			if t.Var < 0 || int(t.Var) >= p.NumVars {
+				return fmt.Errorf("solver: %s references variable b%d outside [0,%d)", what, t.Var, p.NumVars)
+			}
+		}
+		return nil
+	}
+	if err := check(p.Objective, "objective"); err != nil {
+		return err
+	}
+	for i, c := range p.Constraints {
+		if err := check(c.Lin, fmt.Sprintf("constraint %d", i)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Maximize finds the maximum of p.Objective subject to p.Constraints.
+func Maximize(p *Problem, opts Options) (Result, error) {
+	return solve(p, opts, false)
+}
+
+// Minimize finds the minimum of p.Objective subject to p.Constraints.
+func Minimize(p *Problem, opts Options) (Result, error) {
+	neg := &Problem{NumVars: p.NumVars, Constraints: p.Constraints, Objective: p.Objective.Neg(), Derived: p.Derived}
+	r, err := solve(neg, opts, false)
+	if err != nil {
+		return r, err
+	}
+	r.Value = -r.Value
+	r.Bound = -r.Bound
+	return r, nil
+}
+
+// Bounds computes both the minimum and maximum of the objective. This
+// answers the paper's headline question: the exact lower and upper
+// bounds of an aggregate query over all possible worlds.
+func Bounds(p *Problem, opts Options) (min, max Result, err error) {
+	max, err = Maximize(p, opts)
+	if err != nil {
+		return
+	}
+	min, err = Minimize(p, opts)
+	return
+}

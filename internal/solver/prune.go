@@ -1,0 +1,78 @@
+package solver
+
+import "licm/internal/expr"
+
+// PruneResult describes the outcome of reachability pruning.
+type PruneResult struct {
+	// KeptConstraints are indices into the original constraint slice,
+	// in their original order.
+	KeptConstraints []int
+	// Reachable[v] reports whether variable v is connected to the
+	// objective through kept constraints.
+	Reachable []bool
+	// NumReachable is the number of reachable variables.
+	NumReachable int
+}
+
+// Prune computes the subset of constraints and variables reachable
+// from the variables of the objective, per the paper's Section V
+// ("Pruning"): variables and constraints not reachable from the
+// objective cannot influence the optimum and can be dropped to shrink
+// the instance handed to the optimizer.
+//
+// The paper performs a single backward pass, relying on lineage
+// variables being created after the constraints that define their
+// inputs. Base constraints can interlink in either direction, so this
+// implementation iterates passes to a fixpoint; on LICM-generated
+// stores the first backward pass already does almost all of the work.
+func Prune(numVars int, cons []expr.Constraint, objective expr.Lin) PruneResult {
+	reach := make([]bool, numVars)
+	n := 0
+	for _, t := range objective.Terms() {
+		if !reach[t.Var] {
+			reach[t.Var] = true
+			n++
+		}
+	}
+	kept := make([]bool, len(cons))
+	for {
+		changed := false
+		// Backward pass: lineage constraints appear after the
+		// constraints over their input variables, so scanning from the
+		// last constraint to the first reaches the base data in one
+		// sweep.
+		for i := len(cons) - 1; i >= 0; i-- {
+			if kept[i] {
+				continue
+			}
+			hit := false
+			for _, t := range cons[i].Lin.Terms() {
+				if reach[t.Var] {
+					hit = true
+					break
+				}
+			}
+			if !hit {
+				continue
+			}
+			kept[i] = true
+			changed = true
+			for _, t := range cons[i].Lin.Terms() {
+				if !reach[t.Var] {
+					reach[t.Var] = true
+					n++
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	res := PruneResult{Reachable: reach, NumReachable: n}
+	for i, k := range kept {
+		if k {
+			res.KeptConstraints = append(res.KeptConstraints, i)
+		}
+	}
+	return res
+}

@@ -1,0 +1,438 @@
+package solver
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"licm/internal/expr"
+)
+
+// witnessBudget caps the nodes spent completing a witness over pruned
+// (objective-irrelevant) components.
+const witnessBudget = 500_000
+
+// solve maximizes p.Objective. Minimization is handled by the caller
+// via negation.
+func solve(p *Problem, opts Options, _ bool) (Result, error) {
+	if err := p.Validate(); err != nil {
+		return Result{}, err
+	}
+	res := Result{
+		Assignment: make([]uint8, p.NumVars),
+		Proven:     true,
+		Stats: Stats{
+			VarsBefore: p.NumVars,
+			ConsBefore: len(p.Constraints),
+		},
+	}
+
+	// Reachability pruning (Section V, "Pruning").
+	kept := p.Constraints
+	var dropped []expr.Constraint
+	if opts.Prune {
+		pr := Prune(p.NumVars, p.Constraints, p.Objective)
+		kept = make([]expr.Constraint, 0, len(pr.KeptConstraints))
+		di := 0
+		for i, c := range p.Constraints {
+			if di < len(pr.KeptConstraints) && pr.KeptConstraints[di] == i {
+				kept = append(kept, c)
+				di++
+			} else {
+				dropped = append(dropped, c)
+			}
+		}
+		res.Stats.VarsAfterPrune = pr.NumReachable
+		res.Stats.ConsAfterPrune = len(kept)
+	} else {
+		res.Stats.VarsAfterPrune = p.NumVars
+		res.Stats.ConsAfterPrune = len(p.Constraints)
+	}
+
+	// Root presolve over the kept constraints.
+	lcons := make([]lcon, len(kept))
+	identity := func(v expr.Var) int32 { return int32(v) }
+	for i, c := range kept {
+		lcons[i] = toLcon(c, identity)
+	}
+	prop := newPropagator(p.NumVars, lcons)
+	if !prop.propagateAll() {
+		return Result{}, ErrInfeasible
+	}
+	res.Stats.FixedByPresolve = len(prop.trail)
+
+	// Objective bookkeeping: constant + contribution of fixed
+	// variables; remaining terms feed component objectives.
+	total := p.Objective.Const()
+	objCoef := make(map[expr.Var]int64, p.Objective.Len())
+	inObjective := make([]bool, p.NumVars)
+	for _, t := range p.Objective.Terms() {
+		switch prop.dom[t.Var] {
+		case 1:
+			total += t.Coef
+		case 0:
+			// contributes nothing
+		default:
+			objCoef[t.Var] = t.Coef
+			inObjective[t.Var] = true
+		}
+	}
+	for v := 0; v < p.NumVars; v++ {
+		if prop.dom[v] == 1 {
+			res.Assignment[v] = 1
+		}
+	}
+
+	// Decompose into connected components over free variables.
+	free := make([]bool, p.NumVars)
+	for v := 0; v < p.NumVars; v++ {
+		free[v] = prop.dom[v] == -1
+	}
+	comps := decompose(p.NumVars, kept, free, inObjective)
+	res.Stats.Components = len(comps)
+
+	var budget *int64
+	if opts.MaxNodes > 0 {
+		b := opts.MaxNodes
+		budget = &b
+	}
+	bound := total
+	if opts.Decompose || len(comps) <= 1 {
+		results := solveAll(comps, lcons, objCoef, prop.dom, p.Derived, opts, budget)
+		for ci, cr := range results {
+			res.Stats.Nodes += cr.nodes
+			res.Stats.LPSolves += cr.lpSolves
+			if !cr.feasible {
+				if !cr.proven {
+					return Result{}, fmt.Errorf("solver: node budget exhausted before finding a feasible point")
+				}
+				return Result{}, ErrInfeasible
+			}
+			total += cr.best
+			bound += cr.bound
+			if !cr.proven {
+				res.Proven = false
+			}
+			for i, v := range comps[ci].vars {
+				if cr.assign[i] == 1 {
+					res.Assignment[v] = 1
+				}
+			}
+		}
+	}
+	if !opts.Decompose && len(comps) > 1 {
+		// Merge all components into a single solve (used by the
+		// decomposition ablation benchmark).
+		merged := mergeComponents(comps)
+		cr := solveOne(merged, lcons, objCoef, prop.dom, p.Derived, opts, budget)
+		res.Stats.Nodes += cr.nodes
+		res.Stats.LPSolves += cr.lpSolves
+		res.Stats.Components = 1
+		if !cr.feasible {
+			if !cr.proven {
+				return Result{}, fmt.Errorf("solver: node budget exhausted before finding a feasible point")
+			}
+			return Result{}, ErrInfeasible
+		}
+		total += cr.best
+		bound += cr.bound
+		if !cr.proven {
+			res.Proven = false
+		}
+		for i, v := range merged.vars {
+			if cr.assign[i] == 1 {
+				res.Assignment[v] = 1
+			}
+		}
+	}
+	res.Value = total
+	res.Bound = bound
+
+	// Complete the witness over pruned components: they cannot change
+	// the optimum of a *feasible* problem, but a full world needs
+	// values for their variables — and if the pruned part is
+	// infeasible, so is the whole problem.
+	if opts.CompleteWitness && len(dropped) > 0 {
+		ok, infeasible := completeWitness(p.NumVars, dropped, res.Assignment, opts)
+		if infeasible {
+			return Result{}, ErrInfeasible
+		}
+		if !ok {
+			// Too hard within budget; the bounds stand, but the
+			// witness is partial.
+			res.Assignment = nil
+		}
+	}
+	return res, nil
+}
+
+// solveAll solves every component, sequentially or with a worker pool
+// when opts.Workers > 1.
+func solveAll(comps []component, lcons []lcon, objCoef map[expr.Var]int64, globalDom []int8, derived []bool, opts Options, budget *int64) []compResult {
+	results := make([]compResult, len(comps))
+	if opts.Workers <= 1 || len(comps) <= 1 {
+		for ci, cm := range comps {
+			results[ci] = solveOne(cm, lcons, objCoef, globalDom, derived, opts, budget)
+		}
+		return results
+	}
+	// Parallel path: split any budget evenly so workers never share
+	// mutable state.
+	var perComp int64
+	if budget != nil {
+		perComp = *budget / int64(len(comps))
+		if perComp < 1000 {
+			perComp = 1000
+		}
+	}
+	workers := opts.Workers
+	if workers > len(comps) {
+		workers = len(comps)
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ci := range next {
+				var b *int64
+				if budget != nil {
+					local := perComp
+					b = &local
+				}
+				results[ci] = solveOne(comps[ci], lcons, objCoef, globalDom, derived, opts, b)
+			}
+		}()
+	}
+	for ci := range comps {
+		next <- ci
+	}
+	close(next)
+	wg.Wait()
+	return results
+}
+
+// solveOne extracts and solves a single component.
+func solveOne(cm component, lcons []lcon, objCoef map[expr.Var]int64, globalDom []int8, derived []bool, opts Options, budget *int64) compResult {
+	n := len(cm.vars)
+	local := make(map[expr.Var]int32, n)
+	for i, v := range cm.vars {
+		local[v] = int32(i)
+	}
+	// Fold globally-fixed variables out of the component's constraints.
+	cons := make([]lcon, 0, len(cm.cons))
+	for _, ci := range cm.cons {
+		src := &lcons[ci]
+		lc := lcon{op: src.op, rhs: src.rhs}
+		for k, v := range src.vars {
+			switch globalDom[v] {
+			case 1:
+				lc.rhs -= src.coef[k]
+			case 0:
+				// drop
+			default:
+				lc.vars = append(lc.vars, local[expr.Var(v)])
+				lc.coef = append(lc.coef, src.coef[k])
+			}
+		}
+		cons = append(cons, lc)
+	}
+	obj := make([]int64, n)
+	for i, v := range cm.vars {
+		obj[i] = objCoef[v]
+	}
+	var der []bool
+	if derived != nil {
+		der = make([]bool, n)
+		for i, v := range cm.vars {
+			der[i] = derived[v]
+		}
+	}
+	prop := newPropagator(n, cons)
+	return solveComp(n, cons, obj, der, prop, opts, budget)
+}
+
+// component groups free variables connected through constraints, plus
+// the indices of those constraints.
+type component struct {
+	vars []expr.Var
+	cons []int
+}
+
+// decompose partitions the free variables into connected components of
+// the variable/constraint graph. Free variables that appear in the
+// objective but in no constraint become singleton components; free
+// variables in neither are omitted entirely.
+func decompose(numVars int, cons []expr.Constraint, free, inObjective []bool) []component {
+	parent := make([]int32, numVars)
+	for i := range parent {
+		parent[i] = int32(i)
+	}
+	var find func(int32) int32
+	find = func(x int32) int32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int32) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	inCons := make([]bool, numVars)
+	for _, c := range cons {
+		first := int32(-1)
+		for _, t := range c.Lin.Terms() {
+			if !free[t.Var] {
+				continue
+			}
+			inCons[t.Var] = true
+			if first == -1 {
+				first = int32(t.Var)
+			} else {
+				union(first, int32(t.Var))
+			}
+		}
+	}
+	byRoot := make(map[int32]*component)
+	ordered := make([]*component, 0, 16)
+	compOf := func(root int32) *component {
+		if c, ok := byRoot[root]; ok {
+			return c
+		}
+		c := &component{}
+		byRoot[root] = c
+		ordered = append(ordered, c)
+		return c
+	}
+	for v := 0; v < numVars; v++ {
+		if !free[v] {
+			continue
+		}
+		if !inCons[v] && !inObjective[v] {
+			continue
+		}
+		compOf(find(int32(v))).vars = append(compOf(find(int32(v))).vars, expr.Var(v))
+	}
+	for ci, c := range cons {
+		for _, t := range c.Lin.Terms() {
+			if free[t.Var] {
+				cc := compOf(find(int32(t.Var)))
+				cc.cons = append(cc.cons, ci)
+				break
+			}
+		}
+	}
+	out := make([]component, 0, len(ordered))
+	for _, c := range ordered {
+		out = append(out, *c)
+	}
+	return out
+}
+
+// mergeComponents joins all components into one (decomposition
+// ablation path).
+func mergeComponents(comps []component) component {
+	var m component
+	for _, c := range comps {
+		m.vars = append(m.vars, c.vars...)
+		m.cons = append(m.cons, c.cons...)
+	}
+	return m
+}
+
+// completeWitness finds feasible values for the variables of the
+// pruned constraints and writes them into assign. ok is false when no
+// completion was found within budget; infeasible is true when the
+// pruned constraints are provably unsatisfiable (making the entire
+// problem infeasible).
+func completeWitness(numVars int, dropped []expr.Constraint, assign []uint8, opts Options) (ok, infeasible bool) {
+	lcons := make([]lcon, len(dropped))
+	identity := func(v expr.Var) int32 { return int32(v) }
+	for i, c := range dropped {
+		lcons[i] = toLcon(c, identity)
+	}
+	prop := newPropagator(numVars, lcons)
+	if !prop.propagateAll() {
+		return false, true
+	}
+	for v := 0; v < numVars; v++ {
+		if prop.dom[v] == 1 {
+			assign[v] = 1
+		}
+	}
+	// Fast path: one global feasibility dive over the variables of
+	// the pruned constraints (and only those — pruning guarantees they
+	// are disjoint from the objective's part, whose assignment must
+	// not be disturbed). Pruned constraints are the untouched
+	// base-uncertainty families plus lineage chains outside the
+	// objective, for which a propagation-guided 1-first dive in
+	// variable order succeeds essentially linearly.
+	{
+		inDropped := make([]bool, numVars)
+		var order []int32
+		for i := range lcons {
+			for _, v := range lcons[i].vars {
+				if !inDropped[v] {
+					inDropped[v] = true
+					order = append(order, v)
+				}
+			}
+		}
+		sortInt32s(order)
+		b := int64(witnessBudget)
+		c := &comp{
+			n:           numVars,
+			cons:        lcons,
+			obj:         make([]int64, numVars),
+			prop:        prop,
+			opts:        opts,
+			budget:      &b,
+			stopAtFirst: true,
+			feasOnly:    true,
+			order:       order,
+		}
+		c.dfsNode(0)
+		if c.hasIncumbent {
+			for _, v := range order {
+				if c.assign[v] == 1 {
+					assign[v] = 1
+				}
+			}
+			return true, false
+		}
+		// The dive restored the propagator to its root state on the
+		// way out; fall through to the decomposed search.
+	}
+	// Slow path: decompose and solve the components independently.
+	free := make([]bool, numVars)
+	for v := 0; v < numVars; v++ {
+		free[v] = prop.dom[v] == -1
+	}
+	noObj := make([]bool, numVars)
+	comps := decompose(numVars, dropped, free, noObj)
+	wopts := opts
+	wopts.UseLP = false
+	for _, cm := range comps {
+		b := int64(witnessBudget)
+		cr := solveOne(cm, lcons, nil, prop.dom, nil, wopts, &b)
+		if !cr.feasible {
+			return false, cr.proven
+		}
+		for i, v := range cm.vars {
+			if cr.assign[i] == 1 {
+				assign[v] = 1
+			}
+		}
+	}
+	return true, false
+}
+
+// sortInt32s sorts ascending, keeping the witness dive deterministic.
+func sortInt32s(a []int32) {
+	sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+}
