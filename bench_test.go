@@ -15,6 +15,7 @@ import (
 	"licm/internal/bench"
 	"licm/internal/core"
 	"licm/internal/mc"
+	"licm/internal/obs"
 	"licm/internal/queries"
 	"licm/internal/solver"
 )
@@ -221,5 +222,44 @@ func BenchmarkQueryTranslationOnly(b *testing.B) {
 		}
 	}
 }
+
+// --- Observability overhead: the same cell solved with tracing off
+// (the nil fast path every untraced caller takes) and fully on
+// (JSON-lines to io.Discard plus live metrics). Compare the two to
+// verify the disabled path costs nothing measurable. ---
+
+func benchSolveObs(b *testing.B, traced bool) {
+	b.Helper()
+	cfg := benchConfig()
+	q := cfg.Queries()[1]
+	opts := cfg.Solver
+	if traced {
+		opts.Trace = obs.New(obs.NewJSONLSink(io.Discard))
+		opts.Metrics = obs.NewRegistry()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		enc, _, err := cfg.Encode(bench.SchemeK, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rel, err := q.BuildLICM(enc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if traced {
+			enc.DB.SetTracer(opts.Trace)
+		}
+		b.StartTimer()
+		if _, err := core.CountBounds(enc.DB, rel, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSolveTracingOff(b *testing.B) { benchSolveObs(b, false) }
+func BenchmarkSolveTracingOn(b *testing.B)  { benchSolveObs(b, true) }
 
 var _ = queries.Pred{} // keep the import for future spec tweaks

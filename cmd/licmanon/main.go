@@ -20,6 +20,7 @@ import (
 	"licm/internal/dataset"
 	"licm/internal/encode"
 	"licm/internal/hierarchy"
+	"licm/internal/obs"
 )
 
 func main() {
@@ -31,10 +32,19 @@ func main() {
 		l       = flag.Int("l", 0, "item group size l (bipartite scheme; default k)")
 		minSupp = flag.Int("minsupport", 10, "support threshold (suppress scheme)")
 		fanout  = flag.Int("fanout", 8, "generalization hierarchy fanout")
+
+		debugAddr = flag.String("debug-addr", "", "serve net/http/pprof on this address, e.g. :6060")
 	)
 	flag.Parse()
 	if *in == "" {
 		fatal(fmt.Errorf("-in is required"))
+	}
+	if *debugAddr != "" {
+		addr, err := obs.ServeDebug(*debugAddr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "debug server (pprof) on http://%s/debug/pprof/\n", addr)
 	}
 	f, err := os.Open(*in)
 	if err != nil {

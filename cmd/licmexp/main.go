@@ -8,6 +8,12 @@
 //
 //	licmexp -fig all -trans 2000
 //	licmexp -fig 5 -trans 5000 -ks 2,4,6,8
+//
+// Observability:
+//
+//	licmexp -fig 5 -trace run.jsonl    # JSON-lines trace of every cell
+//	licmexp -fig 6 -json cells.json    # machine-readable cells with solve summaries
+//	licmexp -fig all -debug-addr :6060 # pprof server for profiling a run
 package main
 
 import (
@@ -18,6 +24,7 @@ import (
 	"strings"
 
 	"licm/internal/bench"
+	"licm/internal/obs"
 )
 
 func main() {
@@ -29,8 +36,30 @@ func main() {
 		mcN   = flag.Int("mc", 20, "Monte-Carlo sample count")
 		seed  = flag.Int64("seed", 1, "dataset seed")
 		nodes = flag.Int64("maxnodes", 300_000, "solver node budget per solve")
+
+		tracePath = flag.String("trace", "", "write a JSON-lines trace of every experiment cell to this file")
+		verbose   = flag.Bool("verbose", false, "print a human-readable trace to stderr")
+		debugAddr = flag.String("debug-addr", "", "serve net/http/pprof and expvar on this address, e.g. :6060")
+		jsonPath  = flag.String("json", "", "write the measured cells (figures 5/6/7) as JSON to this file")
 	)
 	flag.Parse()
+
+	tr, closeTrace, err := obs.Setup(*tracePath, *verbose, os.Stderr)
+	if err != nil {
+		fatal(err)
+	}
+	defer func() {
+		if err := closeTrace(); err != nil {
+			fatal(err)
+		}
+	}()
+	if *debugAddr != "" {
+		addr, err := obs.ServeDebug(*debugAddr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "debug server (pprof, expvar) on http://%s/debug/pprof/\n", addr)
+	}
 
 	cfg := bench.DefaultConfig()
 	cfg.NumTransactions = *trans
@@ -48,38 +77,60 @@ func main() {
 		parsed = append(parsed, v)
 	}
 	cfg.Ks = parsed
+	cfg.Trace = tr
 
-	run := func(name string, f func() error) {
+	var allCells []bench.Cell
+	run := func(name string, f func() ([]bench.Cell, error)) {
 		fmt.Printf("== %s ==\n", name)
-		if err := f(); err != nil {
+		cells, err := f()
+		if err != nil {
 			fatal(err)
 		}
+		allCells = append(allCells, cells...)
 		fmt.Println()
+	}
+	noCells := func(f func() error) func() ([]bench.Cell, error) {
+		return func() ([]bench.Cell, error) { return nil, f() }
 	}
 	switch *fig {
 	case "5":
-		run("Figure 5", func() error { _, err := cfg.Fig5(os.Stdout); return err })
+		run("Figure 5", func() ([]bench.Cell, error) { return cfg.Fig5(os.Stdout) })
 	case "6":
-		run("Figure 6", func() error { _, err := cfg.Fig6(os.Stdout); return err })
+		run("Figure 6", func() ([]bench.Cell, error) { return cfg.Fig6(os.Stdout) })
 	case "7":
-		run("Figure 7", func() error { _, err := cfg.Fig7(os.Stdout); return err })
+		run("Figure 7", func() ([]bench.Cell, error) { return cfg.Fig7(os.Stdout) })
 	case "ablation":
-		run("Solver ablation", func() error { _, err := cfg.AblationSolver(os.Stdout); return err })
-		run("MC sample sweep", func() error {
+		run("Solver ablation", noCells(func() error { _, err := cfg.AblationSolver(os.Stdout); return err }))
+		run("MC sample sweep", noCells(func() error {
 			_, err := cfg.AblationMCSamples(os.Stdout, []int{5, 20, 100, 500})
 			return err
-		})
+		}))
 	case "all":
-		run("Figure 5", func() error { _, err := cfg.Fig5(os.Stdout); return err })
-		run("Figure 6", func() error { _, err := cfg.Fig6(os.Stdout); return err })
-		run("Figure 7", func() error { _, err := cfg.Fig7(os.Stdout); return err })
-		run("Solver ablation", func() error { _, err := cfg.AblationSolver(os.Stdout); return err })
-		run("MC sample sweep", func() error {
+		run("Figure 5", func() ([]bench.Cell, error) { return cfg.Fig5(os.Stdout) })
+		run("Figure 6", func() ([]bench.Cell, error) { return cfg.Fig6(os.Stdout) })
+		run("Figure 7", func() ([]bench.Cell, error) { return cfg.Fig7(os.Stdout) })
+		run("Solver ablation", noCells(func() error { _, err := cfg.AblationSolver(os.Stdout); return err }))
+		run("MC sample sweep", noCells(func() error {
 			_, err := cfg.AblationMCSamples(os.Stdout, []int{5, 20, 100, 500})
 			return err
-		})
+		}))
 	default:
 		fatal(fmt.Errorf("unknown -fig %q", *fig))
+	}
+
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := bench.WriteCellsJSON(f, allCells); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %d cells to %s\n", len(allCells), *jsonPath)
 	}
 }
 

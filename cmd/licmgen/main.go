@@ -13,6 +13,7 @@ import (
 	"os"
 
 	"licm/internal/dataset"
+	"licm/internal/obs"
 )
 
 func main() {
@@ -25,8 +26,17 @@ func main() {
 		seed   = flag.Int64("seed", 1, "generator seed")
 		out    = flag.String("o", "", "output file (default stdout)")
 		doStat = flag.Bool("stats", false, "print dataset statistics to stderr")
+
+		debugAddr = flag.String("debug-addr", "", "serve net/http/pprof on this address, e.g. :6060")
 	)
 	flag.Parse()
+	if *debugAddr != "" {
+		addr, err := obs.ServeDebug(*debugAddr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "debug server (pprof) on http://%s/debug/pprof/\n", addr)
+	}
 
 	cfg := dataset.DefaultConfig(*trans)
 	cfg.NumItems = *items

@@ -8,6 +8,13 @@
 //
 //	licmq -in data.txt -scheme k -k 4 -query q1
 //	licmq -in data.txt -scheme bipartite -k 4 -query q3 -mc 20
+//
+// Observability:
+//
+//	licmq -in data.txt -query q1 -trace trace.jsonl   # JSON-lines trace
+//	licmq -in data.txt -query q1 -verbose             # human-readable trace on stderr
+//	licmq -in data.txt -query q3 -debug-addr :6060    # pprof + expvar server
+//	licmq -in data.txt -query q3 -timelimit 30s       # best-effort bounds on timeout
 package main
 
 import (
@@ -22,6 +29,7 @@ import (
 	"licm/internal/encode"
 	"licm/internal/hierarchy"
 	"licm/internal/mc"
+	"licm/internal/obs"
 	"licm/internal/queries"
 	"licm/internal/solver"
 )
@@ -41,10 +49,34 @@ func main() {
 		maxNodes = flag.Int64("maxnodes", 2_000_000, "solver node budget (0 = unlimited)")
 		lpOut    = flag.String("lp", "", "also export the maximization BIP in CPLEX LP format to this file")
 		workers  = flag.Int("workers", 1, "solve independent components with this many workers")
+
+		tracePath = flag.String("trace", "", "write a JSON-lines trace of operators, solver phases and MC sampling to this file")
+		verbose   = flag.Bool("verbose", false, "print a human-readable trace to stderr")
+		debugAddr = flag.String("debug-addr", "", "serve net/http/pprof and expvar (live solver counters) on this address, e.g. :6060")
+		timeLimit = flag.Duration("timelimit", 0, "cancel the solve after this long and report best-effort bounds (0 = no limit)")
 	)
 	flag.Parse()
 	if *in == "" {
 		fatal(fmt.Errorf("-in is required"))
+	}
+
+	tr, closeTrace, err := obs.Setup(*tracePath, *verbose, os.Stderr)
+	if err != nil {
+		fatal(err)
+	}
+	defer func() {
+		if err := closeTrace(); err != nil {
+			fatal(err)
+		}
+	}()
+	metrics := obs.NewRegistry()
+	if *debugAddr != "" {
+		addr, err := obs.ServeDebug(*debugAddr)
+		if err != nil {
+			fatal(err)
+		}
+		obs.PublishExpvar("licm", metrics)
+		fmt.Fprintf(os.Stderr, "debug server (pprof, expvar) on http://%s/debug/pprof/\n", addr)
 	}
 	f, err := os.Open(*in)
 	if err != nil {
@@ -62,6 +94,9 @@ func main() {
 		fatal(err)
 	}
 	tModel := time.Since(start)
+	// One tracer covers the whole pipeline: query operators pick it up
+	// from the DB, the solver inherits it via core.Bounds.
+	enc.DB.SetTracer(tr)
 
 	var q queries.Query
 	switch *query {
@@ -105,6 +140,17 @@ func main() {
 	opts := solver.DefaultOptions()
 	opts.MaxNodes = *maxNodes
 	opts.Workers = *workers
+	opts.Metrics = metrics
+	if *verbose {
+		opts.Progress = func(pi solver.ProgressInfo) {
+			fmt.Fprintf(os.Stderr, "progress: %d nodes, %d LP solves, %d propagations, %d incumbents\n",
+				pi.Nodes, pi.LPSolves, pi.Propagations, pi.Incumbents)
+		}
+	}
+	if *timeLimit > 0 {
+		deadline := time.Now().Add(*timeLimit)
+		opts.Cancel = func() bool { return time.Now().After(deadline) }
+	}
 	start = time.Now()
 	res, err := core.CountBounds(enc.DB, rel, opts)
 	if err != nil {
@@ -119,15 +165,22 @@ func main() {
 		fmt.Printf("best found [%d, %d], proven outer bounds [%d, %d]\n",
 			res.Min, res.Max, res.MinBound, res.MaxBound)
 	}
+	if res.Stats.Canceled {
+		fmt.Printf("solve canceled after %v (time limit %v); bounds are best-effort\n",
+			res.Stats.TotalTime.Round(time.Millisecond), *timeLimit)
+	}
 	fmt.Printf("timing: L-model %v, L-query %v, L-solve %v\n", tModel, tQuery, tSolve)
-	fmt.Printf("problem: %d vars, %d constraints; after pruning %d vars, %d constraints; %d components, %d nodes\n",
+	fmt.Printf("solve phases: prune %v, presolve %v, search %v, witness %v\n",
+		res.Stats.PruneTime, res.Stats.PresolveTime, res.Stats.SearchTime, res.Stats.WitnessTime)
+	fmt.Printf("problem: %d vars, %d constraints; after pruning %d vars, %d constraints; %d components, %d nodes, %d LP solves, %d propagations\n",
 		res.Stats.VarsBefore, res.Stats.ConsBefore,
 		res.Stats.VarsAfterPrune, res.Stats.ConsAfterPrune,
-		res.Stats.Components, res.Stats.Nodes)
+		res.Stats.Components, res.Stats.Nodes, res.Stats.LPSolves, res.Stats.Propagations)
 
 	if *mcRuns > 0 {
 		start = time.Now()
 		sampler := mc.NewSampler(enc, 42)
+		sampler.SetTracer(tr)
 		r := sampler.Run(q, *mcRuns)
 		fmt.Printf("Monte-Carlo (%d worlds): observed range [%d, %d] in %v\n",
 			*mcRuns, r.Min, r.Max, time.Since(start))

@@ -24,6 +24,7 @@ import (
 	"licm/internal/encode"
 	"licm/internal/hierarchy"
 	"licm/internal/mc"
+	"licm/internal/obs"
 	"licm/internal/queries"
 	"licm/internal/solver"
 )
@@ -65,6 +66,11 @@ type Config struct {
 	Q3Frac float64
 	// Solver options; MaxNodes bounds the hard bipartite instances.
 	Solver solver.Options
+	// Trace, if non-nil, receives a bench.cell span per RunCell with
+	// the full operator/solver/MC trace nested in time between its
+	// start and end events. It is attached to each cell's DB and
+	// sampler and passed into the solver.
+	Trace *obs.Tracer
 }
 
 // DefaultConfig returns a laptop-scale configuration.
@@ -210,15 +216,36 @@ type Cell struct {
 	VarsModel, ConsModel   int
 	VarsQuery, ConsQuery   int
 	VarsPruned, ConsPruned int
+
+	// Solve trace summary (from the maximization solve's Stats): the
+	// same figures a --trace run shows live, recorded per cell so the
+	// emitted JSON carries them.
+	Nodes        int64
+	LPSolves     int64
+	Propagations int64
+	Components   int
+	PruneTime    time.Duration
+	PresolveTime time.Duration
+	SearchTime   time.Duration
+	// PruneRatio is the fraction of post-query variables removed by
+	// reachability pruning (the paper's Figure 7 headline).
+	PruneRatio float64
+	// MCAcceptance is the MC run's rejection-sampling acceptance rate
+	// (1 when the encoding needs no rejection).
+	MCAcceptance float64
 }
 
 // RunCell executes one experiment cell end to end.
 func (cfg Config) RunCell(scheme Scheme, q queries.Query, k int) (Cell, error) {
 	cell := Cell{Scheme: scheme, Query: q.Name(), K: k}
+	sp := cfg.Trace.Start("bench.cell",
+		obs.Str("scheme", string(scheme)), obs.Str("query", q.Name()), obs.Int("k", k))
 	enc, tModel, err := cfg.Encode(scheme, k)
 	if err != nil {
+		sp.End(obs.Bool("ok", false))
 		return cell, err
 	}
+	enc.DB.SetTracer(cfg.Trace)
 	cell.LModel = tModel
 	cell.VarsModel = enc.DB.NumVars()
 	cell.ConsModel = enc.DB.NumConstraints()
@@ -226,6 +253,7 @@ func (cfg Config) RunCell(scheme Scheme, q queries.Query, k int) (Cell, error) {
 	start := time.Now()
 	rel, err := q.BuildLICM(enc)
 	if err != nil {
+		sp.End(obs.Bool("ok", false))
 		return cell, err
 	}
 	cell.LQuery = time.Since(start)
@@ -235,6 +263,7 @@ func (cfg Config) RunCell(scheme Scheme, q queries.Query, k int) (Cell, error) {
 	start = time.Now()
 	res, err := core.CountBounds(enc.DB, rel, cfg.Solver)
 	if err != nil {
+		sp.End(obs.Bool("ok", false))
 		return cell, fmt.Errorf("bench: %s/%s k=%d: %w", scheme, q.Name(), k, err)
 	}
 	cell.LSolve = time.Since(start)
@@ -243,11 +272,30 @@ func (cfg Config) RunCell(scheme Scheme, q queries.Query, k int) (Cell, error) {
 	cell.LMinProven, cell.LMaxProven = res.MinProven, res.MaxProven
 	cell.VarsPruned = res.Stats.VarsAfterPrune
 	cell.ConsPruned = res.Stats.ConsAfterPrune
+	cell.Nodes = res.Stats.Nodes
+	cell.LPSolves = res.Stats.LPSolves
+	cell.Propagations = res.Stats.Propagations
+	cell.Components = res.Stats.Components
+	cell.PruneTime = res.Stats.PruneTime
+	cell.PresolveTime = res.Stats.PresolveTime
+	cell.SearchTime = res.Stats.SearchTime
+	if cell.VarsQuery > 0 {
+		cell.PruneRatio = 1 - float64(cell.VarsPruned)/float64(cell.VarsQuery)
+	}
 
 	start = time.Now()
 	sampler := mc.NewSampler(enc, cfg.Seed+100)
+	sampler.SetTracer(cfg.Trace)
 	r := sampler.Run(q, cfg.MCSamples)
 	cell.MCTime = time.Since(start)
 	cell.MMin, cell.MMax = r.Min, r.Max
+	cell.MCAcceptance = r.AcceptanceRate()
+	sp.End(
+		obs.Bool("ok", true),
+		obs.I64("l_min", cell.LMin), obs.I64("l_max", cell.LMax),
+		obs.I64("nodes", cell.Nodes),
+		obs.F64("prune_ratio", cell.PruneRatio),
+		obs.DurNs("solve", cell.LSolve),
+	)
 	return cell, nil
 }

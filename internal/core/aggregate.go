@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"licm/internal/expr"
+	"licm/internal/obs"
 	"licm/internal/solver"
 )
 
@@ -76,7 +77,18 @@ type BoundsResult struct {
 // and the DB's constraint store, returning exact upper and lower
 // bounds for the aggregate (Section IV-D). The solution vectors
 // identify the "boundary case" possible worlds.
+//
+// When the DB carries a tracer (SetTracer) and opts.Trace is unset,
+// the solves inherit the DB's tracer, so a single SetTracer call
+// covers the whole query/solve pipeline.
 func Bounds(db *DB, objective expr.Lin, opts solver.Options) (BoundsResult, error) {
+	if opts.Trace == nil {
+		opts.Trace = db.Tracer()
+	}
+	sp := opts.Trace.Start("aggregate.bounds",
+		obs.Int("vars", db.NumVars()),
+		obs.Int("cons", db.NumConstraints()),
+		obs.Int("obj_terms", len(objective.Terms())))
 	derived := make([]bool, db.NumVars())
 	for v := range derived {
 		derived[v] = db.Def(expr.Var(v)).Kind != DefBase
@@ -89,8 +101,16 @@ func Bounds(db *DB, objective expr.Lin, opts solver.Options) (BoundsResult, erro
 	}
 	min, max, err := solver.Bounds(p, opts)
 	if err != nil {
+		sp.End(obs.Bool("ok", false))
 		return BoundsResult{}, err
 	}
+	sp.End(
+		obs.Bool("ok", true),
+		obs.I64("min", min.Value),
+		obs.I64("max", max.Value),
+		obs.Bool("min_proven", min.Proven),
+		obs.Bool("max_proven", max.Proven),
+	)
 	return BoundsResult{
 		Min:       min.Value,
 		Max:       max.Value,

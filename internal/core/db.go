@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"licm/internal/expr"
+	"licm/internal/obs"
 )
 
 // Ext is the special existence attribute of an LICM tuple
@@ -72,10 +73,27 @@ type Def struct {
 type DB struct {
 	defs []Def
 	cons []expr.Constraint
+	// tr, when set, receives an "op.<name>" span for every operator
+	// call recording lineage into this DB.
+	tr *obs.Tracer
 }
 
 // NewDB returns an empty LICM database.
 func NewDB() *DB { return &DB{} }
+
+// SetTracer attaches a tracer; operators on this DB then emit
+// per-operator spans with input/output tuple counts and the number of
+// lineage variables and constraints they created. nil detaches.
+func (db *DB) SetTracer(tr *obs.Tracer) { db.tr = tr }
+
+// Tracer returns the attached tracer (nil when tracing is off; a nil
+// *DB also reports nil).
+func (db *DB) Tracer() *obs.Tracer {
+	if db == nil {
+		return nil
+	}
+	return db.tr
+}
 
 // NumVars returns the number of variables allocated so far.
 func (db *DB) NumVars() int { return len(db.defs) }

@@ -1,0 +1,160 @@
+package core_test
+
+import (
+	"testing"
+
+	"licm/internal/core"
+	"licm/internal/obs"
+	"licm/internal/solver"
+)
+
+// spanNames collects the names of all closed spans in order.
+func spanNames(sink *obs.CollectSink) []string {
+	var names []string
+	for _, e := range sink.Events() {
+		if e.Kind == obs.KindSpanEnd {
+			names = append(names, e.Name)
+		}
+	}
+	return names
+}
+
+func endOf(t *testing.T, sink *obs.CollectSink, name string) obs.Event {
+	t.Helper()
+	for _, e := range sink.Events() {
+		if e.Kind == obs.KindSpanEnd && e.Name == name {
+			return e
+		}
+	}
+	t.Fatalf("no span_end for %s", name)
+	return obs.Event{}
+}
+
+// TestOperatorSpans: a traced DB emits one op.<name> span per operator
+// call, with input/output tuple counts and lineage growth.
+func TestOperatorSpans(t *testing.T) {
+	sink := &obs.CollectSink{}
+	db := core.NewDB()
+	db.SetTracer(obs.New(sink))
+	bs := db.NewVars(4)
+	db.AddCardinality(bs, 1, -1)
+
+	r1 := core.NewRelation("R1", "TID", "Item")
+	r1.Insert(core.Maybe(bs[0]), core.StrVal("T1"), core.StrVal("beer"))
+	r1.Insert(core.Maybe(bs[1]), core.StrVal("T1"), core.StrVal("wine"))
+	r1.Insert(core.Certain, core.StrVal("T2"), core.StrVal("beer"))
+	r2 := core.NewRelation("R2", "Item", "Price")
+	r2.Insert(core.Maybe(bs[2]), core.StrVal("beer"), core.IntVal(3))
+	r2.Insert(core.Maybe(bs[3]), core.StrVal("wine"), core.IntVal(7))
+
+	j := core.Join(db, r1, r2, "Item")
+	p := core.Project(db, j, "TID")
+	_ = core.CountPredicate(db, j, []string{"TID"}, core.CountGE, 1)
+	_ = core.Product(db, r1, r2)
+	if _, err := core.Intersect(db, p, p); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := core.Union(db, p, p); err != nil {
+		t.Fatal(err)
+	}
+
+	names := map[string]bool{}
+	for _, n := range spanNames(sink) {
+		names[n] = true
+	}
+	for _, want := range []string{"op.join", "op.project", "op.count_predicate", "op.product", "op.intersect", "op.union"} {
+		if !names[want] {
+			t.Errorf("missing span %s; got %v", want, names)
+		}
+	}
+
+	je := endOf(t, sink, "op.join")
+	js, _ := findStart(sink, je.Span)
+	if got := js.Attrs["in1_tuples"]; got != 3 {
+		t.Errorf("join in1_tuples = %v, want 3", got)
+	}
+	if got := js.Attrs["in2_tuples"]; got != 2 {
+		t.Errorf("join in2_tuples = %v, want 2", got)
+	}
+	if got := je.Attrs["out_tuples"]; got != len(j.Tuples) {
+		t.Errorf("join out_tuples = %v, want %d", got, len(j.Tuples))
+	}
+	// The maybe⋈maybe pairs forced AND lineage: new vars and cons.
+	if nv, ok := je.Attrs["new_vars"].(int); !ok || nv <= 0 {
+		t.Errorf("join new_vars = %v, want > 0", je.Attrs["new_vars"])
+	}
+	if nc, ok := je.Attrs["new_cons"].(int); !ok || nc <= 0 {
+		t.Errorf("join new_cons = %v, want > 0", je.Attrs["new_cons"])
+	}
+}
+
+func findStart(sink *obs.CollectSink, span int64) (obs.Event, bool) {
+	for _, e := range sink.Events() {
+		if e.Kind == obs.KindSpanStart && e.Span == span {
+			return e, true
+		}
+	}
+	return obs.Event{}, false
+}
+
+// TestUntracedDBEmitsNothing: without SetTracer the operators stay
+// silent and behave identically.
+func TestUntracedDBEmitsNothing(t *testing.T) {
+	db := core.NewDB()
+	bs := db.NewVars(2)
+	r := core.NewRelation("R", "A")
+	r.Insert(core.Maybe(bs[0]), core.StrVal("x"))
+	r.Insert(core.Maybe(bs[1]), core.StrVal("x"))
+	out := core.Project(db, r, "A")
+	if out.Len() != 1 {
+		t.Fatalf("project produced %d tuples, want 1", out.Len())
+	}
+	if db.Tracer() != nil {
+		t.Error("fresh DB has a tracer")
+	}
+}
+
+// TestBoundsInheritsDBTracer: core.Bounds adopts the DB tracer when
+// opts.Trace is unset, so the trace shows aggregate.bounds wrapping
+// the two solver.solve spans.
+func TestBoundsInheritsDBTracer(t *testing.T) {
+	sink := &obs.CollectSink{}
+	db := core.NewDB()
+	db.SetTracer(obs.New(sink))
+	bs := db.NewVars(5)
+	db.AddCardinality(bs, 1, 3)
+	r := core.NewRelation("R", "Item")
+	for i, b := range bs {
+		r.Insert(core.Maybe(b), core.IntVal(int64(i)))
+	}
+	res, err := core.CountBounds(db, r, solver.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Min != 1 || res.Max != 3 {
+		t.Fatalf("bounds = [%d,%d], want [1,3]", res.Min, res.Max)
+	}
+	solves := 0
+	sawBounds := false
+	for _, n := range spanNames(sink) {
+		switch n {
+		case "solver.solve":
+			solves++
+		case "aggregate.bounds":
+			sawBounds = true
+		}
+	}
+	if !sawBounds {
+		t.Error("missing aggregate.bounds span")
+	}
+	if solves != 2 {
+		t.Errorf("saw %d solver.solve spans, want 2 (max + min)", solves)
+	}
+	be := endOf(t, sink, "aggregate.bounds")
+	if got := be.Attrs["min"]; got != int64(1) {
+		t.Errorf("bounds span min attr = %v (%T), want 1", got, got)
+	}
+	if got := be.Attrs["max"]; got != int64(3) {
+		t.Errorf("bounds span max attr = %v (%T), want 3", got, got)
+	}
+}

@@ -4,7 +4,42 @@ import (
 	"fmt"
 
 	"licm/internal/expr"
+	"licm/internal/obs"
 )
+
+// opSpan opens the "op.<name>" trace span for an operator recording
+// into db, annotated with the input sizes. It also returns the
+// variable and constraint watermarks that endOp uses to report how
+// much lineage the operator created. Nil-safe throughout: without an
+// attached tracer it returns a nil span and endOp is a no-op.
+func opSpan(db *DB, name string, ins ...*Relation) (sp *obs.Span, vars0, cons0 int) {
+	tr := db.Tracer()
+	if tr == nil {
+		return nil, 0, 0
+	}
+	attrs := make([]obs.Attr, 0, len(ins))
+	for i, r := range ins {
+		key := "in_tuples"
+		if len(ins) > 1 {
+			key = fmt.Sprintf("in%d_tuples", i+1)
+		}
+		attrs = append(attrs, obs.Int(key, len(r.Tuples)))
+	}
+	return tr.Start("op."+name, attrs...), db.NumVars(), db.NumConstraints()
+}
+
+// endOp closes an operator span with the output size and the lineage
+// growth since opSpan.
+func endOp(sp *obs.Span, db *DB, out *Relation, vars0, cons0 int) {
+	if sp == nil {
+		return
+	}
+	sp.End(
+		obs.Int("out_tuples", len(out.Tuples)),
+		obs.Int("new_vars", db.NumVars()-vars0),
+		obs.Int("new_cons", db.NumConstraints()-cons0),
+	)
+}
 
 // Select implements the selection operator σ: the output contains the
 // tuples satisfying the predicate, with Ext and the constraint store
@@ -28,6 +63,7 @@ func Select(r *Relation, pred func(Row) bool) *Relation {
 // input variables (with the single-tuple optimization of Example 7:
 // a unique maybe-tuple keeps its own variable).
 func Project(db *DB, r *Relation, cols ...string) *Relation {
+	sp, v0, c0 := opSpan(db, "project", r)
 	idx := make([]int, len(cols))
 	for i, c := range cols {
 		idx[i] = r.colIndex(c)
@@ -51,6 +87,7 @@ func Project(db *DB, r *Relation, cols ...string) *Relation {
 	for _, k := range order {
 		out.Tuples = append(out.Tuples, Tuple{Vals: rows[k], Ext: db.Or(groups[k]...)})
 	}
+	endOp(sp, db, out, v0, c0)
 	return out
 }
 
@@ -82,6 +119,7 @@ func Intersect(db *DB, r1, r2 *Relation) (*Relation, error) {
 			return nil, fmt.Errorf("core: intersect schema mismatch: %v vs %v", r1.Cols, r2.Cols)
 		}
 	}
+	sp, v0, c0 := opSpan(db, "intersect", r1, r2)
 	a := dedupe(db, r1)
 	b := dedupe(db, r2)
 	byKey := make(map[string]Ext, len(b.Tuples))
@@ -96,6 +134,7 @@ func Intersect(db *DB, r1, r2 *Relation) (*Relation, error) {
 		}
 		out.Tuples = append(out.Tuples, Tuple{Vals: t.Vals, Ext: db.And(t.Ext, e2)})
 	}
+	endOp(sp, db, out, v0, c0)
 	return out, nil
 }
 
@@ -114,6 +153,7 @@ func Union(db *DB, r1, r2 *Relation) (*Relation, error) {
 			return nil, fmt.Errorf("core: union schema mismatch: %v vs %v", r1.Cols, r2.Cols)
 		}
 	}
+	sp, v0, c0 := opSpan(db, "union", r1, r2)
 	a := dedupe(db, r1)
 	b := dedupe(db, r2)
 	out := NewRelation(r1.Name+"∪"+r2.Name, r1.Cols...)
@@ -139,6 +179,7 @@ func Union(db *DB, r1, r2 *Relation) (*Relation, error) {
 			out.Tuples = append(out.Tuples, t)
 		}
 	}
+	endOp(sp, db, out, v0, c0)
 	return out, nil
 }
 
@@ -147,6 +188,7 @@ func Union(db *DB, r1, r2 *Relation) (*Relation, error) {
 // of the input Ext values (sharing a variable when one side is
 // certain, creating a lineage variable when both are maybe).
 func Product(db *DB, r1, r2 *Relation) *Relation {
+	sp, v0, c0 := opSpan(db, "product", r1, r2)
 	cols := make([]string, 0, len(r1.Cols)+len(r2.Cols))
 	for _, c := range r1.Cols {
 		cols = append(cols, r1.Name+"."+c)
@@ -163,6 +205,7 @@ func Product(db *DB, r1, r2 *Relation) *Relation {
 			out.Tuples = append(out.Tuples, Tuple{Vals: vals, Ext: db.And(t1.Ext, t2.Ext)})
 		}
 	}
+	endOp(sp, db, out, v0, c0)
 	return out
 }
 
@@ -176,6 +219,7 @@ func Join(db *DB, r1, r2 *Relation, on ...string) *Relation {
 	if len(on) == 0 {
 		panic("core: Join requires at least one join column")
 	}
+	sp, v0, c0 := opSpan(db, "join", r1, r2)
 	idx1 := make([]int, len(on))
 	idx2 := make([]int, len(on))
 	for i, c := range on {
@@ -223,6 +267,7 @@ func Join(db *DB, r1, r2 *Relation, on ...string) *Relation {
 			out.Tuples = append(out.Tuples, Tuple{Vals: vals, Ext: db.And(t1.Ext, t2.Ext)})
 		}
 	}
+	endOp(sp, db, out, v0, c0)
 	return out
 }
 
@@ -258,6 +303,7 @@ const (
 // For COUNT >= d with d >= 1 — the only form the paper's evaluation
 // uses — the two definitions coincide.
 func CountPredicate(db *DB, r *Relation, groupCols []string, op CmpOp, d int) *Relation {
+	sp, v0, c0 := opSpan(db, "count_predicate", r)
 	rr := dedupe(db, r)
 	idx := make([]int, len(groupCols))
 	for i, c := range groupCols {
@@ -328,6 +374,7 @@ func CountPredicate(db *DB, r *Relation, groupCols []string, op CmpOp, d int) *R
 			}
 		}
 	}
+	endOp(sp, db, out, v0, c0)
 	return out
 }
 

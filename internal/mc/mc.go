@@ -14,10 +14,12 @@ package mc
 
 import (
 	"math/rand"
+	"time"
 
 	"licm/internal/core"
 	"licm/internal/encode"
 	"licm/internal/engine"
+	"licm/internal/obs"
 	"licm/internal/queries"
 )
 
@@ -29,7 +31,17 @@ type Sampler struct {
 	items *engine.Table
 	// assign is reused across samples.
 	assign []uint8
+	// tr, when set, receives an "mc.run" span per Run with one
+	// "mc.sample" event per sampled world.
+	tr *obs.Tracer
+	// Rejection-sampling work for SubsetGE1 groups: attempts counts
+	// every candidate subset drawn, accepted the non-empty ones kept.
+	subsetAttempts int64
+	subsetAccepted int64
 }
+
+// SetTracer attaches a tracer to the sampler; nil detaches.
+func (s *Sampler) SetTracer(tr *obs.Tracer) { s.tr = tr }
 
 // NewSampler creates a sampler; sampling is deterministic in seed.
 func NewSampler(enc *encode.Encoded, seed int64) *Sampler {
@@ -56,6 +68,7 @@ func (s *Sampler) SampleWorld() *queries.World {
 		case encode.SubsetGE1:
 			// Uniform over non-empty subsets by rejection.
 			for {
+				s.subsetAttempts++
 				any := false
 				for _, v := range g.Vars {
 					if s.rng.Intn(2) == 1 {
@@ -66,6 +79,7 @@ func (s *Sampler) SampleWorld() *queries.World {
 					}
 				}
 				if any {
+					s.subsetAccepted++
 					break
 				}
 			}
@@ -129,15 +143,40 @@ func (s *Sampler) Assignment() []uint8 {
 type Result struct {
 	Min, Max int64
 	Answers  []int64
+	// SubsetAttempts and SubsetAccepted count the rejection-sampling
+	// draws for SubsetGE1 groups during this run; accepted/attempts is
+	// the acceptance rate (1 when no such groups exist). A low rate
+	// flags small generalization groups where the non-empty-subset
+	// rejection loop dominates sampling cost.
+	SubsetAttempts int64
+	SubsetAccepted int64
+}
+
+// AcceptanceRate returns SubsetAccepted/SubsetAttempts, or 1 when the
+// run needed no rejection sampling.
+func (r Result) AcceptanceRate() float64 {
+	if r.SubsetAttempts == 0 {
+		return 1
+	}
+	return float64(r.SubsetAccepted) / float64(r.SubsetAttempts)
 }
 
 // Run samples n worlds and evaluates the query on each, returning the
 // observed range — the paper's M_min / M_max series.
 func (s *Sampler) Run(q queries.Query, n int) Result {
+	sp := s.tr.Start("mc.run", obs.Int("samples", n))
+	attempts0, accepted0 := s.subsetAttempts, s.subsetAccepted
 	res := Result{Min: 1 << 62, Max: -(1 << 62)}
 	for i := 0; i < n; i++ {
+		var t0 time.Time
+		if s.tr.Enabled() {
+			t0 = time.Now()
+		}
 		w := s.SampleWorld()
 		a := q.Eval(w)
+		if s.tr.Enabled() {
+			sp.Event("mc.sample", obs.Int("i", i), obs.I64("answer", a), obs.DurNs("dur", time.Since(t0)))
+		}
 		res.Answers = append(res.Answers, a)
 		if a < res.Min {
 			res.Min = a
@@ -149,6 +188,13 @@ func (s *Sampler) Run(q queries.Query, n int) Result {
 	if n == 0 {
 		res.Min, res.Max = 0, 0
 	}
+	res.SubsetAttempts = s.subsetAttempts - attempts0
+	res.SubsetAccepted = s.subsetAccepted - accepted0
+	sp.End(
+		obs.I64("min", res.Min),
+		obs.I64("max", res.Max),
+		obs.F64("acceptance_rate", res.AcceptanceRate()),
+	)
 	return res
 }
 

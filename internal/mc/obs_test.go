@@ -1,0 +1,92 @@
+package mc_test
+
+import (
+	"testing"
+
+	"licm/internal/mc"
+	"licm/internal/obs"
+	"licm/internal/queries"
+)
+
+// TestRunTraceAndAcceptance: a traced Run emits the mc.run span with
+// one mc.sample event per world, and the k-anon encoding (SubsetGE1
+// groups) reports a meaningful rejection-sampling acceptance rate.
+func TestRunTraceAndAcceptance(t *testing.T) {
+	enc := smallEncodings(t, 40, 3)["k-anon"]
+	s := mc.NewSampler(enc, 11)
+	sink := &obs.CollectSink{}
+	s.SetTracer(obs.New(sink))
+	q := queries.Q1{Pa: queries.Pred{Lo: 0, Hi: 9}, Pb: queries.Pred{Lo: 0, Hi: 9}}
+
+	const n = 20
+	res := s.Run(q, n)
+	if len(res.Answers) != n {
+		t.Fatalf("got %d answers, want %d", len(res.Answers), n)
+	}
+
+	var runEnd *obs.Event
+	samples := 0
+	for _, e := range sink.Events() {
+		e := e
+		switch {
+		case e.Kind == obs.KindSpanEnd && e.Name == "mc.run":
+			runEnd = &e
+		case e.Kind == obs.KindEvent && e.Name == "mc.sample":
+			samples++
+			if d, ok := e.Attrs["dur"].(int64); !ok || d < 0 {
+				t.Errorf("mc.sample dur = %v", e.Attrs["dur"])
+			}
+		}
+	}
+	if runEnd == nil {
+		t.Fatal("missing mc.run span_end")
+	}
+	if samples != n {
+		t.Errorf("saw %d mc.sample events, want %d", samples, n)
+	}
+	if runEnd.Attrs["min"] != res.Min || runEnd.Attrs["max"] != res.Max {
+		t.Errorf("mc.run attrs min/max = %v/%v, want %d/%d",
+			runEnd.Attrs["min"], runEnd.Attrs["max"], res.Min, res.Max)
+	}
+
+	// Generalized encodings sample non-empty subsets by rejection, so
+	// the run must record at least one attempt per accepted draw.
+	if res.SubsetAccepted == 0 {
+		t.Error("k-anon run recorded no accepted subset draws")
+	}
+	if res.SubsetAttempts < res.SubsetAccepted {
+		t.Errorf("attempts %d < accepted %d", res.SubsetAttempts, res.SubsetAccepted)
+	}
+	rate := res.AcceptanceRate()
+	if rate <= 0 || rate > 1 {
+		t.Errorf("acceptance rate %v out of (0,1]", rate)
+	}
+	if got := runEnd.Attrs["acceptance_rate"]; got != rate {
+		t.Errorf("mc.run acceptance_rate attr = %v, want %v", got, rate)
+	}
+}
+
+// TestRunUntracedKeepsCounts: acceptance accounting works without a
+// tracer, and a second Run reports only its own draws.
+func TestRunUntracedKeepsCounts(t *testing.T) {
+	enc := smallEncodings(t, 40, 3)["k-anon"]
+	s := mc.NewSampler(enc, 11)
+	q := queries.Q1{Pa: queries.Pred{Lo: 0, Hi: 9}, Pb: queries.Pred{Lo: 0, Hi: 9}}
+	first := s.Run(q, 10)
+	second := s.Run(q, 10)
+	if first.SubsetAccepted == 0 || second.SubsetAccepted == 0 {
+		t.Fatalf("accepted counts: %d, %d", first.SubsetAccepted, second.SubsetAccepted)
+	}
+	// Equal sample counts over the same encoding: per-run accounting,
+	// not cumulative (accepted draws are deterministic per group count).
+	if first.SubsetAccepted != second.SubsetAccepted {
+		t.Errorf("accepted differs across equal runs: %d vs %d", first.SubsetAccepted, second.SubsetAccepted)
+	}
+	// The bipartite encoding has no SubsetGE1 groups: rate is 1.
+	bip := smallEncodings(t, 40, 3)["bipartite"]
+	sb := mc.NewSampler(bip, 11)
+	rb := sb.Run(q, 5)
+	if rb.SubsetAttempts != 0 || rb.AcceptanceRate() != 1 {
+		t.Errorf("bipartite: attempts=%d rate=%v, want 0 and 1", rb.SubsetAttempts, rb.AcceptanceRate())
+	}
+}

@@ -1,0 +1,38 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on the default mux
+)
+
+// ServeDebug starts a background HTTP server on addr exposing
+// production-style profiling endpoints out of the box:
+//
+//	/debug/pprof/   — net/http/pprof (CPU, heap, goroutine, ...)
+//	/debug/vars     — expvar, including registries published with
+//	                  PublishExpvar
+//
+// It returns the bound address (useful with ":0"). The server runs
+// until the process exits; this is the --debug-addr flag's backend in
+// the licm commands.
+func ServeDebug(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	go http.Serve(ln, http.DefaultServeMux) //nolint:errcheck // best-effort debug server
+	return ln.Addr().String(), nil
+}
+
+// PublishExpvar exposes the registry under name on /debug/vars. The
+// value is re-snapshotted on every scrape, so live counters (solver
+// nodes, LP solves, ...) are watchable mid-solve. Publishing the same
+// name twice is a no-op (expvar forbids duplicates).
+func PublishExpvar(name string, r *Registry) {
+	if expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+}

@@ -1,0 +1,177 @@
+// Package obs is the repository's lightweight, dependency-free
+// observability layer: a structured event tracer with span timings, an
+// atomic counter/gauge/histogram registry, and pluggable sinks
+// (JSON-lines for machines, text for humans).
+//
+// The paper's evaluation (Section V) is entirely about where time goes
+// — pruning effectiveness, BIP solve cost, LICM vs Monte-Carlo — so
+// every pipeline stage (operators, solver phases, MC sampling, bench
+// cells) reports through this package. OBSERVABILITY.md documents the
+// event schema, the counter names, and how spans map onto the paper's
+// cost breakdown.
+//
+// The zero-cost path is central: a nil *Tracer is a valid tracer whose
+// methods do nothing and allocate nothing, so instrumented code calls
+// tracer methods unconditionally and pays only a nil check when
+// tracing is off. Likewise a nil *Registry hands out counters that
+// discard updates.
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Kind classifies a trace event.
+type Kind string
+
+// Event kinds. Span events come in start/end pairs sharing a span id;
+// the end event carries the measured duration.
+const (
+	KindSpanStart Kind = "span_start"
+	KindSpanEnd   Kind = "span_end"
+	KindEvent     Kind = "event"
+	KindProgress  Kind = "progress"
+)
+
+// Attr is one key/value annotation on an event.
+type Attr struct {
+	Key   string
+	Value any
+}
+
+// Int annotates an event with an int value.
+func Int(key string, v int) Attr { return Attr{Key: key, Value: v} }
+
+// I64 annotates an event with an int64 value.
+func I64(key string, v int64) Attr { return Attr{Key: key, Value: v} }
+
+// F64 annotates an event with a float64 value.
+func F64(key string, v float64) Attr { return Attr{Key: key, Value: v} }
+
+// Str annotates an event with a string value.
+func Str(key, v string) Attr { return Attr{Key: key, Value: v} }
+
+// Bool annotates an event with a bool value.
+func Bool(key string, v bool) Attr { return Attr{Key: key, Value: v} }
+
+// DurNs annotates an event with a duration, recorded in nanoseconds.
+func DurNs(key string, d time.Duration) Attr {
+	return Attr{Key: key, Value: d.Nanoseconds()}
+}
+
+// Event is one trace record. Span and Parent are span ids (0 = none);
+// DurNs is set on span_end events only.
+type Event struct {
+	Seq    int64          `json:"seq"`
+	Time   time.Time      `json:"time"`
+	Kind   Kind           `json:"ev"`
+	Name   string         `json:"name"`
+	Span   int64          `json:"span,omitempty"`
+	Parent int64          `json:"parent,omitempty"`
+	DurNs  int64          `json:"dur_ns,omitempty"`
+	Attrs  map[string]any `json:"attrs,omitempty"`
+}
+
+// Tracer emits structured events to a sink. All methods are safe for
+// concurrent use and safe on a nil receiver (the no-op fast path).
+type Tracer struct {
+	sink Sink
+	seq  atomic.Int64
+	ids  atomic.Int64
+	now  func() time.Time
+}
+
+// New returns a tracer writing to sink. A nil sink yields a tracer
+// that drops everything (equivalent to a nil *Tracer).
+func New(sink Sink) *Tracer {
+	return &Tracer{sink: sink, now: time.Now}
+}
+
+// Enabled reports whether events reach a sink.
+func (t *Tracer) Enabled() bool { return t != nil && t.sink != nil }
+
+func (t *Tracer) emit(kind Kind, name string, span, parent, durNs int64, attrs []Attr) {
+	if !t.Enabled() {
+		return
+	}
+	e := &Event{
+		Seq:    t.seq.Add(1),
+		Time:   t.now(),
+		Kind:   kind,
+		Name:   name,
+		Span:   span,
+		Parent: parent,
+		DurNs:  durNs,
+	}
+	if len(attrs) > 0 {
+		e.Attrs = make(map[string]any, len(attrs))
+		for _, a := range attrs {
+			e.Attrs[a.Key] = a.Value
+		}
+	}
+	t.sink.Emit(e)
+}
+
+// Event emits a standalone (non-span) event.
+func (t *Tracer) Event(name string, attrs ...Attr) {
+	t.emit(KindEvent, name, 0, 0, 0, attrs)
+}
+
+// Progress emits a progress event — a periodic cumulative snapshot of
+// a long-running operation, distinguishable from one-shot events.
+func (t *Tracer) Progress(name string, attrs ...Attr) {
+	t.emit(KindProgress, name, 0, 0, 0, attrs)
+}
+
+// Start opens a root span. End the returned span to record its
+// duration. Safe on a nil tracer (returns a nil, no-op span).
+func (t *Tracer) Start(name string, attrs ...Attr) *Span {
+	if !t.Enabled() {
+		return nil
+	}
+	return t.start(name, 0, attrs)
+}
+
+func (t *Tracer) start(name string, parent int64, attrs []Attr) *Span {
+	s := &Span{tr: t, id: t.ids.Add(1), parent: parent, name: name, start: t.now()}
+	t.emit(KindSpanStart, name, s.id, parent, 0, attrs)
+	return s
+}
+
+// Span is one timed region of the pipeline. A nil *Span is valid and
+// inert, so callers never need to branch on whether tracing is on.
+type Span struct {
+	tr     *Tracer
+	id     int64
+	parent int64
+	name   string
+	start  time.Time
+}
+
+// Start opens a child span.
+func (s *Span) Start(name string, attrs ...Attr) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.tr.start(name, s.id, attrs)
+}
+
+// End closes the span, emitting a span_end event carrying the elapsed
+// duration (also returned; 0 from a nil span).
+func (s *Span) End(attrs ...Attr) time.Duration {
+	if s == nil {
+		return 0
+	}
+	d := s.tr.now().Sub(s.start)
+	s.tr.emit(KindSpanEnd, s.name, s.id, s.parent, d.Nanoseconds(), attrs)
+	return d
+}
+
+// Event emits an event parented to this span.
+func (s *Span) Event(name string, attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	s.tr.emit(KindEvent, name, 0, s.id, 0, attrs)
+}

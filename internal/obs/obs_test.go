@@ -1,0 +1,279 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	const goroutines, perG = 16, 5000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Mix cached-pointer updates with registry lookups so the
+			// map access path races against itself under -race.
+			c := reg.Counter("shared")
+			for i := 0; i < perG; i++ {
+				c.Inc()
+				reg.Counter("shared2").Add(2)
+				reg.Gauge("g").Set(int64(i))
+				reg.Histogram("h").Observe(int64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := reg.Counter("shared").Value(); got != goroutines*perG {
+		t.Errorf("shared = %d, want %d", got, goroutines*perG)
+	}
+	if got := reg.Counter("shared2").Value(); got != 2*goroutines*perG {
+		t.Errorf("shared2 = %d, want %d", got, 2*goroutines*perG)
+	}
+	if got := reg.Histogram("h").Snapshot().Count; got != goroutines*perG {
+		t.Errorf("histogram count = %d, want %d", got, goroutines*perG)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var tr *Tracer
+	sp := tr.Start("root", Int("x", 1))
+	child := sp.Start("child")
+	child.Event("ev")
+	if d := child.End(); d != 0 {
+		t.Errorf("nil span End = %v, want 0", d)
+	}
+	sp.End()
+	tr.Event("standalone")
+	tr.Progress("p")
+	if tr.Enabled() {
+		t.Error("nil tracer reports enabled")
+	}
+
+	var reg *Registry
+	reg.Counter("c").Add(5)
+	reg.Gauge("g").Set(5)
+	reg.Histogram("h").Observe(5)
+	if v := reg.Counter("c").Value(); v != 0 {
+		t.Errorf("nil registry counter = %d", v)
+	}
+	if len(reg.Snapshot()) != 0 {
+		t.Error("nil registry snapshot non-empty")
+	}
+}
+
+func TestSpanNestingOrder(t *testing.T) {
+	sink := &CollectSink{}
+	tr := New(sink)
+	root := tr.Start("root")
+	a := root.Start("a")
+	aa := a.Start("aa")
+	aa.End()
+	a.End()
+	b := root.Start("b")
+	b.End()
+	root.End()
+
+	evs := sink.Events()
+	var names []string
+	for _, e := range evs {
+		names = append(names, string(e.Kind)+":"+e.Name)
+	}
+	want := []string{
+		"span_start:root", "span_start:a", "span_start:aa",
+		"span_end:aa", "span_end:a", "span_start:b", "span_end:b", "span_end:root",
+	}
+	if strings.Join(names, ",") != strings.Join(want, ",") {
+		t.Fatalf("event order = %v, want %v", names, want)
+	}
+	// Parent links: a and b under root, aa under a.
+	spanID := map[string]int64{}
+	for _, e := range evs {
+		if e.Kind == KindSpanStart {
+			spanID[e.Name] = e.Span
+		}
+	}
+	for _, e := range evs {
+		switch e.Name {
+		case "root":
+			if e.Parent != 0 {
+				t.Errorf("root parent = %d", e.Parent)
+			}
+		case "a", "b":
+			if e.Parent != spanID["root"] {
+				t.Errorf("%s parent = %d, want %d", e.Name, e.Parent, spanID["root"])
+			}
+		case "aa":
+			if e.Parent != spanID["a"] {
+				t.Errorf("aa parent = %d, want %d", e.Parent, spanID["a"])
+			}
+		}
+	}
+	// Sequence numbers strictly increase.
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq <= evs[i-1].Seq {
+			t.Errorf("seq not increasing at %d: %d then %d", i, evs[i-1].Seq, evs[i].Seq)
+		}
+	}
+}
+
+func TestJSONLSinkRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	tr := New(NewJSONLSink(&buf))
+	sp := tr.Start("solve", Int("vars", 42), Str("sense", "max"))
+	sp.Event("incumbent", I64("value", 7))
+	tr.Progress("progress", I64("nodes", 1000), F64("rate", 0.5))
+	sp.End(Bool("proven", true), DurNs("search", 1500*time.Nanosecond))
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines, want 4", len(lines))
+	}
+	var evs []Event
+	for i, ln := range lines {
+		var e Event
+		if err := json.Unmarshal([]byte(ln), &e); err != nil {
+			t.Fatalf("line %d not valid JSON: %v\n%s", i, err, ln)
+		}
+		evs = append(evs, e)
+	}
+	if evs[0].Kind != KindSpanStart || evs[0].Name != "solve" {
+		t.Errorf("first event = %+v", evs[0])
+	}
+	if got := evs[0].Attrs["vars"]; got != float64(42) {
+		t.Errorf("vars attr = %v (%T)", got, got)
+	}
+	if got := evs[0].Attrs["sense"]; got != "max" {
+		t.Errorf("sense attr = %v", got)
+	}
+	if evs[1].Kind != KindEvent || evs[1].Parent != evs[0].Span {
+		t.Errorf("span event = %+v", evs[1])
+	}
+	if evs[2].Kind != KindProgress {
+		t.Errorf("progress kind = %v", evs[2].Kind)
+	}
+	last := evs[3]
+	if last.Kind != KindSpanEnd || last.Span != evs[0].Span || last.DurNs < 0 {
+		t.Errorf("end event = %+v", last)
+	}
+	if got := last.Attrs["proven"]; got != true {
+		t.Errorf("proven attr = %v", got)
+	}
+	if got := last.Attrs["search"]; got != float64(1500) {
+		t.Errorf("duration attr = %v", got)
+	}
+}
+
+func TestHistogramSnapshot(t *testing.T) {
+	h := &Histogram{}
+	for _, v := range []int64{0, 1, 1, 3, 100, -5} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 6 || s.Sum != 100 {
+		t.Errorf("count=%d sum=%d", s.Count, s.Sum)
+	}
+	total := int64(0)
+	for _, b := range s.Buckets {
+		total += b.N
+	}
+	if total != 6 {
+		t.Errorf("bucket total = %d, want 6", total)
+	}
+}
+
+func TestTextAndMultiSink(t *testing.T) {
+	var txt bytes.Buffer
+	collect := &CollectSink{}
+	tr := New(MultiSink(NewTextSink(&txt), collect))
+	sp := tr.Start("phase", Int("n", 3))
+	inner := sp.Start("inner")
+	inner.End()
+	sp.End()
+	out := txt.String()
+	if !strings.Contains(out, "phase") || !strings.Contains(out, "inner") || !strings.Contains(out, "n=3") {
+		t.Errorf("text output missing content:\n%s", out)
+	}
+	if len(collect.Events()) != 4 {
+		t.Errorf("collect got %d events, want 4", len(collect.Events()))
+	}
+}
+
+func TestRegistrySnapshotAndNames(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("a").Add(3)
+	reg.Gauge("b").Set(-1)
+	reg.Histogram("c").Observe(9)
+	snap := reg.Snapshot()
+	if snap["a"] != int64(3) || snap["b"] != int64(-1) {
+		t.Errorf("snapshot = %v", snap)
+	}
+	names := reg.Names()
+	if strings.Join(names, ",") != "a,b,c" {
+		t.Errorf("names = %v", names)
+	}
+}
+
+func TestSetup(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.jsonl")
+	var verbose bytes.Buffer
+	tr, closeFn, err := Setup(path, true, &verbose)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Enabled() {
+		t.Fatal("tracer should be enabled")
+	}
+	tr.Start("x").End()
+	if err := closeFn(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("trace file has %d lines, want 2", len(lines))
+	}
+	for _, ln := range lines {
+		var e Event
+		if err := json.Unmarshal([]byte(ln), &e); err != nil {
+			t.Fatalf("bad line %q: %v", ln, err)
+		}
+	}
+	if !strings.Contains(verbose.String(), "x") {
+		t.Error("verbose sink got nothing")
+	}
+
+	// Both off: nil tracer, working close.
+	tr2, close2, err := Setup("", false, nil)
+	if err != nil || tr2 != nil {
+		t.Fatalf("Setup off = %v, %v", tr2, err)
+	}
+	if err := close2(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServeDebugAndExpvar(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("hits").Add(1)
+	PublishExpvar("test_obs_reg", reg)
+	PublishExpvar("test_obs_reg", reg) // duplicate must not panic
+	addr, err := ServeDebug("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addr == "" {
+		t.Fatal("empty address")
+	}
+}

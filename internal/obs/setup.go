@@ -1,0 +1,55 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// Setup builds the tracer behind the shared CLI flags --trace=<file>
+// and --verbose: a JSON-lines sink on the trace file (when tracePath
+// is non-empty) plus a human-readable text sink on verboseW (when
+// verbose is set). It returns a nil (no-op) tracer when both are off.
+// The returned close function flushes and closes the trace file and
+// reports any write error; it is always non-nil.
+func Setup(tracePath string, verbose bool, verboseW io.Writer) (*Tracer, func() error, error) {
+	var sinks []Sink
+	var file *os.File
+	var jsonl *JSONLSink
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return nil, func() error { return nil }, err
+		}
+		file = f
+		jsonl = NewJSONLSink(f)
+		sinks = append(sinks, jsonl)
+	}
+	if verbose {
+		if verboseW == nil {
+			verboseW = os.Stderr
+		}
+		sinks = append(sinks, NewTextSink(verboseW))
+	}
+	closeFn := func() error {
+		if file == nil {
+			return nil
+		}
+		err := jsonl.Err()
+		if cerr := file.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("obs: trace %s: %w", tracePath, err)
+		}
+		return nil
+	}
+	switch len(sinks) {
+	case 0:
+		return nil, closeFn, nil
+	case 1:
+		return New(sinks[0]), closeFn, nil
+	default:
+		return New(MultiSink(sinks...)), closeFn, nil
+	}
+}

@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Sink receives trace events. Implementations must be safe for
+// concurrent Emit calls (solver workers trace from multiple
+// goroutines).
+type Sink interface {
+	Emit(e *Event)
+}
+
+// JSONLSink writes one JSON object per event per line (JSON-lines),
+// the machine-readable trace format documented in OBSERVABILITY.md.
+type JSONLSink struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+	err error
+}
+
+// NewJSONLSink returns a sink encoding events to w.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	return &JSONLSink{enc: json.NewEncoder(w)}
+}
+
+// Emit writes the event as one JSON line. The first encode error is
+// retained (see Err) and subsequent events are dropped.
+func (s *JSONLSink) Emit(e *Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	s.err = s.enc.Encode(e)
+}
+
+// Err returns the first write error, if any.
+func (s *JSONLSink) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// TextSink renders events as human-readable lines with timestamps
+// relative to the first event and two-space indentation per span
+// nesting level — the --verbose view of a trace.
+type TextSink struct {
+	mu    sync.Mutex
+	w     io.Writer
+	epoch time.Time
+	depth map[int64]int
+}
+
+// NewTextSink returns a sink printing to w.
+func NewTextSink(w io.Writer) *TextSink {
+	return &TextSink{w: w, depth: make(map[int64]int)}
+}
+
+// Emit prints the event.
+func (s *TextSink) Emit(e *Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.epoch.IsZero() {
+		s.epoch = e.Time
+	}
+	d := 0
+	switch e.Kind {
+	case KindSpanStart:
+		d = s.depth[e.Parent] + 1
+		s.depth[e.Span] = d
+	case KindSpanEnd:
+		d = s.depth[e.Span]
+		delete(s.depth, e.Span)
+	default:
+		d = s.depth[e.Parent] + 1
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%10s %s%-10s %s", e.Time.Sub(s.epoch).Round(time.Microsecond), strings.Repeat("  ", d), e.Kind, e.Name)
+	if e.Kind == KindSpanEnd {
+		fmt.Fprintf(&b, " (%s)", time.Duration(e.DurNs).Round(time.Microsecond))
+	}
+	keys := make([]string, 0, len(e.Attrs))
+	for k := range e.Attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&b, " %s=%v", k, e.Attrs[k])
+	}
+	b.WriteByte('\n')
+	io.WriteString(s.w, b.String())
+}
+
+// MultiSink fans every event out to all sinks.
+func MultiSink(sinks ...Sink) Sink { return multiSink(sinks) }
+
+type multiSink []Sink
+
+func (m multiSink) Emit(e *Event) {
+	for _, s := range m {
+		s.Emit(e)
+	}
+}
+
+// CollectSink buffers events in memory, for tests and in-process
+// analysis.
+type CollectSink struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// Emit appends a copy of the event.
+func (s *CollectSink) Emit(e *Event) {
+	s.mu.Lock()
+	s.events = append(s.events, *e)
+	s.mu.Unlock()
+}
+
+// Events returns a snapshot of the collected events.
+func (s *CollectSink) Events() []Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Event(nil), s.events...)
+}

@@ -33,6 +33,16 @@ type comp struct {
 	nodes    int64
 	lpSolves int64
 
+	// Live instrumentation (nil ctrl = off, the fast path). flushed*
+	// remember what has already been pushed into the shared atomics so
+	// flushCtrl sends exact deltas; aborted latches a cancellation so
+	// the search unwinds without re-polling.
+	ctrl         *ctrl
+	flushedNodes int64
+	flushedLPs   int64
+	flushedProps int64
+	aborted      bool
+
 	// Adaptive LP control: when relaxation solves stop pruning, the
 	// search falls back to plain DFS (the LP is rebuilt from scratch
 	// at every node, so a non-pruning relaxation is pure overhead).
@@ -114,18 +124,37 @@ type compResult struct {
 	assign   []int8
 	nodes    int64
 	lpSolves int64
+	props    int64
+}
+
+// flushCtrl pushes counter deltas since the previous flush into the
+// shared ctrl and polls cancellation; it returns false (and latches
+// aborted) when the solve should stop.
+func (c *comp) flushCtrl() bool {
+	dn := c.nodes - c.flushedNodes
+	dl := c.lpSolves - c.flushedLPs
+	dp := c.prop.nAssigns - c.flushedProps
+	c.flushedNodes, c.flushedLPs, c.flushedProps = c.nodes, c.lpSolves, c.prop.nAssigns
+	if !c.ctrl.add(dn, dl, dp) {
+		c.aborted = true
+		return false
+	}
+	return true
 }
 
 // solveComp maximizes c.obj over the component. The propagator's
 // domains may carry fixings from global presolve.
-func solveComp(n int, cons []lcon, obj []int64, derived []bool, prop *propagator, opts Options, budget *int64) compResult {
-	c := &comp{n: n, cons: cons, obj: obj, derived: derived, prop: prop, opts: opts, budget: budget}
+func solveComp(n int, cons []lcon, obj []int64, derived []bool, prop *propagator, opts Options, budget *int64, kc *ctrl) compResult {
+	c := &comp{n: n, cons: cons, obj: obj, derived: derived, prop: prop, opts: opts, budget: budget, ctrl: kc}
 	c.feasOnly = allZero(obj)
 	if c.feasOnly {
 		c.stopAtFirst = true
 	}
 	if !prop.drain() {
-		return compResult{feasible: false, proven: true}
+		if c.ctrl != nil {
+			c.flushCtrl()
+		}
+		return compResult{feasible: false, proven: true, props: prop.nAssigns}
 	}
 	c.buildOrder()
 	c.initObjTrack()
@@ -194,12 +223,19 @@ func solveComp(n int, cons []lcon, obj []int64, derived []bool, prop *propagator
 		}
 		c.nodes += d.nodes
 	}
+	if c.ctrl != nil {
+		// Final flush: exact totals (including heuristic-dive nodes,
+		// which bypass the periodic flush) so live counters end equal
+		// to the reported Stats.
+		c.flushCtrl()
+	}
 	res := compResult{
 		feasible: c.hasIncumbent,
 		best:     c.best,
 		assign:   c.assign,
 		nodes:    c.nodes,
 		lpSolves: c.lpSolves,
+		props:    c.prop.nAssigns,
 	}
 	res.proven = !c.exhausted
 	res.bound = c.best
@@ -285,9 +321,17 @@ func (c *comp) curAndOptimistic() (cur, opt int64) {
 }
 
 // spendNode consumes one unit of budget; it returns false when the
-// budget is exhausted.
+// budget is exhausted or the solve has been canceled.
 func (c *comp) spendNode() bool {
 	c.nodes++
+	if c.ctrl != nil {
+		if c.aborted {
+			return false
+		}
+		if c.nodes-c.flushedNodes >= ctrlGranularity && !c.flushCtrl() {
+			return false
+		}
+	}
 	if c.budget == nil {
 		return true
 	}
@@ -315,6 +359,9 @@ func (c *comp) recordIncumbent(val int64) {
 	}
 	if c.hasIncumbent && val <= c.best {
 		return
+	}
+	if c.ctrl != nil {
+		c.ctrl.incumbent(val, c.nodes)
 	}
 	c.best = val
 	c.hasIncumbent = true

@@ -1,0 +1,146 @@
+package solver
+
+import (
+	"sync/atomic"
+
+	"licm/internal/obs"
+)
+
+// ProgressInfo is a cumulative snapshot of solver work, delivered to
+// Options.Progress and emitted as obs progress events, so long solves
+// are watchable in flight. Counts are totals across all components
+// (and all workers) of the current Maximize/Minimize call.
+type ProgressInfo struct {
+	Nodes        int64
+	LPSolves     int64
+	Propagations int64
+	Incumbents   int64
+}
+
+// ctrlGranularity is how many branch-and-bound nodes a component
+// explores between flushes of its local counters into the shared
+// atomics (and polls of Options.Cancel). It bounds both the staleness
+// of live counters and the latency of cancellation.
+const ctrlGranularity = 1024
+
+// ctrl is the shared live-instrumentation and cancellation state of
+// one solve. Components — possibly running on worker goroutines —
+// flush counter deltas into it; it forwards them to the metrics
+// registry, fires the periodic progress callback, and polls the
+// cancel hook. A nil *ctrl (instrumentation fully off) costs the hot
+// path a single pointer comparison per node.
+type ctrl struct {
+	trace    *obs.Tracer
+	progress func(ProgressInfo)
+	cancel   func() bool
+	interval int64
+
+	nodes        atomic.Int64
+	lpSolves     atomic.Int64
+	propagations atomic.Int64
+	incumbents   atomic.Int64
+	lastEmit     atomic.Int64 // node total at the last progress emission
+	canceled     atomic.Bool
+
+	cNodes, cLPs, cProps, cInc *obs.Counter
+}
+
+// newCtrl returns the control block for a solve, or nil when no
+// instrumentation is requested (the fast path).
+func newCtrl(opts Options) *ctrl {
+	if opts.Trace == nil && opts.Metrics == nil && opts.Progress == nil && opts.Cancel == nil {
+		return nil
+	}
+	k := &ctrl{
+		trace:    opts.Trace,
+		progress: opts.Progress,
+		cancel:   opts.Cancel,
+		interval: opts.ProgressInterval,
+	}
+	if k.interval <= 0 {
+		k.interval = 1 << 16
+	}
+	if opts.Metrics != nil {
+		k.cNodes = opts.Metrics.Counter("solver.nodes")
+		k.cLPs = opts.Metrics.Counter("solver.lp_solves")
+		k.cProps = opts.Metrics.Counter("solver.propagations")
+		k.cInc = opts.Metrics.Counter("solver.incumbents")
+	}
+	return k
+}
+
+// snapshot returns the current cumulative totals.
+func (k *ctrl) snapshot() ProgressInfo {
+	return ProgressInfo{
+		Nodes:        k.nodes.Load(),
+		LPSolves:     k.lpSolves.Load(),
+		Propagations: k.propagations.Load(),
+		Incumbents:   k.incumbents.Load(),
+	}
+}
+
+// add flushes counter deltas, polls cancellation, and possibly emits a
+// progress event. It returns false when the solve should abort
+// (Options.Cancel fired, now or earlier).
+func (k *ctrl) add(nodes, lps, props int64) bool {
+	if nodes != 0 {
+		k.nodes.Add(nodes)
+		k.cNodes.Add(nodes)
+	}
+	if lps != 0 {
+		k.lpSolves.Add(lps)
+		k.cLPs.Add(lps)
+	}
+	if props != 0 {
+		k.propagations.Add(props)
+		k.cProps.Add(props)
+	}
+	if k.canceled.Load() {
+		return false
+	}
+	if k.cancel != nil && k.cancel() {
+		k.canceled.Store(true)
+		k.trace.Event("solver.canceled", obs.I64("nodes", k.nodes.Load()))
+		return false
+	}
+	k.maybeEmit()
+	return true
+}
+
+// maybeEmit fires the progress callback and trace event when at least
+// interval nodes have passed since the previous emission. The CAS
+// elects a single emitter under concurrent workers; callbacks may
+// still arrive from any worker goroutine.
+func (k *ctrl) maybeEmit() {
+	total := k.nodes.Load()
+	last := k.lastEmit.Load()
+	if total-last < k.interval {
+		return
+	}
+	if !k.lastEmit.CompareAndSwap(last, total) {
+		return
+	}
+	p := k.snapshot()
+	if k.progress != nil {
+		k.progress(p)
+	}
+	k.trace.Progress("solver.progress",
+		obs.I64("nodes", p.Nodes),
+		obs.I64("lp_solves", p.LPSolves),
+		obs.I64("propagations", p.Propagations),
+		obs.I64("incumbents", p.Incumbents))
+}
+
+// incumbent records an incumbent update (live counter + trace event).
+func (k *ctrl) incumbent(value, compNodes int64) {
+	k.incumbents.Add(1)
+	k.cInc.Inc()
+	k.trace.Event("solver.incumbent",
+		obs.I64("value", value),
+		obs.I64("component_nodes", compNodes))
+}
+
+// isCanceled reports whether Options.Cancel has fired.
+func (k *ctrl) isCanceled() bool {
+	return k != nil && k.canceled.Load()
+}

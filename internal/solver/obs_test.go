@@ -1,0 +1,246 @@
+package solver
+
+import (
+	"sync"
+	"testing"
+
+	"licm/internal/expr"
+	"licm/internal/obs"
+)
+
+// hardProblem returns an instance whose DFS tree is large: one
+// knapsack-style component (many equally-attractive variables) plus a
+// few small cardinality groups.
+func hardProblem() *Problem {
+	const big = 40
+	var cons []expr.Constraint
+	cons = append(cons, expr.NewConstraint(expr.Sum(seqVars(0, big)...), expr.LE, 20))
+	obj := expr.Lin{}
+	for v := 0; v < big; v++ {
+		obj = obj.AddTerm(expr.Var(v), 1)
+	}
+	n := big
+	for g := 0; g < 4; g++ {
+		vs := seqVars(n, 5)
+		n += 5
+		cons = append(cons, expr.NewConstraint(expr.Sum(vs...), expr.GE, 1))
+		cons = append(cons, expr.NewConstraint(expr.Sum(vs...), expr.LE, 3))
+		for _, v := range vs {
+			obj = obj.AddTerm(v, int64(2+g))
+		}
+	}
+	return &Problem{NumVars: n, Constraints: cons, Objective: obj}
+}
+
+func seqVars(start, n int) []expr.Var {
+	vs := make([]expr.Var, n)
+	for i := range vs {
+		vs[i] = expr.Var(start + i)
+	}
+	return vs
+}
+
+// TestObsCountersMatchStats is the integration contract of the live
+// metrics: after a solve, the registry counters equal Result.Stats.
+func TestObsCountersMatchStats(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		p := hardProblem()
+		reg := obs.NewRegistry()
+		sink := &obs.CollectSink{}
+		opts := DefaultOptions()
+		opts.MaxNodes = 50_000
+		opts.Workers = workers
+		opts.Metrics = reg
+		opts.Trace = obs.New(sink)
+		res, err := Maximize(p, opts)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if res.Stats.Nodes == 0 {
+			t.Fatalf("workers=%d: no nodes explored", workers)
+		}
+		if got := reg.Counter("solver.nodes").Value(); got != res.Stats.Nodes {
+			t.Errorf("workers=%d: counter nodes = %d, stats = %d", workers, got, res.Stats.Nodes)
+		}
+		if got := reg.Counter("solver.lp_solves").Value(); got != res.Stats.LPSolves {
+			t.Errorf("workers=%d: counter lp_solves = %d, stats = %d", workers, got, res.Stats.LPSolves)
+		}
+		if got := reg.Counter("solver.propagations").Value(); got != res.Stats.Propagations {
+			t.Errorf("workers=%d: counter propagations = %d, stats = %d", workers, got, res.Stats.Propagations)
+		}
+		if res.Stats.Propagations == 0 {
+			t.Errorf("workers=%d: propagation count not populated", workers)
+		}
+	}
+}
+
+// TestTraceSpansCoverPhases checks the trace covers every solver phase
+// with properly paired and nested spans, and that phase durations are
+// consistent with the reported total.
+func TestTraceSpansCoverPhases(t *testing.T) {
+	p := hardProblem()
+	sink := &obs.CollectSink{}
+	opts := DefaultOptions()
+	opts.MaxNodes = 20_000
+	opts.Trace = obs.New(sink)
+	res, err := Maximize(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	evs := sink.Events()
+	starts := map[string]obs.Event{}
+	ends := map[string]obs.Event{}
+	open := 0
+	for _, e := range evs {
+		switch e.Kind {
+		case obs.KindSpanStart:
+			open++
+			starts[e.Name] = e
+		case obs.KindSpanEnd:
+			open--
+			ends[e.Name] = e
+		}
+	}
+	if open != 0 {
+		t.Errorf("unbalanced span events: %d unclosed", open)
+	}
+	for _, phase := range []string{"solver.solve", "solver.validate", "solver.prune", "solver.presolve", "solver.decompose", "solver.search"} {
+		if _, ok := starts[phase]; !ok {
+			t.Errorf("missing span_start for %s", phase)
+		}
+		if _, ok := ends[phase]; !ok {
+			t.Errorf("missing span_end for %s", phase)
+		}
+	}
+	rootID := starts["solver.solve"].Span
+	for _, phase := range []string{"solver.validate", "solver.prune", "solver.presolve", "solver.decompose", "solver.search"} {
+		if got := starts[phase].Parent; got != rootID {
+			t.Errorf("%s parent = %d, want root %d", phase, got, rootID)
+		}
+	}
+	// Child durations sum to no more than the root's.
+	var sum int64
+	for _, phase := range []string{"solver.validate", "solver.prune", "solver.presolve", "solver.decompose", "solver.search", "solver.witness"} {
+		if e, ok := ends[phase]; ok {
+			sum += e.DurNs
+		}
+	}
+	if rootDur := ends["solver.solve"].DurNs; sum > rootDur {
+		t.Errorf("phase durations sum %dns exceeds root %dns", sum, rootDur)
+	}
+
+	// Stats durations mirror the spans.
+	st := res.Stats
+	if st.TotalTime <= 0 {
+		t.Error("TotalTime not populated")
+	}
+	if got := st.PruneTime + st.PresolveTime + st.SearchTime + st.WitnessTime; got > st.TotalTime {
+		t.Errorf("phase durations %v exceed total %v", got, st.TotalTime)
+	}
+	if st.SearchTime <= 0 {
+		t.Error("SearchTime not populated")
+	}
+}
+
+// TestProgressCallback checks the periodic callback fires during a
+// long search with monotonically non-decreasing totals.
+func TestProgressCallback(t *testing.T) {
+	p := hardProblem()
+	var mu sync.Mutex
+	var infos []ProgressInfo
+	opts := DefaultOptions()
+	opts.UseLP = false // keep the search in node-heavy DFS
+	opts.MaxNodes = 100_000
+	opts.ProgressInterval = 2048
+	opts.Progress = func(pi ProgressInfo) {
+		mu.Lock()
+		infos = append(infos, pi)
+		mu.Unlock()
+	}
+	if _, err := Maximize(p, opts); err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) < 2 {
+		t.Fatalf("progress fired %d times, want >= 2", len(infos))
+	}
+	for i := 1; i < len(infos); i++ {
+		if infos[i].Nodes < infos[i-1].Nodes {
+			t.Errorf("nodes regressed: %d then %d", infos[i-1].Nodes, infos[i].Nodes)
+		}
+	}
+}
+
+// TestCancelReturnsBestEffort checks the cooperative abort path: a
+// firing Cancel stops an otherwise multi-million-node search almost
+// immediately and still reports an unproven best-effort result.
+func TestCancelReturnsBestEffort(t *testing.T) {
+	p := hardProblem()
+	opts := DefaultOptions()
+	opts.UseLP = false // DFS would run to the 2M oversize budget
+	opts.Cancel = func() bool { return true }
+	res, err := Maximize(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Proven {
+		t.Error("canceled solve reported proven")
+	}
+	if !res.Stats.Canceled {
+		t.Error("Stats.Canceled not set")
+	}
+	if res.Stats.Nodes > 50_000 {
+		t.Errorf("cancel was slow: %d nodes explored", res.Stats.Nodes)
+	}
+	if res.Value > res.Bound {
+		t.Errorf("value %d exceeds bound %d", res.Value, res.Bound)
+	}
+	// The dive should still find the easy incumbent.
+	if res.Value <= 0 {
+		t.Errorf("no useful best-effort value: %d", res.Value)
+	}
+}
+
+// TestCancelHonoredAcrossBoundsCall checks both directions of a
+// Bounds call observe the cancellation independently.
+func TestCancelHonoredAcrossBoundsCall(t *testing.T) {
+	p := hardProblem()
+	opts := DefaultOptions()
+	opts.UseLP = false
+	calls := 0
+	opts.Cancel = func() bool { calls++; return calls > 3 }
+	min, max, err := Bounds(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if min.Proven && max.Proven {
+		t.Error("both sides proven despite cancellation")
+	}
+	if min.Value > max.Value {
+		t.Errorf("min %d > max %d", min.Value, max.Value)
+	}
+}
+
+// TestTracingOffIsNoop: a solve without instrumentation produces the
+// same result and stats as one with it (modulo durations).
+func TestTracingOffIsNoop(t *testing.T) {
+	p := hardProblem()
+	opts := DefaultOptions()
+	opts.MaxNodes = 20_000
+	plain, err := Maximize(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Trace = obs.New(&obs.CollectSink{})
+	opts.Metrics = obs.NewRegistry()
+	traced, err := Maximize(hardProblem(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Value != traced.Value || plain.Bound != traced.Bound || plain.Proven != traced.Proven {
+		t.Errorf("tracing changed the result: %+v vs %+v", plain, traced)
+	}
+	if plain.Stats.Nodes != traced.Stats.Nodes || plain.Stats.LPSolves != traced.Stats.LPSolves {
+		t.Errorf("tracing changed the search: %+v vs %+v", plain.Stats, traced.Stats)
+	}
+}

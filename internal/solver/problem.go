@@ -26,13 +26,21 @@ package solver
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"licm/internal/expr"
+	"licm/internal/obs"
 )
 
 // ErrInfeasible is returned when no assignment satisfies the
 // constraints.
 var ErrInfeasible = errors.New("solver: infeasible")
+
+// ErrCanceled is returned when Options.Cancel fired before any
+// feasible point was found; when an incumbent exists, cancellation
+// instead returns a best-effort result with Proven=false and
+// Stats.Canceled=true.
+var ErrCanceled = errors.New("solver: canceled before a feasible point was found")
 
 // Options control the solving strategy. The zero value is not useful;
 // start from DefaultOptions.
@@ -74,6 +82,32 @@ type Options struct {
 	// results are deterministic but can differ from a sequential run
 	// on budget-limited instances.
 	Workers int
+
+	// Trace, if non-nil, receives structured span events for every
+	// solver phase (validate, prune, presolve, decompose, search,
+	// witness), incumbent events, and periodic progress events. nil
+	// disables tracing at no measurable cost.
+	Trace *obs.Tracer
+	// Metrics, if non-nil, receives live counters: solver.nodes,
+	// solver.lp_solves, solver.propagations, solver.incumbents. They
+	// are updated in flight (within ctrlGranularity nodes), so a
+	// long solve is watchable via expvar.
+	Metrics *obs.Registry
+	// Progress, if non-nil, is called with cumulative work totals
+	// roughly every ProgressInterval nodes. It may be invoked from
+	// worker goroutines when Workers > 1.
+	Progress func(ProgressInfo)
+	// ProgressInterval is the node spacing of Progress callbacks and
+	// progress trace events; 0 means 65536.
+	ProgressInterval int64
+	// Cancel, if non-nil, is polled about every ctrlGranularity
+	// nodes; when it returns true the solve aborts cooperatively and
+	// returns the best incumbent found with Proven=false and
+	// Stats.Canceled=true (or ErrCanceled if no feasible point was
+	// reached). This is the abort path for runaway solves — a
+	// deadline, a context, or a UI stop button can all be expressed
+	// as a Cancel func.
+	Cancel func() bool
 }
 
 // DefaultOptions returns the recommended settings.
@@ -94,6 +128,9 @@ func DefaultOptions() Options {
 // Stats reports work done and problem-size evolution during a solve.
 // VarsBefore counts variables appearing in the objective or any
 // constraint; the pruning figures reproduce the paper's Figure 7.
+// The per-phase wall-clock durations split the solve the same way the
+// paper's Figure 6 splits L-solve, so optimization claims can cite
+// where the time actually went.
 type Stats struct {
 	VarsBefore      int
 	ConsBefore      int
@@ -103,6 +140,23 @@ type Stats struct {
 	Components      int
 	Nodes           int64
 	LPSolves        int64
+	// Propagations counts variable assignments made by constraint
+	// propagation (presolve fixings plus search-tree propagation),
+	// excluding witness completion.
+	Propagations int64
+
+	// Wall-clock durations per phase. SearchTime covers component
+	// decomposition plus branch-and-bound; TotalTime is the whole
+	// Maximize/Minimize call and bounds the sum of the others.
+	PruneTime    time.Duration
+	PresolveTime time.Duration
+	SearchTime   time.Duration
+	WitnessTime  time.Duration
+	TotalTime    time.Duration
+
+	// Canceled reports that Options.Cancel stopped the solve early;
+	// the result is then best-effort (Proven is false).
+	Canceled bool
 }
 
 // Result is the outcome of a Maximize or Minimize call.
@@ -169,7 +223,7 @@ func Maximize(p *Problem, opts Options) (Result, error) {
 // Minimize finds the minimum of p.Objective subject to p.Constraints.
 func Minimize(p *Problem, opts Options) (Result, error) {
 	neg := &Problem{NumVars: p.NumVars, Constraints: p.Constraints, Objective: p.Objective.Neg(), Derived: p.Derived}
-	r, err := solve(neg, opts, false)
+	r, err := solve(neg, opts, true)
 	if err != nil {
 		return r, err
 	}

@@ -72,6 +72,10 @@ type propagator struct {
 	free    []int32 // per constraint, number of free variables
 	maxPos  []int64 // per constraint, largest positive coefficient
 	maxNeg  []int64 // per constraint, largest |negative| coefficient
+	// nAssigns counts every assignment ever made (monotonic; undo does
+	// not decrement it) — the propagation-work figure reported in
+	// Stats.Propagations and the solver.propagations counter.
+	nAssigns int64
 }
 
 func newPropagator(numVars int, cons []lcon) *propagator {
@@ -187,6 +191,7 @@ func (p *propagator) propagateAll() bool {
 }
 
 func (p *propagator) assign(v int32, val int8) {
+	p.nAssigns++
 	p.dom[v] = val
 	p.trail = append(p.trail, v)
 	for _, r := range p.varCons[v] {

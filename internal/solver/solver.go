@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"licm/internal/expr"
+	"licm/internal/obs"
 )
 
 // witnessBudget caps the nodes spent completing a witness over pruned
@@ -13,12 +15,37 @@ import (
 const witnessBudget = 500_000
 
 // solve maximizes p.Objective. Minimization is handled by the caller
-// via negation.
-func solve(p *Problem, opts Options, _ bool) (Result, error) {
-	if err := p.Validate(); err != nil {
+// via negation; minimized only labels the trace.
+func solve(p *Problem, opts Options, minimized bool) (res Result, err error) {
+	start := time.Now()
+	tr := opts.Trace
+	sense := "max"
+	if minimized {
+		sense = "min"
+	}
+	root := tr.Start("solver.solve",
+		obs.Str("sense", sense),
+		obs.Int("vars", p.NumVars),
+		obs.Int("cons", len(p.Constraints)))
+	defer func() {
+		res.Stats.TotalTime = time.Since(start)
+		root.End(
+			obs.Bool("ok", err == nil),
+			obs.Bool("proven", res.Proven),
+			obs.Bool("canceled", res.Stats.Canceled),
+			obs.I64("nodes", res.Stats.Nodes),
+			obs.I64("lp_solves", res.Stats.LPSolves),
+			obs.I64("propagations", res.Stats.Propagations))
+	}()
+
+	sp := root.Start("solver.validate")
+	err = p.Validate()
+	sp.End()
+	if err != nil {
 		return Result{}, err
 	}
-	res := Result{
+	kc := newCtrl(opts)
+	res = Result{
 		Assignment: make([]uint8, p.NumVars),
 		Proven:     true,
 		Stats: Stats{
@@ -26,8 +53,18 @@ func solve(p *Problem, opts Options, _ bool) (Result, error) {
 			ConsBefore: len(p.Constraints),
 		},
 	}
+	defer func() {
+		if kc != nil {
+			res.Stats.Canceled = kc.isCanceled()
+			if res.Stats.Canceled {
+				res.Proven = false
+			}
+		}
+	}()
 
 	// Reachability pruning (Section V, "Pruning").
+	phaseStart := time.Now()
+	sp = root.Start("solver.prune", obs.Bool("enabled", opts.Prune))
 	kept := p.Constraints
 	var dropped []expr.Constraint
 	if opts.Prune {
@@ -48,18 +85,31 @@ func solve(p *Problem, opts Options, _ bool) (Result, error) {
 		res.Stats.VarsAfterPrune = p.NumVars
 		res.Stats.ConsAfterPrune = len(p.Constraints)
 	}
+	res.Stats.PruneTime = time.Since(phaseStart)
+	sp.End(
+		obs.Int("kept_vars", res.Stats.VarsAfterPrune),
+		obs.Int("kept_cons", res.Stats.ConsAfterPrune))
 
 	// Root presolve over the kept constraints.
+	phaseStart = time.Now()
+	sp = root.Start("solver.presolve")
 	lcons := make([]lcon, len(kept))
 	identity := func(v expr.Var) int32 { return int32(v) }
 	for i, c := range kept {
 		lcons[i] = toLcon(c, identity)
 	}
 	prop := newPropagator(p.NumVars, lcons)
-	if !prop.propagateAll() {
+	feasible := prop.propagateAll()
+	res.Stats.FixedByPresolve = len(prop.trail)
+	res.Stats.Propagations = prop.nAssigns
+	if kc != nil {
+		kc.add(0, 0, prop.nAssigns)
+	}
+	res.Stats.PresolveTime = time.Since(phaseStart)
+	sp.End(obs.Int("fixed", res.Stats.FixedByPresolve), obs.Bool("feasible", feasible))
+	if !feasible {
 		return Result{}, ErrInfeasible
 	}
-	res.Stats.FixedByPresolve = len(prop.trail)
 
 	// Objective bookkeeping: constant + contribution of fixed
 	// variables; remaining terms feed component objectives.
@@ -84,13 +134,32 @@ func solve(p *Problem, opts Options, _ bool) (Result, error) {
 	}
 
 	// Decompose into connected components over free variables.
+	searchStart := time.Now()
+	sp = root.Start("solver.decompose", obs.Bool("enabled", opts.Decompose))
 	free := make([]bool, p.NumVars)
 	for v := 0; v < p.NumVars; v++ {
 		free[v] = prop.dom[v] == -1
 	}
 	comps := decompose(p.NumVars, kept, free, inObjective)
 	res.Stats.Components = len(comps)
+	sp.End(obs.Int("components", len(comps)))
 
+	sp = root.Start("solver.search", obs.Int("components", len(comps)))
+	endSearch := func() {
+		res.Stats.SearchTime = time.Since(searchStart)
+		sp.End(
+			obs.I64("nodes", res.Stats.Nodes),
+			obs.I64("lp_solves", res.Stats.LPSolves),
+			obs.Bool("proven", res.Proven))
+	}
+	// budgetErr distinguishes a deliberate cancellation from genuine
+	// budget exhaustion when no feasible point was reached.
+	budgetErr := func() error {
+		if kc.isCanceled() {
+			return ErrCanceled
+		}
+		return fmt.Errorf("solver: node budget exhausted before finding a feasible point")
+	}
 	var budget *int64
 	if opts.MaxNodes > 0 {
 		b := opts.MaxNodes
@@ -98,13 +167,15 @@ func solve(p *Problem, opts Options, _ bool) (Result, error) {
 	}
 	bound := total
 	if opts.Decompose || len(comps) <= 1 {
-		results := solveAll(comps, lcons, objCoef, prop.dom, p.Derived, opts, budget)
+		results := solveAll(comps, lcons, objCoef, prop.dom, p.Derived, opts, budget, kc)
 		for ci, cr := range results {
 			res.Stats.Nodes += cr.nodes
 			res.Stats.LPSolves += cr.lpSolves
+			res.Stats.Propagations += cr.props
 			if !cr.feasible {
+				endSearch()
 				if !cr.proven {
-					return Result{}, fmt.Errorf("solver: node budget exhausted before finding a feasible point")
+					return Result{}, budgetErr()
 				}
 				return Result{}, ErrInfeasible
 			}
@@ -124,13 +195,15 @@ func solve(p *Problem, opts Options, _ bool) (Result, error) {
 		// Merge all components into a single solve (used by the
 		// decomposition ablation benchmark).
 		merged := mergeComponents(comps)
-		cr := solveOne(merged, lcons, objCoef, prop.dom, p.Derived, opts, budget)
+		cr := solveOne(merged, lcons, objCoef, prop.dom, p.Derived, opts, budget, kc)
 		res.Stats.Nodes += cr.nodes
 		res.Stats.LPSolves += cr.lpSolves
+		res.Stats.Propagations += cr.props
 		res.Stats.Components = 1
 		if !cr.feasible {
+			endSearch()
 			if !cr.proven {
-				return Result{}, fmt.Errorf("solver: node budget exhausted before finding a feasible point")
+				return Result{}, budgetErr()
 			}
 			return Result{}, ErrInfeasible
 		}
@@ -147,13 +220,18 @@ func solve(p *Problem, opts Options, _ bool) (Result, error) {
 	}
 	res.Value = total
 	res.Bound = bound
+	endSearch()
 
 	// Complete the witness over pruned components: they cannot change
 	// the optimum of a *feasible* problem, but a full world needs
 	// values for their variables — and if the pruned part is
 	// infeasible, so is the whole problem.
 	if opts.CompleteWitness && len(dropped) > 0 {
+		phaseStart = time.Now()
+		wsp := root.Start("solver.witness", obs.Int("dropped_cons", len(dropped)))
 		ok, infeasible := completeWitness(p.NumVars, dropped, res.Assignment, opts)
+		res.Stats.WitnessTime = time.Since(phaseStart)
+		wsp.End(obs.Bool("complete", ok), obs.Bool("infeasible", infeasible))
 		if infeasible {
 			return Result{}, ErrInfeasible
 		}
@@ -168,11 +246,11 @@ func solve(p *Problem, opts Options, _ bool) (Result, error) {
 
 // solveAll solves every component, sequentially or with a worker pool
 // when opts.Workers > 1.
-func solveAll(comps []component, lcons []lcon, objCoef map[expr.Var]int64, globalDom []int8, derived []bool, opts Options, budget *int64) []compResult {
+func solveAll(comps []component, lcons []lcon, objCoef map[expr.Var]int64, globalDom []int8, derived []bool, opts Options, budget *int64, kc *ctrl) []compResult {
 	results := make([]compResult, len(comps))
 	if opts.Workers <= 1 || len(comps) <= 1 {
 		for ci, cm := range comps {
-			results[ci] = solveOne(cm, lcons, objCoef, globalDom, derived, opts, budget)
+			results[ci] = solveOne(cm, lcons, objCoef, globalDom, derived, opts, budget, kc)
 		}
 		return results
 	}
@@ -201,7 +279,7 @@ func solveAll(comps []component, lcons []lcon, objCoef map[expr.Var]int64, globa
 					local := perComp
 					b = &local
 				}
-				results[ci] = solveOne(comps[ci], lcons, objCoef, globalDom, derived, opts, b)
+				results[ci] = solveOne(comps[ci], lcons, objCoef, globalDom, derived, opts, b, kc)
 			}
 		}()
 	}
@@ -214,7 +292,7 @@ func solveAll(comps []component, lcons []lcon, objCoef map[expr.Var]int64, globa
 }
 
 // solveOne extracts and solves a single component.
-func solveOne(cm component, lcons []lcon, objCoef map[expr.Var]int64, globalDom []int8, derived []bool, opts Options, budget *int64) compResult {
+func solveOne(cm component, lcons []lcon, objCoef map[expr.Var]int64, globalDom []int8, derived []bool, opts Options, budget *int64, kc *ctrl) compResult {
 	n := len(cm.vars)
 	local := make(map[expr.Var]int32, n)
 	for i, v := range cm.vars {
@@ -250,7 +328,7 @@ func solveOne(cm component, lcons []lcon, objCoef map[expr.Var]int64, globalDom 
 		}
 	}
 	prop := newPropagator(n, cons)
-	return solveComp(n, cons, obj, der, prop, opts, budget)
+	return solveComp(n, cons, obj, der, prop, opts, budget, kc)
 }
 
 // component groups free variables connected through constraints, plus
@@ -417,9 +495,13 @@ func completeWitness(numVars int, dropped []expr.Constraint, assign []uint8, opt
 	comps := decompose(numVars, dropped, free, noObj)
 	wopts := opts
 	wopts.UseLP = false
+	// Witness work is deliberately not attached to the solve's ctrl:
+	// its nodes do not count toward Stats.Nodes, so live counters
+	// would drift from the reported totals. Each dive is budgeted, so
+	// cancellation latency stays bounded anyway.
 	for _, cm := range comps {
 		b := int64(witnessBudget)
-		cr := solveOne(cm, lcons, nil, prop.dom, nil, wopts, &b)
+		cr := solveOne(cm, lcons, nil, prop.dom, nil, wopts, &b, nil)
 		if !cr.feasible {
 			return false, cr.proven
 		}
