@@ -36,6 +36,7 @@ func main() {
 		mcN   = flag.Int("mc", 20, "Monte-Carlo sample count")
 		seed  = flag.Int64("seed", 1, "dataset seed")
 		nodes = flag.Int64("maxnodes", 300_000, "solver node budget per solve")
+		vet   = flag.Bool("check", false, "run the static diagnostics pass on every BIP before solving; an encoder bug that emits a provably infeasible store fails fast with diagnostics instead of burning the node budget")
 
 		tracePath = flag.String("trace", "", "write a JSON-lines trace of every experiment cell to this file")
 		verbose   = flag.Bool("verbose", false, "print a human-readable trace to stderr")
@@ -67,6 +68,7 @@ func main() {
 	cfg.MCSamples = *mcN
 	cfg.Seed = *seed
 	cfg.Solver.MaxNodes = *nodes
+	cfg.Solver.Check = *vet
 	cfg.Q3Frac = 0 // recompute for the chosen scale
 	var parsed []int
 	for _, part := range strings.Split(*ks, ",") {

@@ -18,6 +18,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -49,6 +50,7 @@ func main() {
 		maxNodes = flag.Int64("maxnodes", 2_000_000, "solver node budget (0 = unlimited)")
 		lpOut    = flag.String("lp", "", "also export the maximization BIP in CPLEX LP format to this file")
 		workers  = flag.Int("workers", 1, "solve independent components with this many workers")
+		vet      = flag.Bool("check", false, "run the static diagnostics pass (internal/check) before solving; a provably infeasible store fails fast with its diagnostics")
 
 		tracePath = flag.String("trace", "", "write a JSON-lines trace of operators, solver phases and MC sampling to this file")
 		verbose   = flag.Bool("verbose", false, "print a human-readable trace to stderr")
@@ -141,6 +143,7 @@ func main() {
 	opts.MaxNodes = *maxNodes
 	opts.Workers = *workers
 	opts.Metrics = metrics
+	opts.Check = *vet
 	if *verbose {
 		opts.Progress = func(pi solver.ProgressInfo) {
 			fmt.Fprintf(os.Stderr, "progress: %d nodes, %d LP solves, %d propagations, %d incumbents\n",
@@ -154,6 +157,14 @@ func main() {
 	start = time.Now()
 	res, err := core.CountBounds(enc.DB, rel, opts)
 	if err != nil {
+		var ce *solver.CheckError
+		if errors.As(err, &ce) {
+			fmt.Fprintln(os.Stderr, "licmq: the encoded store failed static checks:")
+			for _, d := range ce.Report.Diags {
+				fmt.Fprintln(os.Stderr, "  "+d.String())
+			}
+			os.Exit(1)
+		}
 		fatal(err)
 	}
 	tSolve := time.Since(start)

@@ -1,0 +1,98 @@
+// Command licmvet runs the static diagnostics pass (internal/check)
+// over LICM constraint stores serialized in the CPLEX LP dialect that
+// licmq -lp exports, without solving them — go vet for BIP instances.
+//
+// Usage:
+//
+//	licmvet store.lp [more.lp ...]
+//	licmq -in data.txt -query q1 -lp - | licmvet -
+//
+// Exit status mirrors go vet: 0 when every store is clean (or carries
+// only warnings), 1 when any store has an ERROR diagnostic — a proof
+// that the store is infeasible or malformed — and 2 when an input
+// cannot be read or parsed at all. -strict promotes warnings to the
+// failing exit; -json emits the diagnostics as one JSON report per
+// input for tooling.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"licm/internal/check"
+	"licm/internal/solver"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("licmvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	strict := fs.Bool("strict", false, "exit 1 on warnings too, not just errors")
+	asJSON := fs.Bool("json", false, "print reports as JSON")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: licmvet [-strict] [-json] store.lp ... (or - for stdin)\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	paths := fs.Args()
+	if len(paths) == 0 {
+		fs.Usage()
+		return 2
+	}
+
+	exit := 0
+	for _, path := range paths {
+		rep, err := vetOne(path, stdin)
+		if err != nil {
+			fmt.Fprintf(stderr, "licmvet: %s: %v\n", path, err)
+			exit = 2
+			continue
+		}
+		if *asJSON {
+			enc := json.NewEncoder(stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(struct {
+				Input string             `json:"input"`
+				Diags []check.Diagnostic `json:"diags"`
+			}{path, rep.Diags}); err != nil {
+				fmt.Fprintf(stderr, "licmvet: %v\n", err)
+				return 2
+			}
+		} else {
+			for _, d := range rep.Diags {
+				fmt.Fprintf(stdout, "%s: %s\n", path, d)
+			}
+		}
+		if exit == 0 && (rep.HasErrors() || (*strict && len(rep.Diags) > 0)) {
+			exit = 1
+		}
+	}
+	return exit
+}
+
+func vetOne(path string, stdin io.Reader) (check.Report, error) {
+	var r io.Reader
+	if path == "-" {
+		r = stdin
+	} else {
+		f, err := os.Open(path)
+		if err != nil {
+			return check.Report{}, err
+		}
+		defer f.Close()
+		r = f
+	}
+	p, _, err := solver.ReadLP(r)
+	if err != nil {
+		return check.Report{}, err
+	}
+	return p.RunCheck(), nil
+}

@@ -1,0 +1,128 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const cleanLP = `Maximize
+ obj: b0 + b1
+Subject To
+ c0: b0 + b1 >= 1
+Binary
+ b0 b1
+End
+`
+
+// infeasibleLP: sum over the same pair bounded >= 2 and <= 1.
+const infeasibleLP = `Maximize
+ obj: b0
+Subject To
+ c0: b0 + b1 >= 2
+ c1: b0 + b1 <= 1
+Binary
+ b0 b1
+End
+`
+
+// warnOnlyLP: a duplicated, trivially true constraint (warnings, no
+// errors) plus an unreachable variable b2.
+const warnOnlyLP = `Maximize
+ obj: b0
+Subject To
+ c0: b0 + b1 >= 0
+ c1: b0 + b1 >= 0
+Binary
+ b0 b1 b2
+End
+`
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func runVet(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errBuf bytes.Buffer
+	code = run(args, strings.NewReader(""), &out, &errBuf)
+	return code, out.String(), errBuf.String()
+}
+
+func TestVetClean(t *testing.T) {
+	code, out, _ := runVet(t, writeTemp(t, "clean.lp", cleanLP))
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0; output:\n%s", code, out)
+	}
+	if out != "" {
+		t.Fatalf("clean store produced output: %q", out)
+	}
+}
+
+func TestVetInfeasible(t *testing.T) {
+	code, out, _ := runVet(t, writeTemp(t, "bad.lp", infeasibleLP))
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; output:\n%s", code, out)
+	}
+	if !strings.Contains(out, "ERROR") {
+		t.Fatalf("no ERROR diagnostic in output:\n%s", out)
+	}
+}
+
+func TestVetWarningsOnlyAndStrict(t *testing.T) {
+	path := writeTemp(t, "warn.lp", warnOnlyLP)
+	code, out, _ := runVet(t, path)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0 for warnings without -strict; output:\n%s", code, out)
+	}
+	if !strings.Contains(out, "WARNING") {
+		t.Fatalf("expected WARNING diagnostics in output:\n%s", out)
+	}
+	code, _, _ = runVet(t, "-strict", path)
+	if code != 1 {
+		t.Fatalf("-strict exit = %d, want 1", code)
+	}
+}
+
+func TestVetStdinAndJSON(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	code := run([]string{"-json", "-"}, strings.NewReader(infeasibleLP), &out, &errBuf)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 (stderr: %s)", code, errBuf.String())
+	}
+	if !strings.Contains(out.String(), `"code"`) || !strings.Contains(out.String(), `"diags"`) {
+		t.Fatalf("JSON output missing fields:\n%s", out.String())
+	}
+}
+
+func TestVetBadInput(t *testing.T) {
+	code, _, stderr := runVet(t, writeTemp(t, "garbage.lp", "this is not an LP file\n"))
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "licmvet:") {
+		t.Fatalf("no error message on stderr: %q", stderr)
+	}
+	if code, _, _ := runVet(t, filepath.Join(t.TempDir(), "missing.lp")); code != 2 {
+		t.Fatalf("missing file: exit = %d, want 2", code)
+	}
+}
+
+func TestVetMixedInputs(t *testing.T) {
+	clean := writeTemp(t, "clean.lp", cleanLP)
+	bad := writeTemp(t, "bad.lp", infeasibleLP)
+	code, out, _ := runVet(t, clean, bad)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; output:\n%s", code, out)
+	}
+	if !strings.Contains(out, filepath.Base(bad)) {
+		t.Fatalf("diagnostics not attributed to the failing input:\n%s", out)
+	}
+}

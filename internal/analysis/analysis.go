@@ -1,0 +1,107 @@
+// Package analysis is a minimal, dependency-free reimplementation of
+// the go/analysis vocabulary (Analyzer, Pass, Diagnostic) plus a
+// package loader, just large enough to host this repository's custom
+// lints (floatcmp, obsnil, atomiccounter — see their files for what
+// they enforce and why the solver needs them).
+//
+// golang.org/x/tools is deliberately not imported: the module has no
+// external dependencies, and the subset of the framework these
+// analyzers need — parsed files, full type information and a reporting
+// channel — is small. Packages are typechecked from source; their
+// imports are satisfied from the compiler's export data, located by
+// shelling out to `go list -deps -export` (see load.go).
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer is one lint: a name, a documentation string, and a Run
+// function invoked once per package.
+type Analyzer struct {
+	// Name identifies the analyzer in reports and on the licmlint
+	// command line.
+	Name string
+	// Doc is a one-paragraph description, shown by licmlint -help.
+	Doc string
+	// Run inspects one package and reports findings through the pass.
+	Run func(*Pass) error
+}
+
+// Pass carries one package's syntax and type information to an
+// analyzer's Run function.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	report func(Diagnostic)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding, already resolved to a file position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s [%s]", d.Pos, d.Message, d.Analyzer)
+}
+
+// Run applies every analyzer to every package and returns the
+// accumulated diagnostics sorted by file position. A failing analyzer
+// aborts with its error (analyzer bugs should be loud, not silently
+// produce a clean report).
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+				report:    func(d Diagnostic) { diags = append(diags, d) },
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %v", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags, nil
+}
+
+// All returns the repository's analyzers in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{FloatCmp, ObsNil, AtomicCounter}
+}

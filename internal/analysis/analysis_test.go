@@ -1,0 +1,115 @@
+package analysis
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestAnalyzersOnFixtures loads the lintme fixture module and checks
+// the analyzers' findings against the `// want "substr"` markers in
+// the fixture sources, in both directions: every marker must be hit
+// and every finding must be expected.
+func TestAnalyzersOnFixtures(t *testing.T) {
+	dir, err := filepath.Abs(filepath.Join("testdata", "src", "lintme"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := Load(dir, "./...")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) != 3 {
+		t.Fatalf("loaded %d packages, want 3", len(pkgs))
+	}
+	diags, err := Run(pkgs, All())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+
+	wants, err := collectWants(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	matched := make([]bool, len(wants))
+	for _, d := range diags {
+		ok := false
+		for i, w := range wants {
+			if !matched[i] && w.file == d.Pos.Filename && w.line == d.Pos.Line &&
+				strings.Contains(d.Message, w.substr) {
+				matched[i] = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected finding: %s", d)
+		}
+	}
+	for i, w := range wants {
+		if !matched[i] {
+			t.Errorf("missing finding at %s:%d matching %q", w.file, w.line, w.substr)
+		}
+	}
+}
+
+// TestAnalyzersCleanOnRepo is the self-test the CI step relies on:
+// the production packages with analyzer-relevant invariants must lint
+// clean.
+func TestAnalyzersCleanOnRepo(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := Load(root, "./internal/obs", "./internal/simplex", "./internal/prior", "./internal/solver")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	diags, err := Run(pkgs, All())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("repo not lint-clean: %s", d)
+	}
+}
+
+type want struct {
+	file   string
+	line   int
+	substr string
+}
+
+var wantRE = regexp.MustCompile(`// want "([^"]*)"`)
+
+func collectWants(dir string) ([]want, error) {
+	var wants []want
+	err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		sc := bufio.NewScanner(f)
+		for line := 1; sc.Scan(); line++ {
+			if m := wantRE.FindStringSubmatch(sc.Text()); m != nil {
+				wants = append(wants, want{file: path, line: line, substr: m[1]})
+			}
+		}
+		return sc.Err()
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(wants) == 0 {
+		return nil, fmt.Errorf("no want markers found under %s", dir)
+	}
+	return wants, nil
+}

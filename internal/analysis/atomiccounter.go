@@ -1,0 +1,95 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AtomicCounter enforces encapsulation of atomic state: a struct
+// field whose type comes from sync/atomic (atomic.Int64, atomic.Bool,
+// …, or an array of them) may only be accessed from methods of the
+// struct that declares it.
+//
+// The obs counters and the solver's cancellation/progress control
+// block are mutated from multiple goroutines; their invariants (the
+// nil-receiver no-op contract, monotonicity, the pairing of a counter
+// with its histogram) hold only while every load and store goes
+// through the owning type's methods. A stray `reg.counters["x"].v`
+// from another file compiles fine and silently bypasses them.
+var AtomicCounter = &Analyzer{
+	Name: "atomiccounter",
+	Doc: "fields of sync/atomic type may be touched only by methods " +
+		"of the struct that owns them",
+	Run: runAtomicCounter,
+}
+
+func runAtomicCounter(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			owner := receiverNamed(pass.TypesInfo, fd)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				s := pass.TypesInfo.Selections[sel]
+				if s == nil || s.Kind() != types.FieldVal || !atomicBearing(s.Obj().Type()) {
+					return true
+				}
+				holder := namedBase(s.Recv())
+				if holder == nil || holder == owner {
+					return true
+				}
+				where := "a function"
+				if owner != nil {
+					where = "a method of " + owner.Obj().Name()
+				}
+				pass.Reportf(sel.Sel.Pos(),
+					"atomic field %s.%s accessed from %s; only %s methods may touch it",
+					holder.Obj().Name(), s.Obj().Name(), where, holder.Obj().Name())
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// atomicBearing reports whether t is a sync/atomic type or an array
+// of one.
+func atomicBearing(t types.Type) bool {
+	if arr, ok := t.Underlying().(*types.Array); ok {
+		return atomicBearing(arr.Elem())
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	pkg := n.Obj().Pkg()
+	return pkg != nil && pkg.Path() == "sync/atomic"
+}
+
+// namedBase strips pointers off t and returns the named type, if any.
+func namedBase(t types.Type) *types.Named {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// receiverNamed returns the named type of fd's receiver, or nil for a
+// plain function.
+func receiverNamed(info *types.Info, fd *ast.FuncDecl) *types.Named {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return nil
+	}
+	tv, ok := info.Types[fd.Recv.List[0].Type]
+	if !ok {
+		return nil
+	}
+	return namedBase(tv.Type)
+}

@@ -1,0 +1,55 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+)
+
+// FloatCmp reports == and != between floating-point values anywhere
+// outside a file named tol.go.
+//
+// The simplex phase-1/phase-2 relaxation is the one place the solver
+// leaves exact int64 arithmetic, and its history of bugs is the usual
+// one: a comparison that was exact on the machine it was written on
+// and wrong after a refactor reorders the operations. The repo's rule
+// is that every float comparison must either use the eps-based
+// helpers or live in tol.go, where the exact-comparison helpers are
+// defined once, with the argument for their exactness next to them.
+var FloatCmp = &Analyzer{
+	Name: "floatcmp",
+	Doc: "flag ==/!= on floating-point operands outside tol.go; " +
+		"use the tolerance helpers (internal/simplex/tol.go) instead",
+	Run: runFloatCmp,
+}
+
+func runFloatCmp(pass *Pass) error {
+	for _, file := range pass.Files {
+		if filepath.Base(pass.Fset.Position(file.Pos()).Filename) == "tol.go" {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if isFloat(pass.TypesInfo, be.X) || isFloat(pass.TypesInfo, be.Y) {
+				pass.Reportf(be.OpPos,
+					"floating-point %s comparison; use a tol.go helper (exact) or an eps tolerance",
+					be.Op)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func isFloat(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

@@ -1,0 +1,177 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one loaded, typechecked package.
+type Package struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listedPkg is the subset of `go list -json` output the loader needs.
+type listedPkg struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+	Error      *struct{ Err string }
+}
+
+// Load typechecks the packages matching patterns in the module rooted
+// at (or containing) dir. Only non-test GoFiles are loaded — the
+// analyzers enforce invariants on production code, and skipping test
+// files keeps the dependency closure to what `go list -deps` of the
+// library code exports.
+//
+// The loader works offline and without golang.org/x/tools: one
+// `go list -deps -export -json` invocation both compiles export data
+// for every dependency (into the build cache) and reports where each
+// file landed; the targets are then parsed and typechecked from source
+// with an importer that reads that export data.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	// Targets are the non-standard packages matching the patterns; the
+	// -deps listing includes the whole closure, so resolve the pattern
+	// set with a second, cheap `go list`.
+	targetPaths, err := goListPaths(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(listed))
+	byPath := make(map[string]*listedPkg, len(listed))
+	for _, p := range listed {
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		byPath[p.ImportPath] = p
+	}
+
+	fset := token.NewFileSet()
+	lookup := func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	imp := importer.ForCompiler(fset, "gc", lookup)
+
+	var pkgs []*Package
+	for _, path := range targetPaths {
+		lp, ok := byPath[path]
+		if !ok {
+			return nil, fmt.Errorf("package %s missing from go list -deps output", path)
+		}
+		if len(lp.GoFiles) == 0 {
+			continue
+		}
+		var files []*ast.File
+		for _, name := range lp.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+		}
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Implicits:  make(map[ast.Node]types.Object),
+			Scopes:     make(map[ast.Node]*types.Scope),
+		}
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(path, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("typecheck %s: %v", path, err)
+		}
+		pkgs = append(pkgs, &Package{
+			Path:  path,
+			Fset:  fset,
+			Files: files,
+			Types: tpkg,
+			Info:  info,
+		})
+	}
+	return pkgs, nil
+}
+
+// goList runs `go list -deps -export -json` and decodes the stream.
+func goList(dir string, patterns []string) ([]*listedPkg, error) {
+	args := append([]string{"list", "-deps", "-export", "-json"}, patterns...)
+	out, err := runGo(dir, args)
+	if err != nil {
+		return nil, err
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	var pkgs []*listedPkg
+	for {
+		p := new(listedPkg)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// goListPaths resolves patterns to import paths.
+func goListPaths(dir string, patterns []string) ([]string, error) {
+	out, err := runGo(dir, append([]string{"list"}, patterns...))
+	if err != nil {
+		return nil, err
+	}
+	var paths []string
+	for _, line := range strings.Split(string(out), "\n") {
+		if line = strings.TrimSpace(line); line != "" {
+			paths = append(paths, line)
+		}
+	}
+	return paths, nil
+}
+
+func runGo(dir string, args []string) ([]byte, error) {
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		msg := strings.TrimSpace(stderr.String())
+		if msg == "" {
+			msg = err.Error()
+		}
+		return nil, fmt.Errorf("go %s: %s", strings.Join(args, " "), msg)
+	}
+	return out, nil
+}

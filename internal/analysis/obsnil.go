@@ -1,0 +1,360 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ObsNil enforces the obs package's central contract: a nil *Tracer,
+// *Span, *Registry, *Counter, *Gauge or *Histogram is a valid no-op
+// value, so every exported pointer-receiver method on those types (in
+// a package named "obs") must be safe to call on a nil receiver.
+//
+// Sinks are deliberately outside the contract: a sink is supplied by
+// the caller and nil sinks are absorbed by Tracer.Enabled before any
+// sink method is reached, so sink implementations may assume a
+// non-nil receiver.
+//
+// Instrumented code all over the solver calls these methods
+// unconditionally (`opts.Metrics.Counter("x").Add(1)` with Metrics
+// possibly nil); one method that forgets its guard turns "tracing
+// off" into a crash — and only on the untraced path, which tests
+// rarely run. The analyzer accepts the idioms the package uses:
+//
+//   - a leading terminating guard: `if t == nil { return ... }`, or
+//     `if !t.Enabled() { return }` where Enabled is itself nil-safe
+//     (statements before the guard may not mention the receiver);
+//   - a `return t != nil && ...` expression (short-circuit protects
+//     the right operand);
+//   - wrapping receiver uses in `if t != nil { ... }`;
+//   - pure delegation to a nil-safe method: `c.Add(1)`,
+//     `snap := r.Snapshot()`.
+//
+// Unexported methods are classified (so delegation chains resolve)
+// but only exported methods are reported: unexported helpers like
+// Tracer.start are allowed to assume a non-nil receiver established
+// by their exported callers.
+var ObsNil = &Analyzer{
+	Name: "obsnil",
+	Doc: "exported pointer-receiver methods on obs instrument types " +
+		"must guard against a nil receiver before dereferencing it",
+	Run: runObsNil,
+}
+
+// nilContractTypes are the obs types whose nil pointer is documented
+// as a valid no-op instrument.
+var nilContractTypes = map[string]bool{
+	"Tracer":    true,
+	"Span":      true,
+	"Registry":  true,
+	"Counter":   true,
+	"Gauge":     true,
+	"Histogram": true,
+}
+
+func runObsNil(pass *Pass) error {
+	if pass.Pkg.Name() != "obs" {
+		return nil
+	}
+	c := &nilChecker{
+		pass:  pass,
+		decls: make(map[*types.Func]*ast.FuncDecl),
+		memo:  make(map[*types.Func]nilSafety),
+	}
+	var methods []*ast.FuncDecl
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil {
+				continue
+			}
+			if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				c.decls[fn] = fd
+				methods = append(methods, fd)
+			}
+		}
+	}
+	for _, fd := range methods {
+		if !fd.Name.IsExported() || !pointerReceiver(pass.TypesInfo, fd) {
+			continue
+		}
+		if named := receiverNamed(pass.TypesInfo, fd); named == nil || !nilContractTypes[named.Obj().Name()] {
+			continue
+		}
+		fn := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+		if c.nilSafe(fn) {
+			continue
+		}
+		pass.Reportf(fd.Name.Pos(),
+			"exported method %s may dereference a nil receiver: start with a nil guard or delegate to a guarded method (use at %s)",
+			fn.Name(), pass.Fset.Position(c.firstUnsafe[fn]))
+	}
+	return nil
+}
+
+type nilSafety int
+
+const (
+	safetyUnknown nilSafety = iota
+	safetyChecking
+	safetySafe
+	safetyUnsafe
+)
+
+type nilChecker struct {
+	pass        *Pass
+	decls       map[*types.Func]*ast.FuncDecl
+	memo        map[*types.Func]nilSafety
+	firstUnsafe map[*types.Func]token.Pos
+}
+
+// nilSafe reports whether calling fn on a nil receiver is safe.
+func (c *nilChecker) nilSafe(fn *types.Func) bool {
+	switch c.memo[fn] {
+	case safetySafe, safetyChecking:
+		// In-progress means mutual recursion; assume safe to break the
+		// cycle — an actual crash cycle would need an unguarded deref,
+		// which its own frame reports.
+		return true
+	case safetyUnsafe:
+		return false
+	}
+	c.memo[fn] = safetyChecking
+	ok := c.check(fn)
+	if ok {
+		c.memo[fn] = safetySafe
+	} else {
+		c.memo[fn] = safetyUnsafe
+	}
+	return ok
+}
+
+func (c *nilChecker) check(fn *types.Func) bool {
+	fd := c.decls[fn]
+	if fd == nil || fd.Body == nil {
+		return false // cross-package or bodyless: assume unsafe
+	}
+	if !pointerReceiver(c.pass.TypesInfo, fd) {
+		return true // value receiver: a nil pointer never reaches it
+	}
+	recv := receiverObject(c.pass.TypesInfo, fd)
+	if recv == nil {
+		return true // unnamed receiver cannot be dereferenced
+	}
+	m := &methodCheck{c: c, recv: recv}
+	// A leading terminating guard makes everything after it safe.
+	for _, st := range fd.Body.List {
+		if !m.mentionsRecv(st) {
+			continue
+		}
+		if ifs, ok := st.(*ast.IfStmt); ok && ifs.Init == nil &&
+			m.guardCond(ifs.Cond) && terminates(ifs.Body) {
+			return true
+		}
+		break
+	}
+	// Otherwise every receiver dereference must be individually
+	// protected (nil-comparison short-circuit, `if recv != nil` block,
+	// or delegation to a nil-safe method).
+	m.walk(fd.Body, false)
+	if m.unsafeAt.IsValid() {
+		if c.firstUnsafe == nil {
+			c.firstUnsafe = make(map[*types.Func]token.Pos)
+		}
+		c.firstUnsafe[fn] = m.unsafeAt
+		return false
+	}
+	return true
+}
+
+type methodCheck struct {
+	c        *nilChecker
+	recv     types.Object
+	unsafeAt token.Pos
+}
+
+func (m *methodCheck) isRecv(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && m.c.pass.TypesInfo.Uses[id] == m.recv
+}
+
+func (m *methodCheck) mentionsRecv(n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(x ast.Node) bool {
+		if id, ok := x.(*ast.Ident); ok && m.c.pass.TypesInfo.Uses[id] == m.recv {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// guardCond recognizes conditions that are false only when the
+// receiver is usable: `recv == nil`, `!recv.M()` for nil-safe M, and
+// `||` combinations thereof.
+func (m *methodCheck) guardCond(e ast.Expr) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.BinaryExpr:
+		if x.Op == token.LOR {
+			return m.guardCond(x.X) || m.guardCond(x.Y)
+		}
+		return x.Op == token.EQL && m.nilComparison(x)
+	case *ast.UnaryExpr:
+		return x.Op == token.NOT && m.nilSafeCall(x.X)
+	}
+	return false
+}
+
+// nilComparison reports whether e compares the receiver against nil.
+func (m *methodCheck) nilComparison(e *ast.BinaryExpr) bool {
+	isNil := func(x ast.Expr) bool {
+		id, ok := ast.Unparen(x).(*ast.Ident)
+		return ok && id.Name == "nil" && m.c.pass.TypesInfo.Uses[id] == types.Universe.Lookup("nil")
+	}
+	return (m.isRecv(e.X) && isNil(e.Y)) || (m.isRecv(e.Y) && isNil(e.X))
+}
+
+// nilSafeCall reports whether e is a call recv.M(...) with M nil-safe.
+func (m *methodCheck) nilSafeCall(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !m.isRecv(sel.X) {
+		return false
+	}
+	callee, ok := m.c.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	return ok && m.c.nilSafe(callee)
+}
+
+// nonNilConjunct reports whether e contains a `recv != nil` conjunct
+// at the top of a && chain (so code guarded by e sees a non-nil
+// receiver).
+func (m *methodCheck) nonNilConjunct(e ast.Expr) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.BinaryExpr:
+		if x.Op == token.LAND {
+			return m.nonNilConjunct(x.X) || m.nonNilConjunct(x.Y)
+		}
+		return x.Op == token.NEQ && m.nilComparison(x)
+	}
+	return false
+}
+
+// eqNilDisjunct: `recv == nil` at the top of a || chain (the else
+// branch, or the right operand, sees a non-nil receiver).
+func (m *methodCheck) eqNilDisjunct(e ast.Expr) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.BinaryExpr:
+		if x.Op == token.LOR {
+			return m.eqNilDisjunct(x.X) || m.eqNilDisjunct(x.Y)
+		}
+		return x.Op == token.EQL && m.nilComparison(x)
+	}
+	return false
+}
+
+// walk records the first unprotected receiver dereference under n.
+// protected means a dominating check already established the receiver
+// is non-nil.
+func (m *methodCheck) walk(n ast.Node, protected bool) {
+	if n == nil || m.unsafeAt.IsValid() {
+		return
+	}
+	ast.Inspect(n, func(x ast.Node) bool {
+		if m.unsafeAt.IsValid() {
+			return false
+		}
+		switch v := x.(type) {
+		case *ast.IfStmt:
+			if v.Init != nil {
+				m.walk(v.Init, protected)
+			}
+			m.walk(v.Cond, protected)
+			m.walk(v.Body, protected || m.nonNilConjunct(v.Cond))
+			if v.Else != nil {
+				m.walk(v.Else, protected || m.eqNilDisjunct(v.Cond))
+			}
+			return false
+		case *ast.BinaryExpr:
+			switch v.Op {
+			case token.LAND:
+				m.walk(v.X, protected)
+				m.walk(v.Y, protected || m.nonNilConjunct(v.X))
+				return false
+			case token.LOR:
+				m.walk(v.X, protected)
+				m.walk(v.Y, protected || m.eqNilDisjunct(v.X))
+				return false
+			case token.EQL, token.NEQ:
+				if m.nilComparison(v) {
+					return false // comparing recv to nil is always safe
+				}
+			}
+		case *ast.CallExpr:
+			if !protected && m.nilSafeCall(v) {
+				for _, a := range v.Args {
+					m.walk(a, protected)
+				}
+				return false
+			}
+		case *ast.SelectorExpr:
+			if !protected && m.isRecv(v.X) {
+				m.unsafeAt = v.Sel.Pos()
+				return false
+			}
+		case *ast.StarExpr:
+			if !protected && m.isRecv(v.X) {
+				m.unsafeAt = v.Star
+				return false
+			}
+		case *ast.IndexExpr:
+			if !protected && m.isRecv(v.X) {
+				m.unsafeAt = v.Lbrack
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// terminates reports whether a block always transfers control out
+// (return, panic, or an unlabeled branch statement at its end).
+func terminates(b *ast.BlockStmt) bool {
+	if b == nil || len(b.List) == 0 {
+		return false
+	}
+	switch last := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func pointerReceiver(info *types.Info, fd *ast.FuncDecl) bool {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return false
+	}
+	tv, ok := info.Types[fd.Recv.List[0].Type]
+	if !ok {
+		return false
+	}
+	_, isPtr := tv.Type.(*types.Pointer)
+	return isPtr
+}
+
+func receiverObject(info *types.Info, fd *ast.FuncDecl) types.Object {
+	names := fd.Recv.List[0].Names
+	if len(names) == 0 || names[0].Name == "_" {
+		return nil
+	}
+	return info.Defs[names[0]]
+}

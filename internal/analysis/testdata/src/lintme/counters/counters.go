@@ -1,0 +1,43 @@
+// Package counters is an atomiccounter fixture: atomic struct fields
+// accessed outside the owning type's methods must be reported.
+package counters
+
+import "sync/atomic"
+
+type Stats struct {
+	hits   atomic.Int64
+	shards [4]atomic.Int64
+	name   string
+}
+
+// Hit is a method of Stats: direct atomic field access is allowed.
+func (s *Stats) Hit(shard int) {
+	s.hits.Add(1)
+	s.shards[shard].Add(1)
+}
+
+// Total is also fine.
+func (s *Stats) Total() int64 { return s.hits.Load() }
+
+// Name touches a non-atomic field from a method; never reported.
+func (s *Stats) Name() string { return s.name }
+
+// Reset is a free function reaching into the atomic field.
+func Reset(s *Stats) {
+	s.hits.Store(0) // want "atomic field Stats.hits accessed from a function"
+}
+
+type wrapper struct{ st *Stats }
+
+// Drain is a method of another type touching Stats internals.
+func (w *wrapper) Drain() int64 {
+	return w.st.hits.Load() // want "atomic field Stats.hits accessed from a method of wrapper"
+}
+
+// PeekShards reads the atomic array field from outside.
+func PeekShards(s *Stats) int64 {
+	return s.shards[0].Load() // want "atomic field Stats.shards accessed from a function"
+}
+
+// NameOf reads a plain field from outside; not reported.
+func NameOf(s *Stats) string { return s.name }

@@ -1,0 +1,40 @@
+// Package floats is a floatcmp fixture: every comparison marked
+// "want" below must be reported, everything else must not.
+package floats
+
+type vec struct{ x, y float64 }
+
+func Bad(a, b float64) bool {
+	return a == b // want "floating-point == comparison"
+}
+
+func BadNeq(a float32, b float32) bool {
+	return a != b // want "floating-point != comparison"
+}
+
+func BadLiteral(a float64) bool {
+	return a == 0.5 // want "floating-point == comparison"
+}
+
+func BadField(v vec) bool {
+	return v.x != v.y // want "floating-point != comparison"
+}
+
+func BadNamed() bool {
+	type temp float64
+	var t temp
+	return t == 1 // want "floating-point == comparison"
+}
+
+func GoodInt(a, b int) bool       { return a == b }
+func GoodString(a, b string) bool { return a == b }
+
+func GoodOrdered(a, b float64) bool { return a < b || a > b }
+
+func GoodEps(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < 1e-9
+}

@@ -1,0 +1,5 @@
+package floats
+
+// tol.go is exempt from floatcmp: exact comparisons are allowed here.
+
+func exactlyZero(v float64) bool { return v == 0 }

@@ -1,0 +1,96 @@
+// Package obs is an obsnil fixture mirroring the real obs package's
+// shapes: guarded methods in their several idioms, delegation chains,
+// and methods that forget the guard.
+package obs
+
+// Tracer is a nil-contract type (the analyzer keys on the name).
+type Tracer struct {
+	sink  func(string)
+	count int64
+}
+
+// Enabled uses the short-circuit return idiom.
+func (t *Tracer) Enabled() bool { return t != nil && t.sink != nil }
+
+// Emit delegates to a guarded unexported helper.
+func (t *Tracer) Emit(name string) { t.emit(name) }
+
+func (t *Tracer) emit(name string) {
+	if !t.Enabled() {
+		return
+	}
+	t.count++
+	t.sink(name)
+}
+
+// BadDirect dereferences with no guard at all.
+func (t *Tracer) BadDirect(name string) { // want "BadDirect may dereference a nil receiver"
+	t.sink(name)
+}
+
+// BadLateGuard dereferences before its guard.
+func (t *Tracer) BadLateGuard() int64 { // want "BadLateGuard may dereference a nil receiver"
+	n := t.count
+	if t == nil {
+		return 0
+	}
+	return n
+}
+
+// GoodLateGuard's guard is not the first statement, but no receiver
+// use precedes it.
+func (t *Tracer) GoodLateGuard() int64 {
+	total := int64(0)
+	if t == nil {
+		return total
+	}
+	return total + t.count
+}
+
+// GoodWrapped wraps every use in a non-nil check.
+func (t *Tracer) GoodWrapped(name string) {
+	if t != nil {
+		t.sink(name)
+	}
+}
+
+// BadWrongGuard guards the wrong branch.
+func (t *Tracer) BadWrongGuard(name string) { // want "BadWrongGuard may dereference a nil receiver"
+	if t == nil {
+		t.sink(name)
+	}
+}
+
+// Counter is also a nil-contract type.
+type Counter struct{ v int64 }
+
+// Add has the classic wrap guard.
+func (c *Counter) Add(d int64) {
+	if c != nil {
+		c.v += d
+	}
+}
+
+// Inc delegates to the guarded Add.
+func (c *Counter) Inc() { c.Add(1) }
+
+// BadInc delegates to an unguarded helper.
+func (c *Counter) BadInc() { // want "BadInc may dereference a nil receiver"
+	c.bump()
+}
+
+func (c *Counter) bump() { c.v++ }
+
+// Value guards with an early return.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
+
+// Sink is NOT a nil-contract type: unguarded methods are fine.
+type Sink struct{ out []string }
+
+// Push has no guard and must not be reported.
+func (s *Sink) Push(line string) { s.out = append(s.out, line) }

@@ -1,0 +1,469 @@
+package check
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"licm/internal/expr"
+)
+
+// Store is the neutral view of a constraint store that the pass
+// analyzes. Both solver.Problem and core.DB project onto it.
+type Store struct {
+	// NumVars is the number of binary variables; ids are 0..NumVars-1.
+	NumVars int
+	// Constraints is the constraint set C.
+	Constraints []expr.Constraint
+	// Objective is optional; an expression with no terms is treated as
+	// "no objective" (variable-reachability findings then consider
+	// constraint membership only).
+	Objective expr.Lin
+	// Derived optionally marks lineage variables, which must be tied
+	// to their arguments by at least one defining constraint.
+	Derived []bool
+}
+
+// Analysis limits. They bound the work per constraint to a constant,
+// keeping the whole pass linear in the store size.
+const (
+	// maskSetLimit is the largest variable-set size for which the pass
+	// computes the exact joint feasibility of the set's constraints by
+	// enumerating all 2^n activations of that set (n <= 8: at most 256
+	// evaluations per constraint).
+	maskSetLimit = 8
+	// overflowBudget is the activation-magnitude threshold above which
+	// int64 evaluation of an expression is considered overflow-prone;
+	// such constraints get W105 and are excluded from the sound
+	// analyses (whose arithmetic must not wrap).
+	overflowBudget = math.MaxInt64 / 4
+	// coefSmellAbs flags coefficients far beyond anything the paper's
+	// binary encodings produce (they are bounded by group sizes).
+	coefSmellAbs = int64(1) << 40
+	// maxListedVars truncates Vars lists on aggregate diagnostics.
+	maxListedVars = 16
+)
+
+// Check runs every diagnostic over the store. The returned report
+// lists errors first; see the package comment and CHECKS.md for the
+// soundness contract per code.
+func Check(s Store) Report {
+	var diags []Diagnostic
+
+	if d, ok := structural(s); !ok {
+		return Report{Diags: []Diagnostic{d}}
+	}
+
+	inCons := make([]bool, s.NumVars)
+	risky := make([]bool, len(s.Constraints)) // overflow-prone; excluded from sound analyses
+	buckets := make(map[string]*bucket)
+	var order []string
+	seen := make(map[string]int) // full-constraint key -> first index
+
+	for i, c := range s.Constraints {
+		for _, t := range c.Lin.Terms() {
+			inCons[t.Var] = true
+		}
+
+		if mag := activationMagnitude(c.Lin) + abs64(c.RHS); mag > overflowBudget || mag < 0 {
+			risky[i] = true
+			diags = append(diags, Diagnostic{
+				Code: CodeOverflowRisk, Severity: SevWarning,
+				Message: fmt.Sprintf("constraint c%d: coefficient magnitudes risk int64 overflow during evaluation", i),
+				Cons:    []int{i},
+			})
+		}
+		// flagged: this constraint alone already proves infeasibility;
+		// keep it out of the cross-constraint buckets so the same root
+		// cause is not reported twice.
+		flagged := false
+		if !risky[i] {
+			if d, ok := smell(i, c); ok {
+				diags = append(diags, d)
+			}
+			if c.Infeasible() {
+				flagged = true
+				lo, hi := c.Lin.Bounds()
+				diags = append(diags, Diagnostic{
+					Code: CodeInfeasibleCon, Severity: SevError,
+					Message: fmt.Sprintf("constraint c%d (%s) is infeasible: achievable LHS range is [%d, %d]", i, c, lo, hi),
+					Cons:    []int{i},
+					Vars:    truncVars(termVars(c.Lin)),
+				})
+			} else if c.Trivial() {
+				diags = append(diags, Diagnostic{
+					Code: CodeRedundant, Severity: SevWarning,
+					Message: fmt.Sprintf("constraint c%d (%s) holds for every 0/1 assignment", i, c),
+					Cons:    []int{i},
+				})
+			} else if d, ok := divisibility(i, c); ok {
+				flagged = true
+				diags = append(diags, d)
+			}
+		}
+
+		key := conKey(c)
+		if first, dup := seen[key]; dup {
+			diags = append(diags, Diagnostic{
+				Code: CodeDuplicate, Severity: SevWarning,
+				Message: fmt.Sprintf("constraint c%d (%s) duplicates c%d exactly", i, c, first),
+				Cons:    []int{first, i},
+			})
+		} else {
+			seen[key] = i
+		}
+
+		if c.Lin.Len() > 0 && !risky[i] && !flagged {
+			sk := setKey(c.Lin)
+			b := buckets[sk]
+			if b == nil {
+				b = &bucket{vars: termVars(c.Lin)}
+				buckets[sk] = b
+				order = append(order, sk)
+			}
+			b.add(i, c)
+		}
+	}
+
+	for _, sk := range order {
+		diags = append(diags, buckets[sk].analyze(s.Constraints)...)
+	}
+
+	diags = append(diags, varFindings(s, inCons)...)
+
+	sortDiags(diags)
+	return Report{Diags: diags}
+}
+
+// structural verifies the store is analyzable: variable ids in range
+// and expressions normalized (sorted by variable, no duplicate or
+// zero-coefficient terms). A malformed store yields a single C000.
+func structural(s Store) (Diagnostic, bool) {
+	bad := func(msg string, args ...any) (Diagnostic, bool) {
+		return Diagnostic{
+			Code: CodeMalformed, Severity: SevError,
+			Message: fmt.Sprintf(msg, args...),
+		}, false
+	}
+	if s.NumVars < 0 {
+		return bad("store has negative NumVars (%d)", s.NumVars)
+	}
+	if s.Derived != nil && len(s.Derived) != s.NumVars {
+		return bad("Derived has length %d but the store has %d variables", len(s.Derived), s.NumVars)
+	}
+	checkLin := func(l expr.Lin, what string) (Diagnostic, bool) {
+		prev := expr.Var(-1)
+		for _, t := range l.Terms() {
+			if t.Var < 0 || int(t.Var) >= s.NumVars {
+				return bad("%s references variable b%d outside [0,%d)", what, t.Var, s.NumVars)
+			}
+			if t.Coef == 0 {
+				return bad("%s has a zero-coefficient term for b%d", what, t.Var)
+			}
+			if t.Var == prev {
+				return bad("%s has duplicate terms for b%d", what, t.Var)
+			}
+			if t.Var < prev {
+				return bad("%s terms are not sorted by variable id", what)
+			}
+			prev = t.Var
+		}
+		return Diagnostic{}, true
+	}
+	if d, ok := checkLin(s.Objective, "objective"); !ok {
+		return d, false
+	}
+	for i, c := range s.Constraints {
+		if d, ok := checkLin(c.Lin, fmt.Sprintf("constraint c%d", i)); !ok {
+			return d, false
+		}
+	}
+	return Diagnostic{}, true
+}
+
+// divisibility reports an equality whose left-hand side can only take
+// multiples of g while the right-hand side is not one.
+func divisibility(i int, c expr.Constraint) (Diagnostic, bool) {
+	if c.Op != expr.EQ || c.Lin.Len() == 0 {
+		return Diagnostic{}, false
+	}
+	g := int64(0)
+	for _, t := range c.Lin.Terms() {
+		g = gcd64(g, abs64(t.Coef))
+	}
+	rhs := c.RHS - c.Lin.Const()
+	if g > 1 && rhs%g != 0 {
+		return Diagnostic{
+			Code: CodeDivisibility, Severity: SevError,
+			Message: fmt.Sprintf("constraint c%d (%s) is infeasible: the LHS is always a multiple of %d, the RHS is not", i, c, g),
+			Cons:    []int{i},
+			Vars:    truncVars(termVars(c.Lin)),
+		}, true
+	}
+	return Diagnostic{}, false
+}
+
+// smell flags coefficients far outside the binary-encoding range.
+func smell(i int, c expr.Constraint) (Diagnostic, bool) {
+	for _, t := range c.Lin.Terms() {
+		if abs64(t.Coef) >= coefSmellAbs {
+			return Diagnostic{
+				Code: CodeCoefSmell, Severity: SevWarning,
+				Message: fmt.Sprintf("constraint c%d: coefficient %d of b%d is far outside the range binary encodings produce; suspected encoding error", i, t.Coef, t.Var),
+				Cons:    []int{i},
+				Vars:    []expr.Var{t.Var},
+			}, true
+		}
+	}
+	return Diagnostic{}, false
+}
+
+// bucket groups the constraints sharing one exact variable set.
+type bucket struct {
+	vars []expr.Var
+	cons []int
+	cs   []expr.Constraint
+
+	// Count interval implied by the unit-coefficient members:
+	// lo <= sum(vars) <= hi, with the constraint indices that set each
+	// side (-1 when the side is still the trivial 0/n bound).
+	lo, hi     int64
+	loC, hiC   int
+	unitMember bool
+}
+
+func (b *bucket) add(i int, c expr.Constraint) {
+	if len(b.cons) == 0 {
+		b.lo, b.hi = 0, int64(len(b.vars))
+		b.loC, b.hiC = -1, -1
+	}
+	b.cons = append(b.cons, i)
+	b.cs = append(b.cs, c)
+	if !allUnit(c.Lin) {
+		return
+	}
+	b.unitMember = true
+	rhs := c.RHS - c.Lin.Const()
+	set := func(side *int64, idx *int, v int64, tighter func(int64, int64) bool) {
+		if tighter(v, *side) {
+			*side = v
+			*idx = i
+		}
+	}
+	switch c.Op {
+	case expr.GE:
+		set(&b.lo, &b.loC, rhs, func(a, b int64) bool { return a > b })
+	case expr.LE:
+		set(&b.hi, &b.hiC, rhs, func(a, b int64) bool { return a < b })
+	case expr.EQ:
+		set(&b.lo, &b.loC, rhs, func(a, b int64) bool { return a > b })
+		set(&b.hi, &b.hiC, rhs, func(a, b int64) bool { return a < b })
+	}
+}
+
+// analyze emits the cross-constraint findings for the bucket:
+// contradictory count bounds (C002) from the unit-coefficient
+// interval, and exact joint unsatisfiability (C003) for small sets.
+func (b *bucket) analyze(all []expr.Constraint) []Diagnostic {
+	var diags []Diagnostic
+	if b.unitMember && b.lo > b.hi && len(b.cons) >= 2 {
+		wit := witnesses(b.loC, b.hiC, b.cons)
+		diags = append(diags, Diagnostic{
+			Code: CodeBoundClash, Severity: SevError,
+			Message: fmt.Sprintf("contradictory cardinality bounds over {%s}: constraints demand at least %d and at most %d existing tuples",
+				varList(b.vars), b.lo, b.hi),
+			Cons: wit,
+			Vars: truncVars(b.vars),
+		})
+		return diags
+	}
+	if len(b.vars) > maskSetLimit {
+		return diags
+	}
+	// Exact joint check: AND together each constraint's satisfied-
+	// assignment bitset over the 2^n activations of the set. Constant
+	// work per constraint (n <= maskSetLimit). Individually-infeasible
+	// constraints never reach the bucket, so an empty intersection here
+	// is a genuinely cross-constraint (or parity-style) contradiction
+	// — e.g. a mutex against a co-existence over the same pair, or
+	// 2*b0 + 3*b1 = 1.
+	n := len(b.vars)
+	live := make([]uint64, (1<<uint(n)+63)/64)
+	for i := range live {
+		live[i] = math.MaxUint64
+	}
+	for _, c := range b.cs {
+		for a := 0; a < 1<<uint(n); a++ {
+			if !holdsActivation(c, b.vars, uint64(a)) {
+				live[a/64] &^= 1 << uint(a%64)
+			}
+		}
+	}
+	any := uint64(0)
+	for a := 0; a < 1<<uint(n); a++ {
+		any |= live[a/64] & (1 << uint(a%64))
+	}
+	if any == 0 {
+		diags = append(diags, Diagnostic{
+			Code: CodeGroupUnsat, Severity: SevError,
+			Message: fmt.Sprintf("the %d constraint(s) over {%s} admit no joint 0/1 assignment", len(b.cons), varList(b.vars)),
+			Cons:    append([]int(nil), b.cons...),
+			Vars:    truncVars(b.vars),
+		})
+	}
+	return diags
+}
+
+func holdsActivation(c expr.Constraint, vars []expr.Var, a uint64) bool {
+	return c.Holds(func(v expr.Var) bool {
+		for i, bv := range vars {
+			if bv == v {
+				return a&(1<<uint(i)) != 0
+			}
+		}
+		return false
+	})
+}
+
+// varFindings emits the variable-level aggregates: unreachable
+// variables (W103) and dangling derived variables (W104).
+func varFindings(s Store, inCons []bool) []Diagnostic {
+	var diags []Diagnostic
+	inObj := make(map[expr.Var]bool, s.Objective.Len())
+	for _, t := range s.Objective.Terms() {
+		inObj[t.Var] = true
+	}
+	derived := func(v int) bool { return s.Derived != nil && s.Derived[v] }
+	var unreachable, dangling []expr.Var
+	for v := 0; v < s.NumVars; v++ {
+		switch {
+		case derived(v) && !inCons[v]:
+			dangling = append(dangling, expr.Var(v))
+		case !inCons[v] && !inObj[expr.Var(v)]:
+			unreachable = append(unreachable, expr.Var(v))
+		}
+	}
+	if len(dangling) > 0 {
+		diags = append(diags, Diagnostic{
+			Code: CodeDangling, Severity: SevWarning,
+			Message: fmt.Sprintf("%d derived variable(s) have no defining constraint (first: %s); their values are unconstrained instead of determined by lineage",
+				len(dangling), varList(truncVars(dangling))),
+			Vars: truncVars(dangling),
+		})
+	}
+	if len(unreachable) > 0 {
+		diags = append(diags, Diagnostic{
+			Code: CodeUnreachable, Severity: SevWarning,
+			Message: fmt.Sprintf("%d variable(s) appear in no constraint and not in the objective (first: %s)",
+				len(unreachable), varList(truncVars(unreachable))),
+			Vars: truncVars(unreachable),
+		})
+	}
+	// Objective overflow is the same hazard as constraint overflow.
+	if mag := activationMagnitude(s.Objective); mag > overflowBudget || mag < 0 {
+		diags = append(diags, Diagnostic{
+			Code: CodeOverflowRisk, Severity: SevWarning,
+			Message: "objective coefficient magnitudes risk int64 overflow during evaluation",
+		})
+	}
+	return diags
+}
+
+// activationMagnitude is sum(|coef|) + |const| with saturation; a
+// negative result signals saturation overflow.
+func activationMagnitude(l expr.Lin) int64 {
+	s := abs64(l.Const())
+	for _, t := range l.Terms() {
+		s += abs64(t.Coef)
+		if s < 0 {
+			return -1
+		}
+	}
+	return s
+}
+
+func allUnit(l expr.Lin) bool {
+	for _, t := range l.Terms() {
+		if t.Coef != 1 {
+			return false
+		}
+	}
+	return true
+}
+
+func witnesses(loC, hiC int, cons []int) []int {
+	var w []int
+	add := func(i int) {
+		if i < 0 {
+			return
+		}
+		for _, e := range w {
+			if e == i {
+				return
+			}
+		}
+		w = append(w, i)
+	}
+	add(loC)
+	add(hiC)
+	if len(w) == 0 {
+		w = append(w, cons...)
+	}
+	sort.Ints(w)
+	return w
+}
+
+func termVars(l expr.Lin) []expr.Var {
+	vs := make([]expr.Var, l.Len())
+	for i, t := range l.Terms() {
+		vs[i] = t.Var
+	}
+	return vs
+}
+
+func truncVars(vs []expr.Var) []expr.Var {
+	if len(vs) > maxListedVars {
+		vs = vs[:maxListedVars]
+	}
+	return append([]expr.Var(nil), vs...)
+}
+
+func varList(vs []expr.Var) string {
+	parts := make([]string, len(vs))
+	for i, v := range vs {
+		parts[i] = fmt.Sprintf("b%d", v)
+	}
+	return strings.Join(parts, ", ")
+}
+
+func setKey(l expr.Lin) string {
+	var sb strings.Builder
+	for _, t := range l.Terms() {
+		fmt.Fprintf(&sb, "%d,", t.Var)
+	}
+	return sb.String()
+}
+
+func conKey(c expr.Constraint) string {
+	var sb strings.Builder
+	for _, t := range c.Lin.Terms() {
+		fmt.Fprintf(&sb, "%d*%d,", t.Coef, t.Var)
+	}
+	fmt.Fprintf(&sb, "|%d|%d|%d", c.Lin.Const(), c.Op, c.RHS)
+	return sb.String()
+}
+
+func abs64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func gcd64(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}

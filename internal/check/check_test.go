@@ -1,0 +1,304 @@
+package check
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"licm/internal/expr"
+)
+
+func lin(terms ...expr.Term) expr.Lin { return expr.NewLin(0, terms...) }
+
+func t64(v expr.Var, c int64) expr.Term { return expr.Term{Var: v, Coef: c} }
+
+func codes(r Report) []Code {
+	cs := make([]Code, len(r.Diags))
+	for i, d := range r.Diags {
+		cs[i] = d.Code
+	}
+	return cs
+}
+
+func hasCode(r Report, c Code) bool {
+	for _, d := range r.Diags {
+		if d.Code == c {
+			return true
+		}
+	}
+	return false
+}
+
+func TestCleanStore(t *testing.T) {
+	// b0 + b1 >= 1 with objective b0 + b1: nothing to report.
+	s := Store{
+		NumVars: 2,
+		Constraints: []expr.Constraint{
+			expr.NewConstraint(expr.Sum(0, 1), expr.GE, 1),
+		},
+		Objective: expr.Sum(0, 1),
+	}
+	r := Check(s)
+	if len(r.Diags) != 0 {
+		t.Fatalf("clean store produced diagnostics: %v", r)
+	}
+	if r.HasErrors() || r.ProvenInfeasible() {
+		t.Fatal("clean store flagged")
+	}
+}
+
+func TestInfeasibleConstraint(t *testing.T) {
+	cases := []expr.Constraint{
+		expr.NewConstraint(expr.Sum(0, 1), expr.GE, 3),  // max achievable 2
+		expr.NewConstraint(expr.Sum(0, 1), expr.LE, -1), // min achievable 0
+		expr.NewConstraint(expr.Sum(0), expr.EQ, 2),
+		expr.NewConstraint(lin(t64(0, -2)), expr.GE, 1),
+	}
+	for _, c := range cases {
+		r := Check(Store{NumVars: 2, Constraints: []expr.Constraint{c}})
+		if !hasCode(r, CodeInfeasibleCon) {
+			t.Errorf("constraint %v: want C001, got %v", c, codes(r))
+		}
+		if !r.ProvenInfeasible() {
+			t.Errorf("constraint %v: not marked infeasible", c)
+		}
+	}
+}
+
+func TestBoundClash(t *testing.T) {
+	// sum >= 3 and sum <= 2 over the same 4-variable set — classic
+	// contradictory cardinality bounds. The set has more than 8
+	// variables? No: keep it above the mask limit to exercise the
+	// interval path specifically.
+	vars := make([]expr.Var, 12)
+	for i := range vars {
+		vars[i] = expr.Var(i)
+	}
+	s := Store{
+		NumVars: 12,
+		Constraints: []expr.Constraint{
+			expr.NewConstraint(expr.Sum(vars...), expr.GE, 7),
+			expr.NewConstraint(expr.Sum(vars...), expr.LE, 5),
+		},
+	}
+	r := Check(s)
+	if !hasCode(r, CodeBoundClash) {
+		t.Fatalf("want C002, got %v", codes(r))
+	}
+	var d Diagnostic
+	for _, x := range r.Diags {
+		if x.Code == CodeBoundClash {
+			d = x
+		}
+	}
+	if len(d.Cons) != 2 || d.Cons[0] != 0 || d.Cons[1] != 1 {
+		t.Fatalf("C002 witnesses = %v, want [0 1]", d.Cons)
+	}
+}
+
+func TestEqClash(t *testing.T) {
+	vars := []expr.Var{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	s := Store{
+		NumVars: 10,
+		Constraints: []expr.Constraint{
+			expr.NewConstraint(expr.Sum(vars...), expr.EQ, 3),
+			expr.NewConstraint(expr.Sum(vars...), expr.EQ, 4),
+		},
+	}
+	if r := Check(s); !r.ProvenInfeasible() {
+		t.Fatalf("conflicting equalities not flagged: %v", codes(r))
+	}
+}
+
+func TestMutexVsCoexist(t *testing.T) {
+	// b0 + b1 = 1 (mutex) against b0 - b1 = 0 (co-existence): no joint
+	// assignment. Caught by the exact small-set mask (C003).
+	s := Store{
+		NumVars: 2,
+		Constraints: []expr.Constraint{
+			expr.NewConstraint(expr.Sum(0, 1), expr.EQ, 1),
+			expr.NewConstraint(lin(t64(0, 1), t64(1, -1)), expr.EQ, 0),
+		},
+	}
+	r := Check(s)
+	if !hasCode(r, CodeGroupUnsat) {
+		t.Fatalf("want C003, got %v", codes(r))
+	}
+}
+
+func TestParitySingleConstraint(t *testing.T) {
+	// 2*b0 + 3*b1 = 1: interval [0,5] contains 1 and gcd(2,3)=1, so
+	// neither C001 nor C004 applies — the exact mask must catch it.
+	s := Store{
+		NumVars: 2,
+		Constraints: []expr.Constraint{
+			expr.NewConstraint(lin(t64(0, 2), t64(1, 3)), expr.EQ, 1),
+		},
+	}
+	r := Check(s)
+	if !r.ProvenInfeasible() {
+		t.Fatalf("parity-infeasible equality not flagged: %v", codes(r))
+	}
+}
+
+func TestDivisibility(t *testing.T) {
+	// 2*b0 + 2*b1 + 2*b2 + ... = odd over a large set (no mask).
+	terms := make([]expr.Term, 12)
+	for i := range terms {
+		terms[i] = t64(expr.Var(i), 2)
+	}
+	s := Store{
+		NumVars: 12,
+		Constraints: []expr.Constraint{
+			expr.NewConstraint(lin(terms...), expr.EQ, 7),
+		},
+	}
+	r := Check(s)
+	if !hasCode(r, CodeDivisibility) {
+		t.Fatalf("want C004, got %v", codes(r))
+	}
+}
+
+func TestRedundantAndDuplicate(t *testing.T) {
+	c := expr.NewConstraint(expr.Sum(0, 1), expr.GE, 1)
+	s := Store{
+		NumVars: 2,
+		Constraints: []expr.Constraint{
+			c,
+			expr.NewConstraint(expr.Sum(0, 1), expr.LE, 2), // always true
+			c, // exact duplicate of c0
+		},
+	}
+	r := Check(s)
+	if !hasCode(r, CodeRedundant) {
+		t.Errorf("want W101, got %v", codes(r))
+	}
+	if !hasCode(r, CodeDuplicate) {
+		t.Errorf("want W102, got %v", codes(r))
+	}
+	if r.HasErrors() {
+		t.Errorf("warnings-only store reported errors: %v", r)
+	}
+}
+
+func TestUnreachableAndDangling(t *testing.T) {
+	s := Store{
+		NumVars: 4,
+		Constraints: []expr.Constraint{
+			expr.NewConstraint(expr.Sum(0), expr.LE, 1),
+		},
+		Objective: expr.Sum(1),
+		Derived:   []bool{false, false, false, true},
+	}
+	// b0 constrained, b1 in objective, b2 unreachable, b3 derived with
+	// no defining constraint.
+	r := Check(s)
+	var unreach, dangling *Diagnostic
+	for i := range r.Diags {
+		switch r.Diags[i].Code {
+		case CodeUnreachable:
+			unreach = &r.Diags[i]
+		case CodeDangling:
+			dangling = &r.Diags[i]
+		}
+	}
+	if unreach == nil || len(unreach.Vars) != 1 || unreach.Vars[0] != 2 {
+		t.Errorf("W103 = %+v, want exactly b2", unreach)
+	}
+	if dangling == nil || len(dangling.Vars) != 1 || dangling.Vars[0] != 3 {
+		t.Errorf("W104 = %+v, want exactly b3", dangling)
+	}
+}
+
+func TestOverflowRisk(t *testing.T) {
+	huge := int64(math.MaxInt64 / 2)
+	s := Store{
+		NumVars: 2,
+		Constraints: []expr.Constraint{
+			expr.NewConstraint(lin(t64(0, huge), t64(1, huge)), expr.LE, 1),
+		},
+		Objective: lin(t64(0, huge), t64(1, huge)),
+	}
+	r := Check(s)
+	n := 0
+	for _, d := range r.Diags {
+		if d.Code == CodeOverflowRisk {
+			n++
+		}
+	}
+	if n != 2 { // one for the constraint, one for the objective
+		t.Fatalf("want 2 W105 findings, got %d in %v", n, codes(r))
+	}
+	// Overflow-prone constraints must not produce ERROR findings: the
+	// sound analyses cannot trust wrapped arithmetic.
+	if r.HasErrors() {
+		t.Fatalf("overflow-risk store wrongly marked infeasible: %v", r)
+	}
+}
+
+func TestCoefficientSmell(t *testing.T) {
+	s := Store{
+		NumVars: 2,
+		Constraints: []expr.Constraint{
+			expr.NewConstraint(lin(t64(0, 1<<41), t64(1, 1)), expr.LE, 1<<41),
+		},
+	}
+	if r := Check(s); !hasCode(r, CodeCoefSmell) {
+		t.Fatalf("want W106, got %v", codes(r))
+	}
+}
+
+func TestMalformedStore(t *testing.T) {
+	cases := []Store{
+		{NumVars: -1},
+		{NumVars: 1, Derived: []bool{true, false}},
+		{NumVars: 1, Constraints: []expr.Constraint{
+			{Lin: expr.Sum(5), Op: expr.LE, RHS: 1}, // b5 out of range
+		}},
+		{NumVars: 3, Constraints: []expr.Constraint{
+			{Lin: expr.RawLin(0, []expr.Term{{Var: 1, Coef: 1}, {Var: 1, Coef: 1}}), Op: expr.LE, RHS: 1},
+		}},
+		{NumVars: 3, Constraints: []expr.Constraint{
+			{Lin: expr.RawLin(0, []expr.Term{{Var: 1, Coef: 0}}), Op: expr.LE, RHS: 1},
+		}},
+		{NumVars: 3, Constraints: []expr.Constraint{
+			{Lin: expr.RawLin(0, []expr.Term{{Var: 2, Coef: 1}, {Var: 0, Coef: 1}}), Op: expr.LE, RHS: 1},
+		}},
+	}
+	for i, s := range cases {
+		r := Check(s)
+		if len(r.Diags) != 1 || r.Diags[0].Code != CodeMalformed {
+			t.Errorf("case %d: got %v, want exactly one C000", i, codes(r))
+		}
+		if r.ProvenInfeasible() {
+			t.Errorf("case %d: C000 must not claim infeasibility", i)
+		}
+	}
+}
+
+func TestReportRendering(t *testing.T) {
+	s := Store{
+		NumVars: 2,
+		Constraints: []expr.Constraint{
+			expr.NewConstraint(expr.Sum(0, 1), expr.GE, 3),
+		},
+	}
+	out := Check(s).String()
+	if !strings.Contains(out, "ERROR C001") || !strings.Contains(out, "c0") {
+		t.Fatalf("report rendering missing code or constraint: %q", out)
+	}
+}
+
+func TestErrorsSortFirst(t *testing.T) {
+	s := Store{
+		NumVars: 4,
+		Constraints: []expr.Constraint{
+			expr.NewConstraint(expr.Sum(0, 1), expr.LE, 2), // W101
+			expr.NewConstraint(expr.Sum(2, 3), expr.GE, 3), // C001
+		},
+	}
+	r := Check(s)
+	if len(r.Diags) < 2 || r.Diags[0].Severity != SevError {
+		t.Fatalf("errors not sorted first: %v", r)
+	}
+}

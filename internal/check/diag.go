@@ -1,0 +1,191 @@
+// Package check is a vet-style static diagnostics pass for LICM
+// constraint stores: a linear-time (no search) analysis over binary
+// integer linear constraints that reports proven infeasibilities,
+// likely-contradictory cardinality bounds, redundant or duplicated
+// constraints, dangling lineage variables, and overflow-prone
+// coefficients — before a store is handed to the optimizer.
+//
+// The motivating failure mode is a store produced by query
+// translation, anonymization, or hand construction whose defects
+// surface only as a confusing ErrInfeasible (or a silently wrong
+// bound) deep inside a long solve. The checks here are deliberately
+// cheap and sound: an ERROR-severity diagnostic proves the store is
+// infeasible (no 0/1 assignment satisfies the constraint set), while
+// WARNING diagnostics never change semantics — they flag smells that
+// are worth a look but are compatible with a feasible store.
+//
+// CHECKS.md catalogs every diagnostic code with a minimal triggering
+// example. The pass is wired in three places: the licmvet command
+// (standalone vetting of LP-format stores), solver.Options.Check
+// (an opt-in fast path that turns a proven-infeasible store into an
+// immediate ErrInfeasible with the diagnostics attached), and
+// core.DB.Check (vetting a database while operators build it up).
+package check
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"licm/internal/expr"
+)
+
+// Severity grades a diagnostic.
+type Severity uint8
+
+// Severities. SevError diagnostics are sound proofs of infeasibility
+// (except C000, which reports a malformed store that cannot be
+// analyzed at all); SevWarning diagnostics never change semantics.
+const (
+	SevInfo Severity = iota
+	SevWarning
+	SevError
+)
+
+// String returns the conventional upper-case name.
+func (s Severity) String() string {
+	switch s {
+	case SevInfo:
+		return "INFO"
+	case SevWarning:
+		return "WARNING"
+	case SevError:
+		return "ERROR"
+	default:
+		return fmt.Sprintf("Severity(%d)", int(s))
+	}
+}
+
+// Code identifies one kind of finding. C-codes are errors, W-codes
+// warnings; the numbering is stable and documented in CHECKS.md.
+type Code string
+
+// Diagnostic codes.
+const (
+	// CodeMalformed: the store is structurally invalid (out-of-range
+	// variable ids, non-normalized expressions) and was not analyzed.
+	// Unlike every other C-code it does not prove infeasibility.
+	CodeMalformed Code = "C000"
+	// CodeInfeasibleCon: a single constraint no 0/1 assignment can
+	// satisfy (activation-bound analysis: the min/max achievable LHS
+	// excludes the RHS).
+	CodeInfeasibleCon Code = "C001"
+	// CodeBoundClash: two cardinality constraints over the same
+	// variable set demand contradictory counts (e.g. sum >= k and
+	// sum <= k' with k' < k).
+	CodeBoundClash Code = "C002"
+	// CodeGroupUnsat: the constraints over one small variable set
+	// (at most 8 variables) admit no joint 0/1 assignment — e.g. a
+	// mutex and a co-existence constraint over the same pair.
+	CodeGroupUnsat Code = "C003"
+	// CodeDivisibility: an equality whose coefficients share a common
+	// divisor that does not divide the right-hand side.
+	CodeDivisibility Code = "C004"
+	// CodeRedundant: a constraint that holds for every 0/1 assignment.
+	CodeRedundant Code = "W101"
+	// CodeDuplicate: a constraint textually identical to an earlier one.
+	CodeDuplicate Code = "W102"
+	// CodeUnreachable: variables appearing in no constraint and not in
+	// the objective; they cannot influence any query answer.
+	CodeUnreachable Code = "W103"
+	// CodeDangling: derived (lineage) variables with no defining
+	// constraint; their value is unconstrained instead of determined.
+	CodeDangling Code = "W104"
+	// CodeOverflowRisk: coefficient magnitudes large enough that
+	// evaluating the expression could overflow int64.
+	CodeOverflowRisk Code = "W105"
+	// CodeCoefSmell: a coefficient far outside the range any of the
+	// paper's binary encodings produce; usually an encoding bug.
+	CodeCoefSmell Code = "W106"
+)
+
+// Diagnostic is one structured finding.
+type Diagnostic struct {
+	Code     Code       `json:"code"`
+	Severity Severity   `json:"severity"`
+	Message  string     `json:"message"`
+	Vars     []expr.Var `json:"vars,omitempty"` // involved variables (possibly truncated; the message carries totals)
+	Cons     []int      `json:"cons,omitempty"` // indices of involved constraints in the store
+}
+
+// String renders the diagnostic on one line, e.g.
+// "ERROR C002: ... (constraints c1, c4)".
+func (d Diagnostic) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s %s: %s", d.Severity, d.Code, d.Message)
+	if len(d.Cons) > 0 {
+		parts := make([]string, len(d.Cons))
+		for i, c := range d.Cons {
+			parts[i] = fmt.Sprintf("c%d", c)
+		}
+		fmt.Fprintf(&sb, " (constraints %s)", strings.Join(parts, ", "))
+	}
+	return sb.String()
+}
+
+// Report is the outcome of a Check call.
+type Report struct {
+	Diags []Diagnostic
+}
+
+// HasErrors reports whether any diagnostic has SevError severity
+// (including C000).
+func (r Report) HasErrors() bool {
+	for _, d := range r.Diags {
+		if d.Severity == SevError {
+			return true
+		}
+	}
+	return false
+}
+
+// ProvenInfeasible reports whether the diagnostics prove the store
+// has no satisfying 0/1 assignment: any SevError finding other than
+// C000 (a malformed store is broken, not necessarily infeasible).
+func (r Report) ProvenInfeasible() bool {
+	for _, d := range r.Diags {
+		if d.Severity == SevError && d.Code != CodeMalformed {
+			return true
+		}
+	}
+	return false
+}
+
+// Count returns the number of diagnostics with the given severity.
+func (r Report) Count(sev Severity) int {
+	n := 0
+	for _, d := range r.Diags {
+		if d.Severity == sev {
+			n++
+		}
+	}
+	return n
+}
+
+// String renders all diagnostics, one per line.
+func (r Report) String() string {
+	var sb strings.Builder
+	for _, d := range r.Diags {
+		sb.WriteString(d.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// sortDiags orders errors first, then warnings, each group by first
+// involved constraint (variable-level findings, which carry no
+// constraint, come last within their group).
+func sortDiags(diags []Diagnostic) {
+	key := func(d Diagnostic) int {
+		if len(d.Cons) == 0 {
+			return 1 << 30
+		}
+		return d.Cons[0]
+	}
+	sort.SliceStable(diags, func(i, j int) bool {
+		if diags[i].Severity != diags[j].Severity {
+			return diags[i].Severity > diags[j].Severity
+		}
+		return key(diags[i]) < key(diags[j])
+	})
+}

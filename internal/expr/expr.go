@@ -45,6 +45,16 @@ func NewLin(konst int64, terms ...Term) Lin {
 	return l
 }
 
+// RawLin wraps terms into an expression without normalizing, trusting
+// the caller that they are sorted by variable id with no duplicate or
+// zero-coefficient entries; the slice is taken over, not copied. It
+// exists for decoders that already hold normalized data and for tests
+// that need to build deliberately malformed expressions — misuse is
+// caught by solver.Problem.Validate and check.Check, not here.
+func RawLin(konst int64, terms []Term) Lin {
+	return Lin{terms: terms, konst: konst}
+}
+
 // Sum returns b1 + b2 + ... + bn with unit coefficients.
 func Sum(vars ...Var) Lin {
 	terms := make([]Term, 0, len(vars))

@@ -98,7 +98,7 @@ func (pr *Prior) Exact(objective expr.Lin) (ExactResult, error) {
 		mass += weight
 		acc += weight * float64(objective.Eval(func(v expr.Var) bool { return w[v] == 1 }))
 	}
-	if mass == 0 {
+	if zeroMass(mass) {
 		return ExactResult{Worlds: len(worlds)}, fmt.Errorf("prior: conditioning event has probability zero")
 	}
 	return ExactResult{Expected: acc / mass, ValidMass: mass, Worlds: len(worlds)}, nil
@@ -118,7 +118,7 @@ func (pr *Prior) ExactTail(objective expr.Lin, t int64) (float64, error) {
 			tail += weight
 		}
 	}
-	if mass == 0 {
+	if zeroMass(mass) {
 		return 0, fmt.Errorf("prior: conditioning event has probability zero")
 	}
 	return tail / mass, nil

@@ -1,0 +1,13 @@
+package prior
+
+// The floatcmp lint confines exact float comparisons to tol.go files;
+// this is the prior package's.
+
+// zeroMass reports m == 0 with no tolerance, used to detect a
+// conditioning event of probability zero. m is a sum of world weights
+// — products of probabilities in [0,1], each non-negative — so the sum
+// is exactly 0.0 iff every contributing weight is exactly zero (some
+// marginal is a hard 0 or 1). Any event with positive probability
+// yields a strictly positive float here; an eps threshold would
+// misclassify genuinely tiny-but-possible events as impossible.
+func zeroMass(m float64) bool { return m == 0 }

@@ -180,7 +180,7 @@ func newTableau(lp *LP) *tableau {
 		case GE:
 			needsArt[i] = v > 0
 		case EQ:
-			needsArt[i] = v != 0
+			needsArt[i] = !exactlyZero(v)
 		}
 		if needsArt[i] {
 			nart++
@@ -324,7 +324,7 @@ func (t *tableau) iterate(obj []float64) Status {
 			cur += obj[bi] * t.x[bi]
 		}
 		for jj := 0; jj < t.ncols; jj++ {
-			if !t.inBasis[jj] && obj[jj] != 0 {
+			if !t.inBasis[jj] && !exactlyZero(obj[jj]) {
 				cur += obj[jj] * t.x[jj]
 			}
 		}
@@ -351,7 +351,7 @@ func (t *tableau) chooseEntering(obj []float64, bland bool) (int, int) {
 	}
 	var wrows []weighted
 	for i := 0; i < t.m; i++ {
-		if cb := obj[t.basis[i]]; cb != 0 {
+		if cb := obj[t.basis[i]]; !exactlyZero(cb) {
 			wrows = append(wrows, weighted{i, cb})
 		}
 	}
@@ -360,7 +360,7 @@ func (t *tableau) chooseEntering(obj []float64, bland bool) (int, int) {
 		if t.inBasis[j] {
 			continue
 		}
-		if t.lo[j] == t.hi[j] { // fixed variable can never move
+		if exactlyEqual(t.lo[j], t.hi[j]) { // fixed variable can never move
 			continue
 		}
 		// Reduced cost d_j = obj_j - sum_i obj_basis[i] * a[i][j].
@@ -473,7 +473,7 @@ func (t *tableau) pivot(r, j int) {
 			continue
 		}
 		f := t.a[i][j]
-		if f == 0 {
+		if exactlyZero(f) {
 			continue
 		}
 		rowI := t.a[i]

@@ -1,0 +1,23 @@
+package simplex
+
+// This file is the one place in the package (and, by licmlint's
+// floatcmp rule, in the repository) where floating-point values are
+// compared with == or !=. Each helper documents why exact comparison
+// is correct at its call sites; everything else must use the
+// eps-based tests. Keeping the exact comparisons here means a reader
+// auditing the numerics has one short file to review, and a refactor
+// that introduces a new raw comparison is caught by `licmlint`.
+
+// exactlyZero reports v == 0 with no tolerance. Correct where v is
+// known to be exactly representable or where only the literal zero
+// matters: skipping a pivot row whose multiplier is the stored 0.0
+// (any other value, however tiny, must still be eliminated to keep
+// the tableau consistent), or testing coefficients that were copied
+// verbatim from the int64 problem.
+func exactlyZero(v float64) bool { return v == 0 }
+
+// exactlyEqual reports a == b with no tolerance. Correct for values
+// that were assigned, not computed — e.g. variable bounds, where
+// lo == hi means "fixed variable" only if both ends hold the very
+// same stored value.
+func exactlyEqual(a, b float64) bool { return a == b }

@@ -1,0 +1,294 @@
+package solver
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"licm/internal/expr"
+)
+
+// ReadLP parses the subset of the CPLEX LP file format that WriteLP
+// emits, so stores exported for CPLEX/Gurobi cross-checking (or
+// written by hand in the same dialect) can be read back for vetting
+// and solving — licmvet is built on this. Accepted shape:
+//
+//	Maximize            (or Minimize)
+//	 obj: b0 + 2 b3 - b7
+//	\ objective constant: 5 (add to the optimum)
+//	Subject To
+//	 c0: b0 + b1 >= 1
+//	Binary
+//	 b0 b1 b3 b7
+//	End
+//
+// Variables must be named b<N>; N is the dense id. Labels ("obj:",
+// "c0:") are optional, comparison operators may be written <=, =<, <,
+// >=, => or >, and "\" starts a comment (the "objective constant"
+// comment WriteLP emits is folded back into the objective, making
+// Write/Read round trips lossless). The variable count is the highest
+// id mentioned anywhere plus one. The problem is validated before
+// being returned.
+func ReadLP(r io.Reader) (*Problem, Sense, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+
+	p := &Problem{}
+	sense := SenseMax
+	maxVar := expr.Var(-1)
+	seenObjective := false
+	section := "" // "", objective, subject, binary, end
+	var pending strings.Builder
+	lineNo := 0
+
+	flushExpr := func() error {
+		text := strings.TrimSpace(pending.String())
+		pending.Reset()
+		if text == "" {
+			return nil
+		}
+		switch section {
+		case "objective":
+			lin, op, rhs, hasOp, err := parseLPExpr(text)
+			if err != nil {
+				return err
+			}
+			if hasOp {
+				return fmt.Errorf("objective contains a comparison (%s %d)", op, rhs)
+			}
+			p.Objective = p.Objective.Add(lin)
+			seenObjective = true
+		case "subject":
+			lin, op, rhs, hasOp, err := parseLPExpr(text)
+			if err != nil {
+				return err
+			}
+			if !hasOp {
+				return fmt.Errorf("constraint %q has no comparison operator", text)
+			}
+			p.Constraints = append(p.Constraints, expr.NewConstraint(lin, op, rhs))
+		}
+		if v := linMaxVar(p.Objective); v > maxVar {
+			maxVar = v
+		}
+		for _, c := range p.Constraints {
+			if v := linMaxVar(c.Lin); v > maxVar {
+				maxVar = v
+			}
+		}
+		return nil
+	}
+
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '\\'); i >= 0 {
+			comment := strings.TrimSpace(line[i+1:])
+			line = line[:i]
+			if k, ok := parseObjConstComment(comment); ok {
+				p.Objective = p.Objective.AddConst(k)
+			}
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		lower := strings.ToLower(line)
+		newSection := ""
+		switch {
+		case lower == "maximize" || lower == "max":
+			newSection, sense = "objective", SenseMax
+		case lower == "minimize" || lower == "min":
+			newSection, sense = "objective", SenseMin
+		case lower == "subject to" || lower == "st" || lower == "s.t." || lower == "such that":
+			newSection = "subject"
+		case lower == "binary" || lower == "bin" || lower == "binaries":
+			newSection = "binary"
+		case lower == "end":
+			newSection = "end"
+		case lower == "general" || lower == "generals" || lower == "bounds":
+			return nil, sense, fmt.Errorf("line %d: unsupported section %q (only binary problems are read)", lineNo, line)
+		}
+		if newSection != "" {
+			if err := flushExpr(); err != nil {
+				return nil, sense, fmt.Errorf("line %d: %v", lineNo, err)
+			}
+			section = newSection
+			continue
+		}
+		switch section {
+		case "":
+			return nil, sense, fmt.Errorf("line %d: expected Maximize or Minimize, got %q", lineNo, line)
+		case "objective":
+			pending.WriteByte(' ')
+			pending.WriteString(line)
+		case "subject":
+			// One constraint per line once an operator is present;
+			// continuation lines (no operator yet) accumulate.
+			pending.WriteByte(' ')
+			pending.WriteString(line)
+			if strings.ContainsAny(line, "<>=") {
+				if err := flushExpr(); err != nil {
+					return nil, sense, fmt.Errorf("line %d: %v", lineNo, err)
+				}
+			}
+		case "binary":
+			for _, tok := range strings.Fields(line) {
+				v, err := parseLPVar(tok)
+				if err != nil {
+					return nil, sense, fmt.Errorf("line %d: %v", lineNo, err)
+				}
+				if v > maxVar {
+					maxVar = v
+				}
+			}
+		case "end":
+			return nil, sense, fmt.Errorf("line %d: content after End: %q", lineNo, line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, sense, err
+	}
+	if err := flushExpr(); err != nil {
+		return nil, sense, err
+	}
+	if !seenObjective {
+		return nil, sense, fmt.Errorf("no objective section")
+	}
+	p.NumVars = int(maxVar) + 1
+	if err := p.Validate(); err != nil {
+		return nil, sense, err
+	}
+	return p, sense, nil
+}
+
+// parseLPExpr parses "name: 2 b0 - b3 + 4 b7 [op rhs]".
+func parseLPExpr(text string) (lin expr.Lin, op expr.Op, rhs int64, hasOp bool, err error) {
+	if i := strings.IndexByte(text, ':'); i >= 0 {
+		text = text[i+1:]
+	}
+	// Tokenize, splitting operators out of adjacent text.
+	for _, sym := range []string{"<=", "=<", ">=", "=>", "<", ">", "=", "+", "-"} {
+		text = strings.ReplaceAll(text, sym, " "+sym+" ")
+	}
+	// The two-rune operators got split by the pass over their one-rune
+	// parts ("<=" -> "< ="); re-join.
+	fields := strings.Fields(text)
+	var toks []string
+	for i := 0; i < len(fields); i++ {
+		if i+1 < len(fields) {
+			pair := fields[i] + fields[i+1]
+			if pair == "<=" || pair == ">=" || pair == "=<" || pair == "=>" {
+				toks = append(toks, pair)
+				i++
+				continue
+			}
+		}
+		toks = append(toks, fields[i])
+	}
+
+	var terms []expr.Term
+	konst := int64(0)
+	sign := int64(1)
+	var coef *int64
+	flushNumber := func() {
+		if coef != nil {
+			konst += sign * (*coef)
+			coef = nil
+			sign = 1
+		}
+	}
+	seenOp := false
+	var rhsAcc []string
+	for _, tok := range toks {
+		if seenOp {
+			rhsAcc = append(rhsAcc, tok)
+			continue
+		}
+		switch tok {
+		case "+":
+			flushNumber()
+		case "-":
+			flushNumber()
+			sign = -sign
+		case "<=", "=<", "<":
+			flushNumber()
+			seenOp, hasOp, op = true, true, expr.LE
+		case ">=", "=>", ">":
+			flushNumber()
+			seenOp, hasOp, op = true, true, expr.GE
+		case "=":
+			flushNumber()
+			seenOp, hasOp, op = true, true, expr.EQ
+		default:
+			if n, perr := strconv.ParseInt(tok, 10, 64); perr == nil {
+				if coef != nil {
+					return lin, op, rhs, hasOp, fmt.Errorf("two consecutive numbers near %q", tok)
+				}
+				c := n
+				coef = &c
+				continue
+			}
+			v, verr := parseLPVar(tok)
+			if verr != nil {
+				return lin, op, rhs, hasOp, verr
+			}
+			c := int64(1)
+			if coef != nil {
+				c = *coef
+				coef = nil
+			}
+			terms = append(terms, expr.Term{Var: v, Coef: sign * c})
+			sign = 1
+		}
+	}
+	flushNumber()
+	if hasOp {
+		if len(rhsAcc) == 0 {
+			return lin, op, rhs, hasOp, fmt.Errorf("missing right-hand side")
+		}
+		text := strings.Join(rhsAcc, "")
+		n, perr := strconv.ParseInt(text, 10, 64)
+		if perr != nil {
+			return lin, op, rhs, hasOp, fmt.Errorf("bad right-hand side %q (only integer RHS is supported)", text)
+		}
+		rhs = n
+	}
+	return expr.NewLin(konst, terms...), op, rhs, hasOp, nil
+}
+
+// parseLPVar parses a b<N> variable name.
+func parseLPVar(tok string) (expr.Var, error) {
+	if len(tok) < 2 || (tok[0] != 'b' && tok[0] != 'B') {
+		return 0, fmt.Errorf("bad token %q: variables must be named b<N>", tok)
+	}
+	n, err := strconv.ParseInt(tok[1:], 10, 32)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("bad variable name %q", tok)
+	}
+	return expr.Var(n), nil
+}
+
+// parseObjConstComment recognizes WriteLP's lossless-round-trip
+// comment "\ objective constant: K (add to the optimum)".
+func parseObjConstComment(comment string) (int64, bool) {
+	const prefix = "objective constant:"
+	if !strings.HasPrefix(comment, prefix) {
+		return 0, false
+	}
+	rest := strings.TrimSpace(strings.TrimPrefix(comment, prefix))
+	if i := strings.IndexByte(rest, ' '); i >= 0 {
+		rest = rest[:i]
+	}
+	n, err := strconv.ParseInt(rest, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+func linMaxVar(l expr.Lin) expr.Var {
+	return l.MaxVar()
+}

@@ -1,0 +1,174 @@
+package solver
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"licm/internal/expr"
+)
+
+// TestReadLPRoundTrip: WriteLP → ReadLP must reproduce the problem
+// exactly (constraints, objective including its constant, NumVars and
+// sense) on a spread of random instances.
+func TestReadLPRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + rng.Intn(25)
+		m := rng.Intn(8)
+		cons := make([]expr.Constraint, m)
+		for i := range cons {
+			sz := 1 + rng.Intn(5)
+			if sz > n {
+				sz = n
+			}
+			terms := map[expr.Var]int64{}
+			for len(terms) < sz {
+				c := int64(rng.Intn(9)) - 4
+				if c == 0 {
+					c = 5
+				}
+				terms[expr.Var(rng.Intn(n))] = c
+			}
+			lin := expr.NewLin(0)
+			for v, c := range terms {
+				lin = lin.AddTerm(v, c)
+			}
+			op := []expr.Op{expr.LE, expr.GE, expr.EQ}[rng.Intn(3)]
+			cons[i] = expr.NewConstraint(lin, op, int64(rng.Intn(11))-5)
+		}
+		obj := expr.NewLin(int64(rng.Intn(21)) - 10)
+		for v := 0; v < n; v++ {
+			if c := int64(rng.Intn(7)) - 3; c != 0 {
+				obj = obj.AddTerm(expr.Var(v), c)
+			}
+		}
+		p := &Problem{NumVars: n, Constraints: cons, Objective: obj}
+		sense := Sense(rng.Intn(2))
+
+		var buf bytes.Buffer
+		if err := WriteLP(&buf, p, sense); err != nil {
+			t.Fatalf("trial %d: WriteLP: %v", trial, err)
+		}
+		got, gotSense, err := ReadLP(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("trial %d: ReadLP: %v\ninput:\n%s", trial, err, buf.String())
+		}
+		if gotSense != sense {
+			t.Fatalf("trial %d: sense = %v, want %v", trial, gotSense, sense)
+		}
+		if got.NumVars != p.NumVars {
+			t.Fatalf("trial %d: NumVars = %d, want %d\ninput:\n%s", trial, got.NumVars, p.NumVars, buf.String())
+		}
+		if got.Objective.String() != p.Objective.String() {
+			t.Fatalf("trial %d: objective = %v, want %v", trial, got.Objective, p.Objective)
+		}
+		if len(got.Constraints) != len(p.Constraints) {
+			t.Fatalf("trial %d: %d constraints, want %d", trial, len(got.Constraints), len(p.Constraints))
+		}
+		for i := range p.Constraints {
+			if got.Constraints[i].String() != p.Constraints[i].String() {
+				t.Fatalf("trial %d: constraint %d = %v, want %v",
+					trial, i, got.Constraints[i], p.Constraints[i])
+			}
+		}
+	}
+}
+
+// TestReadLPHandwritten parses a hand-written file using the laxer
+// spellings ReadLP accepts (no labels, tight operators, =<, comments,
+// continuation lines).
+func TestReadLPHandwritten(t *testing.T) {
+	src := `\ a hand-written instance
+Minimize
+ 2 b0 - b1
+   + 3 b2
+Subject To
+ b0 + b1 >= 1
+ c1: 2 b0 - 3 b2=<4   \ tight operator, trailing comment
+ b1 +
+   b2 = 1
+Binary
+ b0 b1 b2
+End
+`
+	p, sense, err := ReadLP(strings.NewReader(src))
+	if err != nil {
+		t.Fatalf("ReadLP: %v", err)
+	}
+	if sense != SenseMin {
+		t.Fatalf("sense = %v, want SenseMin", sense)
+	}
+	if p.NumVars != 3 {
+		t.Fatalf("NumVars = %d, want 3", p.NumVars)
+	}
+	wantObj := expr.NewLin(0,
+		expr.Term{Var: 0, Coef: 2}, expr.Term{Var: 1, Coef: -1}, expr.Term{Var: 2, Coef: 3})
+	if p.Objective.String() != wantObj.String() {
+		t.Fatalf("objective = %v, want %v", p.Objective, wantObj)
+	}
+	want := []expr.Constraint{
+		expr.NewConstraint(expr.Sum(0, 1), expr.GE, 1),
+		expr.NewConstraint(expr.NewLin(0, expr.Term{Var: 0, Coef: 2}, expr.Term{Var: 2, Coef: -3}), expr.LE, 4),
+		expr.NewConstraint(expr.Sum(1, 2), expr.EQ, 1),
+	}
+	if len(p.Constraints) != len(want) {
+		t.Fatalf("%d constraints, want %d: %v", len(p.Constraints), len(want), p.Constraints)
+	}
+	for i := range want {
+		if p.Constraints[i].String() != want[i].String() {
+			t.Fatalf("constraint %d = %v, want %v", i, p.Constraints[i], want[i])
+		}
+	}
+}
+
+// TestReadLPObjectiveConstant: the "\ objective constant" comment is
+// folded back into the objective.
+func TestReadLPObjectiveConstant(t *testing.T) {
+	p := &Problem{
+		NumVars:   2,
+		Objective: expr.NewLin(7, expr.Term{Var: 0, Coef: 1}, expr.Term{Var: 1, Coef: 1}),
+	}
+	var buf bytes.Buffer
+	if err := WriteLP(&buf, p, SenseMax); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := ReadLP(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Objective.Const() != 7 {
+		t.Fatalf("objective constant = %d, want 7\n", got.Objective.Const())
+	}
+}
+
+// TestReadLPErrors: malformed inputs are rejected with errors, not
+// silently misparsed.
+func TestReadLPErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"empty", "", "no objective"},
+		{"no section", "b0 + b1\n", "expected Maximize or Minimize"},
+		{"bad variable", "Maximize\n x0\nEnd\n", `bad token "x0"`},
+		{"objective with operator", "Maximize\n b0 <= 1\nSubject To\nEnd\n", "comparison"},
+		{"constraint without operator", "Maximize\n b0\nSubject To\n b0 + b1\nEnd\n", "no comparison operator"},
+		{"missing rhs", "Maximize\n b0\nSubject To\n b0 >=\nEnd\n", "missing right-hand side"},
+		{"fractional rhs", "Maximize\n b0\nSubject To\n b0 <= 0.5\nEnd\n", "only integer RHS"},
+		{"bounds section", "Maximize\n b0\nBounds\nEnd\n", "unsupported section"},
+		{"content after end", "Maximize\n b0\nEnd\n b1\n", "content after End"},
+		{"consecutive numbers", "Maximize\n 2 3 b0\nEnd\n", "two consecutive numbers"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, _, err := ReadLP(strings.NewReader(tc.src))
+			if err == nil {
+				t.Fatalf("ReadLP accepted %q", tc.src)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error = %q, want it to contain %q", err, tc.want)
+			}
+		})
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"time"
 
+	"licm/internal/check"
 	"licm/internal/expr"
 	"licm/internal/obs"
 )
@@ -42,9 +43,41 @@ var ErrInfeasible = errors.New("solver: infeasible")
 // Stats.Canceled=true.
 var ErrCanceled = errors.New("solver: canceled before a feasible point was found")
 
+// CheckError is returned (wrapped in ErrInfeasible) when Options.Check
+// proves the store infeasible before the search starts. Report carries
+// every diagnostic the pass produced, so the caller can show *why* the
+// store admits no world instead of a bare "infeasible".
+type CheckError struct {
+	Report check.Report
+}
+
+// Error summarizes the findings; the full report is in e.Report.
+func (e *CheckError) Error() string {
+	for _, d := range e.Report.Diags {
+		if d.Severity == check.SevError {
+			return fmt.Sprintf("solver: infeasible (static check, %d diagnostic(s)): %s",
+				len(e.Report.Diags), d.Message)
+		}
+	}
+	return fmt.Sprintf("solver: infeasible (static check, %d diagnostic(s))", len(e.Report.Diags))
+}
+
+// Unwrap makes errors.Is(err, ErrInfeasible) hold: a check rejection
+// is an infeasibility verdict with an attached explanation.
+func (e *CheckError) Unwrap() error { return ErrInfeasible }
+
 // Options control the solving strategy. The zero value is not useful;
 // start from DefaultOptions.
 type Options struct {
+	// Check runs the static diagnostics pass (internal/check) over
+	// the store before solving. A store the pass proves infeasible is
+	// rejected immediately with a *CheckError (which unwraps to
+	// ErrInfeasible and carries the diagnostics) instead of surfacing
+	// a bare ErrInfeasible deep inside the search; warnings never
+	// change the solve. The pass is linear in the store size — cheap
+	// insurance on hand-built or translated stores, off by default
+	// because query-generated stores are well-formed by construction.
+	Check bool
 	// Prune enables reachability pruning of constraints and variables
 	// not connected to the objective.
 	Prune bool
@@ -84,9 +117,9 @@ type Options struct {
 	Workers int
 
 	// Trace, if non-nil, receives structured span events for every
-	// solver phase (validate, prune, presolve, decompose, search,
-	// witness), incumbent events, and periodic progress events. nil
-	// disables tracing at no measurable cost.
+	// solver phase (validate, check, prune, presolve, decompose,
+	// search, witness), incumbent events, and periodic progress
+	// events. nil disables tracing at no measurable cost.
 	Trace *obs.Tracer
 	// Metrics, if non-nil, receives live counters: solver.nodes,
 	// solver.lp_solves, solver.propagations, solver.incumbents. They
@@ -194,25 +227,59 @@ type Problem struct {
 	Derived []bool
 }
 
-// Validate checks variable ids are within range.
+// Validate checks the instance is structurally sound: NumVars is
+// non-negative, every variable id is within range, expressions are
+// normalized (no duplicate-variable or zero-coefficient terms, terms
+// sorted by id — the invariant every expr constructor maintains and
+// the propagator relies on), and Derived, when present, covers every
+// variable.
 func (p *Problem) Validate() error {
-	check := func(l expr.Lin, what string) error {
+	if p.NumVars < 0 {
+		return fmt.Errorf("solver: NumVars is negative (%d)", p.NumVars)
+	}
+	if p.Derived != nil && len(p.Derived) != p.NumVars {
+		return fmt.Errorf("solver: Derived has length %d, want %d (one flag per variable)", len(p.Derived), p.NumVars)
+	}
+	checkLin := func(l expr.Lin, what string) error {
+		prev := expr.Var(-1)
 		for _, t := range l.Terms() {
 			if t.Var < 0 || int(t.Var) >= p.NumVars {
 				return fmt.Errorf("solver: %s references variable b%d outside [0,%d)", what, t.Var, p.NumVars)
 			}
+			if t.Coef == 0 {
+				return fmt.Errorf("solver: %s has a zero-coefficient term for b%d", what, t.Var)
+			}
+			if t.Var == prev {
+				return fmt.Errorf("solver: %s has duplicate terms for b%d", what, t.Var)
+			}
+			if t.Var < prev {
+				return fmt.Errorf("solver: %s terms are not sorted by variable id (b%d after b%d)", what, t.Var, prev)
+			}
+			prev = t.Var
 		}
 		return nil
 	}
-	if err := check(p.Objective, "objective"); err != nil {
+	if err := checkLin(p.Objective, "objective"); err != nil {
 		return err
 	}
 	for i, c := range p.Constraints {
-		if err := check(c.Lin, fmt.Sprintf("constraint %d", i)); err != nil {
+		if err := checkLin(c.Lin, fmt.Sprintf("constraint %d", i)); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// RunCheck projects the problem onto the static diagnostics pass and
+// returns its report. This is what Options.Check invokes before a
+// solve; it is exposed so callers can vet a problem without solving.
+func (p *Problem) RunCheck() check.Report {
+	return check.Check(check.Store{
+		NumVars:     p.NumVars,
+		Constraints: p.Constraints,
+		Objective:   p.Objective,
+		Derived:     p.Derived,
+	})
 }
 
 // Maximize finds the maximum of p.Objective subject to p.Constraints.

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"licm/internal/check"
 	"licm/internal/expr"
 	"licm/internal/obs"
 )
@@ -44,6 +45,26 @@ func solve(p *Problem, opts Options, minimized bool) (res Result, err error) {
 	if err != nil {
 		return Result{}, err
 	}
+
+	// Opt-in static diagnostics: reject a provably-infeasible store
+	// before any search work, with the findings attached to the error.
+	if opts.Check {
+		sp = root.Start("solver.check")
+		rep := p.RunCheck()
+		if opts.Metrics != nil {
+			opts.Metrics.Counter("check.diags").Add(int64(len(rep.Diags)))
+			opts.Metrics.Counter("check.errors").Add(int64(rep.Count(check.SevError)))
+		}
+		infeasible := rep.ProvenInfeasible()
+		sp.End(
+			obs.Int("diags", len(rep.Diags)),
+			obs.Int("errors", rep.Count(check.SevError)),
+			obs.Bool("infeasible", infeasible))
+		if infeasible {
+			return Result{}, &CheckError{Report: rep}
+		}
+	}
+
 	kc := newCtrl(opts)
 	res = Result{
 		Assignment: make([]uint8, p.NumVars),
