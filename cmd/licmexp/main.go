@@ -14,6 +14,7 @@
 //	licmexp -fig 5 -trace run.jsonl    # JSON-lines trace of every cell
 //	licmexp -fig 6 -json cells.json    # machine-readable cells with solve summaries
 //	licmexp -fig all -debug-addr :6060 # pprof server for profiling a run
+//	licmexp -fig 5 -snapshot dev       # BENCH_dev.json for licmtrace bench-diff
 package main
 
 import (
@@ -22,6 +23,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"licm/internal/bench"
 	"licm/internal/obs"
@@ -42,6 +44,7 @@ func main() {
 		verbose   = flag.Bool("verbose", false, "print a human-readable trace to stderr")
 		debugAddr = flag.String("debug-addr", "", "serve net/http/pprof and expvar on this address, e.g. :6060")
 		jsonPath  = flag.String("json", "", "write the measured cells (figures 5/6/7) as JSON to this file")
+		snapLabel = flag.String("snapshot", "", "write a BENCH_<label>.json benchmark snapshot (cells + run metadata) for licmtrace bench-diff")
 	)
 	flag.Parse()
 
@@ -81,6 +84,7 @@ func main() {
 	cfg.Ks = parsed
 	cfg.Trace = tr
 
+	runStart := time.Now()
 	var allCells []bench.Cell
 	run := func(name string, f func() ([]bench.Cell, error)) {
 		fmt.Printf("== %s ==\n", name)
@@ -133,6 +137,23 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("wrote %d cells to %s\n", len(allCells), *jsonPath)
+	}
+
+	if *snapLabel != "" {
+		snap := bench.NewSnapshot(*snapLabel, cfg, allCells, time.Since(runStart))
+		path := "BENCH_" + *snapLabel + ".json"
+		f, err := os.Create(path)
+		if err != nil {
+			fatal(err)
+		}
+		if err := bench.WriteSnapshotJSON(f, snap); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote benchmark snapshot (%d cells) to %s\n", len(snap.Cells), path)
 	}
 }
 

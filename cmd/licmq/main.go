@@ -187,6 +187,16 @@ func main() {
 		res.Stats.VarsBefore, res.Stats.ConsBefore,
 		res.Stats.VarsAfterPrune, res.Stats.ConsAfterPrune,
 		res.Stats.Components, res.Stats.Nodes, res.Stats.LPSolves, res.Stats.Propagations)
+	for _, h := range []struct{ name, label string }{
+		{"solver.lp_ns", "LP relaxation latency"},
+		{"solver.node_ns", "per-node latency"},
+	} {
+		if snap := metrics.Histogram(h.name).Snapshot(); snap.Count > 0 {
+			fmt.Printf("%s: n=%d mean=%v p50<%v p99<%v\n", h.label, snap.Count,
+				time.Duration(int64(snap.Mean)).Round(time.Microsecond),
+				time.Duration(snap.Quantile(0.5)), time.Duration(snap.Quantile(0.99)))
+		}
+	}
 
 	if *mcRuns > 0 {
 		start = time.Now()

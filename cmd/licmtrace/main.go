@@ -1,0 +1,407 @@
+// Command licmtrace analyzes the JSON-lines traces and benchmark
+// snapshots the licm tools produce (schema in OBSERVABILITY.md) — the
+// read side of the observability layer, in the role EXPLAIN ANALYZE
+// plays for a query engine.
+//
+// Usage:
+//
+//	licmtrace summary trace.jsonl           # per-phase rollups + critical path
+//	licmtrace flame trace.jsonl > out.folded  # folded stacks for flamegraph tools
+//	licmtrace diff old.jsonl new.jsonl      # phase-by-phase regression check
+//	licmtrace cat -name solver trace.jsonl  # filter/pretty-print events
+//	licmtrace bench-diff old.json new.json  # compare BENCH_<label>.json snapshots
+//
+// Exit status follows licmvet/go vet: 0 when clean, 1 when diff or
+// bench-diff finds a threshold breach, 2 when an input cannot be read
+// or parsed. Every subcommand takes -json for machine-readable output
+// and accepts "-" for stdin.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strings"
+	"time"
+
+	"licm/internal/bench"
+	"licm/internal/obs"
+	"licm/internal/tracean"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+func usage(stderr io.Writer) {
+	fmt.Fprint(stderr, `usage: licmtrace <command> [flags] <args>
+
+commands:
+  summary [-json] <trace.jsonl>              per-phase rollups, critical path, latency histograms
+  flame <trace.jsonl>                        folded stacks (inferno/flamegraph.pl input) on stdout
+  diff [-json] [-threshold f] [-min-ns n] <old.jsonl> <new.jsonl>
+                                             phase self-time comparison; exit 1 on breach
+  cat [-json] [-name substr] [-kind k] <trace.jsonl>
+                                             filter and pretty-print raw events
+  bench-diff [-json] [-tol f] [-tol-nodes f] [-min-time-ns n] [-prune-drop f] <old.json> <new.json>
+                                             compare benchmark snapshots; exit 1 on breach
+
+"-" reads the trace from stdin. Exit codes: 0 clean, 1 threshold breached, 2 bad input.
+`)
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	if len(args) == 0 {
+		usage(stderr)
+		return 2
+	}
+	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "summary":
+		return cmdSummary(rest, stdin, stdout, stderr)
+	case "flame":
+		return cmdFlame(rest, stdin, stdout, stderr)
+	case "diff":
+		return cmdDiff(rest, stdin, stdout, stderr)
+	case "cat":
+		return cmdCat(rest, stdin, stdout, stderr)
+	case "bench-diff":
+		return cmdBenchDiff(rest, stdin, stdout, stderr)
+	case "-h", "-help", "--help", "help":
+		usage(stderr)
+		return 0
+	default:
+		fmt.Fprintf(stderr, "licmtrace: unknown command %q\n", cmd)
+		usage(stderr)
+		return 2
+	}
+}
+
+// open returns the named input, with "-" meaning stdin.
+func open(path string, stdin io.Reader) (io.Reader, func() error, error) {
+	if path == "-" {
+		return stdin, func() error { return nil }, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, f.Close, nil
+}
+
+func readTraceFile(path string, stdin io.Reader) (*tracean.Trace, error) {
+	r, closeFn, err := open(path, stdin)
+	if err != nil {
+		return nil, err
+	}
+	defer closeFn() //nolint:errcheck // read-only
+	return tracean.ReadTrace(r)
+}
+
+// dur renders nanoseconds with time.Duration's formatting, rounded for
+// table readability.
+func dur(ns int64) string {
+	return time.Duration(ns).Round(time.Microsecond).String()
+}
+
+func cmdSummary(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("licmtrace summary", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	asJSON := fs.Bool("json", false, "print the summary as JSON")
+	if err := fs.Parse(args); err != nil || fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: licmtrace summary [-json] <trace.jsonl>")
+		return 2
+	}
+	t, err := readTraceFile(fs.Arg(0), stdin)
+	if err != nil {
+		fmt.Fprintf(stderr, "licmtrace: %v\n", err)
+		return 2
+	}
+	rollups := t.Rollups()
+	path := t.CriticalPath()
+	hists := histEvents(t)
+	if *asJSON {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(struct {
+			Schema       string             `json:"schema,omitempty"`
+			Events       int                `json:"events"`
+			Spans        int                `json:"spans"`
+			WallNs       int64              `json:"wall_ns"`
+			Rollups      []tracean.Rollup   `json:"rollups"`
+			CriticalPath []tracean.PathStep `json:"critical_path"`
+			Histograms   []map[string]any   `json:"histograms,omitempty"`
+		}{t.Schema, len(t.Events), t.NumSpans(), t.WallNs, rollups, path, hists}); err != nil {
+			fmt.Fprintf(stderr, "licmtrace: %v\n", err)
+			return 2
+		}
+		return 0
+	}
+	schema := t.Schema
+	if schema == "" {
+		schema = "unversioned"
+	}
+	fmt.Fprintf(stdout, "trace: %d events, %d spans, wall %s, schema %s\n\n",
+		len(t.Events), t.NumSpans(), dur(t.WallNs), schema)
+	fmt.Fprintf(stdout, "%-24s %7s %12s %12s %12s %12s\n", "PHASE", "COUNT", "TOTAL", "SELF", "P50", "P99")
+	for _, r := range rollups {
+		fmt.Fprintf(stdout, "%-24s %7d %12s %12s %12s %12s\n",
+			r.Name, r.Count, dur(r.TotalNs), dur(r.SelfNs), dur(r.P50Ns), dur(r.P99Ns))
+	}
+	if len(path) > 0 {
+		fmt.Fprintf(stdout, "\ncritical path:\n")
+		for i, s := range path {
+			fmt.Fprintf(stdout, "  %s%s %s (self %s)\n", strings.Repeat("  ", i), s.Name, dur(s.DurNs), dur(s.SelfNs))
+		}
+	}
+	if len(hists) > 0 {
+		fmt.Fprintf(stdout, "\nsolve-latency histograms:\n")
+		for _, h := range hists {
+			fmt.Fprintf(stdout, "  %-16v n=%-8v mean=%-10s p50<%-10s p99<%s\n",
+				h["hist"], h["count"], dur(attrNs(h, "mean")), dur(attrNs(h, "p50")), dur(attrNs(h, "p99")))
+		}
+	}
+	return 0
+}
+
+// histEvents extracts the last solver.hist event per histogram name
+// (the solver emits cumulative snapshots at the end of every solve, so
+// the last one carries the run's totals).
+func histEvents(t *tracean.Trace) []map[string]any {
+	last := map[string]map[string]any{}
+	var order []string
+	for _, e := range t.Events {
+		if e.Kind != obs.KindEvent || e.Name != "solver.hist" {
+			continue
+		}
+		name, _ := e.Attrs["hist"].(string)
+		if name == "" {
+			continue
+		}
+		if _, seen := last[name]; !seen {
+			order = append(order, name)
+		}
+		last[name] = e.Attrs
+	}
+	out := make([]map[string]any, 0, len(order))
+	for _, n := range order {
+		out = append(out, last[n])
+	}
+	return out
+}
+
+// attrNs reads a numeric attr as nanoseconds.
+func attrNs(attrs map[string]any, key string) int64 {
+	switch v := attrs[key].(type) {
+	case int64:
+		return v
+	case float64:
+		return int64(v)
+	}
+	return 0
+}
+
+func cmdFlame(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("licmtrace flame", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	if err := fs.Parse(args); err != nil || fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: licmtrace flame <trace.jsonl>  (folded stacks on stdout)")
+		return 2
+	}
+	t, err := readTraceFile(fs.Arg(0), stdin)
+	if err != nil {
+		fmt.Fprintf(stderr, "licmtrace: %v\n", err)
+		return 2
+	}
+	if err := t.FoldedStacks(stdout); err != nil {
+		fmt.Fprintf(stderr, "licmtrace: %v\n", err)
+		return 2
+	}
+	return 0
+}
+
+func cmdDiff(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("licmtrace diff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	asJSON := fs.Bool("json", false, "print the report as JSON")
+	defOpts := tracean.DefaultDiffOptions()
+	threshold := fs.Float64("threshold", defOpts.Threshold, "allowed relative self-time growth per phase (0.5 = +50%)")
+	minNs := fs.Int64("min-ns", defOpts.MinNs, "noise floor: phases below this self time never breach")
+	if err := fs.Parse(args); err != nil || fs.NArg() != 2 {
+		fmt.Fprintln(stderr, "usage: licmtrace diff [-json] [-threshold f] [-min-ns n] <old.jsonl> <new.jsonl>")
+		return 2
+	}
+	oldT, err := readTraceFile(fs.Arg(0), stdin)
+	if err != nil {
+		fmt.Fprintf(stderr, "licmtrace: %s: %v\n", fs.Arg(0), err)
+		return 2
+	}
+	newT, err := readTraceFile(fs.Arg(1), stdin)
+	if err != nil {
+		fmt.Fprintf(stderr, "licmtrace: %s: %v\n", fs.Arg(1), err)
+		return 2
+	}
+	rep := tracean.Diff(oldT, newT, tracean.DiffOptions{Threshold: *threshold, MinNs: *minNs})
+	if *asJSON {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintf(stderr, "licmtrace: %v\n", err)
+			return 2
+		}
+	} else {
+		fmt.Fprintf(stdout, "%-24s %12s %12s %9s\n", "PHASE", "OLD SELF", "NEW SELF", "CHANGE")
+		for _, d := range rep.Deltas {
+			mark := ""
+			if d.Breach {
+				mark = "  << breach"
+			}
+			fmt.Fprintf(stdout, "%-24s %12s %12s %9s%s\n", d.Name, dur(d.OldSelfNs), dur(d.NewSelfNs), relStr(d.Rel), mark)
+		}
+		if rep.Breached {
+			fmt.Fprintf(stdout, "\nREGRESSION: at least one phase grew more than %+.0f%% (floor %s)\n",
+				rep.Threshold*100, dur(rep.MinNs))
+		} else {
+			fmt.Fprintf(stdout, "\nok: no phase grew more than %+.0f%% (floor %s)\n", rep.Threshold*100, dur(rep.MinNs))
+		}
+	}
+	if rep.Breached {
+		return 1
+	}
+	return 0
+}
+
+func relStr(rel float64) string {
+	if math.IsInf(rel, 1) {
+		return "new"
+	}
+	return fmt.Sprintf("%+.0f%%", rel*100)
+}
+
+func cmdCat(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("licmtrace cat", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	asJSON := fs.Bool("json", false, "re-emit matching events as JSON lines")
+	name := fs.String("name", "", "keep only events whose name contains this substring")
+	kind := fs.String("kind", "", "keep only events of this kind (span_start, span_end, event, progress)")
+	if err := fs.Parse(args); err != nil || fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: licmtrace cat [-json] [-name substr] [-kind k] <trace.jsonl>")
+		return 2
+	}
+	in, closeFn, err := open(fs.Arg(0), stdin)
+	if err != nil {
+		fmt.Fprintf(stderr, "licmtrace: %v\n", err)
+		return 2
+	}
+	defer closeFn() //nolint:errcheck // read-only
+	rd := tracean.NewReader(in)
+	var sink obs.Sink
+	var jsonl *obs.JSONLSink
+	if *asJSON {
+		jsonl = obs.NewJSONLSink(stdout)
+		sink = jsonl
+	} else {
+		sink = obs.NewTextSink(stdout)
+	}
+	for {
+		e, err := rd.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			fmt.Fprintf(stderr, "licmtrace: %v\n", err)
+			return 2
+		}
+		if *name != "" && !strings.Contains(e.Name, *name) {
+			continue
+		}
+		if *kind != "" && string(e.Kind) != *kind {
+			continue
+		}
+		sink.Emit(e)
+	}
+	if jsonl != nil {
+		if err := jsonl.Err(); err != nil {
+			fmt.Fprintf(stderr, "licmtrace: %v\n", err)
+			return 2
+		}
+	}
+	return 0
+}
+
+func cmdBenchDiff(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("licmtrace bench-diff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	asJSON := fs.Bool("json", false, "print the report as JSON")
+	def := bench.DefaultSnapshotTol()
+	tolTime := fs.Float64("tol", def.TimeFactor, "allowed l_solve_ns growth factor per cell")
+	tolNodes := fs.Float64("tol-nodes", def.NodesFactor, "allowed nodes growth factor per cell")
+	minTime := fs.Int64("min-time-ns", def.MinTimeNs, "noise floor: solve times below this (old side) are not compared")
+	pruneDrop := fs.Float64("prune-drop", def.PruneDrop, "allowed absolute drop in prune_ratio")
+	if err := fs.Parse(args); err != nil || fs.NArg() != 2 {
+		fmt.Fprintln(stderr, "usage: licmtrace bench-diff [-json] [-tol f] [-tol-nodes f] [-min-time-ns n] [-prune-drop f] <old.json> <new.json>")
+		return 2
+	}
+	read := func(path string) (bench.Snapshot, error) {
+		r, closeFn, err := open(path, stdin)
+		if err != nil {
+			return bench.Snapshot{}, err
+		}
+		defer closeFn() //nolint:errcheck // read-only
+		return bench.ReadSnapshot(r)
+	}
+	oldS, err := read(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintf(stderr, "licmtrace: %s: %v\n", fs.Arg(0), err)
+		return 2
+	}
+	newS, err := read(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintf(stderr, "licmtrace: %s: %v\n", fs.Arg(1), err)
+		return 2
+	}
+	d := bench.DiffSnapshots(oldS, newS, bench.SnapshotTol{
+		TimeFactor: *tolTime, NodesFactor: *tolNodes, MinTimeNs: *minTime, PruneDrop: *pruneDrop,
+	})
+	if *asJSON {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(d); err != nil {
+			fmt.Fprintf(stderr, "licmtrace: %v\n", err)
+			return 2
+		}
+	} else {
+		fmt.Fprintf(stdout, "old: %s (%s, %s/%s)  new: %s (%s, %s/%s)\n",
+			oldS.Label, oldS.GoVersion, oldS.GOOS, oldS.GOARCH,
+			newS.Label, newS.GoVersion, newS.GOOS, newS.GOARCH)
+		for _, w := range d.Warnings {
+			fmt.Fprintf(stdout, "warning: %s\n", w)
+		}
+		fmt.Fprintf(stdout, "%-28s %12s %12s %10s %10s\n", "CELL", "OLD SOLVE", "NEW SOLVE", "OLD NODES", "NEW NODES")
+		for _, c := range d.Deltas {
+			fmt.Fprintf(stdout, "%-28s %12s %12s %10d %10d\n", c.Key, dur(c.OldSolveNs), dur(c.NewSolveNs), c.OldNodes, c.NewNodes)
+			for _, b := range c.Breaches {
+				fmt.Fprintf(stdout, "    << %s\n", b)
+			}
+		}
+		for _, k := range d.OnlyOld {
+			fmt.Fprintf(stdout, "%-28s missing from new snapshot  << breach\n", k)
+		}
+		for _, k := range d.OnlyNew {
+			fmt.Fprintf(stdout, "%-28s new cell (not in baseline)\n", k)
+		}
+		if d.Breached {
+			fmt.Fprintf(stdout, "\nREGRESSION: tolerance breached (time x%.2g, nodes x%.2g, prune drop %.2g)\n",
+				d.Tol.TimeFactor, d.Tol.NodesFactor, d.Tol.PruneDrop)
+		} else {
+			fmt.Fprintf(stdout, "\nok: %d cell(s) within tolerance\n", len(d.Deltas))
+		}
+	}
+	if d.Breached {
+		return 1
+	}
+	return 0
+}

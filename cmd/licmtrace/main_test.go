@@ -1,0 +1,127 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files from current output")
+
+// runCase executes one licmtrace invocation against the testdata
+// fixtures and compares stdout to the named golden file.
+func runCase(t *testing.T, args []string, wantCode int, golden string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, strings.NewReader(""), &stdout, &stderr)
+	if code != wantCode {
+		t.Fatalf("licmtrace %v: exit %d, want %d\nstderr: %s", args, code, wantCode, stderr.String())
+	}
+	if golden == "" {
+		return
+	}
+	path := filepath.Join("testdata", golden)
+	if *update {
+		if err := os.WriteFile(path, stdout.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create golden files)", err)
+	}
+	if got := stdout.String(); got != string(want) {
+		t.Errorf("licmtrace %v: output differs from %s\n--- got ---\n%s--- want ---\n%s", args, path, got, want)
+	}
+}
+
+func TestSummaryGolden(t *testing.T) {
+	runCase(t, []string{"summary", "testdata/fixture.jsonl"}, 0, "summary.golden")
+}
+
+func TestSummaryJSONGolden(t *testing.T) {
+	runCase(t, []string{"summary", "-json", "testdata/fixture.jsonl"}, 0, "summary_json.golden")
+}
+
+func TestFlameGolden(t *testing.T) {
+	runCase(t, []string{"flame", "testdata/fixture.jsonl"}, 0, "flame.golden")
+}
+
+func TestCatGolden(t *testing.T) {
+	runCase(t, []string{"cat", "-name", "solver.search", "testdata/fixture.jsonl"}, 0, "cat.golden")
+}
+
+// TestDiffIdenticalIsClean: diffing a trace against itself must exit 0
+// (the CI gate's no-false-positive contract).
+func TestDiffIdenticalIsClean(t *testing.T) {
+	runCase(t, []string{"diff", "testdata/fixture.jsonl", "testdata/fixture.jsonl"}, 0, "")
+}
+
+// TestDiffRegressionBreaches: the inflated-search fixture must trip the
+// default threshold and exit 1.
+func TestDiffRegressionBreaches(t *testing.T) {
+	runCase(t, []string{"diff", "testdata/fixture.jsonl", "testdata/regression.jsonl"}, 1, "diff.golden")
+}
+
+func TestDiffThresholdFlagRaisesBar(t *testing.T) {
+	// search grew 10ms -> 40ms = +300%; a 4x (=+300%) threshold is not
+	// exceeded (strictly greater breaches), so the diff passes.
+	runCase(t, []string{"diff", "-threshold", "3.0", "testdata/fixture.jsonl", "testdata/regression.jsonl"}, 0, "")
+}
+
+func TestBenchDiffIdenticalIsClean(t *testing.T) {
+	runCase(t, []string{"bench-diff", "testdata/bench_old.json", "testdata/bench_old.json"}, 0, "")
+}
+
+func TestBenchDiffRegressionBreaches(t *testing.T) {
+	runCase(t, []string{"bench-diff", "testdata/bench_old.json", "testdata/bench_regressed.json"}, 1, "bench_diff.golden")
+}
+
+func TestBenchDiffJSON(t *testing.T) {
+	runCase(t, []string{"bench-diff", "-json", "testdata/bench_old.json", "testdata/bench_regressed.json"}, 1, "bench_diff_json.golden")
+}
+
+func TestStdinDash(t *testing.T) {
+	data, err := os.ReadFile("testdata/fixture.jsonl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"summary", "-"}, bytes.NewReader(data), &stdout, &stderr); code != 0 {
+		t.Fatalf("summary -: exit %d, stderr %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "solver.search") {
+		t.Errorf("summary over stdin missing rollup table:\n%s", stdout.String())
+	}
+}
+
+func TestBadInputsExit2(t *testing.T) {
+	cases := [][]string{
+		{},
+		{"frobnicate"},
+		{"summary"},
+		{"summary", "testdata/no_such_file.jsonl"},
+		{"diff", "testdata/fixture.jsonl"},
+		{"bench-diff", "testdata/fixture.jsonl", "testdata/bench_old.json"}, // not a snapshot
+	}
+	for _, args := range cases {
+		var stdout, stderr bytes.Buffer
+		if code := run(args, strings.NewReader(""), &stdout, &stderr); code != 2 {
+			t.Errorf("licmtrace %v: exit %d, want 2", args, code)
+		}
+	}
+}
+
+func TestHelpExitsClean(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"help"}, strings.NewReader(""), &stdout, &stderr); code != 0 {
+		t.Errorf("help: exit %d, want 0", code)
+	}
+	if !strings.Contains(stderr.String(), "bench-diff") {
+		t.Errorf("help text missing commands:\n%s", stderr.String())
+	}
+}

@@ -1,0 +1,267 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"runtime/debug"
+	"sort"
+	"strings"
+	"time"
+)
+
+// SnapshotSchema versions the BENCH_<label>.json artifact layout.
+// Readers must reject majors they do not understand; the minor is
+// implicit (additive fields only).
+const SnapshotSchema = "licm-bench/1"
+
+// SnapshotDataset pins the dataset a snapshot was measured on. Two
+// snapshots are only comparable cell-by-cell when these match — the
+// diff warns when they do not.
+type SnapshotDataset struct {
+	Transactions int   `json:"transactions"`
+	Items        int   `json:"items"`
+	Seed         int64 `json:"seed"`
+	Ks           []int `json:"ks"`
+	MCSamples    int   `json:"mc_samples"`
+}
+
+// Snapshot is one benchmark run as a tracked artifact: the measured
+// cells (the same per-cell JSON WriteCellsJSON emits) wrapped with
+// enough run metadata to judge whether two snapshots are comparable
+// and to explain a delta (different Go version, different box,
+// different dataset scale).
+type Snapshot struct {
+	Schema     string          `json:"schema"`
+	Label      string          `json:"label"`
+	GoVersion  string          `json:"go_version"`
+	GOOS       string          `json:"goos"`
+	GOARCH     string          `json:"goarch"`
+	GOMAXPROCS int             `json:"gomaxprocs"`
+	Commit     string          `json:"commit,omitempty"`
+	Dataset    SnapshotDataset `json:"dataset"`
+	WallNs     int64           `json:"wall_ns"`
+	Cells      []cellJSON      `json:"cells"`
+}
+
+// NewSnapshot wraps measured cells into a snapshot, stamping runtime
+// metadata and the VCS commit when the binary carries build info
+// (go run / go build from a git checkout does).
+func NewSnapshot(label string, cfg Config, cells []Cell, wall time.Duration) Snapshot {
+	s := Snapshot{
+		Schema:     SnapshotSchema,
+		Label:      label,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Commit:     vcsRevision(),
+		Dataset: SnapshotDataset{
+			Transactions: cfg.NumTransactions,
+			Items:        cfg.NumItems,
+			Seed:         cfg.Seed,
+			Ks:           cfg.Ks,
+			MCSamples:    cfg.MCSamples,
+		},
+		WallNs: wall.Nanoseconds(),
+		Cells:  make([]cellJSON, len(cells)),
+	}
+	for i, c := range cells {
+		s.Cells[i] = toCellJSON(c)
+	}
+	return s
+}
+
+// vcsRevision extracts the vcs.revision build setting, "" when absent.
+func vcsRevision() string {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return ""
+	}
+	for _, kv := range info.Settings {
+		if kv.Key == "vcs.revision" {
+			return kv.Value
+		}
+	}
+	return ""
+}
+
+// WriteSnapshotJSON writes the snapshot as indented JSON.
+func WriteSnapshotJSON(w io.Writer, s Snapshot) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// ReadSnapshot parses a snapshot, rejecting unknown schema majors with
+// a clear error instead of mis-comparing.
+func ReadSnapshot(r io.Reader) (Snapshot, error) {
+	var s Snapshot
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return Snapshot{}, fmt.Errorf("bench: snapshot: %w", err)
+	}
+	if !strings.HasPrefix(s.Schema, "licm-bench/") {
+		return Snapshot{}, fmt.Errorf("bench: not a bench snapshot (schema %q, want licm-bench/*)", s.Schema)
+	}
+	if s.Schema != SnapshotSchema {
+		return Snapshot{}, fmt.Errorf("bench: unsupported snapshot schema %q (this reader understands %s)", s.Schema, SnapshotSchema)
+	}
+	return s, nil
+}
+
+// SnapshotTol tunes the cell-by-cell comparison. The zero value is
+// replaced by DefaultSnapshotTol field-wise.
+type SnapshotTol struct {
+	// TimeFactor bounds solve-time growth: new l_solve_ns may be up to
+	// old × TimeFactor. CI compares across machines, so keep this
+	// generous (the default 2 catches only gross regressions).
+	TimeFactor float64
+	// NodesFactor bounds search-size growth the same way. Node counts
+	// are deterministic for a fixed seed and solver, so breaches here
+	// are real algorithmic regressions, not noise.
+	NodesFactor float64
+	// MinTimeNs is the noise floor: solve times are only compared when
+	// the old cell took at least this long (sub-millisecond solves
+	// triple on scheduler jitter).
+	MinTimeNs int64
+	// PruneDrop is the allowed absolute drop in prune_ratio.
+	PruneDrop float64
+}
+
+// DefaultSnapshotTol returns the licmtrace bench-diff defaults.
+func DefaultSnapshotTol() SnapshotTol {
+	return SnapshotTol{TimeFactor: 2, NodesFactor: 2, MinTimeNs: 5_000_000, PruneDrop: 0.2}
+}
+
+// CellDelta compares one (scheme, query, k) cell across snapshots.
+type CellDelta struct {
+	Key        string  `json:"key"`
+	OldSolveNs int64   `json:"old_solve_ns"`
+	NewSolveNs int64   `json:"new_solve_ns"`
+	OldNodes   int64   `json:"old_nodes"`
+	NewNodes   int64   `json:"new_nodes"`
+	OldPrune   float64 `json:"old_prune"`
+	NewPrune   float64 `json:"new_prune"`
+	// Breaches lists the tolerance violations of this cell, empty when
+	// it is within bounds.
+	Breaches []string `json:"breaches,omitempty"`
+}
+
+// SnapshotDiff is the outcome of comparing two snapshots.
+type SnapshotDiff struct {
+	Tol    SnapshotTol `json:"tol"`
+	Deltas []CellDelta `json:"deltas"`
+	// OnlyOld lists cells the new snapshot dropped (a coverage
+	// regression, always a breach); OnlyNew lists added cells (fine).
+	OnlyOld []string `json:"only_old,omitempty"`
+	OnlyNew []string `json:"only_new,omitempty"`
+	// Warnings flag comparability problems (dataset or Go version
+	// mismatch) that do not fail the diff by themselves.
+	Warnings []string `json:"warnings,omitempty"`
+	Breached bool     `json:"breached"`
+}
+
+func cellKey(c cellJSON) string {
+	return fmt.Sprintf("%s/%s/k=%d", c.Scheme, c.Query, c.K)
+}
+
+// DiffSnapshots compares snapshots cell-by-cell on l_solve_ns, nodes
+// and prune_ratio with the given tolerances, and on the proven bounds
+// exactly: two proven runs disagreeing on l_min/l_max is a correctness
+// regression no tolerance excuses.
+func DiffSnapshots(oldS, newS Snapshot, tol SnapshotTol) SnapshotDiff {
+	def := DefaultSnapshotTol()
+	if tol.TimeFactor <= 0 {
+		tol.TimeFactor = def.TimeFactor
+	}
+	if tol.NodesFactor <= 0 {
+		tol.NodesFactor = def.NodesFactor
+	}
+	if tol.MinTimeNs <= 0 {
+		tol.MinTimeNs = def.MinTimeNs
+	}
+	if tol.PruneDrop <= 0 {
+		tol.PruneDrop = def.PruneDrop
+	}
+	d := SnapshotDiff{Tol: tol}
+	if !datasetEqual(oldS.Dataset, newS.Dataset) {
+		d.Warnings = append(d.Warnings, fmt.Sprintf("datasets differ (old %+v, new %+v): cells are not strictly comparable", oldS.Dataset, newS.Dataset))
+	}
+	if oldS.GoVersion != newS.GoVersion {
+		d.Warnings = append(d.Warnings, fmt.Sprintf("Go versions differ (old %s, new %s)", oldS.GoVersion, newS.GoVersion))
+	}
+	newCells := make(map[string]cellJSON, len(newS.Cells))
+	for _, c := range newS.Cells {
+		newCells[cellKey(c)] = c
+	}
+	oldSeen := make(map[string]bool, len(oldS.Cells))
+	for _, oc := range oldS.Cells {
+		key := cellKey(oc)
+		if oldSeen[key] {
+			continue // duplicate cell (figure overlap); first occurrence wins
+		}
+		oldSeen[key] = true
+		nc, ok := newCells[key]
+		if !ok {
+			d.OnlyOld = append(d.OnlyOld, key)
+			d.Breached = true
+			continue
+		}
+		delta := CellDelta{
+			Key:        key,
+			OldSolveNs: oc.LSolveNs,
+			NewSolveNs: nc.LSolveNs,
+			OldNodes:   oc.Nodes,
+			NewNodes:   nc.Nodes,
+			OldPrune:   oc.PruneRatio,
+			NewPrune:   nc.PruneRatio,
+		}
+		if oc.LSolveNs >= tol.MinTimeNs && float64(nc.LSolveNs) > float64(oc.LSolveNs)*tol.TimeFactor {
+			delta.Breaches = append(delta.Breaches, fmt.Sprintf("l_solve_ns %d -> %d (> %.2gx)", oc.LSolveNs, nc.LSolveNs, tol.TimeFactor))
+		}
+		if oc.Nodes > 0 && float64(nc.Nodes) > float64(oc.Nodes)*tol.NodesFactor {
+			delta.Breaches = append(delta.Breaches, fmt.Sprintf("nodes %d -> %d (> %.2gx)", oc.Nodes, nc.Nodes, tol.NodesFactor))
+		}
+		if nc.PruneRatio < oc.PruneRatio-tol.PruneDrop {
+			delta.Breaches = append(delta.Breaches, fmt.Sprintf("prune_ratio %.3f -> %.3f (drop > %.2g)", oc.PruneRatio, nc.PruneRatio, tol.PruneDrop))
+		}
+		if oc.LMinProven && nc.LMinProven && oc.LMin != nc.LMin {
+			delta.Breaches = append(delta.Breaches, fmt.Sprintf("proven l_min changed: %d -> %d", oc.LMin, nc.LMin))
+		}
+		if oc.LMaxProven && nc.LMaxProven && oc.LMax != nc.LMax {
+			delta.Breaches = append(delta.Breaches, fmt.Sprintf("proven l_max changed: %d -> %d", oc.LMax, nc.LMax))
+		}
+		if len(delta.Breaches) > 0 {
+			d.Breached = true
+		}
+		d.Deltas = append(d.Deltas, delta)
+	}
+	for _, nc := range newS.Cells {
+		key := cellKey(nc)
+		if !oldSeen[key] {
+			d.OnlyNew = append(d.OnlyNew, key)
+		}
+	}
+	sort.Slice(d.Deltas, func(i, j int) bool { return d.Deltas[i].Key < d.Deltas[j].Key })
+	sort.Strings(d.OnlyOld)
+	sort.Strings(d.OnlyNew)
+	return d
+}
+
+// datasetEqual compares datasets including the Ks slice (the struct
+// contains a slice, so == is not available).
+func datasetEqual(a, b SnapshotDataset) bool {
+	if a.Transactions != b.Transactions || a.Items != b.Items || a.Seed != b.Seed || a.MCSamples != b.MCSamples {
+		return false
+	}
+	if len(a.Ks) != len(b.Ks) {
+		return false
+	}
+	for i := range a.Ks {
+		if a.Ks[i] != b.Ks[i] {
+			return false
+		}
+	}
+	return true
+}

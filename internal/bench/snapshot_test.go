@@ -1,0 +1,188 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleCells() []Cell {
+	return []Cell{
+		{
+			Scheme: SchemeK, Query: "Q1", K: 2,
+			LMin: 12, LMax: 30, LMinFound: 12, LMaxFound: 30,
+			LMinProven: true, LMaxProven: true,
+			LSolve: 40 * time.Millisecond,
+			Nodes:  5000, LPSolves: 900, PruneRatio: 0.65,
+		},
+		{
+			Scheme: SchemeK, Query: "Q1", K: 4,
+			LMin: 10, LMax: 36, LMinFound: 10, LMaxFound: 36,
+			LMinProven: true, LMaxProven: true,
+			LSolve: 60 * time.Millisecond,
+			Nodes:  9000, LPSolves: 1500, PruneRatio: 0.6,
+		},
+	}
+}
+
+func sampleSnapshot(t *testing.T) Snapshot {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.NumTransactions = 300
+	cfg.NumItems = 80
+	cfg.Ks = []int{2, 4}
+	cfg.MCSamples = 5
+	return NewSnapshot("test", cfg, sampleCells(), 900*time.Millisecond)
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	snap := sampleSnapshot(t)
+	if snap.Schema != SnapshotSchema {
+		t.Errorf("schema = %q", snap.Schema)
+	}
+	if snap.GoVersion == "" || snap.GOMAXPROCS < 1 {
+		t.Errorf("runtime metadata missing: %+v", snap)
+	}
+	var buf bytes.Buffer
+	if err := WriteSnapshotJSON(&buf, snap); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Label != "test" || len(got.Cells) != 2 || got.WallNs != snap.WallNs {
+		t.Errorf("round trip lost data: %+v", got)
+	}
+	if got.Dataset.Transactions != 300 || got.Dataset.Items != 80 || got.Dataset.Seed != 1 || got.Dataset.MCSamples != 5 {
+		t.Errorf("dataset = %+v", got.Dataset)
+	}
+	if len(got.Dataset.Ks) != 2 || got.Dataset.Ks[0] != 2 || got.Dataset.Ks[1] != 4 {
+		t.Errorf("dataset ks = %v", got.Dataset.Ks)
+	}
+}
+
+func TestReadSnapshotRejectsForeignAndFutureSchemas(t *testing.T) {
+	for _, tc := range []struct {
+		json, wantErr string
+	}{
+		{`{"schema":"something-else/3"}`, "not a bench snapshot"},
+		{`{"schema":"licm-bench/2"}`, "unsupported snapshot schema"},
+		{`{`, "snapshot"},
+	} {
+		_, err := ReadSnapshot(strings.NewReader(tc.json))
+		if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("ReadSnapshot(%q) err = %v, want containing %q", tc.json, err, tc.wantErr)
+		}
+	}
+}
+
+func TestDiffSnapshotsIdenticalIsClean(t *testing.T) {
+	snap := sampleSnapshot(t)
+	d := DiffSnapshots(snap, snap, SnapshotTol{})
+	if d.Breached {
+		t.Fatalf("identical snapshots breached: %+v", d)
+	}
+	if len(d.Deltas) != 2 || len(d.OnlyOld) != 0 || len(d.OnlyNew) != 0 || len(d.Warnings) != 0 {
+		t.Errorf("diff = %+v", d)
+	}
+}
+
+func TestDiffSnapshotsBreaches(t *testing.T) {
+	oldS := sampleSnapshot(t)
+
+	mutate := func(f func(*cellJSON)) Snapshot {
+		s := sampleSnapshot(t)
+		s.Cells = append([]cellJSON(nil), oldS.Cells...)
+		f(&s.Cells[0])
+		return s
+	}
+	cases := []struct {
+		name string
+		newS Snapshot
+		want string
+	}{
+		{"slow solve", mutate(func(c *cellJSON) { c.LSolveNs *= 3 }), "l_solve_ns"},
+		{"node blowup", mutate(func(c *cellJSON) { c.Nodes *= 3 }), "nodes"},
+		{"prune collapse", mutate(func(c *cellJSON) { c.PruneRatio = 0.1 }), "prune_ratio"},
+		{"proven min changed", mutate(func(c *cellJSON) { c.LMin = 11 }), "proven l_min"},
+		{"proven max changed", mutate(func(c *cellJSON) { c.LMax = 31 }), "proven l_max"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d := DiffSnapshots(oldS, tc.newS, SnapshotTol{})
+			if !d.Breached {
+				t.Fatalf("no breach: %+v", d)
+			}
+			found := false
+			for _, delta := range d.Deltas {
+				for _, b := range delta.Breaches {
+					if strings.Contains(b, tc.want) {
+						found = true
+					}
+				}
+			}
+			if !found {
+				t.Errorf("no breach mentioning %q in %+v", tc.want, d.Deltas)
+			}
+		})
+	}
+}
+
+func TestDiffSnapshotsMissingCellBreaches(t *testing.T) {
+	oldS := sampleSnapshot(t)
+	newS := sampleSnapshot(t)
+	newS.Cells = newS.Cells[:1]
+	d := DiffSnapshots(oldS, newS, SnapshotTol{})
+	if !d.Breached || len(d.OnlyOld) != 1 {
+		t.Errorf("dropped cell not flagged: %+v", d)
+	}
+	// Added cells are fine.
+	d2 := DiffSnapshots(newS, oldS, SnapshotTol{})
+	if d2.Breached || len(d2.OnlyNew) != 1 {
+		t.Errorf("added cell mishandled: %+v", d2)
+	}
+}
+
+func TestDiffSnapshotsNoiseFloor(t *testing.T) {
+	oldS := sampleSnapshot(t)
+	newS := sampleSnapshot(t)
+	newS.Cells = append([]cellJSON(nil), oldS.Cells...)
+	// Old solve below the floor: even a 100x new time is ignored.
+	oldS.Cells[0].LSolveNs = 100_000
+	newS.Cells[0].LSolveNs = 10_000_000
+	newS.Cells[0].Nodes = oldS.Cells[0].Nodes
+	d := DiffSnapshots(oldS, newS, SnapshotTol{})
+	for _, delta := range d.Deltas {
+		for _, b := range delta.Breaches {
+			if strings.Contains(b, "l_solve_ns") {
+				t.Errorf("sub-floor solve time breached: %s", b)
+			}
+		}
+	}
+}
+
+func TestDiffSnapshotsWarnsOnMismatchedRuns(t *testing.T) {
+	oldS := sampleSnapshot(t)
+	newS := sampleSnapshot(t)
+	newS.Dataset.Transactions = 500
+	newS.GoVersion = "go9.99"
+	d := DiffSnapshots(oldS, newS, SnapshotTol{})
+	var dataset, gover bool
+	for _, w := range d.Warnings {
+		if strings.Contains(w, "datasets differ") {
+			dataset = true
+		}
+		if strings.Contains(w, "Go versions differ") {
+			gover = true
+		}
+	}
+	if !dataset || !gover {
+		t.Errorf("warnings = %v", d.Warnings)
+	}
+	// Warnings alone do not breach.
+	if d.Breached {
+		t.Errorf("comparability warnings breached the diff: %+v", d)
+	}
+}

@@ -1,0 +1,77 @@
+package mc_test
+
+import (
+	"testing"
+
+	"licm/internal/mc"
+	"licm/internal/obs"
+	"licm/internal/queries"
+)
+
+// TestEventEveryDownsamples: EventEvery=k keeps every k-th mc.sample
+// event (world 0 first) and accounts for the rest in the mc.run span's
+// samples_dropped attr. Results are unaffected.
+func TestEventEveryDownsamples(t *testing.T) {
+	const n = 20
+	q := queries.Q1{Pa: queries.Pred{Lo: 0, Hi: 9}, Pb: queries.Pred{Lo: 0, Hi: 9}}
+	for _, tc := range []struct {
+		every       int
+		wantSamples int
+	}{
+		{0, n},  // default: trace every world
+		{1, n},  // explicit default
+		{7, 3},  // worlds 0, 7, 14
+		{n, 1},  // only world 0
+		{99, 1}, // every > n still traces world 0
+	} {
+		enc := smallEncodings(t, 40, 3)["k-anon"]
+		s := mc.NewSampler(enc, 11)
+		s.EventEvery = tc.every
+		sink := &obs.CollectSink{}
+		s.SetTracer(obs.New(sink))
+		res := s.Run(q, n)
+		if len(res.Answers) != n {
+			t.Fatalf("every=%d: %d answers, want %d", tc.every, len(res.Answers), n)
+		}
+		samples := 0
+		var runEnd *obs.Event
+		for _, e := range sink.Events() {
+			e := e
+			switch {
+			case e.Kind == obs.KindEvent && e.Name == "mc.sample":
+				samples++
+			case e.Kind == obs.KindSpanEnd && e.Name == "mc.run":
+				runEnd = &e
+			}
+		}
+		if samples != tc.wantSamples {
+			t.Errorf("every=%d: %d mc.sample events, want %d", tc.every, samples, tc.wantSamples)
+		}
+		if runEnd == nil {
+			t.Fatalf("every=%d: missing mc.run span_end", tc.every)
+		}
+		if got := runEnd.Attrs["samples_dropped"]; got != n-tc.wantSamples {
+			t.Errorf("every=%d: samples_dropped = %v, want %d", tc.every, got, n-tc.wantSamples)
+		}
+	}
+}
+
+// TestEventEveryUntracedDropsNothing: without a tracer no events exist
+// to drop, and downsampling changes no numeric result.
+func TestEventEveryUntracedDropsNothing(t *testing.T) {
+	q := queries.Q1{Pa: queries.Pred{Lo: 0, Hi: 9}, Pb: queries.Pred{Lo: 0, Hi: 9}}
+	enc := smallEncodings(t, 40, 3)["k-anon"]
+	plain := mc.NewSampler(enc, 11)
+	base := plain.Run(q, 15)
+
+	enc2 := smallEncodings(t, 40, 3)["k-anon"]
+	down := mc.NewSampler(enc2, 11)
+	down.EventEvery = 5
+	sink := &obs.CollectSink{}
+	down.SetTracer(obs.New(sink))
+	got := down.Run(q, 15)
+
+	if base.Min != got.Min || base.Max != got.Max {
+		t.Errorf("downsampling changed results: [%d,%d] vs [%d,%d]", base.Min, base.Max, got.Min, got.Max)
+	}
+}

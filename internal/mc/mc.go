@@ -32,8 +32,16 @@ type Sampler struct {
 	// assign is reused across samples.
 	assign []uint8
 	// tr, when set, receives an "mc.run" span per Run with one
-	// "mc.sample" event per sampled world.
+	// "mc.sample" event per sampled world (subject to EventEvery).
 	tr *obs.Tracer
+	// EventEvery downsamples the per-world "mc.sample" trace events:
+	// only every EventEvery-th world (the 0th, EventEvery-th, ...) is
+	// emitted, and the mc.run span records the number dropped as the
+	// samples_dropped attr. 0 or 1 traces every world (the default).
+	// Large MC sweeps otherwise dominate a trace file — 500 worlds is
+	// 500 lines per run — while the run-level min/max/acceptance
+	// summary is usually what the analysis needs.
+	EventEvery int
 	// Rejection-sampling work for SubsetGE1 groups: attempts counts
 	// every candidate subset drawn, accepted the non-empty ones kept.
 	subsetAttempts int64
@@ -167,6 +175,11 @@ func (s *Sampler) Run(q queries.Query, n int) Result {
 	sp := s.tr.Start("mc.run", obs.Int("samples", n))
 	attempts0, accepted0 := s.subsetAttempts, s.subsetAccepted
 	res := Result{Min: 1 << 62, Max: -(1 << 62)}
+	every := s.EventEvery
+	if every < 1 {
+		every = 1
+	}
+	dropped := 0
 	for i := 0; i < n; i++ {
 		var t0 time.Time
 		if s.tr.Enabled() {
@@ -175,7 +188,11 @@ func (s *Sampler) Run(q queries.Query, n int) Result {
 		w := s.SampleWorld()
 		a := q.Eval(w)
 		if s.tr.Enabled() {
-			sp.Event("mc.sample", obs.Int("i", i), obs.I64("answer", a), obs.DurNs("dur", time.Since(t0)))
+			if i%every == 0 {
+				sp.Event("mc.sample", obs.Int("i", i), obs.I64("answer", a), obs.DurNs("dur", time.Since(t0)))
+			} else {
+				dropped++
+			}
 		}
 		res.Answers = append(res.Answers, a)
 		if a < res.Min {
@@ -194,6 +211,7 @@ func (s *Sampler) Run(q queries.Query, n int) Result {
 		obs.I64("min", res.Min),
 		obs.I64("max", res.Max),
 		obs.F64("acceptance_rate", res.AcceptanceRate()),
+		obs.Int("samples_dropped", dropped),
 	)
 	return res
 }

@@ -93,6 +93,27 @@ type HistSnapshot struct {
 	Buckets []HistBucket `json:"buckets,omitempty"`
 }
 
+// Quantile returns an upper estimate of the q-quantile (0 <= q <= 1):
+// the Lt bound of the bucket where the cumulative count crosses
+// q*Count. Power-of-two buckets make this exact to within a factor of
+// two, which is the right resolution for latency distributions whose
+// interesting changes are multiplicative. Returns 0 on an empty
+// snapshot.
+func (s HistSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 || len(s.Buckets) == 0 {
+		return 0
+	}
+	target := q * float64(s.Count)
+	var cum float64
+	for _, b := range s.Buckets {
+		cum += float64(b.N)
+		if cum >= target {
+			return b.Lt
+		}
+	}
+	return s.Buckets[len(s.Buckets)-1].Lt
+}
+
 // Snapshot captures the histogram state.
 func (h *Histogram) Snapshot() HistSnapshot {
 	if h == nil {

@@ -60,13 +60,21 @@ func DurNs(key string, d time.Duration) Attr {
 	return Attr{Key: key, Value: d.Nanoseconds()}
 }
 
+// SchemaVersion identifies the trace event schema, major.minor. The
+// major version changes only on incompatible layout changes (renamed
+// fields, changed units); readers must reject majors they do not know
+// (tracean.Reader does). Minor bumps are additive and safe to ignore.
+const SchemaVersion = "1.0"
+
 // Event is one trace record. Span and Parent are span ids (0 = none);
-// DurNs is set on span_end events only.
+// DurNs is set on span_end events only. Schema carries SchemaVersion
+// on the first event of each trace and is empty afterwards.
 type Event struct {
 	Seq    int64          `json:"seq"`
 	Time   time.Time      `json:"time"`
 	Kind   Kind           `json:"ev"`
 	Name   string         `json:"name"`
+	Schema string         `json:"schema,omitempty"`
 	Span   int64          `json:"span,omitempty"`
 	Parent int64          `json:"parent,omitempty"`
 	DurNs  int64          `json:"dur_ns,omitempty"`
@@ -103,6 +111,9 @@ func (t *Tracer) emit(kind Kind, name string, span, parent, durNs int64, attrs [
 		Span:   span,
 		Parent: parent,
 		DurNs:  durNs,
+	}
+	if e.Seq == 1 {
+		e.Schema = SchemaVersion
 	}
 	if len(attrs) > 0 {
 		e.Attrs = make(map[string]any, len(attrs))

@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"testing"
+)
+
+// TestSchemaStampOnFirstEventOnly: a tracer stamps SchemaVersion on the
+// event that wins seq 1 and on no other, so a trace file carries
+// exactly one version marker however it was produced.
+func TestSchemaStampOnFirstEventOnly(t *testing.T) {
+	sink := &CollectSink{}
+	tr := New(sink)
+	tr.Event("a")
+	sp := tr.Start("b")
+	sp.End()
+	evs := sink.Events()
+	if len(evs) != 3 {
+		t.Fatalf("got %d events", len(evs))
+	}
+	if evs[0].Schema != SchemaVersion {
+		t.Errorf("first event schema = %q, want %q", evs[0].Schema, SchemaVersion)
+	}
+	for _, e := range evs[1:] {
+		if e.Schema != "" {
+			t.Errorf("event seq %d carries schema %q, want empty", e.Seq, e.Schema)
+		}
+	}
+}
+
+// TestHistogramQuantile: Quantile returns the upper bound of the bucket
+// holding the q-th observation.
+func TestHistogramQuantile(t *testing.T) {
+	h := &Histogram{}
+	// 90 small observations in the [8,16) bucket, 10 large in [1024,2048).
+	for i := 0; i < 90; i++ {
+		h.Observe(10)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(1500)
+	}
+	snap := h.Snapshot()
+	if got := snap.Quantile(0.5); got != 16 {
+		t.Errorf("p50 = %d, want bucket bound 16", got)
+	}
+	if got := snap.Quantile(0.99); got != 2048 {
+		t.Errorf("p99 = %d, want bucket bound 2048", got)
+	}
+	if got := (HistSnapshot{}).Quantile(0.5); got != 0 {
+		t.Errorf("empty quantile = %d, want 0", got)
+	}
+}

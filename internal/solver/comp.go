@@ -2,6 +2,7 @@ package solver
 
 import (
 	"math"
+	"time"
 
 	"licm/internal/simplex"
 )
@@ -42,6 +43,9 @@ type comp struct {
 	flushedLPs   int64
 	flushedProps int64
 	aborted      bool
+	// lastBatch is the wall-clock time of the previous flush, set only
+	// when the ctrl records latency histograms (solver.node_ns).
+	lastBatch time.Time
 
 	// Adaptive LP control: when relaxation solves stop pruning, the
 	// search falls back to plain DFS (the LP is rebuilt from scratch
@@ -135,6 +139,13 @@ func (c *comp) flushCtrl() bool {
 	dl := c.lpSolves - c.flushedLPs
 	dp := c.prop.nAssigns - c.flushedProps
 	c.flushedNodes, c.flushedLPs, c.flushedProps = c.nodes, c.lpSolves, c.prop.nAssigns
+	if c.ctrl.timingLatencies() {
+		now := time.Now()
+		if !c.lastBatch.IsZero() {
+			c.ctrl.observeNodeBatch(now.Sub(c.lastBatch), dn)
+		}
+		c.lastBatch = now
+	}
 	if !c.ctrl.add(dn, dl, dp) {
 		c.aborted = true
 		return false
@@ -146,6 +157,9 @@ func (c *comp) flushCtrl() bool {
 // domains may carry fixings from global presolve.
 func solveComp(n int, cons []lcon, obj []int64, derived []bool, prop *propagator, opts Options, budget *int64, kc *ctrl) compResult {
 	c := &comp{n: n, cons: cons, obj: obj, derived: derived, prop: prop, opts: opts, budget: budget, ctrl: kc}
+	if kc.timingLatencies() {
+		c.lastBatch = time.Now()
+	}
 	c.feasOnly = allZero(obj)
 	if c.feasOnly {
 		c.stopAtFirst = true
@@ -553,6 +567,10 @@ func (c *comp) lpNode(pos int) {
 // returned objective includes the value of already-fixed variables.
 func (c *comp) solveRelaxation(fixedVal int64) (simplex.Solution, simplex.Status, []int32) {
 	c.lpSolves++
+	if c.ctrl.timingLatencies() {
+		t0 := time.Now()
+		defer func() { c.ctrl.observeLP(time.Since(t0)) }()
+	}
 	col := make(map[int32]int, 16)
 	var cols []int32
 	colOf := func(v int32) int {

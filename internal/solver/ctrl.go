@@ -2,6 +2,7 @@ package solver
 
 import (
 	"sync/atomic"
+	"time"
 
 	"licm/internal/obs"
 )
@@ -43,6 +44,7 @@ type ctrl struct {
 	canceled     atomic.Bool
 
 	cNodes, cLPs, cProps, cInc *obs.Counter
+	hLP, hNode                 *obs.Histogram
 }
 
 // newCtrl returns the control block for a solve, or nil when no
@@ -65,8 +67,35 @@ func newCtrl(opts Options) *ctrl {
 		k.cLPs = opts.Metrics.Counter("solver.lp_solves")
 		k.cProps = opts.Metrics.Counter("solver.propagations")
 		k.cInc = opts.Metrics.Counter("solver.incumbents")
+		k.hLP = opts.Metrics.Histogram("solver.lp_ns")
+		k.hNode = opts.Metrics.Histogram("solver.node_ns")
 	}
 	return k
+}
+
+// timingLatencies reports whether per-LP and per-node-batch latencies
+// should be measured (they cost a clock read each, so they are tied to
+// an attached metrics registry rather than always on).
+func (k *ctrl) timingLatencies() bool {
+	return k != nil && k.hLP != nil
+}
+
+// observeLP records one LP relaxation's wall-clock duration into the
+// solver.lp_ns histogram.
+func (k *ctrl) observeLP(d time.Duration) {
+	k.hLP.Observe(d.Nanoseconds())
+}
+
+// observeNodeBatch records the mean per-node latency of a flushed
+// batch of nodes into the solver.node_ns histogram. Batches are
+// ctrlGranularity nodes (smaller on the final flush), so one
+// observation summarizes up to that many nodes — cheap enough for the
+// hot loop while still capturing how node cost shifts between plain
+// DFS and LP-bounded search.
+func (k *ctrl) observeNodeBatch(elapsed time.Duration, nodes int64) {
+	if nodes > 0 {
+		k.hNode.Observe(elapsed.Nanoseconds() / nodes)
+	}
 }
 
 // snapshot returns the current cumulative totals.

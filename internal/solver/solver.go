@@ -30,6 +30,25 @@ func solve(p *Problem, opts Options, minimized bool) (res Result, err error) {
 		obs.Int("cons", len(p.Constraints)))
 	defer func() {
 		res.Stats.TotalTime = time.Since(start)
+		// Surface the solve-latency distributions in the trace so
+		// post-processors (licmtrace summary) see them without scraping
+		// expvar. Values are cumulative over the registry's lifetime —
+		// a Bounds call reports totals across both directions.
+		if opts.Metrics != nil && tr.Enabled() {
+			for _, h := range []string{"solver.lp_ns", "solver.node_ns"} {
+				snap := opts.Metrics.Histogram(h).Snapshot()
+				if snap.Count == 0 {
+					continue
+				}
+				tr.Event("solver.hist",
+					obs.Str("hist", h),
+					obs.I64("count", snap.Count),
+					obs.I64("sum", snap.Sum),
+					obs.F64("mean", snap.Mean),
+					obs.I64("p50", snap.Quantile(0.5)),
+					obs.I64("p99", snap.Quantile(0.99)))
+			}
+		}
 		root.End(
 			obs.Bool("ok", err == nil),
 			obs.Bool("proven", res.Proven),

@@ -1,0 +1,186 @@
+package tracean
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"time"
+)
+
+// synth builds a trace in memory: root(100ms) with two a-children
+// (30ms, 10ms) and one b-child (20ms).
+func synth(t *testing.T) *Trace {
+	t.Helper()
+	base := time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)
+	at := func(ms int) string { return base.Add(time.Duration(ms) * time.Millisecond).Format(time.RFC3339Nano) }
+	tr, err := ReadTrace(lines(
+		`{"seq":1,"time":"`+at(0)+`","ev":"span_start","name":"root","span":1}`,
+		`{"seq":2,"time":"`+at(0)+`","ev":"span_start","name":"a","span":2,"parent":1}`,
+		`{"seq":3,"time":"`+at(30)+`","ev":"span_end","name":"a","span":2,"parent":1,"dur_ns":30000000}`,
+		`{"seq":4,"time":"`+at(30)+`","ev":"span_start","name":"a","span":3,"parent":1}`,
+		`{"seq":5,"time":"`+at(40)+`","ev":"span_end","name":"a","span":3,"parent":1,"dur_ns":10000000}`,
+		`{"seq":6,"time":"`+at(40)+`","ev":"span_start","name":"b","span":4,"parent":1}`,
+		`{"seq":7,"time":"`+at(60)+`","ev":"span_end","name":"b","span":4,"parent":1,"dur_ns":20000000}`,
+		`{"seq":8,"time":"`+at(100)+`","ev":"span_end","name":"root","span":1,"dur_ns":100000000}`,
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestRollups(t *testing.T) {
+	rs := synth(t).Rollups()
+	if len(rs) != 3 {
+		t.Fatalf("got %d rollups: %+v", len(rs), rs)
+	}
+	// Ordered by self time desc: a (40ms), root (40ms self) — tie broken
+	// by name — then b (20ms).
+	byName := map[string]Rollup{}
+	for _, r := range rs {
+		byName[r.Name] = r
+	}
+	a := byName["a"]
+	if a.Count != 2 || a.TotalNs != 40000000 || a.SelfNs != 40000000 {
+		t.Errorf("a rollup = %+v", a)
+	}
+	if a.MinNs != 10000000 || a.MaxNs != 30000000 || a.P50Ns != 10000000 || a.P99Ns != 30000000 {
+		t.Errorf("a distribution = %+v", a)
+	}
+	root := byName["root"]
+	if root.SelfNs != 40000000 {
+		t.Errorf("root self = %d, want 40ms", root.SelfNs)
+	}
+	// Self times partition the root duration.
+	var self int64
+	for _, r := range rs {
+		self += r.SelfNs
+	}
+	if self != 100000000 {
+		t.Errorf("self times sum to %d, want root's 100ms", self)
+	}
+	if rs[0].Name != "a" || rs[1].Name != "root" || rs[2].Name != "b" {
+		t.Errorf("order = %s,%s,%s", rs[0].Name, rs[1].Name, rs[2].Name)
+	}
+}
+
+func TestQuantileNearestRank(t *testing.T) {
+	sorted := []int64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+	for _, tc := range []struct {
+		q    float64
+		want int64
+	}{{0.5, 50}, {0.99, 100}, {0.01, 10}, {1, 100}} {
+		if got := quantile(sorted, tc.q); got != tc.want {
+			t.Errorf("quantile(%.2f) = %d, want %d", tc.q, got, tc.want)
+		}
+	}
+	if got := quantile(nil, 0.5); got != 0 {
+		t.Errorf("quantile(empty) = %d", got)
+	}
+}
+
+func TestCriticalPath(t *testing.T) {
+	path := synth(t).CriticalPath()
+	if len(path) != 2 {
+		t.Fatalf("path = %+v", path)
+	}
+	if path[0].Name != "root" || path[1].Name != "a" || path[1].DurNs != 30000000 {
+		t.Errorf("path = %+v", path)
+	}
+	var empty Trace
+	if p := empty.CriticalPath(); p != nil {
+		t.Errorf("empty trace path = %+v", p)
+	}
+}
+
+func TestFoldedStacks(t *testing.T) {
+	var buf bytes.Buffer
+	if err := synth(t).FoldedStacks(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "root 40000000\nroot;a 40000000\nroot;b 20000000\n"
+	if buf.String() != want {
+		t.Errorf("folded stacks:\n%s\nwant:\n%s", buf.String(), want)
+	}
+}
+
+func TestDiffCleanOnIdentical(t *testing.T) {
+	tr := synth(t)
+	rep := Diff(tr, tr, DiffOptions{})
+	if rep.Breached {
+		t.Fatalf("identical traces breached: %+v", rep)
+	}
+	for _, d := range rep.Deltas {
+		if d.Rel != 0 || d.Breach {
+			t.Errorf("delta %+v on identical traces", d)
+		}
+	}
+}
+
+func TestDiffDetectsGrowthAndNewPhases(t *testing.T) {
+	oldT := synth(t)
+	newT, err := ReadTrace(lines(
+		`{"seq":1,"time":"2026-01-02T03:04:05Z","ev":"span_start","name":"root","span":1}`,
+		`{"seq":2,"time":"2026-01-02T03:04:05.1Z","ev":"span_start","name":"a","span":2,"parent":1}`,
+		`{"seq":3,"time":"2026-01-02T03:04:05.2Z","ev":"span_end","name":"a","span":2,"parent":1,"dur_ns":90000000}`,
+		`{"seq":4,"time":"2026-01-02T03:04:05.3Z","ev":"span_start","name":"c","span":3,"parent":1}`,
+		`{"seq":5,"time":"2026-01-02T03:04:05.4Z","ev":"span_end","name":"c","span":3,"parent":1,"dur_ns":5000000}`,
+		`{"seq":6,"time":"2026-01-02T03:04:05.5Z","ev":"span_end","name":"root","span":1,"dur_ns":100000000}`,
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Diff(oldT, newT, DiffOptions{})
+	if !rep.Breached {
+		t.Fatal("90ms vs 40ms 'a' did not breach")
+	}
+	byName := map[string]PhaseDelta{}
+	for _, d := range rep.Deltas {
+		byName[d.Name] = d
+	}
+	if d := byName["a"]; !d.Breach || math.Abs(d.Rel-1.25) > 1e-9 {
+		t.Errorf("a delta = %+v, want breach at +125%%", d)
+	}
+	// c is new: infinite growth, above the 1ms floor -> breach.
+	if d := byName["c"]; !d.Breach || !math.IsInf(d.Rel, 1) {
+		t.Errorf("c delta = %+v, want +Inf breach", d)
+	}
+	// b disappeared: never a breach.
+	if d := byName["b"]; d.Breach || d.NewSelfNs != 0 {
+		t.Errorf("b delta = %+v", d)
+	}
+}
+
+func TestDiffNoiseFloorSuppressesTinyPhases(t *testing.T) {
+	oldT, err := ReadTrace(lines(
+		`{"seq":1,"time":"2026-01-02T03:04:05Z","ev":"span_start","name":"x","span":1}`,
+		`{"seq":2,"time":"2026-01-02T03:04:05.001Z","ev":"span_end","name":"x","span":1,"dur_ns":1000}`,
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	newT, err := ReadTrace(lines(
+		`{"seq":1,"time":"2026-01-02T03:04:05Z","ev":"span_start","name":"x","span":1}`,
+		`{"seq":2,"time":"2026-01-02T03:04:05.001Z","ev":"span_end","name":"x","span":1,"dur_ns":900000}`,
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// x grew 900x but stays under the default 1ms floor.
+	if rep := Diff(oldT, newT, DiffOptions{}); rep.Breached {
+		t.Errorf("sub-floor growth breached: %+v", rep)
+	}
+}
+
+func TestCheckSchema(t *testing.T) {
+	for _, ok := range []string{"1", "1.0", "1.9"} {
+		if err := checkSchema(ok); err != nil {
+			t.Errorf("checkSchema(%q) = %v", ok, err)
+		}
+	}
+	for _, bad := range []string{"2", "2.0", "0.9", "x"} {
+		if err := checkSchema(bad); err == nil {
+			t.Errorf("checkSchema(%q) accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package tracean
+
+import (
+	"math"
+	"sort"
+)
+
+// DiffOptions tune the regression comparison.
+type DiffOptions struct {
+	// Threshold is the allowed relative growth of a phase's self time:
+	// 0.5 tolerates +50%, failing only when new > old × 1.5. Shrinkage
+	// never breaches. <= 0 defaults to 0.5.
+	Threshold float64
+	// MinNs is the noise floor: a phase whose new self time is below it
+	// never breaches, whatever the ratio (microsecond phases triple on
+	// scheduler jitter alone). <= 0 defaults to 1ms.
+	MinNs int64
+}
+
+// DefaultDiffOptions returns the thresholds licmtrace diff uses when
+// no flags are given.
+func DefaultDiffOptions() DiffOptions {
+	return DiffOptions{Threshold: 0.5, MinNs: int64(1_000_000)}
+}
+
+// PhaseDelta compares one span name across two traces.
+type PhaseDelta struct {
+	Name      string `json:"name"`
+	OldCount  int    `json:"old_count"`
+	NewCount  int    `json:"new_count"`
+	OldSelfNs int64  `json:"old_self_ns"`
+	NewSelfNs int64  `json:"new_self_ns"`
+	// Rel is (new-old)/old self time; +Inf for phases the old trace
+	// lacks entirely.
+	Rel    float64 `json:"rel"`
+	Breach bool    `json:"breach"`
+}
+
+// DiffReport is the phase-by-phase comparison of two traces.
+type DiffReport struct {
+	Threshold float64      `json:"threshold"`
+	MinNs     int64        `json:"min_ns"`
+	Deltas    []PhaseDelta `json:"deltas"`
+	Breached  bool         `json:"breached"`
+}
+
+// Diff compares the per-phase self-time rollups of two traces. Phases
+// are matched by span name; a phase present only in the new trace
+// counts as infinite growth (breaching once past the noise floor), a
+// phase that disappeared is reported with NewSelfNs 0 and never
+// breaches. Deltas are ordered by absolute self-time change,
+// largest first.
+func Diff(oldT, newT *Trace, opts DiffOptions) DiffReport {
+	if opts.Threshold <= 0 {
+		opts.Threshold = DefaultDiffOptions().Threshold
+	}
+	if opts.MinNs <= 0 {
+		opts.MinNs = DefaultDiffOptions().MinNs
+	}
+	olds := make(map[string]Rollup)
+	for _, r := range oldT.Rollups() {
+		olds[r.Name] = r
+	}
+	news := make(map[string]Rollup)
+	for _, r := range newT.Rollups() {
+		news[r.Name] = r
+	}
+	names := make(map[string]bool)
+	for n := range olds {
+		names[n] = true
+	}
+	for n := range news {
+		names[n] = true
+	}
+	rep := DiffReport{Threshold: opts.Threshold, MinNs: opts.MinNs}
+	for n := range names {
+		o, hasOld := olds[n]
+		nw := news[n]
+		d := PhaseDelta{
+			Name:      n,
+			OldCount:  o.Count,
+			NewCount:  nw.Count,
+			OldSelfNs: o.SelfNs,
+			NewSelfNs: nw.SelfNs,
+		}
+		switch {
+		case !hasOld || o.SelfNs == 0:
+			if nw.SelfNs > 0 {
+				d.Rel = math.Inf(1)
+			}
+		default:
+			d.Rel = float64(nw.SelfNs-o.SelfNs) / float64(o.SelfNs)
+		}
+		if nw.SelfNs >= opts.MinNs && d.Rel > opts.Threshold {
+			d.Breach = true
+			rep.Breached = true
+		}
+		rep.Deltas = append(rep.Deltas, d)
+	}
+	sort.Slice(rep.Deltas, func(i, j int) bool {
+		ai := abs64(rep.Deltas[i].NewSelfNs - rep.Deltas[i].OldSelfNs)
+		aj := abs64(rep.Deltas[j].NewSelfNs - rep.Deltas[j].OldSelfNs)
+		if ai != aj {
+			return ai > aj
+		}
+		return rep.Deltas[i].Name < rep.Deltas[j].Name
+	})
+	return rep
+}
+
+func abs64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,48 @@
+package tracean
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// FoldedStacks writes the trace in the folded-stack format flamegraph
+// tooling consumes (inferno's flamegraph/flamegraph.pl, speedscope):
+// one line per distinct span stack,
+//
+//	root;child;grandchild <weight>
+//
+// with the weight being the stack's summed self time in nanoseconds.
+// Same-named stacks from repeated spans (every bench.cell, every
+// op.project) merge into one line, which is exactly the aggregation a
+// flamegraph renders as width.
+func (t *Trace) FoldedStacks(w io.Writer) error {
+	weights := make(map[string]int64)
+	var stack []string
+	var rec func(s *Span)
+	rec = func(s *Span) {
+		stack = append(stack, s.Name)
+		if s.SelfNs > 0 {
+			weights[strings.Join(stack, ";")] += s.SelfNs
+		}
+		for _, c := range s.Children {
+			rec(c)
+		}
+		stack = stack[:len(stack)-1]
+	}
+	for _, r := range t.Roots {
+		rec(r)
+	}
+	keys := make([]string, 0, len(weights))
+	for k := range weights {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if _, err := fmt.Fprintf(w, "%s %d\n", k, weights[k]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

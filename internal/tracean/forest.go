@@ -1,0 +1,186 @@
+package tracean
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"licm/internal/obs"
+)
+
+// Span is one reconstructed span: a start/end pair with its children
+// and the plain events emitted under it.
+type Span struct {
+	Name   string
+	ID     int64
+	Parent int64 // 0 = root
+	Start  time.Time
+	DurNs  int64
+	// SelfNs is DurNs minus the duration of direct children — the time
+	// attributable to this span alone, which is what rollups and
+	// folded stacks weigh.
+	SelfNs     int64
+	StartSeq   int64
+	EndSeq     int64
+	StartAttrs map[string]any
+	EndAttrs   map[string]any
+	Children   []*Span
+	Events     []obs.Event
+}
+
+// Trace is a fully reconstructed and validated trace.
+type Trace struct {
+	// Schema is the version stamp found on the trace ("" on
+	// pre-versioning traces).
+	Schema string
+	// Events holds every event in emission order, including the plain
+	// events whose parent span is unknown.
+	Events []obs.Event
+	// Roots are the parentless spans in start order.
+	Roots []*Span
+	// ByID indexes every span.
+	ByID map[int64]*Span
+	// Start/End bound the trace's wall-clock window; WallNs is their
+	// distance (0 for traces with fewer than two timestamps).
+	Start, End time.Time
+	WallNs     int64
+}
+
+// ReadTrace streams the whole trace out of r, reconstructs the span
+// forest, and validates it: every span_start must have exactly one
+// matching span_end (same id, same name), and every child must be
+// fully contained in its parent — started while the parent is open,
+// ended before the parent ends. A violated invariant is an error: it
+// means a truncated file or a producer bug, and analytics over it
+// would silently misattribute time.
+func ReadTrace(r io.Reader) (*Trace, error) {
+	rd := NewReader(r)
+	t := &Trace{ByID: make(map[int64]*Span)}
+	open := make(map[int64]*Span)   // span id -> open span
+	openKids := make(map[int64]int) // span id -> currently open children
+	for {
+		e, err := rd.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		t.Events = append(t.Events, *e)
+		if t.Start.IsZero() || e.Time.Before(t.Start) {
+			t.Start = e.Time
+		}
+		if e.Time.After(t.End) {
+			t.End = e.Time
+		}
+		switch e.Kind {
+		case obs.KindSpanStart:
+			if e.Span == 0 {
+				return nil, fmt.Errorf("tracean: seq %d: span_start %q without a span id", e.Seq, e.Name)
+			}
+			if _, dup := t.ByID[e.Span]; dup {
+				return nil, fmt.Errorf("tracean: seq %d: duplicate span id %d (%q)", e.Seq, e.Span, e.Name)
+			}
+			s := &Span{
+				Name:       e.Name,
+				ID:         e.Span,
+				Parent:     e.Parent,
+				Start:      e.Time,
+				StartSeq:   e.Seq,
+				StartAttrs: e.Attrs,
+			}
+			if e.Parent != 0 {
+				p, ok := open[e.Parent]
+				if !ok {
+					if _, closed := t.ByID[e.Parent]; closed {
+						return nil, fmt.Errorf("tracean: seq %d: span %q (id %d) starts inside parent %d, which already ended", e.Seq, e.Name, e.Span, e.Parent)
+					}
+					return nil, fmt.Errorf("tracean: seq %d: span %q (id %d) references unknown parent %d", e.Seq, e.Name, e.Span, e.Parent)
+				}
+				p.Children = append(p.Children, s)
+				openKids[e.Parent]++
+			} else {
+				t.Roots = append(t.Roots, s)
+			}
+			t.ByID[e.Span] = s
+			open[e.Span] = s
+		case obs.KindSpanEnd:
+			s, ok := open[e.Span]
+			if !ok {
+				return nil, fmt.Errorf("tracean: seq %d: span_end %q (id %d) without a matching span_start", e.Seq, e.Name, e.Span)
+			}
+			if s.Name != e.Name {
+				return nil, fmt.Errorf("tracean: seq %d: span id %d ends as %q but started as %q", e.Seq, e.Span, e.Name, s.Name)
+			}
+			if openKids[e.Span] != 0 {
+				return nil, fmt.Errorf("tracean: seq %d: span %q (id %d) ends with %d child span(s) still open", e.Seq, e.Name, e.Span, openKids[e.Span])
+			}
+			s.DurNs = e.DurNs
+			s.EndSeq = e.Seq
+			s.EndAttrs = e.Attrs
+			delete(open, e.Span)
+			delete(openKids, e.Span)
+			if s.Parent != 0 {
+				openKids[s.Parent]--
+			}
+		default:
+			// Plain and progress events attach to their parent span when
+			// it is open; otherwise they stay trace-level (solver ctrl
+			// events are emitted parentless by design).
+			if e.Parent != 0 {
+				if p, ok := open[e.Parent]; ok {
+					p.Events = append(p.Events, *e)
+				}
+			}
+		}
+	}
+	if len(open) > 0 {
+		var first *Span
+		for _, s := range open {
+			if first == nil || s.StartSeq < first.StartSeq {
+				first = s
+			}
+		}
+		return nil, fmt.Errorf("tracean: %d unclosed span(s) at end of trace (first: %q, id %d) — truncated trace?", len(open), first.Name, first.ID)
+	}
+	t.Schema = rd.Schema()
+	if !t.Start.IsZero() {
+		t.WallNs = t.End.Sub(t.Start).Nanoseconds()
+	}
+	for _, root := range t.Roots {
+		computeSelf(root)
+	}
+	return t, nil
+}
+
+// computeSelf fills SelfNs bottom-up: a span's duration minus its
+// direct children's, clamped at zero (clock jitter can make children
+// sum a hair past the parent).
+func computeSelf(s *Span) {
+	var kids int64
+	for _, c := range s.Children {
+		computeSelf(c)
+		kids += c.DurNs
+	}
+	s.SelfNs = s.DurNs - kids
+	if s.SelfNs < 0 {
+		s.SelfNs = 0
+	}
+}
+
+// Walk visits every span in the forest depth-first in start order.
+func (t *Trace) Walk(f func(s *Span, depth int)) {
+	var rec func(s *Span, depth int)
+	rec = func(s *Span, depth int) {
+		f(s, depth)
+		for _, c := range s.Children {
+			rec(c, depth+1)
+		}
+	}
+	for _, r := range t.Roots {
+		rec(r, 0)
+	}
+}
+
+// NumSpans counts the spans in the forest.
+func (t *Trace) NumSpans() int { return len(t.ByID) }

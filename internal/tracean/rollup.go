@@ -1,0 +1,109 @@
+package tracean
+
+import (
+	"math"
+	"sort"
+)
+
+// Rollup aggregates every span sharing a name: how often it ran, how
+// much wall-clock it covered (TotalNs), how much of that was its own
+// (SelfNs, excluding child spans), and the distribution of individual
+// span durations. TotalNs double-counts nested same-name spans (an
+// op.project inside another op.project contributes to both); SelfNs
+// never does, so self-times across all rollups partition the traced
+// time and are the comparable quantity for diffs.
+type Rollup struct {
+	Name    string `json:"name"`
+	Count   int    `json:"count"`
+	TotalNs int64  `json:"total_ns"`
+	SelfNs  int64  `json:"self_ns"`
+	MinNs   int64  `json:"min_ns"`
+	MaxNs   int64  `json:"max_ns"`
+	P50Ns   int64  `json:"p50_ns"`
+	P99Ns   int64  `json:"p99_ns"`
+}
+
+// Rollups computes the per-name aggregates, ordered by self time
+// descending (name ascending on ties) — the "where did the time go"
+// table of licmtrace summary.
+func (t *Trace) Rollups() []Rollup {
+	durs := make(map[string][]int64)
+	self := make(map[string]int64)
+	t.Walk(func(s *Span, _ int) {
+		durs[s.Name] = append(durs[s.Name], s.DurNs)
+		self[s.Name] += s.SelfNs
+	})
+	out := make([]Rollup, 0, len(durs))
+	for name, ds := range durs {
+		sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+		r := Rollup{
+			Name:   name,
+			Count:  len(ds),
+			SelfNs: self[name],
+			MinNs:  ds[0],
+			MaxNs:  ds[len(ds)-1],
+			P50Ns:  quantile(ds, 0.50),
+			P99Ns:  quantile(ds, 0.99),
+		}
+		for _, d := range ds {
+			r.TotalNs += d
+		}
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].SelfNs != out[j].SelfNs {
+			return out[i].SelfNs > out[j].SelfNs
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// quantile returns the nearest-rank q-quantile of sorted (exact — the
+// reader holds every duration, no sketching needed at trace scale).
+func quantile(sorted []int64, q float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+// PathStep is one span on the critical path.
+type PathStep struct {
+	Name   string `json:"name"`
+	ID     int64  `json:"id"`
+	DurNs  int64  `json:"dur_ns"`
+	SelfNs int64  `json:"self_ns"`
+}
+
+// CriticalPath descends from the longest root span, at each level
+// following the child that consumed the most time — the chain of spans
+// an optimization must shorten to shorten the run. Empty on a trace
+// with no spans.
+func (t *Trace) CriticalPath() []PathStep {
+	var cur *Span
+	for _, r := range t.Roots {
+		if cur == nil || r.DurNs > cur.DurNs {
+			cur = r
+		}
+	}
+	var path []PathStep
+	for cur != nil {
+		path = append(path, PathStep{Name: cur.Name, ID: cur.ID, DurNs: cur.DurNs, SelfNs: cur.SelfNs})
+		var next *Span
+		for _, c := range cur.Children {
+			if next == nil || c.DurNs > next.DurNs {
+				next = c
+			}
+		}
+		cur = next
+	}
+	return path
+}

@@ -1,0 +1,19 @@
+package tracean
+
+// This file holds tracean's one exact float comparison, following the
+// repo's floatcmp discipline (see internal/simplex/tol.go).
+
+// integralFloat reports whether f is exactly representable as an int64
+// that round-trips back to f, and returns that integer. Exactness is
+// the point: attr values that were produced as integers (counts, ns
+// durations) survive JSON's float64 erasure losslessly up to 2^53, and
+// only a lossless round-trip may be normalized back — a tolerance here
+// would corrupt near-integral genuine floats like an acceptance rate
+// of 0.9999999.
+func integralFloat(f float64) (int64, bool) {
+	if f < -(1<<53) || f > 1<<53 {
+		return 0, false
+	}
+	i := int64(f)
+	return i, float64(i) == f
+}

@@ -1,0 +1,112 @@
+// Package tracean is the read side of the observability layer: it
+// consumes the JSON-lines traces that internal/obs produces (schema in
+// OBSERVABILITY.md) and turns them into reports.
+//
+// A raw trace is a flat stream of span_start/span_end pairs and plain
+// events; tracean reconstructs the span forest, validating that every
+// pair balances and that children are properly contained in their
+// parents, then computes the derived views the paper's evaluation is
+// built on — per-phase rollups with self-time and latency quantiles
+// (the L-model/L-query/L-solve split of Figure 6), the critical path
+// of a run, folded stacks for flamegraph tooling, and phase-by-phase
+// diffs between two runs with regression thresholds. cmd/licmtrace is
+// the CLI over this package; internal/bench snapshots reuse its diff
+// conventions for tracked benchmark artifacts.
+package tracean
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"licm/internal/obs"
+)
+
+// supportedSchemaMajor is the trace schema major version this reader
+// understands. obs.SchemaVersion's major must match; minor revisions
+// are additive and ignored.
+const supportedSchemaMajor = "1"
+
+// Reader streams events out of a JSON-lines trace. It validates the
+// schema version stamp as it appears (obs stamps the first event) and
+// rejects majors it does not understand instead of mis-parsing them.
+type Reader struct {
+	sc     *bufio.Scanner
+	line   int
+	schema string
+	err    error
+}
+
+// NewReader returns a streaming reader over r. Lines may be up to
+// 16 MiB (operator spans on large stores carry sizeable attr maps).
+func NewReader(r io.Reader) *Reader {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 16*1024*1024)
+	return &Reader{sc: sc}
+}
+
+// Schema returns the schema version stamped on the trace, or "" when
+// no event carried one (pre-versioning traces, which are accepted).
+func (r *Reader) Schema() string { return r.schema }
+
+// Next returns the next event, or io.EOF at the end of the trace. A
+// malformed line or an unsupported schema version is a terminal error.
+func (r *Reader) Next() (*obs.Event, error) {
+	if r.err != nil {
+		return nil, r.err
+	}
+	for r.sc.Scan() {
+		r.line++
+		raw := strings.TrimSpace(r.sc.Text())
+		if raw == "" {
+			continue
+		}
+		e := new(obs.Event)
+		if err := json.Unmarshal([]byte(raw), e); err != nil {
+			r.err = fmt.Errorf("tracean: line %d: %w", r.line, err)
+			return nil, r.err
+		}
+		if e.Schema != "" {
+			if err := checkSchema(e.Schema); err != nil {
+				r.err = fmt.Errorf("tracean: line %d: %w", r.line, err)
+				return nil, r.err
+			}
+			r.schema = e.Schema
+		}
+		normalizeAttrs(e.Attrs)
+		return e, nil
+	}
+	if err := r.sc.Err(); err != nil {
+		r.err = fmt.Errorf("tracean: line %d: %w", r.line, err)
+		return nil, r.err
+	}
+	r.err = io.EOF
+	return nil, io.EOF
+}
+
+// normalizeAttrs undoes JSON's number erasure: attr values the
+// producer emitted as integers (counts, ns durations) come back from
+// encoding/json as float64; integral values in the exact range are
+// restored to int64 so filters and re-printed traces match what a live
+// sink would have shown.
+func normalizeAttrs(attrs map[string]any) {
+	for k, v := range attrs {
+		if f, ok := v.(float64); ok {
+			if i, exact := integralFloat(f); exact {
+				attrs[k] = i
+			}
+		}
+	}
+}
+
+// checkSchema accepts "major" or "major.minor" version stamps whose
+// major is supported.
+func checkSchema(v string) error {
+	major, _, _ := strings.Cut(v, ".")
+	if major != supportedSchemaMajor {
+		return fmt.Errorf("unsupported trace schema %q (this reader understands %s.x; re-run the producer or upgrade licmtrace)", v, supportedSchemaMajor)
+	}
+	return nil
+}

@@ -1,0 +1,186 @@
+package tracean
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestReaderSchemaStamp(t *testing.T) {
+	const trace = `{"seq":1,"time":"2026-01-02T03:04:05Z","ev":"span_start","name":"a","schema":"1.0","span":1}
+{"seq":2,"time":"2026-01-02T03:04:06Z","ev":"span_end","name":"a","span":1,"dur_ns":1000000000}
+`
+	r := NewReader(strings.NewReader(trace))
+	if _, err := r.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Schema(); got != "1.0" {
+		t.Errorf("Schema() = %q, want 1.0", got)
+	}
+}
+
+func TestReaderAcceptsUnversionedAndMinorBumps(t *testing.T) {
+	for _, schema := range []string{"", "1.7"} {
+		line := `{"seq":1,"time":"2026-01-02T03:04:05Z","ev":"event","name":"x"`
+		if schema != "" {
+			line += fmt.Sprintf(`,"schema":%q`, schema)
+		}
+		line += "}\n"
+		r := NewReader(strings.NewReader(line))
+		if _, err := r.Next(); err != nil {
+			t.Errorf("schema %q rejected: %v", schema, err)
+		}
+	}
+}
+
+func TestReaderRejectsUnknownMajor(t *testing.T) {
+	const trace = `{"seq":1,"time":"2026-01-02T03:04:05Z","ev":"event","name":"x","schema":"2.0"}` + "\n"
+	r := NewReader(strings.NewReader(trace))
+	_, err := r.Next()
+	if err == nil || !strings.Contains(err.Error(), "unsupported trace schema") {
+		t.Fatalf("err = %v, want unsupported-schema error", err)
+	}
+	// The error is terminal.
+	if _, err2 := r.Next(); err2 != err {
+		t.Errorf("second Next() = %v, want the latched error", err2)
+	}
+}
+
+func TestReaderMalformedLineIsTerminal(t *testing.T) {
+	r := NewReader(strings.NewReader("{not json}\n"))
+	if _, err := r.Next(); err == nil || err == io.EOF {
+		t.Fatalf("err = %v, want parse error", err)
+	}
+}
+
+func TestReaderSkipsBlankLinesAndNormalizesInts(t *testing.T) {
+	const trace = "\n" + `{"seq":1,"time":"2026-01-02T03:04:05Z","ev":"event","name":"x","attrs":{"n":42,"f":1.5,"s":"v"}}` + "\n\n"
+	r := NewReader(strings.NewReader(trace))
+	e, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := e.Attrs["n"].(int64); !ok || v != 42 {
+		t.Errorf("integral attr n = %#v, want int64(42)", e.Attrs["n"])
+	}
+	if v, ok := e.Attrs["f"].(float64); !ok || v != 1.5 {
+		t.Errorf("fractional attr f = %#v, want float64(1.5)", e.Attrs["f"])
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Errorf("after last line Next() = %v, want io.EOF", err)
+	}
+}
+
+// lines joins trace lines for ReadTrace validation tests.
+func lines(ls ...string) io.Reader { return strings.NewReader(strings.Join(ls, "\n") + "\n") }
+
+func TestReadTraceValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		trace   io.Reader
+		wantErr string
+	}{
+		{
+			"unclosed span",
+			lines(`{"seq":1,"time":"2026-01-02T03:04:05Z","ev":"span_start","name":"a","span":1}`),
+			"unclosed span",
+		},
+		{
+			"end without start",
+			lines(`{"seq":1,"time":"2026-01-02T03:04:05Z","ev":"span_end","name":"a","span":1,"dur_ns":5}`),
+			"without a matching span_start",
+		},
+		{
+			"duplicate id",
+			lines(
+				`{"seq":1,"time":"2026-01-02T03:04:05Z","ev":"span_start","name":"a","span":1}`,
+				`{"seq":2,"time":"2026-01-02T03:04:05Z","ev":"span_start","name":"b","span":1}`,
+			),
+			"duplicate span id",
+		},
+		{
+			"unknown parent",
+			lines(`{"seq":1,"time":"2026-01-02T03:04:05Z","ev":"span_start","name":"a","span":2,"parent":9}`),
+			"unknown parent",
+		},
+		{
+			"child outlives parent",
+			lines(
+				`{"seq":1,"time":"2026-01-02T03:04:05Z","ev":"span_start","name":"p","span":1}`,
+				`{"seq":2,"time":"2026-01-02T03:04:05Z","ev":"span_start","name":"c","span":2,"parent":1}`,
+				`{"seq":3,"time":"2026-01-02T03:04:06Z","ev":"span_end","name":"p","span":1,"dur_ns":5}`,
+			),
+			"still open",
+		},
+		{
+			"start inside ended parent",
+			lines(
+				`{"seq":1,"time":"2026-01-02T03:04:05Z","ev":"span_start","name":"p","span":1}`,
+				`{"seq":2,"time":"2026-01-02T03:04:06Z","ev":"span_end","name":"p","span":1,"dur_ns":5}`,
+				`{"seq":3,"time":"2026-01-02T03:04:07Z","ev":"span_start","name":"c","span":2,"parent":1}`,
+			),
+			"already ended",
+		},
+		{
+			"name mismatch",
+			lines(
+				`{"seq":1,"time":"2026-01-02T03:04:05Z","ev":"span_start","name":"a","span":1}`,
+				`{"seq":2,"time":"2026-01-02T03:04:06Z","ev":"span_end","name":"b","span":1,"dur_ns":5}`,
+			),
+			"started as",
+		},
+		{
+			"start without id",
+			lines(`{"seq":1,"time":"2026-01-02T03:04:05Z","ev":"span_start","name":"a"}`),
+			"without a span id",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadTrace(tc.trace)
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("err = %v, want containing %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestReadTraceForest(t *testing.T) {
+	tr, err := ReadTrace(lines(
+		`{"seq":1,"time":"2026-01-02T03:04:05Z","ev":"span_start","name":"root","span":1,"schema":"1.0"}`,
+		`{"seq":2,"time":"2026-01-02T03:04:05.1Z","ev":"span_start","name":"kid","span":2,"parent":1}`,
+		`{"seq":3,"time":"2026-01-02T03:04:05.2Z","ev":"event","name":"tick","parent":2,"attrs":{"n":1}}`,
+		`{"seq":4,"time":"2026-01-02T03:04:05.4Z","ev":"span_end","name":"kid","span":2,"parent":1,"dur_ns":300000000}`,
+		`{"seq":5,"time":"2026-01-02T03:04:06Z","ev":"span_end","name":"root","span":1,"dur_ns":1000000000}`,
+		`{"seq":6,"time":"2026-01-02T03:04:06Z","ev":"event","name":"loose"}`,
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Schema != "1.0" {
+		t.Errorf("Schema = %q", tr.Schema)
+	}
+	if len(tr.Roots) != 1 || tr.NumSpans() != 2 {
+		t.Fatalf("roots %d spans %d, want 1 and 2", len(tr.Roots), tr.NumSpans())
+	}
+	root := tr.Roots[0]
+	if root.SelfNs != 700000000 {
+		t.Errorf("root self = %d, want 700ms", root.SelfNs)
+	}
+	if len(root.Children) != 1 || root.Children[0].Name != "kid" {
+		t.Fatalf("root children = %+v", root.Children)
+	}
+	if kid := root.Children[0]; len(kid.Events) != 1 || kid.Events[0].Name != "tick" {
+		t.Errorf("kid events = %+v", kid.Events)
+	}
+	if tr.WallNs != 1000000000 {
+		t.Errorf("WallNs = %d, want 1s", tr.WallNs)
+	}
+	// Walk order and depth.
+	var visited []string
+	tr.Walk(func(s *Span, depth int) { visited = append(visited, fmt.Sprintf("%s@%d", s.Name, depth)) })
+	if got := strings.Join(visited, " "); got != "root@0 kid@1" {
+		t.Errorf("walk order = %q", got)
+	}
+}
