@@ -8,6 +8,7 @@
 //
 //	licmexp -fig all -trans 2000
 //	licmexp -fig 5 -trans 5000 -ks 2,4,6,8
+//	licmexp -fig 5 -deadline 10s       # cap each cell's solve; late cells degrade, the sweep survives
 //
 // Observability:
 //
@@ -31,14 +32,15 @@ import (
 
 func main() {
 	var (
-		fig   = flag.String("fig", "all", "which figure to run: 5 | 6 | 7 | ablation | all")
-		trans = flag.Int("trans", 2000, "number of transactions")
-		items = flag.Int("items", 400, "number of item types")
-		ks    = flag.String("ks", "2,4,6,8", "anonymity parameters (comma separated)")
-		mcN   = flag.Int("mc", 20, "Monte-Carlo sample count")
-		seed  = flag.Int64("seed", 1, "dataset seed")
-		nodes = flag.Int64("maxnodes", 300_000, "solver node budget per solve")
-		vet   = flag.Bool("check", false, "run the static diagnostics pass on every BIP before solving; an encoder bug that emits a provably infeasible store fails fast with diagnostics instead of burning the node budget")
+		fig          = flag.String("fig", "all", "which figure to run: 5 | 6 | 7 | ablation | all")
+		trans        = flag.Int("trans", 2000, "number of transactions")
+		items        = flag.Int("items", 400, "number of item types")
+		ks           = flag.String("ks", "2,4,6,8", "anonymity parameters (comma separated)")
+		mcN          = flag.Int("mc", 20, "Monte-Carlo sample count")
+		seed         = flag.Int64("seed", 1, "dataset seed")
+		nodes        = flag.Int64("maxnodes", 300_000, "solver node budget per solve")
+		cellDeadline = flag.Duration("deadline", 0, "wall-clock cap per cell solve; a cell that runs out degrades to quality=interval or quality=failed instead of aborting the sweep (0 = no cap)")
+		vet          = flag.Bool("check", false, "run the static diagnostics pass on every BIP before solving; an encoder bug that emits a provably infeasible store fails fast with diagnostics instead of burning the node budget")
 
 		tracePath = flag.String("trace", "", "write a JSON-lines trace of every experiment cell to this file")
 		verbose   = flag.Bool("verbose", false, "print a human-readable trace to stderr")
@@ -72,6 +74,7 @@ func main() {
 	cfg.Seed = *seed
 	cfg.Solver.MaxNodes = *nodes
 	cfg.Solver.Check = *vet
+	cfg.SolveDeadline = *cellDeadline
 	cfg.Q3Frac = 0 // recompute for the chosen scale
 	var parsed []int
 	for _, part := range strings.Split(*ks, ",") {

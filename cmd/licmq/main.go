@@ -15,12 +15,28 @@
 //	licmq -in data.txt -query q1 -verbose             # human-readable trace on stderr
 //	licmq -in data.txt -query q3 -debug-addr :6060    # pprof + expvar server
 //	licmq -in data.txt -query q3 -timelimit 30s       # best-effort bounds on timeout
+//
+// Supervised (anytime) solves:
+//
+//	licmq -in data.txt -query q1 -deadline 5s          # degradation ladder under a hard deadline
+//	licmq -in data.txt -query q1 -deadline 5s -strict  # exit 3 unless the result is exact
+//
+// With -deadline (or -strict) the solve runs under the anytime
+// supervisor (internal/super): the result always arrives before the
+// deadline with an explicit quality tag — exact, proven-interval,
+// sampled, or failed — instead of a hang or a bare error.
+//
+// Exit status: 0 on success, 1 on any error (including a store that
+// fails -check), 2 on unusable input or flags, and 3 when -strict is
+// set and the supervised result degraded below exact.
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -33,67 +49,83 @@ import (
 	"licm/internal/obs"
 	"licm/internal/queries"
 	"licm/internal/solver"
+	"licm/internal/super"
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("licmq", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		in       = flag.String("in", "", "input dataset (licmgen format; required)")
-		scheme   = flag.String("scheme", "k", "anonymization scheme: km | k | bipartite | suppress")
-		k        = flag.Int("k", 4, "anonymity parameter")
-		m        = flag.Int("m", 2, "subset size m (km scheme)")
-		minSupp  = flag.Int("minsupport", 10, "support threshold (suppress scheme)")
-		fanout   = flag.Int("fanout", 8, "hierarchy fanout")
-		query    = flag.String("query", "q1", "query: q1 | q2 | q3")
-		q3x      = flag.Int("q3x", 2, "popularity threshold X for q3")
-		q3frac   = flag.Float64("q3frac", 0.01, "selectivity of q3 location predicates")
-		mcRuns   = flag.Int("mc", 0, "also run naive Monte-Carlo with this many worlds")
-		maxNodes = flag.Int64("maxnodes", 2_000_000, "solver node budget (0 = unlimited)")
-		lpOut    = flag.String("lp", "", "also export the maximization BIP in CPLEX LP format to this file")
-		workers  = flag.Int("workers", 1, "solve independent components with this many workers")
-		vet      = flag.Bool("check", false, "run the static diagnostics pass (internal/check) before solving; a provably infeasible store fails fast with its diagnostics")
+		in       = fs.String("in", "", "input dataset (licmgen format; required)")
+		scheme   = fs.String("scheme", "k", "anonymization scheme: km | k | bipartite | suppress")
+		k        = fs.Int("k", 4, "anonymity parameter")
+		m        = fs.Int("m", 2, "subset size m (km scheme)")
+		minSupp  = fs.Int("minsupport", 10, "support threshold (suppress scheme)")
+		fanout   = fs.Int("fanout", 8, "hierarchy fanout")
+		query    = fs.String("query", "q1", "query: q1 | q2 | q3")
+		q3x      = fs.Int("q3x", 2, "popularity threshold X for q3")
+		q3frac   = fs.Float64("q3frac", 0.01, "selectivity of q3 location predicates")
+		mcRuns   = fs.Int("mc", 0, "also run naive Monte-Carlo with this many worlds")
+		maxNodes = fs.Int64("maxnodes", 2_000_000, "solver node budget (0 = unlimited)")
+		lpOut    = fs.String("lp", "", "also export the maximization BIP in CPLEX LP format to this file")
+		workers  = fs.Int("workers", 1, "solve independent components with this many workers")
+		vet      = fs.Bool("check", false, "run the static diagnostics pass (internal/check) before solving; a provably infeasible store fails fast with its diagnostics")
 
-		tracePath = flag.String("trace", "", "write a JSON-lines trace of operators, solver phases and MC sampling to this file")
-		verbose   = flag.Bool("verbose", false, "print a human-readable trace to stderr")
-		debugAddr = flag.String("debug-addr", "", "serve net/http/pprof and expvar (live solver counters) on this address, e.g. :6060")
-		timeLimit = flag.Duration("timelimit", 0, "cancel the solve after this long and report best-effort bounds (0 = no limit)")
+		tracePath = fs.String("trace", "", "write a JSON-lines trace of operators, solver phases and MC sampling to this file")
+		verbose   = fs.Bool("verbose", false, "print a human-readable trace to stderr")
+		debugAddr = fs.String("debug-addr", "", "serve net/http/pprof and expvar (live solver counters) on this address, e.g. :6060")
+		timeLimit = fs.Duration("timelimit", 0, "cancel the solve after this long and report best-effort bounds (0 = no limit)")
+
+		deadline = fs.Duration("deadline", 0, "run under the anytime supervisor with this hard deadline; results degrade gracefully with a quality tag (0 = unsupervised)")
+		strict   = fs.Bool("strict", false, "supervised solve must be exact: exit 3 on any degraded (proven-interval, sampled, failed) result")
+		fallback = fs.Int("fallback-samples", 200, "Monte-Carlo worlds for the supervised solve's sampled fallback (0 disables it)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "licmq:", err)
+		return 1
+	}
 	if *in == "" {
-		fatal(fmt.Errorf("-in is required"))
+		fmt.Fprintln(stderr, "licmq: -in is required")
+		return 2
 	}
 
-	tr, closeTrace, err := obs.Setup(*tracePath, *verbose, os.Stderr)
+	tr, closeTrace, err := obs.Setup(*tracePath, *verbose, stderr)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
-	defer func() {
-		if err := closeTrace(); err != nil {
-			fatal(err)
-		}
-	}()
+	defer closeTrace()
 	metrics := obs.NewRegistry()
 	if *debugAddr != "" {
 		addr, err := obs.ServeDebug(*debugAddr)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		obs.PublishExpvar("licm", metrics)
-		fmt.Fprintf(os.Stderr, "debug server (pprof, expvar) on http://%s/debug/pprof/\n", addr)
+		fmt.Fprintf(stderr, "debug server (pprof, expvar) on http://%s/debug/pprof/\n", addr)
 	}
 	f, err := os.Open(*in)
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "licmq:", err)
+		return 2
 	}
 	d, err := dataset.Read(f)
 	f.Close()
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "licmq:", err)
+		return 2
 	}
 
 	start := time.Now()
 	enc, err := buildEncoding(d, *scheme, *k, *m, *minSupp, *fanout)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	tModel := time.Since(start)
 	// One tracer covers the whole pipeline: query operators pick it up
@@ -109,20 +141,21 @@ func main() {
 	case "q3":
 		q = queries.PaperQ3(1000, *q3frac, *q3x)
 	default:
-		fatal(fmt.Errorf("unknown query %q", *query))
+		fmt.Fprintf(stderr, "licmq: unknown query %q\n", *query)
+		return 2
 	}
 
 	start = time.Now()
 	rel, err := q.BuildLICM(enc)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	tQuery := time.Since(start)
 
 	if *lpOut != "" {
 		f, err := os.Create(*lpOut)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		p := &solver.Problem{
 			NumVars:     enc.DB.NumVars(),
@@ -131,12 +164,12 @@ func main() {
 		}
 		if err := solver.WriteLP(f, p, solver.SenseMax); err != nil {
 			f.Close()
-			fatal(err)
+			return fail(err)
 		}
 		if err := f.Close(); err != nil {
-			fatal(err)
+			return fail(err)
 		}
-		fmt.Printf("wrote BIP instance to %s (%d vars, %d constraints)\n", *lpOut, p.NumVars, len(p.Constraints))
+		fmt.Fprintf(stdout, "wrote BIP instance to %s (%d vars, %d constraints)\n", *lpOut, p.NumVars, len(p.Constraints))
 	}
 
 	opts := solver.DefaultOptions()
@@ -146,55 +179,64 @@ func main() {
 	opts.Check = *vet
 	if *verbose {
 		opts.Progress = func(pi solver.ProgressInfo) {
-			fmt.Fprintf(os.Stderr, "progress: %d nodes, %d LP solves, %d propagations, %d incumbents\n",
+			fmt.Fprintf(stderr, "progress: %d nodes, %d LP solves, %d propagations, %d incumbents\n",
 				pi.Nodes, pi.LPSolves, pi.Propagations, pi.Incumbents)
 		}
 	}
 	if *timeLimit > 0 {
-		deadline := time.Now().Add(*timeLimit)
-		opts.Cancel = func() bool { return time.Now().After(deadline) }
+		limit := time.Now().Add(*timeLimit)
+		opts.Cancel = func() bool { return time.Now().After(limit) }
 	}
-	start = time.Now()
-	res, err := core.CountBounds(enc.DB, rel, opts)
-	if err != nil {
-		var ce *solver.CheckError
-		if errors.As(err, &ce) {
-			fmt.Fprintln(os.Stderr, "licmq: the encoded store failed static checks:")
-			for _, d := range ce.Report.Diags {
-				fmt.Fprintln(os.Stderr, "  "+d.String())
-			}
-			os.Exit(1)
-		}
-		fatal(err)
-	}
-	tSolve := time.Since(start)
 
-	fmt.Printf("%s over %s(k=%d): ", q.Name(), *scheme, *k)
-	if res.MinProven && res.MaxProven {
-		fmt.Printf("exact bounds [%d, %d]\n", res.Min, res.Max)
+	if *deadline > 0 || *strict {
+		code := runSupervised(stdout, enc, rel, q, opts, tr,
+			*scheme, *k, *deadline, *strict, *fallback)
+		if code != 0 {
+			return code
+		}
 	} else {
-		fmt.Printf("best found [%d, %d], proven outer bounds [%d, %d]\n",
-			res.Min, res.Max, res.MinBound, res.MaxBound)
-	}
-	if res.Stats.Canceled {
-		fmt.Printf("solve canceled after %v (time limit %v); bounds are best-effort\n",
-			res.Stats.TotalTime.Round(time.Millisecond), *timeLimit)
-	}
-	fmt.Printf("timing: L-model %v, L-query %v, L-solve %v\n", tModel, tQuery, tSolve)
-	fmt.Printf("solve phases: prune %v, presolve %v, search %v, witness %v\n",
-		res.Stats.PruneTime, res.Stats.PresolveTime, res.Stats.SearchTime, res.Stats.WitnessTime)
-	fmt.Printf("problem: %d vars, %d constraints; after pruning %d vars, %d constraints; %d components, %d nodes, %d LP solves, %d propagations\n",
-		res.Stats.VarsBefore, res.Stats.ConsBefore,
-		res.Stats.VarsAfterPrune, res.Stats.ConsAfterPrune,
-		res.Stats.Components, res.Stats.Nodes, res.Stats.LPSolves, res.Stats.Propagations)
-	for _, h := range []struct{ name, label string }{
-		{"solver.lp_ns", "LP relaxation latency"},
-		{"solver.node_ns", "per-node latency"},
-	} {
-		if snap := metrics.Histogram(h.name).Snapshot(); snap.Count > 0 {
-			fmt.Printf("%s: n=%d mean=%v p50<%v p99<%v\n", h.label, snap.Count,
-				time.Duration(int64(snap.Mean)).Round(time.Microsecond),
-				time.Duration(snap.Quantile(0.5)), time.Duration(snap.Quantile(0.99)))
+		start = time.Now()
+		res, err := core.CountBounds(enc.DB, rel, opts)
+		if err != nil {
+			var ce *solver.CheckError
+			if errors.As(err, &ce) {
+				fmt.Fprintln(stderr, "licmq: the encoded store failed static checks:")
+				for _, d := range ce.Report.Diags {
+					fmt.Fprintln(stderr, "  "+d.String())
+				}
+				return 1
+			}
+			return fail(err)
+		}
+		tSolve := time.Since(start)
+
+		fmt.Fprintf(stdout, "%s over %s(k=%d): ", q.Name(), *scheme, *k)
+		if res.MinProven && res.MaxProven {
+			fmt.Fprintf(stdout, "exact bounds [%d, %d]\n", res.Min, res.Max)
+		} else {
+			fmt.Fprintf(stdout, "best found [%d, %d], proven outer bounds [%d, %d]\n",
+				res.Min, res.Max, res.MinBound, res.MaxBound)
+		}
+		if res.Stats.Canceled {
+			fmt.Fprintf(stdout, "solve canceled after %v (time limit %v); bounds are best-effort\n",
+				res.Stats.TotalTime.Round(time.Millisecond), *timeLimit)
+		}
+		fmt.Fprintf(stdout, "timing: L-model %v, L-query %v, L-solve %v\n", tModel, tQuery, tSolve)
+		fmt.Fprintf(stdout, "solve phases: prune %v, presolve %v, search %v, witness %v\n",
+			res.Stats.PruneTime, res.Stats.PresolveTime, res.Stats.SearchTime, res.Stats.WitnessTime)
+		fmt.Fprintf(stdout, "problem: %d vars, %d constraints; after pruning %d vars, %d constraints; %d components, %d nodes, %d LP solves, %d propagations\n",
+			res.Stats.VarsBefore, res.Stats.ConsBefore,
+			res.Stats.VarsAfterPrune, res.Stats.ConsAfterPrune,
+			res.Stats.Components, res.Stats.Nodes, res.Stats.LPSolves, res.Stats.Propagations)
+		for _, h := range []struct{ name, label string }{
+			{"solver.lp_ns", "LP relaxation latency"},
+			{"solver.node_ns", "per-node latency"},
+		} {
+			if snap := metrics.Histogram(h.name).Snapshot(); snap.Count > 0 {
+				fmt.Fprintf(stdout, "%s: n=%d mean=%v p50<%v p99<%v\n", h.label, snap.Count,
+					time.Duration(int64(snap.Mean)).Round(time.Microsecond),
+					time.Duration(snap.Quantile(0.5)), time.Duration(snap.Quantile(0.99)))
+			}
 		}
 	}
 
@@ -203,9 +245,62 @@ func main() {
 		sampler := mc.NewSampler(enc, 42)
 		sampler.SetTracer(tr)
 		r := sampler.Run(q, *mcRuns)
-		fmt.Printf("Monte-Carlo (%d worlds): observed range [%d, %d] in %v\n",
+		fmt.Fprintf(stdout, "Monte-Carlo (%d worlds): observed range [%d, %d] in %v\n",
 			*mcRuns, r.Min, r.Max, time.Since(start))
 	}
+	return 0
+}
+
+// runSupervised answers the query through the anytime supervisor and
+// prints the quality-tagged result. Returns the process exit code: 0,
+// or 3 when strict is set and the result degraded below exact.
+func runSupervised(stdout io.Writer, enc *encode.Encoded, rel *core.Relation, q queries.Query,
+	opts solver.Options, tr *obs.Tracer, scheme string, k int,
+	deadline time.Duration, strict bool, fallbackSamples int) int {
+	ctx := context.Background()
+	if deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, deadline)
+		defer cancel()
+	}
+	obj := core.CountStar(rel)
+	opts.Trace = tr
+	cfg := super.Config{
+		Solver: opts,
+		Sample: super.MCFallback(enc, obj, 42, fallbackSamples),
+	}
+	out := super.Bounds(ctx, core.BuildProblem(enc.DB, obj), cfg)
+
+	fmt.Fprintf(stdout, "%s over %s(k=%d): quality=%s", q.Name(), scheme, k, out.Quality)
+	switch {
+	case out.Infeasible:
+		fmt.Fprintf(stdout, " infeasible (no possible world satisfies the constraints)\n")
+	case out.Quality == super.Exact:
+		fmt.Fprintf(stdout, " bounds [%d, %d]\n", out.Min.Lo, out.Max.Hi)
+	case out.Quality == super.ProvenInterval:
+		lo, hi := out.Interval()
+		fmt.Fprintf(stdout, " proven outer interval [%d, %d] (min in [%d, %d], max in [%d, %d])\n",
+			lo, hi, out.Min.Lo, out.Min.Hi, out.Max.Lo, out.Max.Hi)
+	case out.Quality == super.Sampled:
+		fmt.Fprintf(stdout, " sampled range [%d, %d] — NOT proven bounds\n", out.Min.Lo, out.Max.Hi)
+	default:
+		fmt.Fprintf(stdout, " no usable result\n")
+	}
+	for _, sd := range []struct {
+		name string
+		s    super.Side
+	}{{"min", out.Min}, {"max", out.Max}} {
+		if sd.s.Err != nil {
+			fmt.Fprintf(stdout, "  %s side degraded to %s: %v\n", sd.name, sd.s.Quality, sd.s.Err)
+		}
+	}
+	fmt.Fprintf(stdout, "supervisor: elapsed %v, retries %d, panics recovered %d\n",
+		out.Elapsed.Round(time.Millisecond), out.Retries, out.PanicsRecovered)
+	if strict && out.Quality != super.Exact {
+		fmt.Fprintf(stdout, "strict mode: result degraded below exact\n")
+		return 3
+	}
+	return 0
 }
 
 func buildEncoding(d *dataset.Dataset, scheme string, k, m, minSupp, fanout int) (*encode.Encoded, error) {
@@ -245,9 +340,4 @@ func buildEncoding(d *dataset.Dataset, scheme string, k, m, minSupp, fanout int)
 	default:
 		return nil, fmt.Errorf("unknown scheme %q", scheme)
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "licmq:", err)
-	os.Exit(1)
 }

@@ -1,0 +1,165 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"licm/internal/dataset"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// genInput writes a small deterministic dataset in licmgen format.
+func genInput(t *testing.T) string {
+	t.Helper()
+	d, err := dataset.Generate(dataset.Config{
+		NumTransactions: 60, NumItems: 32, AvgSize: 3, MaxSize: 8,
+		ZipfS: 1.3, LocationRange: 10, PriceRange: 10, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "data.txt")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.WriteTo(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func runQ(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errBuf bytes.Buffer
+	code = run(args, &out, &errBuf)
+	return code, out.String(), errBuf.String()
+}
+
+// stripTimings drops the wall-clock-dependent lines so the rest of the
+// output can be golden-compared.
+func stripTimings(s string) string {
+	var keep []string
+	for _, line := range strings.Split(s, "\n") {
+		switch {
+		case strings.HasPrefix(line, "timing:"),
+			strings.HasPrefix(line, "solve phases:"),
+			strings.HasPrefix(line, "supervisor:"),
+			strings.HasPrefix(line, "LP relaxation latency:"),
+			strings.HasPrefix(line, "per-node latency:"),
+			strings.HasPrefix(line, "Monte-Carlo"):
+			continue
+		}
+		keep = append(keep, line)
+	}
+	return strings.Join(keep, "\n")
+}
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("golden file missing (run with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("output differs from %s:\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+// TestSupervisedExactGolden: a generous deadline yields an exact,
+// quality-tagged answer and exit 0 even under -strict.
+func TestSupervisedExactGolden(t *testing.T) {
+	in := genInput(t)
+	code, out, errBuf := runQ(t, "-in", in, "-scheme", "k", "-k", "2", "-query", "q1",
+		"-deadline", "2m", "-strict")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0; stderr:\n%s\nstdout:\n%s", code, errBuf, out)
+	}
+	checkGolden(t, "q1_exact.golden", stripTimings(out))
+}
+
+// TestStrictDegradedExitCode: an already-spent deadline forces the
+// sampled rung of the ladder; -strict must surface that as exit 3
+// while the output still names the degradation honestly.
+func TestStrictDegradedExitCode(t *testing.T) {
+	in := genInput(t)
+	code, out, errBuf := runQ(t, "-in", in, "-scheme", "k", "-k", "2", "-query", "q1",
+		"-deadline", "1ns", "-strict")
+	if code != 3 {
+		t.Fatalf("exit = %d, want 3; stderr:\n%s\nstdout:\n%s", code, errBuf, out)
+	}
+	if !strings.Contains(out, "quality=sampled") {
+		t.Fatalf("degraded output does not carry the sampled tag:\n%s", out)
+	}
+	checkGolden(t, "q1_degraded.golden", stripTimings(out))
+}
+
+// TestStrictProvenIntervalExitCode: a node-capped bipartite solve hits
+// the proven-interval rung — still exit 3 under -strict, with the
+// outer interval printed.
+func TestStrictProvenIntervalExitCode(t *testing.T) {
+	in := genInput(t)
+	code, out, errBuf := runQ(t, "-in", in, "-scheme", "bipartite", "-k", "3", "-query", "q1",
+		"-deadline", "2m", "-maxnodes", "20000", "-strict")
+	if code != 3 {
+		t.Fatalf("exit = %d, want 3; stderr:\n%s\nstdout:\n%s", code, errBuf, out)
+	}
+	if !strings.Contains(out, "quality=proven-interval") {
+		t.Fatalf("expected a proven-interval result:\n%s", out)
+	}
+	checkGolden(t, "q1_interval.golden", stripTimings(out))
+}
+
+// TestStrictWithoutDeadline: -strict alone engages the supervisor; an
+// exact result exits 0.
+func TestStrictWithoutDeadline(t *testing.T) {
+	in := genInput(t)
+	code, out, _ := runQ(t, "-in", in, "-scheme", "k", "-k", "2", "-query", "q1", "-strict")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0; output:\n%s", code, out)
+	}
+	if !strings.Contains(out, "quality=exact") {
+		t.Fatalf("expected an exact supervised result:\n%s", out)
+	}
+}
+
+// TestUnsupervisedStillWorks guards the legacy path.
+func TestUnsupervisedStillWorks(t *testing.T) {
+	in := genInput(t)
+	code, out, errBuf := runQ(t, "-in", in, "-scheme", "k", "-k", "2", "-query", "q1")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0; stderr:\n%s", code, errBuf)
+	}
+	if !strings.Contains(out, "exact bounds [") {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+}
+
+// TestBadFlagsExitTwo: unusable input is exit 2, distinct from solver
+// errors (1) and strict degradation (3).
+func TestBadFlagsExitTwo(t *testing.T) {
+	if code, _, _ := runQ(t); code != 2 {
+		t.Fatalf("missing -in: exit = %d, want 2", code)
+	}
+	if code, _, _ := runQ(t, "-in", filepath.Join(t.TempDir(), "nope.txt")); code != 2 {
+		t.Fatalf("missing file: exit = %d, want 2", code)
+	}
+}

@@ -15,6 +15,7 @@
 package bench
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -66,6 +67,12 @@ type Config struct {
 	Q3Frac float64
 	// Solver options; MaxNodes bounds the hard bipartite instances.
 	Solver solver.Options
+	// SolveDeadline, when positive, caps the wall-clock time of each
+	// cell's solve (on top of MaxNodes). A cell that runs out of time
+	// degrades instead of aborting the sweep: its Quality drops to
+	// "interval" (proven outer bounds only) or "failed" (cancellation
+	// before any feasible point), and the sweep moves on.
+	SolveDeadline time.Duration
 	// Trace, if non-nil, receives a bench.cell span per RunCell with
 	// the full operator/solver/MC trace nested in time between its
 	// start and end events. It is attached to each cell's DB and
@@ -207,6 +214,13 @@ type Cell struct {
 	LMinProven, LMaxProven bool
 	MMin, MMax             int64
 
+	// Quality tags how much the cell's LICM series can be trusted:
+	// "exact" (both sides proven), "interval" (budget or deadline ran
+	// out; LMin/LMax are proven outer bounds), or "failed" (the solve
+	// was canceled before any feasible point; the LICM series is
+	// meaningless and only the MC series is populated).
+	Quality string
+
 	// Figure 6 series.
 	LModel, LQuery, LSolve time.Duration
 	MCTime                 time.Duration
@@ -260,27 +274,49 @@ func (cfg Config) RunCell(scheme Scheme, q queries.Query, k int) (Cell, error) {
 	cell.VarsQuery = enc.DB.NumVars()
 	cell.ConsQuery = enc.DB.NumConstraints()
 
+	opts := cfg.Solver
+	if cfg.SolveDeadline > 0 {
+		limit := time.Now().Add(cfg.SolveDeadline)
+		prev := opts.Cancel
+		opts.Cancel = func() bool {
+			if prev != nil && prev() {
+				return true
+			}
+			return time.Now().After(limit)
+		}
+	}
 	start = time.Now()
-	res, err := core.CountBounds(enc.DB, rel, cfg.Solver)
-	if err != nil {
+	res, err := core.CountBounds(enc.DB, rel, opts)
+	switch {
+	case errors.Is(err, solver.ErrCanceled):
+		// Deadline struck before any feasible point: record a failed
+		// cell (MC series only) instead of aborting the whole sweep.
+		cell.LSolve = time.Since(start)
+		cell.Quality = "failed"
+	case err != nil:
 		sp.End(obs.Bool("ok", false))
 		return cell, fmt.Errorf("bench: %s/%s k=%d: %w", scheme, q.Name(), k, err)
-	}
-	cell.LSolve = time.Since(start)
-	cell.LMin, cell.LMax = res.MinBound, res.MaxBound
-	cell.LMinFound, cell.LMaxFound = res.Min, res.Max
-	cell.LMinProven, cell.LMaxProven = res.MinProven, res.MaxProven
-	cell.VarsPruned = res.Stats.VarsAfterPrune
-	cell.ConsPruned = res.Stats.ConsAfterPrune
-	cell.Nodes = res.Stats.Nodes
-	cell.LPSolves = res.Stats.LPSolves
-	cell.Propagations = res.Stats.Propagations
-	cell.Components = res.Stats.Components
-	cell.PruneTime = res.Stats.PruneTime
-	cell.PresolveTime = res.Stats.PresolveTime
-	cell.SearchTime = res.Stats.SearchTime
-	if cell.VarsQuery > 0 {
-		cell.PruneRatio = 1 - float64(cell.VarsPruned)/float64(cell.VarsQuery)
+	default:
+		cell.LSolve = time.Since(start)
+		cell.LMin, cell.LMax = res.MinBound, res.MaxBound
+		cell.LMinFound, cell.LMaxFound = res.Min, res.Max
+		cell.LMinProven, cell.LMaxProven = res.MinProven, res.MaxProven
+		cell.Quality = "interval"
+		if res.MinProven && res.MaxProven {
+			cell.Quality = "exact"
+		}
+		cell.VarsPruned = res.Stats.VarsAfterPrune
+		cell.ConsPruned = res.Stats.ConsAfterPrune
+		cell.Nodes = res.Stats.Nodes
+		cell.LPSolves = res.Stats.LPSolves
+		cell.Propagations = res.Stats.Propagations
+		cell.Components = res.Stats.Components
+		cell.PruneTime = res.Stats.PruneTime
+		cell.PresolveTime = res.Stats.PresolveTime
+		cell.SearchTime = res.Stats.SearchTime
+		if cell.VarsQuery > 0 {
+			cell.PruneRatio = 1 - float64(cell.VarsPruned)/float64(cell.VarsQuery)
+		}
 	}
 
 	start = time.Now()
@@ -292,6 +328,7 @@ func (cfg Config) RunCell(scheme Scheme, q queries.Query, k int) (Cell, error) {
 	cell.MCAcceptance = r.AcceptanceRate()
 	sp.End(
 		obs.Bool("ok", true),
+		obs.Str("quality", cell.Quality),
 		obs.I64("l_min", cell.LMin), obs.I64("l_max", cell.LMax),
 		obs.I64("nodes", cell.Nodes),
 		obs.F64("prune_ratio", cell.PruneRatio),

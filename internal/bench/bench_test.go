@@ -96,6 +96,41 @@ func TestRunCellAndPrinters(t *testing.T) {
 	}
 }
 
+func TestRunCellQualityTags(t *testing.T) {
+	cfg := tinyConfig()
+	cell, err := cfg.RunCell(SchemeK, cfg.Queries()[0], 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cell.Quality != "exact" {
+		t.Errorf("untimed tiny cell quality = %q, want exact", cell.Quality)
+	}
+
+	// With a spent deadline the sweep must survive: the cell degrades
+	// to interval (best-effort bounds) or failed (no feasible point),
+	// and the MC series is still measured either way.
+	cfg.SolveDeadline = time.Nanosecond
+	cell, err = cfg.RunCell(SchemeBipartite, cfg.Queries()[0], 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cell.Quality != "interval" && cell.Quality != "failed" {
+		t.Errorf("deadline cell quality = %q, want interval or failed", cell.Quality)
+	}
+	if cell.Quality == "exact" {
+		t.Error("a 1ns deadline cannot produce an exact cell")
+	}
+	if cell.MMax < cell.MMin {
+		t.Errorf("MC series missing on degraded cell: [%d,%d]", cell.MMin, cell.MMax)
+	}
+
+	var buf bytes.Buffer
+	PrintFig5(&buf, []Cell{cell})
+	if cell.Quality == "failed" && !strings.Contains(buf.String(), "failed") {
+		t.Errorf("Fig5 table hides the failed cell:\n%s", buf.String())
+	}
+}
+
 func TestFig7Tiny(t *testing.T) {
 	cfg := tinyConfig()
 	var buf bytes.Buffer

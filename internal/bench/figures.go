@@ -19,9 +19,9 @@ func (cfg Config) Fig5(w io.Writer) ([]Cell, error) {
 				if err != nil {
 					return cells, err
 				}
-				fmt.Fprintf(w, "cell %s/%s k=%d: L=[%d,%d] M=[%d,%d] solve=%.0fms mc=%.0fms\n",
+				fmt.Fprintf(w, "cell %s/%s k=%d: L=[%d,%d] M=[%d,%d] quality=%s solve=%.0fms mc=%.0fms\n",
 					scheme, q.Name(), k, cell.LMin, cell.LMax, cell.MMin, cell.MMax,
-					ms(cell.LSolve), ms(cell.MCTime))
+					cell.Quality, ms(cell.LSolve), ms(cell.MCTime))
 				cells = append(cells, cell)
 			}
 		}
@@ -48,7 +48,10 @@ func PrintFig5(w io.Writer, cells []Cell) {
 		fmt.Fprintln(tw, "k\tL_min\tL_max\tM_min\tM_max\tproven")
 		for _, c := range byPanel[key] {
 			proven := "exact"
-			if !c.LMinProven || !c.LMaxProven {
+			switch {
+			case c.Quality == "failed":
+				proven = "failed (canceled; LICM series unusable)"
+			case !c.LMinProven || !c.LMaxProven:
 				proven = fmt.Sprintf("approx (found [%d,%d])", c.LMinFound, c.LMaxFound)
 			}
 			fmt.Fprintf(tw, "%d\t%d\t%d\t%d\t%d\t%s\n", c.K, c.LMin, c.LMax, c.MMin, c.MMax, proven)

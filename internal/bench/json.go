@@ -22,6 +22,10 @@ type cellJSON struct {
 	LMaxProven bool  `json:"l_max_proven"`
 	MMin       int64 `json:"m_min"`
 	MMax       int64 `json:"m_max"`
+	// Quality is "exact", "interval" (proven outer bounds only) or
+	// "failed" (canceled before any feasible point; LICM series
+	// unusable).
+	Quality string `json:"quality"`
 
 	LModelNs int64 `json:"l_model_ns"`
 	LQueryNs int64 `json:"l_query_ns"`
@@ -59,6 +63,7 @@ func toCellJSON(c Cell) cellJSON {
 		LMaxProven:   c.LMaxProven,
 		MMin:         c.MMin,
 		MMax:         c.MMax,
+		Quality:      c.Quality,
 		LModelNs:     c.LModel.Nanoseconds(),
 		LQueryNs:     c.LQuery.Nanoseconds(),
 		LSolveNs:     c.LSolve.Nanoseconds(),

@@ -89,16 +89,7 @@ func Bounds(db *DB, objective expr.Lin, opts solver.Options) (BoundsResult, erro
 		obs.Int("vars", db.NumVars()),
 		obs.Int("cons", db.NumConstraints()),
 		obs.Int("obj_terms", len(objective.Terms())))
-	derived := make([]bool, db.NumVars())
-	for v := range derived {
-		derived[v] = db.Def(expr.Var(v)).Kind != DefBase
-	}
-	p := &solver.Problem{
-		NumVars:     db.NumVars(),
-		Constraints: db.Constraints(),
-		Objective:   objective,
-		Derived:     derived,
-	}
+	p := BuildProblem(db, objective)
 	min, max, err := solver.Bounds(p, opts)
 	if err != nil {
 		sp.End(obs.Bool("ok", false))
@@ -122,6 +113,24 @@ func Bounds(db *DB, objective expr.Lin, opts solver.Options) (BoundsResult, erro
 		MaxWorld:  max.Assignment,
 		Stats:     max.Stats,
 	}, nil
+}
+
+// BuildProblem assembles the binary integer program for an aggregate
+// objective over the DB's constraint store, without solving it. It is
+// the entry point for callers that drive the solver themselves — the
+// solve supervisor (internal/super) builds the problem once and then
+// owns retries and degradation.
+func BuildProblem(db *DB, objective expr.Lin) *solver.Problem {
+	derived := make([]bool, db.NumVars())
+	for v := range derived {
+		derived[v] = db.Def(expr.Var(v)).Kind != DefBase
+	}
+	return &solver.Problem{
+		NumVars:     db.NumVars(),
+		Constraints: db.Constraints(),
+		Objective:   objective,
+		Derived:     derived,
+	}
 }
 
 // CountBounds is shorthand for Bounds over CountStar(r).

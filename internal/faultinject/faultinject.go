@@ -1,0 +1,162 @@
+// Package faultinject provides deterministic fault-injection hook
+// points for the solver's hot paths. Production code compiles the
+// hooks in permanently; when no plan is armed they cost a single
+// atomic load, so they are safe to leave in release builds (the same
+// trade the ctrl nil-check makes for instrumentation).
+//
+// Tests arm a Plan naming a site, a 0-based hit index, and an action;
+// the hook fires exactly once, at the chosen hit. Hit counters are
+// global atomics, so a fixed-seed single-worker solve replays the same
+// injection point on every run — the property the chaos sweep in
+// internal/super relies on to cover every ctrl batch boundary.
+package faultinject
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Site identifies a hook point compiled into the solver.
+type Site uint8
+
+// The hook sites. CtrlBatch fires at every ctrl counter flush (about
+// every ctrlGranularity branch-and-bound nodes — the solver's batch
+// boundary and cancellation poll point). LPPivot fires at every
+// simplex pivot.
+const (
+	CtrlBatch Site = iota
+	LPPivot
+	numSites
+)
+
+// String names the site for error messages and trace events.
+func (s Site) String() string {
+	switch s {
+	case CtrlBatch:
+		return "ctrl-batch"
+	case LPPivot:
+		return "lp-pivot"
+	default:
+		return fmt.Sprintf("Site(%d)", uint8(s))
+	}
+}
+
+// Action is what a hook site does when its plan fires.
+type Action uint8
+
+const (
+	// None leaves the site untouched (also the counting-only mode: an
+	// armed plan with Action None measures hit counts without injecting).
+	None Action = iota
+	// Panic makes the site panic with an *Injected value.
+	Panic
+	// Cancel latches the solve's cooperative cancellation, as if
+	// Options.Cancel had fired. Honored at CtrlBatch only (the simplex
+	// layer has no cancellation channel); at LPPivot it is a no-op.
+	Cancel
+	// JitterNaN poisons the site's numeric state with a NaN. Honored at
+	// LPPivot (corrupting the pivot element, which spreads through the
+	// tableau and surfaces as a NaN/garbage LP objective); at CtrlBatch
+	// it is a no-op.
+	JitterNaN
+	// JitterInf poisons the site's numeric state with +Inf, the
+	// overflow twin of JitterNaN. Honored at LPPivot only.
+	JitterInf
+)
+
+// String names the action.
+func (a Action) String() string {
+	switch a {
+	case None:
+		return "none"
+	case Panic:
+		return "panic"
+	case Cancel:
+		return "cancel"
+	case JitterNaN:
+		return "jitter-nan"
+	case JitterInf:
+		return "jitter-inf"
+	default:
+		return fmt.Sprintf("Action(%d)", uint8(a))
+	}
+}
+
+// Plan is one armed injection: at the Hit-th (0-based) hit of Site,
+// perform Action.
+type Plan struct {
+	Site   Site
+	Hit    int64
+	Action Action
+}
+
+// Injected is the value thrown by a site honoring a Panic action.
+// Recovery boundaries can detect injected panics by type.
+type Injected struct {
+	Site Site
+	Hit  int64
+}
+
+// Error describes the injection; *Injected satisfies error so
+// recovered panics can be wrapped uniformly.
+func (p *Injected) Error() string {
+	return fmt.Sprintf("faultinject: injected panic at %s hit %d", p.Site, p.Hit)
+}
+
+var (
+	armed   atomic.Bool
+	planPtr atomic.Pointer[Plan]
+	hits    [numSites]atomic.Int64
+
+	// armMu serializes Arm/disarm so two concurrent tests cannot
+	// interleave plans; hook-side reads stay lock-free.
+	armMu sync.Mutex
+)
+
+// Enabled is the hook fast path: false (one atomic load) whenever no
+// plan is armed.
+func Enabled() bool { return armed.Load() }
+
+// Arm installs the plan, resets all hit counters, and returns the
+// disarm func. Only one plan can be armed at a time; Arm panics if a
+// plan is already active (tests must disarm between cases).
+func Arm(p Plan) (disarm func()) {
+	armMu.Lock()
+	defer armMu.Unlock()
+	if armed.Load() {
+		panic("faultinject: Arm while already armed")
+	}
+	for i := range hits {
+		hits[i].Store(0)
+	}
+	pc := p
+	planPtr.Store(&pc)
+	armed.Store(true)
+	return func() {
+		armMu.Lock()
+		defer armMu.Unlock()
+		armed.Store(false)
+		planPtr.Store(nil)
+	}
+}
+
+// Hits reports how many times site has been reached since the last
+// Arm. Arm a Plan with Action None to measure a workload's hit counts
+// before sweeping injections across them.
+func Hits(s Site) int64 { return hits[s].Load() }
+
+// Check records a hit at site and returns the action the site must
+// perform, None in the overwhelmingly common case. Callers should
+// guard with Enabled() to keep the unarmed cost to one atomic load.
+func Check(s Site) Action {
+	if !armed.Load() {
+		return None
+	}
+	n := hits[s].Add(1) - 1
+	p := planPtr.Load()
+	if p == nil || p.Site != s || p.Hit != n {
+		return None
+	}
+	return p.Action
+}

@@ -1,0 +1,117 @@
+package faultinject
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestUnarmedIsNoop(t *testing.T) {
+	if Enabled() {
+		t.Fatal("Enabled() with no plan armed")
+	}
+	if a := Check(CtrlBatch); a != None {
+		t.Fatalf("unarmed Check = %v, want None", a)
+	}
+}
+
+func TestFiresExactlyOnceAtChosenHit(t *testing.T) {
+	disarm := Arm(Plan{Site: CtrlBatch, Hit: 2, Action: Panic})
+	defer disarm()
+	got := make([]Action, 0, 5)
+	for i := 0; i < 5; i++ {
+		got = append(got, Check(CtrlBatch))
+	}
+	want := []Action{None, None, Panic, None, None}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("hit %d: action %v, want %v", i, got[i], want[i])
+		}
+	}
+	if h := Hits(CtrlBatch); h != 5 {
+		t.Fatalf("Hits = %d, want 5", h)
+	}
+}
+
+func TestSitesCountIndependently(t *testing.T) {
+	disarm := Arm(Plan{Site: LPPivot, Hit: 0, Action: JitterNaN})
+	defer disarm()
+	if a := Check(CtrlBatch); a != None {
+		t.Fatalf("CtrlBatch fired a plan armed for LPPivot: %v", a)
+	}
+	if a := Check(LPPivot); a != JitterNaN {
+		t.Fatalf("LPPivot hit 0 = %v, want JitterNaN", a)
+	}
+	if Hits(CtrlBatch) != 1 || Hits(LPPivot) != 1 {
+		t.Fatalf("hits = %d/%d, want 1/1", Hits(CtrlBatch), Hits(LPPivot))
+	}
+}
+
+func TestCountingModeAndRearmResets(t *testing.T) {
+	disarm := Arm(Plan{Site: CtrlBatch, Hit: -1, Action: None})
+	for i := 0; i < 7; i++ {
+		if a := Check(CtrlBatch); a != None {
+			t.Fatalf("counting mode injected %v", a)
+		}
+	}
+	if Hits(CtrlBatch) != 7 {
+		t.Fatalf("Hits = %d, want 7", Hits(CtrlBatch))
+	}
+	disarm()
+	disarm2 := Arm(Plan{Site: CtrlBatch, Hit: 0, Action: Cancel})
+	defer disarm2()
+	if Hits(CtrlBatch) != 0 {
+		t.Fatalf("re-arm did not reset hits: %d", Hits(CtrlBatch))
+	}
+	if a := Check(CtrlBatch); a != Cancel {
+		t.Fatalf("hit 0 after re-arm = %v, want Cancel", a)
+	}
+}
+
+func TestDoubleArmPanics(t *testing.T) {
+	disarm := Arm(Plan{Site: CtrlBatch, Hit: 0, Action: None})
+	defer disarm()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second Arm did not panic")
+		}
+	}()
+	Arm(Plan{Site: LPPivot, Hit: 0, Action: None})
+}
+
+func TestInjectedIsError(t *testing.T) {
+	var err error = &Injected{Site: LPPivot, Hit: 3}
+	var inj *Injected
+	if !errors.As(err, &inj) || inj.Site != LPPivot || inj.Hit != 3 {
+		t.Fatalf("errors.As failed on %v", err)
+	}
+}
+
+// TestConcurrentChecks exercises the lock-free hook path under the
+// race detector: concurrent Check calls against one armed plan must be
+// safe and fire the action exactly once.
+func TestConcurrentChecks(t *testing.T) {
+	disarm := Arm(Plan{Site: CtrlBatch, Hit: 500, Action: Panic})
+	defer disarm()
+	var fired atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 250; i++ {
+				if Check(CtrlBatch) == Panic {
+					fired.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if n := fired.Load(); n != 1 {
+		t.Fatalf("plan fired %d times, want exactly once", n)
+	}
+	if Hits(CtrlBatch) != 2000 {
+		t.Fatalf("Hits = %d, want 2000", Hits(CtrlBatch))
+	}
+}

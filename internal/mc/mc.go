@@ -13,12 +13,14 @@
 package mc
 
 import (
+	"math"
 	"math/rand"
 	"time"
 
 	"licm/internal/core"
 	"licm/internal/encode"
 	"licm/internal/engine"
+	"licm/internal/expr"
 	"licm/internal/obs"
 	"licm/internal/queries"
 )
@@ -68,6 +70,13 @@ func NewSampler(enc *encode.Encoded, seed int64) *Sampler {
 // SampleWorld draws one uniform valid world and materializes it as
 // deterministic tables.
 func (s *Sampler) SampleWorld() *queries.World {
+	s.sampleAssign()
+	return s.MaterializeWorld()
+}
+
+// sampleAssign draws one uniform valid base assignment into s.assign
+// without materializing tables.
+func (s *Sampler) sampleAssign() {
 	for i := range s.assign {
 		s.assign[i] = 0
 	}
@@ -103,7 +112,6 @@ func (s *Sampler) SampleWorld() *queries.World {
 			}
 		}
 	}
-	return s.MaterializeWorld()
 }
 
 // MaterializeWorld builds the deterministic tables for the current
@@ -214,6 +222,65 @@ func (s *Sampler) Run(q queries.Query, n int) Result {
 		obs.Int("samples_dropped", dropped),
 	)
 	return res
+}
+
+// Estimate summarizes the distribution of a linear objective over a
+// set of sampled worlds. It carries no proof: the true optimum can lie
+// far outside [Min, Max] (the paper's central criticism of MC), which
+// is why the supervisor labels results built from it as Sampled.
+type Estimate struct {
+	Samples  int
+	Min, Max int64
+	Mean     float64
+	// StdErr is the standard error of Mean (sample standard deviation
+	// over sqrt(Samples)); 0 when Samples < 2.
+	StdErr float64
+}
+
+// EstimateObjective evaluates a linear objective directly on n sampled
+// assignments (base variables sampled, derived variables completed via
+// the constraint store), skipping table materialization and query
+// evaluation. It is the degraded-mode fallback of the solve
+// supervisor: when no proven interval exists within budget, a sampled
+// range is still better than a bare error.
+func (s *Sampler) EstimateObjective(obj expr.Lin, n int) Estimate {
+	est := Estimate{Samples: n}
+	if n <= 0 {
+		return est
+	}
+	sp := s.tr.Start("mc.estimate", obs.Int("samples", n))
+	full := make([]uint8, len(s.assign))
+	var mean, m2 float64
+	for i := 0; i < n; i++ {
+		s.sampleAssign()
+		copy(full, s.assign)
+		s.enc.DB.Extend(full)
+		v := obj.Const()
+		for _, t := range obj.Terms() {
+			if full[t.Var] == 1 {
+				v += t.Coef
+			}
+		}
+		if i == 0 || v < est.Min {
+			est.Min = v
+		}
+		if i == 0 || v > est.Max {
+			est.Max = v
+		}
+		d := float64(v) - mean
+		mean += d / float64(i+1)
+		m2 += d * (float64(v) - mean)
+	}
+	est.Mean = mean
+	if n > 1 {
+		est.StdErr = math.Sqrt(m2 / float64(n-1) / float64(n))
+	}
+	sp.End(
+		obs.I64("min", est.Min),
+		obs.I64("max", est.Max),
+		obs.F64("mean", est.Mean),
+		obs.F64("stderr", est.StdErr))
+	return est
 }
 
 // ExpectedValue returns the average answer over n sampled worlds —

@@ -20,6 +20,8 @@ package simplex
 import (
 	"fmt"
 	"math"
+
+	"licm/internal/faultinject"
 )
 
 // Status reports the outcome of Solve.
@@ -150,6 +152,10 @@ type tableau struct {
 	basis   []int
 	inBasis []bool
 	obj     []float64 // phase-2 objective, padded with zeros
+	// corrupt latches when a pivot element is non-finite or vanishing:
+	// the tableau can no longer be trusted and the solve must end with
+	// IterLimit rather than a fabricated Optimal.
+	corrupt bool
 }
 
 func newTableau(lp *LP) *tableau {
@@ -309,6 +315,9 @@ func (t *tableau) iterate(obj []float64) Status {
 	stall := 0
 	lastObj := math.Inf(-1)
 	for iter := 0; iter < maxIter; iter++ {
+		if t.corrupt {
+			return IterLimit
+		}
 		bland := stall > 2*(t.m+t.n)+50
 		j, dir := t.chooseEntering(obj, bland)
 		if j < 0 {
@@ -459,9 +468,26 @@ func (t *tableau) applyStep(j, dir int, delta float64, leave int, leaveToUpper b
 }
 
 // pivot performs Gaussian elimination so that column j becomes the
-// unit vector for row r.
+// unit vector for row r. It is the fault-injection site for numerical
+// corruption: an armed plan can poison the pivot element (NaN/Inf) or
+// panic at an exact pivot index, exercising the solver's defenses
+// against a misbehaving LP kernel.
 func (t *tableau) pivot(r, j int) {
+	if faultinject.Enabled() {
+		switch faultinject.Check(faultinject.LPPivot) {
+		case faultinject.Panic:
+			panic(&faultinject.Injected{Site: faultinject.LPPivot, Hit: faultinject.Hits(faultinject.LPPivot) - 1})
+		case faultinject.JitterNaN:
+			t.a[r][j] = math.NaN()
+		case faultinject.JitterInf:
+			t.a[r][j] = math.Inf(1)
+		}
+	}
 	piv := t.a[r][j]
+	if math.IsNaN(piv) || math.IsInf(piv, 0) || math.Abs(piv) < 1e-12 {
+		t.corrupt = true
+		return
+	}
 	inv := 1 / piv
 	rowR := t.a[r]
 	for k := 0; k < t.ncols; k++ {

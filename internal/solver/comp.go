@@ -4,6 +4,7 @@ import (
 	"math"
 	"time"
 
+	"licm/internal/faultinject"
 	"licm/internal/simplex"
 )
 
@@ -17,6 +18,12 @@ type comp struct {
 	derived []bool  // nil, or per-variable lineage marker
 	prop    *propagator
 	opts    Options
+
+	// ci/board identify this component's slot on the solve's
+	// SnapshotBoard; board is nil (and publishing a no-op) for
+	// heuristic dives and witness completion.
+	ci    int
+	board *SnapshotBoard
 
 	order []int32 // branching order over local variables
 
@@ -133,8 +140,18 @@ type compResult struct {
 
 // flushCtrl pushes counter deltas since the previous flush into the
 // shared ctrl and polls cancellation; it returns false (and latches
-// aborted) when the solve should stop.
+// aborted) when the solve should stop. It is the solver's batch
+// boundary, so the fault-injection hook lives here: an armed plan can
+// panic or latch cancellation at an exact batch index.
 func (c *comp) flushCtrl() bool {
+	if faultinject.Enabled() {
+		switch faultinject.Check(faultinject.CtrlBatch) {
+		case faultinject.Panic:
+			panic(&faultinject.Injected{Site: faultinject.CtrlBatch, Hit: faultinject.Hits(faultinject.CtrlBatch) - 1})
+		case faultinject.Cancel:
+			c.ctrl.forceCancel()
+		}
+	}
 	dn := c.nodes - c.flushedNodes
 	dl := c.lpSolves - c.flushedLPs
 	dp := c.prop.nAssigns - c.flushedProps
@@ -154,9 +171,12 @@ func (c *comp) flushCtrl() bool {
 }
 
 // solveComp maximizes c.obj over the component. The propagator's
-// domains may carry fixings from global presolve.
-func solveComp(n int, cons []lcon, obj []int64, derived []bool, prop *propagator, opts Options, budget *int64, kc *ctrl) compResult {
-	c := &comp{n: n, cons: cons, obj: obj, derived: derived, prop: prop, opts: opts, budget: budget, ctrl: kc}
+// domains may carry fixings from global presolve. ci is the
+// component's index on the solve's SnapshotBoard (ignored when
+// opts.Snapshots is nil).
+func solveComp(ci, n int, cons []lcon, obj []int64, derived []bool, prop *propagator, opts Options, budget *int64, kc *ctrl) compResult {
+	c := &comp{n: n, cons: cons, obj: obj, derived: derived, prop: prop, opts: opts, budget: budget, ctrl: kc,
+		ci: ci, board: opts.Snapshots}
 	if kc.timingLatencies() {
 		c.lastBatch = time.Now()
 	}
@@ -168,7 +188,9 @@ func solveComp(n int, cons []lcon, obj []int64, derived []bool, prop *propagator
 		if c.ctrl != nil {
 			c.flushCtrl()
 		}
-		return compResult{feasible: false, proven: true, props: prop.nAssigns}
+		r := compResult{feasible: false, proven: true, props: prop.nAssigns}
+		c.board.finish(c.ci, r)
+		return r
 	}
 	c.buildOrder()
 	c.initObjTrack()
@@ -188,10 +210,15 @@ func solveComp(n int, cons []lcon, obj []int64, derived []bool, prop *propagator
 		// reported bound, and its rounded solution steers the seed
 		// dive toward a good first incumbent (LP bounds can only
 		// prune once an incumbent exists, so solving relaxations
-		// during an unguided initial plunge is pure overhead).
+		// during an unguided initial plunge is pure overhead). The
+		// relaxation covers the free part only, so root-fixed
+		// contributions (c.cur) are folded in; a non-finite objective
+		// (numerical corruption, exercised by fault injection) is
+		// discarded rather than trusted as a bound.
 		var hint []int8
-		if sol, status, cols := c.solveRelaxation(0); status == simplex.Optimal {
+		if sol, status, cols := c.solveRelaxation(c.cur); status == simplex.Optimal && isFinite(sol.Obj) {
 			c.rootLP, c.hasRootLP = int64(math.Floor(sol.Obj+1e-6)), true
+			c.board.refineUB(c.ci, c.rootLP)
 			hint = make([]int8, n)
 			for i := range hint {
 				hint[i] = -1
@@ -211,6 +238,7 @@ func solveComp(n int, cons []lcon, obj []int64, derived []bool, prop *propagator
 		d.dfsNode(0)
 		if d.hasIncumbent {
 			c.best, c.hasIncumbent, c.assign = d.best, true, d.assign
+			c.publishIncumbent()
 		}
 		c.nodes += d.nodes
 		c.valueHint = hint
@@ -234,6 +262,7 @@ func solveComp(n int, cons []lcon, obj []int64, derived []bool, prop *propagator
 		d.dfsNode(0)
 		if d.hasIncumbent {
 			c.best, c.hasIncumbent, c.assign = d.best, true, d.assign
+			c.publishIncumbent()
 		}
 		c.nodes += d.nodes
 	}
@@ -270,7 +299,23 @@ func solveComp(n int, cons []lcon, obj []int64, derived []bool, prop *propagator
 			res.bound = res.best
 		}
 	}
+	c.board.finish(c.ci, res)
 	return res
+}
+
+// publishIncumbent mirrors the component's current best feasible value
+// onto the snapshot board (a no-op when no board is attached).
+func (c *comp) publishIncumbent() {
+	if c.board != nil && c.hasIncumbent {
+		c.board.observeIncumbent(c.ci, c.best)
+	}
+}
+
+// isFinite reports whether x is a usable objective value: NaN and ±Inf
+// must never be floored into an int64 bound (the conversion is
+// platform-defined and can silently fabricate a pruning bound).
+func isFinite(x float64) bool {
+	return !math.IsNaN(x) && !math.IsInf(x, 0)
 }
 
 // buildOrder sorts branching candidates: base variables before
@@ -288,13 +333,32 @@ func (c *comp) buildOrder() {
 		return x
 	}
 	const baseBoost = int64(1) << 40
+	seed := c.opts.OrderSeed
 	quickSortByKeyDesc(c.order, func(v int32) int64 {
 		k := abs(c.obj[v])
+		if seed != 0 {
+			// Deterministic perturbation for restart-after-fault: shift
+			// the true key up and fill the low byte with a hash of
+			// (seed, v), so equal-coefficient ties — the common case —
+			// resolve differently per seed while the coefficient
+			// ordering itself stays intact and well below baseBoost.
+			k = k<<8 | orderJitter(seed, v)
+		}
 		if c.derived == nil || !c.derived[v] {
 			k += baseBoost
 		}
 		return k
 	})
+}
+
+// orderJitter hashes (seed, v) to a byte, the tie-break perturbation
+// used by buildOrder when Options.OrderSeed is set.
+func orderJitter(seed int64, v int32) int64 {
+	x := uint64(seed) ^ (uint64(uint32(v))+0x9e3779b97f4a7c15)*0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return int64(x & 0xff)
 }
 
 // quickSortByKeyDesc sorts ids by key(id) descending, breaking ties by
@@ -383,6 +447,7 @@ func (c *comp) recordIncumbent(val int64) {
 		c.assign = make([]int8, c.n)
 	}
 	copy(c.assign, c.prop.dom)
+	c.publishIncumbent()
 }
 
 // preferredValue picks the branch value to try first: follow the
@@ -498,6 +563,13 @@ func (c *comp) lpNode(pos int) {
 	default:
 		// Numerical trouble: keep searching with the combinatorial
 		// bound only.
+		c.dfsNode(pos)
+		return
+	}
+	if !isFinite(sol.Obj) {
+		// A corrupted objective (NaN/Inf) must not become a bound:
+		// flooring it into int64 is platform-defined and could prune
+		// the true optimum. Treat it like any other numerical failure.
 		c.dfsNode(pos)
 		return
 	}

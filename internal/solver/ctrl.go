@@ -173,3 +173,12 @@ func (k *ctrl) incumbent(value, compNodes int64) {
 func (k *ctrl) isCanceled() bool {
 	return k != nil && k.canceled.Load()
 }
+
+// forceCancel latches cancellation directly, bypassing the
+// Options.Cancel poll — the injected-cancellation path of the
+// fault-injection harness.
+func (k *ctrl) forceCancel() {
+	if k != nil && !k.canceled.Swap(true) {
+		k.trace.Event("solver.canceled", obs.I64("nodes", k.nodes.Load()), obs.Bool("injected", true))
+	}
+}

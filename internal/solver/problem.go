@@ -108,6 +108,17 @@ type Options struct {
 	// components that do not touch the objective (they do not affect
 	// the optimum, but a full witness world needs them).
 	CompleteWitness bool
+	// WitnessBudget caps the nodes spent per dive while completing a
+	// witness over pruned components; 0 means the default (500000).
+	// When the budget runs out the bounds still stand but Assignment is
+	// nil and Stats.WitnessExhausted is set.
+	WitnessBudget int64
+	// OrderSeed, when non-zero, deterministically perturbs the
+	// branching order (a tie-break jitter on the objective-magnitude
+	// keys). Any order is correct; a supervisor retries a panicked
+	// solve with a fresh seed so a crash tied to one exploration order
+	// is not replayed verbatim.
+	OrderSeed int64
 	// Workers > 1 solves independent components concurrently (the
 	// parallelism the paper's conclusion calls for to scale LICM).
 	// With a MaxNodes budget, the budget is split evenly across
@@ -141,6 +152,13 @@ type Options struct {
 	// deadline, a context, or a UI stop button can all be expressed
 	// as a Cancel func.
 	Cancel func() bool
+	// Snapshots, if non-nil, receives per-component incumbent/bound
+	// snapshots during the solve, so a supervisor can assemble an
+	// anytime proven interval even when the solve is cancelled before
+	// a global feasible point exists. Use a fresh board per solve; for
+	// Minimize the board holds negated-sense values (see
+	// SnapshotBoard).
+	Snapshots *SnapshotBoard
 }
 
 // DefaultOptions returns the recommended settings.
@@ -155,6 +173,7 @@ func DefaultOptions() Options {
 		MaxNodes:        0,
 		OversizeNodes:   2_000_000,
 		CompleteWitness: true,
+		WitnessBudget:   defaultWitnessBudget,
 	}
 }
 
@@ -190,6 +209,10 @@ type Stats struct {
 	// Canceled reports that Options.Cancel stopped the solve early;
 	// the result is then best-effort (Proven is false).
 	Canceled bool
+	// WitnessExhausted reports that witness completion ran out of its
+	// node budget (Options.WitnessBudget): the bounds stand but
+	// Result.Assignment is nil instead of a full world.
+	WitnessExhausted bool
 }
 
 // Result is the outcome of a Maximize or Minimize call.

@@ -1,0 +1,205 @@
+package solver
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"licm/internal/expr"
+)
+
+// pairCoverProblem is a feasibility-hard gadget: 2k variables, a
+// global "at most k" cap, and k pair-cover constraints. The only
+// feasible points pick exactly one variable per pair, which a 1-first
+// dive discovers only after massive backtracking — enough to exhaust
+// the budgeted heuristic dives and expose the no-incumbent error
+// paths. base is the id of the gadget's first variable.
+func pairCoverProblem(base, k int) []expr.Constraint {
+	var cons []expr.Constraint
+	var all []expr.Var
+	for i := 0; i < 2*k; i++ {
+		all = append(all, expr.Var(base+i))
+	}
+	cons = append(cons, expr.NewConstraint(expr.Sum(all...), expr.LE, int64(k)))
+	for i := 0; i < k; i++ {
+		cons = append(cons, expr.NewConstraint(
+			expr.Sum(expr.Var(base+2*i), expr.Var(base+2*i+1)), expr.GE, 1))
+	}
+	return cons
+}
+
+// TestCanceledErrorWrapsComponentContext: when cancellation strikes
+// before any feasible point exists, the returned error must wrap
+// ErrCanceled (errors.Is matches) and name the starved component.
+func TestCanceledErrorWrapsComponentContext(t *testing.T) {
+	k := 20
+	var terms []expr.Term
+	for i := 0; i < 2*k; i++ {
+		terms = append(terms, expr.Term{Var: expr.Var(i), Coef: 1})
+	}
+	p := &Problem{
+		NumVars:     2 * k,
+		Constraints: pairCoverProblem(0, k),
+		Objective:   expr.NewLin(0, terms...),
+	}
+	opts := DefaultOptions()
+	opts.UseLP = false // the LP hint would gift the dive a feasible point
+	opts.Cancel = func() bool { return true }
+	_, err := Maximize(p, opts)
+	if err == nil {
+		t.Fatal("expected an error from a canceled incumbent-less solve")
+	}
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("errors.Is(err, ErrCanceled) = false for %v", err)
+	}
+	if err.Error() == ErrCanceled.Error() {
+		t.Fatalf("error was not wrapped with component context: %v", err)
+	}
+	if !strings.Contains(err.Error(), "component 0") {
+		t.Fatalf("error does not name the component: %v", err)
+	}
+}
+
+// TestWitnessBudgetExhaustedStat: a pruned part too hard for the
+// configured witness budget must surface as Stats.WitnessExhausted
+// with a nil Assignment — while the bounds stand.
+func TestWitnessBudgetExhaustedStat(t *testing.T) {
+	k := 20
+	p := &Problem{
+		NumVars:     1 + 2*k,
+		Constraints: pairCoverProblem(1, k),
+		Objective:   expr.Sum(expr.Var(0)),
+	}
+	opts := DefaultOptions()
+	opts.WitnessBudget = 1000
+	res, err := Maximize(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != 1 || !res.Proven {
+		t.Fatalf("bounds wrong: value=%d proven=%v", res.Value, res.Proven)
+	}
+	if !res.Stats.WitnessExhausted {
+		t.Error("Stats.WitnessExhausted not set")
+	}
+	if res.Assignment != nil {
+		t.Error("Assignment should be nil when the witness is incomplete")
+	}
+}
+
+// TestCancelBetweenComponentsKeepsProvenBounds: cancellation striking
+// after some components finished must keep their proven per-component
+// bounds on the snapshot board, and the board interval must still
+// contain the true optimum.
+func TestCancelBetweenComponentsKeepsProvenBounds(t *testing.T) {
+	// Three independent 7x7 permutation blocks with random weights:
+	// each needs thousands of DFS nodes, so ctrl polls fire while later
+	// blocks are still open.
+	k := 7
+	var cons []expr.Constraint
+	var terms []expr.Term
+	r := rand.New(rand.NewSource(9))
+	for b := 0; b < 3; b++ {
+		base := b * k * k
+		idx := func(i, j int) expr.Var { return expr.Var(base + k*i + j) }
+		for i := 0; i < k; i++ {
+			var row, col []expr.Var
+			for j := 0; j < k; j++ {
+				row = append(row, idx(i, j))
+				col = append(col, idx(j, i))
+			}
+			cons = append(cons,
+				expr.NewConstraint(expr.Sum(row...), expr.EQ, 1),
+				expr.NewConstraint(expr.Sum(col...), expr.EQ, 1))
+		}
+		for i := 0; i < k; i++ {
+			for j := 0; j < k; j++ {
+				terms = append(terms, expr.Term{Var: idx(i, j), Coef: int64(r.Intn(10))})
+			}
+		}
+	}
+	p := &Problem{NumVars: 3 * k * k, Constraints: cons, Objective: expr.NewLin(0, terms...)}
+
+	exact, err := Maximize(p, DefaultOptions())
+	if err != nil || !exact.Proven {
+		t.Fatalf("reference solve: err=%v proven=%v", err, exact.Proven)
+	}
+
+	opts := DefaultOptions()
+	opts.UseLP = false
+	board := &SnapshotBoard{}
+	opts.Snapshots = board
+	latched := false
+	opts.Cancel = func() bool {
+		if latched {
+			return true
+		}
+		_, comps, ok := board.Components()
+		if !ok {
+			return false
+		}
+		for _, cs := range comps {
+			if cs.Done {
+				latched = true
+				return true
+			}
+		}
+		return false
+	}
+	res, err := Maximize(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stats.Canceled {
+		t.Fatal("Stats.Canceled not set")
+	}
+	if res.Proven {
+		t.Error("canceled solve reported proven")
+	}
+	_, comps, ok := board.Components()
+	if !ok || len(comps) != 3 {
+		t.Fatalf("board: ok=%v comps=%d, want 3", ok, len(comps))
+	}
+	provenComps := 0
+	for ci, cs := range comps {
+		if cs.Done && cs.HasIncumbent && cs.UpperBound == cs.Incumbent {
+			provenComps++
+		}
+		if cs.HasIncumbent && cs.Incumbent > cs.UpperBound {
+			t.Errorf("component %d: incumbent %d above bound %d", ci, cs.Incumbent, cs.UpperBound)
+		}
+	}
+	if provenComps == 0 {
+		t.Error("no component kept a proven (incumbent == bound) snapshot")
+	}
+	lo, hi, hasLo, ok := board.Interval()
+	if !ok || !hasLo {
+		t.Fatalf("board interval unavailable: ok=%v hasLo=%v", ok, hasLo)
+	}
+	if lo > exact.Value || hi < exact.Value {
+		t.Errorf("board interval [%d,%d] excludes true optimum %d", lo, hi, exact.Value)
+	}
+}
+
+// TestOrderSeedPreservesOptimum: the deterministic branching-order
+// perturbation must never change proven results — any order is
+// correct, only the exploration path differs.
+func TestOrderSeedPreservesOptimum(t *testing.T) {
+	p := buildMinCountInstance(40, 5, 11)
+	base, err := Maximize(p, DefaultOptions())
+	if err != nil || !base.Proven {
+		t.Fatalf("base solve: err=%v proven=%v", err, base.Proven)
+	}
+	for _, seed := range []int64{1, 0x5eedbeef, -77} {
+		opts := DefaultOptions()
+		opts.OrderSeed = seed
+		res, err := Maximize(p, opts)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !res.Proven || res.Value != base.Value {
+			t.Fatalf("seed %d: value=%d proven=%v, want %d proven", seed, res.Value, res.Proven, base.Value)
+		}
+	}
+}

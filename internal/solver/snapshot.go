@@ -1,0 +1,203 @@
+package solver
+
+import (
+	"fmt"
+	"runtime/debug"
+	"sync"
+
+	"licm/internal/expr"
+)
+
+// CompSnapshot is one component's live state as seen by a
+// SnapshotBoard: the best incumbent found so far and a bound that is
+// valid at any moment of the search (the root optimistic bound,
+// tightened by the root LP relaxation, and finally by the exact search
+// bound when the component completes). All values are in the sense of
+// the internal maximization (Minimize negates the objective before
+// solving, so a board attached to a Minimize call holds negated
+// values — see SnapshotBoard).
+type CompSnapshot struct {
+	// UpperBound is a proven upper bound on the component's optimum,
+	// valid from the moment the components are registered.
+	UpperBound int64
+	// Incumbent is the best feasible value found; meaningful only when
+	// HasIncumbent. It is a proven lower bound on the component optimum.
+	Incumbent    int64
+	HasIncumbent bool
+	// Done is set when the component's search returned; Infeasible when
+	// it proved the component (and therefore the problem) infeasible.
+	Done       bool
+	Infeasible bool
+}
+
+// SnapshotBoard collects per-component incumbent/bound snapshots
+// during one solve, so a supervisor can assemble an anytime proven
+// interval at the moment of cancellation, budget exhaustion, or a
+// recovered panic — instead of being left with a bare error when no
+// global feasible point was reached.
+//
+// Attach a fresh board per solve via Options.Snapshots. All methods
+// are safe for concurrent use (components may run on worker
+// goroutines). Values are in the sense of the internal maximization:
+// for a Maximize call they bound the objective directly; for a
+// Minimize call they bound the negated objective, so a caller must
+// negate (and swap) the interval ends.
+type SnapshotBoard struct {
+	mu         sync.Mutex
+	registered bool
+	base       int64
+	comps      []CompSnapshot
+}
+
+// register installs the constant-plus-presolve base value and one slot
+// per component with its trivial root upper bound. Called once per
+// solve, after decomposition and before any component search.
+func (b *SnapshotBoard) register(base int64, ubs []int64) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.base = base
+	b.comps = make([]CompSnapshot, len(ubs))
+	for i, ub := range ubs {
+		b.comps[i].UpperBound = ub
+	}
+	b.registered = true
+}
+
+// refineUB tightens component ci's upper bound (no-op if the new bound
+// is not tighter).
+func (b *SnapshotBoard) refineUB(ci int, ub int64) {
+	if b == nil || ci < 0 {
+		return
+	}
+	b.mu.Lock()
+	if ci < len(b.comps) && ub < b.comps[ci].UpperBound {
+		b.comps[ci].UpperBound = ub
+	}
+	b.mu.Unlock()
+}
+
+// observeIncumbent records a new best feasible value for component ci.
+func (b *SnapshotBoard) observeIncumbent(ci int, v int64) {
+	if b == nil || ci < 0 {
+		return
+	}
+	b.mu.Lock()
+	if ci < len(b.comps) {
+		c := &b.comps[ci]
+		if !c.HasIncumbent || v > c.Incumbent {
+			c.Incumbent, c.HasIncumbent = v, true
+		}
+	}
+	b.mu.Unlock()
+}
+
+// finish records the final outcome of component ci's search.
+func (b *SnapshotBoard) finish(ci int, cr compResult) {
+	if b == nil || ci < 0 {
+		return
+	}
+	b.mu.Lock()
+	if ci < len(b.comps) {
+		c := &b.comps[ci]
+		c.Done = true
+		if cr.feasible {
+			if !c.HasIncumbent || cr.best > c.Incumbent {
+				c.Incumbent, c.HasIncumbent = cr.best, true
+			}
+			if cr.bound < c.UpperBound {
+				c.UpperBound = cr.bound
+			}
+		} else if cr.proven {
+			c.Infeasible = true
+		}
+	}
+	b.mu.Unlock()
+}
+
+// Components returns the base value (objective constant plus
+// presolve-fixed contributions) and a copy of the per-component
+// snapshots. ok is false until the solve reached component
+// registration (validation, static-check, or presolve failures leave
+// the board empty).
+func (b *SnapshotBoard) Components() (base int64, comps []CompSnapshot, ok bool) {
+	if b == nil {
+		return 0, nil, false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.registered {
+		return 0, nil, false
+	}
+	return b.base, append([]CompSnapshot(nil), b.comps...), true
+}
+
+// Interval assembles the anytime proven interval of the maximization
+// objective from the current snapshots: hi is always a proven upper
+// bound (base plus every component's upper bound); lo is a proven
+// lower bound only when every component has a feasible incumbent
+// (hasLo). ok is false when the board was never registered or some
+// component proved infeasibility — in either case no interval claim
+// can be made.
+func (b *SnapshotBoard) Interval() (lo, hi int64, hasLo, ok bool) {
+	base, comps, ok := b.Components()
+	if !ok {
+		return 0, 0, false, false
+	}
+	lo, hi = base, base
+	hasLo = true
+	for _, c := range comps {
+		if c.Infeasible {
+			return 0, 0, false, false
+		}
+		hi += c.UpperBound
+		if c.HasIncumbent {
+			lo += c.Incumbent
+		} else {
+			hasLo = false
+		}
+	}
+	if !hasLo {
+		lo = 0
+	}
+	return lo, hi, hasLo, true
+}
+
+// CompPanic wraps a panic raised while solving one component, so a
+// recovery boundary (internal/super) can attribute the fault to the
+// offending component instead of losing it in a bare panic value. The
+// solver itself never recovers panics into errors — it re-panics the
+// wrapped value, preserving crash semantics for callers that do not
+// install a boundary.
+type CompPanic struct {
+	// Component is the index of the component whose search panicked
+	// (the same index CompSnapshot slots use).
+	Component int
+	// Value is the original panic value.
+	Value any
+	// Stack is the stack captured at the recovery point.
+	Stack []byte
+}
+
+// Error summarizes the panic; *CompPanic satisfies error so recovery
+// boundaries can wrap it uniformly.
+func (p *CompPanic) Error() string {
+	return fmt.Sprintf("solver: panic in component %d: %v", p.Component, p.Value)
+}
+
+// solveOneGuarded is solveOne with panic attribution: any panic below
+// it is re-thrown wrapped in a *CompPanic carrying the component index
+// (unless it already is one).
+func solveOneGuarded(ci int, cm component, lcons []lcon, objCoef map[expr.Var]int64, globalDom []int8, derived []bool, opts Options, budget *int64, kc *ctrl) compResult {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(*CompPanic); ok {
+				panic(r)
+			}
+			panic(&CompPanic{Component: ci, Value: r, Stack: debug.Stack()})
+		}
+	}()
+	return solveOne(ci, cm, lcons, objCoef, globalDom, derived, opts, budget, kc)
+}

@@ -2,8 +2,10 @@ package solver
 
 import (
 	"fmt"
+	"runtime/debug"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"licm/internal/check"
@@ -11,9 +13,10 @@ import (
 	"licm/internal/obs"
 )
 
-// witnessBudget caps the nodes spent completing a witness over pruned
-// (objective-irrelevant) components.
-const witnessBudget = 500_000
+// defaultWitnessBudget caps the nodes spent completing a witness over
+// pruned (objective-irrelevant) components when Options.WitnessBudget
+// is left zero.
+const defaultWitnessBudget = 500_000
 
 // solve maximizes p.Objective. Minimization is handled by the caller
 // via negation; minimized only labels the trace.
@@ -184,6 +187,33 @@ func solve(p *Problem, opts Options, minimized bool) (res Result, err error) {
 	res.Stats.Components = len(comps)
 	sp.End(obs.Int("components", len(comps)))
 
+	// Register the snapshot board before any search work, so an
+	// anytime interval is available from the first moment a fault can
+	// strike: base is the constant-plus-presolve value, each
+	// component's initial bound the sum of its positive coefficients.
+	if opts.Snapshots != nil {
+		if !opts.Decompose && len(comps) > 1 {
+			// Merged-ablation path: everything is one slot.
+			var ub int64
+			for _, c := range objCoef {
+				if c > 0 {
+					ub += c
+				}
+			}
+			opts.Snapshots.register(total, []int64{ub})
+		} else {
+			ubs := make([]int64, len(comps))
+			for ci, cm := range comps {
+				for _, v := range cm.vars {
+					if c := objCoef[v]; c > 0 {
+						ubs[ci] += c
+					}
+				}
+			}
+			opts.Snapshots.register(total, ubs)
+		}
+	}
+
 	sp = root.Start("solver.search", obs.Int("components", len(comps)))
 	endSearch := func() {
 		res.Stats.SearchTime = time.Since(searchStart)
@@ -193,12 +223,15 @@ func solve(p *Problem, opts Options, minimized bool) (res Result, err error) {
 			obs.Bool("proven", res.Proven))
 	}
 	// budgetErr distinguishes a deliberate cancellation from genuine
-	// budget exhaustion when no feasible point was reached.
-	budgetErr := func() error {
+	// budget exhaustion when no feasible point was reached. The
+	// component index is folded into the error text so a supervisor
+	// (or log reader) can tell which part of the search starved;
+	// errors.Is(err, ErrCanceled) still matches through the wrap.
+	budgetErr := func(ci int) error {
 		if kc.isCanceled() {
-			return ErrCanceled
+			return fmt.Errorf("solver: component %d: %w", ci, ErrCanceled)
 		}
-		return fmt.Errorf("solver: node budget exhausted before finding a feasible point")
+		return fmt.Errorf("solver: component %d: node budget exhausted before finding a feasible point", ci)
 	}
 	var budget *int64
 	if opts.MaxNodes > 0 {
@@ -215,7 +248,7 @@ func solve(p *Problem, opts Options, minimized bool) (res Result, err error) {
 			if !cr.feasible {
 				endSearch()
 				if !cr.proven {
-					return Result{}, budgetErr()
+					return Result{}, budgetErr(ci)
 				}
 				return Result{}, ErrInfeasible
 			}
@@ -235,7 +268,7 @@ func solve(p *Problem, opts Options, minimized bool) (res Result, err error) {
 		// Merge all components into a single solve (used by the
 		// decomposition ablation benchmark).
 		merged := mergeComponents(comps)
-		cr := solveOne(merged, lcons, objCoef, prop.dom, p.Derived, opts, budget, kc)
+		cr := solveOneGuarded(0, merged, lcons, objCoef, prop.dom, p.Derived, opts, budget, kc)
 		res.Stats.Nodes += cr.nodes
 		res.Stats.LPSolves += cr.lpSolves
 		res.Stats.Propagations += cr.props
@@ -243,7 +276,7 @@ func solve(p *Problem, opts Options, minimized bool) (res Result, err error) {
 		if !cr.feasible {
 			endSearch()
 			if !cr.proven {
-				return Result{}, budgetErr()
+				return Result{}, budgetErr(0)
 			}
 			return Result{}, ErrInfeasible
 		}
@@ -277,25 +310,32 @@ func solve(p *Problem, opts Options, minimized bool) (res Result, err error) {
 		}
 		if !ok {
 			// Too hard within budget; the bounds stand, but the
-			// witness is partial.
+			// witness is partial. Record the exhaustion so callers can
+			// tell a dropped witness from a problem with none.
 			res.Assignment = nil
+			res.Stats.WitnessExhausted = true
 		}
 	}
 	return res, nil
 }
 
 // solveAll solves every component, sequentially or with a worker pool
-// when opts.Workers > 1.
+// when opts.Workers > 1. A panic on any worker is captured, remaining
+// components are abandoned, and the first panic is re-thrown (as a
+// *CompPanic) once every worker has stopped — so a dying component can
+// never strand the pool.
 func solveAll(comps []component, lcons []lcon, objCoef map[expr.Var]int64, globalDom []int8, derived []bool, opts Options, budget *int64, kc *ctrl) []compResult {
 	results := make([]compResult, len(comps))
 	if opts.Workers <= 1 || len(comps) <= 1 {
 		for ci, cm := range comps {
-			results[ci] = solveOne(cm, lcons, objCoef, globalDom, derived, opts, budget, kc)
+			results[ci] = solveOneGuarded(ci, cm, lcons, objCoef, globalDom, derived, opts, budget, kc)
 		}
 		return results
 	}
 	// Parallel path: split any budget evenly so workers never share
-	// mutable state.
+	// mutable state. Work is handed out through an atomic index rather
+	// than a feeder channel: a feeder would block forever on a send to
+	// a pool whose workers have panicked.
 	var perComp int64
 	if budget != nil {
 		perComp = *budget / int64(len(comps))
@@ -308,31 +348,53 @@ func solveAll(comps []component, lcons []lcon, objCoef map[expr.Var]int64, globa
 		workers = len(comps)
 	}
 	var wg sync.WaitGroup
-	next := make(chan int)
+	var nextIdx atomic.Int64
+	var panicked atomic.Bool
+	var panicMu sync.Mutex
+	var firstPanic *CompPanic
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for ci := range next {
+			defer func() {
+				if r := recover(); r != nil {
+					cp, ok := r.(*CompPanic)
+					if !ok {
+						cp = &CompPanic{Component: -1, Value: r, Stack: debug.Stack()}
+					}
+					panicMu.Lock()
+					if firstPanic == nil {
+						firstPanic = cp
+					}
+					panicMu.Unlock()
+					panicked.Store(true)
+				}
+			}()
+			for {
+				ci := int(nextIdx.Add(1) - 1)
+				if ci >= len(comps) || panicked.Load() {
+					return
+				}
 				var b *int64
 				if budget != nil {
 					local := perComp
 					b = &local
 				}
-				results[ci] = solveOne(comps[ci], lcons, objCoef, globalDom, derived, opts, b, kc)
+				results[ci] = solveOneGuarded(ci, comps[ci], lcons, objCoef, globalDom, derived, opts, b, kc)
 			}
 		}()
 	}
-	for ci := range comps {
-		next <- ci
-	}
-	close(next)
 	wg.Wait()
+	if firstPanic != nil {
+		panic(firstPanic)
+	}
 	return results
 }
 
-// solveOne extracts and solves a single component.
-func solveOne(cm component, lcons []lcon, objCoef map[expr.Var]int64, globalDom []int8, derived []bool, opts Options, budget *int64, kc *ctrl) compResult {
+// solveOne extracts and solves a single component. ci is the
+// component's slot on the solve's SnapshotBoard (-1 when the work is
+// not board-tracked, e.g. witness completion).
+func solveOne(ci int, cm component, lcons []lcon, objCoef map[expr.Var]int64, globalDom []int8, derived []bool, opts Options, budget *int64, kc *ctrl) compResult {
 	n := len(cm.vars)
 	local := make(map[expr.Var]int32, n)
 	for i, v := range cm.vars {
@@ -368,7 +430,7 @@ func solveOne(cm component, lcons []lcon, objCoef map[expr.Var]int64, globalDom 
 		}
 	}
 	prop := newPropagator(n, cons)
-	return solveComp(n, cons, obj, der, prop, opts, budget, kc)
+	return solveComp(ci, n, cons, obj, der, prop, opts, budget, kc)
 }
 
 // component groups free variables connected through constraints, plus
@@ -502,7 +564,7 @@ func completeWitness(numVars int, dropped []expr.Constraint, assign []uint8, opt
 			}
 		}
 		sortInt32s(order)
-		b := int64(witnessBudget)
+		b := witnessNodeBudget(opts)
 		c := &comp{
 			n:           numVars,
 			cons:        lcons,
@@ -535,13 +597,16 @@ func completeWitness(numVars int, dropped []expr.Constraint, assign []uint8, opt
 	comps := decompose(numVars, dropped, free, noObj)
 	wopts := opts
 	wopts.UseLP = false
+	// Witness components have no board slots: their values never move
+	// the objective, so publishing them would corrupt the interval.
+	wopts.Snapshots = nil
 	// Witness work is deliberately not attached to the solve's ctrl:
 	// its nodes do not count toward Stats.Nodes, so live counters
 	// would drift from the reported totals. Each dive is budgeted, so
 	// cancellation latency stays bounded anyway.
 	for _, cm := range comps {
-		b := int64(witnessBudget)
-		cr := solveOne(cm, lcons, nil, prop.dom, nil, wopts, &b, nil)
+		b := witnessNodeBudget(opts)
+		cr := solveOne(-1, cm, lcons, nil, prop.dom, nil, wopts, &b, nil)
 		if !cr.feasible {
 			return false, cr.proven
 		}
@@ -552,6 +617,15 @@ func completeWitness(numVars int, dropped []expr.Constraint, assign []uint8, opt
 		}
 	}
 	return true, false
+}
+
+// witnessNodeBudget returns the node budget of one witness dive:
+// Options.WitnessBudget, or the historical default when unset.
+func witnessNodeBudget(opts Options) int64 {
+	if opts.WitnessBudget > 0 {
+		return opts.WitnessBudget
+	}
+	return defaultWitnessBudget
 }
 
 // sortInt32s sorts ascending, keeping the witness dive deterministic.

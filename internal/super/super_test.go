@@ -1,0 +1,268 @@
+package super_test
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+
+	"licm/internal/expr"
+	"licm/internal/faultinject"
+	"licm/internal/solver"
+	"licm/internal/super"
+)
+
+// groupsProblem is the DFS-path fixture: nGroups independent
+// "at least one of three" groups, count objective. Many small
+// components, so faults sweep across component boundaries.
+func groupsProblem(nGroups int) *solver.Problem {
+	var cons []expr.Constraint
+	var all []expr.Var
+	for g := 0; g < nGroups; g++ {
+		vs := []expr.Var{expr.Var(3 * g), expr.Var(3*g + 1), expr.Var(3*g + 2)}
+		all = append(all, vs...)
+		cons = append(cons, expr.NewConstraint(expr.Sum(vs...), expr.GE, 1))
+	}
+	return &solver.Problem{NumVars: 3 * nGroups, Constraints: cons, Objective: expr.Sum(all...)}
+}
+
+// orCountProblem is the LP-path fixture: customer records constrained
+// to [1,2] present per customer, region OR variables as the objective —
+// the fixture family the solver's LP-guided tests use, rebuilt here
+// against the public API. One large component, so faults land inside
+// LP-bounded search and simplex pivots.
+func orCountProblem(nCustomers, nRegions int, seed int64) *solver.Problem {
+	r := rand.New(rand.NewSource(seed))
+	var cons []expr.Constraint
+	numVars := 0
+	newVar := func() expr.Var { numVars++; return expr.Var(numVars - 1) }
+	regionRecs := make([][]expr.Var, nRegions)
+	for c := 0; c < nCustomers; c++ {
+		n := 2 + r.Intn(3)
+		vars := make([]expr.Var, n)
+		for i := range vars {
+			vars[i] = newVar()
+			regionRecs[r.Intn(nRegions)] = append(regionRecs[r.Intn(nRegions)], vars[i])
+		}
+		cons = append(cons,
+			expr.NewConstraint(expr.Sum(vars...), expr.GE, 1),
+			expr.NewConstraint(expr.Sum(vars...), expr.LE, 2),
+		)
+	}
+	derivedStart := numVars
+	var objTerms []expr.Term
+	for g := 0; g < nRegions; g++ {
+		if len(regionRecs[g]) == 0 {
+			continue
+		}
+		or := newVar()
+		for _, a := range regionRecs[g] {
+			cons = append(cons, expr.NewConstraint(expr.Sum(or).AddTerm(a, -1), expr.GE, 0))
+		}
+		cons = append(cons, expr.NewConstraint(expr.Sum(or).Add(expr.Sum(regionRecs[g]...).Neg()), expr.LE, 0))
+		objTerms = append(objTerms, expr.Term{Var: or, Coef: 1})
+	}
+	derived := make([]bool, numVars)
+	for v := derivedStart; v < numVars; v++ {
+		derived[v] = true
+	}
+	return &solver.Problem{
+		NumVars:     numVars,
+		Constraints: cons,
+		Objective:   expr.NewLin(0, objTerms...),
+		Derived:     derived,
+	}
+}
+
+// exactRef computes the trusted reference interval with the plain
+// (unsupervised, unfaulted) solver.
+func exactRef(t *testing.T, p *solver.Problem) (int64, int64) {
+	t.Helper()
+	min, max, err := solver.Bounds(p, solver.DefaultOptions())
+	if err != nil {
+		t.Fatalf("reference solve: %v", err)
+	}
+	if !min.Proven || !max.Proven {
+		t.Fatalf("reference solve unproven — fixture too hard")
+	}
+	return min.Value, max.Value
+}
+
+func chaosConfig() super.Config {
+	return super.Config{
+		Solver: solver.DefaultOptions(),
+		// A stub fallback so the bottom of the ladder is Sampled, not
+		// Failed; values are irrelevant to the proven-side assertions.
+		Sample: func() (int64, int64, bool) { return 0, 0, true },
+	}
+}
+
+// checkOutcome asserts the quality tag's claim against the reference:
+// Exact must equal it, ProvenInterval must contain it, Sampled/Failed
+// claim nothing.
+func checkOutcome(t *testing.T, label string, out super.Outcome, refMin, refMax int64) {
+	t.Helper()
+	switch out.Quality {
+	case super.Exact:
+		if out.Min.Lo != refMin || out.Min.Hi != refMin || out.Max.Lo != refMax || out.Max.Hi != refMax {
+			t.Errorf("%s: Exact outcome min[%d,%d] max[%d,%d] != reference [%d,%d]",
+				label, out.Min.Lo, out.Min.Hi, out.Max.Lo, out.Max.Hi, refMin, refMax)
+		}
+	case super.ProvenInterval:
+		if out.Min.Lo > refMin || out.Min.Hi < refMin {
+			t.Errorf("%s: min interval [%d,%d] excludes true min %d", label, out.Min.Lo, out.Min.Hi, refMin)
+		}
+		if out.Max.Lo > refMax || out.Max.Hi < refMax {
+			t.Errorf("%s: max interval [%d,%d] excludes true max %d", label, out.Max.Lo, out.Max.Hi, refMax)
+		}
+	}
+	// Per-side proven claims hold regardless of the overall tag.
+	for _, sd := range []struct {
+		name string
+		s    super.Side
+		ref  int64
+	}{{"min", out.Min, refMin}, {"max", out.Max, refMax}} {
+		if sd.s.Quality >= super.ProvenInterval && (sd.s.Lo > sd.ref || sd.s.Hi < sd.ref) {
+			t.Errorf("%s: %s side [%d,%d] excludes true value %d", label, sd.name, sd.s.Lo, sd.s.Hi, sd.ref)
+		}
+	}
+}
+
+// TestChaosSweep is the harness's centerpiece: inject a fault at every
+// reachable batch boundary (and a sample of LP pivots) of a fixed-seed
+// supervised solve, and require that the supervisor never lets a panic
+// escape and never mislabels a degraded result.
+func TestChaosSweep(t *testing.T) {
+	fixtures := []struct {
+		name string
+		p    *solver.Problem
+	}{
+		{"groups", groupsProblem(20)},
+		{"orcount", orCountProblem(60, 6, 3)},
+	}
+	siteActions := map[faultinject.Site][]faultinject.Action{
+		faultinject.CtrlBatch: {faultinject.Panic, faultinject.Cancel},
+		faultinject.LPPivot:   {faultinject.Panic, faultinject.JitterNaN, faultinject.JitterInf},
+	}
+	for _, fx := range fixtures {
+		refMin, refMax := exactRef(t, fx.p)
+
+		// Counting pass: an armed-but-inert plan records how many times
+		// each site is reached by the full supervised solve.
+		disarm := faultinject.Arm(faultinject.Plan{Site: faultinject.CtrlBatch, Hit: -1, Action: faultinject.None})
+		out := super.Bounds(context.Background(), fx.p, chaosConfig())
+		hits := map[faultinject.Site]int64{
+			faultinject.CtrlBatch: faultinject.Hits(faultinject.CtrlBatch),
+			faultinject.LPPivot:   faultinject.Hits(faultinject.LPPivot),
+		}
+		disarm()
+		if out.Quality != super.Exact {
+			t.Fatalf("%s: unfaulted supervised solve quality = %v, want Exact", fx.name, out.Quality)
+		}
+		checkOutcome(t, fx.name+"/clean", out, refMin, refMax)
+		if hits[faultinject.CtrlBatch] == 0 {
+			t.Fatalf("%s: no ctrl batch boundaries reached — sweep would be empty", fx.name)
+		}
+
+		for site, actions := range siteActions {
+			n := hits[site]
+			if n == 0 {
+				continue
+			}
+			// Sweep every hit when cheap, else stride to ~24 probes.
+			step := n / 24
+			if step < 1 {
+				step = 1
+			}
+			for _, action := range actions {
+				for h := int64(0); h < n; h += step {
+					disarm := faultinject.Arm(faultinject.Plan{Site: site, Hit: h, Action: action})
+					out := super.Bounds(context.Background(), fx.p, chaosConfig())
+					disarm()
+					label := fx.name + "/" + site.String() + "/" + action.String()
+					checkOutcome(t, label, out, refMin, refMax)
+					if action == faultinject.Panic && out.PanicsRecovered == 0 {
+						t.Errorf("%s hit %d: injected panic was not recorded as recovered", label, h)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDeadlineAlreadyExpired: a spent deadline must degrade to
+// Sampled (or Failed without a sampler) immediately — never hang,
+// never claim proof.
+func TestDeadlineAlreadyExpired(t *testing.T) {
+	p := orCountProblem(60, 6, 3)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	done := make(chan super.Outcome, 1)
+	go func() { done <- super.Bounds(ctx, p, chaosConfig()) }()
+	select {
+	case out := <-done:
+		if out.Quality != super.Sampled {
+			t.Fatalf("quality = %v, want Sampled (stub sampler configured)", out.Quality)
+		}
+		if out.Min.Err == nil || out.Max.Err == nil {
+			t.Fatal("degraded sides must carry the terminal error")
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("supervised solve hung on an expired deadline")
+	}
+
+	cfg := chaosConfig()
+	cfg.Sample = nil
+	out := super.Bounds(ctx, p, cfg)
+	if out.Quality != super.Failed {
+		t.Fatalf("quality without sampler = %v, want Failed", out.Quality)
+	}
+}
+
+// TestDeadlineMidSolve: a deadline that can expire during the search
+// still yields an honestly-labeled result.
+func TestDeadlineMidSolve(t *testing.T) {
+	p := orCountProblem(120, 10, 7)
+	refMin, refMax := exactRef(t, p)
+	for _, d := range []time.Duration{time.Nanosecond, 200 * time.Microsecond, 50 * time.Millisecond} {
+		ctx, cancel := context.WithTimeout(context.Background(), d)
+		out := super.Bounds(ctx, p, chaosConfig())
+		cancel()
+		checkOutcome(t, "deadline "+d.String(), out, refMin, refMax)
+	}
+}
+
+// TestRetryAfterPanicReachesExact: a single injected panic must be
+// absorbed by the perturbed-order retry, ending Exact.
+func TestRetryAfterPanicReachesExact(t *testing.T) {
+	p := groupsProblem(12)
+	refMin, refMax := exactRef(t, p)
+	disarm := faultinject.Arm(faultinject.Plan{Site: faultinject.CtrlBatch, Hit: 0, Action: faultinject.Panic})
+	out := super.Bounds(context.Background(), p, chaosConfig())
+	disarm()
+	if out.Quality != super.Exact {
+		t.Fatalf("quality = %v, want Exact after retry", out.Quality)
+	}
+	if out.Retries != 1 || out.PanicsRecovered != 1 {
+		t.Fatalf("retries=%d panics=%d, want 1/1", out.Retries, out.PanicsRecovered)
+	}
+	checkOutcome(t, "retry", out, refMin, refMax)
+}
+
+// TestInfeasibleIsExact: proven infeasibility is a fact, not a
+// degradation.
+func TestInfeasibleIsExact(t *testing.T) {
+	v := []expr.Var{0, 1}
+	p := &solver.Problem{
+		NumVars: 2,
+		Constraints: []expr.Constraint{
+			expr.NewConstraint(expr.Sum(v...), expr.GE, 2),
+			expr.NewConstraint(expr.Sum(v...), expr.LE, 1),
+		},
+		Objective: expr.Sum(v...),
+	}
+	out := super.Bounds(context.Background(), p, chaosConfig())
+	if !out.Infeasible || out.Quality != super.Exact {
+		t.Fatalf("infeasible=%v quality=%v, want true/Exact", out.Infeasible, out.Quality)
+	}
+}
