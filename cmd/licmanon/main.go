@@ -33,18 +33,24 @@ func main() {
 		minSupp = flag.Int("minsupport", 10, "support threshold (suppress scheme)")
 		fanout  = flag.Int("fanout", 8, "generalization hierarchy fanout")
 
-		debugAddr = flag.String("debug-addr", "", "serve net/http/pprof on this address, e.g. :6060")
+		debugAddr = flag.String("debug-addr", "", "serve pprof, expvar, Prometheus /metrics and the /debug/licm dashboard on this address, e.g. :6060")
 	)
+	var logOpts obs.LogOptions
+	logOpts.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 	if *in == "" {
 		fatal(fmt.Errorf("-in is required"))
 	}
+	logger, err := logOpts.NewLogger(os.Stderr)
+	if err != nil {
+		fatal(err)
+	}
 	if *debugAddr != "" {
-		addr, err := obs.ServeDebug(*debugAddr)
+		srv, err := obs.ServeDebug(*debugAddr, obs.NewRegistry())
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "debug server (pprof) on http://%s/debug/pprof/\n", addr)
+		fmt.Fprintf(os.Stderr, "debug server on http://%s/ — /debug/pprof/, /debug/vars, /metrics, /debug/licm\n", srv.Addr())
 	}
 	f, err := os.Open(*in)
 	if err != nil {
@@ -58,6 +64,8 @@ func main() {
 	if *l == 0 {
 		*l = *k
 	}
+	logger.Info("anonymizing dataset",
+		"scheme", *scheme, "k", *k, "transactions", len(d.Trans), "items", len(d.Items))
 
 	switch *scheme {
 	case "km", "k":

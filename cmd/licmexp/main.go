@@ -14,7 +14,7 @@
 //
 //	licmexp -fig 5 -trace run.jsonl    # JSON-lines trace of every cell
 //	licmexp -fig 6 -json cells.json    # machine-readable cells with solve summaries
-//	licmexp -fig all -debug-addr :6060 # pprof server for profiling a run
+//	licmexp -fig all -debug-addr :6060 # pprof + /metrics + live dashboard while the sweep runs
 //	licmexp -fig 5 -snapshot dev       # BENCH_dev.json for licmtrace bench-diff
 package main
 
@@ -44,12 +44,18 @@ func main() {
 
 		tracePath = flag.String("trace", "", "write a JSON-lines trace of every experiment cell to this file")
 		verbose   = flag.Bool("verbose", false, "print a human-readable trace to stderr")
-		debugAddr = flag.String("debug-addr", "", "serve net/http/pprof and expvar on this address, e.g. :6060")
+		debugAddr = flag.String("debug-addr", "", "serve pprof, expvar, Prometheus /metrics and the /debug/licm dashboard on this address, e.g. :6060")
 		jsonPath  = flag.String("json", "", "write the measured cells (figures 5/6/7) as JSON to this file")
 		snapLabel = flag.String("snapshot", "", "write a BENCH_<label>.json benchmark snapshot (cells + run metadata) for licmtrace bench-diff")
 	)
+	var logOpts obs.LogOptions
+	logOpts.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
+	logger, err := logOpts.NewLogger(os.Stderr)
+	if err != nil {
+		fatal(err)
+	}
 	tr, closeTrace, err := obs.Setup(*tracePath, *verbose, os.Stderr)
 	if err != nil {
 		fatal(err)
@@ -59,12 +65,13 @@ func main() {
 			fatal(err)
 		}
 	}()
+	metrics := obs.NewRegistry()
 	if *debugAddr != "" {
-		addr, err := obs.ServeDebug(*debugAddr)
+		srv, err := obs.ServeDebug(*debugAddr, metrics)
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "debug server (pprof, expvar) on http://%s/debug/pprof/\n", addr)
+		fmt.Fprintf(os.Stderr, "debug server on http://%s/ — /debug/pprof/, /debug/vars, /metrics, /debug/licm\n", srv.Addr())
 	}
 
 	cfg := bench.DefaultConfig()
@@ -86,6 +93,8 @@ func main() {
 	}
 	cfg.Ks = parsed
 	cfg.Trace = tr
+	cfg.Metrics = metrics
+	cfg.Log = logger
 
 	runStart := time.Now()
 	var allCells []bench.Cell

@@ -27,15 +27,21 @@ func main() {
 		out    = flag.String("o", "", "output file (default stdout)")
 		doStat = flag.Bool("stats", false, "print dataset statistics to stderr")
 
-		debugAddr = flag.String("debug-addr", "", "serve net/http/pprof on this address, e.g. :6060")
+		debugAddr = flag.String("debug-addr", "", "serve pprof, expvar, Prometheus /metrics and the /debug/licm dashboard on this address, e.g. :6060")
 	)
+	var logOpts obs.LogOptions
+	logOpts.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+	logger, err := logOpts.NewLogger(os.Stderr)
+	if err != nil {
+		fatal(err)
+	}
 	if *debugAddr != "" {
-		addr, err := obs.ServeDebug(*debugAddr)
+		srv, err := obs.ServeDebug(*debugAddr, obs.NewRegistry())
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "debug server (pprof) on http://%s/debug/pprof/\n", addr)
+		fmt.Fprintf(os.Stderr, "debug server on http://%s/ — /debug/pprof/, /debug/vars, /metrics, /debug/licm\n", srv.Addr())
 	}
 
 	cfg := dataset.DefaultConfig(*trans)
@@ -48,6 +54,8 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	logger.Info("dataset generated",
+		"transactions", *trans, "items", *items, "seed", *seed)
 	w := os.Stdout
 	if *out != "" {
 		f, err := os.Create(*out)

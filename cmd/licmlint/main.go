@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"licm/internal/analysis"
+	"licm/internal/obs"
 )
 
 func main() {
@@ -29,6 +30,8 @@ func run(args []string) int {
 	dir := fs.String("dir", ".", "directory (module) to load packages from")
 	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
 	list := fs.Bool("list", false, "list available analyzers and exit")
+	var logOpts obs.LogOptions
+	logOpts.RegisterFlags(fs)
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "usage: licmlint [flags] [package patterns]\n")
 		fs.PrintDefaults()
@@ -38,6 +41,11 @@ func run(args []string) int {
 		}
 	}
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	logger, err := logOpts.NewLogger(os.Stderr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "licmlint: %v\n", err)
 		return 2
 	}
 	if *list {
@@ -69,6 +77,7 @@ func run(args []string) int {
 		fmt.Fprintf(os.Stderr, "licmlint: %v\n", err)
 		return 2
 	}
+	logger.Debug("packages loaded", "packages", len(pkgs), "analyzers", len(analyzers))
 	diags, err := analysis.Run(pkgs, analyzers)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "licmlint: %v\n", err)

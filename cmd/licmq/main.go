@@ -13,8 +13,9 @@
 //
 //	licmq -in data.txt -query q1 -trace trace.jsonl   # JSON-lines trace
 //	licmq -in data.txt -query q1 -verbose             # human-readable trace on stderr
-//	licmq -in data.txt -query q3 -debug-addr :6060    # pprof + expvar server
+//	licmq -in data.txt -query q3 -debug-addr :6060    # pprof, expvar, Prometheus /metrics, /debug/licm dashboard
 //	licmq -in data.txt -query q3 -timelimit 30s       # best-effort bounds on timeout
+//	licmq -in data.txt -query q1 -log-level info -log-format json   # structured logs on stderr
 //
 // Supervised (anytime) solves:
 //
@@ -37,6 +38,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"time"
 
@@ -84,6 +86,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		strict   = fs.Bool("strict", false, "supervised solve must be exact: exit 3 on any degraded (proven-interval, sampled, failed) result")
 		fallback = fs.Int("fallback-samples", 200, "Monte-Carlo worlds for the supervised solve's sampled fallback (0 disables it)")
 	)
+	var logOpts obs.LogOptions
+	logOpts.RegisterFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -95,6 +99,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "licmq: -in is required")
 		return 2
 	}
+	logger, err := logOpts.NewLogger(stderr)
+	if err != nil {
+		fmt.Fprintln(stderr, "licmq:", err)
+		return 2
+	}
 
 	tr, closeTrace, err := obs.Setup(*tracePath, *verbose, stderr)
 	if err != nil {
@@ -103,12 +112,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	defer closeTrace()
 	metrics := obs.NewRegistry()
 	if *debugAddr != "" {
-		addr, err := obs.ServeDebug(*debugAddr)
+		srv, err := obs.ServeDebug(*debugAddr, metrics)
 		if err != nil {
 			return fail(err)
 		}
-		obs.PublishExpvar("licm", metrics)
-		fmt.Fprintf(stderr, "debug server (pprof, expvar) on http://%s/debug/pprof/\n", addr)
+		fmt.Fprintf(stderr, "debug server on http://%s/ — /debug/pprof/, /debug/vars, /metrics, /debug/licm (dashboard)\n", srv.Addr())
 	}
 	f, err := os.Open(*in)
 	if err != nil {
@@ -189,7 +197,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *deadline > 0 || *strict {
-		code := runSupervised(stdout, enc, rel, q, opts, tr,
+		code := runSupervised(stdout, enc, rel, q, opts, tr, logger,
 			*scheme, *k, *deadline, *strict, *fallback)
 		if code != 0 {
 			return code
@@ -228,6 +236,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 			res.Stats.VarsBefore, res.Stats.ConsBefore,
 			res.Stats.VarsAfterPrune, res.Stats.ConsAfterPrune,
 			res.Stats.Components, res.Stats.Nodes, res.Stats.LPSolves, res.Stats.Propagations)
+		if res.Stats.AllocBytes > 0 || res.Stats.PeakHeap > 0 {
+			fmt.Fprintf(stdout, "memory: %.1f MiB allocated during solve, peak heap %.1f MiB\n",
+				float64(res.Stats.AllocBytes)/(1<<20), float64(res.Stats.PeakHeap)/(1<<20))
+		}
+		if res.Stats.WitnessExhausted {
+			logger.Warn("witness completion exhausted its node budget",
+				"query", q.Name(), "nodes", res.Stats.Nodes)
+		}
 		for _, h := range []struct{ name, label string }{
 			{"solver.lp_ns", "LP relaxation latency"},
 			{"solver.node_ns", "per-node latency"},
@@ -255,7 +271,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 // prints the quality-tagged result. Returns the process exit code: 0,
 // or 3 when strict is set and the result degraded below exact.
 func runSupervised(stdout io.Writer, enc *encode.Encoded, rel *core.Relation, q queries.Query,
-	opts solver.Options, tr *obs.Tracer, scheme string, k int,
+	opts solver.Options, tr *obs.Tracer, logger *slog.Logger, scheme string, k int,
 	deadline time.Duration, strict bool, fallbackSamples int) int {
 	ctx := context.Background()
 	if deadline > 0 {
@@ -268,6 +284,7 @@ func runSupervised(stdout io.Writer, enc *encode.Encoded, rel *core.Relation, q 
 	cfg := super.Config{
 		Solver: opts,
 		Sample: super.MCFallback(enc, obj, 42, fallbackSamples),
+		Log:    logger,
 	}
 	out := super.Bounds(ctx, core.BuildProblem(enc.DB, obj), cfg)
 
@@ -296,6 +313,14 @@ func runSupervised(stdout io.Writer, enc *encode.Encoded, rel *core.Relation, q 
 	}
 	fmt.Fprintf(stdout, "supervisor: elapsed %v, retries %d, panics recovered %d\n",
 		out.Elapsed.Round(time.Millisecond), out.Retries, out.PanicsRecovered)
+	if alloc := out.Min.Stats.AllocBytes + out.Max.Stats.AllocBytes; alloc > 0 {
+		peak := out.Min.Stats.PeakHeap
+		if out.Max.Stats.PeakHeap > peak {
+			peak = out.Max.Stats.PeakHeap
+		}
+		fmt.Fprintf(stdout, "memory: %.1f MiB allocated during solve, peak heap %.1f MiB\n",
+			float64(alloc)/(1<<20), float64(peak)/(1<<20))
+	}
 	if strict && out.Quality != super.Exact {
 		fmt.Fprintf(stdout, "strict mode: result degraded below exact\n")
 		return 3

@@ -53,6 +53,7 @@ func stripTimings(s string) string {
 		case strings.HasPrefix(line, "timing:"),
 			strings.HasPrefix(line, "solve phases:"),
 			strings.HasPrefix(line, "supervisor:"),
+			strings.HasPrefix(line, "memory:"),
 			strings.HasPrefix(line, "LP relaxation latency:"),
 			strings.HasPrefix(line, "per-node latency:"),
 			strings.HasPrefix(line, "Monte-Carlo"):

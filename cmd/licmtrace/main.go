@@ -10,11 +10,13 @@
 //	licmtrace diff old.jsonl new.jsonl      # phase-by-phase regression check
 //	licmtrace cat -name solver trace.jsonl  # filter/pretty-print events
 //	licmtrace bench-diff old.json new.json  # compare BENCH_<label>.json snapshots
+//	curl -s :6060/metrics | licmtrace promcheck -  # validate a /metrics scrape
 //
-// Exit status follows licmvet/go vet: 0 when clean, 1 when diff or
-// bench-diff finds a threshold breach, 2 when an input cannot be read
-// or parsed. Every subcommand takes -json for machine-readable output
-// and accepts "-" for stdin.
+// Exit status follows licmvet/go vet: 0 when clean, 1 when diff,
+// bench-diff or promcheck finds a breach or invalid exposition, 2 when
+// an input cannot be read or parsed. Every subcommand takes -json for
+// machine-readable output, -log-level/-log-format for diagnostics, and
+// accepts "-" for stdin.
 package main
 
 import (
@@ -22,6 +24,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"math"
 	"os"
 	"strings"
@@ -48,8 +51,10 @@ commands:
                                              filter and pretty-print raw events
   bench-diff [-json] [-tol f] [-tol-nodes f] [-min-time-ns n] [-prune-drop f] <old.json> <new.json>
                                              compare benchmark snapshots; exit 1 on breach
+  promcheck [-json] <metrics.txt>            validate a Prometheus /metrics scrape; exit 1 if invalid
 
-"-" reads the trace from stdin. Exit codes: 0 clean, 1 threshold breached, 2 bad input.
+"-" reads the input from stdin. Exit codes: 0 clean, 1 threshold breached or
+exposition invalid, 2 bad input. All subcommands take -log-level and -log-format.
 `)
 }
 
@@ -70,6 +75,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		return cmdCat(rest, stdin, stdout, stderr)
 	case "bench-diff":
 		return cmdBenchDiff(rest, stdin, stdout, stderr)
+	case "promcheck":
+		return cmdPromCheck(rest, stdin, stdout, stderr)
 	case "-h", "-help", "--help", "help":
 		usage(stderr)
 		return 0
@@ -78,6 +85,26 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		usage(stderr)
 		return 2
 	}
+}
+
+// addLogFlags registers the shared -log-level/-log-format flags on a
+// subcommand's FlagSet; the returned options build the logger after
+// Parse.
+func addLogFlags(fs *flag.FlagSet) *obs.LogOptions {
+	lo := &obs.LogOptions{}
+	lo.RegisterFlags(fs)
+	return lo
+}
+
+// subLog builds a subcommand's logger from its parsed log flags; a bad
+// value is a usage error (the caller returns 2).
+func subLog(lo *obs.LogOptions, stderr io.Writer) (*slog.Logger, bool) {
+	logger, err := lo.NewLogger(stderr)
+	if err != nil {
+		fmt.Fprintf(stderr, "licmtrace: %v\n", err)
+		return nil, false
+	}
+	return logger, true
 }
 
 // open returns the named input, with "-" meaning stdin.
@@ -111,8 +138,13 @@ func cmdSummary(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("licmtrace summary", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	asJSON := fs.Bool("json", false, "print the summary as JSON")
+	logOpts := addLogFlags(fs)
 	if err := fs.Parse(args); err != nil || fs.NArg() != 1 {
 		fmt.Fprintln(stderr, "usage: licmtrace summary [-json] <trace.jsonl>")
+		return 2
+	}
+	logger, ok := subLog(logOpts, stderr)
+	if !ok {
 		return 2
 	}
 	t, err := readTraceFile(fs.Arg(0), stdin)
@@ -120,6 +152,7 @@ func cmdSummary(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "licmtrace: %v\n", err)
 		return 2
 	}
+	logger.Debug("trace loaded", "path", fs.Arg(0), "events", len(t.Events), "spans", t.NumSpans())
 	rollups := t.Rollups()
 	path := t.CriticalPath()
 	hists := histEvents(t)
@@ -207,8 +240,13 @@ func attrNs(attrs map[string]any, key string) int64 {
 func cmdFlame(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("licmtrace flame", flag.ContinueOnError)
 	fs.SetOutput(stderr)
+	logOpts := addLogFlags(fs)
 	if err := fs.Parse(args); err != nil || fs.NArg() != 1 {
 		fmt.Fprintln(stderr, "usage: licmtrace flame <trace.jsonl>  (folded stacks on stdout)")
+		return 2
+	}
+	logger, ok := subLog(logOpts, stderr)
+	if !ok {
 		return 2
 	}
 	t, err := readTraceFile(fs.Arg(0), stdin)
@@ -216,6 +254,7 @@ func cmdFlame(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "licmtrace: %v\n", err)
 		return 2
 	}
+	logger.Debug("trace loaded", "path", fs.Arg(0), "events", len(t.Events), "spans", t.NumSpans())
 	if err := t.FoldedStacks(stdout); err != nil {
 		fmt.Fprintf(stderr, "licmtrace: %v\n", err)
 		return 2
@@ -230,8 +269,13 @@ func cmdDiff(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	defOpts := tracean.DefaultDiffOptions()
 	threshold := fs.Float64("threshold", defOpts.Threshold, "allowed relative self-time growth per phase (0.5 = +50%)")
 	minNs := fs.Int64("min-ns", defOpts.MinNs, "noise floor: phases below this self time never breach")
+	logOpts := addLogFlags(fs)
 	if err := fs.Parse(args); err != nil || fs.NArg() != 2 {
 		fmt.Fprintln(stderr, "usage: licmtrace diff [-json] [-threshold f] [-min-ns n] <old.jsonl> <new.jsonl>")
+		return 2
+	}
+	logger, ok := subLog(logOpts, stderr)
+	if !ok {
 		return 2
 	}
 	oldT, err := readTraceFile(fs.Arg(0), stdin)
@@ -244,6 +288,7 @@ func cmdDiff(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "licmtrace: %s: %v\n", fs.Arg(1), err)
 		return 2
 	}
+	logger.Debug("traces loaded", "old_events", len(oldT.Events), "new_events", len(newT.Events))
 	rep := tracean.Diff(oldT, newT, tracean.DiffOptions{Threshold: *threshold, MinNs: *minNs})
 	if *asJSON {
 		enc := json.NewEncoder(stdout)
@@ -287,8 +332,13 @@ func cmdCat(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	asJSON := fs.Bool("json", false, "re-emit matching events as JSON lines")
 	name := fs.String("name", "", "keep only events whose name contains this substring")
 	kind := fs.String("kind", "", "keep only events of this kind (span_start, span_end, event, progress)")
+	logOpts := addLogFlags(fs)
 	if err := fs.Parse(args); err != nil || fs.NArg() != 1 {
 		fmt.Fprintln(stderr, "usage: licmtrace cat [-json] [-name substr] [-kind k] <trace.jsonl>")
+		return 2
+	}
+	logger, ok := subLog(logOpts, stderr)
+	if !ok {
 		return 2
 	}
 	in, closeFn, err := open(fs.Arg(0), stdin)
@@ -298,6 +348,7 @@ func cmdCat(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	}
 	defer closeFn() //nolint:errcheck // read-only
 	rd := tracean.NewReader(in)
+	kept, total := 0, 0
 	var sink obs.Sink
 	var jsonl *obs.JSONLSink
 	if *asJSON {
@@ -315,14 +366,17 @@ func cmdCat(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "licmtrace: %v\n", err)
 			return 2
 		}
+		total++
 		if *name != "" && !strings.Contains(e.Name, *name) {
 			continue
 		}
 		if *kind != "" && string(e.Kind) != *kind {
 			continue
 		}
+		kept++
 		sink.Emit(e)
 	}
+	logger.Debug("events filtered", "kept", kept, "total", total)
 	if jsonl != nil {
 		if err := jsonl.Err(); err != nil {
 			fmt.Fprintf(stderr, "licmtrace: %v\n", err)
@@ -341,8 +395,13 @@ func cmdBenchDiff(args []string, stdin io.Reader, stdout, stderr io.Writer) int 
 	tolNodes := fs.Float64("tol-nodes", def.NodesFactor, "allowed nodes growth factor per cell")
 	minTime := fs.Int64("min-time-ns", def.MinTimeNs, "noise floor: solve times below this (old side) are not compared")
 	pruneDrop := fs.Float64("prune-drop", def.PruneDrop, "allowed absolute drop in prune_ratio")
+	logOpts := addLogFlags(fs)
 	if err := fs.Parse(args); err != nil || fs.NArg() != 2 {
 		fmt.Fprintln(stderr, "usage: licmtrace bench-diff [-json] [-tol f] [-tol-nodes f] [-min-time-ns n] [-prune-drop f] <old.json> <new.json>")
+		return 2
+	}
+	logger, ok := subLog(logOpts, stderr)
+	if !ok {
 		return 2
 	}
 	read := func(path string) (bench.Snapshot, error) {
@@ -363,6 +422,7 @@ func cmdBenchDiff(args []string, stdin io.Reader, stdout, stderr io.Writer) int 
 		fmt.Fprintf(stderr, "licmtrace: %s: %v\n", fs.Arg(1), err)
 		return 2
 	}
+	logger.Debug("snapshots loaded", "old_cells", len(oldS.Cells), "new_cells", len(newS.Cells))
 	d := bench.DiffSnapshots(oldS, newS, bench.SnapshotTol{
 		TimeFactor: *tolTime, NodesFactor: *tolNodes, MinTimeNs: *minTime, PruneDrop: *pruneDrop,
 	})
@@ -401,6 +461,63 @@ func cmdBenchDiff(args []string, stdin io.Reader, stdout, stderr io.Writer) int 
 		}
 	}
 	if d.Breached {
+		return 1
+	}
+	return 0
+}
+
+func cmdPromCheck(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("licmtrace promcheck", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	asJSON := fs.Bool("json", false, "print the report as JSON")
+	logOpts := addLogFlags(fs)
+	if err := fs.Parse(args); err != nil || fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: licmtrace promcheck [-json] <metrics.txt>")
+		return 2
+	}
+	logger, ok := subLog(logOpts, stderr)
+	if !ok {
+		return 2
+	}
+	in, closeFn, err := open(fs.Arg(0), stdin)
+	if err != nil {
+		fmt.Fprintf(stderr, "licmtrace: %v\n", err)
+		return 2
+	}
+	defer closeFn() //nolint:errcheck // read-only
+	fams, err := obs.ParseProm(in)
+	if err != nil {
+		fmt.Fprintf(stderr, "licmtrace: %v\n", err)
+		return 2
+	}
+	samples := 0
+	for _, f := range fams {
+		samples += len(f.Samples)
+		logger.Debug("metric family", "name", f.Name, "type", f.Type, "samples", len(f.Samples))
+	}
+	vErr := obs.ValidateProm(fams)
+	if *asJSON {
+		rep := struct {
+			Families int    `json:"families"`
+			Samples  int    `json:"samples"`
+			Valid    bool   `json:"valid"`
+			Error    string `json:"error,omitempty"`
+		}{len(fams), samples, vErr == nil, ""}
+		if vErr != nil {
+			rep.Error = vErr.Error()
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintf(stderr, "licmtrace: %v\n", err)
+			return 2
+		}
+	} else if vErr != nil {
+		fmt.Fprintf(stdout, "invalid exposition: %v\n", vErr)
+	} else {
+		fmt.Fprintf(stdout, "ok: %d families, %d samples\n", len(fams), samples)
+	}
+	if vErr != nil {
 		return 1
 	}
 	return 0

@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"licm/internal/obs"
 )
 
 var update = flag.Bool("update", false, "rewrite the golden files from current output")
@@ -99,6 +101,48 @@ func TestStdinDash(t *testing.T) {
 	}
 }
 
+// TestPromCheck drives the /metrics validator the CI telemetry-smoke
+// job uses: a real registry rendering passes, a broken histogram fails
+// with exit 1, and unreadable input is exit 2.
+func TestPromCheck(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("nodes").Add(7)
+	reg.Gauge("depth").Set(3)
+	for _, v := range []int64{1, 5, 900} {
+		reg.Histogram("lat").Observe(v)
+	}
+	var exp bytes.Buffer
+	if err := obs.WritePrometheus(&exp, reg); err != nil {
+		t.Fatal(err)
+	}
+
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"promcheck", "-"}, bytes.NewReader(exp.Bytes()), &stdout, &stderr); code != 0 {
+		t.Fatalf("promcheck on real exposition: exit %d, stderr %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "ok: ") {
+		t.Errorf("unexpected promcheck output: %s", stdout.String())
+	}
+
+	stdout.Reset()
+	if code := run([]string{"promcheck", "-json", "-"}, bytes.NewReader(exp.Bytes()), &stdout, &stderr); code != 0 {
+		t.Fatalf("promcheck -json: exit %d", code)
+	}
+	if !strings.Contains(stdout.String(), `"valid": true`) {
+		t.Errorf("unexpected -json output: %s", stdout.String())
+	}
+
+	// A histogram missing its +Inf bucket parses but does not validate.
+	broken := "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n"
+	stdout.Reset()
+	if code := run([]string{"promcheck", "-"}, strings.NewReader(broken), &stdout, &stderr); code != 1 {
+		t.Fatalf("promcheck on broken exposition: exit %d, want 1", code)
+	}
+	if !strings.Contains(stdout.String(), "invalid exposition") {
+		t.Errorf("unexpected output for broken exposition: %s", stdout.String())
+	}
+}
+
 func TestBadInputsExit2(t *testing.T) {
 	cases := [][]string{
 		{},
@@ -107,6 +151,10 @@ func TestBadInputsExit2(t *testing.T) {
 		{"summary", "testdata/no_such_file.jsonl"},
 		{"diff", "testdata/fixture.jsonl"},
 		{"bench-diff", "testdata/fixture.jsonl", "testdata/bench_old.json"}, // not a snapshot
+		{"promcheck"},
+		{"promcheck", "testdata/no_such_file.txt"},
+		{"promcheck", "-log-level", "loudest", "-"},
+		{"summary", "-log-format", "yaml", "testdata/fixture.jsonl"},
 	}
 	for _, args := range cases {
 		var stdout, stderr bytes.Buffer

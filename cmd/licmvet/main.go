@@ -23,6 +23,7 @@ import (
 	"os"
 
 	"licm/internal/check"
+	"licm/internal/obs"
 	"licm/internal/solver"
 )
 
@@ -35,11 +36,18 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	strict := fs.Bool("strict", false, "exit 1 on warnings too, not just errors")
 	asJSON := fs.Bool("json", false, "print reports as JSON")
+	var logOpts obs.LogOptions
+	logOpts.RegisterFlags(fs)
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: licmvet [-strict] [-json] store.lp ... (or - for stdin)\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	logger, err := logOpts.NewLogger(stderr)
+	if err != nil {
+		fmt.Fprintf(stderr, "licmvet: %v\n", err)
 		return 2
 	}
 	paths := fs.Args()
@@ -56,6 +64,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 			exit = 2
 			continue
 		}
+		logger.Debug("store checked", "input", path, "diags", len(rep.Diags), "errors", rep.HasErrors())
 		if *asJSON {
 			enc := json.NewEncoder(stdout)
 			enc.SetIndent("", "  ")

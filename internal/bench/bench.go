@@ -17,6 +17,7 @@ package bench
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 	"time"
 
 	"licm/internal/anon"
@@ -78,6 +79,15 @@ type Config struct {
 	// start and end events. It is attached to each cell's DB and
 	// sampler and passed into the solver.
 	Trace *obs.Tracer
+	// Metrics, if non-nil, receives the live solver counters and
+	// latency histograms of every cell (it is merged into the solver
+	// options and the MC sampler), so a sweep served by -debug-addr is
+	// scrapeable at /metrics while it runs.
+	Metrics *obs.Registry
+	// Log, if non-nil, receives a warn-level record for every cell
+	// whose quality lands below "exact", making degradation visible to
+	// log pipelines during long sweeps.
+	Log *slog.Logger
 }
 
 // DefaultConfig returns a laptop-scale configuration.
@@ -275,6 +285,9 @@ func (cfg Config) RunCell(scheme Scheme, q queries.Query, k int) (Cell, error) {
 	cell.ConsQuery = enc.DB.NumConstraints()
 
 	opts := cfg.Solver
+	if opts.Metrics == nil {
+		opts.Metrics = cfg.Metrics
+	}
 	if cfg.SolveDeadline > 0 {
 		limit := time.Now().Add(cfg.SolveDeadline)
 		prev := opts.Cancel
@@ -322,10 +335,19 @@ func (cfg Config) RunCell(scheme Scheme, q queries.Query, k int) (Cell, error) {
 	start = time.Now()
 	sampler := mc.NewSampler(enc, cfg.Seed+100)
 	sampler.SetTracer(cfg.Trace)
+	sampler.SetMetrics(cfg.Metrics)
 	r := sampler.Run(q, cfg.MCSamples)
 	cell.MCTime = time.Since(start)
 	cell.MMin, cell.MMax = r.Min, r.Max
 	cell.MCAcceptance = r.AcceptanceRate()
+	if cfg.Log != nil && cell.Quality != "exact" {
+		cfg.Log.Warn("experiment cell degraded",
+			"scheme", string(scheme),
+			"query", q.Name(),
+			"k", k,
+			"quality", cell.Quality,
+			"nodes", cell.Nodes)
+	}
 	sp.End(
 		obs.Bool("ok", true),
 		obs.Str("quality", cell.Quality),

@@ -101,6 +101,8 @@ func Bounds(db *DB, objective expr.Lin, opts solver.Options) (BoundsResult, erro
 		obs.I64("max", max.Value),
 		obs.Bool("min_proven", min.Proven),
 		obs.Bool("max_proven", max.Proven),
+		obs.I64("alloc_bytes", min.Stats.AllocBytes+max.Stats.AllocBytes),
+		obs.I64("peak_heap", maxI64(min.Stats.PeakHeap, max.Stats.PeakHeap)),
 	)
 	return BoundsResult{
 		Min:       min.Value,
@@ -190,4 +192,13 @@ func EstimateCardinality(db *DB, r *Relation) CardinalityEstimate {
 		est.MinCard += int(c.RHS)
 	}
 	return est
+}
+
+// maxI64 avoids the builtin max, which the min/max result variables
+// shadow inside Bounds.
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
 }

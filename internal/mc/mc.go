@@ -48,10 +48,30 @@ type Sampler struct {
 	// every candidate subset drawn, accepted the non-empty ones kept.
 	subsetAttempts int64
 	subsetAccepted int64
+	// reg, when set, receives live mc.* instruments per run: worlds
+	// sampled, rejection-sampling attempts/accepted, and the last
+	// acceptance rate — the dashboard's acceptance-rate feed.
+	reg *obs.Registry
 }
 
 // SetTracer attaches a tracer to the sampler; nil detaches.
 func (s *Sampler) SetTracer(tr *obs.Tracer) { s.tr = tr }
+
+// SetMetrics attaches a metrics registry to the sampler; nil detaches.
+func (s *Sampler) SetMetrics(reg *obs.Registry) { s.reg = reg }
+
+// recordRunMetrics publishes one run's sampling work to the registry
+// (no-op without SetMetrics). The acceptance rate is stored in parts
+// per million, the registry being integer-valued.
+func (s *Sampler) recordRunMetrics(worlds int, attempts, accepted int64, rate float64) {
+	if s.reg == nil {
+		return
+	}
+	s.reg.Counter("mc.worlds").Add(int64(worlds))
+	s.reg.Counter("mc.subset_attempts").Add(attempts)
+	s.reg.Counter("mc.subset_accepted").Add(accepted)
+	s.reg.Gauge("mc.acceptance_rate_ppm").Set(int64(rate * 1e6))
+}
 
 // NewSampler creates a sampler; sampling is deterministic in seed.
 func NewSampler(enc *encode.Encoded, seed int64) *Sampler {
@@ -215,6 +235,7 @@ func (s *Sampler) Run(q queries.Query, n int) Result {
 	}
 	res.SubsetAttempts = s.subsetAttempts - attempts0
 	res.SubsetAccepted = s.subsetAccepted - accepted0
+	s.recordRunMetrics(n, res.SubsetAttempts, res.SubsetAccepted, res.AcceptanceRate())
 	sp.End(
 		obs.I64("min", res.Min),
 		obs.I64("max", res.Max),
@@ -249,6 +270,16 @@ func (s *Sampler) EstimateObjective(obj expr.Lin, n int) Estimate {
 		return est
 	}
 	sp := s.tr.Start("mc.estimate", obs.Int("samples", n))
+	attempts0, accepted0 := s.subsetAttempts, s.subsetAccepted
+	defer func() {
+		attempts := s.subsetAttempts - attempts0
+		accepted := s.subsetAccepted - accepted0
+		rate := 1.0
+		if attempts > 0 {
+			rate = float64(accepted) / float64(attempts)
+		}
+		s.recordRunMetrics(n, attempts, accepted, rate)
+	}()
 	full := make([]uint8, len(s.assign))
 	var mean, m2 float64
 	for i := 0; i < n; i++ {

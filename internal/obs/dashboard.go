@@ -1,0 +1,119 @@
+package obs
+
+import "net/http"
+
+// The dashboard is a single self-contained HTML page: no external
+// assets, no build step, nothing to deploy. It polls the JSON
+// time-series endpoint and draws inline-SVG sparklines — counters as
+// per-second rates (nodes/s, LP solves/s, acceptance/s), gauges raw
+// (heap bytes, goroutines). Featured solver/runtime series are pinned
+// to the top; everything else follows alphabetically, so new
+// instruments show up without touching this file.
+const dashboardHTML = `<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>licm live metrics</title>
+<style>
+  body { font: 13px/1.4 system-ui, sans-serif; margin: 1.5em; background: #fafafa; color: #222; }
+  h1 { font-size: 1.2em; margin: 0 0 .2em; }
+  #status { color: #888; margin-bottom: 1em; }
+  #grid { display: grid; grid-template-columns: repeat(auto-fill, minmax(270px, 1fr)); gap: 10px; }
+  .card { background: #fff; border: 1px solid #ddd; border-radius: 6px; padding: 8px 10px; }
+  .card .name { color: #555; font-family: ui-monospace, monospace; font-size: 11px; }
+  .card .val { font-size: 1.25em; font-weight: 600; margin: 2px 0; }
+  .card .unit { color: #888; font-size: .7em; font-weight: 400; }
+  svg { display: block; width: 100%; height: 36px; }
+  polyline { fill: none; stroke: #2a6fb0; stroke-width: 1.5; }
+  .gauge polyline { stroke: #b05a2a; }
+</style>
+</head>
+<body>
+<h1>licm live metrics</h1>
+<div id="status">connecting&hellip;</div>
+<div id="grid"></div>
+<script>
+"use strict";
+var FEATURED = ["solver.nodes", "solver.lp_solves", "runtime.heap_bytes",
+  "mc.subset_accepted", "solver.incumbents", "runtime.goroutines"];
+function fmt(v) {
+  var a = Math.abs(v);
+  if (a >= 1e9) return (v / 1e9).toFixed(2) + "G";
+  if (a >= 1e6) return (v / 1e6).toFixed(2) + "M";
+  if (a >= 1e3) return (v / 1e3).toFixed(1) + "k";
+  return String(v);
+}
+function spark(pts) {
+  if (pts.length < 2) return "";
+  var lo = Infinity, hi = -Infinity, i;
+  for (i = 0; i < pts.length; i++) { lo = Math.min(lo, pts[i]); hi = Math.max(hi, pts[i]); }
+  if (hi - lo < 1e-9) { lo -= 1; hi += 1; }
+  var w = 260, h = 34, out = [];
+  for (i = 0; i < pts.length; i++) {
+    out.push((i * w / (pts.length - 1)).toFixed(1) + "," +
+             (h - 2 - (pts[i] - lo) / (hi - lo) * (h - 4)).toFixed(1));
+  }
+  return '<svg viewBox="0 0 ' + w + ' ' + h + '" preserveAspectRatio="none">' +
+         '<polyline points="' + out.join(" ") + '"/></svg>';
+}
+function rates(points) {
+  // counter -> per-second rate between consecutive samples
+  var out = [], i;
+  for (i = 1; i < points.length; i++) {
+    var dt = (points[i].t - points[i - 1].t) / 1000;
+    out.push(dt > 0 ? Math.max(0, (points[i].v - points[i - 1].v) / dt) : 0);
+  }
+  return out;
+}
+function order(a, b) {
+  var ia = FEATURED.indexOf(a.name), ib = FEATURED.indexOf(b.name);
+  if (ia < 0) ia = FEATURED.length;
+  if (ib < 0) ib = FEATURED.length;
+  return ia - ib || (a.name < b.name ? -1 : a.name > b.name ? 1 : 0);
+}
+function render(snap) {
+  var grid = document.getElementById("grid");
+  var html = "", series = snap.series.slice().sort(order);
+  series.forEach(function (s) {
+    if (!s.points || !s.points.length) return;
+    var cls = s.kind, vals, cur, unit;
+    if (s.kind === "counter") {
+      vals = rates(s.points);
+      cur = vals.length ? vals[vals.length - 1] : 0;
+      unit = "/s";
+    } else {
+      vals = s.points.map(function (p) { return p.v; });
+      cur = vals[vals.length - 1];
+      unit = "";
+    }
+    html += '<div class="card ' + cls + '"><div class="name">' + s.name +
+      '</div><div class="val">' + fmt(Math.round(cur * 100) / 100) +
+      '<span class="unit">' + unit + "</span></div>" + spark(vals) + "</div>";
+  });
+  grid.innerHTML = html;
+  document.getElementById("status").textContent =
+    series.length + " series, " + (snap.interval_ms / 1000) + "s resolution, " +
+    new Date().toLocaleTimeString();
+}
+function tick() {
+  fetch("/debug/licm/timeseries").then(function (r) {
+    if (!r.ok) throw new Error("HTTP " + r.status);
+    return r.json();
+  }).then(render).catch(function (e) {
+    document.getElementById("status").textContent = "fetch failed: " + e;
+  });
+}
+tick();
+setInterval(tick, 2000);
+</script>
+</body>
+</html>
+`
+
+// dashboardHandler serves the embedded dashboard page.
+func dashboardHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		_, _ = w.Write([]byte(dashboardHTML))
+	})
+}

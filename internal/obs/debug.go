@@ -4,35 +4,105 @@ import (
 	"expvar"
 	"net"
 	"net/http"
-	_ "net/http/pprof" // registers /debug/pprof/* on the default mux
+	"net/http/pprof"
+	"sync"
+	"time"
 )
 
-// ServeDebug starts a background HTTP server on addr exposing
-// production-style profiling endpoints out of the box:
+// DebugServer is a running telemetry/debug HTTP server bound to its
+// own mux — never http.DefaultServeMux, so tests and processes hosting
+// several servers cannot collide on global handler registrations.
+type DebugServer struct {
+	addr    string
+	srv     *http.Server
+	ln      net.Listener
+	sampler *RuntimeSampler
+	tsStop  func()
+	once    sync.Once
+	err     error
+}
+
+// Addr returns the bound address (useful with ":0").
+func (s *DebugServer) Addr() string { return s.addr }
+
+// Close stops the runtime sampler, the time-series loop, and the HTTP
+// server. Idempotent.
+func (s *DebugServer) Close() error {
+	s.once.Do(func() {
+		s.sampler.Stop()
+		if s.tsStop != nil {
+			s.tsStop()
+		}
+		s.err = s.srv.Close()
+	})
+	return s.err
+}
+
+// NewDebugMux builds the debug routing table on a fresh mux:
 //
-//	/debug/pprof/   — net/http/pprof (CPU, heap, goroutine, ...)
-//	/debug/vars     — expvar, including registries published with
-//	                  PublishExpvar
+//	/debug/pprof/           — net/http/pprof (CPU, heap, goroutine, ...)
+//	/debug/vars             — expvar, including PublishExpvar registries
+//	/metrics                — Prometheus text exposition of reg
+//	/debug/licm             — embedded live dashboard (requires ts)
+//	/debug/licm/timeseries  — recent-history JSON rings (requires ts)
 //
-// It returns the bound address (useful with ":0"). The server runs
-// until the process exits; this is the --debug-addr flag's backend in
-// the licm commands.
-func ServeDebug(addr string) (string, error) {
+// pprof handlers are registered explicitly (not via the package's
+// blank-import side effect on the default mux). ts may be nil, which
+// drops the two dashboard routes.
+func NewDebugMux(reg *Registry, ts *TimeSeries) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.Handle("/metrics", PromHandler(reg))
+	if ts != nil {
+		mux.Handle("/debug/licm/timeseries", ts)
+		mux.Handle("/debug/licm", dashboardHandler())
+		mux.Handle("/debug/licm/", dashboardHandler())
+	}
+	return mux
+}
+
+// ServeDebug starts a background HTTP server on addr exposing the full
+// telemetry surface for reg (see NewDebugMux), plus a 1s
+// RuntimeSampler feeding reg's runtime.* gauges and a five-minute
+// TimeSeries ring behind the dashboard. It also publishes reg on
+// /debug/vars under the process-wide expvar name "licm" (first caller
+// wins; see PublishExpvar). This is the -debug-addr flag's backend in
+// the licm commands. Close the returned server to release the port and
+// the sampling goroutines; servers left open run until process exit,
+// which is the normal CLI posture.
+func ServeDebug(addr string, reg *Registry) (*DebugServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		return "", err
+		return nil, err
 	}
-	go http.Serve(ln, http.DefaultServeMux) //nolint:errcheck // best-effort debug server
-	return ln.Addr().String(), nil
+	PublishExpvar("licm", reg)
+	ts := NewTimeSeries(300, time.Second)
+	s := &DebugServer{
+		addr:    ln.Addr().String(),
+		ln:      ln,
+		sampler: StartRuntimeSampler(reg, time.Second),
+		tsStop:  ts.Start(reg),
+	}
+	s.srv = &http.Server{Handler: NewDebugMux(reg, ts)}
+	go s.srv.Serve(ln) //nolint:errcheck // best-effort debug server
+	return s, nil
 }
 
 // PublishExpvar exposes the registry under name on /debug/vars. The
 // value is re-snapshotted on every scrape, so live counters (solver
-// nodes, LP solves, ...) are watchable mid-solve. Publishing the same
-// name twice is a no-op (expvar forbids duplicates).
-func PublishExpvar(name string, r *Registry) {
+// nodes, LP solves, ...) are watchable mid-solve. expvar forbids
+// duplicate names process-wide; PublishExpvar reports whether this
+// call actually published (false: the name was already taken, the
+// registry bound first stays visible).
+func PublishExpvar(name string, r *Registry) bool {
 	if expvar.Get(name) != nil {
-		return
+		return false
 	}
 	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+	return true
 }

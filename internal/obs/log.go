@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// LogOptions carries the shared structured-logging CLI surface. Every
+// licm command registers the same two flags so log pipelines can
+// ingest any of them identically:
+//
+//	-log-level debug|info|warn|error   (default warn)
+//	-log-format text|json              (default text)
+type LogOptions struct {
+	Level  string
+	Format string
+}
+
+// RegisterFlags registers -log-level and -log-format on fs.
+func (o *LogOptions) RegisterFlags(fs *flag.FlagSet) {
+	fs.StringVar(&o.Level, "log-level", "warn", "minimum structured-log level: debug | info | warn | error")
+	fs.StringVar(&o.Format, "log-format", "text", "structured-log encoding: text | json")
+}
+
+// NewLogger builds the slog.Logger described by the options, writing
+// to w. Unknown levels or formats are flag errors, reported rather
+// than defaulted so a typo in a service config does not silently
+// discard logs.
+func (o LogOptions) NewLogger(w io.Writer) (*slog.Logger, error) {
+	level, err := ParseLogLevel(o.Level)
+	if err != nil {
+		return nil, err
+	}
+	opts := &slog.HandlerOptions{Level: level}
+	var h slog.Handler
+	switch strings.ToLower(strings.TrimSpace(o.Format)) {
+	case "", "text":
+		h = slog.NewTextHandler(w, opts)
+	case "json":
+		h = slog.NewJSONHandler(w, opts)
+	default:
+		return nil, fmt.Errorf("obs: unknown -log-format %q (want text or json)", o.Format)
+	}
+	return slog.New(h), nil
+}
+
+// NewLogger builds a logger with explicit level and format strings;
+// the programmatic twin of LogOptions.NewLogger.
+func NewLogger(w io.Writer, level, format string) (*slog.Logger, error) {
+	return LogOptions{Level: level, Format: format}.NewLogger(w)
+}
+
+// ParseLogLevel maps a -log-level value to a slog.Level. The empty
+// string means warn, the quiet-by-default posture for CLIs whose
+// stdout is the deliverable.
+func ParseLogLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "warn", "warning":
+		return slog.LevelWarn, nil
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info":
+		return slog.LevelInfo, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(s)); err != nil {
+		return 0, fmt.Errorf("obs: unknown -log-level %q (want debug, info, warn or error)", s)
+	}
+	return level, nil
+}

@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestLogOptionsFlagsAndLevels(t *testing.T) {
+	var o LogOptions
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	o.RegisterFlags(fs)
+	if err := fs.Parse([]string{"-log-level", "info", "-log-format", "json"}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	log, err := o.NewLogger(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Debug("hidden")
+	log.Info("shown", "k", 1)
+	line := strings.TrimSpace(buf.String())
+	if strings.Contains(line, "hidden") {
+		t.Errorf("debug record leaked at info level: %s", line)
+	}
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(line), &rec); err != nil {
+		t.Fatalf("json format produced non-JSON %q: %v", line, err)
+	}
+	if rec["msg"] != "shown" || rec["k"] != float64(1) {
+		t.Errorf("record = %v", rec)
+	}
+}
+
+func TestLogOptionsDefaultsToWarnText(t *testing.T) {
+	var buf bytes.Buffer
+	log, err := LogOptions{}.NewLogger(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Info("quiet")
+	log.Warn("loud", "reason", "deadline")
+	out := buf.String()
+	if strings.Contains(out, "quiet") {
+		t.Errorf("info leaked at default warn level: %s", out)
+	}
+	if !strings.Contains(out, "loud") || !strings.Contains(out, "reason=deadline") {
+		t.Errorf("text handler output = %q", out)
+	}
+}
+
+func TestLogOptionsRejectsBadValues(t *testing.T) {
+	if _, err := (LogOptions{Level: "loudest"}).NewLogger(io.Discard); err == nil {
+		t.Error("bad level accepted")
+	}
+	if _, err := (LogOptions{Format: "xml"}).NewLogger(io.Discard); err == nil {
+		t.Error("bad format accepted")
+	}
+	if _, err := NewLogger(io.Discard, "debug", "json"); err != nil {
+		t.Errorf("NewLogger(debug, json): %v", err)
+	}
+}

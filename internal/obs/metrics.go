@@ -239,3 +239,51 @@ func (r *Registry) Names() []string {
 	sort.Strings(names)
 	return names
 }
+
+// NamedValue is one exported counter or gauge reading.
+type NamedValue struct {
+	Name  string
+	Value int64
+}
+
+// NamedHist is one exported histogram snapshot.
+type NamedHist struct {
+	Name string
+	Snap HistSnapshot
+}
+
+// RegistryExport is a typed, name-sorted point-in-time view of every
+// instrument in a registry. Unlike Snapshot's uniform name → any map
+// (where counters and gauges are indistinguishable int64s), the export
+// keeps the instrument kinds apart — the input for exposition formats
+// that must declare a type per metric (Prometheus rendering, the
+// time-series sampler).
+type RegistryExport struct {
+	Counters []NamedValue
+	Gauges   []NamedValue
+	Hists    []NamedHist
+}
+
+// Export captures a typed snapshot of the registry. A nil registry
+// exports nothing.
+func (r *Registry) Export() RegistryExport {
+	var ex RegistryExport
+	if r == nil {
+		return ex
+	}
+	r.mu.Lock()
+	for name, c := range r.counters {
+		ex.Counters = append(ex.Counters, NamedValue{Name: name, Value: c.Value()})
+	}
+	for name, g := range r.gauges {
+		ex.Gauges = append(ex.Gauges, NamedValue{Name: name, Value: g.Value()})
+	}
+	for name, h := range r.hists {
+		ex.Hists = append(ex.Hists, NamedHist{Name: name, Snap: h.Snapshot()})
+	}
+	r.mu.Unlock()
+	sort.Slice(ex.Counters, func(i, j int) bool { return ex.Counters[i].Name < ex.Counters[j].Name })
+	sort.Slice(ex.Gauges, func(i, j int) bool { return ex.Gauges[i].Name < ex.Gauges[j].Name })
+	sort.Slice(ex.Hists, func(i, j int) bool { return ex.Hists[i].Name < ex.Hists[j].Name })
+	return ex
+}

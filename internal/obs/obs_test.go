@@ -3,6 +3,8 @@ package obs
 import (
 	"bytes"
 	"encoding/json"
+	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
@@ -15,10 +17,36 @@ func TestCounterConcurrent(t *testing.T) {
 	reg := NewRegistry()
 	const goroutines, perG = 16, 5000
 	var wg sync.WaitGroup
-	for g := 0; g < goroutines; g++ {
+	// Readers race the writers below: Snapshot, typed Export, and the
+	// Prometheus renderer must all be safe against concurrent updates
+	// and instrument creation under -race.
+	stop := make(chan struct{})
+	for r := 0; r < 4; r++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				_ = reg.Snapshot()
+				_ = reg.Export()
+				if err := WritePrometheus(io.Discard, reg); err != nil {
+					t.Errorf("WritePrometheus: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	var writers sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		writers.Add(1)
+		go func() {
+			defer wg.Done()
+			defer writers.Done()
 			// Mix cached-pointer updates with registry lookups so the
 			// map access path races against itself under -race.
 			c := reg.Counter("shared")
@@ -30,6 +58,8 @@ func TestCounterConcurrent(t *testing.T) {
 			}
 		}()
 	}
+	writers.Wait()
+	close(stop)
 	wg.Wait()
 	if got := reg.Counter("shared").Value(); got != goroutines*perG {
 		t.Errorf("shared = %d, want %d", got, goroutines*perG)
@@ -267,13 +297,73 @@ func TestSetup(t *testing.T) {
 func TestServeDebugAndExpvar(t *testing.T) {
 	reg := NewRegistry()
 	reg.Counter("hits").Add(1)
-	PublishExpvar("test_obs_reg", reg)
-	PublishExpvar("test_obs_reg", reg) // duplicate must not panic
-	addr, err := ServeDebug("127.0.0.1:0")
+	if !PublishExpvar("test_obs_reg", reg) {
+		t.Error("first PublishExpvar returned false")
+	}
+	if PublishExpvar("test_obs_reg", reg) {
+		t.Error("duplicate PublishExpvar returned true")
+	}
+	srv, err := ServeDebug("127.0.0.1:0", reg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if addr == "" {
+	defer srv.Close()
+	if srv.Addr() == "" {
 		t.Fatal("empty address")
+	}
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: read body: %v", path, err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := get("/metrics"); code != 200 || !strings.Contains(body, "licm_hits_total 1") {
+		t.Errorf("/metrics = %d\n%s", code, body)
+	}
+	if code, body := get("/debug/vars"); code != 200 || !strings.Contains(body, "test_obs_reg") {
+		t.Errorf("/debug/vars = %d\n%.200s", code, body)
+	}
+	if code, body := get("/debug/licm"); code != 200 || !strings.Contains(body, "licm live metrics") {
+		t.Errorf("/debug/licm = %d\n%.200s", code, body)
+	}
+	code, body := get("/debug/licm/timeseries")
+	if code != 200 {
+		t.Fatalf("/debug/licm/timeseries = %d", code)
+	}
+	var snap TSSnapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("timeseries not JSON: %v\n%.200s", err, body)
+	}
+	found := false
+	for _, s := range snap.Series {
+		if s.Name == "hits" && s.Kind == "counter" && len(s.Points) > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("timeseries missing hits counter: %+v", snap.Series)
+	}
+	// The runtime sampler ran at least once before ServeDebug returned.
+	if reg.Gauge("runtime.heap_bytes").Value() <= 0 {
+		t.Error("runtime.heap_bytes gauge not populated")
+	}
+	if reg.Gauge("runtime.goroutines").Value() <= 0 {
+		t.Error("runtime.goroutines gauge not populated")
+	}
+	// Closing twice is safe and idempotent.
+	if err := srv.Close(); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
 	}
 }

@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// PromContentType is the Content-Type of the Prometheus text
+// exposition format 0.0.4, sent by the /metrics handler.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// promNamespace prefixes every exported metric so scrapes from mixed
+// fleets stay attributable to this process family.
+const promNamespace = "licm_"
+
+// PromName converts a registry instrument name into a legal Prometheus
+// metric name: the licm_ namespace prefix, dots mapped to underscores,
+// and any other rune outside [a-zA-Z0-9_:] replaced by '_'. Counter
+// names additionally get a _total suffix at render time (not here), so
+// "solver.nodes" scrapes as licm_solver_nodes_total.
+func PromName(name string) string {
+	var b strings.Builder
+	b.Grow(len(promNamespace) + len(name))
+	b.WriteString(promNamespace)
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_', r == ':':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// WritePrometheus renders a typed snapshot of the registry in the
+// Prometheus text exposition format 0.0.4. Counters become
+// <name>_total counters, gauges become gauges, and the power-of-two
+// histograms become cumulative le-bucket histograms: an obs bucket
+// with bound Lt holds values v < Lt, so the inclusive Prometheus bound
+// is le = Lt-1 (exact, since observations are integers), followed by
+// the mandatory le="+Inf" bucket and the _sum/_count pair. A nil
+// registry writes nothing and returns nil.
+func WritePrometheus(w io.Writer, r *Registry) error {
+	bw := bufio.NewWriter(w)
+	ex := r.Export()
+	for _, c := range ex.Counters {
+		name := PromName(c.Name)
+		if !strings.HasSuffix(name, "_total") {
+			name += "_total"
+		}
+		fmt.Fprintf(bw, "# TYPE %s counter\n%s %d\n", name, name, c.Value)
+	}
+	for _, g := range ex.Gauges {
+		name := PromName(g.Name)
+		fmt.Fprintf(bw, "# TYPE %s gauge\n%s %d\n", name, name, g.Value)
+	}
+	for _, h := range ex.Hists {
+		name := PromName(h.Name)
+		fmt.Fprintf(bw, "# TYPE %s histogram\n", name)
+		var cum int64
+		for _, b := range h.Snap.Buckets {
+			cum += b.N
+			fmt.Fprintf(bw, "%s_bucket{le=\"%d\"} %d\n", name, b.Lt-1, cum)
+		}
+		// The +Inf bucket must equal _count; use the snapshot count
+		// (>= the bucket sum if observations raced the snapshot).
+		count := h.Snap.Count
+		if cum > count {
+			count = cum
+		}
+		fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", name, count)
+		fmt.Fprintf(bw, "%s_sum %d\n%s_count %d\n", name, h.Snap.Sum, name, count)
+	}
+	return bw.Flush()
+}
+
+// PromHandler returns an http.Handler serving the registry at scrape
+// time in the text exposition format; the backing for /metrics on the
+// debug server.
+func PromHandler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", PromContentType)
+		// A write error means the scraper hung up; nothing to do.
+		_ = WritePrometheus(w, r)
+	})
+}

@@ -1,0 +1,286 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"solver.nodes":     "licm_solver_nodes",
+		"runtime.heap":     "licm_runtime_heap",
+		"a-b c/d":          "licm_a_b_c_d",
+		"already_ok":       "licm_already_ok",
+		"with:colon.9":     "licm_with:colon_9",
+		"mc.subset_accept": "licm_mc_subset_accept",
+	}
+	for in, want := range cases {
+		if got := PromName(in); got != want {
+			t.Errorf("PromName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestWritePrometheusRendersAllKinds(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("solver.nodes").Add(1234)
+	reg.Gauge("runtime.heap_bytes").Set(-7) // gauges may be negative
+	h := reg.Histogram("solver.lp_ns")
+	for _, v := range []int64{0, 1, 3, 3, 100, 5000} {
+		h.Observe(v)
+	}
+
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, reg); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+
+	for _, want := range []string{
+		"# TYPE licm_solver_nodes_total counter",
+		"licm_solver_nodes_total 1234",
+		"# TYPE licm_runtime_heap_bytes gauge",
+		"licm_runtime_heap_bytes -7",
+		"# TYPE licm_solver_lp_ns histogram",
+		`licm_solver_lp_ns_bucket{le="+Inf"} 6`,
+		"licm_solver_lp_ns_sum 5107",
+		"licm_solver_lp_ns_count 6",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+
+	// Round-trip through our own parser and validator.
+	fams, err := ParseProm(strings.NewReader(out))
+	if err != nil {
+		t.Fatalf("ParseProm: %v\n%s", err, out)
+	}
+	if err := ValidateProm(fams); err != nil {
+		t.Fatalf("ValidateProm: %v\n%s", err, out)
+	}
+
+	// Cumulative buckets must agree with the histogram snapshot:
+	// every snapshot bucket [_, Lt) maps to le = Lt-1 with the
+	// cumulative count up to that bucket.
+	byName := map[string]*PromFamily{}
+	for i := range fams {
+		byName[fams[i].Name] = &fams[i]
+	}
+	hf := byName["licm_solver_lp_ns"]
+	if hf == nil || hf.Type != "histogram" {
+		t.Fatalf("histogram family missing: %+v", byName)
+	}
+	snap := h.Snapshot()
+	var cum int64
+	for _, b := range snap.Buckets {
+		cum += b.N
+		found := false
+		for _, s := range hf.Samples {
+			if s.Name == "licm_solver_lp_ns_bucket" && s.Label("le") != "+Inf" {
+				le, err := parsePromValue(s.Label("le"))
+				if err != nil {
+					t.Fatalf("bad le %q", s.Label("le"))
+				}
+				if int64(le) == b.Lt-1 {
+					found = true
+					if int64(s.Value) != cum {
+						t.Errorf("bucket le=%d = %v, want cumulative %d", b.Lt-1, s.Value, cum)
+					}
+				}
+			}
+		}
+		if !found {
+			t.Errorf("no bucket with le=%d in exposition", b.Lt-1)
+		}
+	}
+	if c := hf.Sample("_count"); c == nil || int64(c.Value) != snap.Count {
+		t.Errorf("_count = %+v, want %d", c, snap.Count)
+	}
+	if s := hf.Sample("_sum"); s == nil || int64(s.Value) != snap.Sum {
+		t.Errorf("_sum = %+v, want %d", s, snap.Sum)
+	}
+}
+
+func TestWritePrometheusNilRegistry(t *testing.T) {
+	var buf bytes.Buffer
+	var reg *Registry
+	if err := WritePrometheus(&buf, reg); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("nil registry wrote %q", buf.String())
+	}
+}
+
+func TestRegistryExportTyped(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("b.count").Inc()
+	reg.Counter("a.count").Add(2)
+	reg.Gauge("g").Set(9)
+	reg.Histogram("h").Observe(4)
+	ex := reg.Export()
+	if len(ex.Counters) != 2 || ex.Counters[0].Name != "a.count" || ex.Counters[1].Name != "b.count" {
+		t.Errorf("counters = %+v", ex.Counters)
+	}
+	if len(ex.Gauges) != 1 || ex.Gauges[0].Value != 9 {
+		t.Errorf("gauges = %+v", ex.Gauges)
+	}
+	if len(ex.Hists) != 1 || ex.Hists[0].Snap.Count != 1 {
+		t.Errorf("hists = %+v", ex.Hists)
+	}
+	var nilReg *Registry
+	if ex := nilReg.Export(); len(ex.Counters)+len(ex.Gauges)+len(ex.Hists) != 0 {
+		t.Error("nil registry export non-empty")
+	}
+}
+
+func TestParsePromRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"metric",     // no value
+		"1metric 3",  // bad name
+		`m{le=} 3`,   // unquoted label
+		`m{le="x" 3`, // unterminated label set
+		"m 3 4 5",    // trailing garbage
+		"# TYPE m counter\n# TYPE m counter\nm 1", // duplicate TYPE
+	}
+	for _, in := range bad {
+		if _, err := ParseProm(strings.NewReader(in)); err == nil {
+			t.Errorf("ParseProm(%q) accepted malformed input", in)
+		}
+	}
+}
+
+func TestValidatePromCatchesBrokenHistograms(t *testing.T) {
+	cases := map[string]string{
+		"missing +Inf": "# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n",
+		"non-monotone": "# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n",
+		"count mismatch": "# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 7\n",
+		"missing sum": "# TYPE h histogram\n" +
+			"h_bucket{le=\"+Inf\"} 1\nh_count 1\n",
+		"negative counter": "# TYPE c_total counter\nc_total -1\n",
+		"unknown type":     "# TYPE x sparkline\nx 1\n",
+	}
+	for name, in := range cases {
+		fams, err := ParseProm(strings.NewReader(in))
+		if err != nil {
+			t.Errorf("%s: parse error %v (should parse, fail validation)", name, err)
+			continue
+		}
+		if err := ValidateProm(fams); err == nil {
+			t.Errorf("%s: validation accepted broken exposition", name)
+		}
+	}
+
+	// And a good one passes.
+	good := "# TYPE h histogram\n" +
+		"h_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_sum 3\nh_count 2\n" +
+		"# TYPE c counter\nc_total 5\n# TYPE g gauge\ng -2\n"
+	fams, err := ParseProm(strings.NewReader(good))
+	if err != nil {
+		t.Fatalf("good exposition failed to parse: %v", err)
+	}
+	if err := ValidateProm(fams); err != nil {
+		t.Fatalf("good exposition failed validation: %v", err)
+	}
+}
+
+func TestParsePromValues(t *testing.T) {
+	if v, err := parsePromValue("+Inf"); err != nil || !math.IsInf(v, 1) {
+		t.Errorf("+Inf = %v, %v", v, err)
+	}
+	if v, err := parsePromValue("-Inf"); err != nil || !math.IsInf(v, -1) {
+		t.Errorf("-Inf = %v, %v", v, err)
+	}
+	if v, err := parsePromValue("NaN"); err != nil || !math.IsNaN(v) {
+		t.Errorf("NaN = %v, %v", v, err)
+	}
+	if v, err := parsePromValue("2.5e3"); err != nil || int64(v) != 2500 {
+		t.Errorf("2.5e3 = %v, %v", v, err)
+	}
+}
+
+func TestTimeSeriesRingWraps(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("x")
+	ts := NewTimeSeries(4, time.Second)
+	base := time.UnixMilli(1_000_000)
+	for i := 0; i < 10; i++ {
+		c.Inc()
+		ts.Sample(reg, base.Add(time.Duration(i)*time.Second))
+	}
+	snap := ts.Snapshot()
+	if len(snap.Series) != 1 {
+		t.Fatalf("series = %+v", snap.Series)
+	}
+	s := snap.Series[0]
+	if s.Name != "x" || s.Kind != "counter" {
+		t.Fatalf("series meta = %+v", s)
+	}
+	if len(s.Points) != 4 {
+		t.Fatalf("ring kept %d points, want 4", len(s.Points))
+	}
+	// Oldest → newest, the last 4 of 10 samples (values 7..10).
+	for i, p := range s.Points {
+		if want := int64(7 + i); p.V != want {
+			t.Errorf("point %d = %+v, want v=%d", i, p, want)
+		}
+		if i > 0 && p.T <= s.Points[i-1].T {
+			t.Errorf("timestamps not increasing: %+v", s.Points)
+		}
+	}
+}
+
+func TestTimeSeriesHistogramDerivedSeries(t *testing.T) {
+	reg := NewRegistry()
+	reg.Histogram("lat").Observe(5)
+	reg.Histogram("lat").Observe(7)
+	reg.Gauge("heap").Set(42)
+	ts := NewTimeSeries(8, time.Second)
+	ts.Sample(reg, time.UnixMilli(1))
+	snap := ts.Snapshot()
+	got := map[string]TSSeries{}
+	for _, s := range snap.Series {
+		got[s.Name] = s
+	}
+	if s := got["lat.count"]; s.Kind != "counter" || len(s.Points) != 1 || s.Points[0].V != 2 {
+		t.Errorf("lat.count = %+v", s)
+	}
+	if s := got["lat.sum"]; s.Kind != "counter" || s.Points[0].V != 12 {
+		t.Errorf("lat.sum = %+v", s)
+	}
+	if s := got["heap"]; s.Kind != "gauge" || s.Points[0].V != 42 {
+		t.Errorf("heap = %+v", s)
+	}
+}
+
+func TestSampleRuntimePopulatesGauges(t *testing.T) {
+	reg := NewRegistry()
+	SampleRuntime(reg)
+	if v := reg.Gauge("runtime.heap_bytes").Value(); v <= 0 {
+		t.Errorf("runtime.heap_bytes = %d", v)
+	}
+	if v := reg.Gauge("runtime.goroutines").Value(); v <= 0 {
+		t.Errorf("runtime.goroutines = %d", v)
+	}
+	// Quantile gauges exist (possibly zero early in process life).
+	if v := reg.Gauge("runtime.gc_pause_p99_ns").Value(); v < 0 {
+		t.Errorf("runtime.gc_pause_p99_ns = %d", v)
+	}
+	// Nil registry: the no-op contract holds.
+	var nilReg *Registry
+	SampleRuntime(nilReg)
+
+	s := StartRuntimeSampler(reg, time.Millisecond)
+	time.Sleep(5 * time.Millisecond)
+	s.Stop()
+	s.Stop() // idempotent
+	var nilSampler *RuntimeSampler
+	nilSampler.Stop()
+}

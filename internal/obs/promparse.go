@@ -1,0 +1,354 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file is a deliberately small, dependency-free reader for the
+// Prometheus text exposition format 0.0.4 — enough to round-trip what
+// WritePrometheus emits plus the common output of other exporters. It
+// backs the in-test scrape assertions and the `licmtrace promcheck`
+// CLI used by the CI telemetry-smoke job, so a formatting regression
+// in the exposition path is caught by our own tooling rather than by a
+// production scraper.
+
+// PromSample is one parsed sample line: a metric name, its label set,
+// and the sample value.
+type PromSample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Label returns the value of the named label, or "" when absent.
+func (s PromSample) Label(name string) string { return s.Labels[name] }
+
+// PromFamily groups the samples of one metric family together with the
+// type declared by its # TYPE line ("untyped" when none was seen).
+type PromFamily struct {
+	Name    string
+	Type    string
+	Samples []PromSample
+}
+
+// Sample returns the first sample with the given name suffix appended
+// to the family name ("" for the bare name), or nil.
+func (f *PromFamily) Sample(suffix string) *PromSample {
+	want := f.Name + suffix
+	for i := range f.Samples {
+		if f.Samples[i].Name == want {
+			return &f.Samples[i]
+		}
+	}
+	return nil
+}
+
+// ParseProm reads a text-format 0.0.4 exposition into metric families,
+// in input order. Samples are attached to the most recently declared
+// family whose name they extend (histogram samples carry _bucket,
+// _sum, _count suffixes); samples with no matching declaration form an
+// "untyped" family of their own. Returns an error on any line that is
+// neither a comment, blank, nor a well-formed sample.
+func ParseProm(r io.Reader) ([]PromFamily, error) {
+	var (
+		fams  []PromFamily
+		index = map[string]int{} // family name -> fams index
+	)
+	family := func(name, typ string) *PromFamily {
+		if i, ok := index[name]; ok {
+			return &fams[i]
+		}
+		fams = append(fams, PromFamily{Name: name, Type: typ})
+		index[name] = len(fams) - 1
+		return &fams[len(fams)-1]
+	}
+	// owner maps a histogram/summary sample name back to its family.
+	owner := func(sample string) *PromFamily {
+		if i, ok := index[sample]; ok {
+			return &fams[i]
+		}
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			base, ok := strings.CutSuffix(sample, suffix)
+			if !ok {
+				continue
+			}
+			if i, ok := index[base]; ok && (fams[i].Type == "histogram" || fams[i].Type == "summary") {
+				return &fams[i]
+			}
+		}
+		return nil
+	}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 4 && fields[1] == "TYPE" {
+				name, typ := fields[2], fields[3]
+				if !promNameOK(name) {
+					return nil, fmt.Errorf("line %d: bad metric name %q in TYPE", lineNo, name)
+				}
+				if i, ok := index[name]; ok {
+					return nil, fmt.Errorf("line %d: duplicate TYPE for %q (first declared as %s)", lineNo, name, fams[i].Type)
+				}
+				family(name, typ)
+			}
+			continue // HELP and other comments are ignored
+		}
+		sample, err := parsePromSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		fam := owner(sample.Name)
+		if fam == nil {
+			fam = family(sample.Name, "untyped")
+		}
+		fam.Samples = append(fam.Samples, sample)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return fams, nil
+}
+
+// parsePromSample parses one `name{l="v",...} value [timestamp]` line.
+func parsePromSample(line string) (PromSample, error) {
+	s := PromSample{Labels: map[string]string{}}
+	rest := line
+	if i := strings.IndexAny(rest, "{ \t"); i < 0 {
+		return s, fmt.Errorf("sample %q has no value", line)
+	} else {
+		s.Name = rest[:i]
+		rest = rest[i:]
+	}
+	if !promNameOK(s.Name) {
+		return s, fmt.Errorf("bad metric name %q", s.Name)
+	}
+	rest = strings.TrimLeft(rest, " \t")
+	if strings.HasPrefix(rest, "{") {
+		end := strings.Index(rest, "}")
+		if end < 0 {
+			return s, fmt.Errorf("unterminated label set in %q", line)
+		}
+		if err := parsePromLabels(rest[1:end], s.Labels); err != nil {
+			return s, err
+		}
+		rest = strings.TrimLeft(rest[end+1:], " \t")
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return s, fmt.Errorf("expected value [timestamp] after %q, got %q", s.Name, rest)
+	}
+	v, err := parsePromValue(fields[0])
+	if err != nil {
+		return s, fmt.Errorf("bad value %q: %w", fields[0], err)
+	}
+	s.Value = v
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return s, fmt.Errorf("bad timestamp %q", fields[1])
+		}
+	}
+	return s, nil
+}
+
+// parsePromLabels parses `a="x",b="y"` (no escapes beyond \\, \", \n —
+// the ones the format defines) into dst.
+func parsePromLabels(body string, dst map[string]string) error {
+	body = strings.TrimSpace(body)
+	for body != "" {
+		eq := strings.Index(body, "=")
+		if eq < 0 {
+			return fmt.Errorf("label without '=' in %q", body)
+		}
+		name := strings.TrimSpace(body[:eq])
+		if !promLabelOK(name) {
+			return fmt.Errorf("bad label name %q", name)
+		}
+		body = strings.TrimLeft(body[eq+1:], " \t")
+		if !strings.HasPrefix(body, `"`) {
+			return fmt.Errorf("label %s value not quoted", name)
+		}
+		body = body[1:]
+		var val strings.Builder
+		for {
+			i := strings.IndexAny(body, `"\`)
+			if i < 0 {
+				return fmt.Errorf("unterminated label value for %s", name)
+			}
+			val.WriteString(body[:i])
+			if body[i] == '"' {
+				body = body[i+1:]
+				break
+			}
+			// escape sequence
+			if i+1 >= len(body) {
+				return fmt.Errorf("dangling escape in label %s", name)
+			}
+			switch body[i+1] {
+			case '\\':
+				val.WriteByte('\\')
+			case '"':
+				val.WriteByte('"')
+			case 'n':
+				val.WriteByte('\n')
+			default:
+				return fmt.Errorf("bad escape \\%c in label %s", body[i+1], name)
+			}
+			body = body[i+2:]
+		}
+		if _, dup := dst[name]; dup {
+			return fmt.Errorf("duplicate label %s", name)
+		}
+		dst[name] = val.String()
+		body = strings.TrimLeft(body, " \t")
+		if body == "" {
+			break
+		}
+		if !strings.HasPrefix(body, ",") {
+			return fmt.Errorf("expected ',' between labels, got %q", body)
+		}
+		body = strings.TrimLeft(body[1:], " \t,")
+	}
+	return nil
+}
+
+// parsePromValue accepts the format's value grammar: Go float syntax
+// plus +Inf/-Inf/NaN spellings.
+func parsePromValue(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN", "nan":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+func promNameOK(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, r := range name {
+		alpha := r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r == '_' || r == ':'
+		if !alpha && (i == 0 || r < '0' || r > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+func promLabelOK(name string) bool {
+	if name == "" || strings.ContainsRune(name, ':') {
+		return false
+	}
+	return promNameOK(name)
+}
+
+// ValidateProm checks the structural invariants a scraper relies on:
+// legal metric and label names, known family types, finite counter and
+// histogram sample values, and — for histograms — strictly increasing
+// le bounds, monotone non-decreasing cumulative bucket counts, a
+// mandatory +Inf bucket, and _count consistent with that bucket. It
+// returns the first violation found, or nil for a clean exposition.
+func ValidateProm(fams []PromFamily) error {
+	seen := map[string]bool{}
+	for i := range fams {
+		f := &fams[i]
+		if seen[f.Name] {
+			return fmt.Errorf("family %s declared twice", f.Name)
+		}
+		seen[f.Name] = true
+		switch f.Type {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("family %s has unknown type %q", f.Name, f.Type)
+		}
+		if len(f.Samples) == 0 {
+			continue
+		}
+		for _, s := range f.Samples {
+			if math.IsNaN(s.Value) && f.Type != "gauge" && f.Type != "untyped" {
+				return fmt.Errorf("%s: NaN sample in %s family", s.Name, f.Type)
+			}
+		}
+		switch f.Type {
+		case "counter":
+			for _, s := range f.Samples {
+				if s.Value < 0 || math.IsInf(s.Value, 0) {
+					return fmt.Errorf("counter %s has non-finite or negative value %v", s.Name, s.Value)
+				}
+			}
+		case "histogram":
+			if err := validatePromHistogram(f); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func validatePromHistogram(f *PromFamily) error {
+	type bucket struct {
+		le float64
+		n  float64
+	}
+	var buckets []bucket
+	for _, s := range f.Samples {
+		if s.Name != f.Name+"_bucket" {
+			continue
+		}
+		leStr, ok := s.Labels["le"]
+		if !ok {
+			return fmt.Errorf("%s: bucket sample without le label", f.Name)
+		}
+		le, err := parsePromValue(leStr)
+		if err != nil {
+			return fmt.Errorf("%s: bad le %q", f.Name, leStr)
+		}
+		buckets = append(buckets, bucket{le: le, n: s.Value})
+	}
+	if len(buckets) == 0 {
+		return fmt.Errorf("histogram %s has no buckets", f.Name)
+	}
+	sort.SliceStable(buckets, func(i, j int) bool { return buckets[i].le < buckets[j].le })
+	for i := 1; i < len(buckets); i++ {
+		if !floatLess(buckets[i-1].le, buckets[i].le) {
+			return fmt.Errorf("histogram %s: duplicate le bound %v", f.Name, buckets[i].le)
+		}
+		if buckets[i].n < buckets[i-1].n {
+			return fmt.Errorf("histogram %s: cumulative count drops from %v (le=%v) to %v (le=%v)",
+				f.Name, buckets[i-1].n, buckets[i-1].le, buckets[i].n, buckets[i].le)
+		}
+	}
+	last := buckets[len(buckets)-1]
+	if !math.IsInf(last.le, 1) {
+		return fmt.Errorf("histogram %s missing le=\"+Inf\" bucket", f.Name)
+	}
+	count := f.Sample("_count")
+	if count == nil {
+		return fmt.Errorf("histogram %s missing _count", f.Name)
+	}
+	if f.Sample("_sum") == nil {
+		return fmt.Errorf("histogram %s missing _sum", f.Name)
+	}
+	if !floatEq(count.Value, last.n) {
+		return fmt.Errorf("histogram %s: _count %v != +Inf bucket %v", f.Name, count.Value, last.n)
+	}
+	return nil
+}

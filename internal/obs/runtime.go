@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"math"
+	"runtime/metrics"
+	"sync"
+	"time"
+)
+
+// The runtime gauges mirror a fixed set of runtime/metrics readings
+// into the registry so one /metrics scrape carries solver progress and
+// resource consumption side by side. Readings whose metric is absent
+// or has an unexpected kind under the running toolchain are skipped,
+// never zero-filled.
+
+// runtimeUint64Gauges maps uint64-valued runtime metrics to gauge
+// names.
+var runtimeUint64Gauges = []struct{ metric, gauge string }{
+	{"/memory/classes/heap/objects:bytes", "runtime.heap_bytes"},
+	{"/memory/classes/total:bytes", "runtime.total_bytes"},
+	{"/gc/heap/allocs:bytes", "runtime.alloc_bytes"},
+	{"/sched/goroutines:goroutines", "runtime.goroutines"},
+	{"/gc/cycles/total:gc-cycles", "runtime.gc_cycles"},
+}
+
+// runtimeHistGauges maps histogram-valued runtime metrics (seconds) to
+// nanosecond quantile gauges.
+var runtimeHistGauges = []struct {
+	metric, gauge string
+	q             float64
+}{
+	{"/sched/pauses/total/gc:seconds", "runtime.gc_pause_p99_ns", 0.99},
+	{"/sched/latencies:seconds", "runtime.sched_latency_p99_ns", 0.99},
+}
+
+// SampleRuntime reads the runtime metric set once into the registry's
+// runtime.* gauges. Safe on a nil registry (the reads still happen;
+// the stores discard).
+func SampleRuntime(r *Registry) {
+	samples := make([]metrics.Sample, 0, len(runtimeUint64Gauges)+len(runtimeHistGauges))
+	for _, m := range runtimeUint64Gauges {
+		samples = append(samples, metrics.Sample{Name: m.metric})
+	}
+	for _, m := range runtimeHistGauges {
+		samples = append(samples, metrics.Sample{Name: m.metric})
+	}
+	metrics.Read(samples)
+	for i, m := range runtimeUint64Gauges {
+		if samples[i].Value.Kind() == metrics.KindUint64 {
+			r.Gauge(m.gauge).Set(clampInt64(samples[i].Value.Uint64()))
+		}
+	}
+	for i, m := range runtimeHistGauges {
+		s := samples[len(runtimeUint64Gauges)+i]
+		if s.Value.Kind() == metrics.KindFloat64Histogram {
+			sec := histogramQuantile(s.Value.Float64Histogram(), m.q)
+			r.Gauge(m.gauge).Set(int64(sec * 1e9))
+		}
+	}
+}
+
+// histogramQuantile returns an upper estimate of the q-quantile of a
+// runtime Float64Histogram: the upper bound of the bucket where the
+// cumulative count crosses q*total (falling back to the bucket's lower
+// bound when the upper bound is +Inf). Returns 0 on an empty
+// histogram.
+func histogramQuantile(h *metrics.Float64Histogram, q float64) float64 {
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	target := q * float64(total)
+	var cum float64
+	for i, c := range h.Counts {
+		cum += float64(c)
+		if cum >= target {
+			ub := h.Buckets[i+1]
+			if math.IsInf(ub, 1) {
+				ub = h.Buckets[i]
+			}
+			if math.IsInf(ub, -1) {
+				return 0
+			}
+			return ub
+		}
+	}
+	return 0
+}
+
+// clampInt64 converts a uint64 reading to the registry's int64 gauges
+// without wrapping.
+func clampInt64(v uint64) int64 {
+	if v > math.MaxInt64 {
+		return math.MaxInt64
+	}
+	return int64(v)
+}
+
+// RuntimeSampler periodically feeds the runtime.* gauges. Start one
+// per process next to a debug server (ServeDebug does this for you);
+// Stop is idempotent and waits for the loop to exit.
+type RuntimeSampler struct {
+	reg      *Registry
+	interval time.Duration
+	stop     chan struct{}
+	once     sync.Once
+	wg       sync.WaitGroup
+}
+
+// StartRuntimeSampler samples the runtime into reg's gauges every
+// interval (default 1s when interval <= 0). One synchronous sample
+// runs before it returns, so the gauges exist — and /metrics carries
+// them — before the first tick.
+func StartRuntimeSampler(reg *Registry, interval time.Duration) *RuntimeSampler {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	s := &RuntimeSampler{reg: reg, interval: interval, stop: make(chan struct{})}
+	SampleRuntime(reg)
+	s.wg.Add(1)
+	go s.loop()
+	return s
+}
+
+func (s *RuntimeSampler) loop() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			SampleRuntime(s.reg)
+		case <-s.stop:
+			return
+		}
+	}
+}
+
+// Stop halts the sampler and waits for its goroutine.
+func (s *RuntimeSampler) Stop() {
+	if s == nil {
+		return
+	}
+	s.once.Do(func() { close(s.stop) })
+	s.wg.Wait()
+}

@@ -1,0 +1,189 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// TimeSeries keeps the recent history of every registry instrument in
+// fixed-size rings so a dashboard (or curl) can read the last N
+// minutes without an external time-series database. Each sample tick
+// captures a typed registry export: counters and gauges record their
+// value, histograms contribute two derived counter series,
+// <name>.count and <name>.sum. Memory is bounded by
+// capacity × series — there is no allocation after the rings fill.
+type TimeSeries struct {
+	cap      int
+	interval time.Duration
+
+	mu     sync.Mutex
+	series map[string]*tsRing
+	stop   chan struct{}
+	once   sync.Once
+	wg     sync.WaitGroup
+}
+
+// tsRing is one fixed-capacity series ring.
+type tsRing struct {
+	kind string // "counter" | "gauge"
+	t    []int64
+	v    []int64
+	next int
+	full bool
+}
+
+func (r *tsRing) push(t, v int64) {
+	if len(r.t) < cap(r.t) {
+		r.t = append(r.t, t)
+		r.v = append(r.v, v)
+		return
+	}
+	r.t[r.next] = t
+	r.v[r.next] = v
+	r.next = (r.next + 1) % len(r.t)
+	r.full = true
+}
+
+// ordered returns (times, values) oldest → newest.
+func (r *tsRing) ordered() ([]int64, []int64) {
+	if !r.full {
+		return append([]int64(nil), r.t...), append([]int64(nil), r.v...)
+	}
+	n := len(r.t)
+	ts := make([]int64, 0, n)
+	vs := make([]int64, 0, n)
+	for i := 0; i < n; i++ {
+		j := (r.next + i) % n
+		ts = append(ts, r.t[j])
+		vs = append(vs, r.v[j])
+	}
+	return ts, vs
+}
+
+// NewTimeSeries builds rings holding capacity points per series
+// (default 300 when capacity <= 0) sampled every interval (default 1s
+// when interval <= 0): the defaults retain five minutes.
+func NewTimeSeries(capacity int, interval time.Duration) *TimeSeries {
+	if capacity <= 0 {
+		capacity = 300
+	}
+	if interval <= 0 {
+		interval = time.Second
+	}
+	return &TimeSeries{
+		cap:      capacity,
+		interval: interval,
+		series:   make(map[string]*tsRing),
+		stop:     make(chan struct{}),
+	}
+}
+
+// Sample appends one point per instrument at the given timestamp.
+func (ts *TimeSeries) Sample(reg *Registry, now time.Time) {
+	ex := reg.Export()
+	t := now.UnixMilli()
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	for _, c := range ex.Counters {
+		ts.ring(c.Name, "counter").push(t, c.Value)
+	}
+	for _, g := range ex.Gauges {
+		ts.ring(g.Name, "gauge").push(t, g.Value)
+	}
+	for _, h := range ex.Hists {
+		ts.ring(h.Name+".count", "counter").push(t, h.Snap.Count)
+		ts.ring(h.Name+".sum", "counter").push(t, h.Snap.Sum)
+	}
+}
+
+// ring returns the named ring, creating it if needed. Caller holds mu.
+func (ts *TimeSeries) ring(name, kind string) *tsRing {
+	r, ok := ts.series[name]
+	if !ok {
+		r = &tsRing{
+			kind: kind,
+			t:    make([]int64, 0, ts.cap),
+			v:    make([]int64, 0, ts.cap),
+		}
+		ts.series[name] = r
+	}
+	return r
+}
+
+// Start samples reg every interval until Stop (or the returned cancel
+// function) is called. One synchronous sample runs immediately so the
+// endpoint is non-empty from the first scrape.
+func (ts *TimeSeries) Start(reg *Registry) (cancel func()) {
+	ts.Sample(reg, time.Now())
+	ts.wg.Add(1)
+	go func() {
+		defer ts.wg.Done()
+		t := time.NewTicker(ts.interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				ts.Sample(reg, time.Now())
+			case <-ts.stop:
+				return
+			}
+		}
+	}()
+	return ts.Stop
+}
+
+// Stop halts the sampling loop started by Start and waits for it.
+// Idempotent; a TimeSeries that was never started stops trivially.
+func (ts *TimeSeries) Stop() {
+	ts.once.Do(func() { close(ts.stop) })
+	ts.wg.Wait()
+}
+
+// TSPoint is one exported sample.
+type TSPoint struct {
+	T int64 `json:"t"` // Unix milliseconds
+	V int64 `json:"v"`
+}
+
+// TSSeries is one exported series, oldest point first.
+type TSSeries struct {
+	Name   string    `json:"name"`
+	Kind   string    `json:"kind"` // "counter" | "gauge"
+	Points []TSPoint `json:"points"`
+}
+
+// TSSnapshot is the /debug/licm/timeseries response body.
+type TSSnapshot struct {
+	IntervalMs int64      `json:"interval_ms"`
+	Capacity   int        `json:"capacity"`
+	Series     []TSSeries `json:"series"`
+}
+
+// Snapshot exports every series, name-sorted, oldest point first.
+func (ts *TimeSeries) Snapshot() TSSnapshot {
+	out := TSSnapshot{IntervalMs: ts.interval.Milliseconds(), Capacity: ts.cap}
+	ts.mu.Lock()
+	for name, r := range ts.series {
+		times, vals := r.ordered()
+		s := TSSeries{Name: name, Kind: r.kind, Points: make([]TSPoint, len(times))}
+		for i := range times {
+			s.Points[i] = TSPoint{T: times[i], V: vals[i]}
+		}
+		out.Series = append(out.Series, s)
+	}
+	ts.mu.Unlock()
+	sort.Slice(out.Series, func(i, j int) bool { return out.Series[i].Name < out.Series[j].Name })
+	return out
+}
+
+// ServeHTTP serves the snapshot as JSON; mounted at
+// /debug/licm/timeseries by the debug server.
+func (ts *TimeSeries) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	// Write errors mean the client hung up.
+	_ = enc.Encode(ts.Snapshot())
+}

@@ -1,0 +1,14 @@
+package obs
+
+// Exact float comparisons for the exposition parser live here: bucket
+// bounds and counts in a Prometheus scrape are decimal renderings of
+// integers, so bitwise equality is the correct check — there is no
+// arithmetic between parse and compare that could introduce rounding.
+// (The floatcmp lint confines ==/!= on floats to tol.go files.)
+
+// floatEq reports a == b.
+func floatEq(a, b float64) bool { return a == b }
+
+// floatLess reports a < b with NaN and equal values both false; used
+// to reject duplicate le bounds after sorting.
+func floatLess(a, b float64) bool { return a < b }

@@ -1,8 +1,11 @@
 package solver
 
 import (
+	"io"
+	"net/http"
 	"sync"
 	"testing"
+	"time"
 
 	"licm/internal/expr"
 	"licm/internal/obs"
@@ -242,5 +245,171 @@ func TestTracingOffIsNoop(t *testing.T) {
 	}
 	if plain.Stats.Nodes != traced.Stats.Nodes || plain.Stats.LPSolves != traced.Stats.LPSolves {
 		t.Errorf("tracing changed the search: %+v vs %+v", plain.Stats, traced.Stats)
+	}
+	// The memory probe only arms when instrumentation is attached.
+	if plain.Stats.AllocBytes != 0 || plain.Stats.PeakHeap != 0 {
+		t.Errorf("uninstrumented solve recorded memory stats: alloc=%d peak=%d",
+			plain.Stats.AllocBytes, plain.Stats.PeakHeap)
+	}
+}
+
+// TestMemProbeRecordsAllocations: an instrumented solve reports
+// process-level allocation and peak-heap figures in Stats and mirrors
+// them into the registry.
+func TestMemProbeRecordsAllocations(t *testing.T) {
+	p := hardProblem()
+	reg := obs.NewRegistry()
+	opts := DefaultOptions()
+	opts.MaxNodes = 20_000
+	opts.Metrics = reg
+	res, err := Maximize(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.AllocBytes <= 0 {
+		t.Errorf("AllocBytes = %d, want > 0", res.Stats.AllocBytes)
+	}
+	if res.Stats.PeakHeap <= 0 {
+		t.Errorf("PeakHeap = %d, want > 0", res.Stats.PeakHeap)
+	}
+	if got := reg.Counter("solver.alloc_bytes").Value(); got != res.Stats.AllocBytes {
+		t.Errorf("counter alloc_bytes = %d, stats = %d", got, res.Stats.AllocBytes)
+	}
+	if got := reg.Gauge("solver.peak_heap_bytes").Value(); got != res.Stats.PeakHeap {
+		t.Errorf("gauge peak_heap_bytes = %d, stats = %d", got, res.Stats.PeakHeap)
+	}
+}
+
+// TestMetricsScrapeDuringSolve boots the debug server, runs a live
+// solve against its registry, and scrapes /metrics over HTTP while the
+// search is flushing counters — the full production telemetry path.
+// The exposition must parse as Prometheus text format 0.0.4, validate
+// (types, monotone cumulative buckets, _sum/_count consistency), and
+// carry the solver instruments alongside the runtime gauges.
+func TestMetricsScrapeDuringSolve(t *testing.T) {
+	reg := obs.NewRegistry()
+	srv, err := obs.ServeDebug("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	opts := DefaultOptions()
+	opts.UseLP = false // node-heavy DFS: plenty of counter flushes to observe
+	opts.MaxNodes = 300_000
+	opts.Metrics = reg
+	done := make(chan error, 1)
+	go func() {
+		_, err := Maximize(hardProblem(), opts)
+		done <- err
+	}()
+
+	scrape := func() []obs.PromFamily {
+		t.Helper()
+		resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET /metrics: status %d", resp.StatusCode)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != obs.PromContentType {
+			t.Fatalf("Content-Type = %q, want %q", ct, obs.PromContentType)
+		}
+		fams, err := obs.ParseProm(resp.Body)
+		if err != nil {
+			t.Fatalf("scrape does not parse: %v", err)
+		}
+		if err := obs.ValidateProm(fams); err != nil {
+			t.Fatalf("scrape does not validate: %v", err)
+		}
+		return fams
+	}
+	family := func(fams []obs.PromFamily, name string) *obs.PromFamily {
+		for i := range fams {
+			if fams[i].Name == name {
+				return &fams[i]
+			}
+		}
+		return nil
+	}
+
+	// Poll until the search's periodic flush makes the node counter
+	// visible; every intermediate scrape must already be valid.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		fams := scrape()
+		f := family(fams, "licm_solver_nodes_total")
+		if f != nil && f.Type == "counter" && len(f.Samples) == 1 && f.Samples[0].Value > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("solver.nodes never appeared on /metrics")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+
+	// Final scrape: every registry instrument plus the runtime gauges.
+	fams := scrape()
+	for _, name := range []string{"licm_solver_nodes_total", "licm_solver_lp_solves_total", "licm_solver_propagations_total"} {
+		f := family(fams, name)
+		if f == nil || f.Type != "counter" {
+			t.Errorf("missing or mistyped counter %s", name)
+		}
+	}
+	for _, name := range []string{"licm_runtime_heap_bytes", "licm_runtime_goroutines", "licm_solver_peak_heap_bytes"} {
+		f := family(fams, name)
+		if f == nil || f.Type != "gauge" {
+			t.Errorf("missing or mistyped gauge %s", name)
+			continue
+		}
+		if len(f.Samples) != 1 || f.Samples[0].Value <= 0 {
+			t.Errorf("%s: want one positive sample, got %+v", name, f.Samples)
+		}
+	}
+
+	// Histogram exposition is consistent with the registry snapshot.
+	snap := reg.Histogram("solver.node_ns").Snapshot()
+	if snap.Count == 0 {
+		t.Fatal("solver.node_ns recorded nothing")
+	}
+	f := family(fams, "licm_solver_node_ns")
+	if f == nil || f.Type != "histogram" {
+		t.Fatalf("missing histogram licm_solver_node_ns")
+	}
+	if s := f.Sample("_count"); s == nil || int64(s.Value) != snap.Count {
+		t.Errorf("_count = %v, snapshot count = %d", s, snap.Count)
+	}
+	if s := f.Sample("_sum"); s == nil || int64(s.Value) != snap.Sum {
+		t.Errorf("_sum = %v, snapshot sum = %d", s, snap.Sum)
+	}
+	var inf *obs.PromSample
+	for i := range f.Samples {
+		if f.Samples[i].Name == "licm_solver_node_ns_bucket" && f.Samples[i].Label("le") == "+Inf" {
+			inf = &f.Samples[i]
+		}
+	}
+	if inf == nil || int64(inf.Value) != snap.Count {
+		t.Errorf("+Inf bucket = %v, want %d", inf, snap.Count)
+	}
+
+	// The dashboard and time-series endpoints ride on the same mux.
+	for _, path := range []string{"/debug/licm", "/debug/licm/timeseries"} {
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s: status %d", path, resp.StatusCode)
+		}
+		if len(body) == 0 {
+			t.Errorf("GET %s: empty body", path)
+		}
 	}
 }

@@ -213,6 +213,15 @@ type Stats struct {
 	// node budget (Options.WitnessBudget): the bounds stand but
 	// Result.Assignment is nil instead of a full world.
 	WitnessExhausted bool
+
+	// AllocBytes is the process-wide heap allocation (bytes, via
+	// runtime/metrics) observed between solve start and end, and
+	// PeakHeap the larger of the live-heap readings at those two
+	// points. Both are recorded only when tracing or metrics are
+	// attached (zero otherwise) and are process-level: concurrent
+	// work on other goroutines is included.
+	AllocBytes int64
+	PeakHeap   int64
 }
 
 // Result is the outcome of a Maximize or Minimize call.

@@ -31,8 +31,14 @@ func solve(p *Problem, opts Options, minimized bool) (res Result, err error) {
 		obs.Str("sense", sense),
 		obs.Int("vars", p.NumVars),
 		obs.Int("cons", len(p.Constraints)))
+	mp := startMemProbe(opts.Metrics != nil || tr.Enabled())
 	defer func() {
 		res.Stats.TotalTime = time.Since(start)
+		mp.stop(&res.Stats)
+		if opts.Metrics != nil {
+			opts.Metrics.Counter("solver.alloc_bytes").Add(res.Stats.AllocBytes)
+			opts.Metrics.Gauge("solver.peak_heap_bytes").Set(res.Stats.PeakHeap)
+		}
 		// Surface the solve-latency distributions in the trace so
 		// post-processors (licmtrace summary) see them without scraping
 		// expvar. Values are cumulative over the registry's lifetime —
@@ -58,7 +64,9 @@ func solve(p *Problem, opts Options, minimized bool) (res Result, err error) {
 			obs.Bool("canceled", res.Stats.Canceled),
 			obs.I64("nodes", res.Stats.Nodes),
 			obs.I64("lp_solves", res.Stats.LPSolves),
-			obs.I64("propagations", res.Stats.Propagations))
+			obs.I64("propagations", res.Stats.Propagations),
+			obs.I64("alloc_bytes", res.Stats.AllocBytes),
+			obs.I64("peak_heap", res.Stats.PeakHeap))
 	}()
 
 	sp := root.Start("solver.validate")

@@ -24,6 +24,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"time"
 
 	"licm/internal/encode"
@@ -83,6 +84,11 @@ type Config struct {
 	// recovered panic; 0 uses a fixed default. The retry is
 	// deterministic either way.
 	RetrySeed int64
+	// Log, if non-nil, receives warn-level records at the supervisor
+	// boundary — degradation below exact, recovered panics, witness
+	// exhaustion — so the degradation ladder is visible to log
+	// pipelines, not only to trace consumers. nil disables logging.
+	Log *slog.Logger
 }
 
 // Side is one direction (min or max) of a supervised Bounds call.
@@ -163,14 +169,30 @@ func Bounds(ctx context.Context, p *solver.Problem, cfg Config) Outcome {
 			obs.Str("quality", out.Quality.String()),
 			obs.Str("min_quality", out.Min.Quality.String()),
 			obs.Str("max_quality", out.Max.Quality.String()))
+		s.warn("supervised solve degraded",
+			"quality", out.Quality.String(),
+			"min_quality", out.Min.Quality.String(),
+			"max_quality", out.Max.Quality.String(),
+			"retries", out.Retries,
+			"panics_recovered", out.PanicsRecovered)
 	}
 	sp.End(
 		obs.Str("quality", out.Quality.String()),
 		obs.Bool("infeasible", out.Infeasible),
 		obs.Int("retries", out.Retries),
 		obs.Int("panics_recovered", out.PanicsRecovered),
-		obs.DurNs("elapsed", out.Elapsed))
+		obs.DurNs("elapsed", out.Elapsed),
+		obs.I64("alloc_bytes", out.Min.Stats.AllocBytes+out.Max.Stats.AllocBytes),
+		obs.I64("peak_heap", maxI64(out.Min.Stats.PeakHeap, out.Max.Stats.PeakHeap)))
 	return out
+}
+
+// maxI64 returns the larger of two int64 readings.
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 // counterName maps a quality to its super.* counter suffix.
@@ -267,6 +289,10 @@ func (s *run) side(maximize bool) Side {
 		}
 	}
 
+	if res.Stats.WitnessExhausted {
+		s.warn("witness completion exhausted its node budget",
+			"side", name, "nodes", res.Stats.Nodes)
+	}
 	switch {
 	case pan == nil && err == nil && res.Proven:
 		return Side{Quality: Exact, Lo: res.Value, Hi: res.Value, Stats: res.Stats}
@@ -345,7 +371,7 @@ func (s *run) sample() (lo, hi int64, ok bool) {
 	return s.sampleLo, s.sampleHi, s.sampleOK
 }
 
-// recordPanic counts and traces one contained solver panic.
+// recordPanic counts, traces and logs one contained solver panic.
 func (s *run) recordPanic(side string, pan *solver.CompPanic) {
 	s.panics++
 	if s.reg != nil {
@@ -355,6 +381,18 @@ func (s *run) recordPanic(side string, pan *solver.CompPanic) {
 		obs.Str("side", side),
 		obs.Int("component", pan.Component),
 		obs.Str("value", fmt.Sprintf("%v", pan.Value)))
+	s.warn("solver panic recovered at supervisor boundary",
+		"side", side,
+		"component", pan.Component,
+		"value", fmt.Sprintf("%v", pan.Value))
+}
+
+// warn emits one warn-level record on the configured logger; a nil
+// logger discards, mirroring the obs nil no-op contract.
+func (s *run) warn(msg string, args ...any) {
+	if s.cfg.Log != nil {
+		s.cfg.Log.Warn(msg, args...)
+	}
 }
 
 // guardedSolve runs one solver call with the panic boundary installed:

@@ -1,8 +1,12 @@
 package super_test
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
+	"log/slog"
 	"math/rand"
+	"strings"
 	"testing"
 	"time"
 
@@ -264,5 +268,69 @@ func TestInfeasibleIsExact(t *testing.T) {
 	out := super.Bounds(context.Background(), p, chaosConfig())
 	if !out.Infeasible || out.Quality != super.Exact {
 		t.Fatalf("infeasible=%v quality=%v, want true/Exact", out.Infeasible, out.Quality)
+	}
+}
+
+// TestSupervisorWarnLogging: the supervisor boundary emits structured
+// warn records for degradation and recovered panics when Config.Log is
+// set, stays silent on clean exact solves, and tolerates a nil logger.
+func TestSupervisorWarnLogging(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewJSONHandler(&buf, &slog.HandlerOptions{Level: slog.LevelWarn}))
+
+	// Every record must be one valid JSON object at level WARN.
+	checkRecords := func(wantMsg string) {
+		t.Helper()
+		found := false
+		for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+			var rec map[string]any
+			if err := json.Unmarshal([]byte(line), &rec); err != nil {
+				t.Fatalf("log line is not JSON: %q: %v", line, err)
+			}
+			if rec["level"] != "WARN" {
+				t.Errorf("level = %v, want WARN: %q", rec["level"], line)
+			}
+			if rec["msg"] == wantMsg {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no %q record in:\n%s", wantMsg, buf.String())
+		}
+	}
+
+	// Degradation: an already-expired deadline lands on the sampled rung.
+	p := orCountProblem(60, 6, 3)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg := chaosConfig()
+	cfg.Log = logger
+	if out := super.Bounds(ctx, p, cfg); out.Quality != super.Sampled {
+		t.Fatalf("quality = %v, want Sampled", out.Quality)
+	}
+	checkRecords("supervised solve degraded")
+
+	// Panic recovery: one injected panic is absorbed, retried, and logged.
+	buf.Reset()
+	disarm := faultinject.Arm(faultinject.Plan{Site: faultinject.CtrlBatch, Hit: 0, Action: faultinject.Panic})
+	out := super.Bounds(context.Background(), groupsProblem(12), cfg)
+	disarm()
+	if out.PanicsRecovered != 1 {
+		t.Fatalf("panics recovered = %d, want 1", out.PanicsRecovered)
+	}
+	checkRecords("solver panic recovered at supervisor boundary")
+
+	// A clean exact solve logs nothing at warn level.
+	buf.Reset()
+	if out := super.Bounds(context.Background(), groupsProblem(12), cfg); out.Quality != super.Exact {
+		t.Fatalf("quality = %v, want Exact", out.Quality)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("clean solve produced warn records:\n%s", buf.String())
+	}
+
+	// Nil logger on a degraded solve must not panic.
+	if out := super.Bounds(ctx, p, chaosConfig()); out.Quality != super.Sampled {
+		t.Fatalf("nil-logger quality = %v, want Sampled", out.Quality)
 	}
 }
