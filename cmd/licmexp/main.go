@@ -16,6 +16,7 @@
 //	licmexp -fig 6 -json cells.json    # machine-readable cells with solve summaries
 //	licmexp -fig all -debug-addr :6060 # pprof + /metrics + live dashboard while the sweep runs
 //	licmexp -fig 5 -snapshot dev       # BENCH_dev.json for licmtrace bench-diff
+//	licmexp -fig 5 -explain-json explain.jsonl  # per-cell licm-explain/1 records for licmtrace census
 package main
 
 import (
@@ -27,6 +28,7 @@ import (
 	"time"
 
 	"licm/internal/bench"
+	"licm/internal/explain"
 	"licm/internal/obs"
 )
 
@@ -47,6 +49,7 @@ func main() {
 		debugAddr = flag.String("debug-addr", "", "serve pprof, expvar, Prometheus /metrics and the /debug/licm dashboard on this address, e.g. :6060")
 		jsonPath  = flag.String("json", "", "write the measured cells (figures 5/6/7) as JSON to this file")
 		snapLabel = flag.String("snapshot", "", "write a BENCH_<label>.json benchmark snapshot (cells + run metadata) for licmtrace bench-diff")
+		expPath   = flag.String("explain-json", "", "write every cell's licm-explain/1 record (JSONL) to this file and print a component census summary; feeds licmtrace census")
 	)
 	var logOpts obs.LogOptions
 	logOpts.RegisterFlags(flag.CommandLine)
@@ -95,6 +98,7 @@ func main() {
 	cfg.Trace = tr
 	cfg.Metrics = metrics
 	cfg.Log = logger
+	cfg.Explain = *expPath != ""
 
 	runStart := time.Now()
 	var allCells []bench.Cell
@@ -149,6 +153,34 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("wrote %d cells to %s\n", len(allCells), *jsonPath)
+	}
+
+	if *expPath != "" {
+		f, err := os.Create(*expPath)
+		if err != nil {
+			fatal(err)
+		}
+		census := explain.NewCensus()
+		census.SetMetrics(metrics)
+		n := 0
+		for _, cell := range allCells {
+			if cell.Explain == nil {
+				continue
+			}
+			if err := explain.WriteJSONL(f, cell.Explain); err != nil {
+				f.Close()
+				fatal(err)
+			}
+			census.Observe(cell.Explain)
+			n++
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		s := census.Summarize(0)
+		fmt.Printf("wrote %d explain records to %s\n", n, *expPath)
+		fmt.Printf("component census: %d components over %d queries, %d distinct fingerprints, simulated cache hit rate %.1f%%\n",
+			s.Components, s.Queries, s.Distinct, 100*s.HitRate)
 	}
 
 	if *snapLabel != "" {

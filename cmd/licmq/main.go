@@ -17,6 +17,11 @@
 //	licmq -in data.txt -query q3 -timelimit 30s       # best-effort bounds on timeout
 //	licmq -in data.txt -query q1 -log-level info -log-format json   # structured logs on stderr
 //
+// Explain (per-query solve forensics, OBSERVABILITY.md "Explain & census"):
+//
+//	licmq -in data.txt -query q1 -explain                  # human-readable per-component breakdown
+//	licmq -in data.txt -query q1 -explain-json report.jsonl  # licm-explain/1 record ("-" = stdout)
+//
 // Supervised (anytime) solves:
 //
 //	licmq -in data.txt -query q1 -deadline 5s          # degradation ladder under a hard deadline
@@ -40,12 +45,14 @@ import (
 	"io"
 	"log/slog"
 	"os"
+	"text/tabwriter"
 	"time"
 
 	"licm/internal/anon"
 	"licm/internal/core"
 	"licm/internal/dataset"
 	"licm/internal/encode"
+	"licm/internal/explain"
 	"licm/internal/hierarchy"
 	"licm/internal/mc"
 	"licm/internal/obs"
@@ -85,6 +92,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		deadline = fs.Duration("deadline", 0, "run under the anytime supervisor with this hard deadline; results degrade gracefully with a quality tag (0 = unsupervised)")
 		strict   = fs.Bool("strict", false, "supervised solve must be exact: exit 3 on any degraded (proven-interval, sampled, failed) result")
 		fallback = fs.Int("fallback-samples", 200, "Monte-Carlo worlds for the supervised solve's sampled fallback (0 disables it)")
+
+		explainFlag = fs.Bool("explain", false, "print a per-component solve breakdown (pruning effect, fingerprints, time shares)")
+		explainJSON = fs.String("explain-json", "", "write the licm-explain/1 report as one JSON line to this file (\"-\" = stdout)")
 	)
 	var logOpts obs.LogOptions
 	logOpts.RegisterFlags(fs)
@@ -195,13 +205,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 		limit := time.Now().Add(*timeLimit)
 		opts.Cancel = func() bool { return time.Now().After(limit) }
 	}
+	var rec *solver.ExplainRecorder
+	if *explainFlag || *explainJSON != "" {
+		rec = &solver.ExplainRecorder{}
+		opts.Explain = rec
+	}
 
+	exitCode := 0
 	if *deadline > 0 || *strict {
-		code := runSupervised(stdout, enc, rel, q, opts, tr, logger,
+		exitCode = runSupervised(stdout, enc, rel, q, opts, tr, logger,
 			*scheme, *k, *deadline, *strict, *fallback)
-		if code != 0 {
-			return code
-		}
 	} else {
 		start = time.Now()
 		res, err := core.CountBounds(enc.DB, rel, opts)
@@ -256,6 +269,38 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
+	if rec != nil {
+		rep := explain.Build(q.Name(), rec)
+		rep.Scheme = *scheme
+		rep.K = *k
+		// Feed the single-query census so the explain instruments
+		// (licm_explain_components_total, licm_explain_distinct_fingerprints)
+		// are live on /metrics and the dashboard alongside the solver's.
+		census := explain.NewCensus()
+		census.SetMetrics(metrics)
+		census.Observe(rep)
+		if *explainFlag {
+			printExplain(stdout, rep)
+		}
+		if *explainJSON != "" {
+			w := io.Writer(stdout)
+			if *explainJSON != "-" {
+				f, err := os.Create(*explainJSON)
+				if err != nil {
+					return fail(err)
+				}
+				defer f.Close()
+				w = f
+			}
+			if err := explain.WriteJSONL(w, rep); err != nil {
+				return fail(err)
+			}
+		}
+	}
+	if exitCode != 0 {
+		return exitCode
+	}
+
 	if *mcRuns > 0 {
 		start = time.Now()
 		sampler := mc.NewSampler(enc, 42)
@@ -265,6 +310,46 @@ func run(args []string, stdout, stderr io.Writer) int {
 			*mcRuns, r.Min, r.Max, time.Since(start))
 	}
 	return 0
+}
+
+// printExplain renders the licm-explain/1 report for humans: the
+// pruning funnel, then one table per run attributing the search time
+// to the decomposed components.
+func printExplain(w io.Writer, rep *explain.Report) {
+	p := rep.Prune
+	fmt.Fprintf(w, "explain: quality=%s; store %d vars, %d cons -> pruned %d vars, %d cons; presolve fixed %d\n",
+		rep.Quality, p.VarsBefore, p.ConsBefore, p.VarsAfter, p.ConsAfter, p.FixedByPresolve)
+	for _, run := range rep.Runs {
+		fmt.Fprintf(w, "  %s:", run.Sense)
+		if run.Quality != "" {
+			fmt.Fprintf(w, " quality=%s", run.Quality)
+		}
+		fmt.Fprintf(w, " nodes=%d lp_solves=%d propagations=%d search=%v witness=%v total=%v",
+			run.Nodes, run.LPSolves, run.Propagations,
+			time.Duration(run.SearchNs).Round(time.Microsecond),
+			time.Duration(run.WitnessNs).Round(time.Microsecond),
+			time.Duration(run.TotalNs).Round(time.Microsecond))
+		if run.Canceled {
+			fmt.Fprint(w, " canceled")
+		}
+		if run.Err != "" {
+			fmt.Fprintf(w, " err=%q", run.Err)
+		}
+		fmt.Fprintln(w)
+		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "    comp\tfingerprint\tvars\tcons\tnodes\tlp\tsolve\tlp_time\tshare")
+		for _, c := range run.Components {
+			share := "-"
+			if run.SearchNs > 0 {
+				share = fmt.Sprintf("%.1f%%", 100*float64(c.SolveNs)/float64(run.SearchNs))
+			}
+			fmt.Fprintf(tw, "    %d\t%s\t%d\t%d\t%d\t%d\t%v\t%v\t%s\n",
+				c.Index, c.Fingerprint, c.Vars, c.Cons, c.Nodes, c.LPSolves,
+				time.Duration(c.SolveNs).Round(time.Microsecond),
+				time.Duration(c.LPNs).Round(time.Microsecond), share)
+		}
+		tw.Flush()
+	}
 }
 
 // runSupervised answers the query through the anytime supervisor and

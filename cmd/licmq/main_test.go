@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"licm/internal/dataset"
+	"licm/internal/explain"
 )
 
 var update = flag.Bool("update", false, "rewrite golden files")
@@ -162,5 +163,101 @@ func TestBadFlagsExitTwo(t *testing.T) {
 	}
 	if code, _, _ := runQ(t, "-in", filepath.Join(t.TempDir(), "nope.txt")); code != 2 {
 		t.Fatalf("missing file: exit = %d, want 2", code)
+	}
+}
+
+// TestExplainHuman: -explain prints the pruning funnel and a
+// per-component table whose fingerprints look canonical.
+func TestExplainHuman(t *testing.T) {
+	in := genInput(t)
+	code, out, errBuf := runQ(t, "-in", in, "-scheme", "k", "-k", "2", "-query", "q1", "-explain")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0; stderr:\n%s", code, errBuf)
+	}
+	if !strings.Contains(out, "explain: quality=exact") {
+		t.Fatalf("missing explain header:\n%s", out)
+	}
+	for _, want := range []string{"pruned", "presolve fixed", "fingerprint", "share", "  max:", "  min:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("explain output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestExplainJSON: -explain-json emits one valid licm-explain/1 line
+// whose run totals match the per-component sums, and works both to a
+// file and to stdout ("-").
+func TestExplainJSON(t *testing.T) {
+	in := genInput(t)
+	path := filepath.Join(t.TempDir(), "explain.jsonl")
+	code, _, errBuf := runQ(t, "-in", in, "-scheme", "k", "-k", "2", "-query", "q1",
+		"-explain-json", path)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0; stderr:\n%s", code, errBuf)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	reps, err := explain.ReadJSONL(f, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != 1 {
+		t.Fatalf("got %d reports, want 1", len(reps))
+	}
+	rep := reps[0]
+	if rep.Query != "Q1" || rep.Scheme != "k" || rep.K != 2 {
+		t.Errorf("report labels = %q/%q/%d", rep.Query, rep.Scheme, rep.K)
+	}
+	if len(rep.Runs) != 2 {
+		t.Fatalf("got %d runs, want 2", len(rep.Runs))
+	}
+	for _, run := range rep.Runs {
+		var nodes int64
+		for _, c := range run.Components {
+			nodes += c.Nodes
+		}
+		if nodes != run.Nodes {
+			t.Errorf("%s: component nodes sum %d != run total %d", run.Sense, nodes, run.Nodes)
+		}
+	}
+
+	// "-" routes the record to stdout after the human report.
+	code, out, errBuf := runQ(t, "-in", in, "-scheme", "k", "-k", "2", "-query", "q1",
+		"-explain-json", "-")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0; stderr:\n%s", code, errBuf)
+	}
+	if !strings.Contains(out, `"schema":"licm-explain/1"`) {
+		t.Fatalf("stdout does not carry the JSON record:\n%s", out)
+	}
+}
+
+// TestExplainSupervised: the explain report rides along a supervised
+// solve and carries the ladder's quality tag even on exit 3.
+func TestExplainSupervised(t *testing.T) {
+	in := genInput(t)
+	path := filepath.Join(t.TempDir(), "explain.jsonl")
+	code, _, errBuf := runQ(t, "-in", in, "-scheme", "bipartite", "-k", "3", "-query", "q1",
+		"-deadline", "2m", "-maxnodes", "20000", "-strict", "-explain-json", path)
+	if code != 3 {
+		t.Fatalf("exit = %d, want 3; stderr:\n%s", code, errBuf)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	reps, err := explain.ReadJSONL(f, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != 1 {
+		t.Fatalf("got %d reports, want 1", len(reps))
+	}
+	if q := reps[0].Quality; q != "proven-interval" {
+		t.Errorf("report quality = %q, want proven-interval", q)
 	}
 }

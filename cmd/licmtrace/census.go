@@ -1,0 +1,118 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+
+	"licm/internal/explain"
+)
+
+// cmdCensus aggregates licm-explain/1 records (licmq -explain-json,
+// licmexp -explain-json) into the workload-level component census:
+// distinct-vs-total fingerprint counts, the recurrence histogram, the
+// simulated component-cache hit rate, and the costliest fingerprints
+// by cumulative solve time — the empirical workload profile the
+// ROADMAP's component solve cache is sized from.
+func cmdCensus(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("licmtrace census", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	asJSON := fs.Bool("json", false, "print the census as JSON")
+	topK := fs.Int("top", 10, "keep this many fingerprints in the cost ranking (0 = all)")
+	cache := fs.Int("cache", 0, "also simulate an LRU component cache with this many entries")
+	strictMode := fs.Bool("strict", false, "schema guard: reject unknown fields, wrong schema tags and malformed reports (exit 1)")
+	logOpts := addLogFlags(fs)
+	if err := fs.Parse(args); err != nil || fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: licmtrace census [-json] [-top n] [-cache n] [-strict] <explain.jsonl>")
+		return 2
+	}
+	logger, ok := subLog(logOpts, stderr)
+	if !ok {
+		return 2
+	}
+	in, closeFn, err := open(fs.Arg(0), stdin)
+	if err != nil {
+		fmt.Fprintf(stderr, "licmtrace: %v\n", err)
+		return 2
+	}
+	data, err := io.ReadAll(in)
+	closeFn() //nolint:errcheck // read-only
+	if err != nil {
+		fmt.Fprintf(stderr, "licmtrace: %v\n", err)
+		return 2
+	}
+	// Unreadable JSON is bad input (2); a record that parses but
+	// violates the licm-explain/1 contract is a schema breach (1)
+	// under -strict, mirroring promcheck's invalid-exposition exit.
+	reps, err := explain.ReadJSONL(bytes.NewReader(data), false)
+	if err != nil {
+		fmt.Fprintf(stderr, "licmtrace: %v\n", err)
+		return 2
+	}
+	if *strictMode {
+		if _, err := explain.ReadJSONL(bytes.NewReader(data), true); err != nil {
+			fmt.Fprintf(stderr, "licmtrace: schema breach: %v\n", err)
+			return 1
+		}
+	}
+	logger.Debug("explain records loaded", "path", fs.Arg(0), "reports", len(reps))
+
+	census := explain.NewCensus()
+	for i := range reps {
+		census.Observe(&reps[i])
+	}
+	s := census.Summarize(*topK)
+	type lruJSON struct {
+		Capacity int     `json:"capacity"`
+		Hits     int64   `json:"hits"`
+		HitRate  float64 `json:"hit_rate"`
+	}
+	var lru *lruJSON
+	if *cache > 0 {
+		hits, rate := census.SimulateLRU(*cache)
+		lru = &lruJSON{Capacity: *cache, Hits: hits, HitRate: rate}
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(struct {
+			explain.Summary
+			LRU *lruJSON `json:"lru,omitempty"`
+		}{s, lru}); err != nil {
+			fmt.Fprintf(stderr, "licmtrace: %v\n", err)
+			return 2
+		}
+		return 0
+	}
+
+	fmt.Fprintf(stdout, "census: %d queries, %d runs, %d components, %d distinct fingerprints\n",
+		s.Queries, s.Runs, s.Components, s.Distinct)
+	fmt.Fprintf(stdout, "simulated cache hit rate: %.1f%% (unbounded: every recurrence hits)\n", 100*s.HitRate)
+	if lru != nil {
+		fmt.Fprintf(stdout, "simulated LRU(%d) hit rate: %.1f%% (%d/%d hits)\n",
+			lru.Capacity, 100*lru.HitRate, lru.Hits, s.Components)
+	}
+	fmt.Fprintf(stdout, "total component solve time: %s\n", dur(s.TotalSolveNs))
+	if len(s.Recurrence) > 0 {
+		fmt.Fprintf(stdout, "recurrence:")
+		for _, b := range s.Recurrence {
+			fmt.Fprintf(stdout, " %dx:%d", b.Times, b.Fingerprints)
+		}
+		fmt.Fprintln(stdout, "  (occurrences : distinct fingerprints)")
+	}
+	if len(s.Top) > 0 {
+		fmt.Fprintf(stdout, "\n%-18s %6s %5s %5s %10s %12s %7s\n", "FINGERPRINT", "COUNT", "VARS", "CONS", "NODES", "SOLVE", "SHARE")
+		for _, f := range s.Top {
+			share := 0.0
+			if s.TotalSolveNs > 0 {
+				share = float64(f.SolveNs) / float64(s.TotalSolveNs)
+			}
+			fmt.Fprintf(stdout, "%-18s %6d %5d %5d %10d %12s %6.1f%%\n",
+				f.Fingerprint, f.Count, f.Vars, f.Cons, f.Nodes, dur(f.SolveNs), 100*share)
+		}
+	}
+	return 0
+}

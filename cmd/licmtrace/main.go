@@ -10,6 +10,7 @@
 //	licmtrace diff old.jsonl new.jsonl      # phase-by-phase regression check
 //	licmtrace cat -name solver trace.jsonl  # filter/pretty-print events
 //	licmtrace bench-diff old.json new.json  # compare BENCH_<label>.json snapshots
+//	licmtrace census explain.jsonl          # component recurrence census over explain records
 //	curl -s :6060/metrics | licmtrace promcheck -  # validate a /metrics scrape
 //
 // Exit status follows licmvet/go vet: 0 when clean, 1 when diff,
@@ -52,6 +53,9 @@ commands:
   bench-diff [-json] [-tol f] [-tol-nodes f] [-min-time-ns n] [-prune-drop f] <old.json> <new.json>
                                              compare benchmark snapshots; exit 1 on breach
   promcheck [-json] <metrics.txt>            validate a Prometheus /metrics scrape; exit 1 if invalid
+  census [-json] [-top n] [-cache n] [-strict] <explain.jsonl>
+                                             component recurrence census over licm-explain/1 records;
+                                             -strict exits 1 on schema drift
 
 "-" reads the input from stdin. Exit codes: 0 clean, 1 threshold breached or
 exposition invalid, 2 bad input. All subcommands take -log-level and -log-format.
@@ -77,6 +81,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		return cmdBenchDiff(rest, stdin, stdout, stderr)
 	case "promcheck":
 		return cmdPromCheck(rest, stdin, stdout, stderr)
+	case "census":
+		return cmdCensus(rest, stdin, stdout, stderr)
 	case "-h", "-help", "--help", "help":
 		usage(stderr)
 		return 0

@@ -173,3 +173,55 @@ func TestHelpExitsClean(t *testing.T) {
 		t.Errorf("help text missing commands:\n%s", stderr.String())
 	}
 }
+
+// The census fixture is hand-checked: 3 queries, 5 runs, 12 component
+// occurrences over 4 distinct fingerprints (A 5x, B 3x, C 3x, D 1x),
+// so the unbounded simulated hit rate is 8/12 = 66.7% and an LRU of
+// capacity 2 over the access sequence A,B,A,B,A,C,A,C,A,B,C,D scores
+// 6/12 = 50.0%.
+func TestCensusGolden(t *testing.T) {
+	runCase(t, []string{"census", "testdata/explain_fixture.jsonl"}, 0, "census.golden")
+}
+
+func TestCensusJSONGolden(t *testing.T) {
+	runCase(t, []string{"census", "-json", "-top", "3", "-cache", "2", "testdata/explain_fixture.jsonl"}, 0, "census_json.golden")
+}
+
+func TestCensusLRUGolden(t *testing.T) {
+	runCase(t, []string{"census", "-cache", "2", "testdata/explain_fixture.jsonl"}, 0, "census_lru.golden")
+}
+
+// TestCensusStrictSchemaDrift: the drift fixture carries an unknown
+// field; -strict must flag it as a schema breach (exit 1) while the
+// default lax mode tolerates it.
+func TestCensusStrictSchemaDrift(t *testing.T) {
+	runCase(t, []string{"census", "-strict", "testdata/explain_drift.jsonl"}, 1, "")
+	runCase(t, []string{"census", "testdata/explain_drift.jsonl"}, 0, "")
+}
+
+// TestCensusBadInput: unreadable or unparsable input is exit 2,
+// distinct from the schema breach (1).
+func TestCensusBadInput(t *testing.T) {
+	runCase(t, []string{"census", "testdata/nope.jsonl"}, 2, "")
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"census", "-"}, strings.NewReader("{broken\n"), &stdout, &stderr); code != 2 {
+		t.Fatalf("malformed stdin: exit %d, want 2\nstderr: %s", code, stderr.String())
+	}
+}
+
+// TestCensusStrictAcceptsLiveOutput closes the producer/consumer
+// loop: a census over a record the explain package itself wrote must
+// pass -strict.
+func TestCensusStrictAcceptsLiveOutput(t *testing.T) {
+	data, err := os.ReadFile("testdata/explain_fixture.jsonl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"census", "-strict", "-"}, bytes.NewReader(data), &stdout, &stderr); code != 0 {
+		t.Fatalf("strict census over fixture: exit %d\nstderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "4 distinct fingerprints") {
+		t.Errorf("census output missing distinct count:\n%s", stdout.String())
+	}
+}

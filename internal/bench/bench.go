@@ -24,6 +24,7 @@ import (
 	"licm/internal/core"
 	"licm/internal/dataset"
 	"licm/internal/encode"
+	"licm/internal/explain"
 	"licm/internal/hierarchy"
 	"licm/internal/mc"
 	"licm/internal/obs"
@@ -88,6 +89,12 @@ type Config struct {
 	// whose quality lands below "exact", making degradation visible to
 	// log pipelines during long sweeps.
 	Log *slog.Logger
+	// Explain attaches the full licm-explain/1 report to every cell
+	// (Cell.Explain): per-run component matrices, fingerprints and
+	// search attribution. Component count and max component size are
+	// recorded on every cell regardless (the recorder itself is always
+	// attached — its overhead is a few small allocations per solve).
+	Explain bool
 }
 
 // DefaultConfig returns a laptop-scale configuration.
@@ -247,7 +254,11 @@ type Cell struct {
 	Nodes        int64
 	LPSolves     int64
 	Propagations int64
+	// Components and MaxCompVars come from the explain recorder, which
+	// registers the decomposition before any search work — so they are
+	// populated even when the cell degrades to "interval" or "failed".
 	Components   int
+	MaxCompVars  int
 	PruneTime    time.Duration
 	PresolveTime time.Duration
 	SearchTime   time.Duration
@@ -257,6 +268,9 @@ type Cell struct {
 	// MCAcceptance is the MC run's rejection-sampling acceptance rate
 	// (1 when the encoding needs no rejection).
 	MCAcceptance float64
+
+	// Explain is the cell's licm-explain/1 report (Config.Explain).
+	Explain *explain.Report
 }
 
 // RunCell executes one experiment cell end to end.
@@ -288,6 +302,11 @@ func (cfg Config) RunCell(scheme Scheme, q queries.Query, k int) (Cell, error) {
 	if opts.Metrics == nil {
 		opts.Metrics = cfg.Metrics
 	}
+	// Always record: the component census (count, max size) must
+	// survive cells that degrade to "interval" or "failed", and the
+	// recorder's cost is negligible next to the solve.
+	rec := &solver.ExplainRecorder{}
+	opts.Explain = rec
 	if cfg.SolveDeadline > 0 {
 		limit := time.Now().Add(cfg.SolveDeadline)
 		prev := opts.Cancel
@@ -323,13 +342,20 @@ func (cfg Config) RunCell(scheme Scheme, q queries.Query, k int) (Cell, error) {
 		cell.Nodes = res.Stats.Nodes
 		cell.LPSolves = res.Stats.LPSolves
 		cell.Propagations = res.Stats.Propagations
-		cell.Components = res.Stats.Components
 		cell.PruneTime = res.Stats.PruneTime
 		cell.PresolveTime = res.Stats.PresolveTime
 		cell.SearchTime = res.Stats.SearchTime
 		if cell.VarsQuery > 0 {
 			cell.PruneRatio = 1 - float64(cell.VarsPruned)/float64(cell.VarsQuery)
 		}
+	}
+	cell.Components, cell.MaxCompVars = explain.ComponentSummary(rec)
+	if cfg.Explain {
+		rep := explain.Build(cell.Query, rec)
+		rep.Scheme = string(scheme)
+		rep.K = k
+		rep.Quality = cell.Quality
+		cell.Explain = rep
 	}
 
 	start = time.Now()

@@ -3,6 +3,8 @@ package bench
 import (
 	"encoding/json"
 	"io"
+
+	"licm/internal/explain"
 )
 
 // cellJSON is the stable machine-readable shape of a Cell. Durations
@@ -39,15 +41,23 @@ type cellJSON struct {
 	VarsPruned int `json:"vars_pruned"`
 	ConsPruned int `json:"cons_pruned"`
 
-	Nodes        int64   `json:"nodes"`
-	LPSolves     int64   `json:"lp_solves"`
-	Propagations int64   `json:"propagations"`
+	Nodes        int64 `json:"nodes"`
+	LPSolves     int64 `json:"lp_solves"`
+	Propagations int64 `json:"propagations"`
+	// Components and MaxCompVars are populated on every cell —
+	// including "interval" and "failed" ones — because the explain
+	// recorder registers the decomposition before any search work.
 	Components   int     `json:"components"`
+	MaxCompVars  int     `json:"max_comp_vars"`
 	PruneTimeNs  int64   `json:"prune_time_ns"`
 	PresolveNs   int64   `json:"presolve_time_ns"`
 	SearchNs     int64   `json:"search_time_ns"`
 	PruneRatio   float64 `json:"prune_ratio"`
 	MCAcceptance float64 `json:"mc_acceptance"`
+
+	// Explain carries the cell's licm-explain/1 report when the run
+	// was configured with Explain (licmexp -explain-json).
+	Explain *explain.Report `json:"explain,omitempty"`
 }
 
 func toCellJSON(c Cell) cellJSON {
@@ -78,6 +88,8 @@ func toCellJSON(c Cell) cellJSON {
 		LPSolves:     c.LPSolves,
 		Propagations: c.Propagations,
 		Components:   c.Components,
+		MaxCompVars:  c.MaxCompVars,
+		Explain:      c.Explain,
 		PruneTimeNs:  c.PruneTime.Nanoseconds(),
 		PresolveNs:   c.PresolveTime.Nanoseconds(),
 		SearchNs:     c.SearchTime.Nanoseconds(),

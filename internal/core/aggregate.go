@@ -101,6 +101,8 @@ func Bounds(db *DB, objective expr.Lin, opts solver.Options) (BoundsResult, erro
 		obs.I64("max", max.Value),
 		obs.Bool("min_proven", min.Proven),
 		obs.Bool("max_proven", max.Proven),
+		obs.Int("components", max.Stats.Components),
+		obs.Int("vars_pruned", max.Stats.VarsAfterPrune),
 		obs.I64("alloc_bytes", min.Stats.AllocBytes+max.Stats.AllocBytes),
 		obs.I64("peak_heap", maxI64(min.Stats.PeakHeap, max.Stats.PeakHeap)),
 	)

@@ -1,0 +1,175 @@
+package explain
+
+import (
+	"math"
+	"testing"
+
+	"licm/internal/obs"
+)
+
+const (
+	fpA = "1111111111111111"
+	fpB = "2222222222222222"
+	fpC = "3333333333333333"
+	fpD = "4444444444444444"
+)
+
+// nsFor gives each fixture fingerprint a fixed per-occurrence cost so
+// the totals are hand-checkable.
+func nsFor(fp string) int64 {
+	switch fp {
+	case fpA:
+		return 100_000
+	case fpB:
+		return 200_000
+	case fpC:
+		return 50_000
+	default:
+		return 1_000_000
+	}
+}
+
+func fixtureRun(sense string, fps ...string) Run {
+	run := Run{Sense: sense, Proven: true}
+	for i, fp := range fps {
+		run.Components = append(run.Components, Component{
+			Index:       i,
+			Fingerprint: fp,
+			Vars:        3,
+			Cons:        2,
+			Solved:      true,
+			Nodes:       10,
+			LPSolves:    2,
+			SolveNs:     nsFor(fp),
+			LPNs:        nsFor(fp) / 4,
+			Feasible:    true,
+			Proven:      true,
+		})
+	}
+	return run
+}
+
+// fixtureReports is the hand-checked census workload: 12 component
+// occurrences over 4 distinct fingerprints.
+//
+//	q1: max+min runs, components [A, B]
+//	q2: max+min runs, components [A, C]
+//	q3: one max run,  components [A, B, C, D]
+//
+// So A occurs 5x, B 3x, C 3x, D 1x; unbounded hit rate 8/12; LRU
+// capacity 2 over the access sequence A,B,A,B,A,C,A,C,A,B,C,D scores
+// 6 hits (50%).
+func fixtureReports() []*Report {
+	return []*Report{
+		{Schema: Schema, Query: "q1", Quality: "exact", Runs: []Run{
+			fixtureRun("max", fpA, fpB), fixtureRun("min", fpA, fpB)}},
+		{Schema: Schema, Query: "q2", Quality: "exact", Runs: []Run{
+			fixtureRun("max", fpA, fpC), fixtureRun("min", fpA, fpC)}},
+		{Schema: Schema, Query: "q3", Quality: "exact", Runs: []Run{
+			fixtureRun("max", fpA, fpB, fpC, fpD)}},
+	}
+}
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestCensusSummaryHandChecked(t *testing.T) {
+	c := NewCensus()
+	for _, rep := range fixtureReports() {
+		c.Observe(rep)
+	}
+	s := c.Summarize(3)
+	if s.Queries != 3 || s.Runs != 5 {
+		t.Errorf("queries=%d runs=%d, want 3 and 5", s.Queries, s.Runs)
+	}
+	if s.Components != 12 || s.Distinct != 4 {
+		t.Errorf("components=%d distinct=%d, want 12 and 4", s.Components, s.Distinct)
+	}
+	if !almost(s.HitRate, 8.0/12.0) {
+		t.Errorf("hit rate = %v, want 8/12", s.HitRate)
+	}
+	// Per-occurrence costs: A 5×100µs, B 3×200µs, C 3×50µs, D 1×1ms.
+	if want := int64(500_000 + 600_000 + 150_000 + 1_000_000); s.TotalSolveNs != want {
+		t.Errorf("total solve ns = %d, want %d", s.TotalSolveNs, want)
+	}
+	wantRec := []RecurrenceBucket{{Times: 1, Fingerprints: 1}, {Times: 3, Fingerprints: 2}, {Times: 5, Fingerprints: 1}}
+	if len(s.Recurrence) != len(wantRec) {
+		t.Fatalf("recurrence = %+v, want %+v", s.Recurrence, wantRec)
+	}
+	for i, b := range wantRec {
+		if s.Recurrence[i] != b {
+			t.Errorf("recurrence[%d] = %+v, want %+v", i, s.Recurrence[i], b)
+		}
+	}
+	// Top-3 by cumulative solve time: D (1ms), B (600µs), A (500µs).
+	if len(s.Top) != 3 {
+		t.Fatalf("top = %+v, want 3 entries", s.Top)
+	}
+	for i, want := range []struct {
+		fp string
+		ns int64
+		n  int64
+	}{{fpD, 1_000_000, 1}, {fpB, 600_000, 3}, {fpA, 500_000, 5}} {
+		got := s.Top[i]
+		if got.Fingerprint != want.fp || got.SolveNs != want.ns || got.Count != want.n {
+			t.Errorf("top[%d] = %+v, want fp=%s ns=%d count=%d", i, got, want.fp, want.ns, want.n)
+		}
+	}
+}
+
+func TestCensusSimulateLRU(t *testing.T) {
+	c := NewCensus()
+	for _, rep := range fixtureReports() {
+		c.Observe(rep)
+	}
+	if hits, rate := c.SimulateLRU(0); hits != 8 || !almost(rate, 8.0/12.0) {
+		t.Errorf("unbounded: hits=%d rate=%v, want 8 and 8/12", hits, rate)
+	}
+	// Capacity 2 over A,B,A,B,A,C,A,C,A,B,C,D: hits at positions
+	// 3,4,5 (A,B,A), then C evicts B; 7,8,9 (A,C,A) hit; B evicts C,
+	// C evicts A, D evicts B — 6 hits.
+	if hits, rate := c.SimulateLRU(2); hits != 6 || !almost(rate, 0.5) {
+		t.Errorf("capacity 2: hits=%d rate=%v, want 6 and 0.5", hits, rate)
+	}
+	// Capacity 1: only immediate repeats hit; the sequence has none.
+	if hits, _ := c.SimulateLRU(1); hits != 0 {
+		t.Errorf("capacity 1: hits=%d, want 0", hits)
+	}
+	// Capacity >= distinct behaves like unbounded.
+	if hits, _ := c.SimulateLRU(4); hits != 8 {
+		t.Errorf("capacity 4: hits=%d, want 8", hits)
+	}
+}
+
+func TestCensusMetricsWiring(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := NewCensus()
+	c.SetMetrics(reg)
+	for _, rep := range fixtureReports() {
+		c.Observe(rep)
+	}
+	if got := reg.Counter("explain.components").Value(); got != 12 {
+		t.Errorf("explain.components = %d, want 12", got)
+	}
+	if got := reg.Gauge("explain.distinct_fingerprints").Value(); got != 4 {
+		t.Errorf("explain.distinct_fingerprints = %d, want 4", got)
+	}
+	// The Prometheus names the dashboard and scrapers see (counters
+	// gain the _total suffix at render time).
+	if got := obs.PromName("explain.components") + "_total"; got != "licm_explain_components_total" {
+		t.Errorf("counter prom name = %q", got)
+	}
+	if got := obs.PromName("explain.distinct_fingerprints"); got != "licm_explain_distinct_fingerprints" {
+		t.Errorf("gauge prom name = %q", got)
+	}
+}
+
+func TestCensusEmpty(t *testing.T) {
+	c := NewCensus()
+	s := c.Summarize(5)
+	if s.Components != 0 || s.Distinct != 0 || s.HitRate != 0 {
+		t.Errorf("empty census summary = %+v", s)
+	}
+	if hits, rate := c.SimulateLRU(2); hits != 0 || rate != 0 {
+		t.Errorf("empty census LRU = %d, %v", hits, rate)
+	}
+}

@@ -1,0 +1,245 @@
+package explain
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"licm/internal/expr"
+	"licm/internal/solver"
+)
+
+// con is a test shorthand for a projected constraint row.
+func con(op expr.Op, rhs int64, terms ...int64) solver.ExplainCon {
+	c := solver.ExplainCon{Op: op, RHS: rhs}
+	for i := 0; i+1 < len(terms); i += 2 {
+		c.Vars = append(c.Vars, int32(terms[i]))
+		c.Coef = append(c.Coef, terms[i+1])
+	}
+	return c
+}
+
+// permute renumbers variables by perm (perm[old] = new) and shuffles
+// constraint order and within-row term order — the full symmetry
+// group the fingerprint must be invariant under.
+func permute(nVars int, obj []int64, cons []solver.ExplainCon, perm []int, rng *rand.Rand) (int, []int64, []solver.ExplainCon) {
+	newObj := make([]int64, nVars)
+	for v := 0; v < nVars; v++ {
+		if v < len(obj) {
+			newObj[perm[v]] = obj[v]
+		}
+	}
+	newCons := make([]solver.ExplainCon, len(cons))
+	for i, c := range cons {
+		nc := solver.ExplainCon{Op: c.Op, RHS: c.RHS}
+		order := rng.Perm(len(c.Vars))
+		for _, k := range order {
+			nc.Vars = append(nc.Vars, int32(perm[c.Vars[k]]))
+			nc.Coef = append(nc.Coef, c.Coef[k])
+		}
+		newCons[i] = nc
+	}
+	rng.Shuffle(len(newCons), func(i, j int) { newCons[i], newCons[j] = newCons[j], newCons[i] })
+	return nVars, newObj, newCons
+}
+
+// TestFingerprintPermutationInvariance: renaming variables and
+// reordering constraints never changes the fingerprint.
+func TestFingerprintPermutationInvariance(t *testing.T) {
+	cases := []struct {
+		name  string
+		nVars int
+		obj   []int64
+		cons  []solver.ExplainCon
+	}{
+		{
+			name:  "cardinality pair",
+			nVars: 5,
+			obj:   []int64{1, 1, 1, 1, 1},
+			cons: []solver.ExplainCon{
+				con(expr.GE, 1, 0, 1, 1, 1, 2, 1, 3, 1, 4, 1),
+				con(expr.LE, 3, 0, 1, 1, 1, 2, 1, 3, 1, 4, 1),
+			},
+		},
+		{
+			name:  "weighted knapsack",
+			nVars: 6,
+			obj:   []int64{3, 1, 4, 1, 5, 9},
+			cons: []solver.ExplainCon{
+				con(expr.LE, 10, 0, 2, 1, 3, 2, 5, 3, 7, 4, 1, 5, 2),
+				con(expr.GE, 1, 0, 1, 2, 1, 4, 1),
+				con(expr.EQ, 2, 1, 1, 3, 1, 5, 1),
+			},
+		},
+		{
+			name:  "asymmetric coefficients",
+			nVars: 4,
+			obj:   []int64{1, 2, 3, 4},
+			cons: []solver.ExplainCon{
+				con(expr.LE, 5, 0, 1, 1, 2, 2, 3, 3, 4),
+				con(expr.GE, 2, 0, 1, 3, 1),
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			want := Fingerprint(tc.nVars, tc.obj, tc.cons)
+			if len(want) != 16 {
+				t.Fatalf("fingerprint %q, want 16 hex chars", want)
+			}
+			rng := rand.New(rand.NewSource(7))
+			for trial := 0; trial < 25; trial++ {
+				perm := rng.Perm(tc.nVars)
+				n, obj, cons := permute(tc.nVars, tc.obj, tc.cons, perm, rng)
+				if got := Fingerprint(n, obj, cons); got != want {
+					t.Fatalf("trial %d perm %v: fingerprint %q != %q", trial, perm, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestFingerprintDistinguishesStructure: structurally different
+// components get different fingerprints — including the cases a lazy
+// canonicalization would merge (changed RHS, changed op, changed
+// objective, one extra variable).
+func TestFingerprintDistinguishesStructure(t *testing.T) {
+	base := func() (int, []int64, []solver.ExplainCon) {
+		return 4, []int64{1, 1, 2, 2}, []solver.ExplainCon{
+			con(expr.LE, 2, 0, 1, 1, 1, 2, 1, 3, 1),
+			con(expr.GE, 1, 0, 1, 1, 1),
+		}
+	}
+	ref := Fingerprint(base())
+	mutants := map[string]func() (int, []int64, []solver.ExplainCon){
+		"rhs changed": func() (int, []int64, []solver.ExplainCon) {
+			n, o, c := base()
+			c[0].RHS = 3
+			return n, o, c
+		},
+		"op changed": func() (int, []int64, []solver.ExplainCon) {
+			n, o, c := base()
+			c[1].Op = expr.EQ
+			return n, o, c
+		},
+		"coef changed": func() (int, []int64, []solver.ExplainCon) {
+			n, o, c := base()
+			c[0].Coef[2] = 2
+			return n, o, c
+		},
+		"objective changed": func() (int, []int64, []solver.ExplainCon) {
+			n, o, c := base()
+			o[3] = 5
+			return n, o, c
+		},
+		"objective negated (min run)": func() (int, []int64, []solver.ExplainCon) {
+			n, o, c := base()
+			for i := range o {
+				o[i] = -o[i]
+			}
+			return n, o, c
+		},
+		"extra variable": func() (int, []int64, []solver.ExplainCon) {
+			_, o, c := base()
+			return 5, append(o, 1), c
+		},
+		"extra constraint": func() (int, []int64, []solver.ExplainCon) {
+			n, o, c := base()
+			return n, o, append(c, con(expr.LE, 1, 2, 1, 3, 1))
+		},
+	}
+	for name, mk := range mutants {
+		if got := Fingerprint(mk()); got == ref {
+			t.Errorf("%s: fingerprint collides with base (%s)", name, ref)
+		}
+	}
+}
+
+// TestFingerprintNoCollisionsOnCorpus generates a corpus of random
+// structurally-distinct components and checks no two share a
+// fingerprint, while a permuted copy of each always does.
+func TestFingerprintNoCollisionsOnCorpus(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	seen := map[string]string{}
+	for i := 0; i < 300; i++ {
+		nVars := 2 + rng.Intn(8)
+		obj := make([]int64, nVars)
+		for v := range obj {
+			obj[v] = int64(rng.Intn(7)) - 2
+		}
+		nCons := 1 + rng.Intn(4)
+		cons := make([]solver.ExplainCon, nCons)
+		for j := range cons {
+			c := solver.ExplainCon{Op: expr.Op(rng.Intn(3)), RHS: int64(rng.Intn(10))}
+			for v := 0; v < nVars; v++ {
+				if rng.Intn(2) == 0 {
+					c.Vars = append(c.Vars, int32(v))
+					c.Coef = append(c.Coef, int64(1+rng.Intn(5)))
+				}
+			}
+			if len(c.Vars) == 0 {
+				c.Vars = append(c.Vars, 0)
+				c.Coef = append(c.Coef, 1)
+			}
+			cons[j] = c
+		}
+		desc := fmt.Sprintf("case %d: vars=%d obj=%v cons=%+v", i, nVars, obj, cons)
+		fp := Fingerprint(nVars, obj, cons)
+		if prev, ok := seen[fp]; ok {
+			// Random corpora can contain genuinely isomorphic instances;
+			// only flag a collision between different canonical texts.
+			t.Logf("shared fingerprint %s:\n  %s\n  %s", fp, prev, desc)
+		}
+		seen[fp] = desc
+		perm := rng.Perm(nVars)
+		_, pObj, pCons := permute(nVars, obj, cons, perm, rng)
+		if got := Fingerprint(nVars, pObj, pCons); got != fp {
+			t.Fatalf("%s: permuted copy got %s, want %s", desc, got, fp)
+		}
+	}
+	if len(seen) < 290 {
+		t.Errorf("only %d distinct fingerprints over 300 random cases — collision rate too high", len(seen))
+	}
+}
+
+// FuzzFingerprint checks the two core properties on fuzzer-chosen
+// inputs: the fingerprint is deterministic, and invariant under a
+// derived permutation of variables and constraints.
+func FuzzFingerprint(f *testing.F) {
+	f.Add(int64(1), 5, 2)
+	f.Add(int64(99), 3, 1)
+	f.Add(int64(-7), 8, 4)
+	f.Fuzz(func(t *testing.T, seed int64, nVars, nCons int) {
+		if nVars < 1 || nVars > 24 || nCons < 0 || nCons > 12 {
+			t.Skip()
+		}
+		rng := rand.New(rand.NewSource(seed))
+		obj := make([]int64, nVars)
+		for v := range obj {
+			obj[v] = int64(rng.Intn(9)) - 4
+		}
+		cons := make([]solver.ExplainCon, nCons)
+		for j := range cons {
+			c := solver.ExplainCon{Op: expr.Op(rng.Intn(3)), RHS: int64(rng.Intn(20)) - 5}
+			for v := 0; v < nVars; v++ {
+				if rng.Intn(3) == 0 {
+					c.Vars = append(c.Vars, int32(v))
+					c.Coef = append(c.Coef, int64(rng.Intn(11))-5)
+				}
+			}
+			cons[j] = c
+		}
+		fp := Fingerprint(nVars, obj, cons)
+		if len(fp) != 16 {
+			t.Fatalf("fingerprint %q, want 16 hex chars", fp)
+		}
+		if again := Fingerprint(nVars, obj, cons); again != fp {
+			t.Fatalf("not deterministic: %s then %s", fp, again)
+		}
+		perm := rng.Perm(nVars)
+		_, pObj, pCons := permute(nVars, obj, cons, perm, rng)
+		if got := Fingerprint(nVars, pObj, pCons); got != fp {
+			t.Fatalf("permuted copy got %s, want %s (perm %v)", got, fp, perm)
+		}
+	})
+}

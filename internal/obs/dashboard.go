@@ -35,7 +35,8 @@ const dashboardHTML = `<!DOCTYPE html>
 <script>
 "use strict";
 var FEATURED = ["solver.nodes", "solver.lp_solves", "runtime.heap_bytes",
-  "mc.subset_accepted", "solver.incumbents", "runtime.goroutines"];
+  "mc.subset_accepted", "solver.incumbents", "runtime.goroutines",
+  "solver.components", "explain.components", "explain.distinct_fingerprints"];
 function fmt(v) {
   var a = Math.abs(v);
   if (a >= 1e9) return (v / 1e9).toFixed(2) + "G";

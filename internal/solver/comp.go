@@ -40,6 +40,7 @@ type comp struct {
 	budget   *int64 // shared node budget; nil means unlimited
 	nodes    int64
 	lpSolves int64
+	lpNs     int64 // wall time inside LP relaxation solves (explain/metrics only)
 
 	// Live instrumentation (nil ctrl = off, the fast path). flushed*
 	// remember what has already been pushed into the shared atomics so
@@ -135,6 +136,7 @@ type compResult struct {
 	assign   []int8
 	nodes    int64
 	lpSolves int64
+	lpNs     int64
 	props    int64
 }
 
@@ -278,6 +280,7 @@ func solveComp(ci, n int, cons []lcon, obj []int64, derived []bool, prop *propag
 		assign:   c.assign,
 		nodes:    c.nodes,
 		lpSolves: c.lpSolves,
+		lpNs:     c.lpNs,
 		props:    c.prop.nAssigns,
 	}
 	res.proven = !c.exhausted
@@ -639,9 +642,16 @@ func (c *comp) lpNode(pos int) {
 // returned objective includes the value of already-fixed variables.
 func (c *comp) solveRelaxation(fixedVal int64) (simplex.Solution, simplex.Status, []int32) {
 	c.lpSolves++
-	if c.ctrl.timingLatencies() {
+	timing := c.ctrl.timingLatencies()
+	if timing || c.opts.Explain != nil {
 		t0 := time.Now()
-		defer func() { c.ctrl.observeLP(time.Since(t0)) }()
+		defer func() {
+			d := time.Since(t0)
+			if timing {
+				c.ctrl.observeLP(d)
+			}
+			c.lpNs += d.Nanoseconds()
+		}()
 	}
 	col := make(map[int32]int, 16)
 	var cols []int32

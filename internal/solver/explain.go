@@ -1,0 +1,281 @@
+package solver
+
+import (
+	"sync"
+	"time"
+
+	"licm/internal/expr"
+)
+
+// ExplainRecorder collects per-solve forensics: the pruning effect,
+// the decomposed component list with each component's projected
+// constraint matrix, and per-component search attribution (nodes, LP
+// solves, wall time). Attach one via Options.Explain; a single
+// recorder may span several solves — a Bounds call appends a "max"
+// and a "min" run, and a supervised solve appends one run per retry.
+//
+// The recorder is the raw-data layer: it exports matrices and
+// counters and knows nothing about fingerprints or reports; package
+// internal/explain builds the licm-explain/1 report and the workload
+// census on top. All methods are safe for concurrent use (components
+// may run on worker goroutines).
+type ExplainRecorder struct {
+	mu   sync.Mutex
+	runs []ExplainRun
+}
+
+// ExplainRun is the record of one Maximize/Minimize call.
+type ExplainRun struct {
+	// Sense is "max" or "min" (the solver's label; Minimize negates
+	// the objective, so a min run's component objectives are negated).
+	Sense string
+	// Quality is the supervisor's degradation tag for the run
+	// ("exact", "proven-interval", "sampled", "failed"); empty for
+	// unsupervised solves. See ExplainRecorder.TagSense.
+	Quality string
+
+	// Pruning effect (the same figures as Stats).
+	VarsBefore      int
+	ConsBefore      int
+	VarsAfterPrune  int
+	ConsAfterPrune  int
+	FixedByPresolve int
+
+	// Components are the decomposed subproblems, registered before any
+	// search work — so they survive cancellation and budget exhaustion
+	// even though the run totals may then be lost.
+	Components []ExplainComp
+
+	// Work totals and phase durations, copied from Stats when the
+	// solve returns. On an error return the solver zeroes its Result,
+	// so Nodes/LPSolves/Propagations are reconstructed from the
+	// per-component records instead (presolve propagations included
+	// via FixedByPresolve).
+	Nodes        int64
+	LPSolves     int64
+	Propagations int64
+	PruneNs      int64
+	PresolveNs   int64
+	SearchNs     int64
+	WitnessNs    int64
+	TotalNs      int64
+	AllocBytes   int64
+	PeakHeap     int64
+
+	Canceled         bool
+	WitnessExhausted bool
+	Proven           bool
+	// Err is the terminal error text, empty on success.
+	Err string
+}
+
+// ExplainComp is one decomposed component: its projected constraint
+// matrix over local variable ids 0..Vars-1 (globally-fixed variables
+// folded into the right-hand sides, exactly as the component solver
+// sees it) plus the work the search spent on it.
+type ExplainComp struct {
+	// Index is the component's slot in the decomposition (the same
+	// index CompSnapshot and CompPanic use).
+	Index int
+	// Vars is the number of local variables.
+	Vars int
+	// Cons is the projected constraint matrix.
+	Cons []ExplainCon
+	// Obj holds the local objective coefficients (length Vars).
+	Obj []int64
+
+	// Search attribution, filled when the component's search returns;
+	// zero (with Solved false) when cancellation struck first.
+	Solved       bool
+	Nodes        int64
+	LPSolves     int64
+	Propagations int64
+	// SolveNs is the component's wall-clock solve time; LPNs the part
+	// spent inside LP relaxation solves.
+	SolveNs int64
+	LPNs    int64
+
+	Feasible bool
+	Proven   bool
+	Best     int64
+	Bound    int64
+}
+
+// ExplainCon is one projected constraint row in local variable ids.
+type ExplainCon struct {
+	Vars []int32
+	Coef []int64
+	Op   expr.Op
+	RHS  int64
+}
+
+// Runs returns a snapshot of the recorded runs.
+func (r *ExplainRecorder) Runs() []ExplainRun {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]ExplainRun, len(r.runs))
+	copy(out, r.runs)
+	for i := range out {
+		out[i].Components = append([]ExplainComp(nil), out[i].Components...)
+	}
+	return out
+}
+
+// Reset drops all recorded runs, so one recorder can be reused across
+// queries (e.g. per experiment cell).
+func (r *ExplainRecorder) Reset() {
+	r.mu.Lock()
+	r.runs = r.runs[:0]
+	r.mu.Unlock()
+}
+
+// TagSense stamps quality onto every recorded run with the given
+// sense ("max" or "min") — the hook internal/super uses to attach its
+// degradation-ladder verdict to the runs (including retries) of one
+// side.
+func (r *ExplainRecorder) TagSense(sense, quality string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	for i := range r.runs {
+		if r.runs[i].Sense == sense {
+			r.runs[i].Quality = quality
+		}
+	}
+	r.mu.Unlock()
+}
+
+// start opens a new run and returns its index.
+func (r *ExplainRecorder) start(sense string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.runs = append(r.runs, ExplainRun{Sense: sense})
+	return len(r.runs) - 1
+}
+
+// setPrune records the pruning/presolve figures as soon as they are
+// known, so they survive a later error return (which zeroes Stats).
+func (r *ExplainRecorder) setPrune(run int, st *Stats) {
+	r.mu.Lock()
+	rr := &r.runs[run]
+	rr.VarsBefore = st.VarsBefore
+	rr.ConsBefore = st.ConsBefore
+	rr.VarsAfterPrune = st.VarsAfterPrune
+	rr.ConsAfterPrune = st.ConsAfterPrune
+	rr.FixedByPresolve = st.FixedByPresolve
+	rr.PruneNs = st.PruneTime.Nanoseconds()
+	rr.PresolveNs = st.PresolveTime.Nanoseconds()
+	r.mu.Unlock()
+}
+
+// registerComponents installs the decomposed component list. Called
+// once per run, after decomposition and before any search work.
+func (r *ExplainRecorder) registerComponents(run int, comps []ExplainComp) {
+	r.mu.Lock()
+	r.runs[run].Components = comps
+	r.mu.Unlock()
+}
+
+// recordComp fills component ci's search attribution.
+func (r *ExplainRecorder) recordComp(run, ci int, cr compResult, solveNs int64) {
+	r.mu.Lock()
+	comps := r.runs[run].Components
+	if ci >= 0 && ci < len(comps) {
+		c := &comps[ci]
+		c.Solved = true
+		c.Nodes = cr.nodes
+		c.LPSolves = cr.lpSolves
+		c.Propagations = cr.props
+		c.SolveNs = solveNs
+		c.LPNs = cr.lpNs
+		c.Feasible = cr.feasible
+		c.Proven = cr.proven
+		c.Best = cr.best
+		c.Bound = cr.bound
+	}
+	r.mu.Unlock()
+}
+
+// finish closes the run with the solve's final Stats and error.
+func (r *ExplainRecorder) finish(run int, res *Result, err error) {
+	r.mu.Lock()
+	rr := &r.runs[run]
+	st := &res.Stats
+	rr.Nodes = st.Nodes
+	rr.LPSolves = st.LPSolves
+	rr.Propagations = st.Propagations
+	rr.SearchNs = st.SearchTime.Nanoseconds()
+	rr.WitnessNs = st.WitnessTime.Nanoseconds()
+	rr.TotalNs = st.TotalTime.Nanoseconds()
+	rr.AllocBytes = st.AllocBytes
+	rr.PeakHeap = st.PeakHeap
+	rr.Canceled = st.Canceled
+	rr.WitnessExhausted = st.WitnessExhausted
+	rr.Proven = err == nil && res.Proven
+	if err != nil {
+		rr.Err = err.Error()
+		// The error return zeroed Result.Stats; the per-component
+		// records are the best remaining account of the work done.
+		rr.Nodes, rr.LPSolves, rr.Propagations = 0, 0, int64(rr.FixedByPresolve)
+		for i := range rr.Components {
+			c := &rr.Components[i]
+			rr.Nodes += c.Nodes
+			rr.LPSolves += c.LPSolves
+			rr.Propagations += c.Propagations
+		}
+	}
+	r.mu.Unlock()
+}
+
+// buildExplainComps projects each component's constraints and
+// objective into local variable ids, folding globally-fixed variables
+// into the right-hand sides — the same projection solveOne performs,
+// captured here so the explain layer fingerprints exactly what the
+// component solver works on.
+func buildExplainComps(comps []component, lcons []lcon, objCoef map[expr.Var]int64, globalDom []int8) []ExplainComp {
+	out := make([]ExplainComp, len(comps))
+	for i, cm := range comps {
+		ec := ExplainComp{Index: i, Vars: len(cm.vars)}
+		local := make(map[expr.Var]int32, len(cm.vars))
+		for j, v := range cm.vars {
+			local[v] = int32(j)
+		}
+		ec.Cons = make([]ExplainCon, 0, len(cm.cons))
+		for _, ci := range cm.cons {
+			src := &lcons[ci]
+			con := ExplainCon{Op: src.op, RHS: src.rhs}
+			for k, v := range src.vars {
+				switch globalDom[v] {
+				case 1:
+					con.RHS -= src.coef[k]
+				case 0:
+					// contributes nothing
+				default:
+					con.Vars = append(con.Vars, local[expr.Var(v)])
+					con.Coef = append(con.Coef, src.coef[k])
+				}
+			}
+			ec.Cons = append(ec.Cons, con)
+		}
+		ec.Obj = make([]int64, len(cm.vars))
+		for j, v := range cm.vars {
+			ec.Obj[j] = objCoef[v]
+		}
+		out[i] = ec
+	}
+	return out
+}
+
+// explainTimer returns the start time for a component solve when a
+// recorder is attached (zero otherwise, keeping the unexplained path
+// clock-free).
+func explainTimer(rec *ExplainRecorder) time.Time {
+	if rec == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}

@@ -1,0 +1,204 @@
+package solver
+
+import (
+	"testing"
+)
+
+// TestExplainRecorderMatchesStats is the attribution contract: the
+// per-component records sum exactly to the solve's Stats counters, in
+// both sequential and parallel search.
+func TestExplainRecorderMatchesStats(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		p := hardProblem()
+		rec := &ExplainRecorder{}
+		opts := DefaultOptions()
+		opts.MaxNodes = 50_000
+		opts.Workers = workers
+		opts.Explain = rec
+		res, err := Maximize(p, opts)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		runs := rec.Runs()
+		if len(runs) != 1 {
+			t.Fatalf("workers=%d: recorded %d runs, want 1", workers, len(runs))
+		}
+		run := runs[0]
+		if run.Sense != "max" {
+			t.Errorf("workers=%d: sense = %q, want max", workers, run.Sense)
+		}
+		st := res.Stats
+		if run.VarsBefore != st.VarsBefore || run.VarsAfterPrune != st.VarsAfterPrune ||
+			run.ConsBefore != st.ConsBefore || run.ConsAfterPrune != st.ConsAfterPrune ||
+			run.FixedByPresolve != st.FixedByPresolve {
+			t.Errorf("workers=%d: prune figures %+v do not match stats %+v", workers, run, st)
+		}
+		if len(run.Components) != st.Components {
+			t.Errorf("workers=%d: recorded %d components, stats say %d", workers, len(run.Components), st.Components)
+		}
+		if run.Nodes != st.Nodes || run.LPSolves != st.LPSolves || run.Propagations != st.Propagations {
+			t.Errorf("workers=%d: run totals (%d,%d,%d) != stats (%d,%d,%d)",
+				workers, run.Nodes, run.LPSolves, run.Propagations, st.Nodes, st.LPSolves, st.Propagations)
+		}
+		var nodes, lps, props, solveNs int64
+		for _, c := range run.Components {
+			if !c.Solved {
+				t.Errorf("workers=%d: component %d not marked solved", workers, c.Index)
+			}
+			if c.Vars <= 0 || len(c.Cons) == 0 {
+				t.Errorf("workers=%d: component %d has empty matrix (vars=%d cons=%d)", workers, c.Index, c.Vars, len(c.Cons))
+			}
+			if len(c.Obj) != c.Vars {
+				t.Errorf("workers=%d: component %d objective length %d, vars %d", workers, c.Index, len(c.Obj), c.Vars)
+			}
+			if c.LPNs > c.SolveNs {
+				t.Errorf("workers=%d: component %d LP time %d exceeds solve time %d", workers, c.Index, c.LPNs, c.SolveNs)
+			}
+			nodes += c.Nodes
+			lps += c.LPSolves
+			props += c.Propagations
+			solveNs += c.SolveNs
+		}
+		if nodes != st.Nodes {
+			t.Errorf("workers=%d: component nodes sum %d != stats %d", workers, nodes, st.Nodes)
+		}
+		if lps != st.LPSolves {
+			t.Errorf("workers=%d: component lp_solves sum %d != stats %d", workers, lps, st.LPSolves)
+		}
+		if props != st.Propagations-int64(st.FixedByPresolve) {
+			t.Errorf("workers=%d: component propagations sum %d != stats %d - presolve %d",
+				workers, props, st.Propagations, st.FixedByPresolve)
+		}
+		if solveNs <= 0 {
+			t.Errorf("workers=%d: no component solve time recorded", workers)
+		}
+		if run.TotalNs <= 0 || run.SearchNs <= 0 {
+			t.Errorf("workers=%d: phase durations not recorded: total=%d search=%d", workers, run.TotalNs, run.SearchNs)
+		}
+		if !run.Proven {
+			t.Errorf("workers=%d: proven solve not marked proven in run", workers)
+		}
+	}
+}
+
+// TestExplainBoundsRecordsBothSenses: a Bounds call appends one run
+// per sense onto the same recorder, with the min run's component
+// objectives negated relative to the max run's.
+func TestExplainBoundsRecordsBothSenses(t *testing.T) {
+	p := hardProblem()
+	rec := &ExplainRecorder{}
+	opts := DefaultOptions()
+	opts.MaxNodes = 50_000
+	opts.Explain = rec
+	if _, _, err := Bounds(p, opts); err != nil {
+		t.Fatal(err)
+	}
+	runs := rec.Runs()
+	if len(runs) != 2 {
+		t.Fatalf("recorded %d runs, want 2", len(runs))
+	}
+	senses := map[string]ExplainRun{}
+	for _, r := range runs {
+		senses[r.Sense] = r
+	}
+	mx, okMax := senses["max"]
+	mn, okMin := senses["min"]
+	if !okMax || !okMin {
+		t.Fatalf("senses = %v, want max and min", []string{runs[0].Sense, runs[1].Sense})
+	}
+	if len(mx.Components) == 0 || len(mx.Components) != len(mn.Components) {
+		t.Fatalf("component counts: max %d, min %d", len(mx.Components), len(mn.Components))
+	}
+	// Minimize negates the objective; the recorded matrices show it.
+	neg := false
+	for i := range mx.Components {
+		for j := range mx.Components[i].Obj {
+			if mx.Components[i].Obj[j] != 0 && mn.Components[i].Obj[j] == -mx.Components[i].Obj[j] {
+				neg = true
+			}
+		}
+	}
+	if !neg {
+		t.Error("min run objective not negated relative to max run")
+	}
+}
+
+// TestExplainCanceledKeepsComponents: components register before any
+// search work, so a cancellation still leaves the decomposition (and
+// its sizes) in the record — the detail experiment cells need even
+// for failed solves.
+func TestExplainCanceledKeepsComponents(t *testing.T) {
+	p := hardProblem()
+	rec := &ExplainRecorder{}
+	opts := DefaultOptions()
+	opts.UseLP = false
+	opts.Explain = rec
+	opts.Cancel = func() bool { return true }
+	res, err := Maximize(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stats.Canceled {
+		t.Fatal("solve was not canceled")
+	}
+	runs := rec.Runs()
+	if len(runs) != 1 {
+		t.Fatalf("recorded %d runs, want 1", len(runs))
+	}
+	run := runs[0]
+	if !run.Canceled {
+		t.Error("run not marked canceled")
+	}
+	if len(run.Components) == 0 {
+		t.Fatal("canceled run lost its component list")
+	}
+	maxVars := 0
+	for _, c := range run.Components {
+		if c.Vars > maxVars {
+			maxVars = c.Vars
+		}
+	}
+	if maxVars <= 0 {
+		t.Errorf("component sizes missing: max vars = %d", maxVars)
+	}
+}
+
+// TestExplainRecorderIsNoop: attaching a recorder does not change the
+// search or its result.
+func TestExplainRecorderIsNoop(t *testing.T) {
+	opts := DefaultOptions()
+	opts.MaxNodes = 20_000
+	plain, err := Maximize(hardProblem(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Explain = &ExplainRecorder{}
+	traced, err := Maximize(hardProblem(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Value != traced.Value || plain.Bound != traced.Bound || plain.Proven != traced.Proven {
+		t.Errorf("recorder changed the result: %+v vs %+v", plain, traced)
+	}
+	if plain.Stats.Nodes != traced.Stats.Nodes || plain.Stats.LPSolves != traced.Stats.LPSolves {
+		t.Errorf("recorder changed the search: %+v vs %+v", plain.Stats, traced.Stats)
+	}
+}
+
+// TestExplainTagSenseAndReset covers the supervisor hook and reuse.
+func TestExplainTagSenseAndReset(t *testing.T) {
+	rec := &ExplainRecorder{}
+	i := rec.start("max")
+	rec.finish(i, &Result{}, nil)
+	i = rec.start("min")
+	rec.finish(i, &Result{}, nil)
+	rec.TagSense("max", "sampled")
+	runs := rec.Runs()
+	if runs[0].Quality != "sampled" || runs[1].Quality != "" {
+		t.Errorf("TagSense mis-stamped: %q / %q", runs[0].Quality, runs[1].Quality)
+	}
+	rec.Reset()
+	if len(rec.Runs()) != 0 {
+		t.Error("Reset left runs behind")
+	}
+}

@@ -159,6 +159,15 @@ type Options struct {
 	// Minimize the board holds negated-sense values (see
 	// SnapshotBoard).
 	Snapshots *SnapshotBoard
+	// Explain, if non-nil, records per-solve forensics: pruning
+	// effect, the decomposed component list with each component's
+	// projected constraint matrix, and per-component search
+	// attribution (nodes, LP solves, wall and LP time). One recorder
+	// may span several solves — a Bounds call records a "max" and a
+	// "min" run. Package internal/explain turns recordings into
+	// licm-explain/1 reports and workload censuses. nil disables
+	// recording at no cost.
+	Explain *ExplainRecorder
 }
 
 // DefaultOptions returns the recommended settings.

@@ -31,6 +31,14 @@ func solve(p *Problem, opts Options, minimized bool) (res Result, err error) {
 		obs.Str("sense", sense),
 		obs.Int("vars", p.NumVars),
 		obs.Int("cons", len(p.Constraints)))
+	rec := opts.Explain
+	runIdx := -1
+	if rec != nil {
+		runIdx = rec.start(sense)
+		// Registered first, so it runs after the stats defer below has
+		// filled TotalTime/Canceled/memory into res.Stats.
+		defer func() { rec.finish(runIdx, &res, err) }()
+	}
 	mp := startMemProbe(opts.Metrics != nil || tr.Enabled())
 	defer func() {
 		res.Stats.TotalTime = time.Since(start)
@@ -194,6 +202,12 @@ func solve(p *Problem, opts Options, minimized bool) (res Result, err error) {
 	comps := decompose(p.NumVars, kept, free, inObjective)
 	res.Stats.Components = len(comps)
 	sp.End(obs.Int("components", len(comps)))
+	if opts.Metrics != nil {
+		opts.Metrics.Gauge("solver.components").Set(int64(len(comps)))
+	}
+	if rec != nil {
+		rec.setPrune(runIdx, &res.Stats)
+	}
 
 	// Register the snapshot board before any search work, so an
 	// anytime interval is available from the first moment a fault can
@@ -248,7 +262,10 @@ func solve(p *Problem, opts Options, minimized bool) (res Result, err error) {
 	}
 	bound := total
 	if opts.Decompose || len(comps) <= 1 {
-		results := solveAll(comps, lcons, objCoef, prop.dom, p.Derived, opts, budget, kc)
+		if rec != nil {
+			rec.registerComponents(runIdx, buildExplainComps(comps, lcons, objCoef, prop.dom))
+		}
+		results := solveAll(comps, lcons, objCoef, prop.dom, p.Derived, opts, budget, kc, rec, runIdx)
 		for ci, cr := range results {
 			res.Stats.Nodes += cr.nodes
 			res.Stats.LPSolves += cr.lpSolves
@@ -276,7 +293,14 @@ func solve(p *Problem, opts Options, minimized bool) (res Result, err error) {
 		// Merge all components into a single solve (used by the
 		// decomposition ablation benchmark).
 		merged := mergeComponents(comps)
+		if rec != nil {
+			rec.registerComponents(runIdx, buildExplainComps([]component{merged}, lcons, objCoef, prop.dom))
+		}
+		t0 := explainTimer(rec)
 		cr := solveOneGuarded(0, merged, lcons, objCoef, prop.dom, p.Derived, opts, budget, kc)
+		if rec != nil {
+			rec.recordComp(runIdx, 0, cr, time.Since(t0).Nanoseconds())
+		}
 		res.Stats.Nodes += cr.nodes
 		res.Stats.LPSolves += cr.lpSolves
 		res.Stats.Propagations += cr.props
@@ -332,11 +356,15 @@ func solve(p *Problem, opts Options, minimized bool) (res Result, err error) {
 // components are abandoned, and the first panic is re-thrown (as a
 // *CompPanic) once every worker has stopped — so a dying component can
 // never strand the pool.
-func solveAll(comps []component, lcons []lcon, objCoef map[expr.Var]int64, globalDom []int8, derived []bool, opts Options, budget *int64, kc *ctrl) []compResult {
+func solveAll(comps []component, lcons []lcon, objCoef map[expr.Var]int64, globalDom []int8, derived []bool, opts Options, budget *int64, kc *ctrl, rec *ExplainRecorder, runIdx int) []compResult {
 	results := make([]compResult, len(comps))
 	if opts.Workers <= 1 || len(comps) <= 1 {
 		for ci, cm := range comps {
+			t0 := explainTimer(rec)
 			results[ci] = solveOneGuarded(ci, cm, lcons, objCoef, globalDom, derived, opts, budget, kc)
+			if rec != nil {
+				rec.recordComp(runIdx, ci, results[ci], time.Since(t0).Nanoseconds())
+			}
 		}
 		return results
 	}
@@ -388,7 +416,11 @@ func solveAll(comps []component, lcons []lcon, objCoef map[expr.Var]int64, globa
 					local := perComp
 					b = &local
 				}
+				t0 := explainTimer(rec)
 				results[ci] = solveOneGuarded(ci, comps[ci], lcons, objCoef, globalDom, derived, opts, b, kc)
+				if rec != nil {
+					rec.recordComp(runIdx, ci, results[ci], time.Since(t0).Nanoseconds())
+				}
 			}
 		}()
 	}

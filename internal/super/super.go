@@ -228,12 +228,24 @@ type run struct {
 	sampleElapsed time.Duration
 }
 
-// side runs the degradation ladder for one direction.
+// side runs the degradation ladder for one direction and, when an
+// explain recorder is attached, stamps the side's final quality onto
+// every run it recorded for this sense (retries included) — the
+// explain layer's only window into the ladder's verdict.
 func (s *run) side(maximize bool) Side {
 	name := "min"
 	if maximize {
 		name = "max"
 	}
+	sd := s.ladder(name, maximize)
+	if rec := s.cfg.Solver.Explain; rec != nil {
+		rec.TagSense(name, sd.Quality.String())
+	}
+	return sd
+}
+
+// ladder is the degradation ladder proper.
+func (s *run) ladder(name string, maximize bool) Side {
 	opts := s.cfg.Solver
 	userCancel := opts.Cancel
 	opts.Cancel = func() bool {
