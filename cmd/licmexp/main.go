@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"licm/internal/bench"
+	"licm/internal/cert"
 	"licm/internal/explain"
 	"licm/internal/obs"
 )
@@ -50,6 +51,7 @@ func main() {
 		jsonPath  = flag.String("json", "", "write the measured cells (figures 5/6/7) as JSON to this file")
 		snapLabel = flag.String("snapshot", "", "write a BENCH_<label>.json benchmark snapshot (cells + run metadata) for licmtrace bench-diff")
 		expPath   = flag.String("explain-json", "", "write every cell's licm-explain/1 record (JSONL) to this file and print a component census summary; feeds licmtrace census")
+		certPath  = flag.String("certify", "", "write every cell's licm-cert/1 optimality certificates (JSONL) to this file; check them with licmverify")
 	)
 	var logOpts obs.LogOptions
 	logOpts.RegisterFlags(flag.CommandLine)
@@ -99,6 +101,7 @@ func main() {
 	cfg.Metrics = metrics
 	cfg.Log = logger
 	cfg.Explain = *expPath != ""
+	cfg.Certify = *certPath != ""
 
 	runStart := time.Now()
 	var allCells []bench.Cell
@@ -181,6 +184,27 @@ func main() {
 		fmt.Printf("wrote %d explain records to %s\n", n, *expPath)
 		fmt.Printf("component census: %d components over %d queries, %d distinct fingerprints, simulated cache hit rate %.1f%%\n",
 			s.Components, s.Queries, s.Distinct, 100*s.HitRate)
+	}
+
+	if *certPath != "" {
+		f, err := os.Create(*certPath)
+		if err != nil {
+			fatal(err)
+		}
+		n := 0
+		for _, cell := range allCells {
+			for _, c := range cell.Certs {
+				if err := cert.WriteJSONL(f, c); err != nil {
+					f.Close()
+					fatal(err)
+				}
+				n++
+			}
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %d certificates to %s — verify with: licmverify %s\n", n, *certPath, *certPath)
 	}
 
 	if *snapLabel != "" {

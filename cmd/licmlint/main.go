@@ -1,5 +1,6 @@
 // Command licmlint runs the repository's custom static analyzers
-// (internal/analysis: floatcmp, obsnil, atomiccounter) over Go
+// (internal/analysis: floatcmp, obsnil, atomiccounter, ctxcancel)
+// over Go
 // packages, in the style of go vet / multichecker.
 //
 // Usage:
@@ -7,7 +8,8 @@
 //	licmlint [-only name,name] [-dir path] [patterns...]
 //
 // Patterns default to ./... . Exit status: 0 when the code is clean,
-// 1 when any analyzer reported a finding, 2 when loading or analysis
+// 1 when any analyzer reported a finding (cliexit convention), 2 when
+// loading or analysis
 // itself failed.
 package main
 
@@ -18,6 +20,7 @@ import (
 	"strings"
 
 	"licm/internal/analysis"
+	"licm/internal/cliexit"
 	"licm/internal/obs"
 )
 
@@ -41,18 +44,18 @@ func run(args []string) int {
 		}
 	}
 	if err := fs.Parse(args); err != nil {
-		return 2
+		return cliexit.Usage
 	}
 	logger, err := logOpts.NewLogger(os.Stderr)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "licmlint: %v\n", err)
-		return 2
+		return cliexit.Usage
 	}
 	if *list {
 		for _, a := range analysis.All() {
 			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
 		}
-		return 0
+		return cliexit.OK
 	}
 
 	analyzers := analysis.All()
@@ -66,7 +69,7 @@ func run(args []string) int {
 			a, ok := byName[strings.TrimSpace(name)]
 			if !ok {
 				fmt.Fprintf(os.Stderr, "licmlint: unknown analyzer %q\n", name)
-				return 2
+				return cliexit.Usage
 			}
 			analyzers = append(analyzers, a)
 		}
@@ -75,19 +78,19 @@ func run(args []string) int {
 	pkgs, err := analysis.Load(*dir, fs.Args()...)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "licmlint: %v\n", err)
-		return 2
+		return cliexit.Usage
 	}
 	logger.Debug("packages loaded", "packages", len(pkgs), "analyzers", len(analyzers))
 	diags, err := analysis.Run(pkgs, analyzers)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "licmlint: %v\n", err)
-		return 2
+		return cliexit.Usage
 	}
 	for _, d := range diags {
 		fmt.Println(d)
 	}
 	if len(diags) > 0 {
-		return 1
+		return cliexit.Findings
 	}
-	return 0
+	return cliexit.OK
 }

@@ -32,7 +32,8 @@
 // deadline with an explicit quality tag — exact, proven-interval,
 // sampled, or failed — instead of a hang or a bare error.
 //
-// Exit status: 0 on success, 1 on any error (including a store that
+// Exit status (internal/cliexit): 0 on success, 1 on any error
+// (including a store that
 // fails -check), 2 on unusable input or flags, and 3 when -strict is
 // set and the supervised result degraded below exact.
 package main
@@ -49,6 +50,8 @@ import (
 	"time"
 
 	"licm/internal/anon"
+	"licm/internal/cert"
+	"licm/internal/cliexit"
 	"licm/internal/core"
 	"licm/internal/dataset"
 	"licm/internal/encode"
@@ -95,24 +98,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 		explainFlag = fs.Bool("explain", false, "print a per-component solve breakdown (pruning effect, fingerprints, time shares)")
 		explainJSON = fs.String("explain-json", "", "write the licm-explain/1 report as one JSON line to this file (\"-\" = stdout)")
+		certifyOut  = fs.String("certify", "", "write licm-cert/1 optimality certificates as JSON lines to this file (\"-\" = stdout); check them with licmverify")
 	)
 	var logOpts obs.LogOptions
 	logOpts.RegisterFlags(fs)
 	if err := fs.Parse(args); err != nil {
-		return 2
+		return cliexit.Usage
 	}
 	fail := func(err error) int {
 		fmt.Fprintln(stderr, "licmq:", err)
-		return 1
+		return cliexit.Findings
 	}
 	if *in == "" {
 		fmt.Fprintln(stderr, "licmq: -in is required")
-		return 2
+		return cliexit.Usage
 	}
 	logger, err := logOpts.NewLogger(stderr)
 	if err != nil {
 		fmt.Fprintln(stderr, "licmq:", err)
-		return 2
+		return cliexit.Usage
 	}
 
 	tr, closeTrace, err := obs.Setup(*tracePath, *verbose, stderr)
@@ -131,13 +135,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	f, err := os.Open(*in)
 	if err != nil {
 		fmt.Fprintln(stderr, "licmq:", err)
-		return 2
+		return cliexit.Usage
 	}
 	d, err := dataset.Read(f)
 	f.Close()
 	if err != nil {
 		fmt.Fprintln(stderr, "licmq:", err)
-		return 2
+		return cliexit.Usage
 	}
 
 	start := time.Now()
@@ -160,7 +164,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		q = queries.PaperQ3(1000, *q3frac, *q3x)
 	default:
 		fmt.Fprintf(stderr, "licmq: unknown query %q\n", *query)
-		return 2
+		return cliexit.Usage
 	}
 
 	start = time.Now()
@@ -210,6 +214,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		rec = &solver.ExplainRecorder{}
 		opts.Explain = rec
 	}
+	var crec *solver.CertRecorder
+	if *certifyOut != "" {
+		crec = &solver.CertRecorder{}
+		opts.Certify = crec
+	}
 
 	exitCode := 0
 	if *deadline > 0 || *strict {
@@ -225,7 +234,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 				for _, d := range ce.Report.Diags {
 					fmt.Fprintln(stderr, "  "+d.String())
 				}
-				return 1
+				return cliexit.Findings
 			}
 			return fail(err)
 		}
@@ -297,6 +306,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 		}
 	}
+	if crec != nil {
+		certs, err := cert.Build(q.Name(), *scheme, *k, crec)
+		if err != nil {
+			return fail(err)
+		}
+		w := io.Writer(stdout)
+		if *certifyOut != "-" {
+			f, err := os.Create(*certifyOut)
+			if err != nil {
+				return fail(err)
+			}
+			defer f.Close()
+			w = f
+		}
+		for _, c := range certs {
+			if err := cert.WriteJSONL(w, c); err != nil {
+				return fail(err)
+			}
+		}
+	}
 	if exitCode != 0 {
 		return exitCode
 	}
@@ -309,7 +338,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "Monte-Carlo (%d worlds): observed range [%d, %d] in %v\n",
 			*mcRuns, r.Min, r.Max, time.Since(start))
 	}
-	return 0
+	return cliexit.OK
 }
 
 // printExplain renders the licm-explain/1 report for humans: the
@@ -408,9 +437,9 @@ func runSupervised(stdout io.Writer, enc *encode.Encoded, rel *core.Relation, q 
 	}
 	if strict && out.Quality != super.Exact {
 		fmt.Fprintf(stdout, "strict mode: result degraded below exact\n")
-		return 3
+		return cliexit.Degraded
 	}
-	return 0
+	return cliexit.OK
 }
 
 func buildEncoding(d *dataset.Dataset, scheme string, k, m, minSupp, fanout int) (*encode.Encoded, error) {

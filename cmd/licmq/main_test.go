@@ -8,6 +8,7 @@ import (
 	"strings"
 	"testing"
 
+	"licm/internal/cert"
 	"licm/internal/dataset"
 	"licm/internal/explain"
 )
@@ -259,5 +260,51 @@ func TestExplainSupervised(t *testing.T) {
 	}
 	if q := reps[0].Quality; q != "proven-interval" {
 		t.Errorf("report quality = %q, want proven-interval", q)
+	}
+}
+
+// TestCertifyFlag: -certify writes licm-cert/1 certificates that the
+// independent verifier accepts, with the query labels attached.
+func TestCertifyFlag(t *testing.T) {
+	in := genInput(t)
+	path := filepath.Join(t.TempDir(), "certs.jsonl")
+	code, _, errBuf := runQ(t, "-in", in, "-scheme", "k", "-k", "2", "-query", "q1",
+		"-certify", path)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0; stderr:\n%s", code, errBuf)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	certs, err := cert.ReadJSONL(f, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(certs) != 2 {
+		t.Fatalf("got %d certificates, want 2 (max and min)", len(certs))
+	}
+	for i, c := range certs {
+		if c.Query != "Q1" || c.Scheme != "k" || c.K != 2 {
+			t.Errorf("certificate %d labels = %q/%q/%d", i, c.Query, c.Scheme, c.K)
+		}
+		v, err := cert.Verify(c)
+		if err != nil {
+			t.Fatalf("certificate %d rejected: %v", i, err)
+		}
+		if len(v.Skipped) != 0 {
+			t.Errorf("certificate %d skipped components: %v", i, v.Skipped)
+		}
+	}
+
+	// "-" routes the certificates to stdout.
+	code, out, errBuf := runQ(t, "-in", in, "-scheme", "k", "-k", "2", "-query", "q1",
+		"-certify", "-")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0; stderr:\n%s", code, errBuf)
+	}
+	if !strings.Contains(out, `"schema":"licm-cert/1"`) {
+		t.Fatalf("stdout does not carry the certificates:\n%s", out)
 	}
 }

@@ -13,7 +13,8 @@
 //	licmtrace census explain.jsonl          # component recurrence census over explain records
 //	curl -s :6060/metrics | licmtrace promcheck -  # validate a /metrics scrape
 //
-// Exit status follows licmvet/go vet: 0 when clean, 1 when diff,
+// Exit status follows licmvet/go vet via internal/cliexit: 0 when
+// clean, 1 when diff,
 // bench-diff or promcheck finds a breach or invalid exposition, 2 when
 // an input cannot be read or parsed. Every subcommand takes -json for
 // machine-readable output, -log-level/-log-format for diagnostics, and
@@ -32,6 +33,7 @@ import (
 	"time"
 
 	"licm/internal/bench"
+	"licm/internal/cliexit"
 	"licm/internal/obs"
 	"licm/internal/tracean"
 )
@@ -65,7 +67,7 @@ exposition invalid, 2 bad input. All subcommands take -log-level and -log-format
 func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	if len(args) == 0 {
 		usage(stderr)
-		return 2
+		return cliexit.Usage
 	}
 	cmd, rest := args[0], args[1:]
 	switch cmd {
@@ -85,11 +87,11 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		return cmdCensus(rest, stdin, stdout, stderr)
 	case "-h", "-help", "--help", "help":
 		usage(stderr)
-		return 0
+		return cliexit.OK
 	default:
 		fmt.Fprintf(stderr, "licmtrace: unknown command %q\n", cmd)
 		usage(stderr)
-		return 2
+		return cliexit.Usage
 	}
 }
 
@@ -147,16 +149,16 @@ func cmdSummary(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	logOpts := addLogFlags(fs)
 	if err := fs.Parse(args); err != nil || fs.NArg() != 1 {
 		fmt.Fprintln(stderr, "usage: licmtrace summary [-json] <trace.jsonl>")
-		return 2
+		return cliexit.Usage
 	}
 	logger, ok := subLog(logOpts, stderr)
 	if !ok {
-		return 2
+		return cliexit.Usage
 	}
 	t, err := readTraceFile(fs.Arg(0), stdin)
 	if err != nil {
 		fmt.Fprintf(stderr, "licmtrace: %v\n", err)
-		return 2
+		return cliexit.Usage
 	}
 	logger.Debug("trace loaded", "path", fs.Arg(0), "events", len(t.Events), "spans", t.NumSpans())
 	rollups := t.Rollups()
@@ -175,9 +177,9 @@ func cmdSummary(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 			Histograms   []map[string]any   `json:"histograms,omitempty"`
 		}{t.Schema, len(t.Events), t.NumSpans(), t.WallNs, rollups, path, hists}); err != nil {
 			fmt.Fprintf(stderr, "licmtrace: %v\n", err)
-			return 2
+			return cliexit.Usage
 		}
-		return 0
+		return cliexit.OK
 	}
 	schema := t.Schema
 	if schema == "" {
@@ -203,7 +205,7 @@ func cmdSummary(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 				h["hist"], h["count"], dur(attrNs(h, "mean")), dur(attrNs(h, "p50")), dur(attrNs(h, "p99")))
 		}
 	}
-	return 0
+	return cliexit.OK
 }
 
 // histEvents extracts the last solver.hist event per histogram name
@@ -249,23 +251,23 @@ func cmdFlame(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	logOpts := addLogFlags(fs)
 	if err := fs.Parse(args); err != nil || fs.NArg() != 1 {
 		fmt.Fprintln(stderr, "usage: licmtrace flame <trace.jsonl>  (folded stacks on stdout)")
-		return 2
+		return cliexit.Usage
 	}
 	logger, ok := subLog(logOpts, stderr)
 	if !ok {
-		return 2
+		return cliexit.Usage
 	}
 	t, err := readTraceFile(fs.Arg(0), stdin)
 	if err != nil {
 		fmt.Fprintf(stderr, "licmtrace: %v\n", err)
-		return 2
+		return cliexit.Usage
 	}
 	logger.Debug("trace loaded", "path", fs.Arg(0), "events", len(t.Events), "spans", t.NumSpans())
 	if err := t.FoldedStacks(stdout); err != nil {
 		fmt.Fprintf(stderr, "licmtrace: %v\n", err)
-		return 2
+		return cliexit.Usage
 	}
-	return 0
+	return cliexit.OK
 }
 
 func cmdDiff(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
@@ -278,21 +280,21 @@ func cmdDiff(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	logOpts := addLogFlags(fs)
 	if err := fs.Parse(args); err != nil || fs.NArg() != 2 {
 		fmt.Fprintln(stderr, "usage: licmtrace diff [-json] [-threshold f] [-min-ns n] <old.jsonl> <new.jsonl>")
-		return 2
+		return cliexit.Usage
 	}
 	logger, ok := subLog(logOpts, stderr)
 	if !ok {
-		return 2
+		return cliexit.Usage
 	}
 	oldT, err := readTraceFile(fs.Arg(0), stdin)
 	if err != nil {
 		fmt.Fprintf(stderr, "licmtrace: %s: %v\n", fs.Arg(0), err)
-		return 2
+		return cliexit.Usage
 	}
 	newT, err := readTraceFile(fs.Arg(1), stdin)
 	if err != nil {
 		fmt.Fprintf(stderr, "licmtrace: %s: %v\n", fs.Arg(1), err)
-		return 2
+		return cliexit.Usage
 	}
 	logger.Debug("traces loaded", "old_events", len(oldT.Events), "new_events", len(newT.Events))
 	rep := tracean.Diff(oldT, newT, tracean.DiffOptions{Threshold: *threshold, MinNs: *minNs})
@@ -301,7 +303,7 @@ func cmdDiff(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(rep); err != nil {
 			fmt.Fprintf(stderr, "licmtrace: %v\n", err)
-			return 2
+			return cliexit.Usage
 		}
 	} else {
 		fmt.Fprintf(stdout, "%-24s %12s %12s %9s\n", "PHASE", "OLD SELF", "NEW SELF", "CHANGE")
@@ -320,9 +322,9 @@ func cmdDiff(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		}
 	}
 	if rep.Breached {
-		return 1
+		return cliexit.Findings
 	}
-	return 0
+	return cliexit.OK
 }
 
 func relStr(rel float64) string {
@@ -341,16 +343,16 @@ func cmdCat(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	logOpts := addLogFlags(fs)
 	if err := fs.Parse(args); err != nil || fs.NArg() != 1 {
 		fmt.Fprintln(stderr, "usage: licmtrace cat [-json] [-name substr] [-kind k] <trace.jsonl>")
-		return 2
+		return cliexit.Usage
 	}
 	logger, ok := subLog(logOpts, stderr)
 	if !ok {
-		return 2
+		return cliexit.Usage
 	}
 	in, closeFn, err := open(fs.Arg(0), stdin)
 	if err != nil {
 		fmt.Fprintf(stderr, "licmtrace: %v\n", err)
-		return 2
+		return cliexit.Usage
 	}
 	defer closeFn() //nolint:errcheck // read-only
 	rd := tracean.NewReader(in)
@@ -370,7 +372,7 @@ func cmdCat(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		}
 		if err != nil {
 			fmt.Fprintf(stderr, "licmtrace: %v\n", err)
-			return 2
+			return cliexit.Usage
 		}
 		total++
 		if *name != "" && !strings.Contains(e.Name, *name) {
@@ -386,10 +388,10 @@ func cmdCat(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	if jsonl != nil {
 		if err := jsonl.Err(); err != nil {
 			fmt.Fprintf(stderr, "licmtrace: %v\n", err)
-			return 2
+			return cliexit.Usage
 		}
 	}
-	return 0
+	return cliexit.OK
 }
 
 func cmdBenchDiff(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
@@ -404,11 +406,11 @@ func cmdBenchDiff(args []string, stdin io.Reader, stdout, stderr io.Writer) int 
 	logOpts := addLogFlags(fs)
 	if err := fs.Parse(args); err != nil || fs.NArg() != 2 {
 		fmt.Fprintln(stderr, "usage: licmtrace bench-diff [-json] [-tol f] [-tol-nodes f] [-min-time-ns n] [-prune-drop f] <old.json> <new.json>")
-		return 2
+		return cliexit.Usage
 	}
 	logger, ok := subLog(logOpts, stderr)
 	if !ok {
-		return 2
+		return cliexit.Usage
 	}
 	read := func(path string) (bench.Snapshot, error) {
 		r, closeFn, err := open(path, stdin)
@@ -421,12 +423,12 @@ func cmdBenchDiff(args []string, stdin io.Reader, stdout, stderr io.Writer) int 
 	oldS, err := read(fs.Arg(0))
 	if err != nil {
 		fmt.Fprintf(stderr, "licmtrace: %s: %v\n", fs.Arg(0), err)
-		return 2
+		return cliexit.Usage
 	}
 	newS, err := read(fs.Arg(1))
 	if err != nil {
 		fmt.Fprintf(stderr, "licmtrace: %s: %v\n", fs.Arg(1), err)
-		return 2
+		return cliexit.Usage
 	}
 	logger.Debug("snapshots loaded", "old_cells", len(oldS.Cells), "new_cells", len(newS.Cells))
 	d := bench.DiffSnapshots(oldS, newS, bench.SnapshotTol{
@@ -437,7 +439,7 @@ func cmdBenchDiff(args []string, stdin io.Reader, stdout, stderr io.Writer) int 
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(d); err != nil {
 			fmt.Fprintf(stderr, "licmtrace: %v\n", err)
-			return 2
+			return cliexit.Usage
 		}
 	} else {
 		fmt.Fprintf(stdout, "old: %s (%s, %s/%s)  new: %s (%s, %s/%s)\n",
@@ -467,9 +469,9 @@ func cmdBenchDiff(args []string, stdin io.Reader, stdout, stderr io.Writer) int 
 		}
 	}
 	if d.Breached {
-		return 1
+		return cliexit.Findings
 	}
-	return 0
+	return cliexit.OK
 }
 
 func cmdPromCheck(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
@@ -479,22 +481,22 @@ func cmdPromCheck(args []string, stdin io.Reader, stdout, stderr io.Writer) int 
 	logOpts := addLogFlags(fs)
 	if err := fs.Parse(args); err != nil || fs.NArg() != 1 {
 		fmt.Fprintln(stderr, "usage: licmtrace promcheck [-json] <metrics.txt>")
-		return 2
+		return cliexit.Usage
 	}
 	logger, ok := subLog(logOpts, stderr)
 	if !ok {
-		return 2
+		return cliexit.Usage
 	}
 	in, closeFn, err := open(fs.Arg(0), stdin)
 	if err != nil {
 		fmt.Fprintf(stderr, "licmtrace: %v\n", err)
-		return 2
+		return cliexit.Usage
 	}
 	defer closeFn() //nolint:errcheck // read-only
 	fams, err := obs.ParseProm(in)
 	if err != nil {
 		fmt.Fprintf(stderr, "licmtrace: %v\n", err)
-		return 2
+		return cliexit.Usage
 	}
 	samples := 0
 	for _, f := range fams {
@@ -516,7 +518,7 @@ func cmdPromCheck(args []string, stdin io.Reader, stdout, stderr io.Writer) int 
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(rep); err != nil {
 			fmt.Fprintf(stderr, "licmtrace: %v\n", err)
-			return 2
+			return cliexit.Usage
 		}
 	} else if vErr != nil {
 		fmt.Fprintf(stdout, "invalid exposition: %v\n", vErr)
@@ -524,7 +526,7 @@ func cmdPromCheck(args []string, stdin io.Reader, stdout, stderr io.Writer) int 
 		fmt.Fprintf(stdout, "ok: %d families, %d samples\n", len(fams), samples)
 	}
 	if vErr != nil {
-		return 1
+		return cliexit.Findings
 	}
-	return 0
+	return cliexit.OK
 }

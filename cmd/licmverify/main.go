@@ -1,0 +1,163 @@
+// Command licmverify is the independent certificate checker: it
+// replays licm-cert/1 optimality certificates (produced by
+// licmq -certify / licmexp -certify) in exact rational arithmetic and
+// accepts only certificates whose every claim checks out — witness
+// feasibility and value, branch-tree coverage of the full 0/1 space,
+// and a sound dual, integral-optimum, or Farkas justification at
+// every leaf. It shares no arithmetic with the solver's emitter, so
+// a solver bug and a verifier bug have to coincide before a wrong
+// optimum survives.
+//
+// Usage:
+//
+//	licmverify certs.jsonl [more.jsonl ...]
+//	licmq -in data.txt -query q1 -certify - | licmverify -
+//
+// Exit status (internal/cliexit): 0 when every certificate verifies,
+// 1 when any certificate is rejected (including malformed lines —
+// a record that cannot be read strictly is a rejected certificate),
+// 2 when an input file cannot be opened or the flags are unusable,
+// and 3 when -strict is set and any accepted certificate carries
+// skipped (unproven) components or a recorded solve error.
+//
+// -json emits one verdict object per certificate for tooling;
+// -mutate-check additionally corrupts each accepted certificate with
+// the deterministic internal/cert mutant suite and fails if the
+// verifier accepts any mutant — the self-test the CI cert gate runs
+// on live certificates.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"licm/internal/cert"
+	"licm/internal/cliexit"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("licmverify", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	strict := fs.Bool("strict", false, "exit 3 when an accepted certificate is degraded (skipped components or a recorded solve error)")
+	asJSON := fs.Bool("json", false, "print verdicts as JSON, one object per certificate")
+	mutate := fs.Bool("mutate-check", false, "also corrupt each accepted certificate and fail unless every mutant is rejected")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: licmverify [-strict] [-json] [-mutate-check] certs.jsonl ... (or - for stdin)\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return cliexit.Usage
+	}
+	paths := fs.Args()
+	if len(paths) == 0 {
+		fs.Usage()
+		return cliexit.Usage
+	}
+
+	exit := cliexit.OK
+	worsen := func(code int) {
+		// Rejections outrank degradation; degradation outranks clean.
+		if code == cliexit.Findings && exit != cliexit.Findings {
+			exit = code
+		}
+		if code == cliexit.Degraded && exit == cliexit.OK {
+			exit = code
+		}
+	}
+	for _, path := range paths {
+		certs, err := readOne(path, stdin)
+		if err != nil {
+			if os.IsNotExist(err) || os.IsPermission(err) {
+				fmt.Fprintf(stderr, "licmverify: %s: %v\n", path, err)
+				return cliexit.Usage
+			}
+			// A line that fails the strict read is a rejected record,
+			// not an unusable invocation.
+			fmt.Fprintf(stderr, "licmverify: %s: REJECTED: %v\n", path, err)
+			worsen(cliexit.Findings)
+			continue
+		}
+		for i, c := range certs {
+			v, err := cert.Verify(c)
+			if err != nil {
+				fmt.Fprintf(stderr, "licmverify: %s: certificate %d: REJECTED: %v\n", path, i, err)
+				worsen(cliexit.Findings)
+				continue
+			}
+			if *asJSON {
+				enc := json.NewEncoder(stdout)
+				if err := enc.Encode(struct {
+					Input string `json:"input"`
+					Index int    `json:"index"`
+					cert.Verdict
+				}{path, i, v}); err != nil {
+					fmt.Fprintf(stderr, "licmverify: %v\n", err)
+					return cliexit.Usage
+				}
+			} else {
+				label := v.Query
+				if label == "" {
+					label = "(unlabeled)"
+				}
+				fmt.Fprintf(stdout, "%s: %s %s: verified %d component(s), value %d%s\n",
+					path, label, v.Sense, v.Verified, v.Value, degradeNote(v))
+			}
+			if *strict && degraded(v) {
+				worsen(cliexit.Degraded)
+			}
+			if *mutate {
+				for _, m := range cert.Mutants(c) {
+					if err := m.Cert.Validate(); err != nil {
+						continue // rejected at the strict-read gate
+					}
+					if _, err := cert.Verify(m.Cert); err == nil {
+						fmt.Fprintf(stderr, "licmverify: %s: certificate %d: mutant %q ACCEPTED — verifier unsound\n", path, i, m.Name)
+						worsen(cliexit.Findings)
+					}
+				}
+			}
+		}
+	}
+	return exit
+}
+
+func degraded(v cert.Verdict) bool {
+	return len(v.Skipped) > 0 || !v.Proven || v.Err != ""
+}
+
+func degradeNote(v cert.Verdict) string {
+	switch {
+	case len(v.Skipped) > 0:
+		return fmt.Sprintf(" (%d component(s) skipped)", len(v.Skipped))
+	case v.Err != "":
+		return fmt.Sprintf(" (solve error: %s)", v.Err)
+	case !v.Proven:
+		return " (unproven)"
+	default:
+		return ""
+	}
+}
+
+// readOne reads the named certificate stream strictly, with "-"
+// meaning stdin.
+func readOne(path string, stdin io.Reader) ([]*cert.Certificate, error) {
+	var r io.Reader
+	if path == "-" {
+		r = stdin
+	} else {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	return cert.ReadJSONL(r, true)
+}

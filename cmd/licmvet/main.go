@@ -7,7 +7,8 @@
 //	licmvet store.lp [more.lp ...]
 //	licmq -in data.txt -query q1 -lp - | licmvet -
 //
-// Exit status mirrors go vet: 0 when every store is clean (or carries
+// Exit status mirrors go vet (the shared internal/cliexit
+// convention): 0 when every store is clean (or carries
 // only warnings), 1 when any store has an ERROR diagnostic — a proof
 // that the store is infeasible or malformed — and 2 when an input
 // cannot be read or parsed at all. -strict promotes warnings to the
@@ -23,6 +24,7 @@ import (
 	"os"
 
 	"licm/internal/check"
+	"licm/internal/cliexit"
 	"licm/internal/obs"
 	"licm/internal/solver"
 )
@@ -43,25 +45,25 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
-		return 2
+		return cliexit.Usage
 	}
 	logger, err := logOpts.NewLogger(stderr)
 	if err != nil {
 		fmt.Fprintf(stderr, "licmvet: %v\n", err)
-		return 2
+		return cliexit.Usage
 	}
 	paths := fs.Args()
 	if len(paths) == 0 {
 		fs.Usage()
-		return 2
+		return cliexit.Usage
 	}
 
-	exit := 0
+	exit := cliexit.OK
 	for _, path := range paths {
 		rep, err := vetOne(path, stdin)
 		if err != nil {
 			fmt.Fprintf(stderr, "licmvet: %s: %v\n", path, err)
-			exit = 2
+			exit = cliexit.Usage
 			continue
 		}
 		logger.Debug("store checked", "input", path, "diags", len(rep.Diags), "errors", rep.HasErrors())
@@ -73,15 +75,15 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 				Diags []check.Diagnostic `json:"diags"`
 			}{path, rep.Diags}); err != nil {
 				fmt.Fprintf(stderr, "licmvet: %v\n", err)
-				return 2
+				return cliexit.Usage
 			}
 		} else {
 			for _, d := range rep.Diags {
 				fmt.Fprintf(stdout, "%s: %s\n", path, d)
 			}
 		}
-		if exit == 0 && (rep.HasErrors() || (*strict && len(rep.Diags) > 0)) {
-			exit = 1
+		if exit == cliexit.OK && (rep.HasErrors() || (*strict && len(rep.Diags) > 0)) {
+			exit = cliexit.Findings
 		}
 	}
 	return exit

@@ -1,8 +1,8 @@
 // Package analysis is a minimal, dependency-free reimplementation of
 // the go/analysis vocabulary (Analyzer, Pass, Diagnostic) plus a
 // package loader, just large enough to host this repository's custom
-// lints (floatcmp, obsnil, atomiccounter — see their files for what
-// they enforce and why the solver needs them).
+// lints (floatcmp, obsnil, atomiccounter, ctxcancel — see their files
+// for what they enforce and why the solver needs them).
 //
 // golang.org/x/tools is deliberately not imported: the module has no
 // external dependencies, and the subset of the framework these
@@ -103,5 +103,5 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 
 // All returns the repository's analyzers in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{FloatCmp, ObsNil, AtomicCounter}
+	return []*Analyzer{FloatCmp, ObsNil, AtomicCounter, CtxCancel}
 }

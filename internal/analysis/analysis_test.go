@@ -23,8 +23,8 @@ func TestAnalyzersOnFixtures(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Load: %v", err)
 	}
-	if len(pkgs) != 3 {
-		t.Fatalf("loaded %d packages, want 3", len(pkgs))
+	if len(pkgs) != 4 {
+		t.Fatalf("loaded %d packages, want 4", len(pkgs))
 	}
 	diags, err := Run(pkgs, All())
 	if err != nil {

@@ -1,0 +1,148 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxCancel flags context cancel functions that escape uncalled: a
+// context.CancelFunc (or CancelCauseFunc) result that is assigned to
+// the blank identifier, or bound to a variable whose only subsequent
+// "use" is being discarded (`_ = cancel`). Either way the derived
+// context — and every timer and goroutine parked on it — leaks until
+// the parent context ends.
+//
+// The repo's long-running surfaces (licmq -deadline, the anytime
+// supervisor, the debug server) derive cancellable contexts on every
+// request; one dropped cancel per solve is a slow, invisible leak the
+// fault-injection harness cannot see because nothing fails.
+//
+// Limits, honestly: the check is per-function and syntactic about
+// uses. A cancel stored into a struct field, appended to a slice, or
+// captured by a closure counts as used even if nothing ever calls it,
+// and a cancel bound by plain `=` to a variable declared elsewhere is
+// only checked within the assigning function. It catches the two
+// patterns that actually compile and actually happen — `ctx, _ :=`
+// and the `_ = cancel` silencer — not every conceivable leak.
+var CtxCancel = &Analyzer{
+	Name: "ctxcancel",
+	Doc: "context cancel functions must not escape uncalled: assigning " +
+		"one to _ (or silencing it with `_ = cancel`) leaks the derived " +
+		"context until its parent ends",
+	Run: runCtxCancel,
+}
+
+func runCtxCancel(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkCancelFlow(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+func checkCancelFlow(pass *Pass, body *ast.BlockStmt) {
+	// bound maps each cancel-func variable introduced in this body to
+	// the ident that bound it; discards are `_ = v` uses that must not
+	// count as real ones.
+	bound := map[*types.Var]*ast.Ident{}
+	realUse := map[*types.Var]bool{}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		if len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		tuple, ok := pass.TypesInfo.Types[call].Type.(*types.Tuple)
+		if !ok {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			if i >= tuple.Len() || !isCancelFunc(tuple.At(i).Type()) {
+				continue
+			}
+			ident, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if ident.Name == "_" {
+				pass.Reportf(ident.Pos(),
+					"cancel function assigned to the blank identifier; the derived context leaks until its parent ends")
+				continue
+			}
+			var v *types.Var
+			if def, ok := pass.TypesInfo.Defs[ident].(*types.Var); ok {
+				v = def
+			} else if use, ok := pass.TypesInfo.Uses[ident].(*types.Var); ok {
+				v = use
+			}
+			if v != nil {
+				bound[v] = ident
+			}
+		}
+		return true
+	})
+	if len(bound) == 0 {
+		return
+	}
+
+	// Second walk: any use of a bound cancel variable outside its
+	// binding ident and outside `_ = v` discards counts as real.
+	ast.Inspect(body, func(n ast.Node) bool {
+		if as, ok := n.(*ast.AssignStmt); ok && len(as.Lhs) == 1 && len(as.Rhs) == 1 {
+			if l, ok := as.Lhs[0].(*ast.Ident); ok && l.Name == "_" {
+				if r, ok := as.Rhs[0].(*ast.Ident); ok {
+					if v, ok := pass.TypesInfo.Uses[r].(*types.Var); ok {
+						if _, tracked := bound[v]; tracked {
+							return false // skip: a discard, not a use
+						}
+					}
+				}
+			}
+		}
+		ident, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := pass.TypesInfo.Uses[ident].(*types.Var)
+		if !ok {
+			return true
+		}
+		if binder, tracked := bound[v]; tracked && ident != binder {
+			realUse[v] = true
+		}
+		return true
+	})
+
+	for v, ident := range bound {
+		if !realUse[v] {
+			pass.Reportf(ident.Pos(),
+				"cancel function %s is never called or passed on; the derived context leaks until its parent ends", v.Name())
+		}
+	}
+}
+
+// isCancelFunc reports whether t is context.CancelFunc or
+// context.CancelCauseFunc.
+func isCancelFunc(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "context" {
+		return false
+	}
+	return obj.Name() == "CancelFunc" || obj.Name() == "CancelCauseFunc"
+}

@@ -1,0 +1,66 @@
+// Package ctx exercises the ctxcancel analyzer: cancel functions that
+// escape uncalled versus the legitimate ways to handle one.
+package ctx
+
+import (
+	"context"
+	"time"
+)
+
+func watch(ctx context.Context) { <-ctx.Done() }
+
+// discardTimeout drops the cancel on the floor with the blank
+// identifier — the timer behind WithTimeout leaks until it fires.
+func discardTimeout() context.Context {
+	ctx, _ := context.WithTimeout(context.Background(), time.Second) // want "blank identifier"
+	return ctx
+}
+
+// silenced binds the cancel but only ever discards it, which
+// compiles (unlike simply not using it) and leaks just the same.
+func silenced() context.Context {
+	ctx, cancel := context.WithCancel(context.Background()) // want "never called or passed on"
+	_ = cancel
+	return ctx
+}
+
+// silencedCause does the same through WithCancelCause.
+func silencedCause() context.Context {
+	ctx, cancel := context.WithCancelCause(context.Background()) // want "never called or passed on"
+	_ = cancel
+	return ctx
+}
+
+// deferred is the canonical correct shape.
+func deferred() {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	watch(ctx)
+}
+
+// handedOff returns the pair without ever binding the cancel; the
+// caller owns it.
+func handedOff() (context.Context, context.CancelFunc) {
+	return context.WithCancel(context.Background())
+}
+
+// captured passes the cancel into a goroutine that calls it — a real
+// use even though this function never invokes it directly.
+func captured() {
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		defer cancel()
+		watch(ctx)
+	}()
+}
+
+// rebound assigns into a predeclared variable and defers it later.
+func rebound() {
+	ctx := context.Background()
+	var cancel context.CancelFunc = func() {}
+	if time.Now().Unix()%2 == 0 {
+		ctx, cancel = context.WithTimeout(ctx, time.Second)
+	}
+	defer cancel()
+	watch(ctx)
+}

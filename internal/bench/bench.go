@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"licm/internal/anon"
+	"licm/internal/cert"
 	"licm/internal/core"
 	"licm/internal/dataset"
 	"licm/internal/encode"
@@ -95,6 +96,10 @@ type Config struct {
 	// recorded on every cell regardless (the recorder itself is always
 	// attached — its overhead is a few small allocations per solve).
 	Explain bool
+	// Certify attaches licm-cert/1 optimality certificates to every
+	// cell (Cell.Certs) by running the solver's certifying post-pass;
+	// feed them to licmverify (licmexp -certify).
+	Certify bool
 }
 
 // DefaultConfig returns a laptop-scale configuration.
@@ -271,6 +276,9 @@ type Cell struct {
 
 	// Explain is the cell's licm-explain/1 report (Config.Explain).
 	Explain *explain.Report
+	// Certs are the cell's licm-cert/1 certificates (Config.Certify),
+	// one per solver run.
+	Certs []*cert.Certificate
 }
 
 // RunCell executes one experiment cell end to end.
@@ -307,6 +315,11 @@ func (cfg Config) RunCell(scheme Scheme, q queries.Query, k int) (Cell, error) {
 	// recorder's cost is negligible next to the solve.
 	rec := &solver.ExplainRecorder{}
 	opts.Explain = rec
+	var crec *solver.CertRecorder
+	if cfg.Certify {
+		crec = &solver.CertRecorder{}
+		opts.Certify = crec
+	}
 	if cfg.SolveDeadline > 0 {
 		limit := time.Now().Add(cfg.SolveDeadline)
 		prev := opts.Cancel
@@ -356,6 +369,14 @@ func (cfg Config) RunCell(scheme Scheme, q queries.Query, k int) (Cell, error) {
 		rep.K = k
 		rep.Quality = cell.Quality
 		cell.Explain = rep
+	}
+	if crec != nil {
+		certs, err := cert.Build(cell.Query, string(scheme), k, crec)
+		if err != nil {
+			sp.End(obs.Bool("ok", false))
+			return cell, fmt.Errorf("bench: %s/%s k=%d: %w", scheme, q.Name(), k, err)
+		}
+		cell.Certs = certs
 	}
 
 	start = time.Now()

@@ -1,0 +1,64 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"licm/internal/cert"
+)
+
+// TestCellCertificates: with Config.Certify the cell carries
+// licm-cert/1 certificates that the independent verifier accepts,
+// and they ride into the cell JSON under "certs".
+func TestCellCertificates(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Certify = true
+	cell, err := cfg.RunCell(SchemeK, cfg.Queries()[0], 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cell.Certs) == 0 {
+		t.Fatal("Config.Certify did not attach certificates")
+	}
+	for i, c := range cell.Certs {
+		if err := c.Validate(); err != nil {
+			t.Fatalf("certificate %d: %v", i, err)
+		}
+		if _, err := cert.Verify(c); err != nil {
+			t.Fatalf("certificate %d rejected: %v", i, err)
+		}
+		if c.Query != cell.Query || c.Scheme != string(SchemeK) || c.K != 2 {
+			t.Errorf("certificate %d labels = %q/%q/%d", i, c.Query, c.Scheme, c.K)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := WriteCellsJSON(&buf, []Cell{cell}); err != nil {
+		t.Fatal(err)
+	}
+	var out []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := out[0]["certs"]; !ok {
+		t.Error("cell JSON lost the certificates")
+	}
+
+	// Without Certify the cell and its JSON stay clean.
+	cfg.Certify = false
+	cell, err = cfg.RunCell(SchemeK, cfg.Queries()[0], 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cell.Certs != nil {
+		t.Error("certificates attached without Config.Certify")
+	}
+	buf.Reset()
+	if err := WriteCellsJSON(&buf, []Cell{cell}); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(buf.Bytes(), []byte(`"certs"`)) {
+		t.Error("cell JSON carries a certs key without Config.Certify")
+	}
+}

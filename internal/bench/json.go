@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"io"
 
+	"licm/internal/cert"
 	"licm/internal/explain"
 )
 
@@ -58,6 +59,9 @@ type cellJSON struct {
 	// Explain carries the cell's licm-explain/1 report when the run
 	// was configured with Explain (licmexp -explain-json).
 	Explain *explain.Report `json:"explain,omitempty"`
+	// Certs carries the cell's licm-cert/1 certificates when the run
+	// was configured with Certify (licmexp -certify).
+	Certs []*cert.Certificate `json:"certs,omitempty"`
 }
 
 func toCellJSON(c Cell) cellJSON {
@@ -90,6 +94,7 @@ func toCellJSON(c Cell) cellJSON {
 		Components:   c.Components,
 		MaxCompVars:  c.MaxCompVars,
 		Explain:      c.Explain,
+		Certs:        c.Certs,
 		PruneTimeNs:  c.PruneTime.Nanoseconds(),
 		PresolveNs:   c.PresolveTime.Nanoseconds(),
 		SearchNs:     c.SearchTime.Nanoseconds(),

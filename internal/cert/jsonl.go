@@ -1,0 +1,97 @@
+package cert
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Validate checks the structural invariants a well-formed certificate
+// satisfies — shapes and tags only. The mathematical claims are
+// Verify's job; Validate is the cheap strict-read gate.
+func (c *Certificate) Validate() error {
+	if c.Schema != Schema {
+		return fmt.Errorf("cert: schema %q, want %q", c.Schema, Schema)
+	}
+	if c.Sense != "max" && c.Sense != "min" {
+		return fmt.Errorf("cert: sense %q, want max or min", c.Sense)
+	}
+	if c.Comps == nil {
+		return fmt.Errorf("cert: missing comps array")
+	}
+	for i := range c.Comps {
+		cc := &c.Comps[i]
+		if len(cc.Fingerprint) != 16 {
+			return fmt.Errorf("cert: component %d: fingerprint %q, want 16 hex chars", i, cc.Fingerprint)
+		}
+		if cc.Vars < 0 {
+			return fmt.Errorf("cert: component %d: negative variable count", i)
+		}
+		if len(cc.Obj) != cc.Vars {
+			return fmt.Errorf("cert: component %d: objective has %d coefficients, want %d", i, len(cc.Obj), cc.Vars)
+		}
+		for j := range cc.Cons {
+			if _, err := parseOp(cc.Cons[j].Op); err != nil {
+				return fmt.Errorf("cert: component %d row %d: %w", i, j, err)
+			}
+			if len(cc.Cons[j].Vars) != len(cc.Cons[j].Coef) {
+				return fmt.Errorf("cert: component %d row %d: vars/coef length mismatch", i, j)
+			}
+		}
+		switch cc.Status {
+		case StatusOptimal, StatusInfeasible, StatusSkipped:
+		default:
+			return fmt.Errorf("cert: component %d: unknown status %q", i, cc.Status)
+		}
+	}
+	return nil
+}
+
+// WriteJSONL appends the certificate as one JSON line.
+func WriteJSONL(w io.Writer, c *Certificate) error {
+	b, err := json.Marshal(c)
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// ReadJSONL parses a stream of certificates, one JSON object per line
+// (blank lines skipped). With strict set, unknown fields and Validate
+// failures are errors — the same schema-drift guard the explain layer
+// uses.
+func ReadJSONL(r io.Reader, strict bool) ([]*Certificate, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 64<<20)
+	var out []*Certificate
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		c := &Certificate{}
+		dec := json.NewDecoder(bytes.NewReader(raw))
+		if strict {
+			dec.DisallowUnknownFields()
+		}
+		if err := dec.Decode(c); err != nil {
+			return nil, fmt.Errorf("cert: line %d: %w", line, err)
+		}
+		if strict {
+			if err := c.Validate(); err != nil {
+				return nil, fmt.Errorf("line %d: %w", line, err)
+			}
+		}
+		out = append(out, c)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,179 @@
+package cert
+
+import "encoding/json"
+
+// Mutant is a deliberately corrupted copy of a certificate, used to
+// prove the verifier actually rejects tampering (licmverify
+// -mutate-check and the CI cert gate). Every generated mutant is
+// guaranteed-invalid by construction: a verifier that accepts one is
+// broken.
+type Mutant struct {
+	Name string
+	Cert *Certificate
+}
+
+// Mutants derives the deterministic corruption suite applicable to c.
+// Each mutation targets a distinct verifier check: value accounting,
+// witness binding, fingerprint binding, matrix binding, tree
+// coverage, decision consistency, schema tag, and bound cross-check.
+func Mutants(c *Certificate) []Mutant {
+	var out []Mutant
+	add := func(name string, mutate func(m *Certificate) bool) {
+		m := clone(c)
+		if mutate(m) {
+			out = append(out, Mutant{Name: name, Cert: m})
+		}
+	}
+
+	// Value accounting: inflating the run value breaks
+	// base + sum(component optima) == value on a clean proven run.
+	if c.Proven && c.Err == "" && len(c.Comps) > 0 {
+		add("value-inflate", func(m *Certificate) bool {
+			m.Value++
+			return true
+		})
+	}
+
+	// Witness binding: flipping a witness bit on a variable with a
+	// nonzero objective coefficient changes the achieved value away
+	// from the claim (or breaks feasibility).
+	add("witness-flip", func(m *Certificate) bool {
+		for i := range m.Comps {
+			cc := &m.Comps[i]
+			if cc.Status != StatusOptimal {
+				continue
+			}
+			for j := range cc.Witness {
+				if j < len(cc.Obj) && cc.Obj[j] != 0 {
+					cc.Witness[j] = 1 - cc.Witness[j]
+					return true
+				}
+			}
+		}
+		return false
+	})
+
+	// Fingerprint binding: a proof keyed to a different matrix hash.
+	add("fingerprint-tamper", func(m *Certificate) bool {
+		for i := range m.Comps {
+			fp := []byte(m.Comps[i].Fingerprint)
+			if len(fp) == 0 {
+				continue
+			}
+			if fp[0] == '0' {
+				fp[0] = '1'
+			} else {
+				fp[0] = '0'
+			}
+			m.Comps[i].Fingerprint = string(fp)
+			return true
+		}
+		return false
+	})
+
+	// Matrix binding: editing a row under an unchanged fingerprint.
+	add("rhs-tamper", func(m *Certificate) bool {
+		for i := range m.Comps {
+			if len(m.Comps[i].Cons) > 0 {
+				m.Comps[i].Cons[0].RHS++
+				return true
+			}
+		}
+		return false
+	})
+
+	// Tree coverage: a branch that no longer covers both values.
+	add("drop-child", func(m *Certificate) bool {
+		for i := range m.Comps {
+			if nd := firstBranch(m.Comps[i].Tree); nd != nil {
+				nd.One = nil
+				return true
+			}
+		}
+		return false
+	})
+
+	// Decision consistency: wrapping a branch root in a second branch
+	// on the same variable decides it twice on one path.
+	add("dup-decision", func(m *Certificate) bool {
+		for i := range m.Comps {
+			root := m.Comps[i].Tree
+			if root == nil || root.Var < 0 {
+				continue
+			}
+			m.Comps[i].Tree = &Node{Var: root.Var, Zero: root, One: cloneNode(root)}
+			return true
+		}
+		return false
+	})
+
+	// Schema tag: a format nobody defined.
+	add("schema-tag", func(m *Certificate) bool {
+		m.Schema = "licm-cert/0"
+		return true
+	})
+
+	// Bound cross-check: a claimed bound the replay cannot reproduce.
+	add("bound-tamper", func(m *Certificate) bool {
+		for i := range m.Comps {
+			if nd := firstClaimedBound(m.Comps[i].Tree); nd != nil {
+				nd.Bound += "1"
+				return true
+			}
+		}
+		return false
+	})
+
+	return out
+}
+
+func clone(c *Certificate) *Certificate {
+	b, err := json.Marshal(c)
+	if err != nil {
+		panic("cert: clone marshal: " + err.Error())
+	}
+	m := &Certificate{}
+	if err := json.Unmarshal(b, m); err != nil {
+		panic("cert: clone unmarshal: " + err.Error())
+	}
+	return m
+}
+
+func cloneNode(nd *Node) *Node {
+	if nd == nil {
+		return nil
+	}
+	cp := *nd
+	if nd.Y != nil {
+		cp.Y = append([]string(nil), nd.Y...)
+	}
+	if nd.X != nil {
+		cp.X = append([]int8(nil), nd.X...)
+	}
+	cp.Zero = cloneNode(nd.Zero)
+	cp.One = cloneNode(nd.One)
+	return &cp
+}
+
+func firstBranch(nd *Node) *Node {
+	if nd == nil || nd.Var < 0 {
+		return nil
+	}
+	return nd
+}
+
+func firstClaimedBound(nd *Node) *Node {
+	if nd == nil {
+		return nil
+	}
+	if nd.Var < 0 {
+		if nd.Bound != "" {
+			return nd
+		}
+		return nil
+	}
+	if got := firstClaimedBound(nd.Zero); got != nil {
+		return got
+	}
+	return firstClaimedBound(nd.One)
+}

@@ -1,0 +1,436 @@
+package cert
+
+import (
+	"fmt"
+	"math/big"
+
+	"licm/internal/explain"
+	"licm/internal/expr"
+	"licm/internal/solver"
+)
+
+// Verdict summarizes a successful verification of one certificate.
+// Skipped lists the components that carried no proof (unproven
+// solves) with their reasons — clean in default mode, findings under
+// -strict.
+type Verdict struct {
+	Query    string
+	Sense    string
+	Base     int64
+	Value    int64
+	Proven   bool
+	Err      string
+	Verified int
+	Skipped  []string
+}
+
+// Verify checks a certificate end to end: schema, per-component
+// fingerprint binding, witness feasibility and value, exact replay of
+// every leaf justification, branch-tree coverage of the full 0/1
+// space, and the run-level value accounting. A nil error means every
+// non-skipped claim in the certificate is mathematically sound.
+func Verify(c *Certificate) (Verdict, error) {
+	v := Verdict{Query: c.Query, Sense: c.Sense, Base: c.Base, Value: c.Value, Proven: c.Proven, Err: c.Err}
+	if c.Schema != Schema {
+		return v, fmt.Errorf("schema %q, want %q", c.Schema, Schema)
+	}
+	if c.Sense != "max" && c.Sense != "min" {
+		return v, fmt.Errorf("sense %q, want max or min", c.Sense)
+	}
+	sum := c.Base
+	allOptimal := true
+	for i := range c.Comps {
+		cc := &c.Comps[i]
+		if err := verifyComp(cc); err != nil {
+			return v, fmt.Errorf("component %d (fingerprint %s): %w", cc.Index, cc.Fingerprint, err)
+		}
+		switch cc.Status {
+		case StatusSkipped:
+			v.Skipped = append(v.Skipped, fmt.Sprintf("component %d: %s", cc.Index, cc.Skip))
+			allOptimal = false
+		case StatusInfeasible:
+			v.Verified++
+			allOptimal = false
+		default:
+			v.Verified++
+			sum += cc.Value
+		}
+	}
+	// Value accounting: a clean proven run must decompose exactly into
+	// base + certified component optima. Runs that errored or are
+	// unproven make no such claim (their comps are skipped or the run
+	// carries Err), so there is nothing to equate.
+	if c.Proven && c.Err == "" {
+		if !allOptimal {
+			return v, fmt.Errorf("run is marked proven but not every component certificate is optimal")
+		}
+		if sum != c.Value {
+			return v, fmt.Errorf("value accounting: base %d + component optima = %d, certificate claims %d", c.Base, sum, c.Value)
+		}
+	}
+	return v, nil
+}
+
+// verifyComp checks one component certificate.
+func verifyComp(cc *Comp) error {
+	if cc.Vars < 0 {
+		return fmt.Errorf("negative variable count")
+	}
+	if len(cc.Obj) != cc.Vars {
+		return fmt.Errorf("objective has %d coefficients, want %d", len(cc.Obj), cc.Vars)
+	}
+	cons := make([]solver.ExplainCon, len(cc.Cons))
+	for i := range cc.Cons {
+		con := &cc.Cons[i]
+		op, err := parseOp(con.Op)
+		if err != nil {
+			return err
+		}
+		if len(con.Vars) != len(con.Coef) {
+			return fmt.Errorf("row %d: %d variables, %d coefficients", i, len(con.Vars), len(con.Coef))
+		}
+		for _, u := range con.Vars {
+			if u < 0 || int(u) >= cc.Vars {
+				return fmt.Errorf("row %d references variable %d outside [0,%d)", i, u, cc.Vars)
+			}
+		}
+		cons[i] = solver.ExplainCon{Vars: con.Vars, Coef: con.Coef, Op: op, RHS: con.RHS}
+	}
+	// The fingerprint binds the proof to the matrix: recompute it from
+	// the matrix the certificate itself carries. A mismatch means the
+	// proof talks about a different problem than its key claims.
+	if fp := explain.Fingerprint(cc.Vars, cc.Obj, cons); fp != cc.Fingerprint {
+		return fmt.Errorf("fingerprint mismatch: matrix hashes to %s", fp)
+	}
+	switch cc.Status {
+	case StatusSkipped:
+		if cc.Tree != nil || cc.Witness != nil {
+			return fmt.Errorf("skipped component carries proof data")
+		}
+		return nil
+	case StatusOptimal:
+		if len(cc.Witness) != cc.Vars {
+			return fmt.Errorf("witness has %d entries, want %d", len(cc.Witness), cc.Vars)
+		}
+		val, feasible, err := evalPoint(cc, cons, cc.Witness, nil)
+		if err != nil {
+			return fmt.Errorf("witness: %w", err)
+		}
+		if !feasible {
+			return fmt.Errorf("witness violates the constraints")
+		}
+		if val != cc.Value {
+			return fmt.Errorf("witness has value %d, certificate claims %d", val, cc.Value)
+		}
+		if cc.Tree == nil {
+			return fmt.Errorf("optimal component has no proof tree")
+		}
+		w := &walker{comp: cc, cons: cons, hasVstar: true, vstar: cc.Value, dec: freshDec(cc.Vars)}
+		return w.walk(cc.Tree)
+	case StatusInfeasible:
+		if cc.Witness != nil {
+			return fmt.Errorf("infeasible component carries a witness")
+		}
+		if cc.Tree == nil {
+			return fmt.Errorf("infeasible component has no proof tree")
+		}
+		w := &walker{comp: cc, cons: cons, dec: freshDec(cc.Vars)}
+		return w.walk(cc.Tree)
+	default:
+		return fmt.Errorf("unknown status %q", cc.Status)
+	}
+}
+
+func freshDec(n int) []int8 {
+	dec := make([]int8, n)
+	for i := range dec {
+		dec[i] = -1
+	}
+	return dec
+}
+
+// evalPoint evaluates a complete 0/1 point: objective value and exact
+// feasibility. dec, when non-nil, additionally requires the point to
+// agree with the already-decided variables.
+func evalPoint(cc *Comp, cons []solver.ExplainCon, x []int8, dec []int8) (val int64, feasible bool, err error) {
+	for j, b := range x {
+		if b != 0 && b != 1 {
+			return 0, false, fmt.Errorf("entry %d is %d, not 0/1", j, b)
+		}
+		if dec != nil && dec[j] >= 0 && dec[j] != b {
+			return 0, false, fmt.Errorf("entry %d contradicts the branch decisions", j)
+		}
+		if b == 1 {
+			val += cc.Obj[j]
+		}
+	}
+	for i := range cons {
+		var act int64
+		for k, u := range cons[i].Vars {
+			if x[u] == 1 {
+				act += cons[i].Coef[k]
+			}
+		}
+		switch cons[i].Op {
+		case expr.LE:
+			if act > cons[i].RHS {
+				return val, false, nil
+			}
+		case expr.GE:
+			if act < cons[i].RHS {
+				return val, false, nil
+			}
+		default:
+			if act != cons[i].RHS {
+				return val, false, nil
+			}
+		}
+	}
+	return val, true, nil
+}
+
+// walker replays a proof tree, maintaining the branch decisions.
+type walker struct {
+	comp     *Comp
+	cons     []solver.ExplainCon
+	hasVstar bool
+	vstar    int64
+	dec      []int8
+}
+
+func (w *walker) walk(nd *Node) error {
+	if nd == nil {
+		return fmt.Errorf("proof tree has a missing node")
+	}
+	if nd.Var >= 0 {
+		if nd.Leaf != "" || nd.Y != nil || nd.X != nil || nd.Bound != "" {
+			return fmt.Errorf("branch node on variable %d carries leaf data", nd.Var)
+		}
+		if int(nd.Var) >= w.comp.Vars {
+			return fmt.Errorf("branch on variable %d outside [0,%d)", nd.Var, w.comp.Vars)
+		}
+		if w.dec[nd.Var] != -1 {
+			return fmt.Errorf("variable %d decided twice on one path", nd.Var)
+		}
+		if nd.Zero == nil || nd.One == nil {
+			return fmt.Errorf("branch on variable %d does not cover both values", nd.Var)
+		}
+		w.dec[nd.Var] = 0
+		if err := w.walk(nd.Zero); err != nil {
+			return err
+		}
+		w.dec[nd.Var] = 1
+		if err := w.walk(nd.One); err != nil {
+			return err
+		}
+		w.dec[nd.Var] = -1
+		return nil
+	}
+	if nd.Var != -1 {
+		return fmt.Errorf("leaf node has var %d, want -1", nd.Var)
+	}
+	if nd.Zero != nil || nd.One != nil {
+		return fmt.Errorf("leaf node has children")
+	}
+	y, err := w.parseY(nd.Y)
+	if err != nil {
+		return err
+	}
+	switch nd.Leaf {
+	case LeafDual:
+		if !w.hasVstar {
+			return fmt.Errorf("dual leaf inside an infeasibility proof")
+		}
+		u := w.dualBound(y)
+		if err := w.checkClaimedBound(nd.Bound, u); err != nil {
+			return err
+		}
+		// Integral objective: no point of the subtree beats vstar iff
+		// the dual box bound is below vstar+1.
+		if u.Cmp(new(big.Rat).SetInt64(w.vstar+1)) >= 0 {
+			return fmt.Errorf("dual leaf bound %s does not dominate incumbent %d", u.RatString(), w.vstar)
+		}
+		return nil
+	case LeafIntopt:
+		if !w.hasVstar {
+			return fmt.Errorf("intopt leaf inside an infeasibility proof")
+		}
+		if len(nd.X) != w.comp.Vars {
+			return fmt.Errorf("intopt point has %d entries, want %d", len(nd.X), w.comp.Vars)
+		}
+		val, feasible, err := evalPoint(w.comp, w.cons, nd.X, w.dec)
+		if err != nil {
+			return fmt.Errorf("intopt point: %w", err)
+		}
+		if !feasible {
+			return fmt.Errorf("intopt point violates the constraints")
+		}
+		if val > w.vstar {
+			return fmt.Errorf("intopt point has value %d, above the claimed optimum %d", val, w.vstar)
+		}
+		u := w.dualBound(y)
+		if err := w.checkClaimedBound(nd.Bound, u); err != nil {
+			return err
+		}
+		if u.Cmp(new(big.Rat).SetInt64(val+1)) >= 0 {
+			return fmt.Errorf("intopt leaf bound %s does not pin its point's value %d", u.RatString(), val)
+		}
+		return nil
+	case LeafFarkas:
+		if y == nil {
+			return fmt.Errorf("farkas leaf has no multipliers")
+		}
+		return w.checkFarkas(y)
+	default:
+		return fmt.Errorf("unknown leaf kind %q", nd.Leaf)
+	}
+}
+
+// parseY parses and sign-checks a multiplier vector: y_i >= 0 for LE
+// rows, y_i <= 0 for GE rows, free for EQ. The verifier rejects
+// sign violations outright (the emitter clips; a violation here means
+// the certificate was not produced by a sound emitter). nil input is
+// the all-zero vector.
+func (w *walker) parseY(ys []string) ([]*big.Rat, error) {
+	if ys == nil {
+		return nil, nil
+	}
+	if len(ys) != len(w.cons) {
+		return nil, fmt.Errorf("multiplier vector has %d entries, want %d", len(ys), len(w.cons))
+	}
+	out := make([]*big.Rat, len(ys))
+	for i, s := range ys {
+		r, err := parseRat(s)
+		if err != nil {
+			return nil, err
+		}
+		switch w.cons[i].Op {
+		case expr.LE:
+			if r.Sign() < 0 {
+				return nil, fmt.Errorf("row %d: negative multiplier %s on a <= row", i, s)
+			}
+		case expr.GE:
+			if r.Sign() > 0 {
+				return nil, fmt.Errorf("row %d: positive multiplier %s on a >= row", i, s)
+			}
+		}
+		if r.Sign() != 0 {
+			out[i] = r
+		}
+	}
+	return out, nil
+}
+
+// checkClaimedBound cross-checks a leaf's claimed bound against the
+// recomputed one; any drift is rejected (the claim is redundant, so
+// disagreement means tampering or an emitter bug).
+func (w *walker) checkClaimedBound(claimed string, u *big.Rat) error {
+	if claimed == "" {
+		return nil
+	}
+	r, err := parseRat(claimed)
+	if err != nil {
+		return err
+	}
+	if r.Cmp(u) != 0 {
+		return fmt.Errorf("claimed bound %s, recomputed %s", claimed, u.RatString())
+	}
+	return nil
+}
+
+// dualBound computes the weak-duality box bound of a sign-correct
+// multiplier vector under the current decisions, entirely in big.Rat:
+//
+//	U = sum_i y_i b_i + sum_j max over the box of (c_j - sum_i y_i a_ij) x_j
+//
+// where the box is {dec[j]} for decided variables and [0,1] for free
+// ones. For every feasible x in the box, c·x <= U: multiplying each
+// row by its (sign-correct) y_i and summing turns the constraints
+// into sum_i y_i (a_i x) <= sum_i y_i b_i, and the residual
+// objective r = c - A^T y is bounded on the box by taking each
+// variable at its best end.
+func (w *walker) dualBound(y []*big.Rat) *big.Rat {
+	u := new(big.Rat)
+	red := make([]*big.Rat, w.comp.Vars)
+	for j, c := range w.comp.Obj {
+		if c != 0 {
+			red[j] = new(big.Rat).SetInt64(c)
+		}
+	}
+	for i, yi := range y {
+		if yi == nil {
+			continue
+		}
+		con := &w.cons[i]
+		u.Add(u, new(big.Rat).Mul(yi, new(big.Rat).SetInt64(con.RHS)))
+		for k, v := range con.Vars {
+			if red[v] == nil {
+				red[v] = new(big.Rat)
+			}
+			red[v].Sub(red[v], new(big.Rat).Mul(yi, new(big.Rat).SetInt64(con.Coef[k])))
+		}
+	}
+	for j, r := range red {
+		if r == nil {
+			continue
+		}
+		switch w.dec[j] {
+		case 1:
+			u.Add(u, r)
+		case 0:
+			// x_j = 0 contributes nothing
+		default:
+			if r.Sign() > 0 {
+				u.Add(u, r)
+			}
+		}
+	}
+	return u
+}
+
+// checkFarkas verifies an infeasibility vector: with d = sum_i y_i a_i
+// and e = sum_i y_i b_i, every x in the box satisfying the rows would
+// satisfy d·x <= e; if even the box minimum of d·x exceeds e, no such
+// x exists.
+func (w *walker) checkFarkas(y []*big.Rat) error {
+	agg := make([]*big.Rat, w.comp.Vars)
+	e := new(big.Rat)
+	nonzero := false
+	for i, yi := range y {
+		if yi == nil {
+			continue
+		}
+		nonzero = true
+		con := &w.cons[i]
+		e.Add(e, new(big.Rat).Mul(yi, new(big.Rat).SetInt64(con.RHS)))
+		for k, v := range con.Vars {
+			if agg[v] == nil {
+				agg[v] = new(big.Rat)
+			}
+			agg[v].Add(agg[v], new(big.Rat).Mul(yi, new(big.Rat).SetInt64(con.Coef[k])))
+		}
+	}
+	if !nonzero {
+		return fmt.Errorf("farkas leaf has an all-zero multiplier vector")
+	}
+	minAct := new(big.Rat)
+	for j, a := range agg {
+		if a == nil {
+			continue
+		}
+		switch w.dec[j] {
+		case 1:
+			minAct.Add(minAct, a)
+		case 0:
+			// contributes nothing
+		default:
+			if a.Sign() < 0 {
+				minAct.Add(minAct, a)
+			}
+		}
+	}
+	if minAct.Cmp(e) <= 0 {
+		return fmt.Errorf("farkas combination does not refute the box: min activity %s <= rhs %s", minAct.RatString(), e.RatString())
+	}
+	return nil
+}

@@ -1,0 +1,20 @@
+// Package cliexit defines the exit-status convention every LICM CLI
+// follows (modeled on go vet), so scripts and the CI gates can branch
+// on codes without per-tool tables:
+//
+//	0  clean — the tool ran and found nothing to report
+//	1  findings — the tool found what it exists to find (diagnostics,
+//	   trace diffs, rejected certificates, lint findings)
+//	2  usage — unusable flags or input; nothing was analyzed
+//	3  degraded — -strict was set and the result fell below exact
+//	   (supervised solves in licmq, skipped components in licmverify)
+//
+// The constants are plain ints so run(...) signatures stay untouched.
+package cliexit
+
+const (
+	OK       = 0
+	Findings = 1
+	Usage    = 2
+	Degraded = 3
+)

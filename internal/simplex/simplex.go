@@ -135,7 +135,31 @@ const eps = 1e-9
 // are undefined.
 func (lp *LP) Solve() (Solution, Status) {
 	t := newTableau(lp)
-	return t.solve()
+	sol, st, _ := t.solve(false)
+	return sol, st
+}
+
+// DualInfo carries per-row multipliers read off the final tableau.
+// The vectors are float candidates, not proofs: a consumer that wants
+// a sound bound must clip each multiplier to the sign its row operator
+// admits and re-derive the bound in exact arithmetic (internal/cert
+// does exactly that). Extraction never affects the primal result.
+type DualInfo struct {
+	// Duals has one multiplier per row when Status is Optimal: the
+	// simplex multipliers y = c_B B^{-1} of the phase-2 optimum.
+	Duals []float64
+	// Farkas has one multiplier per row when Status is Infeasible:
+	// the phase-1 multipliers at the infeasible optimum, a candidate
+	// certificate that the row system admits no point in the box.
+	Farkas []float64
+}
+
+// SolveWithDuals is Solve plus dual extraction: on Optimal the
+// returned DualInfo carries the row duals, on Infeasible a Farkas
+// candidate. Other statuses leave DualInfo empty.
+func (lp *LP) SolveWithDuals() (Solution, Status, DualInfo) {
+	t := newTableau(lp)
+	return t.solve(true)
 }
 
 // tableau holds the dense working state of a solve. Columns are laid
@@ -268,7 +292,8 @@ func newTableau(lp *LP) *tableau {
 	return t
 }
 
-func (t *tableau) solve() (Solution, Status) {
+func (t *tableau) solve(wantDuals bool) (Solution, Status, DualInfo) {
+	var di DualInfo
 	// Phase 1: maximize -(sum of artificials).
 	if t.nart > 0 {
 		phase1 := make([]float64, t.ncols)
@@ -277,14 +302,17 @@ func (t *tableau) solve() (Solution, Status) {
 		}
 		st := t.iterate(phase1)
 		if st == IterLimit {
-			return Solution{}, IterLimit
+			return Solution{}, IterLimit, di
 		}
 		infeas := 0.0
 		for art := t.n + t.m; art < t.ncols; art++ {
 			infeas += t.x[art]
 		}
 		if infeas > 1e-7 {
-			return Solution{}, Infeasible
+			if wantDuals {
+				di.Farkas = t.rowDuals(phase1)
+			}
+			return Solution{}, Infeasible, di
 		}
 	}
 	// Forbid artificials from re-entering or growing.
@@ -302,10 +330,35 @@ func (t *tableau) solve() (Solution, Status) {
 		for j := 0; j < t.n; j++ {
 			sol.Obj += t.obj[j] * t.x[j]
 		}
-		return sol, Optimal
+		if wantDuals {
+			di.Duals = t.rowDuals(t.obj)
+		}
+		return sol, Optimal, di
 	default:
-		return Solution{}, st
+		return Solution{}, st, di
 	}
+}
+
+// rowDuals reads the simplex multipliers off the final tableau:
+// y_i = sum_k obj[basis[k]] * a[k][n+i], the reduced-cost defect of
+// row i's slack column. That column is the i-th column of B^{-1} up to
+// the sign flip newTableau applies to rows whose residual forced an
+// artificial — but the same flip also relates the tableau's dual frame
+// to the caller's row frame, so the two cancel and no sign correction
+// is needed. Rows are small and dense here, so the m x m sweep is fine.
+func (t *tableau) rowDuals(obj []float64) []float64 {
+	y := make([]float64, t.m)
+	for k := 0; k < t.m; k++ {
+		cb := obj[t.basis[k]]
+		if exactlyZero(cb) {
+			continue
+		}
+		row := t.a[k]
+		for i := 0; i < t.m; i++ {
+			y[i] += cb * row[t.n+i]
+		}
+	}
+	return y
 }
 
 // iterate runs primal simplex iterations maximizing obj until optimal,

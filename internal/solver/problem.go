@@ -168,6 +168,14 @@ type Options struct {
 	// licm-explain/1 reports and workload censuses. nil disables
 	// recording at no cost.
 	Explain *ExplainRecorder
+	// Certify, if non-nil, makes the solve certifying: after the
+	// search, a dedicated certification pass re-derives for every
+	// proven component a machine-checkable proof tree (optimality or
+	// infeasibility) whose leaves an independent checker replays in
+	// exact rational arithmetic — see CertRecorder. Package
+	// internal/cert serializes recordings as licm-cert/1 and verifies
+	// them (cmd/licmverify). nil disables certification at no cost.
+	Certify *CertRecorder
 }
 
 // DefaultOptions returns the recommended settings.

@@ -39,6 +39,12 @@ func solve(p *Problem, opts Options, minimized bool) (res Result, err error) {
 		// filled TotalTime/Canceled/memory into res.Stats.
 		defer func() { rec.finish(runIdx, &res, err) }()
 	}
+	crec := opts.Certify
+	certIdx := -1
+	if crec != nil {
+		certIdx = crec.start(sense)
+		defer func() { crec.finish(certIdx, &res, err) }()
+	}
 	mp := startMemProbe(opts.Metrics != nil || tr.Enabled())
 	defer func() {
 		res.Stats.TotalTime = time.Since(start)
@@ -261,11 +267,23 @@ func solve(p *Problem, opts Options, minimized bool) (res Result, err error) {
 		budget = &b
 	}
 	bound := total
+	if crec != nil {
+		// Base is everything the components do not account for: the
+		// objective constant plus presolve-fixed contributions. The
+		// verifier checks Base + sum(component values) == Value.
+		crec.setBase(certIdx, total)
+	}
 	if opts.Decompose || len(comps) <= 1 {
 		if rec != nil {
 			rec.registerComponents(runIdx, buildExplainComps(comps, lcons, objCoef, prop.dom))
 		}
 		results := solveAll(comps, lcons, objCoef, prop.dom, p.Derived, opts, budget, kc, rec, runIdx)
+		if crec != nil {
+			// Certification is a post-search pass over the projected
+			// matrices and outcomes: it never touches live search state,
+			// so a certifying solve explores exactly the same tree.
+			crec.certify(certIdx, buildExplainComps(comps, lcons, objCoef, prop.dom), results)
+		}
 		for ci, cr := range results {
 			res.Stats.Nodes += cr.nodes
 			res.Stats.LPSolves += cr.lpSolves
@@ -300,6 +318,9 @@ func solve(p *Problem, opts Options, minimized bool) (res Result, err error) {
 		cr := solveOneGuarded(0, merged, lcons, objCoef, prop.dom, p.Derived, opts, budget, kc)
 		if rec != nil {
 			rec.recordComp(runIdx, 0, cr, time.Since(t0).Nanoseconds())
+		}
+		if crec != nil {
+			crec.certify(certIdx, buildExplainComps([]component{merged}, lcons, objCoef, prop.dom), []compResult{cr})
 		}
 		res.Stats.Nodes += cr.nodes
 		res.Stats.LPSolves += cr.lpSolves

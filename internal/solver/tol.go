@@ -1,0 +1,11 @@
+package solver
+
+// This file is the one place internal/solver compares floats with
+// ==/!= (the floatcmp lint allows exact comparisons only here, next
+// to the argument for their exactness).
+
+// exactlyZeroOrOne reports r ∈ {0, 1} with no tolerance. Correct
+// where r is the result of math.Round, which returns exact integers:
+// a rounded value is 0.0 or 1.0 bit-for-bit or it is some other
+// integer, never "almost" one.
+func exactlyZeroOrOne(r float64) bool { return r == 0 || r == 1 }
