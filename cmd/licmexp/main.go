@@ -31,6 +31,7 @@ import (
 	"licm/internal/cert"
 	"licm/internal/explain"
 	"licm/internal/obs"
+	"licm/internal/seedflag"
 )
 
 func main() {
@@ -40,7 +41,6 @@ func main() {
 		items        = flag.Int("items", 400, "number of item types")
 		ks           = flag.String("ks", "2,4,6,8", "anonymity parameters (comma separated)")
 		mcN          = flag.Int("mc", 20, "Monte-Carlo sample count")
-		seed         = flag.Int64("seed", 1, "dataset seed")
 		nodes        = flag.Int64("maxnodes", 300_000, "solver node budget per solve")
 		cellDeadline = flag.Duration("deadline", 0, "wall-clock cap per cell solve; a cell that runs out degrades to quality=interval or quality=failed instead of aborting the sweep (0 = no cap)")
 		vet          = flag.Bool("check", false, "run the static diagnostics pass on every BIP before solving; an encoder bug that emits a provably infeasible store fails fast with diagnostics instead of burning the node budget")
@@ -53,6 +53,7 @@ func main() {
 		expPath   = flag.String("explain-json", "", "write every cell's licm-explain/1 record (JSONL) to this file and print a component census summary; feeds licmtrace census")
 		certPath  = flag.String("certify", "", "write every cell's licm-cert/1 optimality certificates (JSONL) to this file; check them with licmverify")
 	)
+	seed := seedflag.Register(flag.CommandLine)
 	var logOpts obs.LogOptions
 	logOpts.RegisterFlags(flag.CommandLine)
 	flag.Parse()

@@ -2,9 +2,16 @@
 // dataset (the paper's evaluation substrate) and writes it to a file
 // or stdout in the format understood by the other licm tools.
 //
+// With -queries it instead emits a randomized aggregate-query set
+// (licm-queries/1 JSONL) for the workload observatory, so workloads
+// are reproducible artifacts: `licmgen -queries 40 -seed 7 -o q.jsonl`
+// followed by `licmload -replay q.jsonl -seed 7` answers exactly the
+// queries `licmload -queries 40 -seed 7` would generate in-process.
+//
 // Usage:
 //
 //	licmgen -trans 10000 -items 1657 -seed 1 -o data.txt
+//	licmgen -queries 200 -seed 7 -o queries.jsonl
 package main
 
 import (
@@ -14,21 +21,24 @@ import (
 
 	"licm/internal/dataset"
 	"licm/internal/obs"
+	"licm/internal/seedflag"
+	"licm/internal/workload"
 )
 
 func main() {
 	var (
-		trans  = flag.Int("trans", 10000, "number of transactions")
-		items  = flag.Int("items", 1657, "number of item types")
-		avg    = flag.Float64("avg", 6.5, "average transaction size")
-		max    = flag.Int("max", 164, "maximum transaction size")
-		skew   = flag.Float64("skew", 1.25, "Zipf skew of item popularity (> 1)")
-		seed   = flag.Int64("seed", 1, "generator seed")
-		out    = flag.String("o", "", "output file (default stdout)")
-		doStat = flag.Bool("stats", false, "print dataset statistics to stderr")
+		trans   = flag.Int("trans", 10000, "number of transactions")
+		items   = flag.Int("items", 1657, "number of item types")
+		avg     = flag.Float64("avg", 6.5, "average transaction size")
+		max     = flag.Int("max", 164, "maximum transaction size")
+		skew    = flag.Float64("skew", 1.25, "Zipf skew of item popularity (> 1)")
+		queries = flag.Int("queries", 0, "emit this many randomized query specs (licm-queries/1 JSONL) instead of a dataset; replay with licmload -replay")
+		out     = flag.String("o", "", "output file (default stdout)")
+		doStat  = flag.Bool("stats", false, "print dataset statistics to stderr")
 
 		debugAddr = flag.String("debug-addr", "", "serve pprof, expvar, Prometheus /metrics and the /debug/licm dashboard on this address, e.g. :6060")
 	)
+	seed := seedflag.Register(flag.CommandLine)
 	var logOpts obs.LogOptions
 	logOpts.RegisterFlags(flag.CommandLine)
 	flag.Parse()
@@ -44,18 +54,6 @@ func main() {
 		fmt.Fprintf(os.Stderr, "debug server on http://%s/ — /debug/pprof/, /debug/vars, /metrics, /debug/licm\n", srv.Addr())
 	}
 
-	cfg := dataset.DefaultConfig(*trans)
-	cfg.NumItems = *items
-	cfg.AvgSize = *avg
-	cfg.MaxSize = *max
-	cfg.ZipfS = *skew
-	cfg.Seed = *seed
-	d, err := dataset.Generate(cfg)
-	if err != nil {
-		fatal(err)
-	}
-	logger.Info("dataset generated",
-		"transactions", *trans, "items", *items, "seed", *seed)
 	w := os.Stdout
 	if *out != "" {
 		f, err := os.Create(*out)
@@ -65,6 +63,33 @@ func main() {
 		defer f.Close()
 		w = f
 	}
+
+	if *queries > 0 {
+		// Query-set mode: the specs range over the default dataset
+		// domains (locations 0..999, prices 0..39) and derive from the
+		// workload stream of the master seed, matching what licmload
+		// generates in-process for the same -seed.
+		specs := workload.GenerateSpecs(*queries,
+			seedflag.Derive(*seed, seedflag.WorkloadStream), 1000, 40)
+		if err := workload.WriteSpecs(w, specs); err != nil {
+			fatal(err)
+		}
+		logger.Info("query set generated", "queries", *queries, "seed", *seed)
+		return
+	}
+
+	cfg := dataset.DefaultConfig(*trans)
+	cfg.NumItems = *items
+	cfg.AvgSize = *avg
+	cfg.MaxSize = *max
+	cfg.ZipfS = *skew
+	cfg.Seed = seedflag.Derive(*seed, seedflag.DatasetStream)
+	d, err := dataset.Generate(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	logger.Info("dataset generated",
+		"transactions", *trans, "items", *items, "seed", *seed)
 	if _, err := d.WriteTo(w); err != nil {
 		fatal(err)
 	}

@@ -1,0 +1,205 @@
+// Command licmload is the workload observatory driver: it answers a
+// seeded stream of randomized aggregate queries (internal/workload)
+// through the anytime supervisor and scores every answer with wall
+// latency, ladder quality and bound tightness against ground truth,
+// streaming licm-load/1 JSONL records as queries complete.
+//
+// Usage:
+//
+//	licmload -queries 200 -seed 7                 # generate and run 200 queries
+//	licmload -replay queries.jsonl                # replay a licmgen -queries artifact
+//	licmload -queries 40 -snapshot workload       # also write BENCH_workload.json
+//	licmload -queries 50 -deadline 2s -o run.jsonl
+//
+// Inspect or gate on the output with licmtrace load. Exit status 1
+// when any query has a consistency violation (ground truth outside
+// proven bounds), 2 on usage errors, 0 otherwise.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"licm/internal/cliexit"
+	"licm/internal/explain"
+	"licm/internal/obs"
+	"licm/internal/seedflag"
+	"licm/internal/solver"
+	"licm/internal/workload"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("licmload", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		trans   = fs.Int("trans", 300, "number of transactions")
+		items   = fs.Int("items", 60, "number of item types")
+		fanout  = fs.Int("fanout", 8, "generalization hierarchy fanout")
+		scheme  = fs.String("scheme", "k", "anonymization scheme: km | k | bipartite | suppress")
+		k       = fs.Int("k", 4, "anonymity parameter (support threshold for suppress)")
+		m       = fs.Int("m", 2, "subset size for km-anonymity")
+		queries = fs.Int("queries", 100, "number of randomized queries to generate (ignored with -replay)")
+		replay  = fs.String("replay", "", "replay a licm-queries/1 spec file (licmgen -queries) instead of generating")
+		dead    = fs.Duration("deadline", 0, "wall-clock cap per query solve; late queries degrade down the ladder (0 = none)")
+		mcN     = fs.Int("mc", 30, "Monte-Carlo samples for ground truth, cross-checks and the sampled fallback")
+		nodes   = fs.Int64("maxnodes", 300_000, "solver node budget per solve")
+		refMax  = fs.Int("exact-ref-maxvars", workload.DefaultExactRefMaxVars, "largest post-query store (vars) still given an exact ground-truth reference solve; negative always uses MC")
+		out     = fs.String("o", "-", "write the licm-load/1 stream here (- = stdout)")
+		snap    = fs.String("snapshot", "", "also write the stream as BENCH_<label>.json for licmtrace load -diff")
+		label   = fs.String("label", "", "run label recorded in the summary")
+
+		tracePath = fs.String("trace", "", "write a JSON-lines trace to this file")
+		verbose   = fs.Bool("verbose", false, "print a human-readable trace to stderr")
+		debugAddr = fs.String("debug-addr", "", "serve pprof, /metrics and the /debug/licm dashboard on this address while the run is live")
+	)
+	seed := seedflag.Register(fs)
+	var logOpts obs.LogOptions
+	logOpts.RegisterFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return cliexit.Usage
+	}
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "licmload:", err)
+		return cliexit.Usage
+	}
+
+	logger, err := logOpts.NewLogger(stderr)
+	if err != nil {
+		return fail(err)
+	}
+	tr, closeTrace, err := obs.Setup(*tracePath, *verbose, stderr)
+	if err != nil {
+		return fail(err)
+	}
+	defer func() {
+		if err := closeTrace(); err != nil {
+			fmt.Fprintln(stderr, "licmload:", err)
+		}
+	}()
+	metrics := obs.NewRegistry()
+	if *debugAddr != "" {
+		srv, err := obs.ServeDebug(*debugAddr, metrics)
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Fprintf(stderr, "debug server on http://%s/ — /debug/pprof/, /metrics, /debug/licm\n", srv.Addr())
+	}
+
+	var specs []workload.Spec
+	if *replay != "" {
+		f, err := os.Open(*replay)
+		if err != nil {
+			return fail(err)
+		}
+		specs, err = workload.ReadSpecs(f)
+		f.Close()
+		if err != nil {
+			return fail(err)
+		}
+		if len(specs) == 0 {
+			return fail(fmt.Errorf("%s holds no query specs", *replay))
+		}
+	} else {
+		if *queries <= 0 {
+			return fail(fmt.Errorf("-queries must be positive"))
+		}
+		specs = workload.GenerateSpecs(*queries,
+			seedflag.Derive(*seed, seedflag.WorkloadStream), 1000, 40)
+	}
+
+	opts := solver.DefaultOptions()
+	opts.MaxNodes = *nodes
+	opts.CompleteWitness = false
+	census := explain.NewCensus()
+	census.SetMetrics(metrics)
+	cfg := workload.Config{
+		NumTransactions: *trans,
+		NumItems:        *items,
+		HierarchyFanout: *fanout,
+		Scheme:          *scheme,
+		K:               *k,
+		M:               *m,
+		Seed:            *seed,
+		Deadline:        *dead,
+		MCSamples:       *mcN,
+		ExactRefMaxVars: *refMax,
+		Solver:          opts,
+		Trace:           tr,
+		Metrics:         metrics,
+		Log:             logger,
+		Label:           *label,
+		Census:          census,
+	}
+
+	var w io.Writer = stdout
+	if *out != "-" && *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return fail(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	cfg.OnRecord = func(r *workload.Record) {
+		if err := workload.WriteRecord(w, r); err != nil {
+			fmt.Fprintln(stderr, "licmload:", err)
+		}
+	}
+
+	res, err := workload.Execute(cfg, specs)
+	if err != nil {
+		fmt.Fprintln(stderr, "licmload:", err)
+		return cliexit.Usage
+	}
+	if err := workload.WriteSummary(w, res.Summary); err != nil {
+		return fail(err)
+	}
+	if *snap != "" {
+		path := "BENCH_" + *snap + ".json"
+		f, err := os.Create(path)
+		if err != nil {
+			return fail(err)
+		}
+		if err := workload.WriteRun(f, res); err != nil {
+			f.Close()
+			return fail(err)
+		}
+		if err := f.Close(); err != nil {
+			return fail(err)
+		}
+		fmt.Fprintf(stderr, "wrote workload snapshot (%d queries) to %s\n", len(res.Records), path)
+	}
+
+	printSummary(stderr, res.Summary)
+	if res.Summary.Violations > 0 {
+		fmt.Fprintf(stderr, "licmload: %d consistency violations — proven bounds failed a ground-truth check\n",
+			res.Summary.Violations)
+		return cliexit.Findings
+	}
+	return cliexit.OK
+}
+
+// printSummary renders the human rollup on stderr, leaving stdout to
+// the machine-readable stream.
+func printSummary(w io.Writer, s *workload.Summary) {
+	fmt.Fprintf(w, "workload: %d queries over %s(k=%d), seed %d, wall %v\n",
+		s.Queries, s.Scheme, s.K, s.Seed, time.Duration(s.WallNs).Round(time.Millisecond))
+	fmt.Fprintf(w, "  quality: exact %d, proven-interval %d, sampled %d, failed %d\n",
+		s.ByQuality["exact"], s.ByQuality["proven-interval"], s.ByQuality["sampled"], s.ByQuality["failed"])
+	fmt.Fprintf(w, "  latency: p50 %v, p95 %v, p99 %v\n",
+		time.Duration(s.LatencyP50Ns).Round(time.Microsecond),
+		time.Duration(s.LatencyP95Ns).Round(time.Microsecond),
+		time.Duration(s.LatencyP99Ns).Round(time.Microsecond))
+	fmt.Fprintf(w, "  tightness: qerr p50 %.4g, p90 %.4g, max %.4g (%d exact references)\n",
+		s.QerrP50, s.QerrP90, s.QerrMax, s.ExactRef)
+	fmt.Fprintf(w, "  components: %d (%d distinct fingerprints, cache hit rate %.1f%%)\n",
+		s.Components, s.DistinctFingerprints, 100*s.CacheHitRate)
+	fmt.Fprintf(w, "  violations: %d\n", s.Violations)
+}

@@ -1,0 +1,153 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"licm/internal/workload"
+)
+
+// fastArgs keeps the end-to-end tests around a second: a small store,
+// few queries, few MC worlds.
+func fastArgs(extra ...string) []string {
+	args := []string{"-trans", "100", "-items", "30", "-queries", "4", "-seed", "3", "-mc", "10"}
+	return append(args, extra...)
+}
+
+// parseRun strictly re-reads the stream licmload wrote — the CLI must
+// emit output its own gate accepts.
+func parseRun(t *testing.T, data []byte) *workload.Run {
+	t.Helper()
+	run, err := workload.ReadRun(bytes.NewReader(data), true)
+	if err != nil {
+		t.Fatalf("licmload output fails its own strict reader: %v", err)
+	}
+	return run
+}
+
+func TestRunEmitsStrictStream(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(fastArgs(), &stdout, &stderr); code != 0 {
+		t.Fatalf("licmload: exit %d\nstderr: %s", code, stderr.String())
+	}
+	res := parseRun(t, stdout.Bytes())
+	if len(res.Records) != 4 || res.Summary.Queries != 4 {
+		t.Fatalf("got %d records, summary says %d, want 4", len(res.Records), res.Summary.Queries)
+	}
+	if res.Summary.Violations != 0 {
+		t.Fatalf("fixed-seed run has %d violations", res.Summary.Violations)
+	}
+	if !strings.Contains(stderr.String(), "workload: 4 queries") {
+		t.Errorf("human rollup missing from stderr:\n%s", stderr.String())
+	}
+}
+
+// stripTimings zeroes the wall-clock fields so two runs of the same
+// seed compare equal.
+func stripTimings(run *workload.Run) {
+	for i := range run.Records {
+		run.Records[i].LatencyNs = 0
+	}
+	run.Summary.WallNs = 0
+	run.Summary.LatencyP50Ns = 0
+	run.Summary.LatencyP95Ns = 0
+	run.Summary.LatencyP99Ns = 0
+}
+
+// TestReplayMatchesGenerated is the licmgen contract: replaying a
+// written spec file answers exactly the queries the in-process
+// generator would produce for the same seed.
+func TestReplayMatchesGenerated(t *testing.T) {
+	specs := workload.GenerateSpecs(4, 303, 1000, 40) // seed 3 -> workload stream 303
+	specPath := filepath.Join(t.TempDir(), "queries.jsonl")
+	f, err := os.Create(specPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := workload.WriteSpecs(f, specs); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var genOut, repOut, stderr bytes.Buffer
+	if code := run(fastArgs(), &genOut, &stderr); code != 0 {
+		t.Fatalf("generated run: exit %d\nstderr: %s", code, stderr.String())
+	}
+	if code := run(fastArgs("-replay", specPath), &repOut, &stderr); code != 0 {
+		t.Fatalf("replay run: exit %d\nstderr: %s", code, stderr.String())
+	}
+	gen, rep := parseRun(t, genOut.Bytes()), parseRun(t, repOut.Bytes())
+	stripTimings(gen)
+	stripTimings(rep)
+	if !reflect.DeepEqual(gen.Records, rep.Records) {
+		t.Errorf("replayed records differ from generated records")
+	}
+	if !reflect.DeepEqual(gen.Summary, rep.Summary) {
+		t.Errorf("replayed summary differs: %+v vs %+v", gen.Summary, rep.Summary)
+	}
+}
+
+func TestSnapshotWritesRun(t *testing.T) {
+	dir := t.TempDir()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir(wd) //nolint:errcheck // best-effort restore
+
+	var stdout, stderr bytes.Buffer
+	if code := run(fastArgs("-snapshot", "t", "-label", "t", "-o", filepath.Join(dir, "run.jsonl")), &stdout, &stderr); code != 0 {
+		t.Fatalf("licmload -snapshot: exit %d\nstderr: %s", code, stderr.String())
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "BENCH_t.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := parseRun(t, data)
+	if snap.Summary.Label != "t" || len(snap.Records) != 4 {
+		t.Errorf("snapshot label %q, %d records", snap.Summary.Label, len(snap.Records))
+	}
+	stream, err := os.ReadFile(filepath.Join(dir, "run.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(stream, data) {
+		t.Errorf("-o stream and snapshot diverge")
+	}
+}
+
+func TestBadInputsExit2(t *testing.T) {
+	cases := [][]string{
+		{"-queries", "0"},
+		{"-queries", "-3"},
+		{"-replay", "no_such_file.jsonl"},
+		{"-scheme", "rot13", "-queries", "1"},
+		{"-log-level", "loudest"},
+	}
+	for _, args := range cases {
+		var stdout, stderr bytes.Buffer
+		if code := run(args, &stdout, &stderr); code != 2 {
+			t.Errorf("licmload %v: exit %d, want 2", args, code)
+		}
+	}
+}
+
+func TestEmptyReplayExit2(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty.jsonl")
+	if err := os.WriteFile(path, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-replay", path}, &stdout, &stderr); code != 2 {
+		t.Errorf("empty replay file: exit %d, want 2", code)
+	}
+}

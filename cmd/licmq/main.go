@@ -60,6 +60,7 @@ import (
 	"licm/internal/mc"
 	"licm/internal/obs"
 	"licm/internal/queries"
+	"licm/internal/seedflag"
 	"licm/internal/solver"
 	"licm/internal/super"
 )
@@ -97,6 +98,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fallback = fs.Int("fallback-samples", 200, "Monte-Carlo worlds for the supervised solve's sampled fallback (0 disables it)")
 
 		explainFlag = fs.Bool("explain", false, "print a per-component solve breakdown (pruning effect, fingerprints, time shares)")
+		seed        = seedflag.Register(fs)
 		explainJSON = fs.String("explain-json", "", "write the licm-explain/1 report as one JSON line to this file (\"-\" = stdout)")
 		certifyOut  = fs.String("certify", "", "write licm-cert/1 optimality certificates as JSON lines to this file (\"-\" = stdout); check them with licmverify")
 	)
@@ -223,7 +225,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	exitCode := 0
 	if *deadline > 0 || *strict {
 		exitCode = runSupervised(stdout, enc, rel, q, opts, tr, logger,
-			*scheme, *k, *deadline, *strict, *fallback)
+			*scheme, *k, *deadline, *strict, *fallback,
+			seedflag.Derive(*seed, seedflag.FallbackStream))
 	} else {
 		start = time.Now()
 		res, err := core.CountBounds(enc.DB, rel, opts)
@@ -332,7 +335,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	if *mcRuns > 0 {
 		start = time.Now()
-		sampler := mc.NewSampler(enc, 42)
+		sampler := mc.NewSampler(enc, seedflag.Derive(*seed, seedflag.MCStream))
 		sampler.SetTracer(tr)
 		r := sampler.Run(q, *mcRuns)
 		fmt.Fprintf(stdout, "Monte-Carlo (%d worlds): observed range [%d, %d] in %v\n",
@@ -386,7 +389,7 @@ func printExplain(w io.Writer, rep *explain.Report) {
 // or 3 when strict is set and the result degraded below exact.
 func runSupervised(stdout io.Writer, enc *encode.Encoded, rel *core.Relation, q queries.Query,
 	opts solver.Options, tr *obs.Tracer, logger *slog.Logger, scheme string, k int,
-	deadline time.Duration, strict bool, fallbackSamples int) int {
+	deadline time.Duration, strict bool, fallbackSamples int, fallbackSeed int64) int {
 	ctx := context.Background()
 	if deadline > 0 {
 		var cancel context.CancelFunc
@@ -397,7 +400,7 @@ func runSupervised(stdout io.Writer, enc *encode.Encoded, rel *core.Relation, q 
 	opts.Trace = tr
 	cfg := super.Config{
 		Solver: opts,
-		Sample: super.MCFallback(enc, obj, 42, fallbackSamples),
+		Sample: super.MCFallback(enc, obj, fallbackSeed, fallbackSamples),
 		Log:    logger,
 	}
 	out := super.Bounds(ctx, core.BuildProblem(enc.DB, obj), cfg)

@@ -1,0 +1,169 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"time"
+
+	"licm/internal/cliexit"
+	"licm/internal/workload"
+)
+
+// cmdLoad reads licm-load/1 workload runs (licmload): a single file
+// gets a summary (with -strict as the schema gate), two files get a
+// regression diff against the committed BENCH_workload.json baseline.
+func cmdLoad(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("licmtrace load", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	asJSON := fs.Bool("json", false, "print the summary or diff as JSON")
+	strictMode := fs.Bool("strict", false, "schema guard: reject unknown fields and semantic inconsistencies (exit 1)")
+	diffMode := fs.Bool("diff", false, "compare two runs: licmtrace load -diff <old> <new>; exit 1 on breach")
+	def := workload.DefaultLoadTol()
+	tolLat := fs.Float64("tol", def.LatencyFactor, "allowed latency-quantile growth factor (diff)")
+	minLat := fs.Int64("min-latency-ns", def.MinLatencyNs, "noise floor: latency quantiles below this never breach (diff)")
+	qerrSlack := fs.Float64("qerr-slack", def.QerrSlack, "allowed absolute qerr-quantile growth (diff)")
+	logOpts := addLogFlags(fs)
+	usageLine := "usage: licmtrace load [-json] [-strict] <run.jsonl> | licmtrace load -diff [-tol f] [-min-latency-ns n] [-qerr-slack f] <old.jsonl> <new.jsonl>"
+	if err := fs.Parse(args); err != nil {
+		fmt.Fprintln(stderr, usageLine)
+		return cliexit.Usage
+	}
+	wantArgs := 1
+	if *diffMode {
+		wantArgs = 2
+	}
+	if fs.NArg() != wantArgs {
+		fmt.Fprintln(stderr, usageLine)
+		return cliexit.Usage
+	}
+	logger, ok := subLog(logOpts, stderr)
+	if !ok {
+		return cliexit.Usage
+	}
+	read := func(path string, strict bool) (*workload.Run, int) {
+		in, closeFn, err := open(path, stdin)
+		if err != nil {
+			fmt.Fprintf(stderr, "licmtrace: %v\n", err)
+			return nil, cliexit.Usage
+		}
+		data, err := io.ReadAll(in)
+		closeFn() //nolint:errcheck // read-only
+		if err != nil {
+			fmt.Fprintf(stderr, "licmtrace: %v\n", err)
+			return nil, cliexit.Usage
+		}
+		// Unreadable input is bad input (2); a stream that parses but
+		// violates the licm-load/1 contract — unknown fields or semantic
+		// inconsistencies — is a schema breach (1) under -strict,
+		// mirroring the census subcommand.
+		run, err := workload.ReadRun(bytes.NewReader(data), false)
+		if err != nil {
+			fmt.Fprintf(stderr, "licmtrace: %s: %v\n", path, err)
+			return nil, cliexit.Usage
+		}
+		if strict {
+			if _, err := workload.ReadRun(bytes.NewReader(data), true); err != nil {
+				fmt.Fprintf(stderr, "licmtrace: schema breach: %v\n", err)
+				return nil, cliexit.Findings
+			}
+		}
+		return run, cliexit.OK
+	}
+
+	if *diffMode {
+		oldRun, code := read(fs.Arg(0), true)
+		if code != cliexit.OK {
+			return code
+		}
+		newRun, code := read(fs.Arg(1), true)
+		if code != cliexit.OK {
+			return code
+		}
+		logger.Debug("runs loaded", "old_queries", len(oldRun.Records), "new_queries", len(newRun.Records))
+		d := workload.DiffRuns(oldRun, newRun, workload.LoadTol{
+			LatencyFactor: *tolLat, MinLatencyNs: *minLat, QerrSlack: *qerrSlack,
+		})
+		if *asJSON {
+			enc := json.NewEncoder(stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(struct {
+				Warnings []string `json:"warnings"`
+				Breaches []string `json:"breaches"`
+				OK       bool     `json:"ok"`
+			}{d.Warnings, d.Breaches, d.OK()}); err != nil {
+				fmt.Fprintf(stderr, "licmtrace: %v\n", err)
+				return cliexit.Usage
+			}
+		} else {
+			fmt.Fprintf(stdout, "old: %s (%d queries)  new: %s (%d queries)\n",
+				runLabel(oldRun), len(oldRun.Records), runLabel(newRun), len(newRun.Records))
+			for _, w := range d.Warnings {
+				fmt.Fprintf(stdout, "warning: %s\n", w)
+			}
+			for _, b := range d.Breaches {
+				fmt.Fprintf(stdout, "breach: %s\n", b)
+			}
+			if d.OK() {
+				fmt.Fprintf(stdout, "ok: no regression (latency factor %.2g, qerr slack %.2g)\n",
+					*tolLat, *qerrSlack)
+			} else {
+				fmt.Fprintf(stdout, "REGRESSION: %d breach(es)\n", len(d.Breaches))
+			}
+		}
+		if !d.OK() {
+			return cliexit.Findings
+		}
+		return cliexit.OK
+	}
+
+	run, code := read(fs.Arg(0), *strictMode)
+	if code != cliexit.OK {
+		return code
+	}
+	logger.Debug("run loaded", "path", fs.Arg(0), "queries", len(run.Records))
+	s := run.Summary
+	if *asJSON {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(s); err != nil {
+			fmt.Fprintf(stderr, "licmtrace: %v\n", err)
+			return cliexit.Usage
+		}
+		return cliexit.OK
+	}
+	fmt.Fprintf(stdout, "workload run: %s — %d queries over %s(k=%d), seed %d, %s/%s/%s\n",
+		runLabel(run), s.Queries, s.Scheme, s.K, s.Seed, s.GoVersion, s.GOOS, s.GOARCH)
+	fmt.Fprintf(stdout, "quality: exact %d, proven-interval %d, sampled %d, failed %d (proven %d, exact refs %d)\n",
+		s.ByQuality["exact"], s.ByQuality["proven-interval"], s.ByQuality["sampled"], s.ByQuality["failed"],
+		s.Proven, s.ExactRef)
+	fmt.Fprintf(stdout, "latency: p50 %s, p95 %s, p99 %s (wall %s)\n",
+		dur(s.LatencyP50Ns), dur(s.LatencyP95Ns), dur(s.LatencyP99Ns), dur(s.WallNs))
+	fmt.Fprintf(stdout, "tightness: qerr p50 %.4g, p90 %.4g, max %.4g\n", s.QerrP50, s.QerrP90, s.QerrMax)
+	fmt.Fprintf(stdout, "components: %d, distinct fingerprints %d, cache hit rate %.1f%%\n",
+		s.Components, s.DistinctFingerprints, 100*s.CacheHitRate)
+	if s.DeadlineNs > 0 {
+		fmt.Fprintf(stdout, "deadline: %s per query\n", time.Duration(s.DeadlineNs))
+	}
+	if s.Violations > 0 {
+		fmt.Fprintf(stdout, "VIOLATIONS: %d — proven bounds failed a ground-truth check:\n", s.Violations)
+		for _, r := range run.Records {
+			for _, v := range r.Violations {
+				fmt.Fprintf(stdout, "  %s: %s\n", r.Name, v)
+			}
+		}
+		return cliexit.Findings
+	}
+	fmt.Fprintf(stdout, "violations: 0\n")
+	return cliexit.OK
+}
+
+// runLabel names a run for diff output.
+func runLabel(run *workload.Run) string {
+	if run.Summary != nil && run.Summary.Label != "" {
+		return run.Summary.Label
+	}
+	return "(unlabeled)"
+}

@@ -11,6 +11,8 @@
 //	licmtrace cat -name solver trace.jsonl  # filter/pretty-print events
 //	licmtrace bench-diff old.json new.json  # compare BENCH_<label>.json snapshots
 //	licmtrace census explain.jsonl          # component recurrence census over explain records
+//	licmtrace load run.jsonl                # workload-run summary (licm-load/1, from licmload)
+//	licmtrace load -diff BENCH_workload.json run.jsonl  # workload regression gate
 //	curl -s :6060/metrics | licmtrace promcheck -  # validate a /metrics scrape
 //
 // Exit status follows licmvet/go vet via internal/cliexit: 0 when
@@ -58,6 +60,11 @@ commands:
   census [-json] [-top n] [-cache n] [-strict] <explain.jsonl>
                                              component recurrence census over licm-explain/1 records;
                                              -strict exits 1 on schema drift
+  load [-json] [-strict] <run.jsonl>         workload-run (licm-load/1) summary; -strict exits 1 on
+                                             schema drift or consistency violations
+  load -diff [-tol f] [-min-latency-ns n] [-qerr-slack f] <old.jsonl> <new.jsonl>
+                                             compare workload runs (latency, tightness, correctness);
+                                             exit 1 on breach
 
 "-" reads the input from stdin. Exit codes: 0 clean, 1 threshold breached or
 exposition invalid, 2 bad input. All subcommands take -log-level and -log-format.
@@ -85,6 +92,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		return cmdPromCheck(rest, stdin, stdout, stderr)
 	case "census":
 		return cmdCensus(rest, stdin, stdout, stderr)
+	case "load":
+		return cmdLoad(rest, stdin, stdout, stderr)
 	case "-h", "-help", "--help", "help":
 		usage(stderr)
 		return cliexit.OK

@@ -209,6 +209,78 @@ func TestCensusBadInput(t *testing.T) {
 	}
 }
 
+// The load fixture is hand-checked: 3 queries (2 exact, 1
+// proven-interval), latency p50 8ms / p95 60ms, qerr p90 2, no
+// violations. The regressed variant changes q1-count#0's proven
+// bounds and quality, inflates q1-sum#1's latency past the 3x gate,
+// and adds a consistency violation to q3-count#2 — five breaches.
+func TestLoadSummaryGolden(t *testing.T) {
+	runCase(t, []string{"load", "testdata/load_fixture.jsonl"}, 0, "load.golden")
+}
+
+func TestLoadSummaryJSONGolden(t *testing.T) {
+	runCase(t, []string{"load", "-json", "testdata/load_fixture.jsonl"}, 0, "load_json.golden")
+}
+
+func TestLoadViolationsExit1(t *testing.T) {
+	runCase(t, []string{"load", "testdata/load_regressed.jsonl"}, 1, "")
+}
+
+func TestLoadDiffIdenticalIsClean(t *testing.T) {
+	runCase(t, []string{"load", "-diff", "testdata/load_fixture.jsonl", "testdata/load_fixture.jsonl"}, 0, "")
+}
+
+func TestLoadDiffRegressionGolden(t *testing.T) {
+	runCase(t, []string{"load", "-diff", "testdata/load_fixture.jsonl", "testdata/load_regressed.jsonl"}, 1, "load_diff.golden")
+}
+
+func TestLoadDiffJSONGolden(t *testing.T) {
+	runCase(t, []string{"load", "-diff", "-json", "testdata/load_fixture.jsonl", "testdata/load_regressed.jsonl"}, 1, "load_diff_json.golden")
+}
+
+// TestLoadStrictSchemaDrift: an unknown field passes the lax reader
+// but is a schema breach (exit 1) under -strict; truly malformed
+// input stays exit 2.
+func TestLoadStrictSchemaDrift(t *testing.T) {
+	data, err := os.ReadFile("testdata/load_fixture.jsonl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	drifted := strings.Replace(string(data), `"vars":180`, `"vars":180,"bogus":1`, 1)
+	if drifted == string(data) {
+		t.Fatal("fixture drift injection failed")
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"load", "-strict", "-"}, strings.NewReader(drifted), &stdout, &stderr); code != 1 {
+		t.Fatalf("strict load over drifted stream: exit %d, want 1\nstderr: %s", code, stderr.String())
+	}
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"load", "-"}, strings.NewReader(drifted), &stdout, &stderr); code != 0 {
+		t.Fatalf("lax load over drifted stream: exit %d, want 0\nstderr: %s", code, stderr.String())
+	}
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"load", "-strict", "testdata/load_fixture.jsonl"}, &bytes.Buffer{}, &stdout, &stderr); code != 0 {
+		t.Fatalf("strict load over clean fixture: exit %d, want 0\nstderr: %s", code, stderr.String())
+	}
+}
+
+func TestLoadBadInputsExit2(t *testing.T) {
+	cases := [][]string{
+		{"load"},
+		{"load", "testdata/no_such_file.jsonl"},
+		{"load", "-diff", "testdata/load_fixture.jsonl"},
+		{"load", "testdata/fixture.jsonl"}, // a trace, not a licm-load stream
+	}
+	for _, args := range cases {
+		var stdout, stderr bytes.Buffer
+		if code := run(args, strings.NewReader(""), &stdout, &stderr); code != 2 {
+			t.Errorf("licmtrace %v: exit %d, want 2", args, code)
+		}
+	}
+}
+
 // TestCensusStrictAcceptsLiveOutput closes the producer/consumer
 // loop: a census over a record the explain package itself wrote must
 // pass -strict.

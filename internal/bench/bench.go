@@ -30,6 +30,7 @@ import (
 	"licm/internal/mc"
 	"licm/internal/obs"
 	"licm/internal/queries"
+	"licm/internal/seedflag"
 	"licm/internal/solver"
 )
 
@@ -380,7 +381,7 @@ func (cfg Config) RunCell(scheme Scheme, q queries.Query, k int) (Cell, error) {
 	}
 
 	start = time.Now()
-	sampler := mc.NewSampler(enc, cfg.Seed+100)
+	sampler := mc.NewSampler(enc, seedflag.Derive(cfg.Seed, seedflag.MCStream))
 	sampler.SetTracer(cfg.Trace)
 	sampler.SetMetrics(cfg.Metrics)
 	r := sampler.Run(q, cfg.MCSamples)

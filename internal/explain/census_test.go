@@ -140,6 +140,63 @@ func TestCensusSimulateLRU(t *testing.T) {
 	}
 }
 
+// observeSeq feeds the census a single-run report whose components
+// produce exactly the given fingerprint access sequence.
+func observeSeq(c *Census, fps ...string) {
+	c.Observe(&Report{Schema: Schema, Query: "adv", Quality: "exact",
+		Runs: []Run{fixtureRun("max", fps...)}})
+}
+
+func TestCensusSimulateLRUCyclicThrash(t *testing.T) {
+	// The classic LRU worst case: a cyclic working set one larger than
+	// the cache. Every access evicts the entry that is needed soonest,
+	// so a capacity-2 cache over A,B,C,A,B,C,A,B,C scores zero hits
+	// even though every fingerprint recurs three times.
+	c := NewCensus()
+	observeSeq(c, fpA, fpB, fpC, fpA, fpB, fpC, fpA, fpB, fpC)
+	if hits, rate := c.SimulateLRU(2); hits != 0 || rate != 0 {
+		t.Errorf("cyclic capacity 2: hits=%d rate=%v, want 0 and 0", hits, rate)
+	}
+	// One more slot holds the whole working set: all 6 re-accesses hit.
+	if hits, rate := c.SimulateLRU(3); hits != 6 || !almost(rate, 6.0/9.0) {
+		t.Errorf("cyclic capacity 3: hits=%d rate=%v, want 6 and 6/9", hits, rate)
+	}
+	// The unbounded hit rate the Summary reports must not be fooled by
+	// eviction order: (components-distinct)/components = 6/9.
+	if s := c.Summarize(0); !almost(s.HitRate, 6.0/9.0) {
+		t.Errorf("unbounded hit rate = %v, want 6/9", s.HitRate)
+	}
+}
+
+func TestCensusSimulateLRUEvictJustBeforeReuse(t *testing.T) {
+	// Adversarial recurrence: A is touched, pushed to the LRU tail by
+	// two distinct fills, evicted by a third, and re-requested on the
+	// very next access. Capacity 2 over A,B,C,A,B,C is the minimal such
+	// trace — every recurrence arrives exactly one eviction too late.
+	c := NewCensus()
+	observeSeq(c, fpA, fpB, fpC, fpA)
+	observeSeq(c, fpB, fpC)
+	if hits, _ := c.SimulateLRU(2); hits != 0 {
+		t.Errorf("evict-before-reuse capacity 2: hits=%d, want 0", hits)
+	}
+	// The same trace with room for three entries never evicts A early:
+	// accesses 4..6 all hit.
+	if hits, _ := c.SimulateLRU(3); hits != 3 {
+		t.Errorf("evict-before-reuse capacity 3: hits=%d, want 3", hits)
+	}
+	// Interleaving across Observe calls must behave identically to one
+	// long report: the census tracks a single global access order.
+	c2 := NewCensus()
+	observeSeq(c2, fpA, fpB, fpC, fpA, fpB, fpC)
+	for cap := 1; cap <= 4; cap++ {
+		h1, _ := c.SimulateLRU(cap)
+		h2, _ := c2.SimulateLRU(cap)
+		if h1 != h2 {
+			t.Errorf("capacity %d: split-report hits %d != single-report hits %d", cap, h1, h2)
+		}
+	}
+}
+
 func TestCensusMetricsWiring(t *testing.T) {
 	reg := obs.NewRegistry()
 	c := NewCensus()

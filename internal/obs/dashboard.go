@@ -36,7 +36,8 @@ const dashboardHTML = `<!DOCTYPE html>
 "use strict";
 var FEATURED = ["solver.nodes", "solver.lp_solves", "runtime.heap_bytes",
   "mc.subset_accepted", "solver.incumbents", "runtime.goroutines",
-  "solver.components", "explain.components", "explain.distinct_fingerprints"];
+  "solver.components", "explain.components", "explain.distinct_fingerprints",
+  "workload.queries", "workload.qerr_ppm", "workload.violations"];
 function fmt(v) {
   var a = Math.abs(v);
   if (a >= 1e9) return (v / 1e9).toFixed(2) + "G";

@@ -1,0 +1,11 @@
+package workload
+
+// Exact float comparisons for the licm-load/1 validator live here
+// (the floatcmp lint confines ==/!= on floats to tol.go files). Both
+// uses are genuinely exact: an unproven record's qerr is the literal
+// constant 0, and an exact solve against an exact reference has
+// lb == ub == gt, so qerror computes (x+1)/(x+1) — exactly 1.0 in
+// IEEE arithmetic, with no intervening operations to round.
+
+// floatEq reports a == b.
+func floatEq(a, b float64) bool { return a == b }

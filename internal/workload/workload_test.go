@@ -1,0 +1,370 @@
+package workload
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"licm/internal/explain"
+	"licm/internal/solver"
+)
+
+// testConfig is a small fixed-seed run: large enough to exercise all
+// four query shapes, small enough for the exact reference solver on
+// every query.
+func testConfig() Config {
+	opts := solver.DefaultOptions()
+	opts.CompleteWitness = false
+	return Config{
+		NumTransactions: 120,
+		NumItems:        40,
+		Scheme:          "k",
+		K:               4,
+		Seed:            3,
+		MCSamples:       20,
+		Solver:          opts,
+	}
+}
+
+func testSpecs(t *testing.T, n int) []Spec {
+	t.Helper()
+	specs := GenerateSpecs(n, 7, 1000, 40)
+	if len(specs) != n {
+		t.Fatalf("GenerateSpecs returned %d specs, want %d", len(specs), n)
+	}
+	for _, sp := range specs {
+		if err := sp.Validate(); err != nil {
+			t.Fatalf("generated spec invalid: %v", err)
+		}
+	}
+	return specs
+}
+
+func TestGenerateSpecsDeterministicAndDiverse(t *testing.T) {
+	a := GenerateSpecs(200, 42, 1000, 40)
+	b := GenerateSpecs(200, 42, 1000, 40)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different specs")
+	}
+	c := GenerateSpecs(200, 43, 1000, 40)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical specs")
+	}
+	kinds := map[string]int{}
+	for _, sp := range a {
+		kinds[sp.Kind+"/"+sp.Agg]++
+	}
+	for _, want := range []string{"q1/count", "q1/sum", "q2/count", "q3/count"} {
+		if kinds[want] == 0 {
+			t.Errorf("200 specs contain no %s queries (got %v)", want, kinds)
+		}
+	}
+}
+
+func TestSpecsRoundTrip(t *testing.T) {
+	specs := testSpecs(t, 50)
+	var buf bytes.Buffer
+	if err := WriteSpecs(&buf, specs); err != nil {
+		t.Fatalf("WriteSpecs: %v", err)
+	}
+	got, err := ReadSpecs(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadSpecs: %v", err)
+	}
+	if !reflect.DeepEqual(specs, got) {
+		t.Fatal("specs did not round-trip")
+	}
+}
+
+func TestReadSpecsRejects(t *testing.T) {
+	cases := map[string]string{
+		"wrong schema":  `{"schema":"licm-bench/1","id":0,"kind":"q1","agg":"count","pa_lo":0,"pa_hi":1,"pb_lo":0,"pb_hi":1,"pc_lo":0,"pc_hi":0,"x":0,"y":0}`,
+		"newer schema":  `{"schema":"licm-queries/9","id":0,"kind":"q1","agg":"count","pa_lo":0,"pa_hi":1,"pb_lo":0,"pb_hi":1,"pc_lo":0,"pc_hi":0,"x":0,"y":0}`,
+		"unknown field": `{"schema":"licm-queries/1","id":0,"kind":"q1","agg":"count","pa_lo":0,"pa_hi":1,"pb_lo":0,"pb_hi":1,"pc_lo":0,"pc_hi":0,"x":0,"y":0,"extra":1}`,
+		"bad kind":      `{"schema":"licm-queries/1","id":0,"kind":"q9","agg":"count","pa_lo":0,"pa_hi":1,"pb_lo":0,"pb_hi":1,"pc_lo":0,"pc_hi":0,"x":0,"y":0}`,
+		"empty window":  `{"schema":"licm-queries/1","id":0,"kind":"q1","agg":"count","pa_lo":5,"pa_hi":1,"pb_lo":0,"pb_hi":1,"pc_lo":0,"pc_hi":0,"x":0,"y":0}`,
+		"sum on q2":     `{"schema":"licm-queries/1","id":0,"kind":"q2","agg":"sum","pa_lo":0,"pa_hi":1,"pb_lo":0,"pb_hi":1,"pc_lo":0,"pc_hi":1,"x":1,"y":1}`,
+	}
+	for name, line := range cases {
+		if _, err := ReadSpecs(strings.NewReader(line)); err == nil {
+			t.Errorf("%s: ReadSpecs accepted %s", name, line)
+		}
+	}
+}
+
+func TestExecuteScoresAndValidates(t *testing.T) {
+	cfg := testConfig()
+	specs := testSpecs(t, 8)
+	run, err := Execute(cfg, specs)
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if err := run.Validate(); err != nil {
+		t.Fatalf("run does not validate: %v", err)
+	}
+	if len(run.Records) != len(specs) {
+		t.Fatalf("got %d records, want %d", len(run.Records), len(specs))
+	}
+	if run.Summary.Violations != 0 {
+		for _, r := range run.Records {
+			for _, v := range r.Violations {
+				t.Errorf("%s: violation: %s", r.Name, v)
+			}
+		}
+		t.Fatalf("run has %d consistency violations", run.Summary.Violations)
+	}
+	for _, r := range run.Records {
+		// The acceptance criterion: an exactly-solved query checked
+		// against exact ground truth must have perfectly tight bounds.
+		if r.Quality == "exact" && r.GtSource == "exact" && r.Qerr != 1.0 {
+			t.Errorf("%s: exact/exact qerr = %g, want exactly 1.0", r.Name, r.Qerr)
+		}
+		if r.Proven && r.Qerr < 1 {
+			t.Errorf("%s: proven record has qerr %g < 1", r.Name, r.Qerr)
+		}
+	}
+	if run.Summary.ExactRef == 0 {
+		t.Error("no query got an exact ground-truth reference at this scale")
+	}
+	// JSONL round-trip in strict mode.
+	var buf bytes.Buffer
+	if err := WriteRun(&buf, run); err != nil {
+		t.Fatalf("WriteRun: %v", err)
+	}
+	got, err := ReadRun(bytes.NewReader(buf.Bytes()), true)
+	if err != nil {
+		t.Fatalf("ReadRun strict: %v", err)
+	}
+	if !reflect.DeepEqual(run.Records, got.Records) {
+		t.Error("records did not round-trip")
+	}
+	if !reflect.DeepEqual(run.Summary, got.Summary) {
+		t.Error("summary did not round-trip")
+	}
+}
+
+// stripTimings zeroes every wall-clock figure so two runs of the same
+// seeded workload can be compared for determinism.
+func stripTimings(run *Run) {
+	for i := range run.Records {
+		run.Records[i].LatencyNs = 0
+	}
+	if run.Summary != nil {
+		run.Summary.WallNs = 0
+		run.Summary.LatencyP50Ns = 0
+		run.Summary.LatencyP95Ns = 0
+		run.Summary.LatencyP99Ns = 0
+	}
+}
+
+func TestExecuteDeterministic(t *testing.T) {
+	cfg := testConfig()
+	specs := testSpecs(t, 5)
+	a, err := Execute(cfg, specs)
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	b, err := Execute(cfg, specs)
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	stripTimings(a)
+	stripTimings(b)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("two runs of the same seeded workload differ beyond timings")
+	}
+}
+
+func TestExecuteFeedsCensus(t *testing.T) {
+	cfg := testConfig()
+	cfg.Census = explain.NewCensus()
+	specs := testSpecs(t, 4)
+	run, err := Execute(cfg, specs)
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	cs := cfg.Census.Summarize(0)
+	if cs.Queries != len(specs) {
+		t.Errorf("census saw %d queries, want %d", cs.Queries, len(specs))
+	}
+	// The external census observed exactly what the internal one
+	// rolled into the summary.
+	if cs.Components != run.Summary.Components {
+		t.Errorf("census components %d, summary says %d", cs.Components, run.Summary.Components)
+	}
+	if cs.Distinct != run.Summary.DistinctFingerprints {
+		t.Errorf("census distinct %d, summary says %d", cs.Distinct, run.Summary.DistinctFingerprints)
+	}
+	if cs.HitRate != run.Summary.CacheHitRate {
+		t.Errorf("census hit rate %g, summary says %g", cs.HitRate, run.Summary.CacheHitRate)
+	}
+	var recComps int
+	for _, r := range run.Records {
+		recComps += r.Components
+	}
+	if int64(recComps) != run.Summary.Components {
+		t.Errorf("record components sum to %d, summary says %d", recComps, run.Summary.Components)
+	}
+}
+
+func TestOnRecordStreams(t *testing.T) {
+	cfg := testConfig()
+	var streamed []string
+	cfg.OnRecord = func(r *Record) { streamed = append(streamed, r.Name) }
+	specs := testSpecs(t, 3)
+	run, err := Execute(cfg, specs)
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if len(streamed) != len(run.Records) {
+		t.Fatalf("OnRecord fired %d times for %d records", len(streamed), len(run.Records))
+	}
+	for i, r := range run.Records {
+		if streamed[i] != r.Name {
+			t.Errorf("OnRecord order: got %s at %d, want %s", streamed[i], i, r.Name)
+		}
+	}
+}
+
+func TestQError(t *testing.T) {
+	cases := []struct {
+		lb, ub, gtMin, gtMax int64
+		want                 float64
+	}{
+		{10, 20, 10, 20, 1.0},  // perfectly tight
+		{0, 0, 0, 0, 1.0},      // zero counts, +1 smoothing
+		{5, 41, 10, 20, 2.0},   // ub overshoot dominates: 42/21
+		{4, 20, 9, 20, 2.0},    // lb overshoot dominates: 10/5
+		{0, 100, 50, 50, 51.0}, // lb collapse to 0 dominates: 51/1
+	}
+	for _, c := range cases {
+		if got := qerror(c.lb, c.ub, c.gtMin, c.gtMax); got != c.want {
+			t.Errorf("qerror(%d,%d,%d,%d) = %g, want %g", c.lb, c.ub, c.gtMin, c.gtMax, got, c.want)
+		}
+	}
+}
+
+func TestReadRunRejects(t *testing.T) {
+	valid := func() *Run {
+		cfg := testConfig()
+		run, err := Execute(cfg, testSpecs(t, 2))
+		if err != nil {
+			t.Fatalf("Execute: %v", err)
+		}
+		return run
+	}()
+	var buf bytes.Buffer
+	if err := WriteRun(&buf, valid); err != nil {
+		t.Fatalf("WriteRun: %v", err)
+	}
+	base := buf.String()
+
+	mutations := map[string]func(string) string{
+		"wrong schema": func(s string) string {
+			return strings.ReplaceAll(s, "licm-load/1", "licm-load/9")
+		},
+		"no summary": func(s string) string {
+			lines := strings.Split(strings.TrimSpace(s), "\n")
+			return strings.Join(lines[:len(lines)-1], "\n") + "\n"
+		},
+		"unknown field strict": func(s string) string {
+			return strings.Replace(s, `"type":"query"`, `"type":"query","bogus":1`, 1)
+		},
+		"qerr below one": func(s string) string {
+			return strings.Replace(s, `"qerr":1`, `"qerr":0.5`, 1)
+		},
+	}
+	for name, mutate := range mutations {
+		if _, err := ReadRun(strings.NewReader(mutate(base)), true); err == nil {
+			t.Errorf("%s: strict ReadRun accepted the mutated stream", name)
+		}
+	}
+	// Lenient mode still parses unknown fields.
+	if _, err := ReadRun(strings.NewReader(mutations["unknown field strict"](base)), false); err != nil {
+		t.Errorf("lenient ReadRun rejected unknown field: %v", err)
+	}
+}
+
+func TestDiffRuns(t *testing.T) {
+	cfg := testConfig()
+	specs := testSpecs(t, 3)
+	old, err := Execute(cfg, specs)
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	clone := func() *Run {
+		var buf bytes.Buffer
+		if err := WriteRun(&buf, old); err != nil {
+			t.Fatalf("WriteRun: %v", err)
+		}
+		run, err := ReadRun(bytes.NewReader(buf.Bytes()), true)
+		if err != nil {
+			t.Fatalf("ReadRun: %v", err)
+		}
+		return run
+	}
+
+	if d := DiffRuns(old, clone(), DefaultLoadTol()); !d.OK() {
+		t.Fatalf("identical runs diff with breaches: %v", d.Breaches)
+	}
+
+	t.Run("changed proven bounds", func(t *testing.T) {
+		mod := clone()
+		for i := range mod.Records {
+			if mod.Records[i].Proven {
+				mod.Records[i].Ub++
+				break
+			}
+		}
+		if d := DiffRuns(old, mod, DefaultLoadTol()); d.OK() {
+			t.Error("changed proven bounds not flagged")
+		}
+	})
+	t.Run("missing query", func(t *testing.T) {
+		mod := clone()
+		mod.Records = mod.Records[1:]
+		mod.Summary.Queries--
+		mod.Summary.ByQuality[old.Records[0].Quality]--
+		if d := DiffRuns(old, mod, DefaultLoadTol()); d.OK() {
+			t.Error("missing query not flagged")
+		}
+	})
+	t.Run("new violations", func(t *testing.T) {
+		mod := clone()
+		mod.Records[0].Violations = append(mod.Records[0].Violations, "synthetic")
+		mod.Summary.Violations++
+		if d := DiffRuns(old, mod, DefaultLoadTol()); d.OK() {
+			t.Error("new violations not flagged")
+		}
+	})
+	t.Run("exact count drop", func(t *testing.T) {
+		mod := clone()
+		mod.Summary.Exact--
+		if d := DiffRuns(old, mod, DefaultLoadTol()); d.OK() {
+			t.Error("exact count drop not flagged")
+		}
+	})
+	t.Run("tightness regression", func(t *testing.T) {
+		mod := clone()
+		mod.Summary.QerrP90 = old.Summary.QerrP90 + 0.5
+		if d := DiffRuns(old, mod, DefaultLoadTol()); d.OK() {
+			t.Error("qerr p90 regression not flagged")
+		}
+	})
+	t.Run("latency regression", func(t *testing.T) {
+		mod := clone()
+		mod.Summary.LatencyP95Ns = old.Summary.LatencyP95Ns*10 + 100_000_000
+		if d := DiffRuns(old, mod, DefaultLoadTol()); d.OK() {
+			t.Error("latency p95 regression not flagged")
+		}
+	})
+	t.Run("parameter mismatch warns", func(t *testing.T) {
+		mod := clone()
+		mod.Summary.Seed++
+		d := DiffRuns(old, mod, DefaultLoadTol())
+		if len(d.Warnings) == 0 {
+			t.Error("parameter mismatch produced no warning")
+		}
+	})
+}
