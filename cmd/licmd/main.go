@@ -1,0 +1,167 @@
+// Command licmd is the long-lived LICM query service: it generates and
+// anonymizes one possibilistic store at startup, then answers aggregate
+// bounds queries over HTTP/JSON through the anytime supervisor
+// (internal/serve) until told to drain.
+//
+// Usage:
+//
+//	licmd -addr :8080 -trans 300 -items 60 -scheme k -k 4 -seed 7
+//	licmd -addr 127.0.0.1:0 -addr-file licmd.addr   # CI: discover the port
+//	licmd -addr :8080 -debug-addr :8081             # plus pprof/dashboard
+//
+// Endpoints: POST /v1/query (licm-queries/1 spec in, licm-serve/1
+// record out), GET /healthz, GET /readyz, GET /metrics. Query it with
+// `licmload -target` (full scored workload) or curl.
+//
+// SIGTERM/SIGINT starts a graceful drain: readiness flips to 503, new
+// queries get a typed "draining" error, in-flight and queued solves
+// finish, then the process exits 0. If the drain timeout expires with
+// queries still in flight, the process exits 3 (degraded).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"licm/internal/cliexit"
+	"licm/internal/obs"
+	"licm/internal/seedflag"
+	"licm/internal/serve"
+	"licm/internal/solver"
+	"licm/internal/workload"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("licmd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr     = fs.String("addr", ":8080", "serve the query API on this address (host:0 picks a free port)")
+		addrFile = fs.String("addr-file", "", "write the bound address to this file once listening (CI port discovery)")
+
+		trans  = fs.Int("trans", 300, "number of transactions in the served store")
+		items  = fs.Int("items", 60, "number of item types")
+		fanout = fs.Int("fanout", 8, "generalization hierarchy fanout")
+		scheme = fs.String("scheme", "k", "anonymization scheme: km | k | bipartite | suppress")
+		k      = fs.Int("k", 4, "anonymity parameter (support threshold for suppress)")
+		m      = fs.Int("m", 2, "subset size for km-anonymity")
+		mcN    = fs.Int("mc", 30, "Monte-Carlo samples for the sampled fallback rung")
+		nodes  = fs.Int64("maxnodes", 300_000, "solver node budget per solve")
+
+		workers   = fs.Int("workers", 0, "solve worker pool size (0 = GOMAXPROCS)")
+		queue     = fs.Int("queue", 64, "admission queue depth")
+		watermark = fs.Int("watermark", 0, "queue depth at which new queries shed to the sampled rung (0 = queue/2)")
+		shedN     = fs.Int("shed-samples", 0, "Monte-Carlo samples on the shed path (0 = -mc, negative disables shedding)")
+
+		defDead  = fs.Duration("default-deadline", 30*time.Second, "per-query budget when the request carries none (0 = unlimited)")
+		maxDead  = fs.Duration("max-deadline", 2*time.Minute, "clamp on client-requested deadlines")
+		drainCap = fs.Duration("drain-timeout", 30*time.Second, "how long SIGTERM waits for in-flight queries before giving up")
+
+		allowFault = fs.Bool("allow-fault-header", false, "honor the test-only X-Licm-Fault injection header (chaos harness; never in production)")
+
+		tracePath = fs.String("trace", "", "write a JSON-lines trace to this file")
+		verbose   = fs.Bool("verbose", false, "print a human-readable trace to stderr")
+		debugAddr = fs.String("debug-addr", "", "also serve pprof, /metrics and the /debug/licm dashboard on this address")
+	)
+	seed := seedflag.Register(fs)
+	var logOpts obs.LogOptions
+	logOpts.RegisterFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return cliexit.Usage
+	}
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "licmd:", err)
+		return cliexit.Usage
+	}
+
+	logger, err := logOpts.NewLogger(stderr)
+	if err != nil {
+		return fail(err)
+	}
+	tr, closeTrace, err := obs.Setup(*tracePath, *verbose, stderr)
+	if err != nil {
+		return fail(err)
+	}
+	defer func() {
+		if err := closeTrace(); err != nil {
+			fmt.Fprintln(stderr, "licmd:", err)
+		}
+	}()
+	metrics := obs.NewRegistry()
+
+	opts := solver.DefaultOptions()
+	opts.MaxNodes = *nodes
+	opts.CompleteWitness = false
+	cfg := serve.Config{
+		Workload: workload.Config{
+			NumTransactions: *trans,
+			NumItems:        *items,
+			HierarchyFanout: *fanout,
+			Scheme:          *scheme,
+			K:               *k,
+			M:               *m,
+			Seed:            *seed,
+			MCSamples:       *mcN,
+			Solver:          opts,
+			Trace:           tr,
+			Metrics:         metrics,
+			Log:             logger,
+		},
+		Workers:          *workers,
+		QueueDepth:       *queue,
+		ShedWatermark:    *watermark,
+		ShedSamples:      *shedN,
+		DefaultDeadline:  *defDead,
+		MaxDeadline:      *maxDead,
+		AllowFaultHeader: *allowFault,
+	}
+
+	srv, err := serve.New(cfg)
+	if err != nil {
+		return fail(err)
+	}
+	bound, err := srv.Start(*addr)
+	if err != nil {
+		return fail(err)
+	}
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(bound+"\n"), 0o644); err != nil {
+			return fail(err)
+		}
+	}
+	if *debugAddr != "" {
+		dbound, err := srv.AttachDebug(*debugAddr)
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Fprintf(stderr, "debug server on http://%s/ — /debug/pprof/, /metrics, /debug/licm\n", dbound)
+	}
+	fmt.Fprintf(stderr, "licmd: serving %s(k=%d) store, seed %d, on http://%s/ (POST /v1/query)\n",
+		*scheme, *k, *seed, bound)
+	if *allowFault {
+		fmt.Fprintln(stderr, "licmd: WARNING: X-Licm-Fault injection header enabled (test-only)")
+	}
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGTERM, syscall.SIGINT)
+	sig := <-sigs
+	fmt.Fprintf(stderr, "licmd: %v — draining (timeout %v)\n", sig, *drainCap)
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainCap)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		fmt.Fprintln(stderr, "licmd:", err)
+		return cliexit.Degraded
+	}
+	fmt.Fprintln(stderr, "licmd: drain complete")
+	return cliexit.OK
+}

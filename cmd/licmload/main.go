@@ -10,6 +10,14 @@
 //	licmload -replay queries.jsonl                # replay a licmgen -queries artifact
 //	licmload -queries 40 -snapshot workload       # also write BENCH_workload.json
 //	licmload -queries 50 -deadline 2s -o run.jsonl
+//	licmload -replay queries.jsonl -target 127.0.0.1:8080
+//
+// With -target the measured answers come from a running licmd (see
+// cmd/licmd) instead of local solves, while ground truth and scoring
+// stay local — the store flags (-trans, -items, -scheme, -k, -seed,
+// ...) must therefore match the server's so both sides describe the
+// same store. This turns the scored workload stream plus the licmtrace
+// load -diff gate into an end-to-end check of the serving path.
 //
 // Inspect or gate on the output with licmtrace load. Exit status 1
 // when any query has a consistency violation (ground truth outside
@@ -17,6 +25,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -27,6 +36,7 @@ import (
 	"licm/internal/explain"
 	"licm/internal/obs"
 	"licm/internal/seedflag"
+	"licm/internal/serve"
 	"licm/internal/solver"
 	"licm/internal/workload"
 )
@@ -51,6 +61,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		mcN     = fs.Int("mc", 30, "Monte-Carlo samples for ground truth, cross-checks and the sampled fallback")
 		nodes   = fs.Int64("maxnodes", 300_000, "solver node budget per solve")
 		refMax  = fs.Int("exact-ref-maxvars", workload.DefaultExactRefMaxVars, "largest post-query store (vars) still given an exact ground-truth reference solve; negative always uses MC")
+		target  = fs.String("target", "", "query a running licmd at this address instead of solving locally (store flags must match the server's)")
 		out     = fs.String("o", "-", "write the licm-load/1 stream here (- = stdout)")
 		snap    = fs.String("snapshot", "", "also write the stream as BENCH_<label>.json for licmtrace load -diff")
 		label   = fs.String("label", "", "run label recorded in the summary")
@@ -136,6 +147,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Log:             logger,
 		Label:           *label,
 		Census:          census,
+	}
+	if *target != "" {
+		client := &serve.Client{BaseURL: *target}
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		err := client.Readyz(ctx)
+		cancel()
+		if err != nil {
+			return fail(fmt.Errorf("target %s is not ready: %w", *target, err))
+		}
+		cfg.Answer = client.Answer
 	}
 
 	var w io.Writer = stdout

@@ -37,7 +37,9 @@ const dashboardHTML = `<!DOCTYPE html>
 var FEATURED = ["solver.nodes", "solver.lp_solves", "runtime.heap_bytes",
   "mc.subset_accepted", "solver.incumbents", "runtime.goroutines",
   "solver.components", "explain.components", "explain.distinct_fingerprints",
-  "workload.queries", "workload.qerr_ppm", "workload.violations"];
+  "workload.queries", "workload.qerr_ppm", "workload.violations",
+  "serve.requests", "serve.shed", "serve.queue_depth",
+  "serve.inflight", "serve.panics_contained", "serve.draining"];
 function fmt(v) {
   var a = Math.abs(v);
   if (a >= 1e9) return (v / 1e9).toFixed(2) + "G";

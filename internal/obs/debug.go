@@ -26,14 +26,25 @@ type DebugServer struct {
 func (s *DebugServer) Addr() string { return s.addr }
 
 // Close stops the runtime sampler, the time-series loop, and the HTTP
-// server. Idempotent.
+// server. Idempotent and safe under concurrent shutdown: a signal
+// handler's Close racing a deferred Close blocks until the first call
+// finishes and returns the same error. A nil receiver is a no-op, so
+// `defer srv.Close()` is safe on paths where the server was never
+// started (the obs nil no-op contract).
 func (s *DebugServer) Close() error {
+	if s == nil {
+		return nil
+	}
 	s.once.Do(func() {
-		s.sampler.Stop()
+		if s.sampler != nil {
+			s.sampler.Stop()
+		}
 		if s.tsStop != nil {
 			s.tsStop()
 		}
-		s.err = s.srv.Close()
+		if s.srv != nil {
+			s.err = s.srv.Close()
+		}
 	})
 	return s.err
 }

@@ -1,0 +1,43 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestDebugServerCloseConcurrent pins the shutdown contract licmd's
+// drain path relies on: Close is idempotent and safe under concurrent
+// shutdown — a signal handler's Close racing a deferred Close must not
+// double-stop the sampler or the HTTP server, and every caller
+// observes the same result. A nil receiver is a no-op, so callers that
+// never started a debug server can close unconditionally.
+func TestDebugServerCloseConcurrent(t *testing.T) {
+	srv, err := ServeDebug("127.0.0.1:0", NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const closers = 8
+	errs := make([]error, closers)
+	var wg sync.WaitGroup
+	for i := 0; i < closers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = srv.Close()
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != errs[0] {
+			t.Errorf("closer %d returned %v, closer 0 returned %v — concurrent Close results disagree", i, err, errs[0])
+		}
+		if err != nil {
+			t.Errorf("closer %d: %v", i, err)
+		}
+	}
+
+	var nilSrv *DebugServer
+	if err := nilSrv.Close(); err != nil {
+		t.Errorf("nil DebugServer Close: %v", err)
+	}
+}

@@ -1,0 +1,404 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"licm/internal/obs"
+	"licm/internal/solver"
+	"licm/internal/workload"
+)
+
+// testWorkload is the small fixed-seed store every serve test runs
+// against: large enough to exercise all query shapes, small enough
+// that solves stay in the exact/proven band and the whole suite —
+// faulted solves serialize on the global fault plan — survives the
+// race detector on a single-core runner.
+func testWorkload() workload.Config {
+	opts := solver.DefaultOptions()
+	opts.CompleteWitness = false
+	return workload.Config{
+		NumTransactions: 60,
+		NumItems:        30,
+		Scheme:          "k",
+		K:               4,
+		Seed:            3,
+		MCSamples:       10,
+		Solver:          opts,
+		Metrics:         obs.NewRegistry(),
+	}
+}
+
+// testServer starts a drained-on-cleanup server on a free port.
+func testServer(t *testing.T, mutate func(*Config)) (*Server, *Client) {
+	t.Helper()
+	cfg := Config{Workload: testWorkload()}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+		defer cancel()
+		if err := s.Drain(ctx); err != nil {
+			t.Errorf("cleanup drain: %v", err)
+		}
+	})
+	return s, &Client{BaseURL: addr}
+}
+
+func testSpecs(t *testing.T, n int) []workload.Spec {
+	t.Helper()
+	specs := workload.GenerateSpecs(n, 7, 1000, 40)
+	if len(specs) != n {
+		t.Fatalf("GenerateSpecs returned %d specs, want %d", len(specs), n)
+	}
+	return specs
+}
+
+// TestServeEndToEndParity is the core serving contract: a served
+// answer must be byte-identical in its proven figures to the local
+// supervised solve of the same spec on the same store, and the health
+// and metrics surfaces must hold up around it.
+func TestServeEndToEndParity(t *testing.T) {
+	_, client := testServer(t, nil)
+	specs := testSpecs(t, 6)
+
+	ctx := context.Background()
+	if err := client.Healthz(ctx); err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	if err := client.Readyz(ctx); err != nil {
+		t.Fatalf("readyz: %v", err)
+	}
+
+	// Local reference run on an identical config.
+	cfg := testWorkload()
+	local, err := workload.Execute(cfg, specs)
+	if err != nil {
+		t.Fatalf("local Execute: %v", err)
+	}
+
+	for i, sp := range specs {
+		resp, err := client.Query(ctx, &Request{Schema: workload.SpecSchema, Spec: sp})
+		if err != nil {
+			t.Fatalf("query %s: %v", sp.Name(), err)
+		}
+		if resp.Err != nil {
+			t.Fatalf("query %s: typed error %s: %s", sp.Name(), resp.Err.Code, resp.Err.Message)
+		}
+		lr := &local.Records[i]
+		if resp.Quality != lr.Quality {
+			t.Errorf("query %s: served quality %s, local %s", sp.Name(), resp.Quality, lr.Quality)
+		}
+		if resp.Proven && (resp.Lb != lr.Lb || resp.Ub != lr.Ub) {
+			t.Errorf("query %s: served proven bounds [%d, %d], local [%d, %d]",
+				sp.Name(), resp.Lb, resp.Ub, lr.Lb, lr.Ub)
+		}
+		if resp.Vars != lr.Vars || resp.Cons != lr.Cons {
+			t.Errorf("query %s: served shape %d/%d, local %d/%d",
+				sp.Name(), resp.Vars, resp.Cons, lr.Vars, lr.Cons)
+		}
+		if resp.LatencyNs <= 0 {
+			t.Errorf("query %s: non-positive latency %d", sp.Name(), resp.LatencyNs)
+		}
+	}
+
+	// The metrics endpoint must expose a parseable, valid exposition
+	// that accounts for every request.
+	hres, err := http.Get("http://" + client.BaseURL + "/metrics")
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	defer hres.Body.Close()
+	fams, err := obs.ParseProm(hres.Body)
+	if err != nil {
+		t.Fatalf("metrics parse: %v", err)
+	}
+	if err := obs.ValidateProm(fams); err != nil {
+		t.Fatalf("metrics validate: %v", err)
+	}
+	found := false
+	for _, f := range fams {
+		if f.Name == "licm_serve_requests_total" {
+			found = true
+			if len(f.Samples) != 1 || f.Samples[0].Value < float64(len(specs)) {
+				t.Errorf("licm_serve_requests_total = %+v, want >= %d", f.Samples, len(specs))
+			}
+		}
+	}
+	if !found {
+		t.Error("metrics exposition lacks licm_serve_requests_total")
+	}
+}
+
+// TestServeClientAnswer checks the workload adapter: a remote answer
+// feeds a scored workload run whose records pass the same validation
+// as local solves, with zero violations against local ground truth.
+func TestServeClientAnswer(t *testing.T) {
+	_, client := testServer(t, nil)
+	specs := testSpecs(t, 4)
+
+	cfg := testWorkload()
+	cfg.Answer = client.Answer
+	run, err := workload.Execute(cfg, specs)
+	if err != nil {
+		t.Fatalf("Execute via target: %v", err)
+	}
+	if run.Summary.Violations != 0 {
+		t.Fatalf("served run has %d consistency violations", run.Summary.Violations)
+	}
+	for i := range run.Records {
+		if err := run.Records[i].Validate(); err != nil {
+			t.Errorf("record %s: %v", run.Records[i].Name, err)
+		}
+	}
+}
+
+func TestServeBadRequests(t *testing.T) {
+	_, client := testServer(t, nil)
+	base := "http://" + client.BaseURL
+
+	post := func(body, hdr string) *http.Response {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodPost, base+"/v1/query", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hdr != "" {
+			req.Header.Set("X-Licm-Fault", hdr)
+		}
+		res, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	check := func(res *http.Response, wantStatus int) {
+		t.Helper()
+		defer res.Body.Close()
+		if res.StatusCode != wantStatus {
+			t.Fatalf("status %d, want %d", res.StatusCode, wantStatus)
+		}
+		var resp Response
+		if err := decodeJSON(res, &resp); err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if err := resp.Protocol(); err != nil {
+			t.Fatalf("protocol: %v", err)
+		}
+		if resp.Err == nil || resp.Err.Code != ErrBadRequest {
+			t.Fatalf("error %+v, want %s", resp.Err, ErrBadRequest)
+		}
+	}
+
+	check(post("{not json", ""), 400)
+	check(post(`{"schema":"wrong/1","id":1,"kind":"q1","agg":"count"}`, ""), 400)
+	check(post(`{"id":1,"kind":"q9","agg":"count"}`, ""), 400)
+	check(post(`{"id":1,"kind":"q1","agg":"count","bogus_field":1}`, ""), 400)
+	// Fault injection refused loudly on a server that does not allow it.
+	check(post(`{"id":1,"kind":"q1","agg":"count","x":3}`, "ctrl-batch:0:panic"), 400)
+
+	// Wrong method.
+	res, err := http.Get(base + "/v1/query")
+	if err != nil {
+		t.Fatal(err)
+	}
+	check(res, 400)
+}
+
+func decodeJSON(res *http.Response, v any) error {
+	defer res.Body.Close()
+	return json.NewDecoder(res.Body).Decode(v)
+}
+
+// TestServeShedPath pins the overload behavior: with the admission
+// queue at its watermark and no worker available, a query is never
+// refused — it is answered inline at the sampled ladder rung, marked
+// Shed, and still satisfies the protocol contract.
+func TestServeShedPath(t *testing.T) {
+	cfg := Config{Workload: testWorkload(),
+		Workers:    -1, // no worker pool: admission state is fully test-controlled
+		QueueDepth: 4, ShedWatermark: 1}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	// Pin the queue at the watermark; with no workers it stays there.
+	s.queue <- &task{}
+
+	client := &Client{BaseURL: ts.URL}
+	sp := testSpecs(t, 1)[0]
+	resp, err := client.Query(context.Background(), &Request{Spec: sp})
+	if err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	if resp.Err != nil {
+		t.Fatalf("shed query got typed error %s: %s", resp.Err.Code, resp.Err.Message)
+	}
+	if !resp.Shed || resp.Quality != "sampled" {
+		t.Fatalf("shed=%v quality=%s, want shed sampled answer", resp.Shed, resp.Quality)
+	}
+	if resp.Lb > resp.Ub {
+		t.Fatalf("shed bounds inverted [%d, %d]", resp.Lb, resp.Ub)
+	}
+
+	// With shedding disabled by configuration, the same overload is a
+	// typed overloaded error — still never a bare 503.
+	cfg.ShedSamples = -1
+	s2, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+	s2.queue <- &task{}
+	resp, err = (&Client{BaseURL: ts2.URL}).Query(context.Background(), &Request{Spec: sp})
+	if err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	if resp.Err == nil || resp.Err.Code != ErrOverloaded {
+		t.Fatalf("got %+v, want typed %s error", resp, ErrOverloaded)
+	}
+}
+
+// TestServeDrain walks the SIGTERM lifecycle: readiness flips, queries
+// admitted before the drain complete, queries after it get a typed
+// draining error, and Drain is idempotent.
+func TestServeDrain(t *testing.T) {
+	cfg := Config{Workload: testWorkload()}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	client := &Client{BaseURL: addr}
+	ctx := context.Background()
+	specs := testSpecs(t, 3)
+
+	// In-flight queries launched just before the drain must complete
+	// with real answers.
+	var wg sync.WaitGroup
+	results := make([]*Response, len(specs))
+	errs := make([]error, len(specs))
+	for i := range specs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = client.Query(ctx, &Request{Spec: specs[i]})
+		}(i)
+	}
+
+	// Wait until every query has reached the handler before draining,
+	// so the listener is not torn down under connections still dialing.
+	deadline := time.Now().Add(10 * time.Second)
+	for s.reg.Counter("serve.requests").Value() < int64(len(specs)) {
+		if time.Now().After(deadline) {
+			t.Fatal("queries never reached the server")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	dctx, cancel := context.WithTimeout(ctx, 2*time.Minute)
+	defer cancel()
+	if err := s.Drain(dctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	wg.Wait()
+	for i := range specs {
+		if errs[i] != nil {
+			t.Fatalf("in-flight query %d: %v", i, errs[i])
+		}
+		// A query that raced the drain may be refused with the typed
+		// draining error; one that was admitted must be answered.
+		if results[i].Err != nil && results[i].Err.Code != ErrDraining {
+			t.Errorf("in-flight query %d: unexpected error %+v", i, results[i].Err)
+		}
+	}
+
+	// Liveness stays up through the drain; readiness is down.
+	if err := client.Healthz(ctx); err == nil {
+		// The HTTP intake is closed after drain, so healthz now fails
+		// at the transport level — both outcomes (typed 503 before
+		// close, transport error after) are acceptable here. What must
+		// never happen is readiness still reporting OK:
+		if rerr := client.Readyz(ctx); rerr == nil {
+			t.Error("readyz still OK after drain")
+		}
+	}
+
+	// New queries are refused with the typed draining error while the
+	// listener still answers, and Drain is idempotent.
+	if err := s.Drain(dctx); err != nil {
+		t.Fatalf("second drain: %v", err)
+	}
+}
+
+// TestServeDrainRefusesNewQueries pins the typed refusal while the
+// intake is still open: drain with nothing in flight, then query.
+func TestServeDrainRefusesNewQueries(t *testing.T) {
+	cfg := Config{Workload: testWorkload()}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	client := &Client{BaseURL: ts.URL}
+
+	dctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Drain(dctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	resp, err := client.Query(context.Background(), &Request{Spec: testSpecs(t, 1)[0]})
+	if err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	if resp.Err == nil || resp.Err.Code != ErrDraining {
+		t.Fatalf("got %+v, want typed %s error", resp, ErrDraining)
+	}
+	if err := client.Readyz(context.Background()); err == nil {
+		t.Error("readyz OK on a draining server")
+	}
+	if err := client.Healthz(context.Background()); err != nil {
+		t.Errorf("healthz failed on a draining server: %v", err)
+	}
+}
+
+// TestServeDeadlinePropagation: a request-supplied deadline reaches
+// the solve context. With a 1ms budget the answer may still complete
+// exact (tiny store) or degrade to sampled — both are fine; what is
+// pinned is that the response is a protocol-valid answer either way,
+// and that an absurd deadline is clamped rather than honored.
+func TestServeDeadlinePropagation(t *testing.T) {
+	_, client := testServer(t, func(c *Config) { c.MaxDeadline = 5 * time.Second })
+	sp := testSpecs(t, 1)[0]
+	for _, ms := range []int64{1, 1 << 40} {
+		resp, err := client.Query(context.Background(), &Request{Spec: sp, DeadlineMs: ms})
+		if err != nil {
+			t.Fatalf("deadline_ms=%d: %v", ms, err)
+		}
+		if resp.Err != nil {
+			t.Fatalf("deadline_ms=%d: typed error %+v", ms, resp.Err)
+		}
+	}
+}

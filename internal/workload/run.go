@@ -70,10 +70,41 @@ type Config struct {
 	// completes — the streaming hook licmload uses to emit JSONL
 	// before the run finishes.
 	OnRecord func(*Record)
+	// Answer, if non-nil, replaces the local supervised solve as the
+	// measured answer source — the licmd client behind licmload
+	// -target. Ground truth, containment checks and tightness scoring
+	// still run locally against a fresh encoding, so the run gates a
+	// remote server's answers with the same rigor as in-process
+	// solves. The dataset parameters above must match the server's
+	// store for the scoring to be sound.
+	Answer func(Spec) (*Answer, error)
 }
 
-// normalized fills the config's zero values with defaults.
-func (cfg Config) normalized() Config {
+// Answer is one measured answer of a workload spec, however produced:
+// the local supervised solve or a remote licmd response. Proven-ness
+// is derived from Quality, not carried, so a confused remote cannot
+// claim proven sampled bounds.
+type Answer struct {
+	// Quality is the supervisor ladder tag: exact, proven-interval,
+	// sampled or failed.
+	Quality    string
+	Lb, Ub     int64
+	Infeasible bool
+	// LatencyNs is the measured answer latency. Remote sources report
+	// the client-observed round trip, so serving overhead (queueing,
+	// transport) is part of the scored figure.
+	LatencyNs int64
+	// Problem shape and decomposition of the answering solve, as
+	// reported by the source.
+	Vars, Cons           int
+	Components           int
+	DistinctFingerprints int
+}
+
+// Normalized fills the config's zero values with defaults. Execute
+// applies it automatically; external store hosts (cmd/licmd) call it
+// so their serving parameters match what a local run would use.
+func (cfg Config) Normalized() Config {
 	if cfg.NumTransactions == 0 {
 		cfg.NumTransactions = 300
 	}
@@ -101,12 +132,16 @@ func (cfg Config) normalized() Config {
 	return cfg
 }
 
-// encoder generates the dataset and anonymizes it once, returning a
+// Encoder generates the dataset and anonymizes it once, returning a
 // factory that encodes a fresh constraint store per call. Queries
 // grow the store they run against (BuildLICM adds auxiliary variables
 // and constraints), so every query needs its own encoding; the
-// anonymization, which queries never touch, is shared.
-func (cfg Config) encoder() (func() *encode.Encoded, error) {
+// anonymization, which queries never touch, is shared. The factory is
+// safe for concurrent use: it only reads the shared anonymized data,
+// which is how the licmd worker pool answers many queries against one
+// loaded store at once.
+func (cfg Config) Encoder() (func() *encode.Encoded, error) {
+	cfg = cfg.Normalized()
 	dcfg := dataset.DefaultConfig(cfg.NumTransactions)
 	dcfg.NumItems = cfg.NumItems
 	dcfg.Seed = seedflag.Derive(cfg.Seed, seedflag.DatasetStream)
@@ -151,9 +186,9 @@ func (cfg Config) encoder() (func() *encode.Encoded, error) {
 // it, returning the complete licm-load/1 run. Everything except wall
 // latency is deterministic in (cfg, specs).
 func Execute(cfg Config, specs []Spec) (*Run, error) {
-	cfg = cfg.normalized()
+	cfg = cfg.Normalized()
 	start := time.Now()
-	newEnc, err := cfg.encoder()
+	newEnc, err := cfg.Encoder()
 	if err != nil {
 		return nil, err
 	}
@@ -173,20 +208,67 @@ func Execute(cfg Config, specs []Spec) (*Run, error) {
 	return run, nil
 }
 
-// runOne answers one spec end to end: measured supervised solve,
-// independent ground truth, consistency checks, tightness score.
+// runOne answers one spec end to end: measured answer (local
+// supervised solve or the configured remote source), independent
+// ground truth, consistency checks, tightness score.
 func (cfg Config) runOne(newEnc func() *encode.Encoded, sp Spec, census *explain.Census) (*Record, error) {
 	rec := &Record{Schema: Schema, Type: "query", Name: sp.Name(), Spec: sp}
 	tsp := cfg.Trace.Start("workload.query", obs.Str("name", rec.Name))
 
-	// Measured solve: fresh encoding, per-query deadline, explain
-	// recorder for fingerprint attribution, sampled fallback at the
-	// bottom of the ladder.
+	var err error
+	if cfg.Answer != nil {
+		err = cfg.remoteAnswer(sp, rec)
+	} else {
+		err = cfg.localAnswer(newEnc, sp, rec, census)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	if rec.Infeasible {
+		rec.GtSource = "none"
+	} else {
+		cfg.groundTruth(newEnc, sp, rec)
+	}
+	cfg.recordMetrics(rec)
+	tsp.End(
+		obs.Str("quality", rec.Quality),
+		obs.I64("lb", rec.Lb), obs.I64("ub", rec.Ub),
+		obs.Str("gt_source", rec.GtSource),
+		obs.F64("qerr", rec.Qerr),
+		obs.Int("violations", len(rec.Violations)))
+	return rec, nil
+}
+
+// remoteAnswer fills the measured fields of rec from the configured
+// remote answer source. Proven-ness is recomputed from the quality
+// tag so the local containment checks never trust a remote claim the
+// ladder semantics would not grant.
+func (cfg Config) remoteAnswer(sp Spec, rec *Record) error {
+	a, err := cfg.Answer(sp)
+	if err != nil {
+		return fmt.Errorf("workload: %s: %w", rec.Name, err)
+	}
+	rec.Quality = a.Quality
+	rec.LatencyNs = a.LatencyNs
+	rec.Infeasible = a.Infeasible
+	rec.Lb, rec.Ub = a.Lb, a.Ub
+	rec.Proven = a.Quality == "exact" || a.Quality == "proven-interval"
+	rec.Vars, rec.Cons = a.Vars, a.Cons
+	rec.Components = a.Components
+	rec.DistinctFingerprints = a.DistinctFingerprints
+	return nil
+}
+
+// localAnswer runs the measured supervised solve: fresh encoding,
+// per-query deadline, explain recorder for fingerprint attribution,
+// sampled fallback at the bottom of the ladder.
+func (cfg Config) localAnswer(newEnc func() *encode.Encoded, sp Spec, rec *Record, census *explain.Census) error {
 	enc := newEnc()
 	enc.DB.SetTracer(cfg.Trace)
 	obj, _, err := sp.Build(enc)
 	if err != nil {
-		return nil, fmt.Errorf("workload: %s: %w", rec.Name, err)
+		return fmt.Errorf("workload: %s: %w", rec.Name, err)
 	}
 	rec.Vars, rec.Cons = enc.DB.NumVars(), enc.DB.NumConstraints()
 
@@ -237,20 +319,7 @@ func (cfg Config) runOne(newEnc func() *encode.Encoded, sp Spec, census *explain
 	if cfg.Census != nil {
 		cfg.Census.Observe(rep)
 	}
-
-	if out.Infeasible {
-		rec.GtSource = "none"
-	} else {
-		cfg.groundTruth(newEnc, sp, rec)
-	}
-	cfg.recordMetrics(rec)
-	tsp.End(
-		obs.Str("quality", rec.Quality),
-		obs.I64("lb", rec.Lb), obs.I64("ub", rec.Ub),
-		obs.Str("gt_source", rec.GtSource),
-		obs.F64("qerr", rec.Qerr),
-		obs.Int("violations", len(rec.Violations)))
-	return rec, nil
+	return nil
 }
 
 // groundTruth establishes the reference answer range on a second,

@@ -481,10 +481,19 @@ func DiffRuns(old, new *Run, tol LoadTol) *LoadDiff {
 		if q.new <= tol.MinLatencyNs {
 			continue
 		}
-		if float64(q.new) > float64(q.old)*tol.LatencyFactor && q.old > 0 {
+		// Clamp the baseline to the noise floor before computing the
+		// growth factor: a zero or near-zero baseline quantile (a fast
+		// machine, a trivial store) would otherwise make any measurable
+		// latency look like an unbounded regression and fire the gate
+		// spuriously.
+		base := float64(q.old)
+		if base < float64(tol.MinLatencyNs) {
+			base = float64(tol.MinLatencyNs)
+		}
+		if float64(q.new) > base*tol.LatencyFactor {
 			breach("latency %s regressed %.2fms -> %.2fms (factor %.2f > %.2f)",
 				q.name, float64(q.old)/1e6, float64(q.new)/1e6,
-				float64(q.new)/float64(q.old), tol.LatencyFactor)
+				float64(q.new)/base, tol.LatencyFactor)
 		}
 	}
 	_ = matched

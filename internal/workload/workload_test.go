@@ -2,6 +2,7 @@ package workload
 
 import (
 	"bytes"
+	"fmt"
 	"reflect"
 	"strings"
 	"testing"
@@ -367,4 +368,109 @@ func TestDiffRuns(t *testing.T) {
 			t.Error("parameter mismatch produced no warning")
 		}
 	})
+	t.Run("zero baseline latency", func(t *testing.T) {
+		// A baseline quantile of (near) zero must not turn the factor
+		// gate into an unbounded trip wire: the comparison base is
+		// clamped to the noise floor, so a new quantile within
+		// factor x floor still passes and one beyond it still breaches.
+		tol := DefaultLoadTol()
+		o := clone()
+		o.Summary.LatencyP50Ns = 0
+		n := clone()
+		n.Summary.LatencyP50Ns = int64(float64(tol.MinLatencyNs)*tol.LatencyFactor) - 1
+		if d := DiffRuns(o, n, tol); !d.OK() {
+			t.Errorf("zero-baseline p50 within clamped factor breached: %v", d.Breaches)
+		}
+		n.Summary.LatencyP50Ns = int64(float64(tol.MinLatencyNs)*tol.LatencyFactor) + 1
+		if d := DiffRuns(o, n, tol); d.OK() {
+			t.Error("zero-baseline p50 beyond clamped factor not flagged")
+		}
+	})
+}
+
+// TestExecuteRemoteAnswer covers the Answer hook behind licmload
+// -target: measured answers come from the hook, ground truth and
+// scoring stay local, and a remote that lies about proven bounds is
+// caught by the local consistency checks.
+func TestExecuteRemoteAnswer(t *testing.T) {
+	cfg := testConfig()
+	specs := testSpecs(t, 3)
+	local, err := Execute(cfg, specs)
+	if err != nil {
+		t.Fatalf("local Execute: %v", err)
+	}
+
+	// An honest remote echoing the local answers scores clean.
+	byID := map[int]*Record{}
+	for i := range local.Records {
+		byID[local.Records[i].Spec.ID] = &local.Records[i]
+	}
+	rcfg := cfg
+	rcfg.Answer = func(sp Spec) (*Answer, error) {
+		lr := byID[sp.ID]
+		return &Answer{
+			Quality: lr.Quality, Lb: lr.Lb, Ub: lr.Ub,
+			Infeasible: lr.Infeasible, LatencyNs: lr.LatencyNs,
+			Vars: lr.Vars, Cons: lr.Cons,
+		}, nil
+	}
+	remote, err := Execute(rcfg, specs)
+	if err != nil {
+		t.Fatalf("remote Execute: %v", err)
+	}
+	if remote.Summary.Violations != 0 {
+		t.Fatalf("honest remote scored %d violations", remote.Summary.Violations)
+	}
+	for i := range remote.Records {
+		rr, lr := &remote.Records[i], &local.Records[i]
+		if rr.Quality != lr.Quality || rr.Lb != lr.Lb || rr.Ub != lr.Ub || rr.Proven != lr.Proven {
+			t.Errorf("record %s: remote (%s [%d,%d] proven=%v) != local (%s [%d,%d] proven=%v)",
+				rr.Name, rr.Quality, rr.Lb, rr.Ub, rr.Proven, lr.Quality, lr.Lb, lr.Ub, lr.Proven)
+		}
+		if err := rr.Validate(); err != nil {
+			t.Errorf("record %s: %v", rr.Name, err)
+		}
+	}
+
+	// A remote claiming exact quality with wrong bounds is flagged by
+	// the local ground-truth cross-check — the gate cannot be fooled.
+	lcfg := cfg
+	lcfg.Answer = func(sp Spec) (*Answer, error) {
+		return &Answer{Quality: "exact", Lb: 999_999, Ub: 999_999, LatencyNs: 1}, nil
+	}
+	lying, err := Execute(lcfg, specs)
+	if err != nil {
+		t.Fatalf("lying remote Execute: %v", err)
+	}
+	if lying.Summary.Violations == 0 {
+		t.Fatal("lying remote scored no violations")
+	}
+
+	// A remote claiming only sampled quality is never held to proven
+	// semantics, however wrong its estimate.
+	scfg := cfg
+	scfg.Answer = func(sp Spec) (*Answer, error) {
+		return &Answer{Quality: "sampled", Lb: -5, Ub: -1, LatencyNs: 1}, nil
+	}
+	sampled, err := Execute(scfg, specs)
+	if err != nil {
+		t.Fatalf("sampled remote Execute: %v", err)
+	}
+	for i := range sampled.Records {
+		if sampled.Records[i].Proven {
+			t.Errorf("record %s: sampled remote answer marked proven", sampled.Records[i].Name)
+		}
+	}
+	if sampled.Summary.Violations != 0 {
+		t.Fatalf("unproven sampled answers scored %d violations", sampled.Summary.Violations)
+	}
+
+	// A remote transport failure fails the run loudly.
+	ecfg := cfg
+	ecfg.Answer = func(sp Spec) (*Answer, error) {
+		return nil, fmt.Errorf("connection refused")
+	}
+	if _, err := Execute(ecfg, specs); err == nil {
+		t.Fatal("remote answer error did not fail the run")
+	}
 }
