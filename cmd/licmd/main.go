@@ -10,8 +10,16 @@
 //	licmd -addr :8080 -debug-addr :8081             # plus pprof/dashboard
 //
 // Endpoints: POST /v1/query (licm-queries/1 spec in, licm-serve/1
-// record out), GET /healthz, GET /readyz, GET /metrics. Query it with
-// `licmload -target` (full scored workload) or curl.
+// record out), GET /healthz, GET /readyz, GET /metrics, and
+// GET /debug/licm/requests (flight-recorder forensics: the worst-N
+// requests by policy, correlated to traces and licmload records by
+// request id). Query it with `licmload -target` (full scored workload)
+// or curl.
+//
+// Serving objectives declared with repeatable -slo flags (for example
+// -slo p99<=250ms -slo exact-rate>=0.5) are tracked as licm_slo_*
+// error-budget series on /metrics; -requests-dump writes the flight
+// recorder to a file after drain for `licmtrace requests`.
 //
 // SIGTERM/SIGINT starts a graceful drain: readiness flips to 503, new
 // queries get a typed "draining" error, in-flight and queued solves
@@ -26,6 +34,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -68,10 +77,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 		allowFault = fs.Bool("allow-fault-header", false, "honor the test-only X-Licm-Fault injection header (chaos harness; never in production)")
 
+		recDepth = fs.Int("recorder-depth", 0, "flight-recorder retention per class at /debug/licm/requests (0 = 32, negative disables)")
+		reqDump  = fs.String("requests-dump", "", "write the flight recorder as a licm-requests/1 dump to this file after drain")
+
 		tracePath = fs.String("trace", "", "write a JSON-lines trace to this file")
 		verbose   = fs.Bool("verbose", false, "print a human-readable trace to stderr")
 		debugAddr = fs.String("debug-addr", "", "also serve pprof, /metrics and the /debug/licm dashboard on this address")
 	)
+	var sloSpecs multiFlag
+	fs.Var(&sloSpecs, "slo", "serving objective, repeatable: pNN<=DUR, exact-rate>=F or proven-rate>=F (e.g. -slo p99<=250ms -slo exact-rate>=0.5)")
 	seed := seedflag.Register(fs)
 	var logOpts obs.LogOptions
 	logOpts.RegisterFlags(fs)
@@ -81,6 +95,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fail := func(err error) int {
 		fmt.Fprintln(stderr, "licmd:", err)
 		return cliexit.Usage
+	}
+	slos, err := serve.ParseSLOs(sloSpecs)
+	if err != nil {
+		return fail(err)
 	}
 
 	logger, err := logOpts.NewLogger(stderr)
@@ -123,6 +141,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		DefaultDeadline:  *defDead,
 		MaxDeadline:      *maxDead,
 		AllowFaultHeader: *allowFault,
+		RecorderDepth:    *recDepth,
+		SLOs:             slos,
 	}
 
 	srv, err := serve.New(cfg)
@@ -158,10 +178,46 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	ctx, cancel := context.WithTimeout(context.Background(), *drainCap)
 	defer cancel()
-	if err := srv.Drain(ctx); err != nil {
-		fmt.Fprintln(stderr, "licmd:", err)
+	drainErr := srv.Drain(ctx)
+	// The forensic dump is written on degraded drains too — that is
+	// when the retained worst-case requests matter most.
+	if *reqDump != "" {
+		if err := writeRequestsDump(*reqDump, srv.Requests()); err != nil {
+			fmt.Fprintln(stderr, "licmd:", err)
+			if drainErr == nil {
+				return cliexit.Degraded
+			}
+		} else {
+			fmt.Fprintf(stderr, "licmd: wrote requests dump to %s\n", *reqDump)
+		}
+	}
+	if drainErr != nil {
+		fmt.Fprintln(stderr, "licmd:", drainErr)
 		return cliexit.Degraded
 	}
 	fmt.Fprintln(stderr, "licmd: drain complete")
 	return cliexit.OK
+}
+
+// writeRequestsDump persists the flight recorder as licm-requests/1.
+func writeRequestsDump(path string, rec *serve.Recorder) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rec.WriteDump(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// multiFlag collects a repeatable string flag.
+type multiFlag []string
+
+func (m *multiFlag) String() string { return strings.Join(*m, ",") }
+
+func (m *multiFlag) Set(v string) error {
+	*m = append(*m, v)
+	return nil
 }

@@ -11,6 +11,14 @@
 //	licmload -queries 40 -snapshot workload       # also write BENCH_workload.json
 //	licmload -queries 50 -deadline 2s -o run.jsonl
 //	licmload -replay queries.jsonl -target 127.0.0.1:8080
+//	licmload -replay queries.jsonl -target 127.0.0.1:8080 -serve-snapshot serve
+//
+// With -target, every record carries the server-assigned request_id,
+// correlating it with the server's trace spans and its flight-recorder
+// entry at /debug/licm/requests. -serve-snapshot additionally hammers
+// the target with sustained concurrent load after the scored pass and
+// writes the achieved throughput, shed rate, ladder mix and latency
+// quantiles as a licm-bench/1 snapshot for licmtrace bench-diff.
 //
 // With -target the measured answers come from a running licmd (see
 // cmd/licmd) instead of local solves, while ground truth and scoring
@@ -32,6 +40,7 @@ import (
 	"os"
 	"time"
 
+	"licm/internal/bench"
 	"licm/internal/cliexit"
 	"licm/internal/explain"
 	"licm/internal/obs"
@@ -65,6 +74,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		out     = fs.String("o", "-", "write the licm-load/1 stream here (- = stdout)")
 		snap    = fs.String("snapshot", "", "also write the stream as BENCH_<label>.json for licmtrace load -diff")
 		label   = fs.String("label", "", "run label recorded in the summary")
+
+		serveSnap = fs.String("serve-snapshot", "", "after the scored run, measure sustained concurrent throughput against -target and write the serving profile as BENCH_<label>.json (licm-bench/1, for licmtrace bench-diff)")
+		serveConc = fs.Int("serve-concurrency", 8, "parallel in-flight queries of the -serve-snapshot measurement")
+		serveRep  = fs.Int("serve-repeat", 3, "passes over the spec list during the -serve-snapshot measurement")
 
 		tracePath = fs.String("trace", "", "write a JSON-lines trace to this file")
 		verbose   = fs.Bool("verbose", false, "print a human-readable trace to stderr")
@@ -148,8 +161,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Label:           *label,
 		Census:          census,
 	}
+	var client *serve.Client
 	if *target != "" {
-		client := &serve.Client{BaseURL: *target}
+		client = &serve.Client{BaseURL: *target}
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		err := client.Readyz(ctx)
 		cancel()
@@ -157,6 +171,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return fail(fmt.Errorf("target %s is not ready: %w", *target, err))
 		}
 		cfg.Answer = client.Answer
+	}
+	if *serveSnap != "" && client == nil {
+		return fail(fmt.Errorf("-serve-snapshot needs -target (it measures a live server)"))
 	}
 
 	var w io.Writer = stdout
@@ -196,6 +213,31 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return fail(err)
 		}
 		fmt.Fprintf(stderr, "wrote workload snapshot (%d queries) to %s\n", len(res.Records), path)
+	}
+
+	if *serveSnap != "" {
+		gen := workload.LoadGen{Answer: client.Answer, Concurrency: *serveConc, Repeat: *serveRep}
+		profile, err := gen.Run(specs)
+		if err != nil {
+			fmt.Fprintln(stderr, "licmload:", err)
+			return cliexit.Usage
+		}
+		snapPath := "BENCH_" + *serveSnap + ".json"
+		f, err := os.Create(snapPath)
+		if err != nil {
+			return fail(err)
+		}
+		bs := profile.Snapshot(*serveSnap, cfg)
+		if err := bench.WriteSnapshotJSON(f, bs); err != nil {
+			f.Close()
+			return fail(err)
+		}
+		if err := f.Close(); err != nil {
+			return fail(err)
+		}
+		fmt.Fprintf(stderr, "serving snapshot: %d offered (%d answered, %d shed, %d errors) at %.1f qps, p99 %v -> %s\n",
+			profile.Offered, profile.Answered, profile.Shed, profile.Errors, profile.QPS,
+			time.Duration(profile.LatencyP99Ns).Round(time.Microsecond), snapPath)
 	}
 
 	printSummary(stderr, res.Summary)

@@ -6,6 +6,7 @@
 // Usage:
 //
 //	licmtrace summary trace.jsonl           # per-phase rollups + critical path
+//	licmtrace summary -request <id> trace.jsonl  # one served request's slice of the trace
 //	licmtrace flame trace.jsonl > out.folded  # folded stacks for flamegraph tools
 //	licmtrace diff old.jsonl new.jsonl      # phase-by-phase regression check
 //	licmtrace cat -name solver trace.jsonl  # filter/pretty-print events
@@ -13,6 +14,8 @@
 //	licmtrace census explain.jsonl          # component recurrence census over explain records
 //	licmtrace load run.jsonl                # workload-run summary (licm-load/1, from licmload)
 //	licmtrace load -diff BENCH_workload.json run.jsonl  # workload regression gate
+//	licmtrace requests requests.json        # flight-recorder dump (licm-requests/1) rendering
+//	licmtrace requests -diff old.json new.json  # forensic regression check between dumps
 //	curl -s :6060/metrics | licmtrace promcheck -  # validate a /metrics scrape
 //
 // Exit status follows licmvet/go vet via internal/cliexit: 0 when
@@ -48,8 +51,10 @@ func usage(stderr io.Writer) {
 	fmt.Fprint(stderr, `usage: licmtrace <command> [flags] <args>
 
 commands:
-  summary [-json] <trace.jsonl>              per-phase rollups, critical path, latency histograms
-  flame <trace.jsonl>                        folded stacks (inferno/flamegraph.pl input) on stdout
+  summary [-json] [-request id] <trace.jsonl>
+                                             per-phase rollups, critical path, latency histograms;
+                                             -request keeps one served request's events only
+  flame [-request id] <trace.jsonl>          folded stacks (inferno/flamegraph.pl input) on stdout
   diff [-json] [-threshold f] [-min-ns n] <old.jsonl> <new.jsonl>
                                              phase self-time comparison; exit 1 on breach
   cat [-json] [-name substr] [-kind k] <trace.jsonl>
@@ -65,6 +70,13 @@ commands:
   load -diff [-tol f] [-min-latency-ns n] [-qerr-slack f] <old.jsonl> <new.jsonl>
                                              compare workload runs (latency, tightness, correctness);
                                              exit 1 on breach
+  requests [-json] [-id rid] [-strict] <requests.json>
+                                             render a flight-recorder dump (licm-requests/1, from
+                                             /debug/licm/requests or licmd -requests-dump); -id shows
+                                             one entry's span tree; -strict exits 1 when panicked or
+                                             deadline-violated entries are retained
+  requests -diff <old.json> <new.json>       compare dumps; exit 1 when panicked or deadline-violated
+                                             retention grew
 
 "-" reads the input from stdin. Exit codes: 0 clean, 1 threshold breached or
 exposition invalid, 2 bad input. All subcommands take -log-level and -log-format.
@@ -94,6 +106,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		return cmdCensus(rest, stdin, stdout, stderr)
 	case "load":
 		return cmdLoad(rest, stdin, stdout, stderr)
+	case "requests":
+		return cmdRequests(rest, stdin, stdout, stderr)
 	case "-h", "-help", "--help", "help":
 		usage(stderr)
 		return cliexit.OK
@@ -136,12 +150,18 @@ func open(path string, stdin io.Reader) (io.Reader, func() error, error) {
 	return f, f.Close, nil
 }
 
-func readTraceFile(path string, stdin io.Reader) (*tracean.Trace, error) {
+// readTraceFile loads a trace, optionally restricted to the events of
+// one served request (the request_id stamp the licmd serving path puts
+// on every event a request produces).
+func readTraceFile(path string, stdin io.Reader, requestID string) (*tracean.Trace, error) {
 	r, closeFn, err := open(path, stdin)
 	if err != nil {
 		return nil, err
 	}
 	defer closeFn() //nolint:errcheck // read-only
+	if requestID != "" {
+		return tracean.ReadTraceFiltered(r, tracean.RequestFilter(requestID))
+	}
 	return tracean.ReadTrace(r)
 }
 
@@ -155,16 +175,17 @@ func cmdSummary(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("licmtrace summary", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	asJSON := fs.Bool("json", false, "print the summary as JSON")
+	request := fs.String("request", "", "restrict to the events of one served request id")
 	logOpts := addLogFlags(fs)
 	if err := fs.Parse(args); err != nil || fs.NArg() != 1 {
-		fmt.Fprintln(stderr, "usage: licmtrace summary [-json] <trace.jsonl>")
+		fmt.Fprintln(stderr, "usage: licmtrace summary [-json] [-request id] <trace.jsonl>")
 		return cliexit.Usage
 	}
 	logger, ok := subLog(logOpts, stderr)
 	if !ok {
 		return cliexit.Usage
 	}
-	t, err := readTraceFile(fs.Arg(0), stdin)
+	t, err := readTraceFile(fs.Arg(0), stdin, *request)
 	if err != nil {
 		fmt.Fprintf(stderr, "licmtrace: %v\n", err)
 		return cliexit.Usage
@@ -257,16 +278,17 @@ func attrNs(attrs map[string]any, key string) int64 {
 func cmdFlame(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("licmtrace flame", flag.ContinueOnError)
 	fs.SetOutput(stderr)
+	request := fs.String("request", "", "restrict to the events of one served request id")
 	logOpts := addLogFlags(fs)
 	if err := fs.Parse(args); err != nil || fs.NArg() != 1 {
-		fmt.Fprintln(stderr, "usage: licmtrace flame <trace.jsonl>  (folded stacks on stdout)")
+		fmt.Fprintln(stderr, "usage: licmtrace flame [-request id] <trace.jsonl>  (folded stacks on stdout)")
 		return cliexit.Usage
 	}
 	logger, ok := subLog(logOpts, stderr)
 	if !ok {
 		return cliexit.Usage
 	}
-	t, err := readTraceFile(fs.Arg(0), stdin)
+	t, err := readTraceFile(fs.Arg(0), stdin, *request)
 	if err != nil {
 		fmt.Fprintf(stderr, "licmtrace: %v\n", err)
 		return cliexit.Usage
@@ -295,12 +317,12 @@ func cmdDiff(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	if !ok {
 		return cliexit.Usage
 	}
-	oldT, err := readTraceFile(fs.Arg(0), stdin)
+	oldT, err := readTraceFile(fs.Arg(0), stdin, "")
 	if err != nil {
 		fmt.Fprintf(stderr, "licmtrace: %s: %v\n", fs.Arg(0), err)
 		return cliexit.Usage
 	}
-	newT, err := readTraceFile(fs.Arg(1), stdin)
+	newT, err := readTraceFile(fs.Arg(1), stdin, "")
 	if err != nil {
 		fmt.Fprintf(stderr, "licmtrace: %s: %v\n", fs.Arg(1), err)
 		return cliexit.Usage

@@ -1,0 +1,274 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"licm/internal/cliexit"
+	"licm/internal/obs"
+	"licm/internal/serve"
+)
+
+// cmdRequests renders and diffs flight-recorder dumps (licm-requests/1,
+// from GET /debug/licm/requests or licmd -requests-dump).
+func cmdRequests(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("licmtrace requests", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	asJSON := fs.Bool("json", false, "print the report as JSON")
+	id := fs.String("id", "", "show one retained entry (request id) with its span tree")
+	strict := fs.Bool("strict", false, "exit 1 when panicked or deadline-violated entries are retained")
+	diff := fs.Bool("diff", false, "compare two dumps; exit 1 when bad-outcome retention grew")
+	logOpts := addLogFlags(fs)
+	want := 1
+	usageLine := "usage: licmtrace requests [-json] [-id rid] [-strict] <requests.json>  |  licmtrace requests -diff <old.json> <new.json>"
+	if err := fs.Parse(args); err != nil {
+		fmt.Fprintln(stderr, usageLine)
+		return cliexit.Usage
+	}
+	if *diff {
+		want = 2
+	}
+	if fs.NArg() != want {
+		fmt.Fprintln(stderr, usageLine)
+		return cliexit.Usage
+	}
+	logger, ok := subLog(logOpts, stderr)
+	if !ok {
+		return cliexit.Usage
+	}
+	read := func(path string) (*serve.RequestsDump, error) {
+		r, closeFn, err := open(path, stdin)
+		if err != nil {
+			return nil, err
+		}
+		defer closeFn() //nolint:errcheck // read-only
+		return serve.ReadDump(r)
+	}
+	d, err := read(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintf(stderr, "licmtrace: %s: %v\n", fs.Arg(0), err)
+		return cliexit.Usage
+	}
+	logger.Debug("dump loaded", "path", fs.Arg(0), "entries", len(d.Entries), "depth", d.Depth)
+
+	if *diff {
+		nd, err := read(fs.Arg(1))
+		if err != nil {
+			fmt.Fprintf(stderr, "licmtrace: %s: %v\n", fs.Arg(1), err)
+			return cliexit.Usage
+		}
+		return diffDumps(d, nd, *asJSON, stdout)
+	}
+	if *id != "" {
+		return showEntry(d, *id, *asJSON, stdout, stderr)
+	}
+	return renderDump(d, *asJSON, *strict, stdout)
+}
+
+// badBadges are the retention classes that mark a genuinely bad
+// serving outcome (degraded and shed are expected under pressure;
+// panics and blown deadlines are not).
+var badBadges = []string{serve.BadgePanicked, serve.BadgeDeadlineViolated}
+
+// badgeCounts tallies retained entries per badge class.
+func badgeCounts(d *serve.RequestsDump) map[string]int {
+	c := map[string]int{}
+	for i := range d.Entries {
+		for _, b := range d.Entries[i].Badges {
+			c[b]++
+		}
+	}
+	return c
+}
+
+func renderDump(d *serve.RequestsDump, asJSON, strict bool, stdout io.Writer) int {
+	counts := badgeCounts(d)
+	bad := 0
+	for _, b := range badBadges {
+		bad += counts[b]
+	}
+	if asJSON {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(struct {
+			Schema  string         `json:"schema"`
+			Depth   int            `json:"depth"`
+			Entries int            `json:"entries"`
+			Badges  map[string]int `json:"badges"`
+			Bad     int            `json:"bad_outcomes"`
+		}{d.Schema, d.Depth, len(d.Entries), counts, bad}); err != nil {
+			return cliexit.Usage
+		}
+	} else {
+		fmt.Fprintf(stdout, "dump: %d retained entries (depth %d per class)\n\n", len(d.Entries), d.Depth)
+		fmt.Fprintf(stdout, "%-24s %-14s %-16s %10s %10s  %s\n", "REQUEST", "QUERY", "QUALITY", "TOTAL", "QUEUE", "BADGES")
+		for i := range d.Entries {
+			e := &d.Entries[i]
+			name, quality, queueNs := "", "", int64(0)
+			if e.Response != nil {
+				name = e.Response.Name
+				quality = e.Response.Quality
+				queueNs = e.Response.QueueNs
+				if e.Response.Err != nil {
+					quality = "error:" + string(e.Response.Err.Code)
+				}
+			}
+			fmt.Fprintf(stdout, "%-24s %-14s %-16s %10s %10s  %s\n",
+				e.RequestID, name, quality, dur(e.TotalNs), dur(queueNs),
+				strings.Join(e.Badges, ","))
+		}
+		if len(counts) > 0 {
+			var keys []string
+			for k := range counts {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			fmt.Fprintf(stdout, "\nbadges:")
+			for _, k := range keys {
+				fmt.Fprintf(stdout, " %s=%d", k, counts[k])
+			}
+			fmt.Fprintln(stdout)
+		}
+		if strict && bad > 0 {
+			fmt.Fprintf(stdout, "\nFINDINGS: %d entr%s with panicked or deadline-violated badges\n",
+				bad, plural(bad))
+		}
+	}
+	if strict && bad > 0 {
+		return cliexit.Findings
+	}
+	return cliexit.OK
+}
+
+func showEntry(d *serve.RequestsDump, id string, asJSON bool, stdout, stderr io.Writer) int {
+	for i := range d.Entries {
+		e := &d.Entries[i]
+		if e.RequestID != id {
+			continue
+		}
+		if asJSON {
+			enc := json.NewEncoder(stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(e); err != nil {
+				return cliexit.Usage
+			}
+			return cliexit.OK
+		}
+		fmt.Fprintf(stdout, "request %s  total %s  badges %s\n",
+			e.RequestID, dur(e.TotalNs), strings.Join(e.Badges, ","))
+		if e.DeadlineNs > 0 {
+			fmt.Fprintf(stdout, "deadline %s\n", dur(e.DeadlineNs))
+		}
+		if e.Response != nil {
+			r := e.Response
+			if r.Err != nil {
+				fmt.Fprintf(stdout, "response: error %s: %s\n", r.Err.Code, r.Err.Message)
+			} else {
+				fmt.Fprintf(stdout, "response: %s %s [%d, %d] latency %s queue %s\n",
+					r.Name, r.Quality, r.Lb, r.Ub, dur(r.LatencyNs), dur(r.QueueNs))
+			}
+		}
+		if e.Explain != nil {
+			comps := 0
+			for ri := range e.Explain.Runs {
+				comps += len(e.Explain.Runs[ri].Components)
+			}
+			fmt.Fprintf(stdout, "explain: %d run(s), %d component(s)\n", len(e.Explain.Runs), comps)
+		}
+		if len(e.Events) > 0 {
+			fmt.Fprintf(stdout, "span tree (%d events):\n", len(e.Events))
+			writeSpanTree(stdout, e.Events)
+		}
+		return cliexit.OK
+	}
+	fmt.Fprintf(stderr, "licmtrace: request %q not in dump\n", id)
+	return cliexit.Usage
+}
+
+// writeSpanTree renders a captured event slice as an indented tree.
+// Depth follows span parentage (a request's capture can hold several
+// roots: the serve.request envelope plus the solver's own root spans).
+func writeSpanTree(w io.Writer, events []obs.Event) {
+	depth := map[int64]int{}
+	for _, e := range events {
+		switch e.Kind {
+		case obs.KindSpanStart:
+			d := 0
+			if e.Parent != 0 {
+				d = depth[e.Parent] + 1
+			}
+			depth[e.Span] = d
+			fmt.Fprintf(w, "  %s%s\n", strings.Repeat("  ", d), e.Name)
+		case obs.KindSpanEnd:
+			fmt.Fprintf(w, "  %s%s end (%s)\n",
+				strings.Repeat("  ", depth[e.Span]), e.Name,
+				time.Duration(e.DurNs).Round(time.Microsecond))
+		}
+	}
+}
+
+// diffDumps compares bad-outcome retention between two dumps: more
+// panicked or deadline-violated entries than the baseline is a
+// finding (the serve-smoke forensic gate's rule).
+func diffDumps(oldD, newD *serve.RequestsDump, asJSON bool, stdout io.Writer) int {
+	oc, nc := badgeCounts(oldD), badgeCounts(newD)
+	var breaches []string
+	for _, b := range badBadges {
+		if nc[b] > oc[b] {
+			breaches = append(breaches, fmt.Sprintf("%s retention grew %d -> %d", b, oc[b], nc[b]))
+		}
+	}
+	if asJSON {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(struct {
+			OldEntries int            `json:"old_entries"`
+			NewEntries int            `json:"new_entries"`
+			OldBadges  map[string]int `json:"old_badges"`
+			NewBadges  map[string]int `json:"new_badges"`
+			Breaches   []string       `json:"breaches,omitempty"`
+		}{len(oldD.Entries), len(newD.Entries), oc, nc, breaches}); err != nil {
+			return cliexit.Usage
+		}
+	} else {
+		fmt.Fprintf(stdout, "old: %d entries  new: %d entries\n", len(oldD.Entries), len(newD.Entries))
+		all := map[string]bool{}
+		for b := range oc {
+			all[b] = true
+		}
+		for b := range nc {
+			all[b] = true
+		}
+		var keys []string
+		for b := range all {
+			keys = append(keys, b)
+		}
+		sort.Strings(keys)
+		for _, b := range keys {
+			fmt.Fprintf(stdout, "  %-20s %4d -> %4d\n", b, oc[b], nc[b])
+		}
+		for _, b := range breaches {
+			fmt.Fprintf(stdout, "<< %s\n", b)
+		}
+		if len(breaches) == 0 {
+			fmt.Fprintln(stdout, "ok: no bad-outcome retention growth")
+		}
+	}
+	if len(breaches) > 0 {
+		return cliexit.Findings
+	}
+	return cliexit.OK
+}
+
+// plural returns the "y"/"ies" suffix tail for entry counts.
+func plural(n int) string {
+	if n == 1 {
+		return "y"
+	}
+	return "ies"
+}

@@ -30,6 +30,7 @@ const dashboardHTML = `<!DOCTYPE html>
 </head>
 <body>
 <h1>licm live metrics</h1>
+<div><a href="/debug/licm/requests?format=html">request forensics</a> (when served by licmd)</div>
 <div id="status">connecting&hellip;</div>
 <div id="grid"></div>
 <script>
@@ -39,7 +40,8 @@ var FEATURED = ["solver.nodes", "solver.lp_solves", "runtime.heap_bytes",
   "solver.components", "explain.components", "explain.distinct_fingerprints",
   "workload.queries", "workload.qerr_ppm", "workload.violations",
   "serve.requests", "serve.shed", "serve.queue_depth",
-  "serve.inflight", "serve.panics_contained", "serve.draining"];
+  "serve.inflight", "serve.panics_contained", "serve.draining",
+  "slo.worst_burn_ppm"];
 function fmt(v) {
   var a = Math.abs(v);
   if (a >= 1e9) return (v / 1e9).toFixed(2) + "G";

@@ -20,10 +20,35 @@ type DebugServer struct {
 	tsStop  func()
 	once    sync.Once
 	err     error
+
+	mu     sync.Mutex
+	mux    *http.ServeMux
+	closed bool
 }
 
 // Addr returns the bound address (useful with ":0").
 func (s *DebugServer) Addr() string { return s.addr }
+
+// Handle registers handler for pattern on the running server's mux,
+// so subsystems that come up after ServeDebug (the serve flight
+// recorder's /debug/licm/requests, for one) can attach routes without
+// rebuilding the server. Registration is serialized against Close: a
+// call that loses the race is a defined no-op returning false instead
+// of mutating a dying mux, and a nil receiver also returns false (the
+// obs nil no-op contract). Re-registering a pattern already present
+// panics, as http.ServeMux does.
+func (s *DebugServer) Handle(pattern string, handler http.Handler) bool {
+	if s == nil {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || s.mux == nil {
+		return false
+	}
+	s.mux.Handle(pattern, handler)
+	return true
+}
 
 // Close stops the runtime sampler, the time-series loop, and the HTTP
 // server. Idempotent and safe under concurrent shutdown: a signal
@@ -35,6 +60,9 @@ func (s *DebugServer) Close() error {
 	if s == nil {
 		return nil
 	}
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
 	s.once.Do(func() {
 		if s.sampler != nil {
 			s.sampler.Stop()
@@ -98,8 +126,9 @@ func ServeDebug(addr string, reg *Registry) (*DebugServer, error) {
 		ln:      ln,
 		sampler: StartRuntimeSampler(reg, time.Second),
 		tsStop:  ts.Start(reg),
+		mux:     NewDebugMux(reg, ts),
 	}
-	s.srv = &http.Server{Handler: NewDebugMux(reg, ts)}
+	s.srv = &http.Server{Handler: s.mux}
 	go s.srv.Serve(ln) //nolint:errcheck // best-effort debug server
 	return s, nil
 }

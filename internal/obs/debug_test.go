@@ -1,6 +1,9 @@
 package obs
 
 import (
+	"fmt"
+	"io"
+	"net/http"
 	"sync"
 	"testing"
 )
@@ -39,5 +42,60 @@ func TestDebugServerCloseConcurrent(t *testing.T) {
 	var nilSrv *DebugServer
 	if err := nilSrv.Close(); err != nil {
 		t.Errorf("nil DebugServer Close: %v", err)
+	}
+}
+
+// TestDebugServerHandleAfterServe pins late route registration: a
+// handler added after the server started must be reachable, and
+// Handle racing concurrent Close must either register cleanly (true)
+// or be a defined no-op (false) — never a panic or a write to a dying
+// mux. Run under -race this also proves Handle/Close/ServeHTTP
+// synchronization.
+func TestDebugServerHandleAfterServe(t *testing.T) {
+	srv, err := ServeDebug("127.0.0.1:0", NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	ok := srv.Handle("/debug/licm/requests", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte("recorded")) //nolint:errcheck
+	}))
+	if !ok {
+		t.Fatal("Handle on a live server returned false")
+	}
+	resp, err := http.Get("http://" + srv.Addr() + "/debug/licm/requests")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || string(body) != "recorded" {
+		t.Fatalf("late-registered route: status %d body %q", resp.StatusCode, body)
+	}
+
+	// Hammer Handle (distinct patterns) against a concurrent Close.
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			srv.Handle(fmt.Sprintf("/debug/licm/race/%d", i), http.NotFoundHandler())
+		}(i)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		srv.Close() //nolint:errcheck
+	}()
+	wg.Wait()
+
+	if srv.Handle("/debug/licm/after-close", http.NotFoundHandler()) {
+		t.Error("Handle after Close returned true, want defined no-op false")
+	}
+	var nilSrv *DebugServer
+	if nilSrv.Handle("/x", http.NotFoundHandler()) {
+		t.Error("Handle on nil DebugServer returned true")
 	}
 }

@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestForkTeeAndStamp pins the per-request capture contract the serve
+// flight recorder relies on: a fork tees every event to both the
+// shared sink and the private sink, stamps its attrs on each event,
+// and lets explicit event attrs win a key collision.
+func TestForkTeeAndStamp(t *testing.T) {
+	shared := &CollectSink{}
+	private := &CollectSink{}
+	tr := New(shared)
+
+	fork := tr.Fork(private, Str("request_id", "r-1"))
+	sp := fork.Start("serve.request", Int("vars", 3))
+	sp.Event("note", Str("request_id", "override"))
+	sp.End()
+	tr.Event("unrelated")
+
+	priv := private.Events()
+	if len(priv) != 3 {
+		t.Fatalf("private sink saw %d events, want 3 (fork-only)", len(priv))
+	}
+	for i, e := range priv {
+		got, ok := e.Attrs["request_id"]
+		if !ok {
+			t.Fatalf("private event %d (%s) missing request_id stamp", i, e.Name)
+		}
+		want := "r-1"
+		if e.Name == "note" {
+			want = "override"
+		}
+		if got != want {
+			t.Errorf("event %s request_id = %v, want %q", e.Name, got, want)
+		}
+	}
+	if v := priv[0].Attrs["vars"]; v != 3 {
+		t.Errorf("span start vars attr = %v, want 3 (stamp must not drop explicit attrs)", v)
+	}
+
+	all := shared.Events()
+	if len(all) != 4 {
+		t.Fatalf("shared sink saw %d events, want 4 (fork events + parent event)", len(all))
+	}
+	if _, ok := all[3].Attrs["request_id"]; ok {
+		t.Error("parent tracer event carries the fork's stamp; stamps must stay fork-local")
+	}
+}
+
+// TestForkSharedIDs pins that concurrent forks share one span-id and
+// seq space, so a multiplexed trace file never has two spans with the
+// same id.
+func TestForkSharedIDs(t *testing.T) {
+	shared := &CollectSink{}
+	tr := New(shared)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			fork := tr.Fork(&CollectSink{})
+			for j := 0; j < 50; j++ {
+				fork.Start("work").End()
+			}
+		}()
+	}
+	wg.Wait()
+
+	seenSpan := map[int64]bool{}
+	seenSeq := map[int64]bool{}
+	for _, e := range shared.Events() {
+		if seenSeq[e.Seq] {
+			t.Fatalf("duplicate seq %d across forks", e.Seq)
+		}
+		seenSeq[e.Seq] = true
+		if e.Kind != KindSpanStart {
+			continue
+		}
+		if seenSpan[e.Span] {
+			t.Fatalf("duplicate span id %d across forks", e.Span)
+		}
+		seenSpan[e.Span] = true
+	}
+	if len(seenSpan) != 8*50 {
+		t.Fatalf("saw %d distinct spans, want %d", len(seenSpan), 8*50)
+	}
+}
+
+// TestForkNilCases pins the nil contract: forking a nil or disabled
+// tracer with a capture sink still records (fresh counters), and
+// forking with nothing to write to yields a nil no-op tracer.
+func TestForkNilCases(t *testing.T) {
+	var nilTr *Tracer
+	private := &CollectSink{}
+	fork := nilTr.Fork(private, Str("request_id", "r-2"))
+	fork.Start("serve.request").End()
+	evs := private.Events()
+	if len(evs) != 2 {
+		t.Fatalf("nil-parent fork recorded %d events, want 2", len(evs))
+	}
+	if evs[0].Schema != SchemaVersion {
+		t.Errorf("nil-parent fork first event schema = %q, want %q", evs[0].Schema, SchemaVersion)
+	}
+
+	disabled := New(nil)
+	if f := disabled.Fork(private); !f.Enabled() {
+		t.Error("fork of disabled tracer with capture sink should be enabled")
+	}
+	if f := nilTr.Fork(nil); f != nil {
+		t.Error("fork with no sinks should be nil")
+	}
+	if f := disabled.Fork(nil); f.Enabled() {
+		t.Error("fork of disabled tracer with no extra sink should stay disabled")
+	}
+}

@@ -83,29 +83,88 @@ type Event struct {
 
 // Tracer emits structured events to a sink. All methods are safe for
 // concurrent use and safe on a nil receiver (the no-op fast path).
+//
+// Tracers derived with Fork share one counter state, so span and
+// sequence ids stay unique across a process even when requests tee
+// their events into private capture sinks.
 type Tracer struct {
-	sink Sink
-	seq  atomic.Int64
-	ids  atomic.Int64
-	now  func() time.Time
+	sink  Sink
+	state *tracerState
+	stamp []Attr
 }
+
+// tracerState is the id/clock state shared by a tracer and all its
+// forks: one seq stream and one span-id space per New call.
+type tracerState struct {
+	seq atomic.Int64
+	ids atomic.Int64
+	now func() time.Time
+}
+
+func (st *tracerState) nextSeq() int64    { return st.seq.Add(1) }
+func (st *tracerState) nextSpanID() int64 { return st.ids.Add(1) }
 
 // New returns a tracer writing to sink. A nil sink yields a tracer
 // that drops everything (equivalent to a nil *Tracer).
 func New(sink Sink) *Tracer {
-	return &Tracer{sink: sink, now: time.Now}
+	return &Tracer{sink: sink, state: &tracerState{now: time.Now}}
 }
 
 // Enabled reports whether events reach a sink.
 func (t *Tracer) Enabled() bool { return t != nil && t.sink != nil }
+
+// Fork derives a tracer that tees every event to extra in addition to
+// this tracer's sink, stamping the given attrs onto each event it
+// emits (explicit event attrs win on key collision). The fork shares
+// the parent's span-id and sequence counters, so events from many
+// concurrent forks interleave into one shared sink without id
+// collisions, while each fork's private sink sees only its own
+// events. This is the serving path's per-request capture primitive: a
+// request forks the process tracer with a request_id stamp and a
+// CollectSink, so the flight recorder gets the request's exact span
+// tree and the shared trace file gets the same events tagged for
+// licmtrace -request filtering.
+//
+// Fork on a nil or disabled tracer still works when extra is non-nil:
+// the fork writes to extra alone (with fresh counters when the
+// receiver is nil). If both the receiver's sink and extra are nil the
+// result is a nil tracer.
+func (t *Tracer) Fork(extra Sink, stamp ...Attr) *Tracer {
+	var base Sink
+	state := (*tracerState)(nil)
+	var inherited []Attr
+	if t != nil {
+		base = t.sink
+		state = t.state
+		inherited = t.stamp
+	}
+	sink := base
+	switch {
+	case extra == nil:
+	case base == nil:
+		sink = extra
+	default:
+		sink = MultiSink(base, extra)
+	}
+	if sink == nil {
+		return nil
+	}
+	if state == nil {
+		state = &tracerState{now: time.Now}
+	}
+	merged := make([]Attr, 0, len(inherited)+len(stamp))
+	merged = append(merged, inherited...)
+	merged = append(merged, stamp...)
+	return &Tracer{sink: sink, state: state, stamp: merged}
+}
 
 func (t *Tracer) emit(kind Kind, name string, span, parent, durNs int64, attrs []Attr) {
 	if !t.Enabled() {
 		return
 	}
 	e := &Event{
-		Seq:    t.seq.Add(1),
-		Time:   t.now(),
+		Seq:    t.state.nextSeq(),
+		Time:   t.state.now(),
 		Kind:   kind,
 		Name:   name,
 		Span:   span,
@@ -115,8 +174,11 @@ func (t *Tracer) emit(kind Kind, name string, span, parent, durNs int64, attrs [
 	if e.Seq == 1 {
 		e.Schema = SchemaVersion
 	}
-	if len(attrs) > 0 {
-		e.Attrs = make(map[string]any, len(attrs))
+	if n := len(attrs) + len(t.stamp); n > 0 {
+		e.Attrs = make(map[string]any, n)
+		for _, a := range t.stamp {
+			e.Attrs[a.Key] = a.Value
+		}
 		for _, a := range attrs {
 			e.Attrs[a.Key] = a.Value
 		}
@@ -145,7 +207,7 @@ func (t *Tracer) Start(name string, attrs ...Attr) *Span {
 }
 
 func (t *Tracer) start(name string, parent int64, attrs []Attr) *Span {
-	s := &Span{tr: t, id: t.ids.Add(1), parent: parent, name: name, start: t.now()}
+	s := &Span{tr: t, id: t.state.nextSpanID(), parent: parent, name: name, start: t.state.now()}
 	t.emit(KindSpanStart, name, s.id, parent, 0, attrs)
 	return s
 }
@@ -174,7 +236,7 @@ func (s *Span) End(attrs ...Attr) time.Duration {
 	if s == nil {
 		return 0
 	}
-	d := s.tr.now().Sub(s.start)
+	d := s.tr.state.now().Sub(s.start)
 	s.tr.emit(KindSpanEnd, s.name, s.id, s.parent, d.Nanoseconds(), attrs)
 	return d
 }

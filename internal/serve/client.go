@@ -99,6 +99,8 @@ func (c *Client) Answer(sp workload.Spec) (*workload.Answer, error) {
 	}
 	return &workload.Answer{
 		Quality:              resp.Quality,
+		RequestID:            resp.RequestID,
+		Shed:                 resp.Shed,
 		Lb:                   resp.Lb,
 		Ub:                   resp.Ub,
 		Infeasible:           resp.Infeasible,

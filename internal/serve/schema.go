@@ -13,6 +13,35 @@ import (
 // score a served stream the same way it scores local solves.
 const ResponseSchema = "licm-serve/1"
 
+// RequestIDHeader carries the request id on both directions of the
+// query protocol: a client may propose an id (so a caller's own
+// correlation id flows into the server's forensics), and the server
+// always echoes the effective id on the response. Proposed ids are
+// restricted to [A-Za-z0-9._-]{1,64}; anything else is rejected as a
+// bad request rather than laundered into traces and dumps.
+const RequestIDHeader = "X-Licm-Request-Id"
+
+// maxRequestIDLen bounds accepted client-proposed request ids.
+const maxRequestIDLen = 64
+
+// ValidRequestID reports whether a client-proposed request id is
+// acceptable on the wire and in trace attributes.
+func ValidRequestID(id string) bool {
+	if id == "" || len(id) > maxRequestIDLen {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
 // Request is the body of POST /v1/query: one licm-queries/1 spec plus
 // per-request serving controls.
 type Request struct {
@@ -87,6 +116,14 @@ type Response struct {
 	Schema string `json:"schema"`
 	ID     int    `json:"id"`
 	Name   string `json:"name,omitempty"`
+	// RequestID is the server-assigned (or client-proposed and
+	// accepted) id of this request, echoed on the X-Licm-Request-Id
+	// response header as well. It keys the server-side forensics: the
+	// request_id attribute on every trace span the request produced,
+	// the flight-recorder entry at /debug/licm/requests, and the
+	// request_id field of a licm-load/1 record scored against this
+	// server.
+	RequestID string `json:"request_id,omitempty"`
 
 	// Quality is the supervisor's ladder tag: exact, proven-interval
 	// or sampled. The failed rung never crosses the wire — a ladder

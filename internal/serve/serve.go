@@ -91,6 +91,14 @@ type Config struct {
 	// internal/faultinject plan around the request's solve. Test-only:
 	// never set it on a production server.
 	AllowFaultHeader bool
+
+	// RecorderDepth sizes the flight recorder's per-class retention (the
+	// N slowest requests plus the last N of each badge class); 0 means
+	// 32, negative disables the recorder entirely.
+	RecorderDepth int
+	// SLOs are the declarative serving objectives (see ParseSLO) whose
+	// error-budget burn the server tracks as licm_slo_* series.
+	SLOs []SLO
 }
 
 // normalized fills the config's zero values with defaults.
@@ -124,6 +132,14 @@ type task struct {
 	fault *faultinject.Plan
 	enq   time.Time
 	done  chan *Response // buffered; the worker's send never blocks
+
+	// rid is the effective request id; tr the request's forked tracer
+	// (request_id-stamped, teeing the service sink with the flight
+	// recorder's capture sink). Both may be zero for internal tasks.
+	rid string
+	tr  *obs.Tracer
+	// explain is filled by answer for the flight-recorder entry.
+	explain *explain.Report
 }
 
 // Server is a running query service. Create with New, expose with
@@ -143,6 +159,15 @@ type Server struct {
 
 	mu       sync.Mutex // guards draining against concurrent admission
 	draining bool
+
+	// rec retains the worst-N requests for /debug/licm/requests; nil
+	// when disabled. slo tracks error-budget burn; nil when no SLOs.
+	rec *Recorder
+	slo *sloTracker
+	// ridNonce makes server-generated request ids distinct across
+	// restarts (ids are <nonce>-<seq>).
+	ridNonce string
+	ridSeq   atomic.Int64
 
 	reqSeq atomic.Int64
 	// faultMu serializes fault-armed solves: internal/faultinject holds
@@ -169,12 +194,17 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{
-		cfg:    cfg,
-		newEnc: newEnc,
-		reg:    cfg.Workload.Metrics,
-		tr:     cfg.Workload.Trace,
-		log:    cfg.Workload.Log,
-		queue:  make(chan *task, cfg.QueueDepth),
+		cfg:      cfg,
+		newEnc:   newEnc,
+		reg:      cfg.Workload.Metrics,
+		tr:       cfg.Workload.Trace,
+		log:      cfg.Workload.Log,
+		queue:    make(chan *task, cfg.QueueDepth),
+		slo:      newSLOTracker(cfg.SLOs, cfg.Workload.Metrics, cfg.Workload.Log),
+		ridNonce: strconv.FormatInt(time.Now().UnixNano()&0xfffffff, 36),
+	}
+	if cfg.RecorderDepth >= 0 {
+		s.rec = NewRecorder(cfg.RecorderDepth)
 	}
 	enc := newEnc()
 	s.reg.Gauge("serve.store_vars").Set(int64(enc.DB.NumVars()))
@@ -192,13 +222,15 @@ func New(cfg Config) (*Server, error) {
 
 // Handler returns the service routing table:
 //
-//	POST /v1/query  — answer one licm-queries/1 spec
-//	GET  /healthz   — liveness: 200 while the process runs
-//	GET  /readyz    — readiness: 200 until drain begins, then 503
-//	GET  /metrics   — Prometheus text exposition of the registry
+//	POST /v1/query            — answer one licm-queries/1 spec
+//	GET  /healthz             — liveness: 200 while the process runs
+//	GET  /readyz              — readiness: 200 until drain begins, then 503
+//	GET  /metrics             — Prometheus text exposition of the registry
+//	GET  /debug/licm/requests — flight-recorder forensics (JSON/HTML)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/query", s.handleQuery)
+	mux.Handle("/debug/licm/requests", s.rec.Handler())
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
@@ -245,9 +277,16 @@ func (s *Server) AttachDebug(addr string) (string, error) {
 	if err != nil {
 		return "", err
 	}
+	// Forensics ride the debug port too, so a probe that only knows
+	// -debug-addr can still drill into retained requests.
+	d.Handle("/debug/licm/requests", s.rec.Handler())
 	s.debug = d
 	return d.Addr(), nil
 }
+
+// Requests exposes the flight recorder (nil when disabled); licmd uses
+// it to write the drain-time licm-requests/1 dump.
+func (s *Server) Requests() *Recorder { return s.rec }
 
 // isDraining reports whether drain has begun.
 func (s *Server) isDraining() bool {
@@ -313,19 +352,70 @@ func (s *Server) Drain(ctx context.Context) error {
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	t0 := time.Now()
 	s.reg.Counter("serve.requests").Inc()
+
+	// Request-id assignment happens before any response path, so every
+	// response — rejections included — carries a correlatable id. A
+	// valid client-proposed id is adopted; an invalid one is rejected
+	// below (after respond exists), never laundered into traces.
+	proposed := r.Header.Get(RequestIDHeader)
+	rid := proposed
+	if rid == "" || !ValidRequestID(rid) {
+		rid = s.ridNonce + "-" + strconv.FormatInt(s.ridSeq.Add(1), 10)
+	}
+
+	// Forensics state filled in as the request progresses; the respond
+	// closure snapshots it into the flight recorder.
+	var (
+		deadlineNs int64
+		capture    *obs.CollectSink
+		reqp       *Request
+		tk         *task
+		sp         *obs.Span
+	)
+
 	wrote := false
 	respond := func(status int, resp *Response) {
 		wrote = true
-		s.reg.Histogram("serve.latency_ns").Observe(int64(time.Since(t0)))
+		resp.RequestID = rid
+		total := time.Since(t0)
+		s.reg.Histogram("serve.latency_ns").Observe(int64(total))
 		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set(RequestIDHeader, rid)
 		w.WriteHeader(status)
 		_ = json.NewEncoder(w).Encode(resp) // a write error means the client hung up
+
+		// Score the request against the SLOs and offer it to the flight
+		// recorder. Client-side refusals (bad request, draining) burn no
+		// server error budget and carry no forensic value.
+		failed := resp.Err != nil
+		if failed && (resp.Err.Code == ErrBadRequest || resp.Err.Code == ErrDraining) {
+			return
+		}
+		sp.End()
+		s.slo.observe(total, resp.Quality, failed)
+		if s.rec != nil {
+			e := &RecordedRequest{
+				RequestID:  rid,
+				Start:      t0,
+				TotalNs:    int64(total),
+				DeadlineNs: deadlineNs,
+				Request:    reqp,
+				Response:   resp,
+			}
+			if capture != nil {
+				e.Events = capture.Events()
+			}
+			if tk != nil {
+				e.Explain = tk.explain
+			}
+			s.rec.Observe(e)
+		}
 	}
 	defer func() {
 		if v := recover(); v != nil {
 			s.reg.Counter("serve.panics_contained").Inc()
 			if s.log != nil {
-				s.log.Error("request panic contained", "value", fmt.Sprint(v))
+				s.log.Error("request panic contained", "request_id", rid, "value", fmt.Sprint(v))
 			}
 			if !wrote {
 				respond(ErrInternal.httpStatus(),
@@ -334,6 +424,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 	}()
 
+	if proposed != "" && !ValidRequestID(proposed) {
+		s.reject(respond, 0, ErrBadRequest,
+			"bad %s header: want [A-Za-z0-9._-]{1,%d}", RequestIDHeader, maxRequestIDLen)
+		return
+	}
 	if r.Method != http.MethodPost {
 		s.reject(respond, 0, ErrBadRequest, "use POST")
 		return
@@ -354,6 +449,16 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.reject(respond, req.Spec.ID, ErrBadRequest, "%v", err)
 		return
 	}
+	reqp = &req
+
+	// Per-request tracer fork: every event the request produces — the
+	// serve.request span here, encode spans, the supervisor ladder, the
+	// solver tree — is stamped with request_id and teed into the flight
+	// recorder's capture sink alongside the service trace sink.
+	capture = &obs.CollectSink{}
+	rtr := s.tr.Fork(capture, obs.Str("request_id", rid))
+	sp = rtr.Start("serve.request",
+		obs.Str("query", req.Spec.Name()), obs.Int("id", req.Spec.ID))
 
 	// Deadline propagation: the budget starts at admission and covers
 	// queue wait plus solve. The request context is the parent, so a
@@ -367,6 +472,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		deadline = s.cfg.MaxDeadline
 	}
 	if deadline > 0 {
+		deadlineNs = int64(deadline)
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, deadline)
 		defer cancel()
@@ -374,7 +480,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 
 	// Admission. Under the lock so drain's "no new pending work after
 	// draining flips" invariant holds.
-	t := &task{req: &req, ctx: ctx, fault: fault, enq: time.Now(), done: make(chan *Response, 1)}
+	t := &task{req: &req, ctx: ctx, fault: fault, enq: time.Now(),
+		done: make(chan *Response, 1), rid: rid, tr: rtr}
+	tk = t
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
@@ -399,7 +507,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		// sheds too.
 		resp := func() *Response {
 			defer s.pending.Done()
-			return s.shedAnswer(&req)
+			return s.shedAnswer(&req, rtr)
 		}()
 		status := 200
 		if resp.Err != nil {
@@ -461,15 +569,22 @@ func (s *Server) guardedAnswer(t *task) (resp *Response) {
 		defer disarm()
 		s.reg.Counter("serve.faults_armed").Inc()
 	}
-	return s.answer(t.ctx, t.req)
+	return s.answer(t)
 }
 
 // answer runs the full supervised solve for one request.
-func (s *Server) answer(ctx context.Context, req *Request) *Response {
+func (s *Server) answer(t *task) *Response {
+	req := t.req
+	tr := t.tr
+	if tr == nil {
+		// Internal callers without a per-request fork fall back to the
+		// service tracer.
+		tr = s.tr
+	}
 	resp := &Response{Schema: ResponseSchema, ID: req.Spec.ID, Name: req.Spec.Name()}
 	start := time.Now()
 	enc := s.newEnc()
-	enc.DB.SetTracer(s.tr)
+	enc.DB.SetTracer(tr)
 	obj, _, err := req.Spec.Build(enc)
 	if err != nil {
 		s.reg.Counter("serve.rejected").Inc()
@@ -479,8 +594,9 @@ func (s *Server) answer(ctx context.Context, req *Request) *Response {
 	resp.Vars, resp.Cons = enc.DB.NumVars(), enc.DB.NumConstraints()
 
 	opts := s.cfg.Workload.Solver
-	opts.Trace = s.tr
+	opts.Trace = tr
 	opts.Metrics = s.reg
+	opts.RequestID = t.rid
 	xrec := &solver.ExplainRecorder{}
 	opts.Explain = xrec
 
@@ -496,12 +612,13 @@ func (s *Server) answer(ctx context.Context, req *Request) *Response {
 		RetrySeed: seed ^ int64(uint64(n)*0x9e3779b97f4a7c15),
 		Log:       s.log,
 	}
-	out := super.Bounds(ctx, core.BuildProblem(enc.DB, obj), scfg)
+	out := super.Bounds(t.ctx, core.BuildProblem(enc.DB, obj), scfg)
 	resp.LatencyNs = int64(time.Since(start))
 	resp.Retries = out.Retries
 	resp.PanicsRecovered = out.PanicsRecovered
 
 	rep := explain.Build(resp.Name, xrec)
+	t.explain = rep
 	fps := map[string]bool{}
 	for ri := range rep.Runs {
 		resp.Components += len(rep.Runs[ri].Components)
@@ -535,7 +652,8 @@ func (s *Server) answer(ctx context.Context, req *Request) *Response {
 
 // shedAnswer is the overload path: no queue, no solver — a direct
 // Monte-Carlo estimate of the objective at the sampled ladder rung.
-func (s *Server) shedAnswer(req *Request) (resp *Response) {
+// tr is the request's forked tracer (may be nil).
+func (s *Server) shedAnswer(req *Request, tr *obs.Tracer) (resp *Response) {
 	defer func() {
 		if v := recover(); v != nil {
 			s.reg.Counter("serve.panics_contained").Inc()
@@ -549,6 +667,7 @@ func (s *Server) shedAnswer(req *Request) (resp *Response) {
 		return resp
 	}
 	s.reg.Counter("serve.shed").Inc()
+	defer tr.Start("serve.shed", obs.Int("samples", s.cfg.ShedSamples)).End()
 	start := time.Now()
 	enc := s.newEnc()
 	obj, _, err := req.Spec.Build(enc)

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"net/http"
@@ -400,5 +401,223 @@ func TestServeDeadlinePropagation(t *testing.T) {
 		if resp.Err != nil {
 			t.Fatalf("deadline_ms=%d: typed error %+v", ms, resp.Err)
 		}
+	}
+}
+
+// TestServeRequestIDs pins the correlation contract of the request-id
+// layer: every response carries a valid id (body and header agree), a
+// valid client-proposed id is adopted verbatim, ids are distinct
+// across requests, and an invalid proposed id is a typed bad-request
+// — never silently laundered into traces.
+func TestServeRequestIDs(t *testing.T) {
+	_, client := testServer(t, nil)
+	base := "http://" + client.BaseURL
+	body, err := json.Marshal(&Request{Schema: workload.SpecSchema, Spec: testSpecs(t, 1)[0]})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	post := func(proposed string) (string, *Response) {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodPost, base+"/v1/query", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if proposed != "" {
+			req.Header.Set(RequestIDHeader, proposed)
+		}
+		hres, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hdr := hres.Header.Get(RequestIDHeader)
+		var resp Response
+		if err := decodeJSON(hres, &resp); err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		return hdr, &resp
+	}
+
+	hdr, resp := post("")
+	if resp.Err != nil {
+		t.Fatalf("query: typed error %+v", resp.Err)
+	}
+	if resp.RequestID == "" || !ValidRequestID(resp.RequestID) {
+		t.Fatalf("server-assigned request id %q is empty or invalid", resp.RequestID)
+	}
+	if hdr != resp.RequestID {
+		t.Errorf("header id %q != body id %q", hdr, resp.RequestID)
+	}
+	first := resp.RequestID
+
+	_, resp = post("")
+	if resp.RequestID == first {
+		t.Errorf("two requests share id %q", first)
+	}
+
+	hdr, resp = post("client-chosen.id-1")
+	if resp.RequestID != "client-chosen.id-1" || hdr != resp.RequestID {
+		t.Errorf("proposed id not adopted: body %q header %q", resp.RequestID, hdr)
+	}
+
+	for _, bad := range []string{"has space", strings.Repeat("x", maxRequestIDLen+1), "no/slash"} {
+		hdr, resp = post(bad)
+		if resp.Err == nil || resp.Err.Code != ErrBadRequest {
+			t.Errorf("proposed id %q: got %+v, want typed %s", bad, resp.Err, ErrBadRequest)
+		}
+		// Even the rejection is correlatable — by a server-assigned id.
+		if resp.RequestID == "" || resp.RequestID == bad || hdr != resp.RequestID {
+			t.Errorf("rejection of %q carries id %q (header %q)", bad, resp.RequestID, hdr)
+		}
+	}
+}
+
+// TestServeForensicsCorrelation is the end-to-end acceptance flow of
+// the forensics layer, on a fixed-seed store: run a scored workload
+// against the server with every solve deadline-starved so it degrades,
+// then fetch /debug/licm/requests over HTTP and require that each
+// scored record's request id resolves to a flight-recorder entry whose
+// span tree agrees with the record's latency — the solve span is
+// bracketed by the scored latency, which is bracketed by the request
+// envelope. Also checks SLO burn for the degraded run and the detail
+// and HTML views of the endpoint.
+func TestServeForensicsCorrelation(t *testing.T) {
+	slos, err := ParseSLOs([]string{"p99<=1h", "exact-rate>=0.5"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, client := testServer(t, func(c *Config) {
+		// Every solve starts with its budget already spent, so the
+		// supervisor deterministically lands on the sampled rung: a
+		// degraded, deadline-violated request for the recorder.
+		c.DefaultDeadline = time.Nanosecond
+		c.SLOs = slos
+	})
+	specs := testSpecs(t, 4)
+	cfg := testWorkload()
+	cfg.Answer = client.Answer
+	run, err := workload.Execute(cfg, specs)
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if run.Summary.Violations != 0 {
+		t.Fatalf("served run has %d consistency violations", run.Summary.Violations)
+	}
+	seen := map[string]bool{}
+	for i := range run.Records {
+		rec := &run.Records[i]
+		if rec.RequestID == "" {
+			t.Fatalf("record %s carries no request id", rec.Name)
+		}
+		if seen[rec.RequestID] {
+			t.Fatalf("duplicate request id %s", rec.RequestID)
+		}
+		seen[rec.RequestID] = true
+		if rec.Quality == "exact" {
+			t.Fatalf("record %s stayed exact under a spent deadline", rec.Name)
+		}
+	}
+
+	hres, err := http.Get("http://" + client.BaseURL + "/debug/licm/requests")
+	if err != nil {
+		t.Fatalf("fetch recorder: %v", err)
+	}
+	d, err := ReadDump(hres.Body)
+	hres.Body.Close()
+	if err != nil {
+		t.Fatalf("ReadDump: %v", err)
+	}
+
+	for i := range run.Records {
+		rec := &run.Records[i]
+		var entry *RecordedRequest
+		for j := range d.Entries {
+			if d.Entries[j].RequestID == rec.RequestID {
+				entry = &d.Entries[j]
+				break
+			}
+		}
+		if entry == nil {
+			t.Fatalf("record %s (request %s) has no flight-recorder entry among %d",
+				rec.Name, rec.RequestID, len(d.Entries))
+		}
+		if !hasBadge(entry.Badges, BadgeDegraded) || !hasBadge(entry.Badges, BadgeDeadlineViolated) {
+			t.Errorf("entry %s badges %v, want degraded and deadline-violated", rec.RequestID, entry.Badges)
+		}
+		if entry.Response == nil || entry.Response.RequestID != rec.RequestID {
+			t.Fatalf("entry %s retains no matching response", rec.RequestID)
+		}
+
+		// The span tree is self-contained and request-stamped.
+		if len(entry.Events) == 0 {
+			t.Fatalf("entry %s retains no trace events", rec.RequestID)
+		}
+		var superNs, requestNs int64
+		for _, ev := range entry.Events {
+			if got := ev.Attrs["request_id"]; got != rec.RequestID {
+				t.Fatalf("entry %s holds event %s stamped %v", rec.RequestID, ev.Name, got)
+			}
+			if ev.Kind == obs.KindSpanEnd {
+				switch ev.Name {
+				case "super.solve":
+					superNs = ev.DurNs
+				case "serve.request":
+					requestNs = ev.DurNs
+				}
+			}
+		}
+		if superNs <= 0 || requestNs <= 0 {
+			t.Fatalf("entry %s span tree lacks super.solve/serve.request ends (%d events)",
+				rec.RequestID, len(entry.Events))
+		}
+
+		// Latency agreement: solve span <= scored record latency <=
+		// request envelope, all from the same monotonic measurements
+		// (1ms slack for clock rounding), and the envelope overhead
+		// above the solve is bounded — a unit mismatch or a swapped
+		// correlation would blow these brackets apart.
+		slack := int64(time.Millisecond)
+		if superNs > rec.LatencyNs+slack {
+			t.Errorf("entry %s: solve span %s exceeds scored latency %s",
+				rec.RequestID, time.Duration(superNs), time.Duration(rec.LatencyNs))
+		}
+		if rec.LatencyNs > entry.TotalNs+slack {
+			t.Errorf("entry %s: scored latency %s exceeds request envelope %s",
+				rec.RequestID, time.Duration(rec.LatencyNs), time.Duration(entry.TotalNs))
+		}
+		if overhead := entry.TotalNs - superNs; overhead < 0 || overhead > int64(2*time.Second) {
+			t.Errorf("entry %s: envelope-minus-solve overhead %s out of bounds",
+				rec.RequestID, time.Duration(overhead))
+		}
+	}
+
+	// The all-sampled run torches the exact-rate budget (burn 1/0.5 = 2)
+	// while the 1h latency objective stays green.
+	if got := srv.reg.Gauge("slo.exact_rate.burn_ppm").Value(); got < 1_000_000 {
+		t.Errorf("exact-rate burn %d ppm, want >= 1e6 on an all-degraded run", got)
+	}
+	if got := srv.reg.Counter("slo.latency_p99.violations").Value(); got != 0 {
+		t.Errorf("latency violations %d, want 0 under a 1h objective", got)
+	}
+
+	// Detail and HTML views answer for a retained id.
+	id := run.Records[0].RequestID
+	for _, q := range []string{"?id=" + id, "?format=html"} {
+		res, err := http.Get("http://" + client.BaseURL + "/debug/licm/requests" + q)
+		if err != nil {
+			t.Fatalf("GET %s: %v", q, err)
+		}
+		res.Body.Close()
+		if res.StatusCode != 200 {
+			t.Errorf("GET %s: status %d", q, res.StatusCode)
+		}
+	}
+	res, err := http.Get("http://" + client.BaseURL + "/debug/licm/requests?id=absent")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if res.StatusCode != 404 {
+		t.Errorf("absent id: status %d, want 404", res.StatusCode)
 	}
 }

@@ -1,0 +1,216 @@
+package serve
+
+import (
+	"fmt"
+	"log/slog"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"licm/internal/obs"
+)
+
+// SLO is one declarative serving objective. Two kinds exist:
+//
+//   - Latency: "p99<=250ms" — at most 1% of answered requests may take
+//     longer than 250ms end-to-end (quantile q ≤ D is equivalent to a
+//     violation budget of 1-q).
+//   - Quality rate: "exact-rate>=0.9" / "proven-rate>=0.95" — at least
+//     that fraction of answered requests must land on the exact rung
+//     (respectively a proven rung: exact or proven-interval), i.e. the
+//     violation budget is 1 minus the target rate. The paper's answer
+//     model makes quality a first-class observable, so it gets the
+//     same error-budget treatment as latency.
+//
+// Burn is the classic error-budget ratio: observed violation fraction
+// divided by the allowed fraction. Burn < 1 means the objective holds;
+// burn ≥ 1 means the budget is spent.
+type SLO struct {
+	// Name is the metric-safe identifier derived from the spec string
+	// (e.g. "latency_p99", "exact_rate"), used in licm_slo_* series.
+	Name string
+	// Spec is the original declaration, echoed in logs.
+	Spec string
+	// Threshold is the latency cutoff for latency SLOs (0 for rate
+	// SLOs).
+	Threshold time.Duration
+	// Budget is the allowed violation fraction in (0, 1].
+	Budget float64
+	// violated classifies one answered request against the objective.
+	violated func(latency time.Duration, quality string, failed bool) bool
+}
+
+// ParseSLO parses one objective declaration:
+//
+//	pNN<=DUR        latency quantile, e.g. p99<=250ms, p50<=20ms
+//	exact-rate>=F   exact-rung rate, e.g. exact-rate>=0.9
+//	proven-rate>=F  proven (exact or proven-interval) rate
+func ParseSLO(s string) (SLO, error) {
+	spec := strings.TrimSpace(s)
+	switch {
+	case strings.HasPrefix(spec, "p") && strings.Contains(spec, "<="):
+		parts := strings.SplitN(spec, "<=", 2)
+		q, err := strconv.Atoi(strings.TrimPrefix(parts[0], "p"))
+		if err != nil || q < 1 || q > 99 {
+			return SLO{}, fmt.Errorf("serve: slo %q: quantile must be p1..p99", s)
+		}
+		d, err := time.ParseDuration(parts[1])
+		if err != nil || d <= 0 {
+			return SLO{}, fmt.Errorf("serve: slo %q: bad latency threshold %q", s, parts[1])
+		}
+		return SLO{
+			Name:      fmt.Sprintf("latency_p%d", q),
+			Spec:      spec,
+			Threshold: d,
+			Budget:    1 - float64(q)/100,
+			violated: func(lat time.Duration, _ string, _ bool) bool {
+				return lat > d
+			},
+		}, nil
+	case strings.HasPrefix(spec, "exact-rate>="):
+		f, err := parseRate(strings.TrimPrefix(spec, "exact-rate>="))
+		if err != nil {
+			return SLO{}, fmt.Errorf("serve: slo %q: %w", s, err)
+		}
+		return SLO{
+			Name:   "exact_rate",
+			Spec:   spec,
+			Budget: 1 - f,
+			violated: func(_ time.Duration, quality string, failed bool) bool {
+				return failed || quality != "exact"
+			},
+		}, nil
+	case strings.HasPrefix(spec, "proven-rate>="):
+		f, err := parseRate(strings.TrimPrefix(spec, "proven-rate>="))
+		if err != nil {
+			return SLO{}, fmt.Errorf("serve: slo %q: %w", s, err)
+		}
+		return SLO{
+			Name:   "proven_rate",
+			Spec:   spec,
+			Budget: 1 - f,
+			violated: func(_ time.Duration, quality string, failed bool) bool {
+				return failed || (quality != "exact" && quality != "proven-interval")
+			},
+		}, nil
+	default:
+		return SLO{}, fmt.Errorf("serve: slo %q: want pNN<=DUR, exact-rate>=F or proven-rate>=F", s)
+	}
+}
+
+// parseRate parses a target rate in (0, 1).
+func parseRate(s string) (float64, error) {
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil || f <= 0 || f >= 1 {
+		return 0, fmt.Errorf("rate %q must be in (0, 1)", s)
+	}
+	return f, nil
+}
+
+// ParseSLOs parses a list of declarations, rejecting duplicate names
+// (two objectives writing the same licm_slo_* series would clobber
+// each other silently).
+func ParseSLOs(specs []string) ([]SLO, error) {
+	var out []SLO
+	seen := map[string]bool{}
+	for _, s := range specs {
+		slo, err := ParseSLO(s)
+		if err != nil {
+			return nil, err
+		}
+		if seen[slo.Name] {
+			return nil, fmt.Errorf("serve: duplicate slo %s (from %q)", slo.Name, s)
+		}
+		seen[slo.Name] = true
+		out = append(out, slo)
+	}
+	return out, nil
+}
+
+// sloTracker accumulates error-budget burn per objective over the
+// server's lifetime and publishes the licm_slo_* series:
+//
+//	licm_slo_<name>_requests_total    answered requests counted
+//	licm_slo_<name>_violations_total  requests that violated the objective
+//	licm_slo_<name>_burn_ppm          burn ratio × 1e6 (gauge; 1e6 = budget spent)
+//	licm_slo_worst_burn_ppm           max burn across objectives (dashboard ring)
+//
+// Crossing burn ≥ 1 emits one structured warn record (edge-triggered,
+// re-armed when burn falls back under ½) so log pipelines see budget
+// exhaustion without a firehose.
+type sloTracker struct {
+	slos []SLO
+	reg  *obs.Registry
+	log  *slog.Logger
+
+	mu         sync.Mutex
+	total      []int64
+	violations []int64
+	burning    []bool
+}
+
+// newSLOTracker returns nil when no objectives are configured (the
+// serving path calls observe unconditionally on the nil no-op).
+func newSLOTracker(slos []SLO, reg *obs.Registry, log *slog.Logger) *sloTracker {
+	if len(slos) == 0 {
+		return nil
+	}
+	t := &sloTracker{
+		slos:       slos,
+		reg:        reg,
+		log:        log,
+		total:      make([]int64, len(slos)),
+		violations: make([]int64, len(slos)),
+		burning:    make([]bool, len(slos)),
+	}
+	// Register the series up front so every scrape carries them, 0
+	// burn included — dashboards should not discover an SLO only once
+	// it is violated.
+	for _, slo := range slos {
+		reg.Counter("slo." + slo.Name + ".requests")
+		reg.Counter("slo." + slo.Name + ".violations")
+		reg.Gauge("slo." + slo.Name + ".burn_ppm").Set(0)
+	}
+	reg.Gauge("slo.worst_burn_ppm").Set(0)
+	return t
+}
+
+// observe scores one answered request against every objective.
+// failed marks typed-error responses (they violate every quality
+// objective and count toward latency ones like any other request).
+func (t *sloTracker) observe(latency time.Duration, quality string, failed bool) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var worst float64
+	for i, slo := range t.slos {
+		t.total[i]++
+		t.reg.Counter("slo." + slo.Name + ".requests").Inc()
+		if slo.violated(latency, quality, failed) {
+			t.violations[i]++
+			t.reg.Counter("slo." + slo.Name + ".violations").Inc()
+		}
+		burn := (float64(t.violations[i]) / float64(t.total[i])) / slo.Budget
+		if burn > worst {
+			worst = burn
+		}
+		t.reg.Gauge("slo." + slo.Name + ".burn_ppm").Set(int64(burn * 1e6))
+		switch {
+		case burn >= 1 && !t.burning[i]:
+			t.burning[i] = true
+			if t.log != nil {
+				t.log.Warn("slo error budget burned",
+					"slo", slo.Spec,
+					"burn", fmt.Sprintf("%.2f", burn),
+					"violations", t.violations[i],
+					"requests", t.total[i])
+			}
+		case burn < 0.5 && t.burning[i]:
+			t.burning[i] = false
+		}
+	}
+	t.reg.Gauge("slo.worst_burn_ppm").Set(int64(worst * 1e6))
+}

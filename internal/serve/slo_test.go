@@ -1,0 +1,167 @@
+package serve
+
+import (
+	"io"
+	"log/slog"
+	"strings"
+	"testing"
+	"time"
+
+	"licm/internal/obs"
+)
+
+// newTestLogger captures structured log output for assertions.
+func newTestLogger(w io.Writer) *slog.Logger {
+	return slog.New(slog.NewTextHandler(w, &slog.HandlerOptions{Level: slog.LevelDebug}))
+}
+
+func TestParseSLO(t *testing.T) {
+	cases := []struct {
+		spec      string
+		name      string
+		budget    float64
+		threshold time.Duration
+	}{
+		{"p99<=250ms", "latency_p99", 0.01, 250 * time.Millisecond},
+		{"p50<=20ms", "latency_p50", 0.50, 20 * time.Millisecond},
+		{"  p95<=1s ", "latency_p95", 0.05, time.Second},
+		{"exact-rate>=0.9", "exact_rate", 0.1, 0},
+		{"proven-rate>=0.95", "proven_rate", 0.05, 0},
+	}
+	for _, c := range cases {
+		slo, err := ParseSLO(c.spec)
+		if err != nil {
+			t.Fatalf("ParseSLO(%q): %v", c.spec, err)
+		}
+		if slo.Name != c.name {
+			t.Errorf("ParseSLO(%q).Name = %q, want %q", c.spec, slo.Name, c.name)
+		}
+		if slo.Threshold != c.threshold {
+			t.Errorf("ParseSLO(%q).Threshold = %v, want %v", c.spec, slo.Threshold, c.threshold)
+		}
+		if diff := slo.Budget - c.budget; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("ParseSLO(%q).Budget = %g, want %g", c.spec, slo.Budget, c.budget)
+		}
+	}
+
+	for _, bad := range []string{
+		"", "p99", "p0<=10ms", "p100<=10ms", "p99<=0s", "p99<=banana",
+		"exact-rate>=1", "exact-rate>=0", "exact-rate>=-0.5", "proven-rate>=1.5",
+		"latency<250ms", "exact-rate<=0.9",
+	} {
+		if _, err := ParseSLO(bad); err == nil {
+			t.Errorf("ParseSLO(%q) accepted, want error", bad)
+		}
+	}
+}
+
+func TestParseSLOsRejectsDuplicates(t *testing.T) {
+	if _, err := ParseSLOs([]string{"p99<=1s", "p99<=2s"}); err == nil {
+		t.Fatal("duplicate latency_p99 accepted")
+	}
+	slos, err := ParseSLOs([]string{"p99<=1s", "p50<=10ms", "exact-rate>=0.9"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(slos) != 3 {
+		t.Fatalf("got %d objectives, want 3", len(slos))
+	}
+}
+
+func TestSLOViolationClassification(t *testing.T) {
+	lat, _ := ParseSLO("p99<=100ms")
+	if lat.violated(50*time.Millisecond, "exact", false) {
+		t.Error("fast request violated latency SLO")
+	}
+	if !lat.violated(150*time.Millisecond, "exact", false) {
+		t.Error("slow request did not violate latency SLO")
+	}
+
+	exact, _ := ParseSLO("exact-rate>=0.9")
+	if exact.violated(0, "exact", false) {
+		t.Error("exact answer violated exact-rate")
+	}
+	if !exact.violated(0, "proven-interval", false) {
+		t.Error("proven-interval did not violate exact-rate")
+	}
+	if !exact.violated(0, "", true) {
+		t.Error("failed request did not violate exact-rate")
+	}
+
+	proven, _ := ParseSLO("proven-rate>=0.9")
+	if proven.violated(0, "proven-interval", false) {
+		t.Error("proven-interval violated proven-rate")
+	}
+	if !proven.violated(0, "sampled", false) {
+		t.Error("sampled did not violate proven-rate")
+	}
+}
+
+func TestSLOTrackerBurnAndMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	slos, err := ParseSLOs([]string{"p50<=10ms", "exact-rate>=0.5"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var logs strings.Builder
+	logger := newTestLogger(&logs)
+	trk := newSLOTracker(slos, reg, logger)
+	if trk == nil {
+		t.Fatal("tracker is nil with objectives configured")
+	}
+
+	// Series are registered before any traffic.
+	if got := reg.Gauge("slo.worst_burn_ppm").Value(); got != 0 {
+		t.Fatalf("initial worst burn %d, want 0", got)
+	}
+
+	// 4 fast exact answers: no violations anywhere.
+	for i := 0; i < 4; i++ {
+		trk.observe(time.Millisecond, "exact", false)
+	}
+	if got := reg.Counter("slo.latency_p50.violations").Value(); got != 0 {
+		t.Fatalf("latency violations %d, want 0", got)
+	}
+	if got := reg.Gauge("slo.worst_burn_ppm").Value(); got != 0 {
+		t.Fatalf("worst burn %d, want 0", got)
+	}
+
+	// One slow sampled answer: violates both objectives. Latency burn:
+	// violating fraction 1/5 over budget 0.5 = 0.4; exact-rate burn:
+	// 1/5 over 0.5 = 0.4. Worst = 0.4 → 400000 ppm.
+	trk.observe(time.Second, "sampled", false)
+	if got := reg.Counter("slo.latency_p50.requests").Value(); got != 5 {
+		t.Fatalf("latency requests %d, want 5", got)
+	}
+	if got := reg.Counter("slo.latency_p50.violations").Value(); got != 1 {
+		t.Fatalf("latency violations %d, want 1", got)
+	}
+	if got := reg.Gauge("slo.worst_burn_ppm").Value(); got != 400_000 {
+		t.Fatalf("worst burn %d ppm, want 400000", got)
+	}
+	if strings.Contains(logs.String(), "error budget burned") {
+		t.Fatalf("warn logged before budget exhausted: %s", logs.String())
+	}
+
+	// Four more slow sampled answers: latency violating fraction 5/9
+	// over budget 0.5 → burn > 1; the edge-triggered warn fires once.
+	for i := 0; i < 4; i++ {
+		trk.observe(time.Second, "sampled", false)
+	}
+	if got := reg.Gauge("slo.worst_burn_ppm").Value(); got <= 1_000_000 {
+		t.Fatalf("worst burn %d ppm, want > 1e6", got)
+	}
+	if n := strings.Count(logs.String(), "error budget burned"); n != 2 {
+		// Both objectives burned (latency and exact-rate), one warn each.
+		t.Fatalf("got %d burn warnings, want 2: %s", n, logs.String())
+	}
+	before := strings.Count(logs.String(), "error budget burned")
+	trk.observe(time.Second, "sampled", false)
+	if n := strings.Count(logs.String(), "error budget burned"); n != before {
+		t.Fatalf("burn warning re-fired while still burning (%d -> %d)", before, n)
+	}
+
+	// Nil tracker is inert.
+	var nilTrk *sloTracker
+	nilTrk.observe(time.Second, "failed", true)
+}

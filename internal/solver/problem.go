@@ -168,6 +168,13 @@ type Options struct {
 	// licm-explain/1 reports and workload censuses. nil disables
 	// recording at no cost.
 	Explain *ExplainRecorder
+	// RequestID, when non-empty, names the serving-layer request this
+	// solve belongs to. It is stamped as a request_id attribute on the
+	// solver.solve root span and copied into Stats, so a served
+	// answer's forensics (flight-recorder entry, licmtrace -request
+	// filter) can attribute solver work to the exact HTTP request that
+	// caused it. Purely observational: it never changes the solve.
+	RequestID string
 	// Certify, if non-nil, makes the solve certifying: after the
 	// search, a dedicated certification pass re-derives for every
 	// proven component a machine-checkable proof tree (optimality or
@@ -230,6 +237,11 @@ type Stats struct {
 	// node budget (Options.WitnessBudget): the bounds stand but
 	// Result.Assignment is nil instead of a full world.
 	WitnessExhausted bool
+
+	// RequestID echoes Options.RequestID, tying these stats to the
+	// serving-layer request that triggered the solve (empty outside
+	// the serving path).
+	RequestID string
 
 	// AllocBytes is the process-wide heap allocation (bytes, via
 	// runtime/metrics) observed between solve start and end, and

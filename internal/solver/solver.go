@@ -27,10 +27,15 @@ func solve(p *Problem, opts Options, minimized bool) (res Result, err error) {
 	if minimized {
 		sense = "min"
 	}
-	root := tr.Start("solver.solve",
+	rootAttrs := []obs.Attr{
 		obs.Str("sense", sense),
 		obs.Int("vars", p.NumVars),
-		obs.Int("cons", len(p.Constraints)))
+		obs.Int("cons", len(p.Constraints)),
+	}
+	if opts.RequestID != "" {
+		rootAttrs = append(rootAttrs, obs.Str("request_id", opts.RequestID))
+	}
+	root := tr.Start("solver.solve", rootAttrs...)
 	rec := opts.Explain
 	runIdx := -1
 	if rec != nil {
@@ -116,6 +121,7 @@ func solve(p *Problem, opts Options, minimized bool) (res Result, err error) {
 		Stats: Stats{
 			VarsBefore: p.NumVars,
 			ConsBefore: len(p.Constraints),
+			RequestID:  opts.RequestID,
 		},
 	}
 	defer func() {

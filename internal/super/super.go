@@ -144,9 +144,17 @@ func Bounds(ctx context.Context, p *solver.Problem, cfg Config) Outcome {
 	start := time.Now()
 	tr := cfg.Solver.Trace
 	reg := cfg.Solver.Metrics
-	sp := tr.Start("super.solve",
+	rootAttrs := []obs.Attr{
 		obs.Int("vars", p.NumVars),
-		obs.Int("cons", len(p.Constraints)))
+		obs.Int("cons", len(p.Constraints)),
+	}
+	if cfg.Solver.RequestID != "" {
+		// Stamp the serving-layer request id (threaded via
+		// Solver.RequestID) so trace consumers can attribute the whole
+		// supervised solve — ladder events included — to one request.
+		rootAttrs = append(rootAttrs, obs.Str("request_id", cfg.Solver.RequestID))
+	}
+	sp := tr.Start("super.solve", rootAttrs...)
 	s := &run{ctx: ctx, cfg: cfg, p: p, tr: tr, reg: reg}
 	out := Outcome{}
 	out.Max = s.side(true)

@@ -54,6 +54,27 @@ type Trace struct {
 // means a truncated file or a producer bug, and analytics over it
 // would silently misattribute time.
 func ReadTrace(r io.Reader) (*Trace, error) {
+	return ReadTraceFiltered(r, nil)
+}
+
+// RequestFilter keeps only events stamped with the given request_id
+// attribute — the per-request slice of a multiplexed serve trace. A
+// request's events form a self-contained balanced forest (the serving
+// path forks one request_id-stamped tracer per request, and every span
+// of a fork parents within the fork), so the filtered trace passes the
+// same validation as a whole file.
+func RequestFilter(id string) func(*obs.Event) bool {
+	return func(e *obs.Event) bool {
+		v, ok := e.Attrs["request_id"]
+		return ok && fmt.Sprint(v) == id
+	}
+}
+
+// ReadTraceFiltered is ReadTrace restricted to the events keep accepts
+// (nil keeps everything). Filtering happens after schema detection, so
+// the version stamp survives even when the filter drops the stamped
+// event.
+func ReadTraceFiltered(r io.Reader, keep func(*obs.Event) bool) (*Trace, error) {
 	rd := NewReader(r)
 	t := &Trace{ByID: make(map[int64]*Span)}
 	open := make(map[int64]*Span)   // span id -> open span
@@ -65,6 +86,9 @@ func ReadTrace(r io.Reader) (*Trace, error) {
 		}
 		if err != nil {
 			return nil, err
+		}
+		if keep != nil && !keep(e) {
+			continue
 		}
 		t.Events = append(t.Events, *e)
 		if t.Start.IsZero() || e.Time.Before(t.Start) {

@@ -184,3 +184,38 @@ func TestReadTraceForest(t *testing.T) {
 		t.Errorf("walk order = %q", got)
 	}
 }
+
+// TestReadTraceFilteredByRequest: a multiplexed serve trace slices
+// into per-request forests that still pass full validation, because
+// every request's fork parents its spans within the fork.
+func TestReadTraceFilteredByRequest(t *testing.T) {
+	const trace = `{"seq":1,"time":"2026-01-02T03:04:05Z","ev":"span_start","name":"serve.request","span":1,"attrs":{"request_id":"r1"}}
+{"seq":2,"time":"2026-01-02T03:04:05Z","ev":"span_start","name":"serve.request","span":2,"attrs":{"request_id":"r2"}}
+{"seq":3,"time":"2026-01-02T03:04:05Z","ev":"span_start","name":"super.solve","span":3,"parent":1,"attrs":{"request_id":"r1"}}
+{"seq":4,"time":"2026-01-02T03:04:06Z","ev":"span_end","name":"super.solve","span":3,"parent":1,"dur_ns":5,"attrs":{"request_id":"r1"}}
+{"seq":5,"time":"2026-01-02T03:04:06Z","ev":"span_end","name":"serve.request","span":2,"dur_ns":9,"attrs":{"request_id":"r2"}}
+{"seq":6,"time":"2026-01-02T03:04:06Z","ev":"span_end","name":"serve.request","span":1,"dur_ns":10,"attrs":{"request_id":"r1"}}
+`
+	tr, err := ReadTraceFiltered(strings.NewReader(trace), RequestFilter("r1"))
+	if err != nil {
+		t.Fatalf("filtered read: %v", err)
+	}
+	if len(tr.Events) != 4 {
+		t.Fatalf("kept %d events, want 4", len(tr.Events))
+	}
+	if len(tr.Roots) != 1 || tr.Roots[0].Name != "serve.request" {
+		t.Fatalf("roots = %+v, want one serve.request", tr.Roots)
+	}
+	if len(tr.Roots[0].Children) != 1 || tr.Roots[0].Children[0].Name != "super.solve" {
+		t.Fatalf("children = %+v, want one super.solve", tr.Roots[0].Children)
+	}
+
+	// An unknown id keeps nothing but still reads cleanly.
+	tr, err = ReadTraceFiltered(strings.NewReader(trace), RequestFilter("absent"))
+	if err != nil {
+		t.Fatalf("empty filter: %v", err)
+	}
+	if len(tr.Events) != 0 || len(tr.Roots) != 0 {
+		t.Fatalf("absent id kept %d events, %d roots", len(tr.Events), len(tr.Roots))
+	}
+}

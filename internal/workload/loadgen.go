@@ -1,0 +1,195 @@
+package workload
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"licm/internal/bench"
+)
+
+// LoadGen drives sustained concurrent load against an answer source —
+// in practice serve.Client.Answer pointed at a live licmd. Where
+// Execute is the serial correctness harness (ground truth, containment
+// checks, scoring), LoadGen is the throughput harness: many in-flight
+// queries, no local reference solves, and a ServeProfile of what the
+// server actually sustained (achieved QPS, shed rate, ladder mix,
+// latency quantiles).
+type LoadGen struct {
+	// Answer is the measured answer source; required.
+	Answer func(Spec) (*Answer, error)
+	// Concurrency is the number of parallel in-flight queries; 0 means
+	// GOMAXPROCS.
+	Concurrency int
+	// Repeat is the number of passes over the spec list; 0 means 1.
+	// Passes repeat the same specs, so sustained throughput is measured
+	// on a fixed query population.
+	Repeat int
+}
+
+// ServeProfile is one sustained-throughput serving measurement, the
+// licm-bench/1 serving snapshot's source data.
+type ServeProfile struct {
+	// Offered counts queries sent; Answered those that produced a
+	// ladder answer (Offered - Answered errored, typed or transport).
+	Offered  int `json:"offered"`
+	Answered int `json:"answered"`
+	Errors   int `json:"errors"`
+	// Shed counts answers produced on the server's overload shed path.
+	Shed int `json:"shed"`
+	// ByQuality is the ladder mix of answered queries.
+	ByQuality map[string]int `json:"by_quality"`
+
+	WallNs int64 `json:"wall_ns"`
+	// QPS is achieved throughput: Answered / wall.
+	QPS float64 `json:"qps"`
+
+	// Client-observed per-query round-trip quantiles (nearest-rank).
+	LatencyP50Ns int64 `json:"latency_p50_ns"`
+	LatencyP90Ns int64 `json:"latency_p90_ns"`
+	LatencyP99Ns int64 `json:"latency_p99_ns"`
+	LatencyMaxNs int64 `json:"latency_max_ns"`
+}
+
+// Run offers every spec Repeat times through Concurrency workers and
+// profiles what came back. Individual query errors do not abort the
+// run — a sustained-load harness keeps offering load and reports the
+// error count — but a run where nothing was answered returns an error.
+func (g LoadGen) Run(specs []Spec) (*ServeProfile, error) {
+	if g.Answer == nil {
+		return nil, fmt.Errorf("workload: LoadGen needs an Answer source")
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("workload: LoadGen needs specs")
+	}
+	conc := g.Concurrency
+	if conc <= 0 {
+		conc = runtime.GOMAXPROCS(0)
+	}
+	repeat := g.Repeat
+	if repeat <= 0 {
+		repeat = 1
+	}
+
+	p := &ServeProfile{ByQuality: map[string]int{}}
+	var mu sync.Mutex
+	var lats []int64
+
+	jobs := make(chan Spec)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < conc; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for sp := range jobs {
+				t0 := time.Now()
+				a, err := g.Answer(sp)
+				lat := time.Since(t0).Nanoseconds()
+				mu.Lock()
+				p.Offered++
+				if err != nil {
+					p.Errors++
+				} else {
+					p.Answered++
+					p.ByQuality[a.Quality]++
+					if a.Shed {
+						p.Shed++
+					}
+					lats = append(lats, lat)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for r := 0; r < repeat; r++ {
+		for i := range specs {
+			jobs <- specs[i]
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	wall := time.Since(start)
+
+	p.WallNs = wall.Nanoseconds()
+	if p.Answered > 0 && wall > 0 {
+		p.QPS = float64(p.Answered) / wall.Seconds()
+	}
+	p.LatencyP50Ns = quantileI64(lats, 0.50)
+	p.LatencyP90Ns = quantileI64(lats, 0.90)
+	p.LatencyP99Ns = quantileI64(lats, 0.99)
+	p.LatencyMaxNs = quantileI64(lats, 1.0)
+	if p.Answered == 0 {
+		return p, fmt.Errorf("workload: sustained load answered 0 of %d queries", p.Offered)
+	}
+	return p, nil
+}
+
+// servingScheme tags every serving-profile cell; the K column carries
+// the store's anonymity parameter so snapshots against differently
+// anonymized stores never silently compare.
+const servingScheme = "serving"
+
+// Snapshot converts the profile into a licm-bench/1 snapshot so the
+// existing bench-diff machinery (licmtrace bench-diff, the CI perf
+// gate) covers serving throughput. The mapping folds each figure into
+// the cell fields the diff already judges:
+//
+//   - latency quantiles are cell solve times (growth breaches via the
+//     time factor);
+//   - throughput becomes ns-per-answer in the throughput cell's solve
+//     time, so a QPS drop breaches as time growth;
+//   - availability, shed pressure and the ladder mix are survival
+//     fractions in prune_ratio (a drop past the tolerance breaches):
+//     answered/offered, non-shed share, proven share, exact share.
+//
+// No cell claims proven bounds, so the diff's exact-equality checks
+// never fire on measurement noise.
+func (p *ServeProfile) Snapshot(label string, wcfg Config) bench.Snapshot {
+	wcfg = wcfg.Normalized()
+	bcfg := bench.Config{
+		NumTransactions: wcfg.NumTransactions,
+		NumItems:        wcfg.NumItems,
+		Seed:            wcfg.Seed,
+		Ks:              []int{wcfg.K},
+		MCSamples:       wcfg.MCSamples,
+	}
+	frac := func(num int) float64 {
+		if p.Answered == 0 {
+			return 0
+		}
+		return float64(num) / float64(p.Answered)
+	}
+	avail := 0.0
+	if p.Offered > 0 {
+		avail = float64(p.Answered) / float64(p.Offered)
+	}
+	nsPerAnswer := int64(0)
+	if p.QPS > 0 {
+		nsPerAnswer = int64(1e9 / p.QPS)
+	}
+	proven := p.ByQuality["exact"] + p.ByQuality["proven-interval"]
+	cell := func(query string, solveNs int64, nodes int, prune float64) bench.Cell {
+		return bench.Cell{
+			Scheme:     bench.Scheme(servingScheme),
+			Query:      query,
+			K:          wcfg.K,
+			Quality:    "profile",
+			LSolve:     time.Duration(solveNs),
+			Nodes:      int64(nodes),
+			PruneRatio: prune,
+		}
+	}
+	cells := []bench.Cell{
+		cell("latency_p50", p.LatencyP50Ns, p.Answered, 1),
+		cell("latency_p90", p.LatencyP90Ns, p.Answered, 1),
+		cell("latency_p99", p.LatencyP99Ns, p.Answered, 1),
+		cell("throughput", nsPerAnswer, p.Offered, 1),
+		cell("availability", 0, p.Offered, avail),
+		cell("shed", 0, p.Shed, 1-frac(p.Shed)),
+		cell("ladder_proven", 0, proven, frac(proven)),
+		cell("ladder_exact", 0, p.ByQuality["exact"], frac(p.ByQuality["exact"])),
+	}
+	return bench.NewSnapshot(label, bcfg, cells, time.Duration(p.WallNs))
+}

@@ -1,0 +1,170 @@
+package workload
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"licm/internal/bench"
+)
+
+// stubAnswer builds a deterministic answer source: every 5th query
+// errors, every 3rd degrades to a shed sampled answer, the rest are
+// exact. The latency is fixed so quantiles are predictable.
+func stubAnswer(latency time.Duration) func(Spec) (*Answer, error) {
+	var n atomic.Int64
+	return func(sp Spec) (*Answer, error) {
+		i := n.Add(1)
+		time.Sleep(latency)
+		if i%5 == 0 {
+			return nil, fmt.Errorf("stub: query %d refused", i)
+		}
+		a := &Answer{Quality: "exact", RequestID: fmt.Sprintf("stub-%d", i), LatencyNs: int64(latency)}
+		if i%3 == 0 {
+			a.Quality = "sampled"
+			a.Shed = true
+		}
+		return a, nil
+	}
+}
+
+func TestLoadGenRun(t *testing.T) {
+	specs := GenerateSpecs(10, 7, 1000, 40)
+	gen := LoadGen{Answer: stubAnswer(time.Millisecond), Concurrency: 4, Repeat: 3}
+	p, err := gen.Run(specs)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if p.Offered != 30 {
+		t.Errorf("offered %d, want 30", p.Offered)
+	}
+	// Every 5th of 30 queries errors: 6 errors, 24 answered.
+	if p.Errors != 6 || p.Answered != 24 {
+		t.Errorf("errors/answered = %d/%d, want 6/24", p.Errors, p.Answered)
+	}
+	// Every 3rd sheds: 10 offered land on i%3==0, of which i=15,30 also
+	// hit the error path (i%5==0), leaving 8 shed answers.
+	if p.Shed != 8 {
+		t.Errorf("shed %d, want 8", p.Shed)
+	}
+	if got := p.ByQuality["sampled"] + p.ByQuality["exact"]; got != p.Answered {
+		t.Errorf("quality mix %v accounts for %d of %d answers", p.ByQuality, got, p.Answered)
+	}
+	if p.QPS <= 0 || p.WallNs <= 0 {
+		t.Errorf("throughput not measured: qps=%g wall=%d", p.QPS, p.WallNs)
+	}
+	if p.LatencyP50Ns < int64(time.Millisecond) {
+		t.Errorf("p50 %s below the stub's floor", time.Duration(p.LatencyP50Ns))
+	}
+	if p.LatencyP50Ns > p.LatencyP99Ns || p.LatencyP99Ns > p.LatencyMaxNs {
+		t.Errorf("quantiles not monotone: p50=%d p99=%d max=%d",
+			p.LatencyP50Ns, p.LatencyP99Ns, p.LatencyMaxNs)
+	}
+}
+
+func TestLoadGenRejectsDegenerateRuns(t *testing.T) {
+	specs := GenerateSpecs(3, 7, 1000, 40)
+	if _, err := (LoadGen{}).Run(specs); err == nil {
+		t.Error("nil Answer accepted")
+	}
+	if _, err := (LoadGen{Answer: stubAnswer(0)}).Run(nil); err == nil {
+		t.Error("empty spec list accepted")
+	}
+	allFail := func(Spec) (*Answer, error) { return nil, fmt.Errorf("down") }
+	p, err := (LoadGen{Answer: allFail, Concurrency: 2}).Run(specs)
+	if err == nil {
+		t.Error("zero-answered run did not error")
+	}
+	if p == nil || p.Errors != 3 {
+		t.Errorf("profile %+v, want 3 errors reported alongside the error", p)
+	}
+}
+
+// TestServeProfileSnapshot pins the profile → licm-bench/1 mapping so
+// the serving snapshot stays diffable by licmtrace bench-diff.
+func TestServeProfileSnapshot(t *testing.T) {
+	p := &ServeProfile{
+		Offered: 100, Answered: 80, Errors: 20, Shed: 8,
+		ByQuality:    map[string]int{"exact": 40, "proven-interval": 20, "sampled": 20},
+		WallNs:       int64(2 * time.Second),
+		QPS:          40,
+		LatencyP50Ns: 1e6, LatencyP90Ns: 2e6, LatencyP99Ns: 4e6, LatencyMaxNs: 9e6,
+	}
+	cfg := Config{NumTransactions: 60, NumItems: 30, Scheme: "k", K: 4, Seed: 3, MCSamples: 10}
+	snap := p.Snapshot("serve", cfg)
+
+	type cellView struct {
+		solveNs int64
+		prune   float64
+	}
+	cells := map[string]cellView{}
+	var raw struct {
+		Cells []struct {
+			Scheme     string  `json:"scheme"`
+			Query      string  `json:"query"`
+			K          int     `json:"k"`
+			Quality    string  `json:"quality"`
+			LMinProven bool    `json:"l_min_proven"`
+			LMaxProven bool    `json:"l_max_proven"`
+			LSolveNs   int64   `json:"l_solve_ns"`
+			PruneRatio float64 `json:"prune_ratio"`
+		} `json:"cells"`
+	}
+	var buf bytes.Buffer
+	if err := bench.WriteSnapshotJSON(&buf, snap); err != nil {
+		t.Fatalf("WriteSnapshotJSON: %v", err)
+	}
+	if err := json.Unmarshal(buf.Bytes(), &raw); err != nil {
+		t.Fatalf("snapshot JSON: %v", err)
+	}
+	for _, c := range raw.Cells {
+		if c.Scheme != "serving" || c.K != 4 || c.Quality != "profile" {
+			t.Errorf("cell %s mis-keyed: scheme=%s k=%d quality=%s", c.Query, c.Scheme, c.K, c.Quality)
+		}
+		if c.LMinProven || c.LMaxProven {
+			t.Errorf("cell %s claims proven bounds; serving cells never do", c.Query)
+		}
+		cells[c.Query] = cellView{solveNs: c.LSolveNs, prune: c.PruneRatio}
+	}
+	if len(cells) != 8 {
+		t.Fatalf("snapshot has %d distinct cells, want 8", len(cells))
+	}
+	if got := cells["latency_p99"].solveNs; got != int64(4*time.Millisecond) {
+		t.Errorf("latency_p99 solve %v, want 4ms", time.Duration(got))
+	}
+	// 40 QPS → 25ms per answer.
+	if got := cells["throughput"].solveNs; got != int64(25*time.Millisecond) {
+		t.Errorf("throughput solve %v, want 25ms", time.Duration(got))
+	}
+	if got := cells["availability"].prune; got != 0.8 {
+		t.Errorf("availability %g, want 0.8", got)
+	}
+	if got := cells["shed"].prune; got != 0.9 {
+		t.Errorf("shed survival %g, want 0.9", got)
+	}
+	if got := cells["ladder_proven"].prune; got != 0.75 {
+		t.Errorf("proven share %g, want 0.75", got)
+	}
+	if got := cells["ladder_exact"].prune; got != 0.5 {
+		t.Errorf("exact share %g, want 0.5", got)
+	}
+
+	// Round-trip through the bench reader and self-diff clean: the CI
+	// gate reads exactly this artifact. The serving cells are far below
+	// the default 5ms floor, so a low MinTimeNs proves the cells carry
+	// diffable figures rather than hiding under the floor.
+	rt, err := bench.ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatalf("ReadSnapshot: %v", err)
+	}
+	diff := bench.DiffSnapshots(rt, snap, bench.SnapshotTol{MinTimeNs: 1})
+	if diff.Breached {
+		t.Errorf("self-diff breached: %+v", diff)
+	}
+	if len(diff.OnlyOld) != 0 || len(diff.OnlyNew) != 0 {
+		t.Errorf("self-diff coverage drift: only_old=%v only_new=%v", diff.OnlyOld, diff.OnlyNew)
+	}
+}

@@ -87,7 +87,14 @@ type Config struct {
 type Answer struct {
 	// Quality is the supervisor ladder tag: exact, proven-interval,
 	// sampled or failed.
-	Quality    string
+	Quality string
+	// RequestID is the server-assigned request id of a remote answer
+	// (empty for local solves). It keys the client-side record to the
+	// server's forensics: the request_id trace attribute and the flight
+	// recorder entry at /debug/licm/requests.
+	RequestID string
+	// Shed marks a remote answer produced on the overload shed path.
+	Shed       bool
 	Lb, Ub     int64
 	Infeasible bool
 	// LatencyNs is the measured answer latency. Remote sources report
@@ -250,6 +257,8 @@ func (cfg Config) remoteAnswer(sp Spec, rec *Record) error {
 		return fmt.Errorf("workload: %s: %w", rec.Name, err)
 	}
 	rec.Quality = a.Quality
+	rec.RequestID = a.RequestID
+	rec.Shed = a.Shed
 	rec.LatencyNs = a.LatencyNs
 	rec.Infeasible = a.Infeasible
 	rec.Lb, rec.Ub = a.Lb, a.Ub

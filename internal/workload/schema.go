@@ -28,6 +28,14 @@ type Record struct {
 	// sampled or failed.
 	Quality   string `json:"quality"`
 	LatencyNs int64  `json:"latency_ns"`
+	// RequestID is the server-assigned request id of a remote (-target)
+	// answer; empty for local solves and absent from older streams. It
+	// correlates this record with the server's forensics: the request_id
+	// trace attribute and the /debug/licm/requests flight-recorder entry.
+	RequestID string `json:"request_id,omitempty"`
+	// Shed marks a remote answer produced on the server's overload shed
+	// path (skipped the solver queue; sampled-rung Monte-Carlo answer).
+	Shed bool `json:"shed,omitempty"`
 
 	// Lb/Ub are the reported aggregate bounds; Proven says whether
 	// they are proven outer bounds (exact or proven-interval quality).
